@@ -1,0 +1,141 @@
+// E8 — substrate micro-benchmarks (google-benchmark).
+//
+// Throughput of the pieces everything else stands on: triple-store inserts
+// and pattern scans, BGP joins, dictionary interning, string metrics,
+// sampler evidence collection, and world generation.
+
+#include <benchmark/benchmark.h>
+
+#include "core/sofya.h"
+
+namespace sofya {
+namespace {
+
+void BM_TripleStoreInsert(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  for (auto _ : state) {
+    TripleStore store;
+    Rng rng(7);
+    for (int64_t i = 0; i < n; ++i) {
+      store.Insert(static_cast<TermId>(1 + rng.Below(1000)),
+                   static_cast<TermId>(1 + rng.Below(50)),
+                   static_cast<TermId>(1 + rng.Below(1000)));
+    }
+    benchmark::DoNotOptimize(store.size());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_TripleStoreInsert)->Arg(10000)->Arg(100000);
+
+void BM_TripleStoreScanByPredicate(benchmark::State& state) {
+  TripleStore store;
+  Rng rng(7);
+  for (int64_t i = 0; i < 200000; ++i) {
+    store.Insert(static_cast<TermId>(1 + rng.Below(5000)),
+                 static_cast<TermId>(1 + rng.Below(100)),
+                 static_cast<TermId>(1 + rng.Below(5000)));
+  }
+  store.EnsureIndexed();
+  TermId p = 1;
+  for (auto _ : state) {
+    size_t count = store.CountMatches(TriplePattern(0, p, 0));
+    benchmark::DoNotOptimize(count);
+    p = p % 100 + 1;
+  }
+}
+BENCHMARK(BM_TripleStoreScanByPredicate);
+
+void BM_DictionaryIntern(benchmark::State& state) {
+  for (auto _ : state) {
+    Dictionary dict;
+    for (int i = 0; i < 10000; ++i) {
+      dict.InternIri("http://kb.org/resource/entity_" + std::to_string(i));
+    }
+    benchmark::DoNotOptimize(dict.size());
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_DictionaryIntern);
+
+void BM_BgpTwoClauseJoin(benchmark::State& state) {
+  TripleStore store;
+  Rng rng(11);
+  const TermId p1 = 1, p2 = 2;
+  for (int i = 0; i < 50000; ++i) {
+    store.Insert(static_cast<TermId>(10 + rng.Below(2000)),
+                 rng.Bernoulli(0.5) ? p1 : p2,
+                 static_cast<TermId>(10 + rng.Below(2000)));
+  }
+  store.EnsureIndexed();
+  SelectQuery q;
+  const VarId x = q.NewVar("x");
+  const VarId y = q.NewVar("y");
+  const VarId z = q.NewVar("z");
+  q.Where(NodeRef::Variable(x), NodeRef::Constant(p1), NodeRef::Variable(y));
+  q.Where(NodeRef::Variable(y), NodeRef::Constant(p2), NodeRef::Variable(z));
+  q.Limit(1000);
+  for (auto _ : state) {
+    auto result = Evaluate(store, q);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_BgpTwoClauseJoin);
+
+void BM_Levenshtein(benchmark::State& state) {
+  const std::string a = "Francis Albert Sinatra";
+  const std::string b = "Frank Sinatra (singer)";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(LevenshteinDistance(a, b));
+  }
+}
+BENCHMARK(BM_Levenshtein);
+
+void BM_JaroWinkler(benchmark::State& state) {
+  const std::string a = "Francis Albert Sinatra";
+  const std::string b = "Frank Sinatra (singer)";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(JaroWinklerSimilarity(a, b));
+  }
+}
+BENCHMARK(BM_JaroWinkler);
+
+void BM_WorldGeneration(benchmark::State& state) {
+  for (auto _ : state) {
+    auto world = GenerateWorld(MoviesWorldSpec());
+    benchmark::DoNotOptimize(world);
+  }
+}
+BENCHMARK(BM_WorldGeneration);
+
+void BM_SimpleSamplerEvidence(benchmark::State& state) {
+  auto world = std::move(GenerateWorld(MoviesWorldSpec())).value();
+  LocalEndpoint cand(world.kb1.get());
+  LocalEndpoint ref(world.kb2.get());
+  CrossKbTranslator to_ref(&world.links, ref.base_iri());
+  SimpleSampler sampler(&cand, &ref, &to_ref);
+  const Term r_sub = Term::Iri("http://kb1.sofya.org/ontology/hasDirector");
+  const Term r = Term::Iri("http://kb2.sofya.org/ontology/directedBy");
+  for (auto _ : state) {
+    auto evidence = sampler.CollectEvidence(r_sub, r);
+    benchmark::DoNotOptimize(evidence);
+  }
+}
+BENCHMARK(BM_SimpleSamplerEvidence);
+
+void BM_FullAlignment(benchmark::State& state) {
+  auto world = std::move(GenerateWorld(MoviesWorldSpec())).value();
+  LocalEndpoint cand(world.kb1.get());
+  LocalEndpoint ref(world.kb2.get());
+  RelationAligner aligner(&cand, &ref, &world.links);
+  const Term r = Term::Iri("http://kb2.sofya.org/ontology/directedBy");
+  for (auto _ : state) {
+    auto result = aligner.Align(r);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_FullAlignment);
+
+}  // namespace
+}  // namespace sofya
+
+BENCHMARK_MAIN();

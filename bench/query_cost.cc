@@ -1,0 +1,84 @@
+// E4 — the "few queries, no download" claim, quantified.
+//
+// The paper's motivation: aligning on full snapshots is impractical (YAGO
+// alone ~100 GB); SOFYA aligns with a handful of endpoint queries. This
+// bench reports queries / rows / bytes / simulated latency per aligned
+// relation under a realistic throttled endpoint, against the
+// download-everything baseline (shipping both datasets).
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "core/sofya.h"
+
+int main() {
+  const double scale =
+      std::getenv("SOFYA_SCALE") ? std::atof(std::getenv("SOFYA_SCALE")) : 0.10;
+  std::printf("=== E4: query cost per alignment (scale=%.2f) ===\n\n", scale);
+
+  auto world_or = sofya::GenerateWorld(sofya::YagoDbpediaSpec(2016, scale));
+  if (!world_or.ok()) {
+    std::fprintf(stderr, "%s\n", world_or.status().ToString().c_str());
+    return 1;
+  }
+  sofya::SynthWorld world = std::move(world_or).value();
+  std::printf("%s\n\n", sofya::DescribeWorld(world).c_str());
+
+  sofya::LocalEndpoint yago_local(world.kb1.get());
+  sofya::LocalEndpoint dbpd_local(world.kb2.get());
+  sofya::ThrottleOptions throttle;  // Public-endpoint latency model.
+  throttle.base_latency_ms = 80.0;
+  throttle.per_row_latency_ms = 0.05;
+  throttle.max_rows_per_query = 10000;  // DBpedia-style cap.
+  sofya::ThrottledEndpoint yago(&yago_local, throttle);
+  sofya::ThrottledEndpoint dbpd(&dbpd_local, throttle);
+
+  sofya::RelationAligner aligner(&yago, &dbpd, &world.links);
+
+  sofya::TableWriter table({"relation", "candidates", "accepted", "queries",
+                            "rows", "sim latency (s)"});
+  uint64_t total_queries = 0, total_rows = 0;
+  double total_latency = 0.0;
+  size_t aligned = 0;
+
+  // Align a representative slice: the first 25 reference relations.
+  auto heads = world.truth.RelationsOf("dbpd");
+  const size_t n = heads.size() < 25 ? heads.size() : 25;
+  for (size_t i = 0; i < n; ++i) {
+    auto result = aligner.Align(sofya::Term::Iri(heads[i]));
+    if (!result.ok()) continue;
+    ++aligned;
+    total_queries += result->total_queries();
+    total_rows += result->rows_shipped;
+    total_latency += result->simulated_latency_ms;
+    if (i < 8) {  // Print the head of the table only.
+      const std::string local = heads[i].substr(heads[i].rfind('/') + 1);
+      table.AddRow({local, std::to_string(result->verdicts.size()),
+                    std::to_string(result->AcceptedSubsumptions().size()),
+                    std::to_string(result->total_queries()),
+                    std::to_string(result->rows_shipped),
+                    sofya::FormatDouble(result->simulated_latency_ms / 1000.0,
+                                        2)});
+    }
+  }
+  table.Print(std::cout);
+
+  const double avg_queries =
+      static_cast<double>(total_queries) / static_cast<double>(aligned);
+  const double avg_rows =
+      static_cast<double>(total_rows) / static_cast<double>(aligned);
+  std::printf("\nmean per aligned relation over %zu relations: %.1f queries, "
+              "%.0f rows, %.1f s simulated latency\n",
+              aligned, avg_queries, avg_rows, total_latency / 1000.0 /
+                                                  static_cast<double>(aligned));
+
+  const size_t dataset_rows = world.stats.kb1_facts + world.stats.kb2_facts;
+  std::printf("download-everything baseline would ship %zu rows "
+              "(%.0fx the per-alignment row cost) before any mining starts\n",
+              dataset_rows,
+              static_cast<double>(dataset_rows) / avg_rows);
+  std::printf("(the real YAGO2+DBpedia would be billions of rows / ~100 GB "
+              "on disk — the gap only widens with dataset size)\n");
+  return 0;
+}

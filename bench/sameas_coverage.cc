@@ -1,0 +1,70 @@
+// E6 — dependence on the sameAs link set.
+//
+// SSE only uses subjects/objects with links into the other KB (Section
+// 2.2), so link coverage bounds what any instance-based method can see,
+// and wrong links corrupt the evidence. Sweeps coverage and noise.
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "core/sofya.h"
+
+namespace {
+
+void RunSweep(const char* title, const std::vector<double>& values,
+              bool sweep_noise, double scale) {
+  std::printf("--- %s ---\n", title);
+  sofya::TableWriter table(
+      {sweep_noise ? "link noise" : "link coverage", "UBS P", "UBS R",
+       "UBS F1", "links (ok+bad)"});
+  for (double value : values) {
+    sofya::WorldSpec spec = sofya::YagoDbpediaSpec(2016, scale);
+    if (sweep_noise) {
+      spec.link_noise = value;
+    } else {
+      spec.link_coverage = value;
+    }
+    auto world_or = sofya::GenerateWorld(spec);
+    if (!world_or.ok()) continue;
+    sofya::SynthWorld world = std::move(world_or).value();
+
+    sofya::LocalEndpoint yago(world.kb1.get());
+    sofya::LocalEndpoint dbpd(world.kb2.get());
+    sofya::DirectionRunOptions options;
+    options.aligner.threshold = 0.6;
+    options.aligner.check_equivalence = false;
+    auto run = sofya::RunDirection(&yago, &dbpd, world.links,
+                                   world.truth.RelationsOf("dbpd"), options);
+    if (!run.ok()) continue;
+    sofya::ScorePolicy policy;
+    policy.tau = 0.6;
+    policy.apply_ubs = true;
+    auto pr = sofya::ScoreSubsumptions(*run, world.truth, policy);
+    table.AddRow({sofya::FormatDouble(value, 2),
+                  sofya::FormatDouble(pr.precision(), 2),
+                  sofya::FormatDouble(pr.recall(), 2),
+                  sofya::FormatDouble(pr.f1(), 2),
+                  sofya::StrFormat("%zu+%zu", world.stats.links_correct,
+                                   world.stats.links_wrong)});
+  }
+  table.Print(std::cout);
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  const double scale =
+      std::getenv("SOFYA_SCALE") ? std::atof(std::getenv("SOFYA_SCALE")) : 0.08;
+  std::printf("=== E6: sameAs coverage / noise sensitivity (scale=%.2f) "
+              "===\n\n",
+              scale);
+  RunSweep("coverage sweep (noise = 0)",
+           {0.1, 0.25, 0.5, 0.75, 0.9, 1.0}, /*sweep_noise=*/false, scale);
+  RunSweep("noise sweep (coverage = 0.85)", {0.0, 0.05, 0.1, 0.2, 0.4},
+           /*sweep_noise=*/true, scale);
+  std::printf("(recall degrades with missing links — fewer usable samples; "
+              "precision degrades with wrong links — corrupted evidence)\n");
+  return 0;
+}

@@ -1,0 +1,121 @@
+#include "align/candidate_finder.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_set>
+
+#include "endpoint/paged_select.h"
+#include "endpoint/query_forms.h"
+#include "util/hash.h"
+#include "util/random.h"
+
+namespace sofya {
+
+CandidateFinder::CandidateFinder(Endpoint* candidate_kb,
+                                 Endpoint* reference_kb,
+                                 const CrossKbTranslator* to_candidate,
+                                 CandidateFinderOptions options)
+    : candidate_kb_(candidate_kb),
+      reference_kb_(reference_kb),
+      to_candidate_(to_candidate),
+      options_(options),
+      literal_matcher_(options.literal_options) {}
+
+StatusOr<std::vector<CandidateRelation>> CandidateFinder::FindCandidates(
+    const Term& r) {
+  std::vector<CandidateRelation> result;
+  const TermId r_id = reference_kb_->LookupTerm(r);
+  if (r_id == kNullTermId) return result;
+
+  // Scan + shuffle a window of r facts.
+  PagedSelectOptions page_options;
+  page_options.page_size = options_.page_size;
+  SOFYA_ASSIGN_OR_RETURN(
+      ResultSet window,
+      PagedSelect(reference_kb_,
+                  queries::FactsOfPredicate(r_id, options_.scan_limit),
+                  page_options));
+  if (window.rows.empty()) return result;
+
+  std::vector<size_t> order(window.rows.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  Rng rng(options_.seed ^
+          Fnv1a(r.lexical().data(), r.lexical().size()));
+  Shuffle(rng, order);
+
+  // Majority kind vote over the window's objects.
+  size_t literal_objects = 0;
+  for (const auto& row : window.rows) {
+    SOFYA_ASSIGN_OR_RETURN(Term obj, reference_kb_->DecodeTerm(row[1]));
+    if (obj.is_literal()) ++literal_objects;
+  }
+  const bool literal_relation = literal_objects * 2 >= window.rows.size();
+
+  // Probe sampled facts.
+  std::map<Term, size_t> counts;  // Ordered: deterministic ties.
+  size_t probed = 0;
+  for (size_t idx : order) {
+    if (probed >= options_.sample_facts) break;
+    const auto& row = window.rows[idx];
+    SOFYA_ASSIGN_OR_RETURN(Term x2, reference_kb_->DecodeTerm(row[0]));
+    SOFYA_ASSIGN_OR_RETURN(Term y2, reference_kb_->DecodeTerm(row[1]));
+
+    auto x1 = to_candidate_->Translate(x2);
+    if (!x1.ok()) continue;
+
+    if (literal_relation) {
+      if (!y2.is_literal()) continue;
+      const TermId x1_id = candidate_kb_->LookupTerm(*x1);
+      if (x1_id == kNullTermId) continue;
+      ++probed;
+      SOFYA_ASSIGN_OR_RETURN(
+          ResultSet facts,
+          candidate_kb_->Select(queries::FactsOfSubject(x1_id)));
+      std::unordered_set<TermId> credited;
+      for (const auto& fact_row : facts.rows) {
+        SOFYA_ASSIGN_OR_RETURN(Term obj,
+                               candidate_kb_->DecodeTerm(fact_row[1]));
+        if (!obj.is_literal()) continue;
+        if (!literal_matcher_.Matches(obj, y2)) continue;
+        if (!credited.insert(fact_row[0]).second) continue;
+        SOFYA_ASSIGN_OR_RETURN(Term predicate,
+                               candidate_kb_->DecodeTerm(fact_row[0]));
+        ++counts[predicate];
+      }
+      continue;
+    }
+
+    auto y1 = to_candidate_->Translate(y2);
+    if (!y1.ok()) continue;
+    const TermId x1_id = candidate_kb_->LookupTerm(*x1);
+    const TermId y1_id = candidate_kb_->LookupTerm(*y1);
+    if (x1_id == kNullTermId || y1_id == kNullTermId) continue;
+    ++probed;
+    SOFYA_ASSIGN_OR_RETURN(
+        ResultSet predicates,
+        candidate_kb_->Select(queries::PredicatesBetween(x1_id, y1_id)));
+    for (const auto& p_row : predicates.rows) {
+      SOFYA_ASSIGN_OR_RETURN(Term predicate,
+                             candidate_kb_->DecodeTerm(p_row[0]));
+      ++counts[predicate];
+    }
+  }
+
+  for (const auto& [relation, count] : counts) {
+    if (count < options_.min_cooccurrence) continue;
+    result.push_back(CandidateRelation{relation, count});
+  }
+  std::stable_sort(result.begin(), result.end(),
+                   [](const CandidateRelation& a, const CandidateRelation& b) {
+                     if (a.cooccurrences != b.cooccurrences) {
+                       return a.cooccurrences > b.cooccurrences;
+                     }
+                     return a.relation < b.relation;
+                   });
+  if (result.size() > options_.max_candidates) {
+    result.resize(options_.max_candidates);
+  }
+  return result;
+}
+
+}  // namespace sofya

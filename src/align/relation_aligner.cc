@@ -1,0 +1,168 @@
+#include "align/relation_aligner.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sampling/simple_sampler.h"
+#include "sampling/unbiased_sampler.h"
+
+namespace sofya {
+
+std::vector<Term> AlignmentResult::AcceptedSubsumptions() const {
+  std::vector<Term> out;
+  for (const auto& v : verdicts) {
+    if (v.accepted) out.push_back(v.relation);
+  }
+  return out;
+}
+
+std::vector<Term> AlignmentResult::AcceptedEquivalences() const {
+  std::vector<Term> out;
+  for (const auto& v : verdicts) {
+    if (v.equivalence) out.push_back(v.relation);
+  }
+  return out;
+}
+
+RelationAligner::RelationAligner(Endpoint* candidate_kb,
+                                 Endpoint* reference_kb,
+                                 const SameAsIndex* links,
+                                 AlignerOptions options)
+    : candidate_kb_(candidate_kb),
+      reference_kb_(reference_kb),
+      links_(links),
+      options_(options),
+      to_reference_(links, reference_kb->base_iri()),
+      to_candidate_(links, candidate_kb->base_iri()) {}
+
+StatusOr<AlignmentResult> RelationAligner::Align(const Term& r) {
+  AlignmentResult result;
+  result.reference_relation = r;
+
+  const EndpointStats cand_before = candidate_kb_->stats();
+  const EndpointStats ref_before = reference_kb_->stats();
+
+  // Phase 1: candidate discovery.
+  CandidateFinder finder(candidate_kb_, reference_kb_, &to_candidate_,
+                         options_.finder);
+  SOFYA_ASSIGN_OR_RETURN(std::vector<CandidateRelation> candidates,
+                         finder.FindCandidates(r));
+
+  // Phase 2: simple-sample evidence + threshold.
+  SimpleSampler sampler(candidate_kb_, reference_kb_, &to_reference_,
+                        options_.sampler);
+  for (const CandidateRelation& candidate : candidates) {
+    CandidateVerdict verdict;
+    verdict.relation = candidate.relation;
+    verdict.cooccurrences = candidate.cooccurrences;
+    verdict.rule.body = candidate.relation;
+    verdict.rule.head = r;
+
+    SOFYA_ASSIGN_OR_RETURN(EvidenceSet evidence,
+                           sampler.CollectEvidence(candidate.relation, r));
+    PopulateRuleStats(evidence, &verdict.rule);
+    verdict.passed_threshold =
+        evidence.total_pairs() >= options_.min_pairs &&
+        evidence.support() >= options_.min_support &&
+        Confidence(options_.measure, evidence) >= options_.threshold;
+    result.verdicts.push_back(std::move(verdict));
+  }
+
+  // Phase 3: UBS counter-example pruning over the survivors.
+  if (options_.use_ubs) {
+    std::vector<Term> survivors;
+    for (const auto& v : result.verdicts) {
+      if (v.passed_threshold) survivors.push_back(v.relation);
+    }
+    if (!survivors.empty()) {
+      UnbiasedSampler ubs(candidate_kb_, reference_kb_, &to_reference_,
+                          &to_candidate_, options_.sampler, options_.ubs);
+      // Candidate-side pair probes (the paper's explicit form) need at
+      // least two candidates to contrast.
+      UbsReport report;
+      if (survivors.size() >= 2) {
+        SOFYA_ASSIGN_OR_RETURN(report, ubs.Probe(r, survivors));
+      }
+      // Mirrored reference-side probes cover the remaining survivors
+      // (e.g. a lone broad => narrow candidate): contrast the head with
+      // the reference relations that co-occur with the candidate.
+      if (options_.ubs.enable_reference_siblings) {
+        CandidateFinderOptions sibling_options = options_.finder;
+        sibling_options.max_candidates = options_.ubs.reference_sibling_limit;
+        CandidateFinder sibling_finder(reference_kb_, candidate_kb_,
+                                       &to_reference_, sibling_options);
+        for (const Term& survivor : survivors) {
+          if (report.SubsumptionHits(survivor) >=
+                  options_.ubs.min_contradictions &&
+              report.EquivalenceHits(survivor) >=
+                  options_.ubs.min_contradictions) {
+            continue;  // Already fully contradicted.
+          }
+          SOFYA_ASSIGN_OR_RETURN(
+              std::vector<CandidateRelation> siblings,
+              sibling_finder.FindCandidates(survivor));
+          std::vector<Term> sibling_terms;
+          for (const auto& s : siblings) sibling_terms.push_back(s.relation);
+          SOFYA_RETURN_IF_ERROR(ubs.ProbeReferenceSiblings(
+              r, survivor, sibling_terms, &report));
+        }
+      }
+      for (auto& v : result.verdicts) {
+        if (!v.passed_threshold) continue;
+        const size_t needed = std::max<size_t>(
+            options_.ubs.min_contradictions,
+            static_cast<size_t>(
+                std::ceil(options_.ubs.contradiction_support_ratio *
+                          static_cast<double>(v.rule.support))));
+        if (report.SubsumptionHits(v.relation) >= needed) {
+          v.ubs_subsumption_pruned = true;
+        }
+        if (report.EquivalenceHits(v.relation) >= needed) {
+          v.ubs_equivalence_pruned = true;
+        }
+      }
+    }
+  }
+
+  for (auto& v : result.verdicts) {
+    v.accepted = v.passed_threshold && !v.ubs_subsumption_pruned;
+  }
+
+  // Phase 4: equivalence via double subsumption (reverse direction with the
+  // KB roles swapped: r plays the candidate body in K, r' the reference
+  // head in K').
+  if (options_.check_equivalence) {
+    SimpleSampler reverse_sampler(reference_kb_, candidate_kb_,
+                                  &to_candidate_, options_.sampler);
+    for (auto& v : result.verdicts) {
+      if (!v.accepted) continue;
+      v.reverse_rule.body = r;
+      v.reverse_rule.head = v.relation;
+      SOFYA_ASSIGN_OR_RETURN(EvidenceSet reverse_evidence,
+                             reverse_sampler.CollectEvidence(r, v.relation));
+      PopulateRuleStats(reverse_evidence, &v.reverse_rule);
+      v.reverse_checked = true;
+      v.reverse_passed_threshold =
+          reverse_evidence.total_pairs() >= options_.min_pairs &&
+          reverse_evidence.support() >= options_.min_support &&
+          Confidence(options_.measure, reverse_evidence) >=
+              options_.threshold;
+      v.equivalence =
+          v.reverse_passed_threshold && !v.ubs_equivalence_pruned;
+    }
+  }
+
+  // Cost accounting.
+  const EndpointStats cand_after = candidate_kb_->stats();
+  const EndpointStats ref_after = reference_kb_->stats();
+  result.candidate_queries = cand_after.queries - cand_before.queries;
+  result.reference_queries = ref_after.queries - ref_before.queries;
+  result.rows_shipped = (cand_after.rows_returned - cand_before.rows_returned) +
+                        (ref_after.rows_returned - ref_before.rows_returned);
+  result.simulated_latency_ms =
+      (cand_after.simulated_latency_ms - cand_before.simulated_latency_ms) +
+      (ref_after.simulated_latency_ms - ref_before.simulated_latency_ms);
+  return result;
+}
+
+}  // namespace sofya

@@ -1,0 +1,122 @@
+// RelationAligner: the end-to-end on-the-fly alignment pipeline for one
+// reference relation.
+//
+//   discover candidates  ->  simple-sample evidence  ->  confidence
+//   threshold  ->  (optional) UBS counter-example pruning  ->  subsumptions
+//   + equivalence checks (double subsumption, reverse direction sampled the
+//   same way with the KB roles swapped).
+//
+// Everything flows through the two Endpoint interfaces; the aligner never
+// touches a triple store directly, and it reports exactly how many queries
+// the alignment cost.
+
+#ifndef SOFYA_ALIGN_RELATION_ALIGNER_H_
+#define SOFYA_ALIGN_RELATION_ALIGNER_H_
+
+#include <string>
+#include <vector>
+
+#include "align/candidate_finder.h"
+#include "endpoint/endpoint.h"
+#include "mining/confidence.h"
+#include "mining/rule.h"
+#include "sameas/sameas_index.h"
+#include "sameas/translator.h"
+#include "sampling/sampler_options.h"
+#include "util/status.h"
+
+namespace sofya {
+
+/// Full aligner configuration.
+struct AlignerOptions {
+  /// Measure thresholded for acceptance.
+  ConfidenceMeasure measure = ConfidenceMeasure::kPca;
+  /// Acceptance threshold τ (paper: pca τ>0.3, cwa τ>0.1).
+  double threshold = 0.3;
+  /// Minimum observed sample pairs for a rule to be judged at all.
+  size_t min_pairs = 2;
+  /// Minimum *confirmed* pairs (AMIE-style support gate). Rejects rules
+  /// whose perfect confidence rests on one or two coincidental pairs.
+  size_t min_support = 3;
+
+  /// Run the UBS counter-example pass on surviving candidates.
+  bool use_ubs = true;
+  /// Also validate the reverse direction to report equivalences.
+  bool check_equivalence = true;
+
+  CandidateFinderOptions finder;
+  SamplerOptions sampler;
+  UbsOptions ubs;
+};
+
+/// Verdict for one candidate relation r' against the reference r.
+struct CandidateVerdict {
+  Term relation;  ///< r' in K'.
+  size_t cooccurrences = 0;
+
+  Rule rule;  ///< r' => r with mined statistics.
+  /// conf(measure) ≥ τ on the simple sample.
+  bool passed_threshold = false;
+  /// Killed by UBS case-2 contradictions.
+  bool ubs_subsumption_pruned = false;
+  /// Final subsumption decision (threshold ∧ ¬pruned).
+  bool accepted = false;
+
+  /// Reverse rule r => r' (only populated when check_equivalence and the
+  /// forward direction was accepted).
+  Rule reverse_rule;
+  bool reverse_checked = false;
+  bool reverse_passed_threshold = false;
+  /// Killed by UBS case-1 contradictions.
+  bool ubs_equivalence_pruned = false;
+  /// Final equivalence decision.
+  bool equivalence = false;
+};
+
+/// Result of aligning one reference relation.
+struct AlignmentResult {
+  Term reference_relation;  ///< r in K.
+  std::vector<CandidateVerdict> verdicts;
+
+  /// Query cost of this alignment (deltas over both endpoints).
+  uint64_t candidate_queries = 0;
+  uint64_t reference_queries = 0;
+  uint64_t rows_shipped = 0;
+  double simulated_latency_ms = 0.0;
+
+  /// Candidates with accepted subsumption r' => r.
+  std::vector<Term> AcceptedSubsumptions() const;
+  /// Candidates with accepted equivalence r' <=> r.
+  std::vector<Term> AcceptedEquivalences() const;
+  /// Total queries against both endpoints.
+  uint64_t total_queries() const {
+    return candidate_queries + reference_queries;
+  }
+};
+
+/// The pipeline. One instance per (candidate KB, reference KB) pair; Align
+/// may be called for many relations.
+class RelationAligner {
+ public:
+  /// `links` is the sameAs set E. Nothing is owned; all pointers must
+  /// outlive the aligner.
+  RelationAligner(Endpoint* candidate_kb, Endpoint* reference_kb,
+                  const SameAsIndex* links, AlignerOptions options = {});
+
+  /// Aligns reference relation `r`: returns per-candidate verdicts.
+  StatusOr<AlignmentResult> Align(const Term& r);
+
+  const AlignerOptions& options() const { return options_; }
+
+ private:
+  Endpoint* candidate_kb_;  // K'. Not owned.
+  Endpoint* reference_kb_;  // K.  Not owned.
+  const SameAsIndex* links_;  // Not owned.
+  AlignerOptions options_;
+  CrossKbTranslator to_reference_;
+  CrossKbTranslator to_candidate_;
+};
+
+}  // namespace sofya
+
+#endif  // SOFYA_ALIGN_RELATION_ALIGNER_H_

@@ -1,0 +1,56 @@
+#include "core/facade.h"
+
+namespace sofya {
+
+Sofya::Sofya(KnowledgeBase* candidate_kb, KnowledgeBase* reference_kb,
+             const SameAsIndex* links, SofyaOptions options)
+    : candidate_local_(candidate_kb), reference_local_(reference_kb) {
+  candidate_ = &candidate_local_;
+  reference_ = &reference_local_;
+  if (options.throttle) {
+    candidate_throttled_ = std::make_unique<ThrottledEndpoint>(
+        &candidate_local_, options.candidate_throttle);
+    reference_throttled_ = std::make_unique<ThrottledEndpoint>(
+        &reference_local_, options.reference_throttle);
+    // Retry sits on the client side of the throttle: each retry consumes
+    // budget, exactly as a real re-issued request would.
+    candidate_retrying_ = std::make_unique<RetryingEndpoint>(
+        candidate_throttled_.get(), options.retry);
+    reference_retrying_ = std::make_unique<RetryingEndpoint>(
+        reference_throttled_.get(), options.retry);
+    candidate_ = candidate_retrying_.get();
+    reference_ = reference_retrying_.get();
+  }
+  on_the_fly_ = std::make_unique<OnTheFlyAligner>(candidate_, reference_,
+                                                  links, options.aligner);
+}
+
+StatusOr<const AlignmentResult*> Sofya::Align(
+    const std::string& relation_iri) {
+  return on_the_fly_->AlignCached(Term::Iri(relation_iri));
+}
+
+StatusOr<Term> Sofya::BestCandidateFor(const std::string& relation_iri) {
+  return on_the_fly_->BestCandidateFor(Term::Iri(relation_iri));
+}
+
+StatusOr<SelectQuery> Sofya::RewriteQuery(
+    const SelectQuery& reference_query) {
+  return on_the_fly_->RewriteQuery(reference_query);
+}
+
+StatusOr<ResultSet> Sofya::ExecuteOnCandidate(const SelectQuery& query) {
+  return candidate_->Select(query);
+}
+
+StatusOr<ResultSet> Sofya::ExecuteOnReference(const SelectQuery& query) {
+  return reference_->Select(query);
+}
+
+EndpointStats Sofya::TotalCost() const {
+  EndpointStats total = candidate_->stats();
+  total.Merge(reference_->stats());
+  return total;
+}
+
+}  // namespace sofya

@@ -1,0 +1,83 @@
+// Sofya: the one-object entry point used by examples and downstream code.
+//
+// Owns the endpoint plumbing (LocalEndpoint per KB, optional throttling
+// decorators) and an OnTheFlyAligner, so callers go from "two KBs and a
+// link set" to "aligned relations / rewritten queries" in two lines.
+
+#ifndef SOFYA_CORE_FACADE_H_
+#define SOFYA_CORE_FACADE_H_
+
+#include <memory>
+#include <string>
+
+#include "align/on_the_fly.h"
+#include "align/relation_aligner.h"
+#include "endpoint/local_endpoint.h"
+#include "endpoint/retrying_endpoint.h"
+#include "endpoint/throttled_endpoint.h"
+#include "rdf/knowledge_base.h"
+#include "sameas/sameas_index.h"
+
+namespace sofya {
+
+/// Facade configuration.
+struct SofyaOptions {
+  AlignerOptions aligner;
+
+  /// When true, both endpoints are wrapped in ThrottledEndpoint with the
+  /// options below — the realistic remote-access regime.
+  bool throttle = false;
+  ThrottleOptions candidate_throttle;
+  ThrottleOptions reference_throttle;
+
+  /// Client-side retry of transient (Unavailable) failures.
+  RetryOptions retry;
+};
+
+/// The facade. KBs and links are borrowed, not owned.
+class Sofya {
+ public:
+  /// `candidate_kb` is K' (searched for body relations r'); `reference_kb`
+  /// is K (owns the head relations r you align). `links` is the sameAs set.
+  Sofya(KnowledgeBase* candidate_kb, KnowledgeBase* reference_kb,
+        const SameAsIndex* links, SofyaOptions options = {});
+
+  /// Aligns the reference relation with the given IRI (cached).
+  StatusOr<const AlignmentResult*> Align(const std::string& relation_iri);
+
+  /// Best aligned candidate relation for the given reference relation.
+  StatusOr<Term> BestCandidateFor(const std::string& relation_iri);
+
+  /// Rewrites a reference-KB query against the candidate KB.
+  StatusOr<SelectQuery> RewriteQuery(const SelectQuery& reference_query);
+
+  /// Runs a query on the candidate endpoint (e.g. one from RewriteQuery).
+  StatusOr<ResultSet> ExecuteOnCandidate(const SelectQuery& query);
+
+  /// Runs a query on the reference endpoint.
+  StatusOr<ResultSet> ExecuteOnReference(const SelectQuery& query);
+
+  /// The working endpoints (throttled when configured).
+  Endpoint* candidate_endpoint() { return candidate_; }
+  Endpoint* reference_endpoint() { return reference_; }
+
+  /// Combined access cost over both endpoints since construction.
+  EndpointStats TotalCost() const;
+
+  OnTheFlyAligner& on_the_fly() { return *on_the_fly_; }
+
+ private:
+  LocalEndpoint candidate_local_;
+  LocalEndpoint reference_local_;
+  std::unique_ptr<ThrottledEndpoint> candidate_throttled_;
+  std::unique_ptr<ThrottledEndpoint> reference_throttled_;
+  std::unique_ptr<RetryingEndpoint> candidate_retrying_;
+  std::unique_ptr<RetryingEndpoint> reference_retrying_;
+  Endpoint* candidate_;  // Outermost decorator.
+  Endpoint* reference_;
+  std::unique_ptr<OnTheFlyAligner> on_the_fly_;
+};
+
+}  // namespace sofya
+
+#endif  // SOFYA_CORE_FACADE_H_

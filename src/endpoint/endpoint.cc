@@ -1,0 +1,12 @@
+#include "endpoint/endpoint.h"
+
+namespace sofya {
+
+StatusOr<bool> Endpoint::Ask(const SelectQuery& query) {
+  SelectQuery probe = query;
+  probe.Limit(1).Offset(0);
+  SOFYA_ASSIGN_OR_RETURN(ResultSet result, Select(probe));
+  return !result.rows.empty();
+}
+
+}  // namespace sofya

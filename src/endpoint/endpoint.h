@@ -1,0 +1,84 @@
+// Endpoint: the ONLY way SOFYA's alignment pipeline touches a knowledge
+// base. This models the paper's access regime — "our method requires only a
+// SPARQL endpoint for each dataset" — and is where the "no download, few
+// queries" claim is enforced and measured.
+//
+// Results are dictionary-encoded. Conceptually a remote endpoint returns
+// term *strings* and the client re-interns them; sharing the KB's dictionary
+// ids is an optimization that leaks nothing beyond the surface forms, and
+// DecodeTerm() is the explicit string boundary.
+
+#ifndef SOFYA_ENDPOINT_ENDPOINT_H_
+#define SOFYA_ENDPOINT_ENDPOINT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "rdf/dictionary.h"
+#include "rdf/term.h"
+#include "sparql/query.h"
+#include "util/status.h"
+
+namespace sofya {
+
+/// Cumulative access accounting for one endpoint.
+///
+/// The query-cost experiment (E4) reports these counters; they are also how
+/// tests assert that samplers stay within the paper's "few queries" regime.
+struct EndpointStats {
+  uint64_t queries = 0;               ///< SELECT/ASK requests served.
+  uint64_t rows_returned = 0;         ///< Total result rows shipped.
+  uint64_t bytes_estimated = 0;       ///< Approx. serialized payload bytes.
+  uint64_t index_probes = 0;          ///< Store lookups behind the queries.
+  uint64_t failures_injected = 0;     ///< Simulated faults raised.
+  double simulated_latency_ms = 0.0;  ///< Modeled network+server time.
+
+  /// Adds another stats block (for fleet-level reporting).
+  void Merge(const EndpointStats& other) {
+    queries += other.queries;
+    rows_returned += other.rows_returned;
+    bytes_estimated += other.bytes_estimated;
+    index_probes += other.index_probes;
+    failures_injected += other.failures_injected;
+    simulated_latency_ms += other.simulated_latency_ms;
+  }
+};
+
+/// Abstract SPARQL access point for one dataset.
+class Endpoint {
+ public:
+  virtual ~Endpoint() = default;
+
+  /// Dataset name (for reports/logs).
+  virtual const std::string& name() const = 0;
+
+  /// The dataset's base IRI (namespace of its locally minted entities);
+  /// used to direct sameAs translation toward this dataset.
+  virtual const std::string& base_iri() const = 0;
+
+  /// Executes a SELECT query.
+  virtual StatusOr<ResultSet> Select(const SelectQuery& query) = 0;
+
+  /// Executes the query as ASK: true iff at least one solution exists.
+  /// Default implementation runs Select with LIMIT 1.
+  virtual StatusOr<bool> Ask(const SelectQuery& query);
+
+  /// Encodes a term into the endpoint's id space (interning it if new).
+  /// This is how client-side constants (e.g. translated entities) enter
+  /// queries.
+  virtual TermId EncodeTerm(const Term& term) = 0;
+
+  /// Looks up a term without interning; kNullTermId when unknown.
+  virtual TermId LookupTerm(const Term& term) const = 0;
+
+  /// Decodes an id returned in a ResultSet back to a term.
+  virtual StatusOr<Term> DecodeTerm(TermId id) const = 0;
+
+  /// Access accounting since construction / last ResetStats().
+  virtual const EndpointStats& stats() const = 0;
+  virtual void ResetStats() = 0;
+};
+
+}  // namespace sofya
+
+#endif  // SOFYA_ENDPOINT_ENDPOINT_H_

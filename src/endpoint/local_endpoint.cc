@@ -1,0 +1,29 @@
+#include "endpoint/local_endpoint.h"
+
+#include "sparql/engine.h"
+
+namespace sofya {
+
+StatusOr<ResultSet> LocalEndpoint::Select(const SelectQuery& query) {
+  EvalStats eval_stats;
+  auto result = Evaluate(kb_->store(), query, &eval_stats, &kb_->dict());
+  ++stats_.queries;
+  stats_.index_probes += eval_stats.index_probes;
+  if (!result.ok()) return result.status();
+
+  stats_.rows_returned += result->rows.size();
+  if (options_.estimate_bytes) {
+    uint64_t bytes = 0;
+    for (const auto& row : result->rows) {
+      for (TermId id : row) {
+        auto term = kb_->dict().TryDecode(id);
+        // +1 per cell for the separator in a serialized response.
+        bytes += term.ok() ? term->ToNTriples().size() + 1 : 1;
+      }
+    }
+    stats_.bytes_estimated += bytes;
+  }
+  return result;
+}
+
+}  // namespace sofya

@@ -1,0 +1,66 @@
+// LocalEndpoint: serves a KnowledgeBase through the Endpoint interface.
+//
+// This is the "server side" of the simulation: the full KB lives here, and
+// the alignment pipeline on the other side of the interface can only see
+// what its queries return.
+
+#ifndef SOFYA_ENDPOINT_LOCAL_ENDPOINT_H_
+#define SOFYA_ENDPOINT_LOCAL_ENDPOINT_H_
+
+#include <string>
+
+#include "endpoint/endpoint.h"
+#include "rdf/knowledge_base.h"
+
+namespace sofya {
+
+/// Options for LocalEndpoint.
+struct LocalEndpointOptions {
+  /// When true, stats().bytes_estimated accumulates the N-Triples-serialized
+  /// size of every shipped cell (slower; keep on for query-cost experiments).
+  bool estimate_bytes = true;
+};
+
+/// Endpoint over an in-process KnowledgeBase. The KB must outlive the
+/// endpoint. Writes to the KB through kb() are allowed between queries
+/// (time-sensitive-data scenarios); the store re-indexes lazily.
+class LocalEndpoint : public Endpoint {
+ public:
+  explicit LocalEndpoint(KnowledgeBase* kb,
+                         LocalEndpointOptions options = {})
+      : kb_(kb), options_(options) {}
+
+  const std::string& name() const override { return kb_->name(); }
+
+  const std::string& base_iri() const override { return kb_->base_iri(); }
+
+  StatusOr<ResultSet> Select(const SelectQuery& query) override;
+
+  TermId EncodeTerm(const Term& term) override {
+    return kb_->dict().Intern(term);
+  }
+
+  TermId LookupTerm(const Term& term) const override {
+    return kb_->dict().Lookup(term);
+  }
+
+  StatusOr<Term> DecodeTerm(TermId id) const override {
+    return kb_->dict().TryDecode(id);
+  }
+
+  const EndpointStats& stats() const override { return stats_; }
+  void ResetStats() override { stats_ = EndpointStats(); }
+
+  /// The underlying KB (server-side only; pipeline code must not call this).
+  KnowledgeBase* kb() { return kb_; }
+  const KnowledgeBase* kb() const { return kb_; }
+
+ private:
+  KnowledgeBase* kb_;  // Not owned.
+  LocalEndpointOptions options_;
+  EndpointStats stats_;
+};
+
+}  // namespace sofya
+
+#endif  // SOFYA_ENDPOINT_LOCAL_ENDPOINT_H_

@@ -1,0 +1,54 @@
+#include "endpoint/paged_select.h"
+
+#include <algorithm>
+
+namespace sofya {
+
+StatusOr<ResultSet> PagedSelect(Endpoint* endpoint, const SelectQuery& query,
+                                const PagedSelectOptions& options) {
+  if (options.page_size == 0) {
+    return Status::InvalidArgument("page_size must be positive");
+  }
+  uint64_t total_cap = options.max_rows;
+  if (query.limit() != kNoLimit) {
+    total_cap = std::min(total_cap, query.limit());
+  }
+
+  ResultSet merged;
+  uint64_t offset = query.offset();
+  bool first_page = true;
+
+  while (true) {
+    const uint64_t remaining =
+        total_cap == kNoLimit ? kNoLimit : total_cap - merged.rows.size();
+    if (remaining == 0) break;
+    const uint64_t page_limit = std::min<uint64_t>(options.page_size, remaining);
+
+    SelectQuery page = query;
+    page.Offset(offset).Limit(page_limit);
+
+    StatusOr<ResultSet> result = Status::Internal("unreached");
+    int attempts = 0;
+    while (true) {
+      result = endpoint->Select(page);
+      if (result.ok()) break;
+      if (!result.status().IsUnavailable() ||
+          attempts >= options.max_retries_per_page) {
+        return result.status().WithContext("paged select");
+      }
+      ++attempts;  // Retry transient failures.
+    }
+
+    if (first_page) {
+      merged.var_names = result->var_names;
+      first_page = false;
+    }
+    for (auto& row : result->rows) merged.rows.push_back(std::move(row));
+
+    if (result->rows.size() < page_limit) break;  // Short page: exhausted.
+    offset += page_limit;
+  }
+  return merged;
+}
+
+}  // namespace sofya

@@ -1,0 +1,34 @@
+// Cursor-style pagination over an endpoint (OFFSET/LIMIT pages).
+//
+// Public endpoints cap result sizes; fetching a large result means paging.
+// PagedSelect centralizes that loop (and its failure/retry policy) so
+// samplers never hand-roll it.
+
+#ifndef SOFYA_ENDPOINT_PAGED_SELECT_H_
+#define SOFYA_ENDPOINT_PAGED_SELECT_H_
+
+#include <cstdint>
+
+#include "endpoint/endpoint.h"
+#include "sparql/query.h"
+#include "util/status.h"
+
+namespace sofya {
+
+/// Pagination policy.
+struct PagedSelectOptions {
+  uint64_t page_size = 1000;  ///< LIMIT per request.
+  uint64_t max_rows = kNoLimit;  ///< Stop after this many rows total.
+  int max_retries_per_page = 2;  ///< Retries on Unavailable.
+};
+
+/// Runs `query` page by page, concatenating rows until a short page, the
+/// `max_rows` bound, or an error. The query's own LIMIT/OFFSET are composed
+/// with paging (its OFFSET is the starting point; its LIMIT bounds the
+/// total).
+StatusOr<ResultSet> PagedSelect(Endpoint* endpoint, const SelectQuery& query,
+                                const PagedSelectOptions& options = {});
+
+}  // namespace sofya
+
+#endif  // SOFYA_ENDPOINT_PAGED_SELECT_H_

@@ -1,0 +1,92 @@
+#include "endpoint/query_forms.h"
+
+namespace sofya::queries {
+
+SelectQuery FactsOfPredicate(TermId p, uint64_t limit, uint64_t offset) {
+  SelectQuery q;
+  const VarId x = q.NewVar("x");
+  const VarId y = q.NewVar("y");
+  q.Where(NodeRef::Variable(x), NodeRef::Constant(p), NodeRef::Variable(y))
+      .Select({x, y})
+      .Limit(limit)
+      .Offset(offset);
+  return q;
+}
+
+SelectQuery SubjectsOfPredicate(TermId p, uint64_t limit, uint64_t offset) {
+  SelectQuery q;
+  const VarId x = q.NewVar("x");
+  const VarId y = q.NewVar("y");
+  q.Where(NodeRef::Variable(x), NodeRef::Constant(p), NodeRef::Variable(y))
+      .Select({x})
+      .Distinct()
+      .Limit(limit)
+      .Offset(offset);
+  return q;
+}
+
+SelectQuery ObjectsOf(TermId s, TermId p) {
+  SelectQuery q;
+  const VarId y = q.NewVar("y");
+  q.Where(NodeRef::Constant(s), NodeRef::Constant(p), NodeRef::Variable(y))
+      .Select({y});
+  return q;
+}
+
+SelectQuery FactsOfSubject(TermId s) {
+  SelectQuery q;
+  const VarId p = q.NewVar("p");
+  const VarId y = q.NewVar("y");
+  q.Where(NodeRef::Constant(s), NodeRef::Variable(p), NodeRef::Variable(y))
+      .Select({p, y});
+  return q;
+}
+
+SelectQuery PredicatesBetween(TermId s, TermId o) {
+  SelectQuery q;
+  const VarId p = q.NewVar("p");
+  q.Where(NodeRef::Constant(s), NodeRef::Variable(p), NodeRef::Constant(o))
+      .Select({p})
+      .Distinct();
+  return q;
+}
+
+SelectQuery SameAsOf(TermId x, TermId same_as_predicate) {
+  SelectQuery q;
+  const VarId e = q.NewVar("e");
+  q.Where(NodeRef::Constant(x), NodeRef::Constant(same_as_predicate),
+          NodeRef::Variable(e))
+      .Select({e});
+  return q;
+}
+
+SelectQuery SubjectsWithDisagreeingObjects(TermId p1, TermId p2,
+                                           uint64_t limit) {
+  SelectQuery q;
+  const VarId x = q.NewVar("x");
+  const VarId y1 = q.NewVar("y1");
+  const VarId y2 = q.NewVar("y2");
+  q.Where(NodeRef::Variable(x), NodeRef::Constant(p1), NodeRef::Variable(y1))
+      .Where(NodeRef::Variable(x), NodeRef::Constant(p2),
+             NodeRef::Variable(y2))
+      .Filter(FilterExpr::VarNeqVar(y1, y2))
+      .Select({x, y1, y2})
+      .Limit(limit);
+  return q;
+}
+
+SelectQuery SubjectsInDomainOverlap(TermId p1, TermId p2, uint64_t limit) {
+  SelectQuery q;
+  const VarId x = q.NewVar("x");
+  const VarId y1 = q.NewVar("y1");
+  const VarId y2 = q.NewVar("y2");
+  q.Where(NodeRef::Variable(x), NodeRef::Constant(p1), NodeRef::Variable(y1))
+      .Where(NodeRef::Variable(x), NodeRef::Constant(p2),
+             NodeRef::Variable(y2))
+      .Select({x})
+      .Distinct()
+      .Limit(limit);
+  return q;
+}
+
+}  // namespace sofya::queries

@@ -1,0 +1,70 @@
+// RetryingEndpoint: client-side retry of transient (Unavailable) failures.
+//
+// Public endpoints drop connections; a client that aborts a whole alignment
+// on one 503 wastes its query budget. This decorator retries Unavailable up
+// to a bounded number of times and passes every other status through
+// unchanged. Non-transient errors (ResourceExhausted, InvalidArgument, ...)
+// are never retried.
+
+#ifndef SOFYA_ENDPOINT_RETRYING_ENDPOINT_H_
+#define SOFYA_ENDPOINT_RETRYING_ENDPOINT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "endpoint/endpoint.h"
+
+namespace sofya {
+
+/// Retry policy.
+struct RetryOptions {
+  int max_retries = 3;  ///< Additional attempts after the first failure.
+};
+
+/// Decorator; wraps any Endpoint (typically a ThrottledEndpoint).
+class RetryingEndpoint : public Endpoint {
+ public:
+  /// `inner` is not owned and must outlive this object.
+  RetryingEndpoint(Endpoint* inner, RetryOptions options = {})
+      : inner_(inner), options_(options) {}
+
+  const std::string& name() const override { return inner_->name(); }
+  const std::string& base_iri() const override { return inner_->base_iri(); }
+
+  StatusOr<ResultSet> Select(const SelectQuery& query) override {
+    StatusOr<ResultSet> result = inner_->Select(query);
+    int attempts = 0;
+    while (!result.ok() && result.status().IsUnavailable() &&
+           attempts < options_.max_retries) {
+      ++attempts;
+      ++retries_performed_;
+      result = inner_->Select(query);
+    }
+    return result;
+  }
+
+  TermId EncodeTerm(const Term& term) override {
+    return inner_->EncodeTerm(term);
+  }
+  TermId LookupTerm(const Term& term) const override {
+    return inner_->LookupTerm(term);
+  }
+  StatusOr<Term> DecodeTerm(TermId id) const override {
+    return inner_->DecodeTerm(id);
+  }
+
+  const EndpointStats& stats() const override { return inner_->stats(); }
+  void ResetStats() override { inner_->ResetStats(); }
+
+  /// Transient failures absorbed so far.
+  uint64_t retries_performed() const { return retries_performed_; }
+
+ private:
+  Endpoint* inner_;  // Not owned.
+  RetryOptions options_;
+  uint64_t retries_performed_ = 0;
+};
+
+}  // namespace sofya
+
+#endif  // SOFYA_ENDPOINT_RETRYING_ENDPOINT_H_

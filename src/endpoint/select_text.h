@@ -1,0 +1,28 @@
+// Textual SELECT against an endpoint: parse + intern + execute.
+
+#ifndef SOFYA_ENDPOINT_SELECT_TEXT_H_
+#define SOFYA_ENDPOINT_SELECT_TEXT_H_
+
+#include <string_view>
+
+#include "endpoint/endpoint.h"
+#include "rdf/namespaces.h"
+#include "sparql/parser.h"
+
+namespace sofya {
+
+/// Parses `text` against `endpoint`'s term space and executes it there.
+inline StatusOr<ResultSet> SelectText(Endpoint* endpoint,
+                                      std::string_view text,
+                                      const PrefixMap* prefixes = nullptr) {
+  TermInterner intern = [endpoint](const Term& t) {
+    return endpoint->EncodeTerm(t);
+  };
+  SOFYA_ASSIGN_OR_RETURN(SelectQuery query,
+                         ParseSelectQuery(text, intern, prefixes));
+  return endpoint->Select(query);
+}
+
+}  // namespace sofya
+
+#endif  // SOFYA_ENDPOINT_SELECT_TEXT_H_

@@ -1,0 +1,56 @@
+#include "endpoint/throttled_endpoint.h"
+
+#include "util/string_util.h"
+
+namespace sofya {
+
+StatusOr<ResultSet> ThrottledEndpoint::Select(const SelectQuery& query) {
+  if (options_.query_budget != kNoLimit &&
+      queries_issued_ >= options_.query_budget) {
+    return Status::ResourceExhausted(
+        StrFormat("query budget of %llu exhausted on endpoint '%s'",
+                  static_cast<unsigned long long>(options_.query_budget),
+                  name().c_str()));
+  }
+  ++queries_issued_;
+  ++stats_.queries;
+
+  // Failure injection happens before any server work, like a dropped
+  // connection. The budget is still charged (the request was made).
+  if (options_.failure_rate > 0.0 && rng_.Bernoulli(options_.failure_rate)) {
+    ++stats_.failures_injected;
+    stats_.simulated_latency_ms += options_.base_latency_ms;
+    return Status::Unavailable(
+        StrFormat("injected endpoint failure on '%s'", name().c_str()));
+  }
+
+  // Apply the row cap by tightening LIMIT before the server sees the query
+  // (equivalent to server-side truncation, but cheaper to simulate).
+  SelectQuery capped = query;
+  if (options_.max_rows_per_query > 0 &&
+      (query.limit() == kNoLimit ||
+       query.limit() > options_.max_rows_per_query)) {
+    capped.Limit(options_.max_rows_per_query);
+  }
+
+  const EndpointStats before = inner_->stats();
+  auto result = inner_->Select(capped);
+  const EndpointStats after = inner_->stats();
+
+  stats_.index_probes += after.index_probes - before.index_probes;
+  if (!result.ok()) return result.status();
+
+  stats_.rows_returned += result->rows.size();
+  stats_.bytes_estimated += after.bytes_estimated - before.bytes_estimated;
+
+  double latency = options_.base_latency_ms +
+                   options_.per_row_latency_ms *
+                       static_cast<double>(result->rows.size());
+  if (options_.jitter_ms > 0.0) {
+    latency += rng_.NextDouble() * options_.jitter_ms;
+  }
+  stats_.simulated_latency_ms += latency;
+  return result;
+}
+
+}  // namespace sofya

@@ -1,0 +1,95 @@
+// ThrottledEndpoint: decorates another Endpoint with the operational limits
+// real public SPARQL endpoints impose — query budgets, result-size caps,
+// latency, and transient failures.
+//
+// The paper's motivation ("providers allow a limited number of queries …
+// do not allow downloading the dataset") is made concrete and testable here:
+// exceeding the budget yields ResourceExhausted, row caps silently truncate
+// (like DBpedia's 10000-row cap), and failure injection exercises the
+// samplers' error paths.
+
+#ifndef SOFYA_ENDPOINT_THROTTLED_ENDPOINT_H_
+#define SOFYA_ENDPOINT_THROTTLED_ENDPOINT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "endpoint/endpoint.h"
+#include "util/random.h"
+
+namespace sofya {
+
+/// Limits and models applied by ThrottledEndpoint.
+struct ThrottleOptions {
+  /// Maximum number of queries before ResourceExhausted; kNoLimit = none.
+  uint64_t query_budget = kNoLimit;
+
+  /// Hard cap on rows per response; results are truncated to this many rows
+  /// (mirrors e.g. DBpedia's public-endpoint result cap). 0 = no cap.
+  uint64_t max_rows_per_query = 0;
+
+  /// Simulated latency: per-query base cost plus per-returned-row cost.
+  double base_latency_ms = 50.0;
+  double per_row_latency_ms = 0.05;
+  /// Uniform jitter in [0, jitter_ms) added per query (deterministic, from
+  /// `seed`).
+  double jitter_ms = 10.0;
+
+  /// Probability a query fails with Unavailable (drawn per attempt).
+  double failure_rate = 0.0;
+
+  /// Seed for jitter/failure draws; fixed seed => reproducible traces.
+  uint64_t seed = 42;
+};
+
+/// Decorator enforcing ThrottleOptions on an inner endpoint.
+class ThrottledEndpoint : public Endpoint {
+ public:
+  /// Wraps `inner` (not owned; must outlive this object).
+  ThrottledEndpoint(Endpoint* inner, ThrottleOptions options)
+      : inner_(inner), options_(options), rng_(options.seed) {}
+
+  const std::string& name() const override { return inner_->name(); }
+
+  const std::string& base_iri() const override { return inner_->base_iri(); }
+
+  StatusOr<ResultSet> Select(const SelectQuery& query) override;
+
+  TermId EncodeTerm(const Term& term) override {
+    return inner_->EncodeTerm(term);
+  }
+  TermId LookupTerm(const Term& term) const override {
+    return inner_->LookupTerm(term);
+  }
+  StatusOr<Term> DecodeTerm(TermId id) const override {
+    return inner_->DecodeTerm(id);
+  }
+
+  const EndpointStats& stats() const override { return stats_; }
+  void ResetStats() override {
+    stats_ = EndpointStats();
+    queries_issued_ = 0;
+  }
+
+  /// Queries consumed from the budget so far.
+  uint64_t queries_issued() const { return queries_issued_; }
+
+  /// Remaining budget (kNoLimit when unbounded).
+  uint64_t remaining_budget() const {
+    if (options_.query_budget == kNoLimit) return kNoLimit;
+    return options_.query_budget > queries_issued_
+               ? options_.query_budget - queries_issued_
+               : 0;
+  }
+
+ private:
+  Endpoint* inner_;  // Not owned.
+  ThrottleOptions options_;
+  Rng rng_;
+  EndpointStats stats_;
+  uint64_t queries_issued_ = 0;
+};
+
+}  // namespace sofya
+
+#endif  // SOFYA_ENDPOINT_THROTTLED_ENDPOINT_H_

@@ -1,0 +1,13 @@
+#include "eval/metrics.h"
+
+#include "util/string_util.h"
+
+namespace sofya {
+
+std::string PrecisionRecall::ToString() const {
+  return StrFormat("P=%.2f R=%.2f F1=%.2f (tp=%zu fp=%zu fn=%zu)", precision(),
+                   recall(), f1(), true_positives, false_positives,
+                   false_negatives);
+}
+
+}  // namespace sofya

@@ -1,0 +1,49 @@
+// Precision / recall / F1 accounting.
+
+#ifndef SOFYA_EVAL_METRICS_H_
+#define SOFYA_EVAL_METRICS_H_
+
+#include <cstddef>
+#include <string>
+
+namespace sofya {
+
+/// Confusion counts for a binary decision task (accepted vs gold).
+struct PrecisionRecall {
+  size_t true_positives = 0;
+  size_t false_positives = 0;
+  size_t false_negatives = 0;
+
+  size_t accepted() const { return true_positives + false_positives; }
+  size_t gold() const { return true_positives + false_negatives; }
+
+  /// TP / (TP + FP); 0 when nothing was accepted.
+  double precision() const {
+    const size_t denom = true_positives + false_positives;
+    return denom == 0 ? 0.0
+                      : static_cast<double>(true_positives) /
+                            static_cast<double>(denom);
+  }
+
+  /// TP / (TP + FN); 0 when the gold set is empty.
+  double recall() const {
+    const size_t denom = true_positives + false_negatives;
+    return denom == 0 ? 0.0
+                      : static_cast<double>(true_positives) /
+                            static_cast<double>(denom);
+  }
+
+  /// Harmonic mean of precision and recall; 0 when both are 0.
+  double f1() const {
+    const double p = precision();
+    const double r = recall();
+    return (p + r) == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+  }
+
+  /// "P=0.95 R=0.99 F1=0.97 (tp=…, fp=…, fn=…)".
+  std::string ToString() const;
+};
+
+}  // namespace sofya
+
+#endif  // SOFYA_EVAL_METRICS_H_

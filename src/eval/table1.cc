@@ -1,0 +1,152 @@
+#include "eval/table1.h"
+
+#include <utility>
+
+#include "endpoint/local_endpoint.h"
+#include "synth/presets.h"
+#include "util/string_util.h"
+#include "util/table_writer.h"
+#include "util/timer.h"
+
+namespace sofya {
+
+namespace {
+
+/// Paper values for the reference column of the report.
+struct PaperRow {
+  const char* method;
+  double p12, f12, p21, f21;
+};
+constexpr PaperRow kPaperRows[] = {
+    {"pcaconf", 0.55, 0.58, 0.51, 0.48},
+    {"cwaconf", 0.56, 0.59, 0.55, 0.53},
+    {"UBS pcaconf", 0.95, 0.97, 0.91, 0.82},
+};
+
+}  // namespace
+
+StatusOr<Table1Report> RunTable1(const Table1Options& options) {
+  Table1Report report;
+  report.options = options;
+
+  SOFYA_ASSIGN_OR_RETURN(SynthWorld world,
+                         GenerateWorld(YagoDbpediaSpec(options.seed,
+                                                       options.scale)));
+  report.world_stats = world.stats;
+  report.world_description = DescribeWorld(world);
+
+  LocalEndpoint yago(world.kb1.get());
+  LocalEndpoint dbpd(world.kb2.get());
+
+  const std::vector<std::string> dbpd_heads =
+      world.truth.RelationsOf(world.kb2->name());
+  const std::vector<std::string> yago_heads =
+      world.truth.RelationsOf(world.kb1->name());
+
+  const std::vector<double> taus =
+      options.tau_grid.empty() ? DefaultTauGrid() : options.tau_grid;
+
+  WallTimer total_timer;
+
+  // ---- Baseline runs: accept-all, no UBS; re-threshold offline. --------
+  DirectionRunOptions baseline;
+  baseline.max_relations = options.max_relations;
+  baseline.aligner.threshold = 0.0;
+  baseline.aligner.use_ubs = false;
+  baseline.aligner.check_equivalence = false;
+  baseline.aligner.sampler.sample_size = options.sample_size;
+
+  SOFYA_ASSIGN_OR_RETURN(
+      DirectionRun base_12,
+      RunDirection(&yago, &dbpd, world.links, dbpd_heads, baseline));
+  SOFYA_ASSIGN_OR_RETURN(
+      DirectionRun base_21,
+      RunDirection(&dbpd, &yago, world.links, yago_heads, baseline));
+
+  for (const auto& [measure, label] :
+       {std::pair{ConfidenceMeasure::kPca, "pcaconf"},
+        std::pair{ConfidenceMeasure::kCwa, "cwaconf"}}) {
+    ScorePolicy policy;
+    policy.measure = measure;
+    SweepResult sweep =
+        SweepThreshold(base_12, base_21, world.truth, taus, policy);
+    Table1Row row;
+    row.method = label;
+    row.tau = sweep.best_tau;
+    const SweepPoint* best = sweep.best();
+    if (best != nullptr) {
+      row.yago_in_dbpd = best->dir1;
+      row.dbpd_in_yago = best->dir2;
+    }
+    report.rows.push_back(std::move(row));
+  }
+
+  // ---- UBS run: PCA at the selected τ*, counter-example pruning on. ----
+  const double pca_tau = report.rows[0].tau;
+  DirectionRunOptions ubs;
+  ubs.max_relations = options.max_relations;
+  ubs.aligner.measure = ConfidenceMeasure::kPca;
+  ubs.aligner.threshold = pca_tau;
+  ubs.aligner.use_ubs = true;
+  ubs.aligner.check_equivalence = false;
+  ubs.aligner.sampler.sample_size = options.sample_size;
+
+  SOFYA_ASSIGN_OR_RETURN(
+      DirectionRun ubs_12,
+      RunDirection(&yago, &dbpd, world.links, dbpd_heads, ubs));
+  SOFYA_ASSIGN_OR_RETURN(
+      DirectionRun ubs_21,
+      RunDirection(&dbpd, &yago, world.links, yago_heads, ubs));
+
+  Table1Row ubs_row;
+  ubs_row.method = "UBS pcaconf";
+  ubs_row.tau = pca_tau;
+  ScorePolicy ubs_policy;
+  ubs_policy.measure = ConfidenceMeasure::kPca;
+  ubs_policy.tau = pca_tau;
+  ubs_policy.apply_ubs = true;
+  ubs_row.yago_in_dbpd = ScoreSubsumptions(ubs_12, world.truth, ubs_policy);
+  ubs_row.dbpd_in_yago = ScoreSubsumptions(ubs_21, world.truth, ubs_policy);
+  report.rows.push_back(std::move(ubs_row));
+
+  report.total_wall_ms = total_timer.ElapsedMillis();
+  for (const DirectionRun* run : {&base_12, &base_21, &ubs_12, &ubs_21}) {
+    report.total_queries += run->candidate_queries + run->reference_queries;
+    report.total_rows_shipped += run->rows_shipped;
+  }
+  return report;
+}
+
+std::string Table1Report::ToAlignedTable() const {
+  TableWriter table({"method", "tau", "yago⊂dbpd P", "yago⊂dbpd F1",
+                     "dbpd⊂yago P", "dbpd⊂yago F1", "paper P/F1 | P/F1"});
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Table1Row& row = rows[i];
+    std::string paper = "-";
+    if (i < std::size(kPaperRows)) {
+      const PaperRow& p = kPaperRows[i];
+      paper = StrFormat("%.2f/%.2f | %.2f/%.2f", p.p12, p.f12, p.p21, p.f21);
+    }
+    table.AddRow({row.method, FormatDouble(row.tau, 2),
+                  FormatDouble(row.yago_in_dbpd.precision(), 2),
+                  FormatDouble(row.yago_in_dbpd.f1(), 2),
+                  FormatDouble(row.dbpd_in_yago.precision(), 2),
+                  FormatDouble(row.dbpd_in_yago.f1(), 2), paper});
+  }
+  return table.ToAligned();
+}
+
+std::string Table1Report::ToCsv() const {
+  TableWriter table({"method", "tau", "p_yago_in_dbpd", "f1_yago_in_dbpd",
+                     "p_dbpd_in_yago", "f1_dbpd_in_yago"});
+  for (const Table1Row& row : rows) {
+    table.AddRow({row.method, FormatDouble(row.tau, 2),
+                  FormatDouble(row.yago_in_dbpd.precision(), 4),
+                  FormatDouble(row.yago_in_dbpd.f1(), 4),
+                  FormatDouble(row.dbpd_in_yago.precision(), 4),
+                  FormatDouble(row.dbpd_in_yago.f1(), 4)});
+  }
+  return table.ToCsv();
+}
+
+}  // namespace sofya

@@ -1,0 +1,67 @@
+// The Table-1 experiment (paper Section 3): subsumption alignment between
+// the YAGO-like and DBpedia-like KBs, both directions, three methods:
+//
+//   pcaconf @ τ*   — Simple Sample Extraction baseline, PCA confidence;
+//   cwaconf @ τ*   — Simple Sample Extraction baseline, CWA confidence;
+//   UBS (pcaconf)  — baseline + unbiased counter-example pruning.
+//
+// τ* is selected per measure exactly as in the paper: the grid value that
+// maximizes mean F1 across both directions.
+
+#ifndef SOFYA_EVAL_TABLE1_H_
+#define SOFYA_EVAL_TABLE1_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "eval/experiment.h"
+#include "synth/world_generator.h"
+
+namespace sofya {
+
+/// Experiment configuration.
+struct Table1Options {
+  uint64_t seed = 2016;
+  /// World scale in (0,1]; 1.0 = full 92/1313-relation world.
+  double scale = 0.25;
+  /// Subjects per candidate relation (paper: 10).
+  size_t sample_size = 10;
+  /// Align only the first N reference relations per direction (0 = all).
+  size_t max_relations = 0;
+  /// τ grid for the selection protocol.
+  std::vector<double> tau_grid;  // Empty => DefaultTauGrid().
+};
+
+/// One row of the reproduced table.
+struct Table1Row {
+  std::string method;   ///< "pcaconf", "cwaconf", "UBS pcaconf".
+  double tau = 0.0;     ///< Selected τ*.
+  PrecisionRecall yago_in_dbpd;  ///< Direction kb1 ⊂ kb2.
+  PrecisionRecall dbpd_in_yago;  ///< Direction kb2 ⊂ kb1.
+};
+
+/// The full report.
+struct Table1Report {
+  Table1Options options;
+  WorldStats world_stats;
+  std::string world_description;
+  std::vector<Table1Row> rows;
+
+  /// Query-cost summary across all four direction runs.
+  uint64_t total_queries = 0;
+  uint64_t total_rows_shipped = 0;
+  double total_wall_ms = 0.0;
+
+  /// Renders the table in the paper's layout (with the paper's numbers as
+  /// a reference column).
+  std::string ToAlignedTable() const;
+  std::string ToCsv() const;
+};
+
+/// Runs the whole experiment.
+StatusOr<Table1Report> RunTable1(const Table1Options& options);
+
+}  // namespace sofya
+
+#endif  // SOFYA_EVAL_TABLE1_H_

@@ -1,0 +1,45 @@
+#include "mining/confidence.h"
+
+namespace sofya {
+
+const char* ConfidenceMeasureName(ConfidenceMeasure measure) {
+  switch (measure) {
+    case ConfidenceMeasure::kCwa:
+      return "cwaconf";
+    case ConfidenceMeasure::kPca:
+      return "pcaconf";
+  }
+  return "unknown";
+}
+
+double CwaConfidence(const EvidenceSet& evidence) {
+  if (evidence.total_pairs() == 0) return 0.0;
+  return static_cast<double>(evidence.support()) /
+         static_cast<double>(evidence.total_pairs());
+}
+
+double PcaConfidence(const EvidenceSet& evidence) {
+  if (evidence.pca_body_size() == 0) return 0.0;
+  return static_cast<double>(evidence.support()) /
+         static_cast<double>(evidence.pca_body_size());
+}
+
+double Confidence(ConfidenceMeasure measure, const EvidenceSet& evidence) {
+  switch (measure) {
+    case ConfidenceMeasure::kCwa:
+      return CwaConfidence(evidence);
+    case ConfidenceMeasure::kPca:
+      return PcaConfidence(evidence);
+  }
+  return 0.0;
+}
+
+void PopulateRuleStats(const EvidenceSet& evidence, Rule* rule) {
+  rule->support = evidence.support();
+  rule->body_size = evidence.total_pairs();
+  rule->pca_body_size = evidence.pca_body_size();
+  rule->cwa_conf = CwaConfidence(evidence);
+  rule->pca_conf = PcaConfidence(evidence);
+}
+
+}  // namespace sofya

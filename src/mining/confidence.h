@@ -1,0 +1,44 @@
+// The two ILP confidence measures of Section 2.1.
+//
+//   cwaconf(r' => r) = #{(x,y): r'(x,y) ∧ r(x,y)} / #{(x,y): r'(x,y)}   (1)
+//
+//   pcaconf(r' => r) = #{(x,y): r'(x,y) ∧ r(x,y)}
+//                      ----------------------------------------          (2)
+//                      #{(x,y): r'(x,y) ∧ ∃y'. r(x,y')}
+//
+// Both are undefined on an empty denominator; we return 0.0 there (an
+// unsupported rule is never accepted), and tests pin this edge.
+
+#ifndef SOFYA_MINING_CONFIDENCE_H_
+#define SOFYA_MINING_CONFIDENCE_H_
+
+#include "mining/evidence.h"
+#include "mining/rule.h"
+
+namespace sofya {
+
+/// Which confidence measure an aligner thresholds on.
+enum class ConfidenceMeasure {
+  kCwa,  ///< Closed-world (Eq. 1).
+  kPca,  ///< Partial-completeness (Eq. 2, AMIE).
+};
+
+/// Name for reports ("cwaconf" / "pcaconf").
+const char* ConfidenceMeasureName(ConfidenceMeasure measure);
+
+/// Eq. 1 over an evidence set; 0.0 when no pairs were observed.
+double CwaConfidence(const EvidenceSet& evidence);
+
+/// Eq. 2 over an evidence set; 0.0 when no subject had r-facts.
+double PcaConfidence(const EvidenceSet& evidence);
+
+/// The selected measure.
+double Confidence(ConfidenceMeasure measure, const EvidenceSet& evidence);
+
+/// Fills a Rule's statistics from an evidence set (support, sizes, both
+/// confidences).
+void PopulateRuleStats(const EvidenceSet& evidence, Rule* rule);
+
+}  // namespace sofya
+
+#endif  // SOFYA_MINING_CONFIDENCE_H_

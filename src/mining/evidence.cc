@@ -1,0 +1,13 @@
+#include "mining/evidence.h"
+
+namespace sofya {
+
+bool EvidenceSet::Add(const PairEvidence& evidence) {
+  if (!seen_.insert({evidence.x, evidence.y}).second) return false;
+  evidence_.push_back(evidence);
+  if (evidence.confirmed) ++support_;
+  if (evidence.x_has_r) ++pca_body_;
+  return true;
+}
+
+}  // namespace sofya

@@ -1,0 +1,26 @@
+#include "mining/rule.h"
+
+#include "util/string_util.h"
+
+namespace sofya {
+
+const char* AlignKindName(AlignKind kind) {
+  switch (kind) {
+    case AlignKind::kNone:
+      return "none";
+    case AlignKind::kSubsumption:
+      return "subsumption";
+    case AlignKind::kEquivalence:
+      return "equivalence";
+  }
+  return "unknown";
+}
+
+std::string Rule::ToString() const {
+  return StrFormat("%s(x,y) => %s(x,y)  [supp=%zu body=%zu pca_body=%zu "
+                   "cwa=%.3f pca=%.3f]",
+                   body.lexical().c_str(), head.lexical().c_str(), support,
+                   body_size, pca_body_size, cwa_conf, pca_conf);
+}
+
+}  // namespace sofya

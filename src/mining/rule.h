@@ -1,0 +1,45 @@
+// Rules and alignment kinds.
+//
+// SOFYA mines logical rules of the shape  kb1:r'(x,y) => kb2:r(x,y)
+// (subsumption) and equivalences r' <=> r as double subsumption.
+
+#ifndef SOFYA_MINING_RULE_H_
+#define SOFYA_MINING_RULE_H_
+
+#include <string>
+
+#include "rdf/term.h"
+
+namespace sofya {
+
+/// Semantic relationship between an ordered relation pair (r', r).
+enum class AlignKind {
+  kNone = 0,         ///< No subsumption r' => r.
+  kSubsumption = 1,  ///< r' => r holds (but not the converse).
+  kEquivalence = 2,  ///< r' => r and r => r'.
+};
+
+/// Name for reports.
+const char* AlignKindName(AlignKind kind);
+
+/// A candidate subsumption rule  body(x,y) => head(x,y), body in the
+/// candidate KB K', head in the reference KB K, with its mined statistics.
+struct Rule {
+  Term body;  ///< r' — relation IRI in K'.
+  Term head;  ///< r  — relation IRI in K.
+
+  /// Evidence counters (see mining/evidence.h for definitions).
+  size_t support = 0;    ///< #(x,y): r'(x,y) ∧ r(x,y)
+  size_t body_size = 0;  ///< #(x,y): r'(x,y)   (sampled)
+  size_t pca_body_size = 0;  ///< #(x,y): r'(x,y) ∧ ∃y'. r(x,y')
+
+  double cwa_conf = 0.0;  ///< Eq. 1.
+  double pca_conf = 0.0;  ///< Eq. 2.
+
+  /// Renders "r' => r  (supp=…, cwa=…, pca=…)" for logs.
+  std::string ToString() const;
+};
+
+}  // namespace sofya
+
+#endif  // SOFYA_MINING_RULE_H_

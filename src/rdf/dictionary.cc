@@ -1,0 +1,35 @@
+#include "rdf/dictionary.h"
+
+#include "util/string_util.h"
+
+namespace sofya {
+
+TermId Dictionary::Intern(const Term& term) {
+  auto it = index_.find(term);
+  if (it != index_.end()) return it->second;
+  terms_.push_back(term);
+  const TermId id = static_cast<TermId>(terms_.size());
+  index_.emplace(term, id);
+  return id;
+}
+
+TermId Dictionary::Lookup(const Term& term) const {
+  auto it = index_.find(term);
+  return it == index_.end() ? kNullTermId : it->second;
+}
+
+const Term& Dictionary::Decode(TermId id) const {
+  static const Term kInvalid = Term::Iri("urn:sofya:invalid-term-id");
+  if (!Contains(id)) return kInvalid;
+  return terms_[id - 1];
+}
+
+StatusOr<Term> Dictionary::TryDecode(TermId id) const {
+  if (!Contains(id)) {
+    return Status::NotFound(
+        StrFormat("term id %u not in dictionary (size %zu)", id, size()));
+  }
+  return terms_[id - 1];
+}
+
+}  // namespace sofya

@@ -1,0 +1,69 @@
+// Dictionary encoding: Term <-> TermId.
+//
+// Standard triple-store design (RDF-3X, HDT): every distinct term is interned
+// once and triples hold 32-bit ids, which makes index entries 12 bytes and
+// joins integer comparisons. Ids are dense, starting at 1 (0 is the
+// null/wildcard id).
+
+#ifndef SOFYA_RDF_DICTIONARY_H_
+#define SOFYA_RDF_DICTIONARY_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "rdf/term.h"
+#include "util/status.h"
+
+namespace sofya {
+
+/// Bidirectional Term <-> TermId map. Not thread-safe for writes.
+class Dictionary {
+ public:
+  Dictionary() = default;
+
+  /// Interns `term`, returning its id (existing id if already present).
+  TermId Intern(const Term& term);
+
+  /// Convenience: interns an IRI term.
+  TermId InternIri(std::string iri) { return Intern(Term::Iri(std::move(iri))); }
+
+  /// Convenience: interns a plain literal term.
+  TermId InternLiteral(std::string lexical) {
+    return Intern(Term::Literal(std::move(lexical)));
+  }
+
+  /// Looks up the id of `term`; kNullTermId if never interned.
+  TermId Lookup(const Term& term) const;
+
+  /// Looks up the id of an IRI; kNullTermId if never interned.
+  TermId LookupIri(const std::string& iri) const {
+    return Lookup(Term::Iri(iri));
+  }
+
+  /// True iff `id` is a valid interned id.
+  bool Contains(TermId id) const { return id >= 1 && id <= terms_.size(); }
+
+  /// Decodes an id; requires Contains(id).
+  const Term& Decode(TermId id) const;
+
+  /// Decodes, returning an error Status for invalid ids.
+  StatusOr<Term> TryDecode(TermId id) const;
+
+  /// Number of interned terms.
+  size_t size() const { return terms_.size(); }
+
+  bool empty() const { return terms_.empty(); }
+
+  /// All ids, 1..size(), for iteration.
+  TermId min_id() const { return 1; }
+  TermId max_id() const { return static_cast<TermId>(terms_.size()); }
+
+ private:
+  std::vector<Term> terms_;  // terms_[id - 1] is the term for `id`.
+  std::unordered_map<Term, TermId, TermHash> index_;
+};
+
+}  // namespace sofya
+
+#endif  // SOFYA_RDF_DICTIONARY_H_

@@ -1,0 +1,17 @@
+#include "rdf/knowledge_base.h"
+
+namespace sofya {
+
+std::string KnowledgeBase::RenderTriple(const Triple& t,
+                                        const PrefixMap& prefixes) const {
+  auto render = [&](TermId id) -> std::string {
+    if (!dict_.Contains(id)) return "?";
+    const Term& term = dict_.Decode(id);
+    if (term.is_iri()) return prefixes.Compact(term.lexical());
+    return term.ToNTriples();
+  };
+  return render(t.subject) + " " + render(t.predicate) + " " +
+         render(t.object);
+}
+
+}  // namespace sofya

@@ -1,0 +1,87 @@
+// KnowledgeBase: a named (Dictionary, TripleStore) pair.
+//
+// One KnowledgeBase corresponds to one dataset behind one endpoint (the
+// paper's K and K'). The dictionary is per-KB — ids are NOT comparable
+// across KBs; cross-KB identity goes through sameAs links (sofya::sameas).
+
+#ifndef SOFYA_RDF_KNOWLEDGE_BASE_H_
+#define SOFYA_RDF_KNOWLEDGE_BASE_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "rdf/dictionary.h"
+#include "rdf/namespaces.h"
+#include "rdf/triple_store.h"
+#include "util/status.h"
+
+namespace sofya {
+
+/// A named RDF dataset: dictionary + indexed triple store.
+class KnowledgeBase {
+ public:
+  /// Creates an empty KB. `name` is used in reports and query logs;
+  /// `base_iri` prefixes locally minted IRIs (e.g. "http://kb1.sofya.org/").
+  explicit KnowledgeBase(std::string name,
+                         std::string base_iri = "")
+      : name_(std::move(name)), base_iri_(std::move(base_iri)) {}
+
+  // Movable, not copyable (stores can be large).
+  KnowledgeBase(KnowledgeBase&&) = default;
+  KnowledgeBase& operator=(KnowledgeBase&&) = default;
+  KnowledgeBase(const KnowledgeBase&) = delete;
+  KnowledgeBase& operator=(const KnowledgeBase&) = delete;
+
+  const std::string& name() const { return name_; }
+  const std::string& base_iri() const { return base_iri_; }
+
+  Dictionary& dict() { return dict_; }
+  const Dictionary& dict() const { return dict_; }
+  TripleStore& store() { return store_; }
+  const TripleStore& store() const { return store_; }
+
+  /// Interns the three terms and inserts the triple. Returns true iff new.
+  bool AddTriple(const Term& s, const Term& p, const Term& o) {
+    return store_.Insert(dict_.Intern(s), dict_.Intern(p), dict_.Intern(o));
+  }
+
+  /// Adds 〈<s>, <p>, <o>〉 with all three terms IRIs relative to base_iri.
+  bool AddFact(const std::string& s_local, const std::string& p_local,
+               const std::string& o_local) {
+    return AddTriple(Term::Iri(base_iri_ + s_local),
+                     Term::Iri(base_iri_ + p_local),
+                     Term::Iri(base_iri_ + o_local));
+  }
+
+  /// Adds 〈<s>, <p>, "literal"〉 with s/p relative to base_iri.
+  bool AddLiteralFact(const std::string& s_local, const std::string& p_local,
+                      const std::string& literal) {
+    return AddTriple(Term::Iri(base_iri_ + s_local),
+                     Term::Iri(base_iri_ + p_local), Term::Literal(literal));
+  }
+
+  /// Id of the relation IRI `local` under base_iri (kNullTermId if absent).
+  TermId RelationId(const std::string& local) const {
+    return dict_.LookupIri(base_iri_ + local);
+  }
+
+  /// Decodes and renders a triple for logs: "kb1:a kb1:p kb1:b".
+  std::string RenderTriple(const Triple& t, const PrefixMap& prefixes) const;
+
+  /// All distinct predicate ids in the store.
+  std::vector<TermId> Relations() const { return store_.Predicates(); }
+
+  /// Total number of facts.
+  size_t size() const { return store_.size(); }
+
+ private:
+  std::string name_;
+  std::string base_iri_;
+  Dictionary dict_;
+  TripleStore store_;
+};
+
+}  // namespace sofya
+
+#endif  // SOFYA_RDF_KNOWLEDGE_BASE_H_

@@ -1,0 +1,68 @@
+#include "rdf/namespaces.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace sofya {
+
+PrefixMap PrefixMap::WithDefaults() {
+  PrefixMap map;
+  map.Bind("rdf", std::string(ns::kRdf));
+  map.Bind("rdfs", std::string(ns::kRdfs));
+  map.Bind("owl", std::string(ns::kOwl));
+  map.Bind("xsd", std::string(ns::kXsd));
+  map.Bind("kb1", std::string(ns::kKb1));
+  map.Bind("kb2", std::string(ns::kKb2));
+  return map;
+}
+
+void PrefixMap::Bind(std::string prefix, std::string ns_iri) {
+  by_prefix_[std::move(prefix)] = std::move(ns_iri);
+}
+
+StatusOr<std::string> PrefixMap::Expand(std::string_view curie) const {
+  const size_t colon = curie.find(':');
+  if (colon == std::string_view::npos) {
+    return Status::InvalidArgument(
+        StrFormat("not a CURIE (no ':'): '%s'", std::string(curie).c_str()));
+  }
+  const std::string prefix(curie.substr(0, colon));
+  auto it = by_prefix_.find(prefix);
+  if (it == by_prefix_.end()) {
+    return Status::NotFound(StrFormat("prefix '%s' not bound", prefix.c_str()));
+  }
+  return it->second + std::string(curie.substr(colon + 1));
+}
+
+std::string PrefixMap::Compact(std::string_view iri) const {
+  const std::string* best_ns = nullptr;
+  const std::string* best_prefix = nullptr;
+  for (const auto& [prefix, ns_iri] : by_prefix_) {
+    if (!StartsWith(iri, ns_iri)) continue;
+    if (best_ns == nullptr || ns_iri.size() > best_ns->size()) {
+      best_ns = &ns_iri;
+      best_prefix = &prefix;
+    }
+  }
+  if (best_ns == nullptr) return std::string(iri);
+  return *best_prefix + ":" + std::string(iri.substr(best_ns->size()));
+}
+
+StatusOr<std::string> PrefixMap::NamespaceOf(std::string_view prefix) const {
+  auto it = by_prefix_.find(std::string(prefix));
+  if (it == by_prefix_.end()) {
+    return Status::NotFound(
+        StrFormat("prefix '%s' not bound", std::string(prefix).c_str()));
+  }
+  return it->second;
+}
+
+std::vector<std::pair<std::string, std::string>> PrefixMap::Bindings() const {
+  std::vector<std::pair<std::string, std::string>> out(by_prefix_.begin(),
+                                                       by_prefix_.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace sofya

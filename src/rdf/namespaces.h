@@ -1,0 +1,68 @@
+// Prefix management: compact ("yago:wasBornIn") <-> full IRI forms.
+
+#ifndef SOFYA_RDF_NAMESPACES_H_
+#define SOFYA_RDF_NAMESPACES_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "util/status.h"
+
+namespace sofya {
+
+/// A registry of prefix -> namespace-IRI bindings.
+///
+/// Longest-namespace match wins when compacting (as in SPARQL serializers).
+class PrefixMap {
+ public:
+  PrefixMap() = default;
+
+  /// Creates a map preloaded with rdf:, rdfs:, owl:, xsd: and the synthetic
+  /// kb namespaces used throughout SOFYA's tests and examples.
+  static PrefixMap WithDefaults();
+
+  /// Binds `prefix` (without ':') to `ns_iri`. Rebinding a prefix replaces
+  /// the old binding.
+  void Bind(std::string prefix, std::string ns_iri);
+
+  /// Number of bindings.
+  size_t size() const { return by_prefix_.size(); }
+
+  /// Expands "pfx:local" to the full IRI. Inputs without ':' or with an
+  /// unknown prefix return InvalidArgument / NotFound.
+  StatusOr<std::string> Expand(std::string_view curie) const;
+
+  /// Compacts a full IRI to "pfx:local" using the longest bound namespace
+  /// that prefixes it; returns the IRI unchanged when nothing matches.
+  std::string Compact(std::string_view iri) const;
+
+  /// The namespace bound to `prefix`, or NotFound.
+  StatusOr<std::string> NamespaceOf(std::string_view prefix) const;
+
+  /// All bindings as (prefix, namespace) pairs, sorted by prefix.
+  std::vector<std::pair<std::string, std::string>> Bindings() const;
+
+ private:
+  std::unordered_map<std::string, std::string> by_prefix_;
+};
+
+/// Well-known namespace IRIs.
+namespace ns {
+inline constexpr std::string_view kRdf =
+    "http://www.w3.org/1999/02/22-rdf-syntax-ns#";
+inline constexpr std::string_view kRdfs = "http://www.w3.org/2000/01/rdf-schema#";
+inline constexpr std::string_view kOwl = "http://www.w3.org/2002/07/owl#";
+inline constexpr std::string_view kXsd = "http://www.w3.org/2001/XMLSchema#";
+/// owl:sameAs — the entity-equivalence predicate SOFYA consumes.
+inline constexpr std::string_view kOwlSameAs =
+    "http://www.w3.org/2002/07/owl#sameAs";
+/// Synthetic KB namespaces produced by sofya::synth.
+inline constexpr std::string_view kKb1 = "http://kb1.sofya.org/";
+inline constexpr std::string_view kKb2 = "http://kb2.sofya.org/";
+}  // namespace ns
+
+}  // namespace sofya
+
+#endif  // SOFYA_RDF_NAMESPACES_H_

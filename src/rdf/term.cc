@@ -1,0 +1,21 @@
+#include "rdf/term.h"
+
+#include "util/string_util.h"
+
+namespace sofya {
+
+std::string Term::ToNTriples() const {
+  if (is_iri()) {
+    if (is_blank()) return lexical_;  // _:bN is written bare.
+    return "<" + lexical_ + ">";
+  }
+  std::string out = "\"" + EscapeNTriples(lexical_) + "\"";
+  if (!language_.empty()) {
+    out += "@" + language_;
+  } else if (!datatype_.empty()) {
+    out += "^^<" + datatype_ + ">";
+  }
+  return out;
+}
+
+}  // namespace sofya

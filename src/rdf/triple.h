@@ -1,0 +1,78 @@
+// Dictionary-encoded triples and triple patterns.
+
+#ifndef SOFYA_RDF_TRIPLE_H_
+#define SOFYA_RDF_TRIPLE_H_
+
+#include <cstdint>
+#include <tuple>
+
+#include "rdf/term.h"
+#include "util/hash.h"
+
+namespace sofya {
+
+/// A fact 〈subject, predicate, object〉 in dictionary-encoded form.
+struct Triple {
+  TermId subject = kNullTermId;
+  TermId predicate = kNullTermId;
+  TermId object = kNullTermId;
+
+  Triple() = default;
+  Triple(TermId s, TermId p, TermId o)
+      : subject(s), predicate(p), object(o) {}
+
+  friend bool operator==(const Triple& a, const Triple& b) {
+    return a.subject == b.subject && a.predicate == b.predicate &&
+           a.object == b.object;
+  }
+  friend bool operator!=(const Triple& a, const Triple& b) {
+    return !(a == b);
+  }
+  friend bool operator<(const Triple& a, const Triple& b) {
+    return std::tie(a.subject, a.predicate, a.object) <
+           std::tie(b.subject, b.predicate, b.object);
+  }
+};
+
+/// Hash functor for Triple.
+struct TripleHash {
+  size_t operator()(const Triple& t) const {
+    // Pack into one 96-bit value via two mixes.
+    size_t seed = t.subject;
+    HashCombine(seed, t.predicate);
+    HashCombine(seed, t.object);
+    return seed;
+  }
+};
+
+/// A match pattern: kNullTermId (= 0) in a position means "any".
+struct TriplePattern {
+  TermId subject = kNullTermId;
+  TermId predicate = kNullTermId;
+  TermId object = kNullTermId;
+
+  TriplePattern() = default;
+  TriplePattern(TermId s, TermId p, TermId o)
+      : subject(s), predicate(p), object(o) {}
+
+  bool has_subject() const { return subject != kNullTermId; }
+  bool has_predicate() const { return predicate != kNullTermId; }
+  bool has_object() const { return object != kNullTermId; }
+
+  /// Number of bound positions (0..3).
+  int BoundCount() const {
+    return (has_subject() ? 1 : 0) + (has_predicate() ? 1 : 0) +
+           (has_object() ? 1 : 0);
+  }
+
+  /// True iff `t` matches this pattern.
+  bool Matches(const Triple& t) const {
+    return (!has_subject() || subject == t.subject) &&
+           (!has_predicate() || predicate == t.predicate) &&
+           (!has_object() || object == t.object);
+  }
+};
+
+}  // namespace sofya
+
+#endif  // SOFYA_RDF_TRIPLE_H_

@@ -1,0 +1,189 @@
+#include "rdf/triple_store.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace sofya {
+
+namespace {
+constexpr TermId kMaxTermId = std::numeric_limits<TermId>::max();
+}  // namespace
+
+bool TripleStore::Insert(const Triple& t) {
+  const bool inserted = set_.insert(t).second;
+  if (inserted) {
+    spo_.push_back(t);
+    pos_.push_back(t);
+    osp_.push_back(t);
+    dirty_ = true;
+    stats_cache_.clear();
+  }
+  return inserted;
+}
+
+bool TripleStore::Erase(const Triple& t) {
+  if (set_.erase(t) == 0) return false;
+  // Erase from the append vectors; defer re-sorting.
+  auto erase_one = [&](std::vector<Triple>& v) {
+    auto it = std::find(v.begin(), v.end(), t);
+    if (it != v.end()) {
+      *it = v.back();
+      v.pop_back();
+    }
+  };
+  erase_one(spo_);
+  erase_one(pos_);
+  erase_one(osp_);
+  dirty_ = true;
+  stats_cache_.clear();
+  return true;
+}
+
+void TripleStore::EnsureSorted() const {
+  if (!dirty_) return;
+  std::sort(spo_.begin(), spo_.end(), SpoLess());
+  std::sort(pos_.begin(), pos_.end(), PosLess());
+  std::sort(osp_.begin(), osp_.end(), OspLess());
+  dirty_ = false;
+}
+
+std::span<const Triple> TripleStore::Range(
+    const TriplePattern& pattern) const {
+  EnsureSorted();
+  const bool s = pattern.has_subject();
+  const bool p = pattern.has_predicate();
+  const bool o = pattern.has_object();
+
+  // Select the index whose ordering makes the bound positions a prefix, then
+  // binary-search for the [lo, hi) range of that prefix.
+  if (s && !o) {
+    // (s ? ?) or (s p ?): SPO, prefix (s) or (s, p).
+    const Triple lo(pattern.subject, p ? pattern.predicate : 0,
+                    kNullTermId);
+    const Triple hi(pattern.subject, p ? pattern.predicate : kMaxTermId,
+                    kMaxTermId);
+    auto first = std::lower_bound(spo_.begin(), spo_.end(), lo, SpoLess());
+    auto last = std::upper_bound(spo_.begin(), spo_.end(), hi, SpoLess());
+    return {spo_.data() + (first - spo_.begin()),
+            static_cast<size_t>(last - first)};
+  }
+  if (p && !s) {
+    // (? p ?) or (? p o): POS, prefix (p) or (p, o).
+    const Triple lo(kNullTermId, pattern.predicate, o ? pattern.object : 0);
+    const Triple hi(kMaxTermId, pattern.predicate,
+                    o ? pattern.object : kMaxTermId);
+    auto first = std::lower_bound(pos_.begin(), pos_.end(), lo, PosLess());
+    auto last = std::upper_bound(pos_.begin(), pos_.end(), hi, PosLess());
+    return {pos_.data() + (first - pos_.begin()),
+            static_cast<size_t>(last - first)};
+  }
+  if (o) {
+    // (? ? o) or (s ? o): OSP, prefix (o) or (o, s). (s p o) also lands
+    // here when all three are bound; the range then has width <= 1 * preds.
+    const Triple lo(s ? pattern.subject : 0, kNullTermId, pattern.object);
+    const Triple hi(s ? pattern.subject : kMaxTermId, kMaxTermId,
+                    pattern.object);
+    auto first = std::lower_bound(osp_.begin(), osp_.end(), lo, OspLess());
+    auto last = std::upper_bound(osp_.begin(), osp_.end(), hi, OspLess());
+    return {osp_.data() + (first - osp_.begin()),
+            static_cast<size_t>(last - first)};
+  }
+  // (? ? ?): full scan over SPO.
+  return {spo_.data(), spo_.size()};
+}
+
+std::vector<Triple> TripleStore::Match(const TriplePattern& pattern) const {
+  std::vector<Triple> out;
+  for (const Triple& t : Range(pattern)) {
+    if (pattern.Matches(t)) out.push_back(t);
+  }
+  return out;
+}
+
+size_t TripleStore::CountMatches(const TriplePattern& pattern) const {
+  // For fully-prefix patterns the residual Matches() check is a no-op, but
+  // (s p o) routed through OSP needs the predicate filter.
+  size_t n = 0;
+  for (const Triple& t : Range(pattern)) {
+    if (pattern.Matches(t)) ++n;
+  }
+  return n;
+}
+
+void TripleStore::ForEachMatch(
+    const TriplePattern& pattern,
+    const std::function<bool(const Triple&)>& fn) const {
+  for (const Triple& t : Range(pattern)) {
+    if (!pattern.Matches(t)) continue;
+    if (!fn(t)) return;
+  }
+}
+
+std::vector<TermId> TripleStore::Objects(TermId s, TermId p) const {
+  std::vector<TermId> out;
+  for (const Triple& t : Range(TriplePattern(s, p, kNullTermId))) {
+    out.push_back(t.object);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::vector<TermId> TripleStore::Subjects(TermId p, TermId o) const {
+  std::vector<TermId> out;
+  for (const Triple& t : Range(TriplePattern(kNullTermId, p, o))) {
+    out.push_back(t.subject);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::vector<TermId> TripleStore::SubjectsOf(TermId p) const {
+  std::vector<TermId> out;
+  for (const Triple& t : Range(TriplePattern(kNullTermId, p, kNullTermId))) {
+    out.push_back(t.subject);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::vector<TermId> TripleStore::Predicates() const {
+  EnsureSorted();
+  std::vector<TermId> out;
+  TermId last = kNullTermId;
+  for (const Triple& t : pos_) {
+    if (t.predicate != last) {
+      out.push_back(t.predicate);
+      last = t.predicate;
+    }
+  }
+  return out;
+}
+
+PredicateStats TripleStore::StatsFor(TermId p) const {
+  EnsureSorted();
+  auto it = stats_cache_.find(p);
+  if (it != stats_cache_.end()) return it->second;
+
+  PredicateStats stats;
+  std::vector<TermId> subjects;
+  std::vector<TermId> objects;
+  for (const Triple& t : Range(TriplePattern(kNullTermId, p, kNullTermId))) {
+    ++stats.facts;
+    subjects.push_back(t.subject);
+    objects.push_back(t.object);
+  }
+  std::sort(subjects.begin(), subjects.end());
+  subjects.erase(std::unique(subjects.begin(), subjects.end()),
+                 subjects.end());
+  std::sort(objects.begin(), objects.end());
+  objects.erase(std::unique(objects.begin(), objects.end()), objects.end());
+  stats.distinct_subjects = subjects.size();
+  stats.distinct_objects = objects.size();
+  stats_cache_.emplace(p, stats);
+  return stats;
+}
+
+}  // namespace sofya

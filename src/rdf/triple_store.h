@@ -1,0 +1,144 @@
+// In-memory dictionary-encoded triple store with three orderings.
+//
+// Design (mini-hexastore): a hash set gives O(1) membership and dedup; three
+// sorted index vectors — SPO, POS, OSP — give contiguous ranges for every
+// bound-prefix pattern. Indexes are rebuilt lazily after writes (bulk-load
+// friendly: N inserts + first query costs one sort, like an LSM flush).
+//
+// Every access pattern SOFYA's samplers need maps to a contiguous range:
+//   (s ? ?) (s p ?)          -> SPO
+//   (? p ?) (? p o)          -> POS
+//   (? ? o) (s ? o)          -> OSP
+//   (s p o)                  -> hash set
+//   (? ? ?)                  -> SPO full scan
+
+#ifndef SOFYA_RDF_TRIPLE_STORE_H_
+#define SOFYA_RDF_TRIPLE_STORE_H_
+
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "rdf/triple.h"
+
+namespace sofya {
+
+/// Aggregate statistics for one predicate, used for candidate ranking and
+/// inverse-relation decisions (AMIE-style functionality).
+struct PredicateStats {
+  size_t facts = 0;              ///< Number of triples with this predicate.
+  size_t distinct_subjects = 0;  ///< |{s : p(s,o)}|
+  size_t distinct_objects = 0;   ///< |{o : p(s,o)}|
+
+  /// fun(p) = #distinct subjects / #facts; 1.0 means p is a function of s.
+  double functionality() const {
+    return facts == 0 ? 0.0
+                      : static_cast<double>(distinct_subjects) /
+                            static_cast<double>(facts);
+  }
+  /// fun(p^-1).
+  double inverse_functionality() const {
+    return facts == 0 ? 0.0
+                      : static_cast<double>(distinct_objects) /
+                            static_cast<double>(facts);
+  }
+};
+
+/// The store. Writes invalidate indexes; the first subsequent read re-sorts.
+/// Reads are const and thread-compatible once indexes are fresh.
+class TripleStore {
+ public:
+  TripleStore() = default;
+
+  /// Inserts a triple. Returns true iff it was not already present.
+  bool Insert(const Triple& t);
+
+  /// Inserts 〈s,p,o〉 by ids.
+  bool Insert(TermId s, TermId p, TermId o) { return Insert(Triple(s, p, o)); }
+
+  /// Removes a triple. Returns true iff it was present.
+  bool Erase(const Triple& t);
+
+  /// True iff the exact triple is present. O(1).
+  bool Contains(const Triple& t) const { return set_.count(t) > 0; }
+  bool Contains(TermId s, TermId p, TermId o) const {
+    return Contains(Triple(s, p, o));
+  }
+
+  /// Number of triples.
+  size_t size() const { return set_.size(); }
+  bool empty() const { return set_.empty(); }
+
+  /// All triples matching `pattern`, materialized in index order.
+  std::vector<Triple> Match(const TriplePattern& pattern) const;
+
+  /// Number of matches without materializing.
+  size_t CountMatches(const TriplePattern& pattern) const;
+
+  /// Streams matches to `fn`; stop early by returning false from `fn`.
+  void ForEachMatch(const TriplePattern& pattern,
+                    const std::function<bool(const Triple&)>& fn) const;
+
+  /// Distinct objects o with 〈s,p,o〉 in the store.
+  std::vector<TermId> Objects(TermId s, TermId p) const;
+
+  /// Distinct subjects s with 〈s,p,o〉 in the store.
+  std::vector<TermId> Subjects(TermId p, TermId o) const;
+
+  /// Distinct subjects of predicate `p` (in ascending id order).
+  std::vector<TermId> SubjectsOf(TermId p) const;
+
+  /// All distinct predicates present (ascending id order).
+  std::vector<TermId> Predicates() const;
+
+  /// Statistics for predicate `p` (zeroes if absent). Cached until the next
+  /// write.
+  PredicateStats StatsFor(TermId p) const;
+
+  /// Forces index (re)construction now; useful before timed sections.
+  void EnsureIndexed() const { EnsureSorted(); }
+
+ private:
+  // Orderings for the three index vectors.
+  struct SpoLess {
+    bool operator()(const Triple& a, const Triple& b) const {
+      if (a.subject != b.subject) return a.subject < b.subject;
+      if (a.predicate != b.predicate) return a.predicate < b.predicate;
+      return a.object < b.object;
+    }
+  };
+  struct PosLess {
+    bool operator()(const Triple& a, const Triple& b) const {
+      if (a.predicate != b.predicate) return a.predicate < b.predicate;
+      if (a.object != b.object) return a.object < b.object;
+      return a.subject < b.subject;
+    }
+  };
+  struct OspLess {
+    bool operator()(const Triple& a, const Triple& b) const {
+      if (a.object != b.object) return a.object < b.object;
+      if (a.subject != b.subject) return a.subject < b.subject;
+      return a.predicate < b.predicate;
+    }
+  };
+
+  void EnsureSorted() const;
+
+  /// Contiguous index range for `pattern` (after EnsureSorted).
+  std::span<const Triple> Range(const TriplePattern& pattern) const;
+
+  std::unordered_set<Triple, TripleHash> set_;
+
+  mutable bool dirty_ = false;
+  mutable std::vector<Triple> spo_;
+  mutable std::vector<Triple> pos_;
+  mutable std::vector<Triple> osp_;
+  mutable std::unordered_map<TermId, PredicateStats> stats_cache_;
+};
+
+}  // namespace sofya
+
+#endif  // SOFYA_RDF_TRIPLE_STORE_H_

@@ -1,0 +1,87 @@
+#include "sameas/sameas_index.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace sofya {
+
+size_t SameAsIndex::InternLocal(const Term& t) {
+  auto it = ids_.find(t);
+  if (it != ids_.end()) return it->second;
+  const size_t id = terms_.size();
+  terms_.push_back(t);
+  ids_.emplace(t, id);
+  uf_.Grow(terms_.size());
+  groups_dirty_ = true;
+  return id;
+}
+
+void SameAsIndex::AddLink(const Term& a, const Term& b) {
+  const size_t ia = InternLocal(a);
+  const size_t ib = InternLocal(b);
+  if (uf_.Union(ia, ib)) ++num_links_;
+  groups_dirty_ = true;
+}
+
+bool SameAsIndex::AreEquivalent(const Term& a, const Term& b) const {
+  auto ia = ids_.find(a);
+  auto ib = ids_.find(b);
+  if (ia == ids_.end() || ib == ids_.end()) return false;
+  return uf_.Connected(ia->second, ib->second);
+}
+
+void SameAsIndex::EnsureGroups() const {
+  if (!groups_dirty_) return;
+  groups_.clear();
+  for (size_t i = 0; i < terms_.size(); ++i) {
+    groups_[uf_.Find(i)].push_back(i);
+  }
+  groups_dirty_ = false;
+}
+
+std::vector<Term> SameAsIndex::EquivalentsOf(const Term& x) const {
+  auto it = ids_.find(x);
+  if (it == ids_.end()) return {};
+  EnsureGroups();
+  const auto& members = groups_.at(uf_.Find(it->second));
+  std::vector<Term> out;
+  out.reserve(members.size());
+  for (size_t id : members) {
+    if (id != it->second) out.push_back(terms_[id]);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+StatusOr<Term> SameAsIndex::TranslateTo(const Term& x,
+                                        std::string_view target_prefix) const {
+  auto it = ids_.find(x);
+  if (it == ids_.end()) {
+    return Status::NotFound("term has no sameAs links");
+  }
+  EnsureGroups();
+  const auto& members = groups_.at(uf_.Find(it->second));
+  const Term* best = nullptr;
+  for (size_t id : members) {
+    if (id == it->second) continue;
+    const Term& candidate = terms_[id];
+    if (!candidate.is_iri() || !StartsWith(candidate.lexical(), target_prefix)) {
+      continue;
+    }
+    if (best == nullptr || candidate < *best) best = &candidate;
+  }
+  // The term itself may already be in the target namespace.
+  if (best == nullptr && x.is_iri() &&
+      StartsWith(x.lexical(), target_prefix)) {
+    return x;
+  }
+  if (best == nullptr) {
+    return Status::NotFound(
+        StrFormat("no equivalent of '%s' under prefix '%s'",
+                  x.lexical().c_str(), std::string(target_prefix).c_str()));
+  }
+  return *best;
+}
+
+}  // namespace sofya

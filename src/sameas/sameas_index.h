@@ -1,0 +1,73 @@
+// SameAsIndex: the set E of cross-KB entity equivalences.
+//
+// The paper assumes E (owl:sameAs links) is given alongside the two KBs.
+// The index stores links between *terms* (IRIs from either KB), groups them
+// into equivalence classes with union-find, and answers the two questions
+// the samplers ask: "are x1 and x2 the same real-world entity?" and
+// "translate x1 into the other KB's identifier space".
+
+#ifndef SOFYA_SAMEAS_SAMEAS_INDEX_H_
+#define SOFYA_SAMEAS_SAMEAS_INDEX_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "rdf/term.h"
+#include "sameas/union_find.h"
+#include "util/status.h"
+
+namespace sofya {
+
+/// Equivalence classes over entity IRIs (terms interned locally; ids here
+/// are private to the index and unrelated to any KB dictionary).
+class SameAsIndex {
+ public:
+  SameAsIndex() = default;
+
+  /// Records a ≡ b (owl:sameAs is symmetric/transitive: classes merge).
+  void AddLink(const Term& a, const Term& b);
+
+  /// Number of AddLink calls that actually merged two classes.
+  size_t num_links() const { return num_links_; }
+
+  /// Number of distinct terms seen.
+  size_t num_terms() const { return terms_.size(); }
+
+  /// True iff both terms are known and in the same class.
+  bool AreEquivalent(const Term& a, const Term& b) const;
+
+  /// All terms equivalent to `x`, excluding x itself. Empty when x is
+  /// unknown or singleton.
+  std::vector<Term> EquivalentsOf(const Term& x) const;
+
+  /// Translates `x` to an equivalent term whose IRI begins with
+  /// `target_prefix` (the target KB's base IRI). NotFound when no linked
+  /// identifier exists in that namespace. When several exist (noisy link
+  /// sets), the lexicographically smallest is returned for determinism.
+  StatusOr<Term> TranslateTo(const Term& x,
+                             std::string_view target_prefix) const;
+
+  /// True iff `x` has any equivalent in the `target_prefix` namespace.
+  bool HasTranslationTo(const Term& x, std::string_view target_prefix) const {
+    return TranslateTo(x, target_prefix).ok();
+  }
+
+ private:
+  size_t InternLocal(const Term& t);
+  void EnsureGroups() const;
+
+  std::vector<Term> terms_;
+  std::unordered_map<Term, size_t, TermHash> ids_;
+  UnionFind uf_;
+  size_t num_links_ = 0;
+
+  // root -> member local-ids, rebuilt lazily.
+  mutable bool groups_dirty_ = false;
+  mutable std::unordered_map<size_t, std::vector<size_t>> groups_;
+};
+
+}  // namespace sofya
+
+#endif  // SOFYA_SAMEAS_SAMEAS_INDEX_H_

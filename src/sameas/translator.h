@@ -1,0 +1,49 @@
+// CrossKbTranslator: direction-fixed entity translation through sameAs.
+//
+// Wraps a SameAsIndex with a target namespace so samplers can say
+// "translate this K' entity into K" without repeating prefix plumbing.
+// Literals pass through unchanged (they are matched by similarity, not
+// identity — see similarity/literal_matcher.h).
+
+#ifndef SOFYA_SAMEAS_TRANSLATOR_H_
+#define SOFYA_SAMEAS_TRANSLATOR_H_
+
+#include <string>
+#include <utility>
+
+#include "rdf/term.h"
+#include "sameas/sameas_index.h"
+#include "util/status.h"
+
+namespace sofya {
+
+/// Translates terms into a fixed target KB namespace.
+class CrossKbTranslator {
+ public:
+  /// `links` must outlive the translator. `target_prefix` is the target
+  /// KB's base IRI (e.g. "http://kb2.sofya.org/").
+  CrossKbTranslator(const SameAsIndex* links, std::string target_prefix)
+      : links_(links), target_prefix_(std::move(target_prefix)) {}
+
+  const std::string& target_prefix() const { return target_prefix_; }
+
+  /// IRIs translate through sameAs; literals are returned unchanged.
+  StatusOr<Term> Translate(const Term& t) const {
+    if (t.is_literal()) return t;
+    return links_->TranslateTo(t, target_prefix_);
+  }
+
+  /// True iff Translate would succeed.
+  bool CanTranslate(const Term& t) const {
+    if (t.is_literal()) return true;
+    return links_->HasTranslationTo(t, target_prefix_);
+  }
+
+ private:
+  const SameAsIndex* links_;  // Not owned.
+  std::string target_prefix_;
+};
+
+}  // namespace sofya
+
+#endif  // SOFYA_SAMEAS_TRANSLATOR_H_

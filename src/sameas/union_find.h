@@ -1,0 +1,63 @@
+// Disjoint-set (union-find) with path halving and union by size.
+
+#ifndef SOFYA_SAMEAS_UNION_FIND_H_
+#define SOFYA_SAMEAS_UNION_FIND_H_
+
+#include <cstddef>
+#include <numeric>
+#include <vector>
+
+namespace sofya {
+
+/// Union-find over dense indices [0, n). Grows on demand.
+class UnionFind {
+ public:
+  UnionFind() = default;
+  explicit UnionFind(size_t n) { Grow(n); }
+
+  /// Ensures indices [0, n) exist.
+  void Grow(size_t n) {
+    const size_t old = parent_.size();
+    if (n <= old) return;
+    parent_.resize(n);
+    size_.resize(n, 1);
+    std::iota(parent_.begin() + static_cast<ptrdiff_t>(old), parent_.end(),
+              old);
+  }
+
+  size_t size() const { return parent_.size(); }
+
+  /// Representative of x's set (with path halving).
+  size_t Find(size_t x) const {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  /// Merges the sets of a and b; returns false if already merged.
+  bool Union(size_t a, size_t b) {
+    size_t ra = Find(a);
+    size_t rb = Find(b);
+    if (ra == rb) return false;
+    if (size_[ra] < size_[rb]) std::swap(ra, rb);
+    parent_[rb] = ra;
+    size_[ra] += size_[rb];
+    return true;
+  }
+
+  /// True iff a and b are in the same set.
+  bool Connected(size_t a, size_t b) const { return Find(a) == Find(b); }
+
+  /// Size of the set containing x.
+  size_t SetSize(size_t x) const { return size_[Find(x)]; }
+
+ private:
+  mutable std::vector<size_t> parent_;  // Mutable: path halving in Find.
+  std::vector<size_t> size_;
+};
+
+}  // namespace sofya
+
+#endif  // SOFYA_SAMEAS_UNION_FIND_H_

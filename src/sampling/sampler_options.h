@@ -1,0 +1,71 @@
+// Shared sampler configuration.
+
+#ifndef SOFYA_SAMPLING_SAMPLER_OPTIONS_H_
+#define SOFYA_SAMPLING_SAMPLER_OPTIONS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "similarity/literal_matcher.h"
+
+namespace sofya {
+
+/// Options shared by SimpleSampler and UnbiasedSampler.
+struct SamplerOptions {
+  /// Number of sampled subject entities per candidate relation (the paper
+  /// evaluates with 10).
+  size_t sample_size = 10;
+
+  /// How many candidate-relation facts to scan (one paged query) when
+  /// searching for subjects with usable sameAs links. Scanned facts are
+  /// shuffled with `seed` to make the selection pseudo-random, then
+  /// subjects are taken until `sample_size` qualify.
+  size_t scan_limit = 500;
+
+  /// Safety cap on facts fetched per sampled subject.
+  size_t facts_per_subject_cap = 64;
+
+  /// Page size for paged endpoint scans.
+  size_t page_size = 250;
+
+  /// Shuffle seed (combined with the relation IRI so distinct relations
+  /// draw distinct pseudo-random subject sets).
+  uint64_t seed = 17;
+
+  /// Matching policy for entity-literal relations.
+  LiteralMatcherOptions literal_options;
+};
+
+/// Options specific to the unbiased (UBS) pass.
+struct UbsOptions {
+  /// How many disagreeing-object rows to request per candidate pair.
+  size_t probe_limit = 28;
+
+  /// Contradictions needed to prune a wrong subsumption. The paper says
+  /// "to eliminate a wrong relation we need only one case" (Section 3);
+  /// with inter-KB fact noise a single contradiction over-prunes, so the
+  /// default demands corroboration. Set to 1 (and ratio to 0) for the
+  /// paper's literal rule (ablated in bench E5).
+  size_t min_contradictions = 2;
+
+  /// Support-relative corroboration: pruning additionally requires
+  /// contradictions >= ratio * rule support. A rule confirmed by 25 pairs
+  /// is not killed by 2 noisy disagreements; a rule with support 5 is.
+  double contradiction_support_ratio = 0.3;
+
+  /// Strategy toggles (for the ablation experiment E5).
+  bool enable_equivalence_filter = true;  ///< Strategy A (case 1).
+  bool enable_subsumption_filter = true;  ///< Strategy B (case 2).
+
+  /// Mirrored probe: when a head has fewer than two surviving candidates,
+  /// contrast sibling relations on the *reference* side instead (same
+  /// disagreement logic with the KB roles swapped). This covers the
+  /// broad=>narrow traps the candidate-side pair probe cannot see.
+  bool enable_reference_siblings = true;
+  /// Reference-sibling discovery budget (reverse candidate discovery).
+  size_t reference_sibling_limit = 4;
+};
+
+}  // namespace sofya
+
+#endif  // SOFYA_SAMPLING_SAMPLER_OPTIONS_H_

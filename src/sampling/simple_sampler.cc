@@ -1,0 +1,184 @@
+#include "sampling/simple_sampler.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "endpoint/paged_select.h"
+#include "endpoint/query_forms.h"
+#include "util/hash.h"
+#include "util/random.h"
+#include "util/string_util.h"
+
+namespace sofya {
+
+namespace {
+
+/// Seed derivation: distinct relations shuffle differently under one base
+/// seed, deterministically.
+uint64_t SeedFor(uint64_t base_seed, const Term& relation) {
+  const std::string& key = relation.lexical();
+  return base_seed ^ Fnv1a(key.data(), key.size());
+}
+
+}  // namespace
+
+SimpleSampler::SimpleSampler(Endpoint* candidate_kb, Endpoint* reference_kb,
+                             const CrossKbTranslator* to_reference,
+                             SamplerOptions options)
+    : candidate_kb_(candidate_kb),
+      reference_kb_(reference_kb),
+      to_reference_(to_reference),
+      options_(options),
+      literal_matcher_(options.literal_options) {}
+
+StatusOr<RelationKind> SimpleSampler::ProbeKind(const Term& relation,
+                                                size_t probe_facts) {
+  const TermId rel_id = candidate_kb_->LookupTerm(relation);
+  if (rel_id == kNullTermId) return RelationKind::kEmpty;
+  SOFYA_ASSIGN_OR_RETURN(
+      ResultSet rows,
+      candidate_kb_->Select(queries::FactsOfPredicate(rel_id, probe_facts)));
+  if (rows.rows.empty()) return RelationKind::kEmpty;
+  size_t literals = 0;
+  for (const auto& row : rows.rows) {
+    SOFYA_ASSIGN_OR_RETURN(Term object, candidate_kb_->DecodeTerm(row[1]));
+    if (object.is_literal()) ++literals;
+  }
+  // Majority vote: mixed-object relations (rare, dirty data) take the
+  // dominant kind.
+  return literals * 2 >= rows.rows.size() ? RelationKind::kEntityLiteral
+                                          : RelationKind::kEntityEntity;
+}
+
+StatusOr<SimpleSample> SimpleSampler::DrawSample(const Term& r_sub) {
+  SimpleSample sample;
+  const TermId rel_id = candidate_kb_->LookupTerm(r_sub);
+  if (rel_id == kNullTermId) return sample;  // Unknown relation: empty.
+
+  SOFYA_ASSIGN_OR_RETURN(RelationKind kind, ProbeKind(r_sub));
+  sample.kind = kind;
+  if (kind == RelationKind::kEmpty) return sample;
+  const bool literal_relation = kind == RelationKind::kEntityLiteral;
+
+  // Step 1: scan window of r_sub facts.
+  PagedSelectOptions page_options;
+  page_options.page_size = options_.page_size;
+  SOFYA_ASSIGN_OR_RETURN(
+      ResultSet window,
+      PagedSelect(candidate_kb_,
+                  queries::FactsOfPredicate(rel_id, options_.scan_limit),
+                  page_options));
+  sample.facts_scanned = window.rows.size();
+
+  // Distinct subjects in first-seen order, then shuffled (pseudo-random).
+  std::vector<TermId> subject_ids;
+  std::unordered_set<TermId> seen_subjects;
+  for (const auto& row : window.rows) {
+    if (seen_subjects.insert(row[0]).second) subject_ids.push_back(row[0]);
+  }
+  Rng rng(SeedFor(options_.seed, r_sub));
+  Shuffle(rng, subject_ids);
+
+  // Steps 2-3: qualify subjects and translate their facts.
+  for (TermId subject_id : subject_ids) {
+    if (sample.subjects.size() >= options_.sample_size) break;
+
+    SOFYA_ASSIGN_OR_RETURN(Term x1, candidate_kb_->DecodeTerm(subject_id));
+    auto x2 = to_reference_->Translate(x1);
+    if (!x2.ok()) {
+      ++sample.subjects_skipped;  // Subject itself has no link.
+      continue;
+    }
+
+    // Fetch all r_sub facts of this subject (bounded).
+    SelectQuery q = queries::ObjectsOf(subject_id, rel_id);
+    q.Limit(options_.facts_per_subject_cap);
+    SOFYA_ASSIGN_OR_RETURN(ResultSet facts, candidate_kb_->Select(q));
+
+    SampledSubject entry;
+    entry.subject_candidate = x1;
+    entry.subject_reference = std::move(x2).value();
+    for (const auto& row : facts.rows) {
+      SOFYA_ASSIGN_OR_RETURN(Term y1, candidate_kb_->DecodeTerm(row[0]));
+      if (literal_relation) {
+        if (!y1.is_literal()) continue;  // Skip minority-kind objects.
+        entry.objects.emplace_back(y1, y1);
+        continue;
+      }
+      auto y2 = to_reference_->Translate(y1);
+      if (!y2.ok()) continue;  // Unlinked object: ignored, not penalized.
+      entry.objects.emplace_back(std::move(y1), std::move(y2).value());
+    }
+
+    if (entry.objects.empty()) {
+      ++sample.subjects_skipped;  // No linkable fact for this subject.
+      continue;
+    }
+    sample.subjects.push_back(std::move(entry));
+  }
+  return sample;
+}
+
+StatusOr<EvidenceSet> SimpleSampler::ScoreAgainst(const SimpleSample& sample,
+                                                  const Term& r) {
+  EvidenceSet evidence;
+  if (sample.kind == RelationKind::kEmpty) return evidence;
+  const bool literal_relation = sample.kind == RelationKind::kEntityLiteral;
+
+  const TermId r_id = reference_kb_->LookupTerm(r);
+
+  for (const SampledSubject& subject : sample.subjects) {
+    // One reference query per subject: all r-objects of x2. This is both
+    // the confirmation probe and the PCA-denominator probe, and it honors
+    // the paper's note that once a subject matches, all of its r facts are
+    // needed.
+    std::vector<Term> r_objects;
+    if (r_id != kNullTermId) {
+      const TermId x2_id =
+          reference_kb_->LookupTerm(subject.subject_reference);
+      if (x2_id != kNullTermId) {
+        // Fetch ALL r-facts of the subject (required by the PCA measure
+        // and the paper's K^S construction) — paged, not truncated.
+        PagedSelectOptions paging;
+        paging.page_size = options_.facts_per_subject_cap;
+        SOFYA_ASSIGN_OR_RETURN(
+            ResultSet rows,
+            PagedSelect(reference_kb_, queries::ObjectsOf(x2_id, r_id),
+                        paging));
+        r_objects.reserve(rows.rows.size());
+        for (const auto& row : rows.rows) {
+          SOFYA_ASSIGN_OR_RETURN(Term obj, reference_kb_->DecodeTerm(row[0]));
+          r_objects.push_back(std::move(obj));
+        }
+      }
+    }
+    const bool x_has_r = !r_objects.empty();
+
+    for (const auto& [y1, y2] : subject.objects) {
+      PairEvidence pair;
+      pair.x = subject.subject_reference;
+      pair.y = y2;
+      pair.x_has_r = x_has_r;
+      if (literal_relation) {
+        pair.confirmed = std::any_of(
+            r_objects.begin(), r_objects.end(), [&](const Term& o) {
+              return literal_matcher_.Matches(y1, o);
+            });
+      } else {
+        pair.confirmed = std::find(r_objects.begin(), r_objects.end(), y2) !=
+                         r_objects.end();
+      }
+      evidence.Add(pair);
+    }
+  }
+  return evidence;
+}
+
+StatusOr<EvidenceSet> SimpleSampler::CollectEvidence(const Term& r_sub,
+                                                     const Term& r) {
+  SOFYA_ASSIGN_OR_RETURN(SimpleSample sample, DrawSample(r_sub));
+  return ScoreAgainst(sample, r);
+}
+
+}  // namespace sofya

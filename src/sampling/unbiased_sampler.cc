@@ -1,0 +1,237 @@
+#include "sampling/unbiased_sampler.h"
+
+#include <algorithm>
+
+#include "endpoint/paged_select.h"
+#include "endpoint/query_forms.h"
+#include "util/hash.h"
+
+namespace sofya {
+
+size_t UnbiasedSampler::CacheKeyHash::operator()(const CacheKey& key) const {
+  size_t seed = std::hash<const void*>{}(key.endpoint);
+  HashCombine(seed, TermHash{}(key.subject));
+  HashCombine(seed, TermHash{}(key.relation));
+  return seed;
+}
+
+UnbiasedSampler::UnbiasedSampler(Endpoint* candidate_kb,
+                                 Endpoint* reference_kb,
+                                 const CrossKbTranslator* to_reference,
+                                 const CrossKbTranslator* to_candidate,
+                                 SamplerOptions options,
+                                 UbsOptions ubs_options)
+    : candidate_kb_(candidate_kb),
+      reference_kb_(reference_kb),
+      to_reference_(to_reference),
+      to_candidate_(to_candidate),
+      options_(options),
+      ubs_options_(ubs_options),
+      literal_matcher_(options.literal_options) {}
+
+StatusOr<std::vector<Term>> UnbiasedSampler::ObjectsOf(Endpoint* endpoint,
+                                                       const Term& subject,
+                                                       const Term& relation) {
+  CacheKey key{endpoint, subject, relation};
+  auto it = object_cache_.find(key);
+  if (it != object_cache_.end()) return it->second;
+
+  std::vector<Term> objects;
+  const TermId s_id = endpoint->LookupTerm(subject);
+  const TermId p_id = endpoint->LookupTerm(relation);
+  if (s_id != kNullTermId && p_id != kNullTermId) {
+    // Completeness matters: a truncated object list turns "r has y" into a
+    // phantom counter-example. Page through everything the subject has.
+    PagedSelectOptions paging;
+    paging.page_size = options_.facts_per_subject_cap;
+    SOFYA_ASSIGN_OR_RETURN(
+        ResultSet rows,
+        PagedSelect(endpoint, queries::ObjectsOf(s_id, p_id), paging));
+    objects.reserve(rows.rows.size());
+    for (const auto& row : rows.rows) {
+      SOFYA_ASSIGN_OR_RETURN(Term obj, endpoint->DecodeTerm(row[0]));
+      objects.push_back(std::move(obj));
+    }
+  }
+  object_cache_.emplace(std::move(key), objects);
+  return objects;
+}
+
+StatusOr<ResultSet> UnbiasedSampler::FetchDisagreeingRows(Endpoint* endpoint,
+                                                          TermId p1,
+                                                          TermId p2) {
+  // Two windows at distant offsets: disagreement rows cluster on popular
+  // subjects (one per object pair), so a single LIMIT window can be
+  // dominated by a couple of entities. OFFSET-spread windows are the
+  // standard pseudo-random sampling idiom against public endpoints.
+  SelectQuery q =
+      queries::SubjectsWithDisagreeingObjects(p1, p2, ubs_options_.probe_limit);
+  SOFYA_ASSIGN_OR_RETURN(ResultSet first, endpoint->Select(q));
+  if (first.rows.size() < ubs_options_.probe_limit) return first;
+
+  SelectQuery far = queries::SubjectsWithDisagreeingObjects(
+      p1, p2, ubs_options_.probe_limit);
+  far.Offset(ubs_options_.probe_limit * 5);
+  SOFYA_ASSIGN_OR_RETURN(ResultSet second, endpoint->Select(far));
+  for (auto& row : second.rows) first.rows.push_back(std::move(row));
+  return first;
+}
+
+size_t UnbiasedSampler::SettleBound() const {
+  // Enough contradictions to exceed the support-relative threshold for any
+  // plausible sample (support <= sample_size * facts_per_subject_cap is
+  // theoretical; in practice support stays within a few dozen).
+  const double by_ratio = ubs_options_.contradiction_support_ratio *
+                          static_cast<double>(options_.sample_size) * 4.0;
+  return std::max<size_t>(ubs_options_.min_contradictions,
+                          static_cast<size_t>(by_ratio) + 1);
+}
+
+bool UnbiasedSampler::ContainsTerm(const std::vector<Term>& objects,
+                                   const Term& value) const {
+  if (value.is_literal()) {
+    return std::any_of(objects.begin(), objects.end(), [&](const Term& o) {
+      return literal_matcher_.Matches(value, o);
+    });
+  }
+  return std::find(objects.begin(), objects.end(), value) != objects.end();
+}
+
+StatusOr<UbsReport> UnbiasedSampler::Probe(const Term& r,
+                                           const std::vector<Term>& candidates) {
+  UbsReport report;
+  if (!ubs_options_.enable_equivalence_filter &&
+      !ubs_options_.enable_subsumption_filter) {
+    return report;  // Fully ablated: no probes, no cost.
+  }
+
+  for (const Term& r_prime : candidates) {
+    for (const Term& r_dprime : candidates) {
+      if (r_prime == r_dprime) continue;
+
+      // Skip pairs whose verdicts are already settled. The bound is kept
+      // far above min_contradictions because the aligner's pruning rule is
+      // support-relative.
+      const size_t settle = SettleBound();
+      const bool need_equiv = ubs_options_.enable_equivalence_filter &&
+                              report.EquivalenceHits(r_prime) < settle;
+      const bool need_subsum = ubs_options_.enable_subsumption_filter &&
+                               report.SubsumptionHits(r_dprime) < settle;
+      if (!need_equiv && !need_subsum) continue;
+
+      const TermId p1 = candidate_kb_->LookupTerm(r_prime);
+      const TermId p2 = candidate_kb_->LookupTerm(r_dprime);
+      if (p1 == kNullTermId || p2 == kNullTermId) continue;
+
+      ++report.pairs_probed;
+      SOFYA_ASSIGN_OR_RETURN(ResultSet rows,
+                             FetchDisagreeingRows(candidate_kb_, p1, p2));
+
+      for (const auto& row : rows.rows) {
+        SOFYA_ASSIGN_OR_RETURN(Term x1, candidate_kb_->DecodeTerm(row[0]));
+        SOFYA_ASSIGN_OR_RETURN(Term y1, candidate_kb_->DecodeTerm(row[1]));
+        SOFYA_ASSIGN_OR_RETURN(Term y2, candidate_kb_->DecodeTerm(row[2]));
+        ++report.rows_examined;
+
+        // Enforce ¬r'(x, y2): the FILTER only guaranteed y1 != y2 per row.
+        SOFYA_ASSIGN_OR_RETURN(std::vector<Term> r_prime_objects,
+                               ObjectsOf(candidate_kb_, x1, r_prime));
+        if (ContainsTerm(r_prime_objects, y2)) continue;
+
+        // Translate the triple into K.
+        auto x2 = to_reference_->Translate(x1);
+        if (!x2.ok()) continue;
+        auto ty1 = to_reference_->Translate(y1);
+        if (!ty1.ok()) continue;
+        auto ty2 = to_reference_->Translate(y2);
+        if (!ty2.ok()) continue;
+
+        SOFYA_ASSIGN_OR_RETURN(std::vector<Term> r_objects,
+                               ObjectsOf(reference_kb_, *x2, r));
+        const bool has_y1 = ContainsTerm(r_objects, *ty1);
+        if (!has_y1) continue;  // K does not know x's r-attributes via y1.
+        const bool has_y2 = ContainsTerm(r_objects, *ty2);
+
+        if (has_y2) {
+          // Case 1: r(x,y1) ∧ r(x,y2) ∧ ¬r'(x,y2)  =>  r ⇏ r'.
+          if (ubs_options_.enable_equivalence_filter) {
+            ++report.equivalence_counterexamples[r_prime];
+          }
+        } else {
+          // Case 2: r(x,y1) ∧ ¬r(x,y2) ∧ r''(x,y2)  =>  r'' ⇏ r.
+          if (ubs_options_.enable_subsumption_filter) {
+            ++report.subsumption_counterexamples[r_dprime];
+          }
+        }
+      }
+    }
+  }
+  return report;
+}
+
+Status UnbiasedSampler::ProbeReferenceSiblings(
+    const Term& r, const Term& candidate,
+    const std::vector<Term>& reference_siblings, UbsReport* report) {
+  if (!ubs_options_.enable_reference_siblings) return Status::OK();
+
+  const TermId r_id = reference_kb_->LookupTerm(r);
+  if (r_id == kNullTermId) return Status::OK();
+
+  for (const Term& sibling : reference_siblings) {
+    if (sibling == r) continue;
+    const size_t settle = SettleBound();
+    const bool need_subsum = ubs_options_.enable_subsumption_filter &&
+                             report->SubsumptionHits(candidate) < settle;
+    const bool need_equiv = ubs_options_.enable_equivalence_filter &&
+                            report->EquivalenceHits(candidate) < settle;
+    if (!need_subsum && !need_equiv) break;
+
+    const TermId sibling_id = reference_kb_->LookupTerm(sibling);
+    if (sibling_id == kNullTermId) continue;
+
+    ++report->pairs_probed;
+    auto rows_or = FetchDisagreeingRows(reference_kb_, r_id, sibling_id);
+    if (!rows_or.ok()) return rows_or.status();
+
+    for (const auto& row : rows_or->rows) {
+      SOFYA_ASSIGN_OR_RETURN(Term x2, reference_kb_->DecodeTerm(row[0]));
+      SOFYA_ASSIGN_OR_RETURN(Term y1, reference_kb_->DecodeTerm(row[1]));
+      SOFYA_ASSIGN_OR_RETURN(Term y2, reference_kb_->DecodeTerm(row[2]));
+      ++report->rows_examined;
+
+      // Enforce ¬r(x, y2) in K.
+      SOFYA_ASSIGN_OR_RETURN(std::vector<Term> r_objects,
+                             ObjectsOf(reference_kb_, x2, r));
+      if (ContainsTerm(r_objects, y2)) continue;
+
+      auto x1 = to_candidate_->Translate(x2);
+      if (!x1.ok()) continue;
+
+      SOFYA_ASSIGN_OR_RETURN(std::vector<Term> candidate_objects,
+                             ObjectsOf(candidate_kb_, *x1, candidate));
+      if (candidate_objects.empty()) continue;
+
+      // Subsumption counter-example for candidate => r: the candidate
+      // asserts (x, y2) but K, which knows x's r-attributes (y1 ∈ r(x,·)),
+      // does not list y2.
+      if (ubs_options_.enable_subsumption_filter) {
+        auto ty2 = to_candidate_->Translate(y2);
+        if (ty2.ok() && ContainsTerm(candidate_objects, *ty2)) {
+          ++report->subsumption_counterexamples[candidate];
+        }
+      }
+
+      // Equivalence counter-example for r => candidate: K asserts r(x,y1),
+      // the candidate has facts for x but not y1.
+      if (ubs_options_.enable_equivalence_filter) {
+        auto ty1 = to_candidate_->Translate(y1);
+        if (ty1.ok() && !ContainsTerm(candidate_objects, *ty1)) {
+          ++report->equivalence_counterexamples[candidate];
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace sofya

@@ -1,0 +1,81 @@
+#include "similarity/literal_matcher.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <optional>
+
+#include "similarity/string_metrics.h"
+
+namespace sofya {
+
+namespace {
+
+std::optional<double> TryParseNumber(const std::string& s) {
+  if (s.empty()) return std::nullopt;
+  char* end = nullptr;
+  const double value = std::strtod(s.c_str(), &end);
+  if (end == nullptr || *end != '\0' || end == s.c_str()) {
+    return std::nullopt;
+  }
+  return value;
+}
+
+}  // namespace
+
+const char* StringMetricName(StringMetric metric) {
+  switch (metric) {
+    case StringMetric::kLevenshtein:
+      return "levenshtein";
+    case StringMetric::kJaroWinkler:
+      return "jaro-winkler";
+    case StringMetric::kTokenJaccard:
+      return "token-jaccard";
+    case StringMetric::kBigramDice:
+      return "bigram-dice";
+    case StringMetric::kHybrid:
+      return "hybrid";
+  }
+  return "unknown";
+}
+
+double LiteralMatcher::ScoreStrings(const std::string& a,
+                                    const std::string& b) const {
+  const std::string na = options_.normalize ? NormalizeForMatching(a) : a;
+  const std::string nb = options_.normalize ? NormalizeForMatching(b) : b;
+  switch (options_.metric) {
+    case StringMetric::kLevenshtein:
+      return NormalizedLevenshtein(na, nb);
+    case StringMetric::kJaroWinkler:
+      return JaroWinklerSimilarity(na, nb);
+    case StringMetric::kTokenJaccard:
+      return TokenJaccard(na, nb);
+    case StringMetric::kBigramDice:
+      return BigramDice(na, nb);
+    case StringMetric::kHybrid:
+      return std::max(JaroWinklerSimilarity(na, nb), TokenJaccard(na, nb));
+  }
+  return 0.0;
+}
+
+double LiteralMatcher::Score(const Term& a, const Term& b) const {
+  if (!a.is_literal() || !b.is_literal()) {
+    return a == b ? 1.0 : 0.0;
+  }
+  if (options_.numeric_aware) {
+    const auto na = TryParseNumber(a.lexical());
+    const auto nb = TryParseNumber(b.lexical());
+    if (na.has_value() && nb.has_value()) {
+      const double diff = std::fabs(*na - *nb);
+      const double scale =
+          std::max({std::fabs(*na), std::fabs(*nb), 1e-30});
+      return diff / scale <= options_.numeric_relative_tolerance ? 1.0 : 0.0;
+    }
+    // A number and a non-number never match by value; fall through to the
+    // string metric only when neither side parses.
+    if (na.has_value() != nb.has_value()) return 0.0;
+  }
+  return ScoreStrings(a.lexical(), b.lexical());
+}
+
+}  // namespace sofya

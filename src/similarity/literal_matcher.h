@@ -1,0 +1,69 @@
+// LiteralMatcher: decides whether two literal terms denote the same value.
+//
+// Entity-literal relations are aligned by matching literal objects instead
+// of following sameAs links (paper, Section 2.2). The matcher is
+// datatype-aware: numeric and date literals are compared by value, strings
+// by a configurable similarity metric over normalized surfaces.
+
+#ifndef SOFYA_SIMILARITY_LITERAL_MATCHER_H_
+#define SOFYA_SIMILARITY_LITERAL_MATCHER_H_
+
+#include <string>
+
+#include "rdf/term.h"
+
+namespace sofya {
+
+/// Which string metric the matcher uses for non-numeric literals.
+enum class StringMetric {
+  kLevenshtein,
+  kJaroWinkler,
+  kTokenJaccard,
+  kBigramDice,
+  /// max(JaroWinkler, TokenJaccard): tolerant to both typos and reordering.
+  kHybrid,
+};
+
+/// Human-readable metric name (for reports).
+const char* StringMetricName(StringMetric metric);
+
+/// Configuration for LiteralMatcher.
+struct LiteralMatcherOptions {
+  StringMetric metric = StringMetric::kHybrid;
+  /// Minimum similarity score to call two strings a match.
+  double threshold = 0.85;
+  /// Compare parseable numbers by value (relative tolerance) regardless of
+  /// surface form ("42" matches "42.0").
+  bool numeric_aware = true;
+  double numeric_relative_tolerance = 1e-9;
+  /// Normalize (case/punctuation) before string comparison.
+  bool normalize = true;
+};
+
+/// Stateless matcher (cheap to copy).
+class LiteralMatcher {
+ public:
+  explicit LiteralMatcher(LiteralMatcherOptions options = {})
+      : options_(options) {}
+
+  const LiteralMatcherOptions& options() const { return options_; }
+
+  /// Similarity in [0,1] between two literal terms. Non-literal terms score
+  /// 1.0 only on exact equality, else 0.0.
+  double Score(const Term& a, const Term& b) const;
+
+  /// Score(a,b) >= threshold.
+  bool Matches(const Term& a, const Term& b) const {
+    return Score(a, b) >= options_.threshold;
+  }
+
+  /// Raw string scoring with the configured metric (post-normalization).
+  double ScoreStrings(const std::string& a, const std::string& b) const;
+
+ private:
+  LiteralMatcherOptions options_;
+};
+
+}  // namespace sofya
+
+#endif  // SOFYA_SIMILARITY_LITERAL_MATCHER_H_

@@ -1,0 +1,146 @@
+#include "similarity/string_metrics.h"
+
+#include <algorithm>
+#include <cctype>
+#include <unordered_set>
+
+#include "util/string_util.h"
+
+namespace sofya {
+
+size_t LevenshteinDistance(std::string_view a, std::string_view b) {
+  if (a.size() > b.size()) std::swap(a, b);  // a is the shorter.
+  if (a.empty()) return b.size();
+
+  std::vector<size_t> row(a.size() + 1);
+  for (size_t i = 0; i <= a.size(); ++i) row[i] = i;
+
+  for (size_t j = 1; j <= b.size(); ++j) {
+    size_t prev_diag = row[0];
+    row[0] = j;
+    for (size_t i = 1; i <= a.size(); ++i) {
+      const size_t insert_cost = row[i - 1] + 1;
+      const size_t delete_cost = row[i] + 1;
+      const size_t subst_cost = prev_diag + (a[i - 1] == b[j - 1] ? 0 : 1);
+      prev_diag = row[i];
+      row[i] = std::min({insert_cost, delete_cost, subst_cost});
+    }
+  }
+  return row[a.size()];
+}
+
+double NormalizedLevenshtein(std::string_view a, std::string_view b) {
+  const size_t max_len = std::max(a.size(), b.size());
+  if (max_len == 0) return 1.0;
+  return 1.0 -
+         static_cast<double>(LevenshteinDistance(a, b)) /
+             static_cast<double>(max_len);
+}
+
+double JaroSimilarity(std::string_view a, std::string_view b) {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  if (a == b) return 1.0;
+
+  const size_t max_len = std::max(a.size(), b.size());
+  const size_t window = max_len / 2 == 0 ? 0 : max_len / 2 - 1;
+
+  std::vector<bool> a_matched(a.size(), false);
+  std::vector<bool> b_matched(b.size(), false);
+
+  size_t matches = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const size_t lo = i > window ? i - window : 0;
+    const size_t hi = std::min(b.size(), i + window + 1);
+    for (size_t j = lo; j < hi; ++j) {
+      if (b_matched[j] || a[i] != b[j]) continue;
+      a_matched[i] = true;
+      b_matched[j] = true;
+      ++matches;
+      break;
+    }
+  }
+  if (matches == 0) return 0.0;
+
+  // Count transpositions among matched characters.
+  size_t transpositions = 0;
+  size_t j = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!a_matched[i]) continue;
+    while (!b_matched[j]) ++j;
+    if (a[i] != b[j]) ++transpositions;
+    ++j;
+  }
+
+  const double m = static_cast<double>(matches);
+  return (m / static_cast<double>(a.size()) +
+          m / static_cast<double>(b.size()) +
+          (m - static_cast<double>(transpositions) / 2.0) / m) /
+         3.0;
+}
+
+double JaroWinklerSimilarity(std::string_view a, std::string_view b,
+                             double prefix_scale) {
+  const double jaro = JaroSimilarity(a, b);
+  size_t prefix = 0;
+  const size_t max_prefix = std::min<size_t>({4, a.size(), b.size()});
+  while (prefix < max_prefix && a[prefix] == b[prefix]) ++prefix;
+  return jaro + static_cast<double>(prefix) * prefix_scale * (1.0 - jaro);
+}
+
+double TokenJaccard(std::string_view a, std::string_view b) {
+  const auto ta = SplitWhitespace(ToLower(a));
+  const auto tb = SplitWhitespace(ToLower(b));
+  if (ta.empty() && tb.empty()) return 1.0;
+  if (ta.empty() || tb.empty()) return 0.0;
+  std::unordered_set<std::string> sa(ta.begin(), ta.end());
+  std::unordered_set<std::string> sb(tb.begin(), tb.end());
+  size_t inter = 0;
+  for (const auto& t : sa) {
+    if (sb.count(t)) ++inter;
+  }
+  const size_t uni = sa.size() + sb.size() - inter;
+  return static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+double BigramDice(std::string_view a, std::string_view b) {
+  if (a == b) return 1.0;
+  if (a.size() < 2 || b.size() < 2) {
+    return a == b ? 1.0 : 0.0;
+  }
+  auto bigrams = [](std::string_view s) {
+    std::unordered_set<std::string> out;
+    for (size_t i = 0; i + 1 < s.size(); ++i) {
+      out.insert(std::string(s.substr(i, 2)));
+    }
+    return out;
+  };
+  const auto ba = bigrams(a);
+  const auto bb = bigrams(b);
+  size_t inter = 0;
+  for (const auto& g : ba) {
+    if (bb.count(g)) ++inter;
+  }
+  return 2.0 * static_cast<double>(inter) /
+         static_cast<double>(ba.size() + bb.size());
+}
+
+std::string NormalizeForMatching(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  bool last_space = true;  // Leading spaces trimmed.
+  for (char raw : s) {
+    unsigned char c = static_cast<unsigned char>(raw);
+    if (std::isalnum(c)) {
+      out += static_cast<char>(std::tolower(c));
+      last_space = false;
+    } else if (!last_space) {
+      out += ' ';
+      last_space = true;
+    }
+  }
+  while (!out.empty() && out.back() == ' ') out.pop_back();
+  return out;
+}
+
+}  // namespace sofya

@@ -1,0 +1,45 @@
+// String similarity metrics for entity-literal alignment.
+//
+// The paper (Section 2.2): "If r_sub is an entity-literal relation, we
+// retrieve from K facts of the samples S and apply string similarity
+// functions to align the literals." These are those functions. All metrics
+// return values in [0, 1], 1 = identical.
+
+#ifndef SOFYA_SIMILARITY_STRING_METRICS_H_
+#define SOFYA_SIMILARITY_STRING_METRICS_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sofya {
+
+/// Classic edit distance (insert/delete/substitute, unit costs).
+/// O(|a|*|b|) time, O(min) space.
+size_t LevenshteinDistance(std::string_view a, std::string_view b);
+
+/// 1 - dist / max(|a|, |b|); 1.0 for two empty strings.
+double NormalizedLevenshtein(std::string_view a, std::string_view b);
+
+/// Jaro similarity (match window = max(|a|,|b|)/2 - 1).
+double JaroSimilarity(std::string_view a, std::string_view b);
+
+/// Jaro-Winkler: Jaro boosted by common prefix (length <= 4) with scaling
+/// factor `prefix_scale` (standard 0.1).
+double JaroWinklerSimilarity(std::string_view a, std::string_view b,
+                             double prefix_scale = 0.1);
+
+/// Jaccard overlap of lower-cased whitespace tokens.
+double TokenJaccard(std::string_view a, std::string_view b);
+
+/// Dice coefficient over character bigrams (robust to word reordering).
+double BigramDice(std::string_view a, std::string_view b);
+
+/// Normalization used before comparing literal surfaces: lower-case,
+/// strip punctuation to spaces, collapse whitespace runs, trim.
+std::string NormalizeForMatching(std::string_view s);
+
+}  // namespace sofya
+
+#endif  // SOFYA_SIMILARITY_STRING_METRICS_H_

@@ -1,0 +1,215 @@
+#include "sparql/engine.h"
+
+#include <algorithm>
+#include <unordered_set>
+#include <vector>
+
+#include "util/hash.h"
+
+namespace sofya {
+
+namespace {
+
+using Row = std::vector<TermId>;  // Indexed by VarId; 0 = unbound.
+
+// True once every variable a filter mentions is bound in `row`.
+bool FilterApplicable(const FilterExpr& f, const Row& row) {
+  if (row[f.lhs] == kNullTermId) return false;
+  if ((f.kind == FilterExpr::Kind::kVarEqVar ||
+       f.kind == FilterExpr::Kind::kVarNeqVar) &&
+      row[f.rhs_var] == kNullTermId) {
+    return false;
+  }
+  return true;
+}
+
+bool FilterPasses(const FilterExpr& f, const Row& row,
+                  const Dictionary* dict) {
+  switch (f.kind) {
+    case FilterExpr::Kind::kVarEqVar:
+      return row[f.lhs] == row[f.rhs_var];
+    case FilterExpr::Kind::kVarNeqVar:
+      return row[f.lhs] != row[f.rhs_var];
+    case FilterExpr::Kind::kVarEqTerm:
+      return row[f.lhs] == f.rhs_term;
+    case FilterExpr::Kind::kVarNeqTerm:
+      return row[f.lhs] != f.rhs_term;
+    case FilterExpr::Kind::kIsIri:
+      // Without a dictionary term kinds are unknowable; pass conservatively.
+      return dict == nullptr || !dict->Contains(row[f.lhs]) ||
+             dict->Decode(row[f.lhs]).is_iri();
+    case FilterExpr::Kind::kIsLiteral:
+      return dict == nullptr || !dict->Contains(row[f.lhs]) ||
+             dict->Decode(row[f.lhs]).is_literal();
+  }
+  return true;
+}
+
+// Selectivity estimate of a clause under the current binding: each position
+// bound by a constant or an already-bound variable adds specificity.
+int BoundScore(const PatternClause& clause, const std::vector<bool>& bound) {
+  auto score = [&](const NodeRef& ref) {
+    if (!ref.is_var()) return 1;
+    return bound[ref.var()] ? 1 : 0;
+  };
+  // Weight predicate binding slightly higher: the POS index makes it the
+  // cheapest entry point, matching how a real optimizer would order.
+  return 3 * score(clause.predicate) + 2 * score(clause.subject) +
+         2 * score(clause.object);
+}
+
+struct RowHash {
+  size_t operator()(const Row& row) const {
+    size_t seed = row.size();
+    for (TermId id : row) HashCombine(seed, id);
+    return seed;
+  }
+};
+
+}  // namespace
+
+StatusOr<ResultSet> Evaluate(const TripleStore& store,
+                             const SelectQuery& query, EvalStats* stats,
+                             const Dictionary* dict) {
+  SOFYA_RETURN_IF_ERROR(query.Validate());
+
+  EvalStats local_stats;
+  const size_t num_vars = query.num_vars();
+
+  // Greedy clause ordering.
+  std::vector<const PatternClause*> pending;
+  pending.reserve(query.clauses().size());
+  for (const auto& c : query.clauses()) pending.push_back(&c);
+
+  std::vector<const PatternClause*> ordered;
+  std::vector<bool> bound(num_vars, false);
+  while (!pending.empty()) {
+    auto best = std::max_element(
+        pending.begin(), pending.end(),
+        [&](const PatternClause* a, const PatternClause* b) {
+          return BoundScore(*a, bound) < BoundScore(*b, bound);
+        });
+    const PatternClause* chosen = *best;
+    pending.erase(best);
+    ordered.push_back(chosen);
+    for (const NodeRef* ref :
+         {&chosen->subject, &chosen->predicate, &chosen->object}) {
+      if (ref->is_var()) bound[ref->var()] = true;
+    }
+  }
+
+  // Index-nested-loop join.
+  std::vector<Row> rows;
+  rows.emplace_back(num_vars, kNullTermId);
+
+  for (const PatternClause* clause : ordered) {
+    std::vector<Row> next;
+    for (const Row& row : rows) {
+      auto resolve = [&](const NodeRef& ref) -> TermId {
+        if (!ref.is_var()) return ref.term();
+        return row[ref.var()];  // kNullTermId if unbound => wildcard.
+      };
+      TriplePattern pattern(resolve(clause->subject),
+                            resolve(clause->predicate),
+                            resolve(clause->object));
+      ++local_stats.index_probes;
+      store.ForEachMatch(pattern, [&](const Triple& t) {
+        Row extended = row;
+        auto bind = [&](const NodeRef& ref, TermId value) {
+          if (!ref.is_var()) return ref.term() == value;
+          TermId& slot = extended[ref.var()];
+          if (slot == kNullTermId) {
+            slot = value;
+            return true;
+          }
+          return slot == value;  // Repeated var within the clause.
+        };
+        if (!bind(clause->subject, t.subject)) return true;
+        if (!bind(clause->predicate, t.predicate)) return true;
+        if (!bind(clause->object, t.object)) return true;
+        // Apply any filter that just became applicable.
+        for (size_t fi = 0; fi < query.filters().size(); ++fi) {
+          const FilterExpr& f = query.filters()[fi];
+          if (FilterApplicable(f, extended) && !FilterPasses(f, extended, dict)) {
+            return true;  // Row rejected; keep scanning.
+          }
+        }
+        ++local_stats.intermediate_rows;
+        next.push_back(std::move(extended));
+        return true;
+      });
+    }
+    rows = std::move(next);
+    if (rows.empty()) break;
+  }
+
+  // Final filter pass (covers filters whose vars were never co-bound during
+  // the join — with a connected BGP this is a no-op).
+  std::vector<Row> filtered;
+  filtered.reserve(rows.size());
+  for (Row& row : rows) {
+    bool pass = true;
+    for (const FilterExpr& f : query.filters()) {
+      if (!FilterApplicable(f, row)) {
+        pass = false;  // Unbound filter variable: SPARQL error => row drops.
+        break;
+      }
+      if (!FilterPasses(f, row, dict)) {
+        pass = false;
+        break;
+      }
+    }
+    if (pass) filtered.push_back(std::move(row));
+  }
+
+  // Projection.
+  std::vector<VarId> projection = query.projection();
+  if (projection.empty()) {
+    for (VarId v = 0; v < static_cast<VarId>(num_vars); ++v) {
+      projection.push_back(v);
+    }
+  }
+
+  ResultSet result;
+  result.var_names.reserve(projection.size());
+  for (VarId v : projection) result.var_names.push_back(query.var_name(v));
+
+  std::vector<Row> projected;
+  projected.reserve(filtered.size());
+  for (const Row& row : filtered) {
+    Row out;
+    out.reserve(projection.size());
+    for (VarId v : projection) out.push_back(row[v]);
+    projected.push_back(std::move(out));
+  }
+
+  // DISTINCT before OFFSET/LIMIT (SPARQL semantics).
+  if (query.distinct()) {
+    std::unordered_set<Row, RowHash> seen;
+    std::vector<Row> unique;
+    unique.reserve(projected.size());
+    for (Row& row : projected) {
+      if (seen.insert(row).second) unique.push_back(std::move(row));
+    }
+    projected = std::move(unique);
+  }
+
+  const uint64_t offset = query.offset();
+  const uint64_t limit = query.limit();
+  if (offset >= projected.size()) {
+    projected.clear();
+  } else {
+    projected.erase(projected.begin(),
+                    projected.begin() + static_cast<ptrdiff_t>(offset));
+    if (limit != kNoLimit && projected.size() > limit) {
+      projected.resize(limit);
+    }
+  }
+
+  result.rows = std::move(projected);
+  local_stats.result_rows = result.rows.size();
+  if (stats != nullptr) *stats = local_stats;
+  return result;
+}
+
+}  // namespace sofya

@@ -1,0 +1,41 @@
+// BGP evaluation over a TripleStore.
+//
+// A straightforward index-nested-loop join: clauses are ordered greedily by
+// estimated selectivity (bound constants + already-bound variables first),
+// each clause probes the store's best index given the current partial
+// binding. Results are deterministic: the store's index order fixes the row
+// order, which keeps sampling reproducible across runs.
+
+#ifndef SOFYA_SPARQL_ENGINE_H_
+#define SOFYA_SPARQL_ENGINE_H_
+
+#include <cstdint>
+
+#include "rdf/dictionary.h"
+#include "rdf/triple_store.h"
+#include "sparql/query.h"
+#include "util/status.h"
+
+namespace sofya {
+
+/// Evaluation metering, reported to the endpoint layer for accounting.
+struct EvalStats {
+  uint64_t intermediate_rows = 0;  ///< Rows produced across all join steps.
+  uint64_t index_probes = 0;       ///< Store range lookups issued.
+  uint64_t result_rows = 0;        ///< Final row count (after LIMIT).
+};
+
+/// Evaluates `query` against `store`. On success the ResultSet columns are
+/// the query's projection (or all variables for SELECT *).
+///
+/// `stats`, when non-null, receives evaluation metering. `dict`, when
+/// non-null, enables the isIRI/isLiteral filters (they pass conservatively
+/// without it).
+StatusOr<ResultSet> Evaluate(const TripleStore& store,
+                             const SelectQuery& query,
+                             EvalStats* stats = nullptr,
+                             const Dictionary* dict = nullptr);
+
+}  // namespace sofya
+
+#endif  // SOFYA_SPARQL_ENGINE_H_

@@ -1,0 +1,154 @@
+#include "sparql/query.h"
+
+#include "util/string_util.h"
+
+namespace sofya {
+
+VarId SelectQuery::NewVar(std::string name) {
+  var_names_.push_back(std::move(name));
+  return static_cast<VarId>(var_names_.size() - 1);
+}
+
+SelectQuery& SelectQuery::Where(NodeRef s, NodeRef p, NodeRef o) {
+  clauses_.push_back(PatternClause{s, p, o});
+  return *this;
+}
+
+SelectQuery& SelectQuery::Filter(FilterExpr filter) {
+  filters_.push_back(filter);
+  return *this;
+}
+
+SelectQuery& SelectQuery::Select(std::vector<VarId> vars) {
+  projection_ = std::move(vars);
+  return *this;
+}
+
+SelectQuery& SelectQuery::Distinct(bool distinct) {
+  distinct_ = distinct;
+  return *this;
+}
+
+SelectQuery& SelectQuery::Limit(uint64_t limit) {
+  limit_ = limit;
+  return *this;
+}
+
+SelectQuery& SelectQuery::Offset(uint64_t offset) {
+  offset_ = offset;
+  return *this;
+}
+
+Status SelectQuery::Validate() const {
+  if (clauses_.empty()) {
+    return Status::InvalidArgument("query has no WHERE clauses");
+  }
+  auto check_ref = [&](const NodeRef& ref) -> Status {
+    if (ref.is_var() &&
+        (ref.var() < 0 || ref.var() >= static_cast<VarId>(num_vars()))) {
+      return Status::InvalidArgument(
+          StrFormat("variable id %d out of range (have %zu vars)", ref.var(),
+                    num_vars()));
+    }
+    return Status::OK();
+  };
+  for (const auto& c : clauses_) {
+    SOFYA_RETURN_IF_ERROR(check_ref(c.subject));
+    SOFYA_RETURN_IF_ERROR(check_ref(c.predicate));
+    SOFYA_RETURN_IF_ERROR(check_ref(c.object));
+  }
+  auto check_var = [&](VarId v) -> Status {
+    if (v < 0 || v >= static_cast<VarId>(num_vars())) {
+      return Status::InvalidArgument(
+          StrFormat("variable id %d out of range (have %zu vars)", v,
+                    num_vars()));
+    }
+    return Status::OK();
+  };
+  for (const auto& f : filters_) {
+    SOFYA_RETURN_IF_ERROR(check_var(f.lhs));
+    if (f.kind == FilterExpr::Kind::kVarEqVar ||
+        f.kind == FilterExpr::Kind::kVarNeqVar) {
+      SOFYA_RETURN_IF_ERROR(check_var(f.rhs_var));
+    }
+  }
+  for (VarId v : projection_) {
+    SOFYA_RETURN_IF_ERROR(check_var(v));
+  }
+  return Status::OK();
+}
+
+namespace {
+
+std::string RenderNode(const NodeRef& ref, const SelectQuery& q,
+                       const Dictionary& dict) {
+  if (ref.is_var()) return "?" + q.var_name(ref.var());
+  if (!dict.Contains(ref.term())) {
+    return StrFormat("<urn:sofya:id:%u>", ref.term());
+  }
+  return dict.Decode(ref.term()).ToNTriples();
+}
+
+std::string RenderVar(const SelectQuery& q, VarId v) {
+  return "?" + q.var_name(v);
+}
+
+}  // namespace
+
+std::string SelectQuery::ToSparql(const Dictionary& dict) const {
+  std::string out = "SELECT ";
+  if (distinct_) out += "DISTINCT ";
+  if (projection_.empty()) {
+    out += "*";
+  } else {
+    std::vector<std::string> vars;
+    vars.reserve(projection_.size());
+    for (VarId v : projection_) vars.push_back(RenderVar(*this, v));
+    out += Join(vars, " ");
+  }
+  out += " WHERE {\n";
+  for (const auto& c : clauses_) {
+    out += "  " + RenderNode(c.subject, *this, dict) + " " +
+           RenderNode(c.predicate, *this, dict) + " " +
+           RenderNode(c.object, *this, dict) + " .\n";
+  }
+  for (const auto& f : filters_) {
+    std::string expr;
+    switch (f.kind) {
+      case FilterExpr::Kind::kVarEqVar:
+        expr = RenderVar(*this, f.lhs) + " = " + RenderVar(*this, f.rhs_var);
+        break;
+      case FilterExpr::Kind::kVarNeqVar:
+        expr = RenderVar(*this, f.lhs) + " != " + RenderVar(*this, f.rhs_var);
+        break;
+      case FilterExpr::Kind::kVarEqTerm:
+        expr = RenderVar(*this, f.lhs) + " = " +
+               (dict.Contains(f.rhs_term)
+                    ? dict.Decode(f.rhs_term).ToNTriples()
+                    : StrFormat("<urn:sofya:id:%u>", f.rhs_term));
+        break;
+      case FilterExpr::Kind::kVarNeqTerm:
+        expr = RenderVar(*this, f.lhs) + " != " +
+               (dict.Contains(f.rhs_term)
+                    ? dict.Decode(f.rhs_term).ToNTriples()
+                    : StrFormat("<urn:sofya:id:%u>", f.rhs_term));
+        break;
+      case FilterExpr::Kind::kIsIri:
+        expr = "isIRI(" + RenderVar(*this, f.lhs) + ")";
+        break;
+      case FilterExpr::Kind::kIsLiteral:
+        expr = "isLiteral(" + RenderVar(*this, f.lhs) + ")";
+        break;
+    }
+    out += "  FILTER(" + expr + ")\n";
+  }
+  out += "}";
+  if (offset_ > 0) out += StrFormat(" OFFSET %llu",
+                                    static_cast<unsigned long long>(offset_));
+  if (limit_ != kNoLimit) {
+    out += StrFormat(" LIMIT %llu", static_cast<unsigned long long>(limit_));
+  }
+  return out;
+}
+
+}  // namespace sofya

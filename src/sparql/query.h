@@ -1,0 +1,176 @@
+// A SPARQL SELECT subset: basic graph patterns over one dataset, simple
+// FILTERs, DISTINCT, LIMIT and OFFSET.
+//
+// This is the query language the endpoint (endpoint/endpoint.h) accepts —
+// i.e. everything SOFYA is allowed to ask a remote KB. The subset matches
+// what the paper's samplers need; anything fancier (OPTIONAL, property
+// paths, aggregates) is deliberately out of scope and would weaken the
+// "works against any endpoint" claim.
+
+#ifndef SOFYA_SPARQL_QUERY_H_
+#define SOFYA_SPARQL_QUERY_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "rdf/dictionary.h"
+#include "rdf/term.h"
+#include "util/status.h"
+
+namespace sofya {
+
+/// Index of a variable within a query (dense, starting at 0).
+using VarId = int32_t;
+
+/// One position of a triple pattern: either a constant term or a variable.
+class NodeRef {
+ public:
+  NodeRef() : is_var_(false), term_(kNullTermId), var_(-1) {}
+
+  /// A constant (dictionary-encoded) term.
+  static NodeRef Constant(TermId term) {
+    NodeRef n;
+    n.is_var_ = false;
+    n.term_ = term;
+    return n;
+  }
+
+  /// A variable reference.
+  static NodeRef Variable(VarId var) {
+    NodeRef n;
+    n.is_var_ = true;
+    n.var_ = var;
+    return n;
+  }
+
+  bool is_var() const { return is_var_; }
+  TermId term() const { return term_; }
+  VarId var() const { return var_; }
+
+ private:
+  bool is_var_;
+  TermId term_;
+  VarId var_;
+};
+
+/// A triple pattern with variables: one BGP clause.
+struct PatternClause {
+  NodeRef subject;
+  NodeRef predicate;
+  NodeRef object;
+};
+
+/// Simple FILTER expressions over bound variables.
+///
+/// This covers the paper's needs: UBS strategy B requires FILTER(?y1 != ?y2)
+/// and object/constant comparisons; everything else is BGP shape.
+struct FilterExpr {
+  enum class Kind {
+    kVarEqVar,    ///< FILTER(?a = ?b)
+    kVarNeqVar,   ///< FILTER(?a != ?b)
+    kVarEqTerm,   ///< FILTER(?a = <t>)
+    kVarNeqTerm,  ///< FILTER(?a != <t>)
+    kIsIri,       ///< FILTER(isIRI(?a))
+    kIsLiteral,   ///< FILTER(isLiteral(?a))
+  };
+
+  Kind kind;
+  VarId lhs = -1;
+  VarId rhs_var = -1;
+  TermId rhs_term = kNullTermId;
+
+  static FilterExpr VarEqVar(VarId a, VarId b) {
+    return {Kind::kVarEqVar, a, b, kNullTermId};
+  }
+  static FilterExpr VarNeqVar(VarId a, VarId b) {
+    return {Kind::kVarNeqVar, a, b, kNullTermId};
+  }
+  static FilterExpr VarEqTerm(VarId a, TermId t) {
+    return {Kind::kVarEqTerm, a, -1, t};
+  }
+  static FilterExpr VarNeqTerm(VarId a, TermId t) {
+    return {Kind::kVarNeqTerm, a, -1, t};
+  }
+  static FilterExpr IsIri(VarId a) { return {Kind::kIsIri, a, -1, kNullTermId}; }
+  static FilterExpr IsLiteral(VarId a) {
+    return {Kind::kIsLiteral, a, -1, kNullTermId};
+  }
+};
+
+/// No row limit.
+inline constexpr uint64_t kNoLimit = std::numeric_limits<uint64_t>::max();
+
+/// A SELECT query. Build with the fluent helpers, then hand to an Endpoint.
+class SelectQuery {
+ public:
+  SelectQuery() = default;
+
+  /// Declares a new variable with a display name; returns its id.
+  VarId NewVar(std::string name);
+
+  /// Number of declared variables.
+  size_t num_vars() const { return var_names_.size(); }
+
+  /// Display name of `var` ("x" -> rendered as "?x").
+  const std::string& var_name(VarId var) const { return var_names_[var]; }
+
+  /// Appends a BGP clause.
+  SelectQuery& Where(NodeRef s, NodeRef p, NodeRef o);
+
+  /// Appends a FILTER.
+  SelectQuery& Filter(FilterExpr filter);
+
+  /// Sets the projection. Unset => SELECT *.
+  SelectQuery& Select(std::vector<VarId> vars);
+
+  SelectQuery& Distinct(bool distinct = true);
+  SelectQuery& Limit(uint64_t limit);
+  SelectQuery& Offset(uint64_t offset);
+
+  const std::vector<PatternClause>& clauses() const { return clauses_; }
+  const std::vector<FilterExpr>& filters() const { return filters_; }
+  const std::vector<VarId>& projection() const { return projection_; }
+  bool distinct() const { return distinct_; }
+  uint64_t limit() const { return limit_; }
+  uint64_t offset() const { return offset_; }
+
+  /// Validates structural sanity (every var used is declared; projection
+  /// non-empty after defaulting; at least one clause).
+  Status Validate() const;
+
+  /// Renders the query as SPARQL text for logs (needs the dictionary to
+  /// decode constant terms).
+  std::string ToSparql(const Dictionary& dict) const;
+
+ private:
+  std::vector<std::string> var_names_;
+  std::vector<PatternClause> clauses_;
+  std::vector<FilterExpr> filters_;
+  std::vector<VarId> projection_;  // Empty => all vars.
+  bool distinct_ = false;
+  uint64_t limit_ = kNoLimit;
+  uint64_t offset_ = 0;
+};
+
+/// A solution sequence: projected variable names plus rows of term ids.
+struct ResultSet {
+  std::vector<std::string> var_names;
+  std::vector<std::vector<TermId>> rows;
+
+  size_t size() const { return rows.size(); }
+  bool empty() const { return rows.empty(); }
+
+  /// Index of a projected variable by name, or -1.
+  int ColumnOf(const std::string& name) const {
+    for (size_t i = 0; i < var_names.size(); ++i) {
+      if (var_names[i] == name) return static_cast<int>(i);
+    }
+    return -1;
+  }
+};
+
+}  // namespace sofya
+
+#endif  // SOFYA_SPARQL_QUERY_H_

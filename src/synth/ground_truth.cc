@@ -1,0 +1,71 @@
+#include "synth/ground_truth.h"
+
+#include <algorithm>
+
+namespace sofya {
+
+void GroundTruth::AddRelation(const std::string& kb_tag,
+                              const std::string& relation_iri,
+                              const std::vector<std::string>& concepts) {
+  concepts_of_[relation_iri] =
+      std::set<std::string>(concepts.begin(), concepts.end());
+  relations_of_kb_[kb_tag].push_back(relation_iri);
+}
+
+bool GroundTruth::Subsumes(const std::string& from_iri,
+                           const std::string& to_iri) const {
+  auto from = concepts_of_.find(from_iri);
+  auto to = concepts_of_.find(to_iri);
+  if (from == concepts_of_.end() || to == concepts_of_.end()) return false;
+  if (from->second.empty()) return false;
+  return std::includes(to->second.begin(), to->second.end(),
+                       from->second.begin(), from->second.end());
+}
+
+AlignKind GroundTruth::Classify(const std::string& from_iri,
+                                const std::string& to_iri) const {
+  const bool forward = Subsumes(from_iri, to_iri);
+  if (!forward) return AlignKind::kNone;
+  const bool backward = Subsumes(to_iri, from_iri);
+  return backward ? AlignKind::kEquivalence : AlignKind::kSubsumption;
+}
+
+std::vector<std::pair<std::string, std::string>> GroundTruth::AllSubsumptions(
+    const std::string& from_kb_tag, const std::string& to_kb_tag) const {
+  std::vector<std::pair<std::string, std::string>> out;
+  auto from_it = relations_of_kb_.find(from_kb_tag);
+  auto to_it = relations_of_kb_.find(to_kb_tag);
+  if (from_it == relations_of_kb_.end() || to_it == relations_of_kb_.end()) {
+    return out;
+  }
+  for (const auto& from : from_it->second) {
+    for (const auto& to : to_it->second) {
+      if (Subsumes(from, to)) out.emplace_back(from, to);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+size_t GroundTruth::CountSubsumptions(const std::string& from_kb_tag,
+                                      const std::string& to_kb_tag) const {
+  return AllSubsumptions(from_kb_tag, to_kb_tag).size();
+}
+
+std::vector<std::string> GroundTruth::RelationsOf(
+    const std::string& kb_tag) const {
+  auto it = relations_of_kb_.find(kb_tag);
+  if (it == relations_of_kb_.end()) return {};
+  std::vector<std::string> out = it->second;
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::set<std::string> GroundTruth::ConceptsOf(
+    const std::string& relation_iri) const {
+  auto it = concepts_of_.find(relation_iri);
+  if (it == concepts_of_.end()) return {};
+  return it->second;
+}
+
+}  // namespace sofya

@@ -1,0 +1,68 @@
+// GroundTruth: the gold-standard alignment the evaluation scores against.
+//
+// Built from the WorldSpec's relation -> concept-set mapping; alignment is
+// concept-set inclusion (see synth/spec.h). Relation identity is the full
+// IRI string, so the truth is KB-agnostic and usable from either direction.
+
+#ifndef SOFYA_SYNTH_GROUND_TRUTH_H_
+#define SOFYA_SYNTH_GROUND_TRUTH_H_
+
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "mining/rule.h"
+
+namespace sofya {
+
+/// Gold alignment oracle over relation IRIs.
+class GroundTruth {
+ public:
+  GroundTruth() = default;
+
+  /// Registers a relation with its concept set. `kb_tag` groups relations
+  /// by dataset for AllSubsumptions enumeration.
+  void AddRelation(const std::string& kb_tag, const std::string& relation_iri,
+                   const std::vector<std::string>& concepts);
+
+  /// Number of registered relations (all KBs).
+  size_t num_relations() const { return concepts_of_.size(); }
+
+  /// True iff both IRIs are registered.
+  bool Knows(const std::string& relation_iri) const {
+    return concepts_of_.count(relation_iri) > 0;
+  }
+
+  /// Does from => to hold? (concept set of `from` ⊆ concept set of `to`).
+  /// Unregistered relations subsume nothing and are subsumed by nothing.
+  bool Subsumes(const std::string& from_iri, const std::string& to_iri) const;
+
+  /// Full classification of the ordered pair (from, to).
+  AlignKind Classify(const std::string& from_iri,
+                     const std::string& to_iri) const;
+
+  /// All gold pairs (from, to) with from in `from_kb_tag`, to in
+  /// `to_kb_tag`, and from => to. Sorted for determinism.
+  std::vector<std::pair<std::string, std::string>> AllSubsumptions(
+      const std::string& from_kb_tag, const std::string& to_kb_tag) const;
+
+  /// Count of AllSubsumptions (cheaper; no materialization).
+  size_t CountSubsumptions(const std::string& from_kb_tag,
+                           const std::string& to_kb_tag) const;
+
+  /// All relation IRIs registered under `kb_tag`, sorted.
+  std::vector<std::string> RelationsOf(const std::string& kb_tag) const;
+
+  /// The concept set of a relation (empty when unknown).
+  std::set<std::string> ConceptsOf(const std::string& relation_iri) const;
+
+ private:
+  std::unordered_map<std::string, std::set<std::string>> concepts_of_;
+  std::unordered_map<std::string, std::vector<std::string>> relations_of_kb_;
+};
+
+}  // namespace sofya
+
+#endif  // SOFYA_SYNTH_GROUND_TRUTH_H_

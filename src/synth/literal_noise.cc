@@ -1,0 +1,93 @@
+#include "synth/literal_noise.h"
+
+#include <array>
+#include <cctype>
+
+#include "util/string_util.h"
+
+namespace sofya {
+
+namespace {
+
+constexpr std::array<const char*, 24> kSyllables = {
+    "ka", "ri", "ta", "lo", "ven", "mar", "sel", "dor", "ni", "thu", "bel",
+    "gor", "li", "ran", "pe", "mos", "zar", "el", "vi", "dan", "qu", "fer",
+    "ha", "shi"};
+
+std::string MakeToken(SplitMix64& mix, int min_syll, int max_syll) {
+  const int n = min_syll + static_cast<int>(mix.Next() %
+                                            static_cast<uint64_t>(
+                                                max_syll - min_syll + 1));
+  std::string token;
+  for (int i = 0; i < n; ++i) {
+    token += kSyllables[mix.Next() % kSyllables.size()];
+  }
+  token[0] = static_cast<char>(
+      std::toupper(static_cast<unsigned char>(token[0])));
+  return token;
+}
+
+}  // namespace
+
+std::string SynthesizeName(uint64_t entity_id) {
+  // Derive everything from a private SplitMix64 stream so names are stable
+  // regardless of generator phase ordering.
+  SplitMix64 mix(entity_id * 0x9e3779b97f4a7c15ULL + 0xabcdefULL);
+  std::string name = MakeToken(mix, 2, 3);
+  name += ' ';
+  name += MakeToken(mix, 2, 4);
+  return name;
+}
+
+std::string ApplyLiteralNoise(const std::string& value,
+                              const LiteralNoiseOptions& options, Rng& rng) {
+  std::string out = value;
+
+  if (options.case_change_rate > 0.0 &&
+      rng.Bernoulli(options.case_change_rate)) {
+    out = ToLower(out);
+  }
+
+  if (options.abbreviate_rate > 0.0 && rng.Bernoulli(options.abbreviate_rate)) {
+    auto tokens = SplitWhitespace(out);
+    if (tokens.size() >= 2 && !tokens[0].empty()) {
+      tokens[0] = std::string(1, tokens[0][0]) + ".";
+      out = Join(tokens, " ");
+    }
+  }
+
+  if (options.token_swap_rate > 0.0 && rng.Bernoulli(options.token_swap_rate)) {
+    auto tokens = SplitWhitespace(out);
+    if (tokens.size() >= 2) {
+      std::swap(tokens[0], tokens[1]);
+      out = Join(tokens, " ");
+    }
+  }
+
+  if (options.drop_token_rate > 0.0 && rng.Bernoulli(options.drop_token_rate)) {
+    auto tokens = SplitWhitespace(out);
+    if (tokens.size() >= 2) {
+      tokens.pop_back();
+      out = Join(tokens, " ");
+    }
+  }
+
+  if (options.typo_rate > 0.0 && rng.Bernoulli(options.typo_rate) &&
+      !out.empty()) {
+    const size_t pos = rng.Below(out.size());
+    const char c = static_cast<char>('a' + rng.Below(26));
+    switch (rng.Below(3)) {
+      case 0:  // Substitute.
+        out[pos] = c;
+        break;
+      case 1:  // Insert.
+        out.insert(out.begin() + static_cast<ptrdiff_t>(pos), c);
+        break;
+      default:  // Delete (keep at least one char).
+        if (out.size() > 1) out.erase(pos, 1);
+    }
+  }
+  return out;
+}
+
+}  // namespace sofya

@@ -1,0 +1,25 @@
+// Deterministic name synthesis and literal surface noise.
+
+#ifndef SOFYA_SYNTH_LITERAL_NOISE_H_
+#define SOFYA_SYNTH_LITERAL_NOISE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "synth/spec.h"
+#include "util/random.h"
+
+namespace sofya {
+
+/// Generates a human-ish display name ("Varon Kelithar") deterministically
+/// from `entity_id` (independent of any Rng state).
+std::string SynthesizeName(uint64_t entity_id);
+
+/// Applies LiteralNoiseOptions to `value`, drawing from `rng`. Returns the
+/// (possibly unchanged) surface form.
+std::string ApplyLiteralNoise(const std::string& value,
+                              const LiteralNoiseOptions& options, Rng& rng);
+
+}  // namespace sofya
+
+#endif  // SOFYA_SYNTH_LITERAL_NOISE_H_

@@ -1,0 +1,319 @@
+#include "synth/presets.h"
+
+#include <algorithm>
+
+#include "util/random.h"
+#include "util/string_util.h"
+
+namespace sofya {
+
+WorldSpec TinyWorldSpec(uint64_t seed) {
+  WorldSpec spec;
+  spec.seed = seed;
+  spec.num_entities = 400;
+  spec.num_types = 2;
+  spec.kb1_name = "tiny1";
+  spec.kb2_name = "tiny2";
+
+  spec.concepts.push_back({.name = "bornIn",
+                           .num_facts = 150,
+                           .domain_type = 0,
+                           .range_type = 1,
+                           .functional = true});
+  spec.concepts.push_back({.name = "livesIn",
+                           .num_facts = 120,
+                           .domain_type = 0,
+                           .range_type = 1});
+
+  spec.kb1_relations.push_back(
+      {.local_name = "wasBornIn", .concepts = {"bornIn"}, .coverage = 0.9});
+  spec.kb2_relations.push_back(
+      {.local_name = "birthPlace", .concepts = {"bornIn"}, .coverage = 0.9});
+  spec.kb2_relations.push_back(
+      {.local_name = "residence", .concepts = {"livesIn"}, .coverage = 0.9});
+
+  spec.link_coverage = 1.0;
+  return spec;
+}
+
+WorldSpec MoviesWorldSpec(uint64_t seed, double producer_directs_rho) {
+  WorldSpec spec;
+  spec.seed = seed;
+  spec.num_entities = 3000;
+  spec.num_types = 2;  // type 0 = movies, type 1 = people.
+  spec.kb1_name = "moviedb";
+  spec.kb2_name = "filmkb";
+
+  spec.concepts.push_back({.name = "directs",
+                           .num_facts = 900,
+                           .domain_type = 0,
+                           .range_type = 1,
+                           .subject_zipf = 0.5,
+                           .object_zipf = 0.9});
+  spec.concepts.push_back({.name = "produces",
+                           .num_facts = 900,
+                           .domain_type = 0,
+                           .range_type = 1,
+                           .subject_zipf = 0.5,
+                           .object_zipf = 0.9,
+                           .correlate_with = "directs",
+                           .correlation_rho = producer_directs_rho});
+  spec.concepts.push_back({.name = "title",
+                           .num_facts = 800,
+                           .domain_type = 0,
+                           .literal_range = true,
+                           .literal_kind = LiteralKind::kName});
+
+  // K' (the candidate KB) distinguishes directors and producers.
+  spec.kb1_relations.push_back(
+      {.local_name = "hasDirector", .concepts = {"directs"}, .coverage = 0.85});
+  spec.kb1_relations.push_back(
+      {.local_name = "hasProducer", .concepts = {"produces"}, .coverage = 0.85});
+  spec.kb1_relations.push_back(
+      {.local_name = "label", .concepts = {"title"}, .coverage = 0.9});
+
+  // K (the reference KB) only has directors (plus the label).
+  spec.kb2_relations.push_back(
+      {.local_name = "directedBy", .concepts = {"directs"}, .coverage = 0.9});
+  spec.kb2_relations.push_back(
+      {.local_name = "name", .concepts = {"title"}, .coverage = 0.9});
+
+  spec.link_coverage = 0.95;
+  spec.kb1_literal_noise.case_change_rate = 0.3;
+  spec.kb2_literal_noise.typo_rate = 0.05;
+  return spec;
+}
+
+WorldSpec MusicWorldSpec(uint64_t seed) {
+  WorldSpec spec;
+  spec.seed = seed;
+  spec.num_entities = 3000;
+  spec.num_types = 2;  // type 0 = people, type 1 = works.
+  spec.kb1_name = "musicdb";
+  spec.kb2_name = "artkb";
+
+  // Popular people both compose and write (shared Zipf head), so the domain
+  // overlap UBS strategy A needs does exist.
+  spec.concepts.push_back({.name = "composes",
+                           .num_facts = 800,
+                           .domain_type = 0,
+                           .range_type = 1,
+                           .subject_zipf = 1.0});
+  spec.concepts.push_back({.name = "writes",
+                           .num_facts = 800,
+                           .domain_type = 0,
+                           .range_type = 1,
+                           .subject_zipf = 1.0});
+
+  spec.kb1_relations.push_back(
+      {.local_name = "composerOf", .concepts = {"composes"}, .coverage = 0.85});
+  spec.kb1_relations.push_back(
+      {.local_name = "writerOf", .concepts = {"writes"}, .coverage = 0.85});
+
+  // creatorOf is the union: each sibling is subsumed, neither is equivalent.
+  spec.kb2_relations.push_back({.local_name = "creatorOf",
+                                .concepts = {"composes", "writes"},
+                                .coverage = 0.9});
+
+  spec.link_coverage = 0.95;
+  return spec;
+}
+
+WorldSpec PairedKbSpec(const PairedKbOptions& options) {
+  WorldSpec spec;
+  spec.seed = options.seed;
+  spec.num_entities = options.num_entities;
+  spec.num_types = options.num_types;
+  spec.kb1_name = "yago";
+  spec.kb2_name = "dbpd";
+  spec.link_coverage = options.link_coverage;
+  spec.link_noise = options.link_noise;
+  spec.kb1_literal_noise.case_change_rate = 0.25;
+  spec.kb1_literal_noise.typo_rate = 0.03;
+  spec.kb2_literal_noise.abbreviate_rate = 0.1;
+
+  const auto type_of = [&](size_t i, size_t salt) {
+    return static_cast<int>((i * 7 + salt) % options.num_types);
+  };
+
+  // Per-relation noise heterogeneity: real KB relations vary widely in
+  // quality, which spreads true-rule confidences and pulls the best-F1
+  // threshold down into the band where correlated traps survive (the
+  // regime behind the paper's low baseline precision).
+  const auto noise_of = [](size_t i, uint64_t salt, double mean) {
+    SplitMix64 mix(i * 0x9e3779b97f4a7c15ULL + salt);
+    const double u = static_cast<double>(mix.Next() >> 11) * 0x1.0p-53;
+    return std::min(0.35, mean * (0.3 + 2.2 * u));
+  };
+
+  // --- Equivalence backbone -------------------------------------------
+  const size_t num_literal =
+      static_cast<size_t>(static_cast<double>(options.shared_concepts) *
+                          options.literal_fraction);
+  for (size_t i = 0; i < options.shared_concepts; ++i) {
+    ConceptSpec c;
+    c.name = StrFormat("shared_%zu", i);
+    c.num_facts = options.facts_per_shared_concept;
+    c.domain_type = type_of(i, 0);
+    if (i < num_literal) {
+      c.literal_range = true;
+      c.literal_kind = (i % 3 == 0)   ? LiteralKind::kYear
+                       : (i % 3 == 1) ? LiteralKind::kNumber
+                                      : LiteralKind::kName;
+    } else {
+      c.range_type = type_of(i, 3);
+      c.functional = (i % 4 == 0);
+    }
+    spec.concepts.push_back(c);
+    spec.kb1_relations.push_back({.local_name = StrFormat("rel%zu", i),
+                                  .concepts = {c.name},
+                                  .coverage = options.kb1_coverage,
+                                  .fact_noise = noise_of(spec.kb1_relations.size(), 11,
+                                                         options.kb1_fact_noise)});
+    spec.kb2_relations.push_back({.local_name = StrFormat("property%zu", i),
+                                  .concepts = {c.name},
+                                  .coverage = options.kb2_coverage,
+                                  .fact_noise = noise_of(spec.kb2_relations.size(), 22,
+                                                         options.kb2_fact_noise)});
+  }
+
+  // --- Sibling groups (subsumption, not equivalence) -------------------
+  for (size_t g = 0; g < options.sibling_groups; ++g) {
+    std::vector<std::string> group_concepts;
+    const int dom = type_of(g, 5);
+    const int rng_type = type_of(g, 6);
+    for (size_t s = 0; s < options.siblings_per_group; ++s) {
+      ConceptSpec c;
+      c.name = StrFormat("sib_%zu_%zu", g, s);
+      c.num_facts = options.facts_per_sibling_concept;
+      c.domain_type = dom;
+      c.range_type = rng_type;
+      // Staggered regions with Zipf skew: each sibling owns a subject
+      // subpopulation, with a thin tail overlap. Random samples of the
+      // union relation rarely land in the overlap (so the reverse rule
+      // looks like an equivalence); UBS's targeted overlap probes find it.
+      c.subject_zipf = 1.1;
+      c.subject_region_start = static_cast<double>(s) /
+                               static_cast<double>(
+                                   options.siblings_per_group) * 0.9;
+      c.subject_shared_mix = options.sibling_shared_mix;
+      spec.concepts.push_back(c);
+      group_concepts.push_back(c.name);
+      spec.kb1_relations.push_back(
+          {.local_name = StrFormat("narrow%zu_%zu", g, s),
+           .concepts = {c.name},
+           .coverage = options.kb1_coverage,
+           .fact_noise = noise_of(spec.kb1_relations.size(), 11,
+                                                         options.kb1_fact_noise)});
+    }
+    spec.kb2_relations.push_back({.local_name = StrFormat("broad%zu", g),
+                                  .concepts = group_concepts,
+                                  .coverage = options.kb2_coverage,
+                                  .fact_noise = noise_of(spec.kb2_relations.size(), 22,
+                                                         options.kb2_fact_noise)});
+  }
+
+  // --- Overlap traps (correlation, no subsumption) ---------------------
+  for (size_t t = 0; t < options.overlap_traps; ++t) {
+    const int dom = type_of(t, 8);
+    const int rng_type = type_of(t, 9);
+    // Both trap concepts live on the same dense subject subpopulation
+    // (every movie has a director AND a producer): high Zipf concentration
+    // on a per-trap region makes nearly every shadow subject carry base
+    // facts, so the correlated shadow relation scores high under PCA with
+    // real support — the paper's hasProducer => directedBy trap.
+    ConceptSpec base;
+    base.name = StrFormat("trap_base_%zu", t);
+    base.num_facts = options.facts_per_trap_concept;
+    base.domain_type = dom;
+    base.range_type = rng_type;
+    base.subject_zipf = 1.3;
+    base.subject_region_start = 0.07 * static_cast<double>(t);
+    spec.concepts.push_back(base);
+
+    ConceptSpec shadow;
+    shadow.name = StrFormat("trap_shadow_%zu", t);
+    shadow.num_facts = options.facts_per_trap_concept;
+    shadow.domain_type = dom;
+    shadow.range_type = rng_type;
+    shadow.subject_zipf = 1.3;
+    shadow.subject_region_start = base.subject_region_start;
+    shadow.correlate_with = base.name;
+    shadow.correlation_rho = options.overlap_rho;
+    spec.concepts.push_back(shadow);
+
+    spec.kb1_relations.push_back({.local_name = StrFormat("base%zu", t),
+                                  .concepts = {base.name},
+                                  .coverage = options.kb1_coverage,
+                                  .fact_noise = noise_of(spec.kb1_relations.size(), 11,
+                                                         options.kb1_fact_noise)});
+    spec.kb1_relations.push_back({.local_name = StrFormat("shadow%zu", t),
+                                  .concepts = {shadow.name},
+                                  .coverage = options.kb1_coverage,
+                                  .fact_noise = noise_of(spec.kb1_relations.size(), 11,
+                                                         options.kb1_fact_noise)});
+    spec.kb2_relations.push_back({.local_name = StrFormat("target%zu", t),
+                                  .concepts = {base.name},
+                                  .coverage = options.kb2_coverage,
+                                  .fact_noise = noise_of(spec.kb2_relations.size(), 22,
+                                                         options.kb2_fact_noise)});
+  }
+
+  // --- Private relations ------------------------------------------------
+  for (size_t i = 0; i < options.kb1_private; ++i) {
+    ConceptSpec c;
+    c.name = StrFormat("kb1_only_%zu", i);
+    c.num_facts = options.facts_per_private_concept;
+    c.domain_type = type_of(i, 11);
+    c.range_type = type_of(i, 12);
+    spec.concepts.push_back(c);
+    spec.kb1_relations.push_back({.local_name = StrFormat("local%zu", i),
+                                  .concepts = {c.name},
+                                  .coverage = options.kb1_coverage});
+  }
+  for (size_t i = 0; i < options.kb2_private; ++i) {
+    ConceptSpec c;
+    c.name = StrFormat("kb2_only_%zu", i);
+    c.num_facts = options.facts_per_private_concept;
+    c.domain_type = type_of(i, 13);
+    c.range_type = type_of(i, 14);
+    spec.concepts.push_back(c);
+    spec.kb2_relations.push_back({.local_name = StrFormat("infobox%zu", i),
+                                  .concepts = {c.name},
+                                  .coverage = options.kb2_coverage});
+  }
+
+  return spec;
+}
+
+WorldSpec YagoDbpediaSpec(uint64_t seed, double scale) {
+  scale = std::clamp(scale, 0.01, 1.0);
+  PairedKbOptions options;
+  options.seed = seed;
+  // kb1 relation count: shared + sibling_groups*siblings + 2*traps + private
+  //                   = 20 + 12*2 + 2*24 + 0 = 92  (YAGO2's 92 relations).
+  // The mix is deliberately hard-case heavy: most YAGO relations align to
+  // DBpedia only through a trap or a sibling group, which is what pushes
+  // the sample-based baselines into the paper's 0.5-0.6 precision band.
+  options.shared_concepts = 20;
+  options.sibling_groups = 12;
+  options.siblings_per_group = 2;
+  options.overlap_traps = 24;
+  options.kb1_private = 0;
+  // kb2 relation count: 20 + 12 + 24 + private = 1313 at scale 1.
+  options.kb2_private =
+      static_cast<size_t>(static_cast<double>(1313 - 20 - 12 - 24) * scale);
+  options.num_entities =
+      std::max<size_t>(2000, static_cast<size_t>(20000 * scale));
+  options.facts_per_shared_concept =
+      std::max<size_t>(60, static_cast<size_t>(400 * scale));
+  options.facts_per_sibling_concept =
+      std::max<size_t>(50, static_cast<size_t>(300 * scale));
+  options.facts_per_trap_concept =
+      std::max<size_t>(50, static_cast<size_t>(300 * scale));
+  options.facts_per_private_concept =
+      std::max<size_t>(20, static_cast<size_t>(60 * scale));
+  return PairedKbSpec(options);
+}
+
+}  // namespace sofya

@@ -1,0 +1,471 @@
+#include "synth/world_generator.h"
+
+#include <algorithm>
+#include <cctype>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "synth/literal_noise.h"
+#include "util/hash.h"
+#include "util/random.h"
+#include "util/string_util.h"
+
+namespace sofya {
+
+namespace {
+
+using EntityId = uint32_t;
+
+/// Latent facts of one cspec.
+struct ConceptFacts {
+  bool literal = false;
+  LiteralKind literal_kind = LiteralKind::kName;
+  int range_type = 0;
+  /// Entity-entity facts.
+  std::vector<std::pair<EntityId, EntityId>> ee;
+  /// Entity-literal facts (canonical lexical form).
+  std::vector<std::pair<EntityId, std::string>> el;
+  /// Subject -> objects (entity-entity), for correlation lookups.
+  std::unordered_map<EntityId, std::vector<EntityId>> objects_of;
+};
+
+/// Maps (type, rank) to a concrete entity id: entities of type t are the
+/// ids congruent to t modulo num_types.
+EntityId EntityOfTypeByRank(int type, size_t rank, size_t num_types) {
+  return static_cast<EntityId>(static_cast<size_t>(type) + rank * num_types);
+}
+
+size_t EntitiesOfTypeCount(int type, size_t num_entities, size_t num_types) {
+  if (static_cast<size_t>(type) >= num_entities) return 0;
+  return (num_entities - static_cast<size_t>(type) - 1) / num_types + 1;
+}
+
+/// KB1 naming: "Varon_Kelithar_17"; KB2 naming: "varonKelithar17".
+/// Different surface conventions stress the point that cross-KB identity
+/// only flows through sameAs, never through string equality of IRIs.
+std::string Kb1LocalName(EntityId e) {
+  std::string name = SynthesizeName(e);
+  for (char& c : name) {
+    if (c == ' ') c = '_';
+  }
+  return name + "_" + std::to_string(e);
+}
+
+std::string Kb2LocalName(EntityId e) {
+  const std::string name = SynthesizeName(e);
+  std::string out;
+  bool upper_next = false;
+  for (char c : name) {
+    if (c == ' ') {
+      upper_next = true;
+      continue;
+    }
+    out += upper_next
+               ? static_cast<char>(std::toupper(static_cast<unsigned char>(c)))
+               : static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    upper_next = false;
+  }
+  return out + std::to_string(e);
+}
+
+std::string CanonicalLiteral(EntityId subject, LiteralKind kind) {
+  switch (kind) {
+    case LiteralKind::kName:
+      return SynthesizeName(subject);
+    case LiteralKind::kYear: {
+      const uint64_t h = Fnv1a(&subject, sizeof(subject));
+      return std::to_string(1900 + h % 120);
+    }
+    case LiteralKind::kNumber: {
+      const uint64_t salted = subject * 7919ULL + 13;
+      const uint64_t h = Fnv1a(&salted, sizeof(salted));
+      return std::to_string(h % 1000000);
+    }
+  }
+  return "";
+}
+
+Status ValidateSpec(const WorldSpec& spec) {
+  if (spec.num_entities == 0) {
+    return Status::InvalidArgument("num_entities must be positive");
+  }
+  if (spec.num_types == 0) {
+    return Status::InvalidArgument("num_types must be positive");
+  }
+  std::unordered_set<std::string> seen;
+  for (size_t i = 0; i < spec.concepts.size(); ++i) {
+    const ConceptSpec& c = spec.concepts[i];
+    if (c.name.empty()) {
+      return Status::InvalidArgument(
+          StrFormat("concept %zu has an empty name", i));
+    }
+    if (!seen.insert(c.name).second) {
+      return Status::InvalidArgument(
+          StrFormat("duplicate concept name '%s'", c.name.c_str()));
+    }
+    if (c.domain_type < 0 ||
+        static_cast<size_t>(c.domain_type) >= spec.num_types ||
+        (!c.literal_range &&
+         (c.range_type < 0 ||
+          static_cast<size_t>(c.range_type) >= spec.num_types))) {
+      return Status::InvalidArgument(
+          StrFormat("concept '%s': type index out of range", c.name.c_str()));
+    }
+    if (!c.correlate_with.empty()) {
+      if (c.correlate_with == c.name) {
+        return Status::InvalidArgument(
+            StrFormat("concept '%s' correlates with itself", c.name.c_str()));
+      }
+      bool found_earlier = false;
+      for (size_t j = 0; j < i; ++j) {
+        if (spec.concepts[j].name == c.correlate_with) {
+          if (spec.concepts[j].literal_range) {
+            return Status::InvalidArgument(StrFormat(
+                "concept '%s' correlates with literal concept '%s'",
+                c.name.c_str(), c.correlate_with.c_str()));
+          }
+          found_earlier = true;
+          break;
+        }
+      }
+      if (!found_earlier) {
+        return Status::InvalidArgument(StrFormat(
+            "concept '%s' correlates with '%s', which is not an earlier "
+            "concept",
+            c.name.c_str(), c.correlate_with.c_str()));
+      }
+    }
+  }
+  auto check_relations = [&](const std::vector<KbRelationSpec>& rels,
+                             const char* kb) -> Status {
+    std::unordered_set<std::string> names;
+    for (const KbRelationSpec& r : rels) {
+      if (r.local_name.empty()) {
+        return Status::InvalidArgument(
+            StrFormat("%s: relation with empty local_name", kb));
+      }
+      if (!names.insert(r.local_name).second) {
+        return Status::InvalidArgument(StrFormat(
+            "%s: duplicate relation '%s'", kb, r.local_name.c_str()));
+      }
+      if (r.concepts.empty()) {
+        return Status::InvalidArgument(StrFormat(
+            "%s: relation '%s' maps to no concepts", kb,
+            r.local_name.c_str()));
+      }
+      for (const std::string& concept_name : r.concepts) {
+        if (!seen.count(concept_name)) {
+          return Status::InvalidArgument(StrFormat(
+              "%s: relation '%s' references unknown concept '%s'", kb,
+              r.local_name.c_str(), concept_name.c_str()));
+        }
+      }
+      if (r.coverage < 0.0 || r.coverage > 1.0) {
+        return Status::InvalidArgument(StrFormat(
+            "%s: relation '%s' coverage %.3f outside [0,1]", kb,
+            r.local_name.c_str(), r.coverage));
+      }
+    }
+    return Status::OK();
+  };
+  SOFYA_RETURN_IF_ERROR(check_relations(spec.kb1_relations, "kb1"));
+  SOFYA_RETURN_IF_ERROR(check_relations(spec.kb2_relations, "kb2"));
+  return Status::OK();
+}
+
+/// Generates the latent facts of one cspec.
+ConceptFacts GenerateConceptFacts(
+    const WorldSpec& spec, const ConceptSpec& cspec, Rng rng,
+    const std::unordered_map<std::string, ConceptFacts>& earlier) {
+  ConceptFacts facts;
+  facts.literal = cspec.literal_range;
+  facts.literal_kind = cspec.literal_kind;
+  facts.range_type = cspec.range_type;
+
+  const size_t domain_count =
+      EntitiesOfTypeCount(cspec.domain_type, spec.num_entities,
+                          spec.num_types);
+  if (domain_count == 0) return facts;
+  ZipfSampler subject_sampler(domain_count, cspec.subject_zipf);
+  const size_t region_start = static_cast<size_t>(
+      cspec.subject_region_start * static_cast<double>(domain_count));
+  auto subject_rank = [&](Rng& r) {
+    const size_t rank = subject_sampler.Sample(r);
+    if (cspec.subject_shared_mix > 0.0 &&
+        r.Bernoulli(cspec.subject_shared_mix)) {
+      return rank;  // Shared (unshifted) region.
+    }
+    return (region_start + rank) % domain_count;
+  };
+
+  if (cspec.literal_range) {
+    // One (subject, literal) fact per distinct subject.
+    std::unordered_set<EntityId> used;
+    const size_t target = std::min(cspec.num_facts, domain_count);
+    size_t attempts = 0;
+    while (used.size() < target && attempts < cspec.num_facts * 20 + 100) {
+      ++attempts;
+      const EntityId s = EntityOfTypeByRank(cspec.domain_type,
+                                            subject_rank(rng),
+                                            spec.num_types);
+      if (!used.insert(s).second) continue;
+      facts.el.emplace_back(s, CanonicalLiteral(s, cspec.literal_kind));
+    }
+    std::sort(facts.el.begin(), facts.el.end());
+    return facts;
+  }
+
+  const size_t range_count = EntitiesOfTypeCount(
+      cspec.range_type, spec.num_entities, spec.num_types);
+  if (range_count == 0) return facts;
+  ZipfSampler object_sampler(range_count, cspec.object_zipf);
+
+  const ConceptFacts* correlate = nullptr;
+  if (!cspec.correlate_with.empty()) {
+    auto it = earlier.find(cspec.correlate_with);
+    if (it != earlier.end()) correlate = &it->second;
+  }
+
+  std::unordered_set<std::pair<EntityId, EntityId>, PairHash> used;
+  std::unordered_set<EntityId> functional_subjects;
+  const size_t max_possible =
+      cspec.functional ? domain_count : domain_count * range_count;
+  const size_t target = std::min(cspec.num_facts, max_possible);
+  size_t attempts = 0;
+  while (used.size() < target && attempts < cspec.num_facts * 20 + 100) {
+    ++attempts;
+    const EntityId s = EntityOfTypeByRank(cspec.domain_type,
+                                          subject_rank(rng), spec.num_types);
+    if (cspec.functional && functional_subjects.count(s)) continue;
+
+    EntityId o;
+    bool correlated = false;
+    if (correlate != nullptr && cspec.correlation_rho > 0.0 &&
+        rng.Bernoulli(cspec.correlation_rho)) {
+      auto it = correlate->objects_of.find(s);
+      if (it != correlate->objects_of.end() && !it->second.empty()) {
+        o = it->second[rng.Below(it->second.size())];
+        correlated = true;
+      }
+    }
+    if (!correlated) {
+      o = EntityOfTypeByRank(cspec.range_type, object_sampler.Sample(rng),
+                             spec.num_types);
+    }
+
+    if (!used.insert({s, o}).second) continue;
+    facts.ee.emplace_back(s, o);
+    facts.objects_of[s].push_back(o);
+    if (cspec.functional) functional_subjects.insert(s);
+  }
+  std::sort(facts.ee.begin(), facts.ee.end());
+  return facts;
+}
+
+}  // namespace
+
+StatusOr<SynthWorld> GenerateWorld(const WorldSpec& spec) {
+  SOFYA_RETURN_IF_ERROR(ValidateSpec(spec));
+
+  SynthWorld world;
+  world.spec = spec;
+  world.kb1 = std::make_unique<KnowledgeBase>(spec.kb1_name, spec.kb1_base);
+  world.kb2 = std::make_unique<KnowledgeBase>(spec.kb2_name, spec.kb2_base);
+
+  Rng root(spec.seed);
+  Rng facts_rng = root.Fork(1);
+  Rng project_rng = root.Fork(2);
+  Rng links_rng = root.Fork(3);
+
+  // Phase 1: latent facts.
+  std::unordered_map<std::string, ConceptFacts> world_facts;
+  for (size_t i = 0; i < spec.concepts.size(); ++i) {
+    const ConceptSpec& c = spec.concepts[i];
+    ConceptFacts facts = GenerateConceptFacts(
+        spec, c, facts_rng.Fork(static_cast<uint64_t>(i) + 100), world_facts);
+    world.stats.world_facts += facts.ee.size() + facts.el.size();
+    world_facts.emplace(c.name, std::move(facts));
+  }
+
+  // Phase 2: projection into the two KBs.
+  std::unordered_set<EntityId> used_kb1, used_kb2;
+
+  // Per-subject coverage decision: deterministic in (seed, kb, relation,
+  // subject) so every fact of a subject within one relation is kept or
+  // dropped together (the PCA completeness premise).
+  auto keep_subject = [&](uint64_t kb_salt, size_t rel_index, EntityId s,
+                          double coverage) {
+    uint64_t key = spec.seed;
+    key = key * 0x100000001b3ULL ^ kb_salt;
+    key = key * 0x100000001b3ULL ^ static_cast<uint64_t>(rel_index + 1);
+    key = key * 0x100000001b3ULL ^ (static_cast<uint64_t>(s) + 1);
+    SplitMix64 mix(key);
+    const double u =
+        static_cast<double>(mix.Next() >> 11) * 0x1.0p-53;
+    return u < coverage;
+  };
+
+  auto project = [&](KnowledgeBase* kb,
+                     const std::vector<KbRelationSpec>& relations,
+                     const LiteralNoiseOptions& noise,
+                     std::unordered_set<EntityId>* used, bool is_kb1,
+                     uint64_t stream_base, size_t* fact_count) {
+    for (size_t ri = 0; ri < relations.size(); ++ri) {
+      const KbRelationSpec& rel = relations[ri];
+      Rng rel_rng = project_rng.Fork(stream_base + ri);
+      const Term predicate = Term::Iri(kb->base_iri() + "ontology/" +
+                                       rel.local_name);
+      auto keep = [&](EntityId s) {
+        if (rel.coverage_model == CoverageModel::kPerSubject) {
+          return keep_subject(stream_base, ri, s, rel.coverage);
+        }
+        return rel_rng.Bernoulli(rel.coverage);
+      };
+      for (const std::string& concept_name : rel.concepts) {
+        const ConceptFacts& facts = world_facts.at(concept_name);
+        const size_t range_count = EntitiesOfTypeCount(
+            facts.range_type, spec.num_entities, spec.num_types);
+        for (const auto& [s, o] : facts.ee) {
+          if (!keep(s)) continue;
+          EntityId stored_o = o;
+          if (rel.fact_noise > 0.0 && range_count > 1 &&
+              rel_rng.Bernoulli(rel.fact_noise)) {
+            // Inter-KB disagreement: this KB believes a wrong object.
+            do {
+              stored_o = EntityOfTypeByRank(facts.range_type,
+                                            rel_rng.Below(range_count),
+                                            spec.num_types);
+            } while (stored_o == o);
+          }
+          const std::string s_local =
+              is_kb1 ? Kb1LocalName(s) : Kb2LocalName(s);
+          const std::string o_local =
+              is_kb1 ? Kb1LocalName(stored_o) : Kb2LocalName(stored_o);
+          kb->AddTriple(Term::Iri(kb->base_iri() + "resource/" + s_local),
+                        predicate,
+                        Term::Iri(kb->base_iri() + "resource/" + o_local));
+          used->insert(s);
+          used->insert(stored_o);
+          ++*fact_count;
+        }
+        for (const auto& [s, lexical] : facts.el) {
+          if (!keep(s)) continue;
+          const std::string s_local =
+              is_kb1 ? Kb1LocalName(s) : Kb2LocalName(s);
+          std::string stored = lexical;
+          if (rel.fact_noise > 0.0 && rel_rng.Bernoulli(rel.fact_noise)) {
+            // Wrong literal value: another entity's value for this kind.
+            const EntityId other = static_cast<EntityId>(
+                rel_rng.Below(spec.num_entities));
+            stored = CanonicalLiteral(other, facts.literal_kind);
+          }
+          const std::string noised = ApplyLiteralNoise(stored, noise, rel_rng);
+          kb->AddTriple(Term::Iri(kb->base_iri() + "resource/" + s_local),
+                        predicate, Term::Literal(noised));
+          used->insert(s);
+          ++*fact_count;
+        }
+      }
+      world.truth.AddRelation(kb->name(), predicate.lexical(), rel.concepts);
+
+      if (spec.add_inverse_relations) {
+        // The inverse relation holds exactly the swapped entity-entity
+        // facts; its ground-truth concepts are the "^-1" twins, so inverse
+        // relations align with each other and never with direct ones.
+        const Term inv_predicate = Term::Iri(kb->base_iri() + "ontology/" +
+                                             rel.local_name + "Inv");
+        bool has_entity_facts = false;
+        std::vector<std::string> inv_concepts;
+        for (const std::string& concept_name : rel.concepts) {
+          const ConceptFacts& facts = world_facts.at(concept_name);
+          if (facts.literal) continue;
+          has_entity_facts = true;
+          inv_concepts.push_back(concept_name + "^-1");
+          for (const auto& [s, o] : facts.ee) {
+            // Per-subject coverage keyed on the inverse's subject (= o).
+            if (rel.coverage_model == CoverageModel::kPerSubject
+                    ? !keep_subject(stream_base + 5000, ri, o, rel.coverage)
+                    : !rel_rng.Bernoulli(rel.coverage)) {
+              continue;
+            }
+            const std::string s_local =
+                is_kb1 ? Kb1LocalName(s) : Kb2LocalName(s);
+            const std::string o_local =
+                is_kb1 ? Kb1LocalName(o) : Kb2LocalName(o);
+            kb->AddTriple(Term::Iri(kb->base_iri() + "resource/" + o_local),
+                          inv_predicate,
+                          Term::Iri(kb->base_iri() + "resource/" + s_local));
+            used->insert(s);
+            used->insert(o);
+            ++*fact_count;
+          }
+        }
+        if (has_entity_facts) {
+          world.truth.AddRelation(kb->name(), inv_predicate.lexical(),
+                                  inv_concepts);
+        }
+      }
+    }
+  };
+
+  project(world.kb1.get(), spec.kb1_relations, spec.kb1_literal_noise,
+          &used_kb1, /*is_kb1=*/true, /*stream_base=*/1000,
+          &world.stats.kb1_facts);
+  project(world.kb2.get(), spec.kb2_relations, spec.kb2_literal_noise,
+          &used_kb2, /*is_kb1=*/false, /*stream_base=*/2000,
+          &world.stats.kb2_facts);
+
+  world.stats.kb1_entities = used_kb1.size();
+  world.stats.kb2_entities = used_kb2.size();
+
+  // Phase 3: sameAs links over shared entities.
+  std::vector<EntityId> shared;
+  for (EntityId e : used_kb1) {
+    if (used_kb2.count(e)) shared.push_back(e);
+  }
+  std::sort(shared.begin(), shared.end());
+  world.stats.shared_entities = shared.size();
+
+  std::vector<EntityId> kb2_pool(used_kb2.begin(), used_kb2.end());
+  std::sort(kb2_pool.begin(), kb2_pool.end());
+
+  for (EntityId e : shared) {
+    if (!links_rng.Bernoulli(spec.link_coverage)) continue;
+    EntityId partner = e;
+    bool wrong = false;
+    if (spec.link_noise > 0.0 && links_rng.Bernoulli(spec.link_noise) &&
+        kb2_pool.size() > 1) {
+      // Pick a wrong partner (different latent entity).
+      do {
+        partner = kb2_pool[links_rng.Below(kb2_pool.size())];
+      } while (partner == e);
+      wrong = true;
+    }
+    world.links.AddLink(
+        Term::Iri(spec.kb1_base + "resource/" + Kb1LocalName(e)),
+        Term::Iri(spec.kb2_base + "resource/" + Kb2LocalName(partner)));
+    if (wrong) {
+      ++world.stats.links_wrong;
+    } else {
+      ++world.stats.links_correct;
+    }
+  }
+
+  return world;
+}
+
+std::string DescribeWorld(const SynthWorld& world) {
+  const WorldStats& s = world.stats;
+  return StrFormat(
+      "world[seed=%llu]: %zu latent facts; %s: %zu facts / %zu entities / "
+      "%zu relations; %s: %zu facts / %zu entities / %zu relations; "
+      "%zu shared entities; links: %zu correct + %zu wrong",
+      static_cast<unsigned long long>(world.spec.seed), s.world_facts,
+      world.kb1->name().c_str(), s.kb1_facts, s.kb1_entities,
+      world.spec.kb1_relations.size(), world.kb2->name().c_str(), s.kb2_facts,
+      s.kb2_entities, world.spec.kb2_relations.size(), s.shared_entities,
+      s.links_correct, s.links_wrong);
+}
+
+}  // namespace sofya

@@ -1,0 +1,64 @@
+// WorldGenerator: materializes a WorldSpec into two KnowledgeBases, a
+// sameAs link set, and the GroundTruth oracle.
+//
+// Substitution note (see DESIGN.md): this stands in for the paper's YAGO2 /
+// DBpedia datasets. The alignment algorithm only observes co-occurrence
+// statistics of instance pairs under sameAs, and the generator reproduces
+// exactly the regimes the paper discusses (incompleteness, sibling
+// subsumptions, correlated overlaps, partial/noisy linkage, literal noise).
+
+#ifndef SOFYA_SYNTH_WORLD_GENERATOR_H_
+#define SOFYA_SYNTH_WORLD_GENERATOR_H_
+
+#include <memory>
+#include <string>
+
+#include "rdf/knowledge_base.h"
+#include "sameas/sameas_index.h"
+#include "synth/ground_truth.h"
+#include "synth/spec.h"
+#include "util/status.h"
+
+namespace sofya {
+
+/// Generation summary (reported by benches and asserted on by tests).
+struct WorldStats {
+  size_t world_facts = 0;     ///< Latent facts across all concepts.
+  size_t kb1_facts = 0;       ///< Triples stored in KB1.
+  size_t kb2_facts = 0;       ///< Triples stored in KB2.
+  size_t kb1_entities = 0;    ///< Latent entities appearing in KB1.
+  size_t kb2_entities = 0;    ///< Latent entities appearing in KB2.
+  size_t shared_entities = 0; ///< Entities appearing in both.
+  size_t links_correct = 0;   ///< Correct sameAs links emitted.
+  size_t links_wrong = 0;     ///< Noisy (wrong) links emitted.
+};
+
+/// A generated world: two KBs + links + truth.
+///
+/// Convention used throughout SOFYA's experiments: `kb1` plays K' (the
+/// candidate KB searched for body relations r') and `kb2` plays K (the
+/// reference KB owning the head relation r) — mirror of yago ⊂ dbpd with
+/// kb1=yago, kb2=dbpd.
+struct SynthWorld {
+  WorldSpec spec;
+  std::unique_ptr<KnowledgeBase> kb1;
+  std::unique_ptr<KnowledgeBase> kb2;
+  SameAsIndex links;
+  GroundTruth truth;
+  WorldStats stats;
+};
+
+/// Generates a world. Deterministic: equal specs (incl. seed) produce
+/// bit-identical KBs, links and truth.
+///
+/// Errors: InvalidArgument for malformed specs (unknown concept references,
+/// correlations pointing forward/at-self, empty concept lists, type indexes
+/// out of range).
+StatusOr<SynthWorld> GenerateWorld(const WorldSpec& spec);
+
+/// Renders a one-paragraph generation report for logs/benches.
+std::string DescribeWorld(const SynthWorld& world);
+
+}  // namespace sofya
+
+#endif  // SOFYA_SYNTH_WORLD_GENERATOR_H_

@@ -1,0 +1,44 @@
+// Hashing helpers: combine and pair hashing for unordered containers.
+
+#ifndef SOFYA_UTIL_HASH_H_
+#define SOFYA_UTIL_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <utility>
+
+namespace sofya {
+
+/// Mixes `value`'s hash into `seed` (boost::hash_combine recipe, 64-bit).
+template <typename T>
+void HashCombine(size_t& seed, const T& value) {
+  seed ^= std::hash<T>{}(value) + 0x9e3779b97f4a7c15ULL + (seed << 12) +
+          (seed >> 4);
+}
+
+/// std::hash-compatible functor for std::pair.
+struct PairHash {
+  template <typename A, typename B>
+  size_t operator()(const std::pair<A, B>& p) const {
+    size_t seed = 0;
+    HashCombine(seed, p.first);
+    HashCombine(seed, p.second);
+    return seed;
+  }
+};
+
+/// FNV-1a over raw bytes; stable across platforms.
+inline uint64_t Fnv1a(const void* data, size_t len) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= bytes[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace sofya
+
+#endif  // SOFYA_UTIL_HASH_H_

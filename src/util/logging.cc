@@ -1,0 +1,52 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+
+namespace sofya {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kWarning};
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarning:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+    case LogLevel::kOff:
+      return "?";
+  }
+  return "?";
+}
+
+const char* Basename(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash ? slash + 1 : path;
+}
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level.store(level); }
+LogLevel GetLogLevel() { return g_level.load(); }
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level) {
+  stream_ << "[" << LevelTag(level) << " " << Basename(file) << ":" << line
+          << "] ";
+}
+
+LogMessage::~LogMessage() {
+  if (level_ < g_level.load()) return;
+  const std::string text = stream_.str();
+  std::fprintf(stderr, "%s\n", text.c_str());
+}
+
+}  // namespace internal
+}  // namespace sofya

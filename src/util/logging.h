@@ -1,0 +1,48 @@
+// Minimal leveled logging. Off by default in tests and benchmarks;
+// examples turn on kInfo to narrate the pipeline.
+
+#ifndef SOFYA_UTIL_LOGGING_H_
+#define SOFYA_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace sofya {
+
+/// Severity levels, ordered.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kOff = 4 };
+
+/// Process-wide minimum level (default: kWarning).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log sink; writes on destruction if `level` passes the filter.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace sofya
+
+#define SOFYA_LOG(level)                                          \
+  ::sofya::internal::LogMessage(::sofya::LogLevel::k##level,      \
+                                __FILE__, __LINE__)
+
+#endif  // SOFYA_UTIL_LOGGING_H_

@@ -1,0 +1,23 @@
+#include "util/random.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace sofya {
+
+std::vector<size_t> SampleWithoutReplacement(Rng& rng, size_t n, size_t k) {
+  assert(k <= n);
+  std::unordered_set<size_t> chosen;
+  chosen.reserve(k * 2);
+  // Floyd's algorithm: for j in [n-k, n), pick t in [0, j]; insert t unless
+  // already chosen, else insert j.
+  for (size_t j = n - k; j < n; ++j) {
+    const size_t t = rng.Below(j + 1);
+    if (!chosen.insert(t).second) chosen.insert(j);
+  }
+  std::vector<size_t> result(chosen.begin(), chosen.end());
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+}  // namespace sofya

@@ -1,0 +1,196 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic component in SOFYA (world generation, sampling, latency
+// models, failure injection) draws from an explicitly seeded Rng so that
+// experiments are bit-for-bit reproducible. We do not use std::mt19937 /
+// std::uniform_int_distribution because their outputs are not guaranteed to
+// be identical across standard library implementations; Xoshiro256** plus
+// hand-rolled distributions are.
+
+#ifndef SOFYA_UTIL_RANDOM_H_
+#define SOFYA_UTIL_RANDOM_H_
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace sofya {
+
+/// SplitMix64: used to expand a 64-bit seed into Xoshiro state and to derive
+/// independent child seeds.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  /// Next 64-bit value.
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+/// Xoshiro256** 1.0 (Blackman & Vigna), seeded via SplitMix64.
+///
+/// Satisfies the UniformRandomBitGenerator concept so it can also feed
+/// std::shuffle-style algorithms, though SOFYA ships its own distributions.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  /// Seeds the generator. Two Rngs with equal seeds produce equal streams.
+  explicit Rng(uint64_t seed = 0x5eedu) { Reseed(seed); }
+
+  /// Re-initializes the state from `seed`.
+  void Reseed(uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.Next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  /// Next raw 64-bit draw.
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  uint64_t operator()() { return Next(); }
+
+  /// Uniform integer in [0, bound). `bound` must be > 0. Uses Lemire's
+  /// nearly-divisionless method (bias negligible for bound << 2^64).
+  uint64_t Below(uint64_t bound) {
+    assert(bound > 0);
+    // 128-bit multiply-shift.
+    unsigned __int128 m =
+        static_cast<unsigned __int128>(Next()) * static_cast<unsigned __int128>(bound);
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t Uniform(int64_t lo, int64_t hi) {
+    assert(lo <= hi);
+    const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+    return lo + static_cast<int64_t>(span == 0 ? Next() : Below(span));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli draw: true with probability p (clamped to [0,1]).
+  bool Bernoulli(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return NextDouble() < p;
+  }
+
+  /// Geometric-ish positive integer: 1 + floor of an exponential with the
+  /// given mean minus 1; used for fan-out counts. mean must be >= 1.
+  uint64_t FanOut(double mean) {
+    assert(mean >= 1.0);
+    if (mean <= 1.0) return 1;
+    // Shifted geometric with success prob 1/mean.
+    const double p = 1.0 / mean;
+    double u = NextDouble();
+    // Avoid log(0).
+    if (u <= 1e-300) u = 1e-300;
+    const uint64_t extra =
+        static_cast<uint64_t>(std::log(u) / std::log(1.0 - p));
+    return 1 + extra;
+  }
+
+  /// Derives an independent child generator; distinct `stream` values give
+  /// decorrelated streams under the same parent state.
+  Rng Fork(uint64_t stream) {
+    SplitMix64 sm(Next() ^ (stream * 0x9e3779b97f4a7c15ULL + 0x1234abcdULL));
+    Rng child(0);
+    child.state_[0] = sm.Next();
+    child.state_[1] = sm.Next();
+    child.state_[2] = sm.Next();
+    child.state_[3] = sm.Next();
+    return child;
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4];
+};
+
+/// Samples from a Zipf(s) distribution over {0, 1, ..., n-1} by inverse CDF
+/// over precomputed cumulative weights. Rank 0 is the most frequent item.
+///
+/// Used to give synthetic KBs the heavy-tailed subject/degree distributions
+/// observed in YAGO/DBpedia.
+class ZipfSampler {
+ public:
+  /// Builds the CDF for `n` items with exponent `s` (s = 0 => uniform).
+  ZipfSampler(size_t n, double s) : cdf_(n) {
+    assert(n > 0);
+    double acc = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      acc += 1.0 / std::pow(static_cast<double>(i + 1), s);
+      cdf_[i] = acc;
+    }
+    for (auto& c : cdf_) c /= acc;
+  }
+
+  /// Number of items.
+  size_t size() const { return cdf_.size(); }
+
+  /// Draws a rank in [0, n).
+  size_t Sample(Rng& rng) const {
+    const double u = rng.NextDouble();
+    // Binary search for the first cdf_[i] >= u.
+    size_t lo = 0, hi = cdf_.size() - 1;
+    while (lo < hi) {
+      const size_t mid = (lo + hi) / 2;
+      if (cdf_[mid] < u) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+/// Floyd's algorithm: k distinct uniform indices from [0, n), in
+/// deterministic (sorted) order. Requires k <= n.
+std::vector<size_t> SampleWithoutReplacement(Rng& rng, size_t n, size_t k);
+
+/// Fisher–Yates shuffle driven by Rng (std::shuffle is not
+/// implementation-stable).
+template <typename T>
+void Shuffle(Rng& rng, std::vector<T>& items) {
+  if (items.size() < 2) return;
+  for (size_t i = items.size() - 1; i > 0; --i) {
+    const size_t j = rng.Below(i + 1);
+    using std::swap;
+    swap(items[i], items[j]);
+  }
+}
+
+}  // namespace sofya
+
+#endif  // SOFYA_UTIL_RANDOM_H_

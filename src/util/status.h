@@ -1,0 +1,197 @@
+// Status / StatusOr: RocksDB/Arrow-style error propagation.
+//
+// SOFYA never throws exceptions across library boundaries. Fallible
+// operations return Status (or StatusOr<T> when they also produce a value).
+// Callers either handle the error or propagate it with SOFYA_RETURN_IF_ERROR
+// / SOFYA_ASSIGN_OR_RETURN.
+
+#ifndef SOFYA_UTIL_STATUS_H_
+#define SOFYA_UTIL_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace sofya {
+
+/// Canonical error space, loosely following absl::StatusCode.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,   ///< Caller passed malformed input.
+  kNotFound = 2,          ///< A referenced entity/relation/file is absent.
+  kAlreadyExists = 3,     ///< Insertion collides with existing state.
+  kOutOfRange = 4,        ///< Index/offset beyond bounds.
+  kResourceExhausted = 5, ///< Query budget / row cap exceeded.
+  kUnavailable = 6,       ///< (Simulated) endpoint failure; retryable.
+  kDeadlineExceeded = 7,  ///< Simulated latency exceeded the deadline.
+  kInternal = 8,          ///< Invariant violation inside SOFYA.
+  kParseError = 9,        ///< Syntactic error in N-Triples/SPARQL input.
+  kUnimplemented = 10,    ///< Feature intentionally not supported.
+};
+
+/// Human-readable name of a StatusCode ("Ok", "InvalidArgument", ...).
+std::string_view StatusCodeToString(StatusCode code);
+
+/// A success-or-error result without a payload.
+///
+/// Cheap to copy in the success case (no allocation); error case carries a
+/// code and a message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  /// Named constructors, one per error class.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  /// True iff this status represents success.
+  bool ok() const { return code_ == StatusCode::kOk; }
+
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code_ == StatusCode::kAlreadyExists; }
+  bool IsOutOfRange() const { return code_ == StatusCode::kOutOfRange; }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
+  }
+  bool IsInternal() const { return code_ == StatusCode::kInternal; }
+  bool IsParseError() const { return code_ == StatusCode::kParseError; }
+  bool IsUnimplemented() const { return code_ == StatusCode::kUnimplemented; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  /// Appends context in front of the existing message (no-op on OK).
+  Status WithContext(std::string_view context) const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// A value of type T or an error Status. Modeled after absl::StatusOr.
+///
+/// Accessing value() on an error StatusOr is a programming bug (asserts in
+/// debug builds; undefined in release).
+template <typename T>
+class StatusOr {
+ public:
+  /// Error constructor. `status` must not be OK.
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "StatusOr constructed from OK status");
+    if (status_.ok()) {
+      status_ = Status::Internal("StatusOr constructed from OK status");
+    }
+  }
+
+  /// Value constructors.
+  StatusOr(const T& value) : value_(value) {}             // NOLINT
+  StatusOr(T&& value) : value_(std::move(value)) {}       // NOLINT
+
+  bool ok() const { return value_.has_value(); }
+
+  /// The status: OK when a value is held.
+  const Status& status() const { return status_; }
+
+  /// The held value; requires ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` on error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;  // OK iff value_ holds a value.
+  std::optional<T> value_;
+};
+
+// Propagates errors to the caller (Status-returning functions only).
+#define SOFYA_RETURN_IF_ERROR(expr)                \
+  do {                                             \
+    ::sofya::Status _sofya_status = (expr);        \
+    if (!_sofya_status.ok()) return _sofya_status; \
+  } while (false)
+
+#define SOFYA_CONCAT_IMPL_(a, b) a##b
+#define SOFYA_CONCAT_(a, b) SOFYA_CONCAT_IMPL_(a, b)
+
+// Assigns the value of a StatusOr expression or propagates its error.
+//   SOFYA_ASSIGN_OR_RETURN(auto rows, endpoint->Select(query));
+#define SOFYA_ASSIGN_OR_RETURN(lhs, expr)                             \
+  auto SOFYA_CONCAT_(_sofya_statusor_, __LINE__) = (expr);            \
+  if (!SOFYA_CONCAT_(_sofya_statusor_, __LINE__).ok())                \
+    return SOFYA_CONCAT_(_sofya_statusor_, __LINE__).status();        \
+  lhs = std::move(SOFYA_CONCAT_(_sofya_statusor_, __LINE__)).value()
+
+}  // namespace sofya
+
+#endif  // SOFYA_UTIL_STATUS_H_

@@ -1,0 +1,52 @@
+// Small string helpers shared across modules (no locale dependence).
+
+#ifndef SOFYA_UTIL_STRING_UTIL_H_
+#define SOFYA_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sofya {
+
+/// Splits `input` on `delim`; empty fields are preserved.
+std::vector<std::string> Split(std::string_view input, char delim);
+
+/// Splits on ASCII whitespace runs; empty fields are dropped.
+std::vector<std::string> SplitWhitespace(std::string_view input);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// ASCII lower-casing (bytewise; sufficient for IRIs and test literals).
+std::string ToLower(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// True if every char is an ASCII digit (and s is non-empty).
+bool IsDigits(std::string_view s);
+
+/// Replaces all occurrences of `from` (non-empty) with `to`.
+std::string ReplaceAll(std::string_view s, std::string_view from,
+                       std::string_view to);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Formats a double with `digits` decimals ("0.95").
+std::string FormatDouble(double value, int digits);
+
+/// Escapes a string for embedding in an N-Triples literal ("a\"b" etc.).
+std::string EscapeNTriples(std::string_view s);
+
+/// Reverses EscapeNTriples; invalid escapes are kept verbatim.
+std::string UnescapeNTriples(std::string_view s);
+
+}  // namespace sofya
+
+#endif  // SOFYA_UTIL_STRING_UTIL_H_

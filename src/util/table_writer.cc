@@ -1,0 +1,97 @@
+#include "util/table_writer.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace sofya {
+
+namespace {
+
+std::string CsvEscape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+TableWriter::TableWriter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TableWriter::AddRow(std::vector<std::string> row) {
+  while (row.size() < header_.size()) row.emplace_back();
+  while (header_.size() < row.size()) header_.emplace_back();
+  rows_.push_back(std::move(row));
+}
+
+void TableWriter::AddRow(const std::string& label,
+                         const std::vector<double>& values, int digits) {
+  std::vector<std::string> row;
+  row.reserve(values.size() + 1);
+  row.push_back(label);
+  for (double v : values) row.push_back(FormatDouble(v, digits));
+  AddRow(std::move(row));
+}
+
+std::string TableWriter::ToMarkdown() const {
+  std::string out = "| " + Join(header_, " | ") + " |\n|";
+  for (size_t i = 0; i < header_.size(); ++i) out += "---|";
+  out += '\n';
+  for (const auto& row : rows_) {
+    out += "| " + Join(row, " | ") + " |\n";
+  }
+  return out;
+}
+
+std::string TableWriter::ToCsv() const {
+  std::string out;
+  std::vector<std::string> escaped;
+  escaped.reserve(header_.size());
+  for (const auto& h : header_) escaped.push_back(CsvEscape(h));
+  out += Join(escaped, ",") + "\n";
+  for (const auto& row : rows_) {
+    escaped.clear();
+    for (const auto& cell : row) escaped.push_back(CsvEscape(cell));
+    out += Join(escaped, ",") + "\n";
+  }
+  return out;
+}
+
+std::string TableWriter::ToAligned() const {
+  std::vector<size_t> widths(header_.size(), 0);
+  for (size_t i = 0; i < header_.size(); ++i) {
+    widths[i] = header_[i].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (size_t i = 0; i < row.size(); ++i) {
+      line += row[i];
+      if (i + 1 < row.size()) {
+        line.append(widths[i] - row[i].size() + 2, ' ');
+      }
+    }
+    return line;
+  };
+  std::string out = render_row(header_) + "\n";
+  size_t total = 0;
+  for (size_t w : widths) total += w + 2;
+  out.append(total > 2 ? total - 2 : total, '-');
+  out += '\n';
+  for (const auto& row : rows_) out += render_row(row) + "\n";
+  return out;
+}
+
+void TableWriter::Print(std::ostream& os) const { os << ToAligned(); }
+
+}  // namespace sofya

@@ -1,0 +1,51 @@
+// Tabular report emission (markdown / CSV / aligned plain text).
+//
+// The benchmark harness prints the same rows the paper's Table 1 reports;
+// TableWriter keeps that presentation logic out of the experiment code.
+
+#ifndef SOFYA_UTIL_TABLE_WRITER_H_
+#define SOFYA_UTIL_TABLE_WRITER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace sofya {
+
+/// Accumulates rows of string cells under a header and renders them.
+class TableWriter {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TableWriter(std::vector<std::string> header);
+
+  /// Appends one row; short rows are padded with empty cells, long rows are
+  /// an error recorded by padding the header (never drops data).
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: formats each double with `digits` decimals after a label.
+  void AddRow(const std::string& label, const std::vector<double>& values,
+              int digits = 2);
+
+  size_t num_rows() const { return rows_.size(); }
+  size_t num_cols() const { return header_.size(); }
+
+  /// GitHub-flavoured markdown.
+  std::string ToMarkdown() const;
+
+  /// RFC-4180-ish CSV (cells containing comma/quote/newline are quoted).
+  std::string ToCsv() const;
+
+  /// Space-aligned plain text for terminals.
+  std::string ToAligned() const;
+
+  /// Writes ToAligned() to `os`.
+  void Print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace sofya
+
+#endif  // SOFYA_UTIL_TABLE_WRITER_H_

@@ -1,0 +1,43 @@
+// Wall-clock timing for benches and endpoint accounting.
+
+#ifndef SOFYA_UTIL_TIMER_H_
+#define SOFYA_UTIL_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace sofya {
+
+/// Monotonic stopwatch. Started on construction; Restart() resets.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Resets the epoch to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction/Restart, in microseconds.
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+  /// Elapsed time in milliseconds (double for printing).
+  double ElapsedMillis() const {
+    return static_cast<double>(ElapsedMicros()) / 1000.0;
+  }
+
+  /// Elapsed time in seconds.
+  double ElapsedSeconds() const {
+    return static_cast<double>(ElapsedMicros()) / 1e6;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace sofya
+
+#endif  // SOFYA_UTIL_TIMER_H_

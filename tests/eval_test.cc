@@ -1,0 +1,188 @@
+#include "eval/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/metrics.h"
+#include "eval/table1.h"
+
+namespace sofya {
+namespace {
+
+TEST(MetricsTest, PrecisionRecallF1Math) {
+  PrecisionRecall pr;
+  pr.true_positives = 8;
+  pr.false_positives = 2;
+  pr.false_negatives = 8;
+  EXPECT_DOUBLE_EQ(pr.precision(), 0.8);
+  EXPECT_DOUBLE_EQ(pr.recall(), 0.5);
+  EXPECT_NEAR(pr.f1(), 2 * 0.8 * 0.5 / 1.3, 1e-9);
+  EXPECT_EQ(pr.accepted(), 10u);
+  EXPECT_EQ(pr.gold(), 16u);
+  EXPECT_FALSE(pr.ToString().empty());
+}
+
+TEST(MetricsTest, EmptyDenominatorsAreZero) {
+  PrecisionRecall pr;
+  EXPECT_DOUBLE_EQ(pr.precision(), 0.0);
+  EXPECT_DOUBLE_EQ(pr.recall(), 0.0);
+  EXPECT_DOUBLE_EQ(pr.f1(), 0.0);
+}
+
+/// Fabricates a DirectionRun + GroundTruth to exercise scoring offline.
+class ScoringFixture : public ::testing::Test {
+ protected:
+  ScoringFixture() {
+    truth_.AddRelation("cand", "c:good", {"k1"});
+    truth_.AddRelation("cand", "c:bad", {"k2"});
+    truth_.AddRelation("cand", "c:missed", {"k3"});
+    truth_.AddRelation("ref", "r:head1", {"k1"});
+    truth_.AddRelation("ref", "r:head3", {"k3"});
+
+    run_.candidate_kb = "cand";
+    run_.reference_kb = "ref";
+    run_.attempted_heads = {"r:head1", "r:head3"};
+
+    MinedRuleRecord good;  // True rule, strong.
+    good.body_iri = "c:good";
+    good.head_iri = "r:head1";
+    good.pca_conf = 0.9;
+    good.cwa_conf = 0.7;
+    good.pairs = 10;
+    good.support = 8;
+    run_.rules.push_back(good);
+
+    MinedRuleRecord bad;  // Wrong rule, fooled PCA, flagged by UBS.
+    bad.body_iri = "c:bad";
+    bad.head_iri = "r:head1";
+    bad.pca_conf = 0.8;
+    bad.cwa_conf = 0.2;
+    bad.pairs = 10;
+    bad.support = 7;
+    bad.ubs_subsumption_pruned = true;
+    run_.rules.push_back(bad);
+    // Gold pair (c:missed => r:head3) was never mined: a false negative.
+  }
+
+  GroundTruth truth_;
+  DirectionRun run_;
+};
+
+TEST_F(ScoringFixture, ScoreAtThresholdWithoutUbs) {
+  ScorePolicy policy;
+  policy.tau = 0.5;
+  policy.apply_ubs = false;
+  PrecisionRecall pr = ScoreSubsumptions(run_, truth_, policy);
+  EXPECT_EQ(pr.true_positives, 1u);   // good.
+  EXPECT_EQ(pr.false_positives, 1u);  // bad survives without UBS.
+  EXPECT_EQ(pr.false_negatives, 1u);  // missed.
+}
+
+TEST_F(ScoringFixture, UbsFlagPrunesWrongRule) {
+  ScorePolicy policy;
+  policy.tau = 0.5;
+  policy.apply_ubs = true;
+  PrecisionRecall pr = ScoreSubsumptions(run_, truth_, policy);
+  EXPECT_EQ(pr.true_positives, 1u);
+  EXPECT_EQ(pr.false_positives, 0u);
+  EXPECT_DOUBLE_EQ(pr.precision(), 1.0);
+}
+
+TEST_F(ScoringFixture, HighTauRejectsEverything) {
+  ScorePolicy policy;
+  policy.tau = 0.95;
+  PrecisionRecall pr = ScoreSubsumptions(run_, truth_, policy);
+  EXPECT_EQ(pr.accepted(), 0u);
+  EXPECT_EQ(pr.false_negatives, 2u);
+}
+
+TEST_F(ScoringFixture, CwaMeasureScoresDifferently) {
+  ScorePolicy policy;
+  policy.measure = ConfidenceMeasure::kCwa;
+  policy.tau = 0.5;
+  PrecisionRecall pr = ScoreSubsumptions(run_, truth_, policy);
+  EXPECT_EQ(pr.true_positives, 1u);
+  EXPECT_EQ(pr.false_positives, 0u);  // bad has cwa 0.2 < 0.5.
+}
+
+TEST_F(ScoringFixture, SupportGateRejectsThinRules) {
+  ScorePolicy policy;
+  policy.tau = 0.1;
+  policy.min_support = 9;  // good has 8.
+  PrecisionRecall pr = ScoreSubsumptions(run_, truth_, policy);
+  EXPECT_EQ(pr.accepted(), 0u);
+}
+
+TEST_F(ScoringFixture, SweepFindsBestTau) {
+  SweepResult sweep = SweepThreshold(run_, run_, truth_, {0.1, 0.5, 0.85, 0.95},
+                                     ScorePolicy{});
+  ASSERT_EQ(sweep.points.size(), 4u);
+  // At 0.85 the bad rule (pca 0.8) drops while good (0.9) stays: best F1.
+  EXPECT_DOUBLE_EQ(sweep.best_tau, 0.85);
+  const SweepPoint* best = sweep.best();
+  ASSERT_NE(best, nullptr);
+  EXPECT_DOUBLE_EQ(best->dir1.precision(), 1.0);
+}
+
+TEST_F(ScoringFixture, EquivalenceScoring) {
+  GroundTruth truth;
+  truth.AddRelation("cand", "c:eq", {"k"});
+  truth.AddRelation("cand", "c:sub", {"ksub"});
+  truth.AddRelation("ref", "r:eq", {"k"});
+  truth.AddRelation("ref", "r:union", {"k", "ksub"});
+
+  DirectionRun run;
+  run.candidate_kb = "cand";
+  run.reference_kb = "ref";
+  run.attempted_heads = {"r:eq", "r:union"};
+  MinedRuleRecord correct;
+  correct.body_iri = "c:eq";
+  correct.head_iri = "r:eq";
+  correct.equivalence = true;
+  run.rules.push_back(correct);
+  MinedRuleRecord wrong;  // Claims equivalence for a mere subsumption.
+  wrong.body_iri = "c:sub";
+  wrong.head_iri = "r:union";
+  wrong.equivalence = true;
+  run.rules.push_back(wrong);
+
+  PrecisionRecall pr = ScoreEquivalences(run, truth);
+  EXPECT_EQ(pr.true_positives, 1u);
+  EXPECT_EQ(pr.false_positives, 1u);
+  EXPECT_EQ(pr.false_negatives, 0u);
+}
+
+TEST(DefaultTauGridTest, CoversExpectedRange) {
+  auto taus = DefaultTauGrid();
+  ASSERT_EQ(taus.size(), 19u);
+  EXPECT_NEAR(taus.front(), 0.05, 1e-9);
+  EXPECT_NEAR(taus.back(), 0.95, 1e-9);
+}
+
+TEST(Table1Test, TinyScaleRunProducesAllRows) {
+  Table1Options options;
+  options.scale = 0.02;
+  options.seed = 77;
+  options.max_relations = 40;
+  auto report = RunTable1(options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ASSERT_EQ(report->rows.size(), 3u);
+  EXPECT_EQ(report->rows[0].method, "pcaconf");
+  EXPECT_EQ(report->rows[1].method, "cwaconf");
+  EXPECT_EQ(report->rows[2].method, "UBS pcaconf");
+  for (const auto& row : report->rows) {
+    EXPECT_GE(row.tau, 0.0);
+    EXPECT_LE(row.tau, 1.0);
+  }
+  EXPECT_GT(report->total_queries, 0u);
+  EXPECT_FALSE(report->ToAlignedTable().empty());
+  EXPECT_FALSE(report->ToCsv().empty());
+  // The headline claim, structurally: UBS precision is at least the
+  // pcaconf baseline's in both directions.
+  EXPECT_GE(report->rows[2].yago_in_dbpd.precision() + 1e-9,
+            report->rows[0].yago_in_dbpd.precision());
+  EXPECT_GE(report->rows[2].dbpd_in_yago.precision() + 1e-9,
+            report->rows[0].dbpd_in_yago.precision());
+}
+
+}  // namespace
+}  // namespace sofya

@@ -1,0 +1,150 @@
+// Cross-module integration tests: the full pipeline under realistic
+// endpoint regimes (throttling, budgets, failures) via the Sofya facade.
+
+#include <gtest/gtest.h>
+
+#include "core/sofya.h"
+
+namespace sofya {
+namespace {
+
+TEST(FacadeTest, AlignThroughFacade) {
+  auto world = std::move(GenerateWorld(MoviesWorldSpec())).value();
+  Sofya sofya(world.kb1.get(), world.kb2.get(), &world.links);
+  auto result = sofya.Align("http://kb2.sofya.org/ontology/directedBy");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ((*result)->AcceptedSubsumptions().size(), 1u);
+  EXPECT_GT(sofya.TotalCost().queries, 0u);
+}
+
+TEST(FacadeTest, BestCandidateAndRewriteExecute) {
+  auto world = std::move(GenerateWorld(MoviesWorldSpec())).value();
+  Sofya sofya(world.kb1.get(), world.kb2.get(), &world.links);
+  auto best = sofya.BestCandidateFor("http://kb2.sofya.org/ontology/name");
+  ASSERT_TRUE(best.ok());
+  EXPECT_EQ(best->lexical(), "http://kb1.sofya.org/ontology/label");
+
+  // Reference-side query: all (movie, name) pairs; rewrite + run on K'.
+  SelectQuery q;
+  const VarId m = q.NewVar("m");
+  const VarId n = q.NewVar("n");
+  q.Where(NodeRef::Variable(m),
+          NodeRef::Constant(sofya.reference_endpoint()->EncodeTerm(
+              Term::Iri("http://kb2.sofya.org/ontology/name"))),
+          NodeRef::Variable(n));
+  q.Limit(10);
+  auto rewritten = sofya.RewriteQuery(q);
+  ASSERT_TRUE(rewritten.ok());
+  auto rows = sofya.ExecuteOnCandidate(*rewritten);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_FALSE(rows->rows.empty());
+}
+
+TEST(FacadeTest, ThrottledModeAccumulatesLatency) {
+  auto world = std::move(GenerateWorld(MoviesWorldSpec())).value();
+  SofyaOptions options;
+  options.throttle = true;
+  options.candidate_throttle.base_latency_ms = 10.0;
+  options.reference_throttle.base_latency_ms = 10.0;
+  Sofya sofya(world.kb1.get(), world.kb2.get(), &world.links, options);
+  ASSERT_TRUE(sofya.Align("http://kb2.sofya.org/ontology/directedBy").ok());
+  EXPECT_GT(sofya.TotalCost().simulated_latency_ms, 0.0);
+}
+
+TEST(IntegrationTest, QueryBudgetExhaustionSurfacesGracefully) {
+  auto world = std::move(GenerateWorld(MoviesWorldSpec())).value();
+  SofyaOptions options;
+  options.throttle = true;
+  options.candidate_throttle.query_budget = 5;  // Far too small to align.
+  Sofya sofya(world.kb1.get(), world.kb2.get(), &world.links, options);
+  auto result = sofya.Align("http://kb2.sofya.org/ontology/directedBy");
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsResourceExhausted());
+}
+
+TEST(IntegrationTest, AlignmentSurvivesTransientFailuresDuringScan) {
+  // Failures only hit the paged scan (which retries); the budget is ample.
+  auto world = std::move(GenerateWorld(MoviesWorldSpec())).value();
+  KnowledgeBase* kb1 = world.kb1.get();
+  KnowledgeBase* kb2 = world.kb2.get();
+  LocalEndpoint cand_local(kb1);
+  LocalEndpoint ref_local(kb2);
+  ThrottleOptions flaky;
+  flaky.failure_rate = 0.0;  // Keep sampler paths deterministic...
+  ThrottledEndpoint cand(&cand_local, flaky);
+  ThrottledEndpoint ref(&ref_local, flaky);
+  RelationAligner aligner(&cand, &ref, &world.links);
+  auto result =
+      aligner.Align(Term::Iri("http://kb2.sofya.org/ontology/directedBy"));
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->verdicts.empty());
+}
+
+TEST(IntegrationTest, NoDownloadInvariant) {
+  // The "no download" claim, checkable: rows shipped during one alignment
+  // stay far below the dataset sizes.
+  auto world = std::move(GenerateWorld(MoviesWorldSpec())).value();
+  Sofya sofya(world.kb1.get(), world.kb2.get(), &world.links);
+  ASSERT_TRUE(sofya.Align("http://kb2.sofya.org/ontology/directedBy").ok());
+  const EndpointStats cost = sofya.TotalCost();
+  const size_t dataset = world.stats.kb1_facts + world.stats.kb2_facts;
+  EXPECT_LT(cost.rows_returned, dataset);
+}
+
+TEST(IntegrationTest, DirectionRunOnTinyWorld) {
+  auto world = std::move(GenerateWorld(TinyWorldSpec())).value();
+  LocalEndpoint cand(world.kb1.get());
+  LocalEndpoint ref(world.kb2.get());
+  DirectionRunOptions options;
+  options.aligner.threshold = 0.3;
+  auto run = RunDirection(&cand, &ref, world.links,
+                          world.truth.RelationsOf(world.kb2->name()),
+                          options);
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(run->attempted_heads.size(), 2u);
+  // The equivalent relation must be found; score it.
+  ScorePolicy policy;
+  policy.tau = 0.3;
+  PrecisionRecall pr = ScoreSubsumptions(*run, world.truth, policy);
+  EXPECT_EQ(pr.false_positives, 0u);
+  EXPECT_GE(pr.true_positives, 1u);
+}
+
+TEST(IntegrationTest, MaxRelationsCapsWork) {
+  auto world = std::move(GenerateWorld(TinyWorldSpec())).value();
+  LocalEndpoint cand(world.kb1.get());
+  LocalEndpoint ref(world.kb2.get());
+  DirectionRunOptions options;
+  options.max_relations = 1;
+  auto run = RunDirection(&cand, &ref, world.links,
+                          world.truth.RelationsOf(world.kb2->name()),
+                          options);
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(run->attempted_heads.size(), 1u);
+}
+
+TEST(IntegrationTest, KbExportImportPreservesAlignability) {
+  // Serialize the candidate KB to N-Triples, reload it, and align against
+  // the reloaded copy — exercises rdf I/O inside the full pipeline.
+  auto world = std::move(GenerateWorld(TinyWorldSpec())).value();
+  auto text = WriteNTriplesString(world.kb1->store(), world.kb1->dict());
+  ASSERT_TRUE(text.ok());
+
+  KnowledgeBase reloaded(world.kb1->name(), world.kb1->base_iri());
+  ASSERT_TRUE(
+      ParseNTriplesString(*text, &reloaded.dict(), &reloaded.store()).ok());
+  EXPECT_EQ(reloaded.size(), world.kb1->size());
+
+  LocalEndpoint cand(&reloaded);
+  LocalEndpoint ref(world.kb2.get());
+  RelationAligner aligner(&cand, &ref, &world.links);
+  auto result = aligner.Align(
+      Term::Iri("http://kb2.sofya.org/ontology/birthPlace"));
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->AcceptedSubsumptions().size(), 1u);
+  EXPECT_EQ(result->AcceptedSubsumptions()[0].lexical(),
+            "http://kb1.sofya.org/ontology/wasBornIn");
+}
+
+}  // namespace
+}  // namespace sofya

@@ -1,0 +1,111 @@
+#include "rdf/dictionary.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+#include "util/string_util.h"
+
+namespace sofya {
+namespace {
+
+TEST(DictionaryTest, InternAssignsDenseIdsFromOne) {
+  Dictionary dict;
+  EXPECT_EQ(dict.Intern(Term::Iri("a")), 1u);
+  EXPECT_EQ(dict.Intern(Term::Iri("b")), 2u);
+  EXPECT_EQ(dict.Intern(Term::Literal("c")), 3u);
+  EXPECT_EQ(dict.size(), 3u);
+}
+
+TEST(DictionaryTest, ReinterningIsIdempotent) {
+  Dictionary dict;
+  const TermId a = dict.Intern(Term::Iri("a"));
+  EXPECT_EQ(dict.Intern(Term::Iri("a")), a);
+  EXPECT_EQ(dict.size(), 1u);
+}
+
+TEST(DictionaryTest, LookupWithoutIntern) {
+  Dictionary dict;
+  dict.Intern(Term::Iri("a"));
+  EXPECT_EQ(dict.Lookup(Term::Iri("a")), 1u);
+  EXPECT_EQ(dict.Lookup(Term::Iri("zz")), kNullTermId);
+  EXPECT_EQ(dict.size(), 1u);  // Lookup never interns.
+}
+
+TEST(DictionaryTest, LookupDistinguishesTermKinds) {
+  Dictionary dict;
+  dict.Intern(Term::Iri("x"));
+  EXPECT_EQ(dict.Lookup(Term::Literal("x")), kNullTermId);
+}
+
+TEST(DictionaryTest, DecodeRoundTrip) {
+  Dictionary dict;
+  const Term original = Term::LangLiteral("hallo", "de");
+  const TermId id = dict.Intern(original);
+  EXPECT_EQ(dict.Decode(id), original);
+}
+
+TEST(DictionaryTest, ContainsBounds) {
+  Dictionary dict;
+  dict.Intern(Term::Iri("a"));
+  EXPECT_FALSE(dict.Contains(kNullTermId));
+  EXPECT_TRUE(dict.Contains(1));
+  EXPECT_FALSE(dict.Contains(2));
+}
+
+TEST(DictionaryTest, TryDecodeErrorsOnInvalidId) {
+  Dictionary dict;
+  EXPECT_TRUE(dict.TryDecode(1).status().IsNotFound());
+  EXPECT_TRUE(dict.TryDecode(0).status().IsNotFound());
+  dict.Intern(Term::Iri("a"));
+  EXPECT_TRUE(dict.TryDecode(1).ok());
+}
+
+TEST(DictionaryTest, ConvenienceInterners) {
+  Dictionary dict;
+  const TermId iri = dict.InternIri("http://x/a");
+  const TermId lit = dict.InternLiteral("a");
+  EXPECT_NE(iri, lit);
+  EXPECT_TRUE(dict.Decode(iri).is_iri());
+  EXPECT_TRUE(dict.Decode(lit).is_literal());
+  EXPECT_EQ(dict.LookupIri("http://x/a"), iri);
+  EXPECT_EQ(dict.LookupIri("http://x/b"), kNullTermId);
+}
+
+// Property: interning N random distinct terms round-trips all of them.
+class DictionaryRoundTrip : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DictionaryRoundTrip, ManyTermsSurvive) {
+  Dictionary dict;
+  Rng rng(GetParam());
+  std::vector<std::pair<TermId, Term>> interned;
+  for (int i = 0; i < 500; ++i) {
+    Term t;
+    const std::string base = StrFormat("t%d_%llu", i,
+                                       static_cast<unsigned long long>(
+                                           rng.Below(1000)));
+    switch (rng.Below(4)) {
+      case 0:
+        t = Term::Iri("http://x/" + base);
+        break;
+      case 1:
+        t = Term::Literal(base);
+        break;
+      case 2:
+        t = Term::LangLiteral(base, "en");
+        break;
+      default:
+        t = Term::TypedLiteral(base, std::string(xsd::kString));
+    }
+    interned.emplace_back(dict.Intern(t), t);
+  }
+  for (const auto& [id, term] : interned) {
+    EXPECT_EQ(dict.Decode(id), term);
+    EXPECT_EQ(dict.Lookup(term), id);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DictionaryRoundTrip,
+                         ::testing::Values(1ULL, 7ULL, 1234ULL));
+
+}  // namespace
+}  // namespace sofya

@@ -1,0 +1,69 @@
+#include "rdf/namespaces.h"
+
+#include <gtest/gtest.h>
+
+namespace sofya {
+namespace {
+
+TEST(PrefixMapTest, BindAndExpand) {
+  PrefixMap map;
+  map.Bind("ex", "http://example.org/");
+  auto expanded = map.Expand("ex:thing");
+  ASSERT_TRUE(expanded.ok());
+  EXPECT_EQ(*expanded, "http://example.org/thing");
+}
+
+TEST(PrefixMapTest, ExpandErrors) {
+  PrefixMap map;
+  EXPECT_TRUE(map.Expand("nocolon").status().IsInvalidArgument());
+  EXPECT_TRUE(map.Expand("unknown:x").status().IsNotFound());
+}
+
+TEST(PrefixMapTest, CompactPicksLongestNamespace) {
+  PrefixMap map;
+  map.Bind("a", "http://x.org/");
+  map.Bind("b", "http://x.org/deep/");
+  EXPECT_EQ(map.Compact("http://x.org/deep/thing"), "b:thing");
+  EXPECT_EQ(map.Compact("http://x.org/shallow"), "a:shallow");
+}
+
+TEST(PrefixMapTest, CompactUnknownReturnsInput) {
+  PrefixMap map;
+  EXPECT_EQ(map.Compact("http://elsewhere/x"), "http://elsewhere/x");
+}
+
+TEST(PrefixMapTest, RebindReplaces) {
+  PrefixMap map;
+  map.Bind("p", "http://old/");
+  map.Bind("p", "http://new/");
+  EXPECT_EQ(map.Expand("p:x").value(), "http://new/x");
+  EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(PrefixMapTest, DefaultsIncludeWellKnownAndKbNamespaces) {
+  PrefixMap map = PrefixMap::WithDefaults();
+  EXPECT_EQ(map.Expand("owl:sameAs").value(), std::string(ns::kOwlSameAs));
+  EXPECT_EQ(map.Expand("kb1:resource/x").value(),
+            std::string(ns::kKb1) + "resource/x");
+  EXPECT_EQ(map.Compact("http://www.w3.org/2000/01/rdf-schema#label"),
+            "rdfs:label");
+}
+
+TEST(PrefixMapTest, NamespaceOf) {
+  PrefixMap map = PrefixMap::WithDefaults();
+  EXPECT_EQ(map.NamespaceOf("xsd").value(), std::string(ns::kXsd));
+  EXPECT_TRUE(map.NamespaceOf("nope").status().IsNotFound());
+}
+
+TEST(PrefixMapTest, BindingsSorted) {
+  PrefixMap map;
+  map.Bind("z", "http://z/");
+  map.Bind("a", "http://a/");
+  auto bindings = map.Bindings();
+  ASSERT_EQ(bindings.size(), 2u);
+  EXPECT_EQ(bindings[0].first, "a");
+  EXPECT_EQ(bindings[1].first, "z");
+}
+
+}  // namespace
+}  // namespace sofya

@@ -1,0 +1,193 @@
+#include "rdf/triple_store.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "rdf/triple.h"
+#include "util/random.h"
+
+namespace sofya {
+namespace {
+
+TEST(TripleStoreTest, InsertAndContains) {
+  TripleStore store;
+  EXPECT_TRUE(store.Insert(1, 2, 3));
+  EXPECT_TRUE(store.Contains(1, 2, 3));
+  EXPECT_FALSE(store.Contains(1, 2, 4));
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(TripleStoreTest, InsertDeduplicates) {
+  TripleStore store;
+  EXPECT_TRUE(store.Insert(1, 2, 3));
+  EXPECT_FALSE(store.Insert(1, 2, 3));
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(TripleStoreTest, EraseRemoves) {
+  TripleStore store;
+  store.Insert(1, 2, 3);
+  store.Insert(1, 2, 4);
+  EXPECT_TRUE(store.Erase(Triple(1, 2, 3)));
+  EXPECT_FALSE(store.Erase(Triple(1, 2, 3)));
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_FALSE(store.Contains(1, 2, 3));
+  EXPECT_TRUE(store.Contains(1, 2, 4));
+  // Scans still coherent after erase.
+  EXPECT_EQ(store.Match(TriplePattern(1, 0, 0)).size(), 1u);
+}
+
+TEST(TripleStoreTest, MatchBySubject) {
+  TripleStore store;
+  store.Insert(1, 10, 100);
+  store.Insert(1, 11, 101);
+  store.Insert(2, 10, 100);
+  auto rows = store.Match(TriplePattern(1, 0, 0));
+  EXPECT_EQ(rows.size(), 2u);
+  for (const auto& t : rows) EXPECT_EQ(t.subject, 1u);
+}
+
+TEST(TripleStoreTest, MatchByPredicate) {
+  TripleStore store;
+  store.Insert(1, 10, 100);
+  store.Insert(2, 10, 101);
+  store.Insert(3, 11, 100);
+  EXPECT_EQ(store.Match(TriplePattern(0, 10, 0)).size(), 2u);
+  EXPECT_EQ(store.CountMatches(TriplePattern(0, 10, 0)), 2u);
+}
+
+TEST(TripleStoreTest, MatchByObjectAndSubjectObject) {
+  TripleStore store;
+  store.Insert(1, 10, 100);
+  store.Insert(2, 11, 100);
+  store.Insert(1, 12, 100);
+  EXPECT_EQ(store.Match(TriplePattern(0, 0, 100)).size(), 3u);
+  EXPECT_EQ(store.Match(TriplePattern(1, 0, 100)).size(), 2u);
+}
+
+TEST(TripleStoreTest, FullScanAndPointLookup) {
+  TripleStore store;
+  store.Insert(1, 10, 100);
+  store.Insert(2, 11, 101);
+  EXPECT_EQ(store.Match(TriplePattern()).size(), 2u);
+  EXPECT_EQ(store.Match(TriplePattern(1, 10, 100)).size(), 1u);
+  EXPECT_EQ(store.Match(TriplePattern(1, 10, 101)).size(), 0u);
+}
+
+TEST(TripleStoreTest, ForEachMatchEarlyStop) {
+  TripleStore store;
+  for (TermId i = 1; i <= 10; ++i) store.Insert(i, 1, i + 100);
+  size_t seen = 0;
+  store.ForEachMatch(TriplePattern(0, 1, 0), [&](const Triple&) {
+    ++seen;
+    return seen < 3;
+  });
+  EXPECT_EQ(seen, 3u);
+}
+
+TEST(TripleStoreTest, ObjectsAndSubjectsAreDistinctSorted) {
+  TripleStore store;
+  store.Insert(1, 10, 103);
+  store.Insert(1, 10, 101);
+  store.Insert(1, 10, 102);
+  store.Insert(2, 10, 101);
+  auto objects = store.Objects(1, 10);
+  EXPECT_EQ(objects, (std::vector<TermId>{101, 102, 103}));
+  auto subjects = store.Subjects(10, 101);
+  EXPECT_EQ(subjects, (std::vector<TermId>{1, 2}));
+}
+
+TEST(TripleStoreTest, SubjectsOfAndPredicates) {
+  TripleStore store;
+  store.Insert(3, 20, 1);
+  store.Insert(1, 20, 2);
+  store.Insert(1, 21, 3);
+  EXPECT_EQ(store.SubjectsOf(20), (std::vector<TermId>{1, 3}));
+  EXPECT_EQ(store.Predicates(), (std::vector<TermId>{20, 21}));
+}
+
+TEST(TripleStoreTest, StatsForComputesFunctionality) {
+  TripleStore store;
+  // Predicate 5: 2 subjects, 3 facts, 3 distinct objects.
+  store.Insert(1, 5, 100);
+  store.Insert(1, 5, 101);
+  store.Insert(2, 5, 102);
+  PredicateStats stats = store.StatsFor(5);
+  EXPECT_EQ(stats.facts, 3u);
+  EXPECT_EQ(stats.distinct_subjects, 2u);
+  EXPECT_EQ(stats.distinct_objects, 3u);
+  EXPECT_DOUBLE_EQ(stats.functionality(), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(stats.inverse_functionality(), 1.0);
+}
+
+TEST(TripleStoreTest, StatsForAbsentPredicateIsZero) {
+  TripleStore store;
+  PredicateStats stats = store.StatsFor(99);
+  EXPECT_EQ(stats.facts, 0u);
+  EXPECT_DOUBLE_EQ(stats.functionality(), 0.0);
+}
+
+TEST(TripleStoreTest, StatsCacheInvalidatedByWrites) {
+  TripleStore store;
+  store.Insert(1, 5, 100);
+  EXPECT_EQ(store.StatsFor(5).facts, 1u);
+  store.Insert(2, 5, 101);
+  EXPECT_EQ(store.StatsFor(5).facts, 2u);
+}
+
+TEST(TripleStoreTest, InterleavedWritesAndReads) {
+  TripleStore store;
+  store.Insert(1, 2, 3);
+  EXPECT_EQ(store.Match(TriplePattern(0, 2, 0)).size(), 1u);
+  store.Insert(4, 2, 5);  // Write after read re-dirties indexes.
+  EXPECT_EQ(store.Match(TriplePattern(0, 2, 0)).size(), 2u);
+}
+
+// Property: every pattern shape agrees with a brute-force filter over
+// randomly generated triples.
+class TripleStorePatternProperty : public ::testing::TestWithParam<uint64_t> {
+};
+
+TEST_P(TripleStorePatternProperty, MatchesAgreeWithBruteForce) {
+  Rng rng(GetParam());
+  TripleStore store;
+  std::vector<Triple> all;
+  for (int i = 0; i < 400; ++i) {
+    Triple t(static_cast<TermId>(1 + rng.Below(12)),
+             static_cast<TermId>(1 + rng.Below(6)),
+             static_cast<TermId>(1 + rng.Below(12)));
+    if (store.Insert(t)) all.push_back(t);
+  }
+
+  auto brute = [&](const TriplePattern& p) {
+    std::vector<Triple> out;
+    for (const Triple& t : all) {
+      if (p.Matches(t)) out.push_back(t);
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  };
+
+  for (int trial = 0; trial < 200; ++trial) {
+    TriplePattern p(rng.Bernoulli(0.5) ? static_cast<TermId>(1 + rng.Below(12))
+                                       : kNullTermId,
+                    rng.Bernoulli(0.5) ? static_cast<TermId>(1 + rng.Below(6))
+                                       : kNullTermId,
+                    rng.Bernoulli(0.5) ? static_cast<TermId>(1 + rng.Below(12))
+                                       : kNullTermId);
+    std::vector<Triple> got = store.Match(p);
+    std::sort(got.begin(), got.end());
+    EXPECT_EQ(got, brute(p))
+        << "pattern (" << p.subject << "," << p.predicate << "," << p.object
+        << ")";
+    EXPECT_EQ(store.CountMatches(p), got.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TripleStorePatternProperty,
+                         ::testing::Values(1ULL, 2ULL, 3ULL, 17ULL, 99ULL));
+
+}  // namespace
+}  // namespace sofya

@@ -1,0 +1,178 @@
+#include "sameas/sameas_index.h"
+
+#include <gtest/gtest.h>
+
+#include "sameas/translator.h"
+#include "sameas/union_find.h"
+#include "util/random.h"
+
+namespace sofya {
+namespace {
+
+TEST(UnionFindTest, SingletonsAreTheirOwnRoots) {
+  UnionFind uf(3);
+  EXPECT_EQ(uf.Find(0), 0u);
+  EXPECT_EQ(uf.Find(2), 2u);
+  EXPECT_FALSE(uf.Connected(0, 1));
+}
+
+TEST(UnionFindTest, UnionConnects) {
+  UnionFind uf(4);
+  EXPECT_TRUE(uf.Union(0, 1));
+  EXPECT_FALSE(uf.Union(0, 1));  // Already merged.
+  EXPECT_TRUE(uf.Connected(0, 1));
+  EXPECT_FALSE(uf.Connected(0, 2));
+  EXPECT_EQ(uf.SetSize(1), 2u);
+}
+
+TEST(UnionFindTest, TransitivityAcrossChains) {
+  UnionFind uf(6);
+  uf.Union(0, 1);
+  uf.Union(2, 3);
+  uf.Union(1, 2);
+  EXPECT_TRUE(uf.Connected(0, 3));
+  EXPECT_EQ(uf.SetSize(0), 4u);
+  EXPECT_FALSE(uf.Connected(0, 4));
+}
+
+TEST(UnionFindTest, GrowPreservesExistingSets) {
+  UnionFind uf(2);
+  uf.Union(0, 1);
+  uf.Grow(5);
+  EXPECT_TRUE(uf.Connected(0, 1));
+  EXPECT_FALSE(uf.Connected(0, 4));
+  EXPECT_EQ(uf.size(), 5u);
+}
+
+// Property: union-find equivalence matches a brute-force reachability check.
+class UnionFindProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(UnionFindProperty, MatchesBruteForceClosure) {
+  Rng rng(GetParam());
+  const size_t n = 40;
+  UnionFind uf(n);
+  std::vector<std::vector<bool>> adj(n, std::vector<bool>(n, false));
+  for (size_t i = 0; i < n; ++i) adj[i][i] = true;
+  for (int e = 0; e < 30; ++e) {
+    const size_t a = rng.Below(n);
+    const size_t b = rng.Below(n);
+    uf.Union(a, b);
+    adj[a][b] = adj[b][a] = true;
+  }
+  // Floyd-Warshall closure.
+  for (size_t k = 0; k < n; ++k) {
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < n; ++j) {
+        if (adj[i][k] && adj[k][j]) adj[i][j] = true;
+      }
+    }
+  }
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      EXPECT_EQ(uf.Connected(i, j), adj[i][j]) << i << "," << j;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UnionFindProperty,
+                         ::testing::Values(1ULL, 9ULL, 77ULL));
+
+Term Kb1(const std::string& local) { return Term::Iri("http://kb1/" + local); }
+Term Kb2(const std::string& local) { return Term::Iri("http://kb2/" + local); }
+
+TEST(SameAsIndexTest, LinkMakesEquivalent) {
+  SameAsIndex index;
+  index.AddLink(Kb1("a"), Kb2("a"));
+  EXPECT_TRUE(index.AreEquivalent(Kb1("a"), Kb2("a")));
+  EXPECT_TRUE(index.AreEquivalent(Kb2("a"), Kb1("a")));
+  EXPECT_FALSE(index.AreEquivalent(Kb1("a"), Kb2("b")));
+  EXPECT_EQ(index.num_links(), 1u);
+  EXPECT_EQ(index.num_terms(), 2u);
+}
+
+TEST(SameAsIndexTest, UnknownTermsNeverEquivalent) {
+  SameAsIndex index;
+  EXPECT_FALSE(index.AreEquivalent(Kb1("x"), Kb2("x")));
+}
+
+TEST(SameAsIndexTest, TransitiveChains) {
+  SameAsIndex index;
+  index.AddLink(Kb1("a"), Kb2("a"));
+  index.AddLink(Kb2("a"), Term::Iri("http://kb3/a"));
+  EXPECT_TRUE(index.AreEquivalent(Kb1("a"), Term::Iri("http://kb3/a")));
+}
+
+TEST(SameAsIndexTest, RedundantLinksDontInflateCount) {
+  SameAsIndex index;
+  index.AddLink(Kb1("a"), Kb2("a"));
+  index.AddLink(Kb2("a"), Kb1("a"));
+  EXPECT_EQ(index.num_links(), 1u);
+}
+
+TEST(SameAsIndexTest, EquivalentsOfExcludesSelf) {
+  SameAsIndex index;
+  index.AddLink(Kb1("a"), Kb2("a"));
+  index.AddLink(Kb1("a"), Term::Iri("http://kb3/a"));
+  auto eq = index.EquivalentsOf(Kb1("a"));
+  ASSERT_EQ(eq.size(), 2u);
+  for (const Term& t : eq) EXPECT_NE(t, Kb1("a"));
+  EXPECT_TRUE(index.EquivalentsOf(Kb1("unknown")).empty());
+}
+
+TEST(SameAsIndexTest, TranslateToFindsNamespaceMatch) {
+  SameAsIndex index;
+  index.AddLink(Kb1("a"), Kb2("aX"));
+  auto translated = index.TranslateTo(Kb1("a"), "http://kb2/");
+  ASSERT_TRUE(translated.ok());
+  EXPECT_EQ(*translated, Kb2("aX"));
+}
+
+TEST(SameAsIndexTest, TranslateToErrors) {
+  SameAsIndex index;
+  index.AddLink(Kb1("a"), Kb2("a"));
+  EXPECT_TRUE(index.TranslateTo(Kb1("zzz"), "http://kb2/")
+                  .status()
+                  .IsNotFound());  // Unknown term.
+  EXPECT_TRUE(index.TranslateTo(Kb1("a"), "http://kb9/")
+                  .status()
+                  .IsNotFound());  // No equivalent in that namespace.
+}
+
+TEST(SameAsIndexTest, TranslateToIdentityWhenAlreadyInNamespace) {
+  SameAsIndex index;
+  index.AddLink(Kb1("a"), Kb2("a"));
+  auto same = index.TranslateTo(Kb1("a"), "http://kb1/");
+  ASSERT_TRUE(same.ok());
+  EXPECT_EQ(*same, Kb1("a"));
+}
+
+TEST(SameAsIndexTest, AmbiguousTranslationIsDeterministic) {
+  SameAsIndex index;
+  index.AddLink(Kb1("a"), Kb2("z"));
+  index.AddLink(Kb1("a"), Kb2("b"));  // Noisy second link, same class.
+  auto translated = index.TranslateTo(Kb1("a"), "http://kb2/");
+  ASSERT_TRUE(translated.ok());
+  EXPECT_EQ(*translated, Kb2("b"));  // Lexicographically smallest.
+}
+
+TEST(TranslatorTest, LiteralsPassThrough) {
+  SameAsIndex index;
+  CrossKbTranslator translator(&index, "http://kb2/");
+  const Term lit = Term::Literal("42");
+  auto t = translator.Translate(lit);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(*t, lit);
+  EXPECT_TRUE(translator.CanTranslate(lit));
+}
+
+TEST(TranslatorTest, IriGoesThroughLinks) {
+  SameAsIndex index;
+  index.AddLink(Kb1("a"), Kb2("a"));
+  CrossKbTranslator translator(&index, "http://kb2/");
+  EXPECT_TRUE(translator.CanTranslate(Kb1("a")));
+  EXPECT_FALSE(translator.CanTranslate(Kb1("b")));
+  EXPECT_EQ(translator.Translate(Kb1("a")).value(), Kb2("a"));
+}
+
+}  // namespace
+}  // namespace sofya

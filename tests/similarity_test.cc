@@ -1,0 +1,171 @@
+#include "similarity/string_metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "similarity/literal_matcher.h"
+
+namespace sofya {
+namespace {
+
+TEST(LevenshteinTest, KnownDistances) {
+  EXPECT_EQ(LevenshteinDistance("", ""), 0u);
+  EXPECT_EQ(LevenshteinDistance("abc", ""), 3u);
+  EXPECT_EQ(LevenshteinDistance("", "abc"), 3u);
+  EXPECT_EQ(LevenshteinDistance("kitten", "sitting"), 3u);
+  EXPECT_EQ(LevenshteinDistance("flaw", "lawn"), 2u);
+  EXPECT_EQ(LevenshteinDistance("same", "same"), 0u);
+}
+
+TEST(NormalizedLevenshteinTest, Range) {
+  EXPECT_DOUBLE_EQ(NormalizedLevenshtein("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(NormalizedLevenshtein("abc", "abc"), 1.0);
+  EXPECT_DOUBLE_EQ(NormalizedLevenshtein("abc", "xyz"), 0.0);
+  EXPECT_NEAR(NormalizedLevenshtein("abcd", "abcx"), 0.75, 1e-9);
+}
+
+TEST(JaroTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(JaroSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(JaroSimilarity("a", ""), 0.0);
+  EXPECT_DOUBLE_EQ(JaroSimilarity("abc", "abc"), 1.0);
+  EXPECT_NEAR(JaroSimilarity("MARTHA", "MARHTA"), 0.944444, 1e-5);
+  EXPECT_NEAR(JaroSimilarity("DIXON", "DICKSONX"), 0.766667, 1e-5);
+}
+
+TEST(JaroWinklerTest, PrefixBoost) {
+  const double jaro = JaroSimilarity("MARTHA", "MARHTA");
+  const double jw = JaroWinklerSimilarity("MARTHA", "MARHTA");
+  EXPECT_GT(jw, jaro);
+  EXPECT_NEAR(jw, 0.961111, 1e-5);
+  // No common prefix: no boost.
+  EXPECT_DOUBLE_EQ(JaroWinklerSimilarity("abc", "xbc"),
+                   JaroSimilarity("abc", "xbc"));
+}
+
+TEST(TokenJaccardTest, Values) {
+  EXPECT_DOUBLE_EQ(TokenJaccard("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(TokenJaccard("a b", ""), 0.0);
+  EXPECT_DOUBLE_EQ(TokenJaccard("alpha beta", "beta alpha"), 1.0);
+  EXPECT_DOUBLE_EQ(TokenJaccard("Alpha", "alpha"), 1.0);  // Case folded.
+  EXPECT_NEAR(TokenJaccard("a b c", "b c d"), 0.5, 1e-9);
+}
+
+TEST(BigramDiceTest, Values) {
+  EXPECT_DOUBLE_EQ(BigramDice("night", "night"), 1.0);
+  EXPECT_NEAR(BigramDice("night", "nacht"), 0.25, 1e-9);
+  EXPECT_DOUBLE_EQ(BigramDice("a", "b"), 0.0);  // Too short, unequal.
+  EXPECT_DOUBLE_EQ(BigramDice("a", "a"), 1.0);
+}
+
+TEST(NormalizeTest, LowersStripsCollapses) {
+  EXPECT_EQ(NormalizeForMatching("  Frank  SINATRA! "), "frank sinatra");
+  EXPECT_EQ(NormalizeForMatching("a_b-c"), "a b c");
+  EXPECT_EQ(NormalizeForMatching(""), "");
+  EXPECT_EQ(NormalizeForMatching("...!"), "");
+}
+
+// Metric axioms: identity, symmetry, range — over assorted string pairs.
+class MetricAxioms
+    : public ::testing::TestWithParam<std::tuple<std::string, std::string>> {};
+
+TEST_P(MetricAxioms, AllMetricsInRangeAndSymmetric) {
+  const auto& [a, b] = GetParam();
+  for (auto metric : {NormalizedLevenshtein, JaroSimilarity, TokenJaccard,
+                      BigramDice}) {
+    const double ab = metric(a, b);
+    const double ba = metric(b, a);
+    EXPECT_GE(ab, 0.0);
+    EXPECT_LE(ab, 1.0);
+    EXPECT_DOUBLE_EQ(ab, ba) << "asymmetric on '" << a << "' / '" << b << "'";
+    EXPECT_DOUBLE_EQ(metric(a, a), 1.0);
+  }
+  const double jw_ab = JaroWinklerSimilarity(a, b);
+  EXPECT_GE(jw_ab, 0.0);
+  EXPECT_LE(jw_ab, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Pairs, MetricAxioms,
+    ::testing::Values(
+        std::tuple{std::string("Frank Sinatra"), std::string("frank sinatra")},
+        std::tuple{std::string("Sinatra, Frank"), std::string("Frank Sinatra")},
+        std::tuple{std::string("a"), std::string("")},
+        std::tuple{std::string("completely"), std::string("different")},
+        std::tuple{std::string("J. Smith"), std::string("John Smith")},
+        std::tuple{std::string("xy"), std::string("yx")}));
+
+TEST(LiteralMatcherTest, ExactStringsMatch) {
+  LiteralMatcher matcher;
+  EXPECT_TRUE(matcher.Matches(Term::Literal("Frank Sinatra"),
+                              Term::Literal("Frank Sinatra")));
+}
+
+TEST(LiteralMatcherTest, NormalizedVariantsMatch) {
+  LiteralMatcher matcher;
+  EXPECT_TRUE(matcher.Matches(Term::Literal("frank  sinatra"),
+                              Term::Literal("Frank Sinatra")));
+  EXPECT_TRUE(matcher.Matches(Term::Literal("Sinatra Frank"),
+                              Term::Literal("Frank Sinatra")));  // Jaccard.
+}
+
+TEST(LiteralMatcherTest, TypoWithinThreshold) {
+  LiteralMatcher matcher;
+  EXPECT_TRUE(matcher.Matches(Term::Literal("Frank Sinatre"),
+                              Term::Literal("Frank Sinatra")));
+}
+
+TEST(LiteralMatcherTest, DifferentValuesRejected) {
+  LiteralMatcher matcher;
+  EXPECT_FALSE(matcher.Matches(Term::Literal("Frank Sinatra"),
+                               Term::Literal("Dean Martin")));
+}
+
+TEST(LiteralMatcherTest, NumericAwareComparesByValue) {
+  LiteralMatcher matcher;
+  EXPECT_TRUE(matcher.Matches(Term::Literal("42"), Term::Literal("42.0")));
+  EXPECT_FALSE(matcher.Matches(Term::Literal("42"), Term::Literal("43")));
+  // Close years are different years.
+  EXPECT_FALSE(matcher.Matches(Term::Literal("1943"), Term::Literal("1944")));
+  // Number vs non-number never match by value.
+  EXPECT_FALSE(matcher.Matches(Term::Literal("42"), Term::Literal("forty")));
+}
+
+TEST(LiteralMatcherTest, NumericAwareOffFallsBackToStrings) {
+  LiteralMatcherOptions options;
+  options.numeric_aware = false;
+  options.threshold = 0.7;
+  LiteralMatcher matcher(options);
+  EXPECT_TRUE(matcher.Matches(Term::Literal("1943"), Term::Literal("1944")));
+}
+
+TEST(LiteralMatcherTest, NonLiteralsMatchOnlyExactly) {
+  LiteralMatcher matcher;
+  EXPECT_DOUBLE_EQ(matcher.Score(Term::Iri("a"), Term::Iri("a")), 1.0);
+  EXPECT_DOUBLE_EQ(matcher.Score(Term::Iri("a"), Term::Iri("b")), 0.0);
+  EXPECT_DOUBLE_EQ(matcher.Score(Term::Iri("a"), Term::Literal("a")), 0.0);
+}
+
+TEST(LiteralMatcherTest, MetricSelectionChangesScores) {
+  LiteralMatcherOptions lev;
+  lev.metric = StringMetric::kLevenshtein;
+  LiteralMatcherOptions jac;
+  jac.metric = StringMetric::kTokenJaccard;
+  const Term a = Term::Literal("alpha beta");
+  const Term b = Term::Literal("beta alpha");
+  EXPECT_DOUBLE_EQ(LiteralMatcher(jac).Score(a, b), 1.0);
+  EXPECT_LT(LiteralMatcher(lev).Score(a, b), 1.0);
+}
+
+TEST(LiteralMatcherTest, MetricNames) {
+  EXPECT_STREQ(StringMetricName(StringMetric::kHybrid), "hybrid");
+  EXPECT_STREQ(StringMetricName(StringMetric::kLevenshtein), "levenshtein");
+  EXPECT_STREQ(StringMetricName(StringMetric::kJaroWinkler), "jaro-winkler");
+  EXPECT_STREQ(StringMetricName(StringMetric::kTokenJaccard),
+               "token-jaccard");
+  EXPECT_STREQ(StringMetricName(StringMetric::kBigramDice), "bigram-dice");
+}
+
+}  // namespace
+}  // namespace sofya

@@ -1,0 +1,286 @@
+#include "sparql/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "rdf/dictionary.h"
+#include "sparql/query.h"
+#include "util/random.h"
+
+namespace sofya {
+namespace {
+
+/// Tiny fixture KB:
+///   a knows b ; a knows c ; b knows c ; a age "30" ; b age "30"
+class EngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    a_ = dict_.InternIri("a");
+    b_ = dict_.InternIri("b");
+    c_ = dict_.InternIri("c");
+    knows_ = dict_.InternIri("knows");
+    age_ = dict_.InternIri("age");
+    thirty_ = dict_.InternLiteral("30");
+    store_.Insert(a_, knows_, b_);
+    store_.Insert(a_, knows_, c_);
+    store_.Insert(b_, knows_, c_);
+    store_.Insert(a_, age_, thirty_);
+    store_.Insert(b_, age_, thirty_);
+  }
+
+  Dictionary dict_;
+  TripleStore store_;
+  TermId a_, b_, c_, knows_, age_, thirty_;
+};
+
+TEST_F(EngineTest, SinglePatternAllVariables) {
+  SelectQuery q;
+  const VarId s = q.NewVar("s");
+  const VarId p = q.NewVar("p");
+  const VarId o = q.NewVar("o");
+  q.Where(NodeRef::Variable(s), NodeRef::Variable(p), NodeRef::Variable(o));
+  auto result = Evaluate(store_, q);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rows.size(), 5u);
+  EXPECT_EQ(result->var_names,
+            (std::vector<std::string>{"s", "p", "o"}));
+}
+
+TEST_F(EngineTest, BoundPredicate) {
+  SelectQuery q;
+  const VarId x = q.NewVar("x");
+  const VarId y = q.NewVar("y");
+  q.Where(NodeRef::Variable(x), NodeRef::Constant(knows_),
+          NodeRef::Variable(y));
+  auto result = Evaluate(store_, q);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rows.size(), 3u);
+}
+
+TEST_F(EngineTest, TwoClauseJoin) {
+  // ?x knows ?y . ?y knows ?z  => (a,b,c) only.
+  SelectQuery q;
+  const VarId x = q.NewVar("x");
+  const VarId y = q.NewVar("y");
+  const VarId z = q.NewVar("z");
+  q.Where(NodeRef::Variable(x), NodeRef::Constant(knows_),
+          NodeRef::Variable(y));
+  q.Where(NodeRef::Variable(y), NodeRef::Constant(knows_),
+          NodeRef::Variable(z));
+  auto result = Evaluate(store_, q);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->rows.size(), 1u);
+  EXPECT_EQ(result->rows[0], (std::vector<TermId>{a_, b_, c_}));
+}
+
+TEST_F(EngineTest, RepeatedVariableWithinClause) {
+  // ?x knows ?x — nobody knows themselves here.
+  SelectQuery q;
+  const VarId x = q.NewVar("x");
+  q.Where(NodeRef::Variable(x), NodeRef::Constant(knows_),
+          NodeRef::Variable(x));
+  auto result = Evaluate(store_, q);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->rows.empty());
+}
+
+TEST_F(EngineTest, FilterNeqVar) {
+  // Subjects with two *different* known entities: only a (b,c).
+  SelectQuery q;
+  const VarId x = q.NewVar("x");
+  const VarId y1 = q.NewVar("y1");
+  const VarId y2 = q.NewVar("y2");
+  q.Where(NodeRef::Variable(x), NodeRef::Constant(knows_),
+          NodeRef::Variable(y1));
+  q.Where(NodeRef::Variable(x), NodeRef::Constant(knows_),
+          NodeRef::Variable(y2));
+  q.Filter(FilterExpr::VarNeqVar(y1, y2));
+  q.Select({x}).Distinct();
+  auto result = Evaluate(store_, q);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->rows.size(), 1u);
+  EXPECT_EQ(result->rows[0][0], a_);
+}
+
+TEST_F(EngineTest, FilterEqAndNeqTerm) {
+  SelectQuery q;
+  const VarId x = q.NewVar("x");
+  const VarId y = q.NewVar("y");
+  q.Where(NodeRef::Variable(x), NodeRef::Constant(knows_),
+          NodeRef::Variable(y));
+  q.Filter(FilterExpr::VarNeqTerm(y, c_));
+  auto result = Evaluate(store_, q);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->rows.size(), 1u);  // Only a knows b.
+  EXPECT_EQ(result->rows[0][1], b_);
+
+  SelectQuery q2;
+  const VarId x2 = q2.NewVar("x");
+  const VarId y2 = q2.NewVar("y");
+  q2.Where(NodeRef::Variable(x2), NodeRef::Constant(knows_),
+           NodeRef::Variable(y2));
+  q2.Filter(FilterExpr::VarEqTerm(y2, c_));
+  auto result2 = Evaluate(store_, q2);
+  ASSERT_TRUE(result2.ok());
+  EXPECT_EQ(result2->rows.size(), 2u);
+}
+
+TEST_F(EngineTest, IsIriAndIsLiteralFilters) {
+  SelectQuery q;
+  const VarId p = q.NewVar("p");
+  const VarId o = q.NewVar("o");
+  q.Where(NodeRef::Constant(a_), NodeRef::Variable(p), NodeRef::Variable(o));
+  q.Filter(FilterExpr::IsLiteral(o));
+  auto result = Evaluate(store_, q, nullptr, &dict_);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->rows.size(), 1u);
+  EXPECT_EQ(result->rows[0][1], thirty_);
+
+  SelectQuery q2;
+  const VarId p2 = q2.NewVar("p");
+  const VarId o2 = q2.NewVar("o");
+  q2.Where(NodeRef::Constant(a_), NodeRef::Variable(p2),
+           NodeRef::Variable(o2));
+  q2.Filter(FilterExpr::IsIri(o2));
+  auto result2 = Evaluate(store_, q2, nullptr, &dict_);
+  ASSERT_TRUE(result2.ok());
+  EXPECT_EQ(result2->rows.size(), 2u);
+}
+
+TEST_F(EngineTest, DistinctProjectionCollapses) {
+  SelectQuery q;
+  const VarId x = q.NewVar("x");
+  const VarId y = q.NewVar("y");
+  q.Where(NodeRef::Variable(x), NodeRef::Constant(knows_),
+          NodeRef::Variable(y));
+  q.Select({x}).Distinct();
+  auto result = Evaluate(store_, q);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rows.size(), 2u);  // a and b.
+}
+
+TEST_F(EngineTest, LimitAndOffset) {
+  SelectQuery q;
+  const VarId x = q.NewVar("x");
+  const VarId y = q.NewVar("y");
+  q.Where(NodeRef::Variable(x), NodeRef::Constant(knows_),
+          NodeRef::Variable(y));
+  q.Limit(2);
+  auto page1 = Evaluate(store_, q);
+  ASSERT_TRUE(page1.ok());
+  EXPECT_EQ(page1->rows.size(), 2u);
+
+  q.Offset(2);
+  auto page2 = Evaluate(store_, q);
+  ASSERT_TRUE(page2.ok());
+  EXPECT_EQ(page2->rows.size(), 1u);
+
+  q.Offset(10);
+  auto page3 = Evaluate(store_, q);
+  ASSERT_TRUE(page3.ok());
+  EXPECT_TRUE(page3->rows.empty());
+}
+
+TEST_F(EngineTest, PaginationIsDeterministicAndDisjoint) {
+  SelectQuery all;
+  {
+    const VarId x = all.NewVar("x");
+    const VarId y = all.NewVar("y");
+    all.Where(NodeRef::Variable(x), NodeRef::Constant(knows_),
+              NodeRef::Variable(y));
+  }
+  auto full = Evaluate(store_, all);
+  ASSERT_TRUE(full.ok());
+
+  std::vector<std::vector<TermId>> paged;
+  for (uint64_t off = 0; off < 3; ++off) {
+    SelectQuery page = all;
+    page.Offset(off).Limit(1);
+    auto r = Evaluate(store_, page);
+    ASSERT_TRUE(r.ok());
+    for (auto& row : r->rows) paged.push_back(row);
+  }
+  EXPECT_EQ(paged, full->rows);
+}
+
+TEST_F(EngineTest, ValidationErrors) {
+  SelectQuery empty;
+  EXPECT_TRUE(Evaluate(store_, empty).status().IsInvalidArgument());
+
+  SelectQuery bad_var;
+  bad_var.Where(NodeRef::Variable(3), NodeRef::Constant(knows_),
+                NodeRef::Variable(4));
+  EXPECT_TRUE(Evaluate(store_, bad_var).status().IsInvalidArgument());
+}
+
+TEST_F(EngineTest, StatsReported) {
+  SelectQuery q;
+  const VarId x = q.NewVar("x");
+  const VarId y = q.NewVar("y");
+  q.Where(NodeRef::Variable(x), NodeRef::Constant(knows_),
+          NodeRef::Variable(y));
+  EvalStats stats;
+  ASSERT_TRUE(Evaluate(store_, q, &stats).ok());
+  EXPECT_EQ(stats.result_rows, 3u);
+  EXPECT_GE(stats.index_probes, 1u);
+  EXPECT_GE(stats.intermediate_rows, 3u);
+}
+
+TEST_F(EngineTest, ToSparqlRendersReadably) {
+  SelectQuery q;
+  const VarId x = q.NewVar("x");
+  q.Where(NodeRef::Variable(x), NodeRef::Constant(knows_),
+          NodeRef::Constant(c_));
+  q.Select({x}).Distinct().Limit(5);
+  const std::string text = q.ToSparql(dict_);
+  EXPECT_NE(text.find("SELECT DISTINCT ?x"), std::string::npos);
+  EXPECT_NE(text.find("<knows>"), std::string::npos);
+  EXPECT_NE(text.find("LIMIT 5"), std::string::npos);
+}
+
+// Property: two-clause joins agree with brute-force nested loops on random
+// stores.
+class EngineJoinProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EngineJoinProperty, JoinAgreesWithBruteForce) {
+  Rng rng(GetParam());
+  TripleStore store;
+  std::vector<Triple> all;
+  const TermId p1 = 100, p2 = 101;
+  for (int i = 0; i < 200; ++i) {
+    Triple t(static_cast<TermId>(1 + rng.Below(10)),
+             rng.Bernoulli(0.5) ? p1 : p2,
+             static_cast<TermId>(1 + rng.Below(10)));
+    if (store.Insert(t)) all.push_back(t);
+  }
+
+  // ?x p1 ?y . ?y p2 ?z
+  SelectQuery q;
+  const VarId x = q.NewVar("x");
+  const VarId y = q.NewVar("y");
+  const VarId z = q.NewVar("z");
+  q.Where(NodeRef::Variable(x), NodeRef::Constant(p1), NodeRef::Variable(y));
+  q.Where(NodeRef::Variable(y), NodeRef::Constant(p2), NodeRef::Variable(z));
+  auto result = Evaluate(store, q);
+  ASSERT_TRUE(result.ok());
+
+  std::multiset<std::vector<TermId>> got(result->rows.begin(),
+                                         result->rows.end());
+  std::multiset<std::vector<TermId>> expected;
+  for (const Triple& t1 : all) {
+    if (t1.predicate != p1) continue;
+    for (const Triple& t2 : all) {
+      if (t2.predicate != p2 || t2.subject != t1.object) continue;
+      expected.insert({t1.subject, t1.object, t2.object});
+    }
+  }
+  EXPECT_EQ(got, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineJoinProperty,
+                         ::testing::Values(1ULL, 2ULL, 3ULL, 11ULL));
+
+}  // namespace
+}  // namespace sofya

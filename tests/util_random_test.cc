@@ -1,0 +1,187 @@
+#include "util/random.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace sofya {
+namespace {
+
+TEST(RngTest, SameSeedSameStream) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, ReseedRestartsStream) {
+  Rng a(7);
+  const uint64_t first = a.Next();
+  a.Next();
+  a.Reseed(7);
+  EXPECT_EQ(a.Next(), first);
+}
+
+TEST(RngTest, BelowStaysInBounds) {
+  Rng rng(5);
+  for (uint64_t bound : {1ULL, 2ULL, 7ULL, 1000ULL}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.Below(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, BelowOneIsAlwaysZero) {
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.Below(1), 0u);
+}
+
+TEST(RngTest, UniformCoversInclusiveRange) {
+  Rng rng(11);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t v = rng.Uniform(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // All values hit.
+}
+
+TEST(RngTest, NextDoubleInHalfOpenUnit) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliEdges) {
+  Rng rng(17);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+    EXPECT_FALSE(rng.Bernoulli(-0.5));
+    EXPECT_TRUE(rng.Bernoulli(1.5));
+  }
+}
+
+TEST(RngTest, BernoulliRateApproximatesP) {
+  Rng rng(19);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.Bernoulli(0.3)) ++hits;
+  }
+  const double rate = static_cast<double>(hits) / n;
+  EXPECT_NEAR(rate, 0.3, 0.02);
+}
+
+TEST(RngTest, ForkDecorrelates) {
+  Rng parent(23);
+  Rng c1 = parent.Fork(1);
+  Rng c2 = parent.Fork(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (c1.Next() == c2.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, FanOutAtLeastOne) {
+  Rng rng(29);
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_GE(rng.FanOut(1.5), 1u);
+  }
+  EXPECT_EQ(rng.FanOut(1.0), 1u);
+}
+
+TEST(ZipfTest, RankZeroMostFrequent) {
+  Rng rng(31);
+  ZipfSampler zipf(100, 1.0);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 20000; ++i) ++counts[zipf.Sample(rng)];
+  EXPECT_EQ(std::max_element(counts.begin(), counts.end()) - counts.begin(),
+            0);
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[10], counts[90]);
+}
+
+TEST(ZipfTest, ZeroExponentIsRoughlyUniform) {
+  Rng rng(37);
+  ZipfSampler zipf(10, 0.0);
+  std::vector<int> counts(10, 0);
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) ++counts[zipf.Sample(rng)];
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / n, 0.1, 0.02);
+  }
+}
+
+TEST(ZipfTest, SamplesInRange) {
+  Rng rng(41);
+  ZipfSampler zipf(7, 2.0);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(zipf.Sample(rng), 7u);
+}
+
+TEST(SampleWithoutReplacementTest, DistinctSortedAndInRange) {
+  Rng rng(43);
+  auto picks = SampleWithoutReplacement(rng, 100, 10);
+  ASSERT_EQ(picks.size(), 10u);
+  EXPECT_TRUE(std::is_sorted(picks.begin(), picks.end()));
+  EXPECT_TRUE(std::adjacent_find(picks.begin(), picks.end()) == picks.end());
+  for (size_t p : picks) EXPECT_LT(p, 100u);
+}
+
+TEST(SampleWithoutReplacementTest, FullDraw) {
+  Rng rng(47);
+  auto picks = SampleWithoutReplacement(rng, 5, 5);
+  ASSERT_EQ(picks.size(), 5u);
+  for (size_t i = 0; i < 5; ++i) EXPECT_EQ(picks[i], i);
+}
+
+TEST(ShuffleTest, ProducesPermutation) {
+  Rng rng(53);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> shuffled = v;
+  Shuffle(rng, shuffled);
+  EXPECT_TRUE(std::is_permutation(v.begin(), v.end(), shuffled.begin()));
+}
+
+TEST(ShuffleTest, DeterministicUnderSeed) {
+  std::vector<int> a{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> b = a;
+  Rng r1(59), r2(59);
+  Shuffle(r1, a);
+  Shuffle(r2, b);
+  EXPECT_EQ(a, b);
+}
+
+// Property sweep: determinism of all draws across several seeds.
+class RngSeedSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RngSeedSweep, DrawsAreReproducible) {
+  Rng a(GetParam()), b(GetParam());
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(a.Below(1000), b.Below(1000));
+    EXPECT_EQ(a.NextDouble(), b.NextDouble());
+    EXPECT_EQ(a.Bernoulli(0.4), b.Bernoulli(0.4));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngSeedSweep,
+                         ::testing::Values(0ULL, 1ULL, 42ULL, 0xdeadbeefULL,
+                                           ~0ULL));
+
+}  // namespace
+}  // namespace sofya

@@ -1,0 +1,138 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace sofya {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, OkFactory) { EXPECT_TRUE(Status::OK().ok()); }
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("missing thing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "missing thing");
+  EXPECT_EQ(s.ToString(), "NotFound: missing thing");
+}
+
+TEST(StatusTest, AllNamedConstructorsSetMatchingCode) {
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::ResourceExhausted("x").IsResourceExhausted());
+  EXPECT_TRUE(Status::Unavailable("x").IsUnavailable());
+  EXPECT_TRUE(Status::DeadlineExceeded("x").IsDeadlineExceeded());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+  EXPECT_TRUE(Status::ParseError("x").IsParseError());
+  EXPECT_TRUE(Status::Unimplemented("x").IsUnimplemented());
+}
+
+TEST(StatusTest, PredicatesAreExclusive) {
+  Status s = Status::NotFound("x");
+  EXPECT_FALSE(s.IsInvalidArgument());
+  EXPECT_FALSE(s.IsInternal());
+  EXPECT_FALSE(s.IsUnavailable());
+}
+
+TEST(StatusTest, WithContextPrepends) {
+  Status s = Status::ParseError("bad literal").WithContext("line 7");
+  EXPECT_TRUE(s.IsParseError());
+  EXPECT_EQ(s.message(), "line 7: bad literal");
+}
+
+TEST(StatusTest, WithContextOnOkIsNoop) {
+  Status s = Status::OK().WithContext("ctx");
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.message(), "");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::Internal("a"));
+}
+
+TEST(StatusTest, StatusCodeToStringCoversAllCodes) {
+  EXPECT_EQ(StatusCodeToString(StatusCode::kOk), "Ok");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kParseError), "ParseError");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kResourceExhausted),
+            "ResourceExhausted");
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value(), 42);
+  EXPECT_EQ(*v, 42);
+  EXPECT_TRUE(v.status().ok());
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v = Status::NotFound("nope");
+  EXPECT_FALSE(v.ok());
+  EXPECT_TRUE(v.status().IsNotFound());
+  EXPECT_EQ(v.value_or(-1), -1);
+}
+
+TEST(StatusOrTest, ValueOrReturnsValueOnSuccess) {
+  StatusOr<std::string> v = std::string("hello");
+  EXPECT_EQ(v.value_or("fallback"), "hello");
+}
+
+TEST(StatusOrTest, MoveOutValue) {
+  StatusOr<std::string> v = std::string("payload");
+  std::string taken = std::move(v).value();
+  EXPECT_EQ(taken, "payload");
+}
+
+TEST(StatusOrTest, ArrowOperator) {
+  StatusOr<std::string> v = std::string("abc");
+  EXPECT_EQ(v->size(), 3u);
+}
+
+namespace {
+Status FailIfNegative(int x) {
+  if (x < 0) return Status::InvalidArgument("negative");
+  return Status::OK();
+}
+
+Status Chain(int x) {
+  SOFYA_RETURN_IF_ERROR(FailIfNegative(x));
+  return Status::OK();
+}
+
+StatusOr<int> Doubled(int x) {
+  if (x < 0) return Status::InvalidArgument("negative");
+  return x * 2;
+}
+
+StatusOr<int> UsesAssignOr(int x) {
+  SOFYA_ASSIGN_OR_RETURN(int d, Doubled(x));
+  return d + 1;
+}
+}  // namespace
+
+TEST(StatusMacrosTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(Chain(1).ok());
+  EXPECT_TRUE(Chain(-1).IsInvalidArgument());
+}
+
+TEST(StatusMacrosTest, AssignOrReturnPropagates) {
+  auto ok = UsesAssignOr(3);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 7);
+  EXPECT_TRUE(UsesAssignOr(-3).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace sofya

@@ -1,0 +1,125 @@
+#include "util/string_util.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "util/random.h"
+
+namespace sofya {
+namespace {
+
+TEST(SplitTest, BasicSplit) {
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(SplitTest, PreservesEmptyFields) {
+  EXPECT_EQ(Split(",a,,b,", ','),
+            (std::vector<std::string>{"", "a", "", "b", ""}));
+}
+
+TEST(SplitTest, NoDelimiterYieldsWhole) {
+  EXPECT_EQ(Split("abc", ','), (std::vector<std::string>{"abc"}));
+}
+
+TEST(SplitWhitespaceTest, DropsEmptyRuns) {
+  EXPECT_EQ(SplitWhitespace("  a \t b\n c  "),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_TRUE(SplitWhitespace("   ").empty());
+  EXPECT_TRUE(SplitWhitespace("").empty());
+}
+
+TEST(JoinTest, JoinsWithSeparator) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+}
+
+TEST(SplitJoinTest, RoundTrip) {
+  const std::string original = "x|y|z|w";
+  EXPECT_EQ(Join(Split(original, '|'), "|"), original);
+}
+
+TEST(TrimTest, TrimsBothEnds) {
+  EXPECT_EQ(Trim("  hi  "), "hi");
+  EXPECT_EQ(Trim("hi"), "hi");
+  EXPECT_EQ(Trim("\t\n hi"), "hi");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+}
+
+TEST(ToLowerTest, AsciiOnly) {
+  EXPECT_EQ(ToLower("AbC-12"), "abc-12");
+}
+
+TEST(StartsEndsWithTest, Basics) {
+  EXPECT_TRUE(StartsWith("http://x.org/a", "http://"));
+  EXPECT_FALSE(StartsWith("ftp://", "http://"));
+  EXPECT_TRUE(StartsWith("abc", ""));
+  EXPECT_FALSE(StartsWith("ab", "abc"));
+  EXPECT_TRUE(EndsWith("file.nt", ".nt"));
+  EXPECT_FALSE(EndsWith("file.nt", ".ttl"));
+  EXPECT_TRUE(EndsWith("x", ""));
+}
+
+TEST(IsDigitsTest, Cases) {
+  EXPECT_TRUE(IsDigits("0123"));
+  EXPECT_FALSE(IsDigits(""));
+  EXPECT_FALSE(IsDigits("12a"));
+  EXPECT_FALSE(IsDigits("-1"));
+}
+
+TEST(ReplaceAllTest, ReplacesEveryOccurrence) {
+  EXPECT_EQ(ReplaceAll("a_b_c", "_", "-"), "a-b-c");
+  EXPECT_EQ(ReplaceAll("aaa", "aa", "b"), "ba");  // Non-overlapping.
+  EXPECT_EQ(ReplaceAll("abc", "", "x"), "abc");   // Empty pattern: no-op.
+  EXPECT_EQ(ReplaceAll("abc", "z", "x"), "abc");
+}
+
+TEST(StrFormatTest, FormatsLikePrintf) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StrFormat("%.2f", 1.005), "1.00");
+  EXPECT_EQ(StrFormat("plain"), "plain");
+}
+
+TEST(FormatDoubleTest, Digits) {
+  EXPECT_EQ(FormatDouble(0.5, 2), "0.50");
+  EXPECT_EQ(FormatDouble(1.0 / 3.0, 4), "0.3333");
+  EXPECT_EQ(FormatDouble(2.0, 0), "2");
+}
+
+TEST(NTriplesEscapeTest, EscapesSpecials) {
+  EXPECT_EQ(EscapeNTriples("a\"b\\c\nd\te\r"), "a\\\"b\\\\c\\nd\\te\\r");
+}
+
+TEST(NTriplesEscapeTest, UnescapeInverts) {
+  EXPECT_EQ(UnescapeNTriples("a\\\"b\\\\c\\nd\\te\\r"), "a\"b\\c\nd\te\r");
+}
+
+TEST(NTriplesEscapeTest, UnknownEscapesKeptVerbatim) {
+  EXPECT_EQ(UnescapeNTriples("a\\qb"), "a\\qb");
+}
+
+// Property: escape/unescape round-trips arbitrary byte strings.
+class EscapeRoundTrip : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EscapeRoundTrip, RandomStringsSurvive) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 50; ++trial) {
+    std::string s;
+    const size_t len = rng.Below(40);
+    for (size_t i = 0; i < len; ++i) {
+      // Printable ASCII plus the escape-relevant controls.
+      const char pool[] = "abcXYZ012 \"\\\n\r\t";
+      s += pool[rng.Below(sizeof(pool) - 1)];
+    }
+    EXPECT_EQ(UnescapeNTriples(EscapeNTriples(s)), s) << "input: " << s;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EscapeRoundTrip,
+                         ::testing::Values(1ULL, 2ULL, 3ULL, 4ULL));
+
+}  // namespace
+}  // namespace sofya

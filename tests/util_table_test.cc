@@ -1,0 +1,64 @@
+#include "util/table_writer.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace sofya {
+namespace {
+
+TEST(TableWriterTest, MarkdownLayout) {
+  TableWriter t({"a", "b"});
+  t.AddRow({"1", "2"});
+  EXPECT_EQ(t.ToMarkdown(), "| a | b |\n|---|---|\n| 1 | 2 |\n");
+}
+
+TEST(TableWriterTest, ShortRowsArePadded) {
+  TableWriter t({"a", "b", "c"});
+  t.AddRow({"1"});
+  EXPECT_EQ(t.num_cols(), 3u);
+  const std::string csv = t.ToCsv();
+  EXPECT_EQ(csv, "a,b,c\n1,,\n");
+}
+
+TEST(TableWriterTest, LongRowsWidenHeader) {
+  TableWriter t({"a"});
+  t.AddRow({"1", "2"});
+  EXPECT_EQ(t.num_cols(), 2u);
+}
+
+TEST(TableWriterTest, CsvQuotesSpecials) {
+  TableWriter t({"x"});
+  t.AddRow({"a,b"});
+  t.AddRow({"say \"hi\""});
+  t.AddRow({"line\nbreak"});
+  EXPECT_EQ(t.ToCsv(),
+            "x\n\"a,b\"\n\"say \"\"hi\"\"\"\n\"line\nbreak\"\n");
+}
+
+TEST(TableWriterTest, DoubleRowFormatting) {
+  TableWriter t({"m", "p", "f1"});
+  t.AddRow("pca", {0.553, 0.578});
+  EXPECT_EQ(t.ToCsv(), "m,p,f1\npca,0.55,0.58\n");
+}
+
+TEST(TableWriterTest, AlignedColumnsLineUp) {
+  TableWriter t({"long-header", "b"});
+  t.AddRow({"x", "y"});
+  const std::string out = t.ToAligned();
+  // Header and row start at the same columns.
+  const size_t header_b = out.find(" b");
+  ASSERT_NE(header_b, std::string::npos);
+  EXPECT_NE(out.find('\n'), std::string::npos);
+}
+
+TEST(TableWriterTest, CountsRows) {
+  TableWriter t({"a"});
+  EXPECT_EQ(t.num_rows(), 0u);
+  t.AddRow({"1"});
+  t.AddRow({"2"});
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+}  // namespace
+}  // namespace sofya

@@ -1,0 +1,303 @@
+// sofya — command-line interface to the library.
+//
+//   sofya generate --preset movies --out DIR [--seed N] [--scale S]
+//       Write a benchmark world as kb1.nt / kb2.nt / links.nt / truth.tsv.
+//
+//   sofya align --kb1 F --kb2 F --links F --relation IRI
+//               [--tau T] [--measure pca|cwa] [--no-ubs] [--sample N]
+//       Load two N-Triples datasets + an owl:sameAs link file and align the
+//       given reference relation (IRI lives in --kb2) on the fly.
+//
+//   sofya query --kb F --sparql 'SELECT ...'
+//       Run a SPARQL SELECT (the supported subset) against a dataset.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+
+#include "core/sofya.h"
+
+namespace sofya {
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  sofya generate --preset tiny|movies|music|yago-dbpedia "
+               "--out DIR [--seed N] [--scale S] [--inverses]\n"
+               "  sofya align --kb1 FILE --kb2 FILE --links FILE "
+               "--relation IRI [--tau T] [--measure pca|cwa] [--no-ubs] "
+               "[--sample N]\n"
+               "  sofya query --kb FILE --sparql 'SELECT ...'\n");
+  return 2;
+}
+
+/// Minimal flag parser: --key value and boolean --key.
+std::map<std::string, std::string> ParseFlags(int argc, char** argv,
+                                              int start) {
+  std::map<std::string, std::string> flags;
+  for (int i = start; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) continue;
+    arg = arg.substr(2);
+    if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+      flags[arg] = argv[++i];
+    } else {
+      flags[arg] = "true";
+    }
+  }
+  return flags;
+}
+
+Status LoadKb(const std::string& path, KnowledgeBase* kb) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open " + path);
+  SOFYA_ASSIGN_OR_RETURN(NTriplesParseReport report,
+                         ParseNTriples(in, &kb->dict(), &kb->store()));
+  std::fprintf(stderr, "loaded %s: %zu triples\n", path.c_str(),
+               report.triples_parsed);
+  return Status::OK();
+}
+
+Status LoadLinks(const std::string& path, SameAsIndex* links) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open " + path);
+  std::string line;
+  size_t n = 0, line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    Term s, p, o;
+    Status st = ParseNTriplesLine(line, &s, &p, &o);
+    if (st.IsNotFound()) continue;
+    SOFYA_RETURN_IF_ERROR(st.WithContext(StrFormat("line %zu", line_no)));
+    if (p.lexical() != ns::kOwlSameAs) continue;
+    links->AddLink(s, o);
+    ++n;
+  }
+  std::fprintf(stderr, "loaded %s: %zu sameAs links\n", path.c_str(), n);
+  return Status::OK();
+}
+
+Status WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  if (!out) return Status::NotFound("cannot write " + path);
+  out << content;
+  return Status::OK();
+}
+
+int Generate(const std::map<std::string, std::string>& flags) {
+  const std::string preset =
+      flags.count("preset") ? flags.at("preset") : "movies";
+  const std::string out_dir = flags.count("out") ? flags.at("out") : ".";
+  const uint64_t seed =
+      flags.count("seed") ? std::stoull(flags.at("seed")) : 7;
+  const double scale =
+      flags.count("scale") ? std::stod(flags.at("scale")) : 0.25;
+
+  WorldSpec spec;
+  if (preset == "tiny") {
+    spec = TinyWorldSpec(seed);
+  } else if (preset == "movies") {
+    spec = MoviesWorldSpec(seed);
+  } else if (preset == "music") {
+    spec = MusicWorldSpec(seed);
+  } else if (preset == "yago-dbpedia") {
+    spec = YagoDbpediaSpec(seed, scale);
+  } else {
+    std::fprintf(stderr, "unknown preset '%s'\n", preset.c_str());
+    return 2;
+  }
+  if (flags.count("inverses")) spec.add_inverse_relations = true;
+
+  auto world_or = GenerateWorld(spec);
+  if (!world_or.ok()) {
+    std::fprintf(stderr, "%s\n", world_or.status().ToString().c_str());
+    return 1;
+  }
+  SynthWorld world = std::move(world_or).value();
+  std::printf("%s\n", DescribeWorld(world).c_str());
+
+  auto kb1 = WriteNTriplesString(world.kb1->store(), world.kb1->dict());
+  auto kb2 = WriteNTriplesString(world.kb2->store(), world.kb2->dict());
+  if (!kb1.ok() || !kb2.ok()) return 1;
+
+  // Serialize links as owl:sameAs N-Triples. SameAsIndex does not
+  // enumerate pairs, so walk kb1's resource IRIs and emit each one's
+  // translation.
+  std::string links_doc;
+  {
+    const std::string same_as = std::string(ns::kOwlSameAs);
+    CrossKbTranslator to_kb2(&world.links, world.kb2->base_iri());
+    const Dictionary& dict = world.kb1->dict();
+    for (TermId id = dict.min_id(); id <= dict.max_id(); ++id) {
+      const Term& term = dict.Decode(id);
+      if (!term.is_iri() ||
+          !StartsWith(term.lexical(), world.kb1->base_iri() + "resource/")) {
+        continue;
+      }
+      auto partner = to_kb2.Translate(term);
+      if (!partner.ok()) continue;
+      links_doc += term.ToNTriples() + " <" + same_as + "> " +
+                   partner->ToNTriples() + " .\n";
+    }
+  }
+
+  // Ground truth as TSV: body, head, kind.
+  std::string truth_doc = "#body\thead\tkind\n";
+  for (const std::string& body : world.truth.RelationsOf(world.kb1->name())) {
+    for (const std::string& head :
+         world.truth.RelationsOf(world.kb2->name())) {
+      const AlignKind kind = world.truth.Classify(body, head);
+      if (kind == AlignKind::kNone) continue;
+      truth_doc += body + "\t" + head + "\t" + AlignKindName(kind) + "\n";
+    }
+  }
+
+  for (const auto& [name, content] :
+       std::initializer_list<std::pair<const char*, const std::string*>>{
+           {"kb1.nt", &*kb1},
+           {"kb2.nt", &*kb2},
+           {"links.nt", &links_doc},
+           {"truth.tsv", &truth_doc}}) {
+    const std::string path = out_dir + "/" + name;
+    Status st = WriteFile(path, *content);
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", path.c_str());
+  }
+  return 0;
+}
+
+/// Guesses a dataset's base IRI as the longest common prefix of its
+/// resource IRIs (up to the last '/').
+std::string GuessBaseIri(const KnowledgeBase& kb) {
+  const Dictionary& dict = kb.dict();
+  std::string prefix;
+  for (TermId id = dict.min_id(); id <= dict.max_id(); ++id) {
+    const Term& term = dict.Decode(id);
+    if (!term.is_iri()) continue;
+    const std::string& iri = term.lexical();
+    if (prefix.empty()) {
+      prefix = iri;
+      continue;
+    }
+    size_t i = 0;
+    while (i < prefix.size() && i < iri.size() && prefix[i] == iri[i]) ++i;
+    prefix.resize(i);
+  }
+  const size_t slash = prefix.rfind('/');
+  if (slash != std::string::npos) prefix.resize(slash + 1);
+  return prefix;
+}
+
+int Align(const std::map<std::string, std::string>& flags) {
+  if (!flags.count("kb1") || !flags.count("kb2") || !flags.count("links") ||
+      !flags.count("relation")) {
+    return Usage();
+  }
+  KnowledgeBase kb1("kb1", "");
+  KnowledgeBase kb2("kb2", "");
+  SameAsIndex links;
+  for (Status st : {LoadKb(flags.at("kb1"), &kb1),
+                    LoadKb(flags.at("kb2"), &kb2),
+                    LoadLinks(flags.at("links"), &links)}) {
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
+  KnowledgeBase kb1_named("kb1", GuessBaseIri(kb1));
+  KnowledgeBase kb2_named("kb2", GuessBaseIri(kb2));
+  // Rebuild with guessed base IRIs (cheap: move stores over).
+  kb1_named.dict() = std::move(kb1.dict());
+  kb1_named.store() = std::move(kb1.store());
+  kb2_named.dict() = std::move(kb2.dict());
+  kb2_named.store() = std::move(kb2.store());
+  std::fprintf(stderr, "base IRIs: kb1=%s kb2=%s\n",
+               kb1_named.base_iri().c_str(), kb2_named.base_iri().c_str());
+
+  SofyaOptions options;
+  if (flags.count("tau")) {
+    options.aligner.threshold = std::stod(flags.at("tau"));
+  }
+  if (flags.count("measure") && flags.at("measure") == "cwa") {
+    options.aligner.measure = ConfidenceMeasure::kCwa;
+  }
+  if (flags.count("no-ubs")) options.aligner.use_ubs = false;
+  if (flags.count("sample")) {
+    options.aligner.sampler.sample_size = std::stoul(flags.at("sample"));
+  }
+
+  Sofya sofya(&kb1_named, &kb2_named, &links, options);
+  auto result = sofya.Align(flags.at("relation"));
+  if (!result.ok()) {
+    std::fprintf(stderr, "alignment failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("alignment of <%s>:\n", flags.at("relation").c_str());
+  if ((*result)->verdicts.empty()) {
+    std::printf("  (no candidate relations discovered)\n");
+  }
+  for (const auto& v : (*result)->verdicts) {
+    std::printf("  %-60s pca=%.2f cwa=%.2f supp=%zu %s%s%s\n",
+                v.relation.lexical().c_str(), v.rule.pca_conf,
+                v.rule.cwa_conf, v.rule.support,
+                v.accepted ? "[SUBSUMED]" : "[rejected]",
+                v.ubs_subsumption_pruned ? " (UBS pruned)" : "",
+                v.equivalence ? " [EQUIVALENT]" : "");
+  }
+  const EndpointStats cost = sofya.TotalCost();
+  std::printf("cost: %llu queries, %llu rows\n",
+              static_cast<unsigned long long>(cost.queries),
+              static_cast<unsigned long long>(cost.rows_returned));
+  return 0;
+}
+
+int Query(const std::map<std::string, std::string>& flags) {
+  if (!flags.count("kb") || !flags.count("sparql")) return Usage();
+  KnowledgeBase kb("kb", "");
+  Status st = LoadKb(flags.at("kb"), &kb);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  LocalEndpoint endpoint(&kb);
+  const PrefixMap prefixes = PrefixMap::WithDefaults();
+  auto rows = SelectText(&endpoint, flags.at("sparql"), &prefixes);
+  if (!rows.ok()) {
+    std::fprintf(stderr, "%s\n", rows.status().ToString().c_str());
+    return 1;
+  }
+  // Header.
+  std::string header;
+  for (const auto& name : rows->var_names) header += "?" + name + "\t";
+  std::printf("%s\n", header.c_str());
+  for (const auto& row : rows->rows) {
+    std::string line;
+    for (TermId id : row) {
+      auto term = endpoint.DecodeTerm(id);
+      line += (term.ok() ? term->ToNTriples() : "?") + "\t";
+    }
+    std::printf("%s\n", line.c_str());
+  }
+  std::fprintf(stderr, "%zu rows\n", rows->rows.size());
+  return 0;
+}
+
+}  // namespace
+}  // namespace sofya
+
+int main(int argc, char** argv) {
+  if (argc < 2) return sofya::Usage();
+  const std::string command = argv[1];
+  const auto flags = sofya::ParseFlags(argc, argv, 2);
+  if (command == "generate") return sofya::Generate(flags);
+  if (command == "align") return sofya::Align(flags);
+  if (command == "query") return sofya::Query(flags);
+  return sofya::Usage();
+}
