@@ -51,11 +51,18 @@ StatusOr<std::vector<CandidateRelation>> CandidateFinder::FindCandidates(
   }
   const bool literal_relation = literal_objects * 2 >= window.rows.size();
 
-  // Probe sampled facts.
-  std::map<Term, size_t> counts;  // Ordered: deterministic ties.
-  size_t probed = 0;
+  // Qualify sampled facts into probe queries. Qualification (sameAs
+  // translation + id lookup) is client-side, so the whole probe set is known
+  // before the endpoint is touched — one batch instead of one query per
+  // sampled fact, which lets the endpoint stack dedup and cache them.
+  struct Probe {
+    bool literal;
+    Term y2;  // Reference object for literal matching.
+  };
+  std::vector<Probe> probes;
+  std::vector<SelectQuery> probe_queries;
   for (size_t idx : order) {
-    if (probed >= options_.sample_facts) break;
+    if (probes.size() >= options_.sample_facts) break;
     const auto& row = window.rows[idx];
     SOFYA_ASSIGN_OR_RETURN(Term x2, reference_kb_->DecodeTerm(row[0]));
     SOFYA_ASSIGN_OR_RETURN(Term y2, reference_kb_->DecodeTerm(row[1]));
@@ -67,21 +74,8 @@ StatusOr<std::vector<CandidateRelation>> CandidateFinder::FindCandidates(
       if (!y2.is_literal()) continue;
       const TermId x1_id = candidate_kb_->LookupTerm(*x1);
       if (x1_id == kNullTermId) continue;
-      ++probed;
-      SOFYA_ASSIGN_OR_RETURN(
-          ResultSet facts,
-          candidate_kb_->Select(queries::FactsOfSubject(x1_id)));
-      std::unordered_set<TermId> credited;
-      for (const auto& fact_row : facts.rows) {
-        SOFYA_ASSIGN_OR_RETURN(Term obj,
-                               candidate_kb_->DecodeTerm(fact_row[1]));
-        if (!obj.is_literal()) continue;
-        if (!literal_matcher_.Matches(obj, y2)) continue;
-        if (!credited.insert(fact_row[0]).second) continue;
-        SOFYA_ASSIGN_OR_RETURN(Term predicate,
-                               candidate_kb_->DecodeTerm(fact_row[0]));
-        ++counts[predicate];
-      }
+      probes.push_back(Probe{true, y2});
+      probe_queries.push_back(queries::FactsOfSubject(x1_id));
       continue;
     }
 
@@ -90,11 +84,30 @@ StatusOr<std::vector<CandidateRelation>> CandidateFinder::FindCandidates(
     const TermId x1_id = candidate_kb_->LookupTerm(*x1);
     const TermId y1_id = candidate_kb_->LookupTerm(*y1);
     if (x1_id == kNullTermId || y1_id == kNullTermId) continue;
-    ++probed;
-    SOFYA_ASSIGN_OR_RETURN(
-        ResultSet predicates,
-        candidate_kb_->Select(queries::PredicatesBetween(x1_id, y1_id)));
-    for (const auto& p_row : predicates.rows) {
+    probes.push_back(Probe{false, Term()});
+    probe_queries.push_back(queries::PredicatesBetween(x1_id, y1_id));
+  }
+
+  std::map<Term, size_t> counts;  // Ordered: deterministic ties.
+  SOFYA_ASSIGN_OR_RETURN(std::vector<ResultSet> probe_results,
+                         candidate_kb_->SelectMany(probe_queries));
+  for (size_t i = 0; i < probes.size(); ++i) {
+    const ResultSet& rows = probe_results[i];
+    if (probes[i].literal) {
+      std::unordered_set<TermId> credited;
+      for (const auto& fact_row : rows.rows) {
+        SOFYA_ASSIGN_OR_RETURN(Term obj,
+                               candidate_kb_->DecodeTerm(fact_row[1]));
+        if (!obj.is_literal()) continue;
+        if (!literal_matcher_.Matches(obj, probes[i].y2)) continue;
+        if (!credited.insert(fact_row[0]).second) continue;
+        SOFYA_ASSIGN_OR_RETURN(Term predicate,
+                               candidate_kb_->DecodeTerm(fact_row[0]));
+        ++counts[predicate];
+      }
+      continue;
+    }
+    for (const auto& p_row : rows.rows) {
       SOFYA_ASSIGN_OR_RETURN(Term predicate,
                              candidate_kb_->DecodeTerm(p_row[0]));
       ++counts[predicate];

@@ -159,6 +159,10 @@ StatusOr<AlignmentResult> RelationAligner::Align(const Term& r) {
   result.reference_queries = ref_after.queries - ref_before.queries;
   result.rows_shipped = (cand_after.rows_returned - cand_before.rows_returned) +
                         (ref_after.rows_returned - ref_before.rows_returned);
+  result.cache_hits = (cand_after.cache_hits - cand_before.cache_hits) +
+                      (ref_after.cache_hits - ref_before.cache_hits);
+  result.cache_misses = (cand_after.cache_misses - cand_before.cache_misses) +
+                        (ref_after.cache_misses - ref_before.cache_misses);
   result.simulated_latency_ms =
       (cand_after.simulated_latency_ms - cand_before.simulated_latency_ms) +
       (ref_after.simulated_latency_ms - ref_before.simulated_latency_ms);

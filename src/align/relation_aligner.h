@@ -82,6 +82,10 @@ struct AlignmentResult {
   uint64_t candidate_queries = 0;
   uint64_t reference_queries = 0;
   uint64_t rows_shipped = 0;
+  /// Requests answered by a client-side cache (CachingEndpoint) instead of
+  /// the server; zero when no cache is in the endpoint stack.
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
   double simulated_latency_ms = 0.0;
 
   /// Candidates with accepted subsumption r' => r.

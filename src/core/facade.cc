@@ -21,6 +21,16 @@ Sofya::Sofya(KnowledgeBase* candidate_kb, KnowledgeBase* reference_kb,
     candidate_ = candidate_retrying_.get();
     reference_ = reference_retrying_.get();
   }
+  if (options.cache) {
+    // The cache is the outermost (client-side) layer: a hit costs neither
+    // budget, simulated latency, nor a retry attempt.
+    candidate_caching_ = std::make_unique<CachingEndpoint>(
+        candidate_, options.candidate_cache);
+    reference_caching_ = std::make_unique<CachingEndpoint>(
+        reference_, options.reference_cache);
+    candidate_ = candidate_caching_.get();
+    reference_ = reference_caching_.get();
+  }
   on_the_fly_ = std::make_unique<OnTheFlyAligner>(candidate_, reference_,
                                                   links, options.aligner);
 }

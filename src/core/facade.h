@@ -12,6 +12,7 @@
 
 #include "align/on_the_fly.h"
 #include "align/relation_aligner.h"
+#include "endpoint/caching_endpoint.h"
 #include "endpoint/local_endpoint.h"
 #include "endpoint/retrying_endpoint.h"
 #include "endpoint/throttled_endpoint.h"
@@ -32,6 +33,13 @@ struct SofyaOptions {
 
   /// Client-side retry of transient (Unavailable) failures.
   RetryOptions retry;
+
+  /// Client-side LRU result cache, outermost in the stack: repeated
+  /// evidence probes are answered locally and never consume query budget.
+  /// On by default — SOFYA's probe workload is heavily overlapping.
+  bool cache = true;
+  CacheOptions candidate_cache;
+  CacheOptions reference_cache;
 };
 
 /// The facade. KBs and links are borrowed, not owned.
@@ -57,9 +65,14 @@ class Sofya {
   /// Runs a query on the reference endpoint.
   StatusOr<ResultSet> ExecuteOnReference(const SelectQuery& query);
 
-  /// The working endpoints (throttled when configured).
+  /// The working endpoints (cached/throttled when configured).
   Endpoint* candidate_endpoint() { return candidate_; }
   Endpoint* reference_endpoint() { return reference_; }
+
+  /// The caches (nullptr when options.cache is false). Exposed for cache
+  /// inspection and for Clear() after mutating a KB.
+  CachingEndpoint* candidate_cache() { return candidate_caching_.get(); }
+  CachingEndpoint* reference_cache() { return reference_caching_.get(); }
 
   /// Combined access cost over both endpoints since construction.
   EndpointStats TotalCost() const;
@@ -73,6 +86,8 @@ class Sofya {
   std::unique_ptr<ThrottledEndpoint> reference_throttled_;
   std::unique_ptr<RetryingEndpoint> candidate_retrying_;
   std::unique_ptr<RetryingEndpoint> reference_retrying_;
+  std::unique_ptr<CachingEndpoint> candidate_caching_;
+  std::unique_ptr<CachingEndpoint> reference_caching_;
   Endpoint* candidate_;  // Outermost decorator.
   Endpoint* reference_;
   std::unique_ptr<OnTheFlyAligner> on_the_fly_;

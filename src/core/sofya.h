@@ -18,6 +18,7 @@
 #include "align/on_the_fly.h"
 #include "align/relation_aligner.h"
 #include "core/facade.h"
+#include "endpoint/caching_endpoint.h"
 #include "endpoint/endpoint.h"
 #include "endpoint/local_endpoint.h"
 #include "endpoint/paged_select.h"

@@ -1,0 +1,103 @@
+#include "endpoint/caching_endpoint.h"
+
+#include <utility>
+#include <vector>
+
+namespace sofya {
+
+CachingEndpoint::Entry& CachingEndpoint::Touch(LruList::iterator it) {
+  lru_.splice(lru_.begin(), lru_, it);
+  return *lru_.begin();
+}
+
+void CachingEndpoint::Insert(Entry entry) {
+  lru_.push_front(std::move(entry));
+  index_[lru_.front().key] = lru_.begin();
+  while (index_.size() > options_.capacity) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
+std::string CachingEndpoint::AskKey(const SelectQuery& query) {
+  SelectQuery normalized = query;
+  normalized.Distinct(false).Limit(kNoLimit).Offset(0);
+  return normalized.Fingerprint() + "#ask";
+}
+
+StatusOr<ResultSet> CachingEndpoint::Select(const SelectQuery& query) {
+  std::string key = query.Fingerprint();
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    ++hits_;
+    return Touch(it->second).result;
+  }
+  ++misses_;
+  SOFYA_ASSIGN_OR_RETURN(ResultSet result, inner_->Select(query));
+  Insert(Entry{std::move(key), /*is_ask=*/false, result, false});
+  return result;
+}
+
+StatusOr<std::vector<ResultSet>> CachingEndpoint::SelectMany(
+    std::span<const SelectQuery> queries) {
+  std::vector<ResultSet> results(queries.size());
+  std::vector<std::string> keys(queries.size());
+  std::vector<SelectQuery> missing;  // Unique misses only.
+  std::unordered_map<std::string, size_t> missing_index;  // key -> missing[].
+  std::vector<std::pair<size_t, size_t>> fill;  // (results[], missing[]).
+  for (size_t i = 0; i < queries.size(); ++i) {
+    keys[i] = queries[i].Fingerprint();
+    auto it = index_.find(keys[i]);
+    if (it != index_.end()) {
+      ++hits_;
+      results[i] = Touch(it->second).result;
+      continue;
+    }
+    ++misses_;
+    // Dedup duplicates within the batch here, client-side: decorator stacks
+    // that decompose batches per query (throttle, retry) would otherwise
+    // charge budget and latency for every repeat.
+    auto [mit, inserted] = missing_index.emplace(keys[i], missing.size());
+    if (inserted) missing.push_back(queries[i]);
+    fill.emplace_back(i, mit->second);
+  }
+  if (missing.empty()) return results;
+
+  SOFYA_ASSIGN_OR_RETURN(std::vector<ResultSet> fetched,
+                         inner_->SelectMany(missing));
+  for (const auto& [key, m] : missing_index) {
+    Insert(Entry{key, /*is_ask=*/false, fetched[m], false});
+  }
+  for (const auto& [i, m] : fill) results[i] = fetched[m];
+  return results;
+}
+
+StatusOr<bool> CachingEndpoint::Ask(const SelectQuery& query) {
+  if (!options_.cache_asks) return inner_->Ask(query);
+  std::string key = AskKey(query);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    ++hits_;
+    return Touch(it->second).ask_result;
+  }
+  ++misses_;
+  SOFYA_ASSIGN_OR_RETURN(bool result, inner_->Ask(query));
+  Insert(Entry{std::move(key), /*is_ask=*/true, ResultSet{}, result});
+  return result;
+}
+
+const EndpointStats& CachingEndpoint::stats() const {
+  stats_snapshot_ = inner_->stats();
+  // An inner decorator may carry its own cache counters; add, don't clobber.
+  stats_snapshot_.cache_hits += hits_;
+  stats_snapshot_.cache_misses += misses_;
+  return stats_snapshot_;
+}
+
+void CachingEndpoint::Clear() {
+  lru_.clear();
+  index_.clear();
+}
+
+}  // namespace sofya

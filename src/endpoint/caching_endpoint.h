@@ -1,0 +1,121 @@
+// CachingEndpoint: client-side LRU result cache over any Endpoint.
+//
+// SOFYA's hottest access pattern is repeated overlapping evidence lookups —
+// the same ObjectsOf / existence probes recur across candidate relations,
+// across the forward and reverse alignment directions, and across
+// alignments of related reference relations (PARIS makes the same
+// observation for instance-level alignment). Caching them client-side turns
+// that overlap into zero-cost hits: the server never sees the repeat, so
+// `queries` (the paper's cost metric) strictly drops.
+//
+// Keys are normalized query fingerprints (SelectQuery::Fingerprint), so
+// structurally identical queries collide regardless of how they were built.
+// ASK probes are cached separately with their solution modifiers stripped —
+// existence does not depend on DISTINCT/OFFSET/LIMIT, so Ask(q) and
+// Ask(q.Limit(5)) share one entry.
+//
+// The cache assumes the dataset is immutable between queries. When the
+// underlying KB is mutated (time-sensitive-data scenarios), call Clear().
+
+#ifndef SOFYA_ENDPOINT_CACHING_ENDPOINT_H_
+#define SOFYA_ENDPOINT_CACHING_ENDPOINT_H_
+
+#include <cstdint>
+#include <list>
+#include <string>
+#include <unordered_map>
+
+#include "endpoint/endpoint.h"
+
+namespace sofya {
+
+/// Cache sizing/behavior knobs.
+struct CacheOptions {
+  /// Maximum cached entries (SELECT results + ASK booleans combined).
+  size_t capacity = 4096;
+
+  /// Cache ASK probes too (cheap to store; high hit rates for existence
+  /// checks repeated across candidates).
+  bool cache_asks = true;
+};
+
+/// Decorator; wraps any Endpoint. Typically outermost in the stack
+/// (client-side), so hits cost neither budget, latency, nor retries.
+class CachingEndpoint : public Endpoint {
+ public:
+  /// `inner` is not owned and must outlive this object.
+  explicit CachingEndpoint(Endpoint* inner, CacheOptions options = {})
+      : inner_(inner), options_(options) {}
+
+  const std::string& name() const override { return inner_->name(); }
+  const std::string& base_iri() const override { return inner_->base_iri(); }
+
+  StatusOr<ResultSet> Select(const SelectQuery& query) override;
+
+  /// Answers what it can from the cache and forwards only the misses to the
+  /// inner endpoint as one (smaller) batch.
+  StatusOr<std::vector<ResultSet>> SelectMany(
+      std::span<const SelectQuery> queries) override;
+
+  StatusOr<bool> Ask(const SelectQuery& query) override;
+
+  TermId EncodeTerm(const Term& term) override {
+    return inner_->EncodeTerm(term);
+  }
+  TermId LookupTerm(const Term& term) const override {
+    return inner_->LookupTerm(term);
+  }
+  StatusOr<Term> DecodeTerm(TermId id) const override {
+    return inner_->DecodeTerm(id);
+  }
+
+  /// Inner endpoint stats plus this cache's hit/miss counters. Note that
+  /// `queries` counts only requests the server actually saw — cache hits
+  /// never reach it, which is the point.
+  const EndpointStats& stats() const override;
+  void ResetStats() override {
+    inner_->ResetStats();
+    hits_ = 0;
+    misses_ = 0;
+  }
+
+  /// Drops every cached entry (required after mutating the dataset).
+  void Clear();
+
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  /// Entries displaced by the capacity bound since construction.
+  uint64_t evictions() const { return evictions_; }
+  size_t size() const { return index_.size(); }
+
+ private:
+  struct Entry {
+    std::string key;
+    bool is_ask = false;
+    ResultSet result;       // is_ask == false.
+    bool ask_result = false;  // is_ask == true.
+  };
+  using LruList = std::list<Entry>;
+
+  /// Moves `it` to the front (most recent) and returns its entry.
+  Entry& Touch(LruList::iterator it);
+
+  /// Inserts an entry, evicting from the cold end past capacity.
+  void Insert(Entry entry);
+
+  /// ASK cache key: fingerprint with solution modifiers normalized away.
+  static std::string AskKey(const SelectQuery& query);
+
+  Endpoint* inner_;  // Not owned.
+  CacheOptions options_;
+  LruList lru_;  // Front = most recently used.
+  std::unordered_map<std::string, LruList::iterator> index_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
+  mutable EndpointStats stats_snapshot_;
+};
+
+}  // namespace sofya
+
+#endif  // SOFYA_ENDPOINT_CACHING_ENDPOINT_H_

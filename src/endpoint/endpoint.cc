@@ -2,7 +2,21 @@
 
 namespace sofya {
 
+StatusOr<std::vector<ResultSet>> Endpoint::SelectMany(
+    std::span<const SelectQuery> queries) {
+  std::vector<ResultSet> results;
+  results.reserve(queries.size());
+  for (const SelectQuery& query : queries) {
+    SOFYA_ASSIGN_OR_RETURN(ResultSet result, Select(query));
+    results.push_back(std::move(result));
+  }
+  return results;
+}
+
 StatusOr<bool> Endpoint::Ask(const SelectQuery& query) {
+  // Fallback for endpoints without a native ASK: a LIMIT-1 SELECT. With the
+  // streaming engine behind LocalEndpoint this still terminates at the first
+  // solution, but it ships one row; LocalEndpoint overrides Ask to ship none.
   SelectQuery probe = query;
   probe.Limit(1).Offset(0);
   SOFYA_ASSIGN_OR_RETURN(ResultSet result, Select(probe));

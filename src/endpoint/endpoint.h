@@ -12,7 +12,9 @@
 #define SOFYA_ENDPOINT_ENDPOINT_H_
 
 #include <cstdint>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "rdf/dictionary.h"
 #include "rdf/term.h"
@@ -30,6 +32,9 @@ struct EndpointStats {
   uint64_t rows_returned = 0;         ///< Total result rows shipped.
   uint64_t bytes_estimated = 0;       ///< Approx. serialized payload bytes.
   uint64_t index_probes = 0;          ///< Store lookups behind the queries.
+  uint64_t triples_scanned = 0;       ///< Index entries touched server-side.
+  uint64_t cache_hits = 0;            ///< Requests answered from a cache.
+  uint64_t cache_misses = 0;          ///< Requests that had to go through.
   uint64_t failures_injected = 0;     ///< Simulated faults raised.
   double simulated_latency_ms = 0.0;  ///< Modeled network+server time.
 
@@ -39,6 +44,9 @@ struct EndpointStats {
     rows_returned += other.rows_returned;
     bytes_estimated += other.bytes_estimated;
     index_probes += other.index_probes;
+    triples_scanned += other.triples_scanned;
+    cache_hits += other.cache_hits;
+    cache_misses += other.cache_misses;
     failures_injected += other.failures_injected;
     simulated_latency_ms += other.simulated_latency_ms;
   }
@@ -59,8 +67,20 @@ class Endpoint {
   /// Executes a SELECT query.
   virtual StatusOr<ResultSet> Select(const SelectQuery& query) = 0;
 
+  /// Executes a batch of SELECT queries in one round trip. Results are
+  /// positional: result[i] answers queries[i]. The default implementation
+  /// runs the queries sequentially through Select(); endpoint
+  /// implementations override it to exploit batching (LocalEndpoint answers
+  /// duplicate queries within a batch from one evaluation, CachingEndpoint
+  /// forwards only its cache misses). Fails fast on the first error.
+  virtual StatusOr<std::vector<ResultSet>> SelectMany(
+      std::span<const SelectQuery> queries);
+
   /// Executes the query as ASK: true iff at least one solution exists.
-  /// Default implementation runs Select with LIMIT 1.
+  /// The default implementation runs Select with LIMIT 1; endpoints that
+  /// can do better override it (LocalEndpoint stops the evaluation pipeline
+  /// at the first solution and ships no rows; decorators forward the call so
+  /// the early-exit hint survives the whole stack).
   virtual StatusOr<bool> Ask(const SelectQuery& query);
 
   /// Encodes a term into the endpoint's id space (interning it if new).

@@ -1,5 +1,9 @@
 #include "endpoint/local_endpoint.h"
 
+#include <string>
+#include <unordered_map>
+#include <utility>
+
 #include "sparql/engine.h"
 
 namespace sofya {
@@ -9,6 +13,7 @@ StatusOr<ResultSet> LocalEndpoint::Select(const SelectQuery& query) {
   auto result = Evaluate(kb_->store(), query, &eval_stats, &kb_->dict());
   ++stats_.queries;
   stats_.index_probes += eval_stats.index_probes;
+  stats_.triples_scanned += eval_stats.triples_scanned;
   if (!result.ok()) return result.status();
 
   stats_.rows_returned += result->rows.size();
@@ -23,6 +28,36 @@ StatusOr<ResultSet> LocalEndpoint::Select(const SelectQuery& query) {
     }
     stats_.bytes_estimated += bytes;
   }
+  return result;
+}
+
+StatusOr<std::vector<ResultSet>> LocalEndpoint::SelectMany(
+    std::span<const SelectQuery> queries) {
+  std::vector<ResultSet> results(queries.size());
+  // A batch is one request envelope: identical queries inside it are
+  // answered from a single evaluation and charged once.
+  std::unordered_map<std::string, size_t> first_occurrence;
+  first_occurrence.reserve(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    auto [it, inserted] = first_occurrence.emplace(queries[i].Fingerprint(), i);
+    if (!inserted) {
+      results[i] = results[it->second];
+      continue;
+    }
+    SOFYA_ASSIGN_OR_RETURN(results[i], Select(queries[i]));
+  }
+  return results;
+}
+
+StatusOr<bool> LocalEndpoint::Ask(const SelectQuery& query) {
+  EvalStats eval_stats;
+  auto result = EvaluateAsk(kb_->store(), query, &eval_stats, &kb_->dict());
+  ++stats_.queries;
+  stats_.index_probes += eval_stats.index_probes;
+  stats_.triples_scanned += eval_stats.triples_scanned;
+  if (!result.ok()) return result.status();
+  // A boolean response: no rows shipped, one byte of payload.
+  if (options_.estimate_bytes) ++stats_.bytes_estimated;
   return result;
 }
 

@@ -36,6 +36,17 @@ class LocalEndpoint : public Endpoint {
 
   StatusOr<ResultSet> Select(const SelectQuery& query) override;
 
+  /// Batched execution: duplicate queries within one batch (by normalized
+  /// fingerprint) are evaluated once and answered from the same result, so
+  /// a batch of k identical probes costs one server query.
+  StatusOr<std::vector<ResultSet>> SelectMany(
+      std::span<const SelectQuery> queries) override;
+
+  /// Native ASK: the streaming engine stops at the first solution, so the
+  /// cost is O(first match) — one query, zero shipped rows — instead of a
+  /// LIMIT-1 SELECT that ships a row.
+  StatusOr<bool> Ask(const SelectQuery& query) override;
+
   TermId EncodeTerm(const Term& term) override {
     return kb_->dict().Intern(term);
   }

@@ -51,4 +51,49 @@ StatusOr<ResultSet> PagedSelect(Endpoint* endpoint, const SelectQuery& query,
   return merged;
 }
 
+StatusOr<std::vector<ResultSet>> BatchedPagedSelect(
+    Endpoint* endpoint, std::span<const SelectQuery> queries,
+    const PagedSelectOptions& options) {
+  if (options.page_size == 0) {
+    return Status::InvalidArgument("page_size must be positive");
+  }
+
+  // Per-query total row cap: the tighter of max_rows and the query's LIMIT.
+  std::vector<uint64_t> caps;
+  caps.reserve(queries.size());
+  std::vector<SelectQuery> first_pages;
+  first_pages.reserve(queries.size());
+  for (const SelectQuery& query : queries) {
+    uint64_t cap = options.max_rows;
+    if (query.limit() != kNoLimit) cap = std::min(cap, query.limit());
+    caps.push_back(cap);
+    SelectQuery page = query;
+    page.Limit(std::min<uint64_t>(options.page_size, cap));
+    first_pages.push_back(std::move(page));
+  }
+
+  SOFYA_ASSIGN_OR_RETURN(std::vector<ResultSet> results,
+                         endpoint->SelectMany(first_pages));
+
+  // Page out the stragglers whose first page filled completely.
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const uint64_t page_limit = std::min<uint64_t>(options.page_size, caps[i]);
+    const bool maybe_more =
+        page_limit > 0 && results[i].rows.size() == page_limit &&
+        (caps[i] == kNoLimit || caps[i] > page_limit);
+    if (!maybe_more) continue;
+    SelectQuery rest = queries[i];
+    rest.Offset(queries[i].offset() + page_limit);
+    rest.Limit(caps[i] == kNoLimit ? kNoLimit : caps[i] - page_limit);
+    PagedSelectOptions rest_options = options;
+    if (options.max_rows != kNoLimit) {
+      rest_options.max_rows = options.max_rows - results[i].rows.size();
+    }
+    SOFYA_ASSIGN_OR_RETURN(ResultSet more,
+                           PagedSelect(endpoint, rest, rest_options));
+    for (auto& row : more.rows) results[i].rows.push_back(std::move(row));
+  }
+  return results;
+}
+
 }  // namespace sofya

@@ -29,6 +29,16 @@ struct PagedSelectOptions {
 StatusOr<ResultSet> PagedSelect(Endpoint* endpoint, const SelectQuery& query,
                                 const PagedSelectOptions& options = {});
 
+/// Batched pagination: issues every query's first page as one SelectMany
+/// round trip (so the endpoint stack can dedup and cache), then pages the
+/// rare queries whose first page came back full. Results are positional.
+/// The page schedule is identical to running PagedSelect per query; the
+/// saving comes from batching — endpoints that dedup within a batch answer
+/// identical first pages from one evaluation.
+StatusOr<std::vector<ResultSet>> BatchedPagedSelect(
+    Endpoint* endpoint, std::span<const SelectQuery> queries,
+    const PagedSelectOptions& options = {});
+
 }  // namespace sofya
 
 #endif  // SOFYA_ENDPOINT_PAGED_SELECT_H_

@@ -32,15 +32,16 @@ class RetryingEndpoint : public Endpoint {
   const std::string& base_iri() const override { return inner_->base_iri(); }
 
   StatusOr<ResultSet> Select(const SelectQuery& query) override {
-    StatusOr<ResultSet> result = inner_->Select(query);
-    int attempts = 0;
-    while (!result.ok() && result.status().IsUnavailable() &&
-           attempts < options_.max_retries) {
-      ++attempts;
-      ++retries_performed_;
-      result = inner_->Select(query);
-    }
-    return result;
+    return Retry([&] { return inner_->Select(query); });
+  }
+
+  // SelectMany is inherited: the sequential default forwards through this
+  // Select, so each sub-query gets its own retry budget (one transient
+  // failure must not fail the whole batch).
+
+  /// Forwards ASK (preserving the inner early-exit path) with retries.
+  StatusOr<bool> Ask(const SelectQuery& query) override {
+    return Retry([&] { return inner_->Ask(query); });
   }
 
   TermId EncodeTerm(const Term& term) override {
@@ -60,6 +61,21 @@ class RetryingEndpoint : public Endpoint {
   uint64_t retries_performed() const { return retries_performed_; }
 
  private:
+  /// Runs `attempt` and re-runs it while it reports Unavailable, up to
+  /// max_retries. Shared by Select and Ask so they cannot drift.
+  template <typename Fn>
+  auto Retry(Fn&& attempt) -> decltype(attempt()) {
+    auto result = attempt();
+    int attempts = 0;
+    while (!result.ok() && result.status().IsUnavailable() &&
+           attempts < options_.max_retries) {
+      ++attempts;
+      ++retries_performed_;
+      result = attempt();
+    }
+    return result;
+  }
+
   Endpoint* inner_;  // Not owned.
   RetryOptions options_;
   uint64_t retries_performed_ = 0;

@@ -4,25 +4,38 @@
 
 namespace sofya {
 
-StatusOr<ResultSet> ThrottledEndpoint::Select(const SelectQuery& query) {
-  if (options_.query_budget != kNoLimit &&
-      queries_issued_ >= options_.query_budget) {
+namespace {
+
+/// Budget/failure preamble shared by Select and Ask. Returns non-OK when the
+/// request must not reach the inner endpoint.
+Status AdmitQuery(const ThrottleOptions& options, const std::string& name,
+                  uint64_t* queries_issued, Rng* rng, EndpointStats* stats) {
+  if (options.query_budget != kNoLimit &&
+      *queries_issued >= options.query_budget) {
     return Status::ResourceExhausted(
         StrFormat("query budget of %llu exhausted on endpoint '%s'",
-                  static_cast<unsigned long long>(options_.query_budget),
-                  name().c_str()));
+                  static_cast<unsigned long long>(options.query_budget),
+                  name.c_str()));
   }
-  ++queries_issued_;
-  ++stats_.queries;
+  ++*queries_issued;
+  ++stats->queries;
 
   // Failure injection happens before any server work, like a dropped
   // connection. The budget is still charged (the request was made).
-  if (options_.failure_rate > 0.0 && rng_.Bernoulli(options_.failure_rate)) {
-    ++stats_.failures_injected;
-    stats_.simulated_latency_ms += options_.base_latency_ms;
+  if (options.failure_rate > 0.0 && rng->Bernoulli(options.failure_rate)) {
+    ++stats->failures_injected;
+    stats->simulated_latency_ms += options.base_latency_ms;
     return Status::Unavailable(
-        StrFormat("injected endpoint failure on '%s'", name().c_str()));
+        StrFormat("injected endpoint failure on '%s'", name.c_str()));
   }
+  return Status::OK();
+}
+
+}  // namespace
+
+StatusOr<ResultSet> ThrottledEndpoint::Select(const SelectQuery& query) {
+  SOFYA_RETURN_IF_ERROR(
+      AdmitQuery(options_, name(), &queries_issued_, &rng_, &stats_));
 
   // Apply the row cap by tightening LIMIT before the server sees the query
   // (equivalent to server-side truncation, but cheaper to simulate).
@@ -38,6 +51,7 @@ StatusOr<ResultSet> ThrottledEndpoint::Select(const SelectQuery& query) {
   const EndpointStats after = inner_->stats();
 
   stats_.index_probes += after.index_probes - before.index_probes;
+  stats_.triples_scanned += after.triples_scanned - before.triples_scanned;
   if (!result.ok()) return result.status();
 
   stats_.rows_returned += result->rows.size();
@@ -46,6 +60,27 @@ StatusOr<ResultSet> ThrottledEndpoint::Select(const SelectQuery& query) {
   double latency = options_.base_latency_ms +
                    options_.per_row_latency_ms *
                        static_cast<double>(result->rows.size());
+  if (options_.jitter_ms > 0.0) {
+    latency += rng_.NextDouble() * options_.jitter_ms;
+  }
+  stats_.simulated_latency_ms += latency;
+  return result;
+}
+
+StatusOr<bool> ThrottledEndpoint::Ask(const SelectQuery& query) {
+  SOFYA_RETURN_IF_ERROR(
+      AdmitQuery(options_, name(), &queries_issued_, &rng_, &stats_));
+
+  const EndpointStats before = inner_->stats();
+  auto result = inner_->Ask(query);
+  const EndpointStats after = inner_->stats();
+
+  stats_.index_probes += after.index_probes - before.index_probes;
+  stats_.triples_scanned += after.triples_scanned - before.triples_scanned;
+  stats_.bytes_estimated += after.bytes_estimated - before.bytes_estimated;
+  if (!result.ok()) return result.status();
+
+  double latency = options_.base_latency_ms;  // Boolean response: no rows.
   if (options_.jitter_ms > 0.0) {
     latency += rng_.NextDouble() * options_.jitter_ms;
   }

@@ -55,6 +55,15 @@ class ThrottledEndpoint : public Endpoint {
 
   StatusOr<ResultSet> Select(const SelectQuery& query) override;
 
+  // SelectMany is inherited: the sequential default forwards each query
+  // through this Select, so the budget, failure model and latency model are
+  // charged per sub-query — a remote provider meters requests, not batches.
+
+  /// Forwards ASK to the inner endpoint so its early-exit evaluation
+  /// survives the throttle. Charged as one query with base latency only
+  /// (a boolean response ships no rows).
+  StatusOr<bool> Ask(const SelectQuery& query) override;
+
   TermId EncodeTerm(const Term& term) override {
     return inner_->EncodeTerm(term);
   }

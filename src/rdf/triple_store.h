@@ -82,6 +82,16 @@ class TripleStore {
   void ForEachMatch(const TriplePattern& pattern,
                     const std::function<bool(const Triple&)>& fn) const;
 
+  /// Contiguous index range covering `pattern` — the zero-copy substrate for
+  /// streaming query pipelines. The span is filtered by the chosen index's
+  /// bound *prefix* only; for patterns whose bound positions exceed the
+  /// prefix (e.g. fully-bound 〈s,p,o〉 routed through OSP) callers must
+  /// re-check residual positions, as ForEachMatch does. Valid until the next
+  /// write to the store.
+  std::span<const Triple> MatchRange(const TriplePattern& pattern) const {
+    return Range(pattern);
+  }
+
   /// Distinct objects o with 〈s,p,o〉 in the store.
   std::vector<TermId> Objects(TermId s, TermId p) const;
 

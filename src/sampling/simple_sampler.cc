@@ -80,42 +80,62 @@ StatusOr<SimpleSample> SimpleSampler::DrawSample(const Term& r_sub) {
   Rng rng(SeedFor(options_.seed, r_sub));
   Shuffle(rng, subject_ids);
 
-  // Steps 2-3: qualify subjects and translate their facts.
-  for (TermId subject_id : subject_ids) {
-    if (sample.subjects.size() >= options_.sample_size) break;
-
-    SOFYA_ASSIGN_OR_RETURN(Term x1, candidate_kb_->DecodeTerm(subject_id));
-    auto x2 = to_reference_->Translate(x1);
-    if (!x2.ok()) {
-      ++sample.subjects_skipped;  // Subject itself has no link.
-      continue;
-    }
-
-    // Fetch all r_sub facts of this subject (bounded).
-    SelectQuery q = queries::ObjectsOf(subject_id, rel_id);
-    q.Limit(options_.facts_per_subject_cap);
-    SOFYA_ASSIGN_OR_RETURN(ResultSet facts, candidate_kb_->Select(q));
-
-    SampledSubject entry;
-    entry.subject_candidate = x1;
-    entry.subject_reference = std::move(x2).value();
-    for (const auto& row : facts.rows) {
-      SOFYA_ASSIGN_OR_RETURN(Term y1, candidate_kb_->DecodeTerm(row[0]));
-      if (literal_relation) {
-        if (!y1.is_literal()) continue;  // Skip minority-kind objects.
-        entry.objects.emplace_back(y1, y1);
+  // Steps 2-3: qualify subjects and translate their facts. Link
+  // qualification is client-side, so each wave of linkable subjects is
+  // known before the endpoint is touched: their per-subject fact fetches go
+  // out as one SelectMany batch (cache-aware, dedup-able) instead of one
+  // query each. Waves repeat only when subjects turn out to have no
+  // linkable object, so the issued queries match the sequential schedule.
+  size_t next = 0;
+  while (sample.subjects.size() < options_.sample_size &&
+         next < subject_ids.size()) {
+    struct Pending {
+      Term x1;  // Subject in K'.
+      Term x2;  // Its sameAs image in K.
+    };
+    std::vector<Pending> wave;
+    std::vector<SelectQuery> fact_queries;
+    const size_t need = options_.sample_size - sample.subjects.size();
+    while (wave.size() < need && next < subject_ids.size()) {
+      const TermId subject_id = subject_ids[next++];
+      SOFYA_ASSIGN_OR_RETURN(Term x1, candidate_kb_->DecodeTerm(subject_id));
+      auto x2 = to_reference_->Translate(x1);
+      if (!x2.ok()) {
+        ++sample.subjects_skipped;  // Subject itself has no link.
         continue;
       }
-      auto y2 = to_reference_->Translate(y1);
-      if (!y2.ok()) continue;  // Unlinked object: ignored, not penalized.
-      entry.objects.emplace_back(std::move(y1), std::move(y2).value());
+      // Fetch all r_sub facts of this subject (bounded).
+      SelectQuery q = queries::ObjectsOf(subject_id, rel_id);
+      q.Limit(options_.facts_per_subject_cap);
+      wave.push_back(Pending{std::move(x1), std::move(x2).value()});
+      fact_queries.push_back(std::move(q));
     }
+    if (wave.empty()) break;
 
-    if (entry.objects.empty()) {
-      ++sample.subjects_skipped;  // No linkable fact for this subject.
-      continue;
+    SOFYA_ASSIGN_OR_RETURN(std::vector<ResultSet> fact_results,
+                           candidate_kb_->SelectMany(fact_queries));
+    for (size_t i = 0; i < wave.size(); ++i) {
+      SampledSubject entry;
+      entry.subject_candidate = std::move(wave[i].x1);
+      entry.subject_reference = std::move(wave[i].x2);
+      for (const auto& row : fact_results[i].rows) {
+        SOFYA_ASSIGN_OR_RETURN(Term y1, candidate_kb_->DecodeTerm(row[0]));
+        if (literal_relation) {
+          if (!y1.is_literal()) continue;  // Skip minority-kind objects.
+          entry.objects.emplace_back(y1, y1);
+          continue;
+        }
+        auto y2 = to_reference_->Translate(y1);
+        if (!y2.ok()) continue;  // Unlinked object: ignored, not penalized.
+        entry.objects.emplace_back(std::move(y1), std::move(y2).value());
+      }
+
+      if (entry.objects.empty()) {
+        ++sample.subjects_skipped;  // No linkable fact for this subject.
+        continue;
+      }
+      sample.subjects.push_back(std::move(entry));
     }
-    sample.subjects.push_back(std::move(entry));
   }
   return sample;
 }
@@ -128,31 +148,40 @@ StatusOr<EvidenceSet> SimpleSampler::ScoreAgainst(const SimpleSample& sample,
 
   const TermId r_id = reference_kb_->LookupTerm(r);
 
-  for (const SampledSubject& subject : sample.subjects) {
-    // One reference query per subject: all r-objects of x2. This is both
-    // the confirmation probe and the PCA-denominator probe, and it honors
-    // the paper's note that once a subject matches, all of its r facts are
-    // needed.
-    std::vector<Term> r_objects;
-    if (r_id != kNullTermId) {
+  // One reference query per subject: all r-objects of x2. This is both the
+  // confirmation probe and the PCA-denominator probe, and it honors the
+  // paper's note that once a subject matches, all of its r facts are
+  // needed. The sample is fully drawn at this point, so every probe is
+  // known up front — batch them (paged, not truncated: required by the PCA
+  // measure and the paper's K^S construction).
+  std::vector<std::vector<Term>> r_objects_by_subject(sample.subjects.size());
+  if (r_id != kNullTermId) {
+    std::vector<SelectQuery> probes;
+    std::vector<size_t> probe_subject;
+    for (size_t i = 0; i < sample.subjects.size(); ++i) {
       const TermId x2_id =
-          reference_kb_->LookupTerm(subject.subject_reference);
-      if (x2_id != kNullTermId) {
-        // Fetch ALL r-facts of the subject (required by the PCA measure
-        // and the paper's K^S construction) — paged, not truncated.
-        PagedSelectOptions paging;
-        paging.page_size = options_.facts_per_subject_cap;
-        SOFYA_ASSIGN_OR_RETURN(
-            ResultSet rows,
-            PagedSelect(reference_kb_, queries::ObjectsOf(x2_id, r_id),
-                        paging));
-        r_objects.reserve(rows.rows.size());
-        for (const auto& row : rows.rows) {
-          SOFYA_ASSIGN_OR_RETURN(Term obj, reference_kb_->DecodeTerm(row[0]));
-          r_objects.push_back(std::move(obj));
-        }
+          reference_kb_->LookupTerm(sample.subjects[i].subject_reference);
+      if (x2_id == kNullTermId) continue;
+      probes.push_back(queries::ObjectsOf(x2_id, r_id));
+      probe_subject.push_back(i);
+    }
+    PagedSelectOptions paging;
+    paging.page_size = options_.facts_per_subject_cap;
+    SOFYA_ASSIGN_OR_RETURN(std::vector<ResultSet> probe_results,
+                           BatchedPagedSelect(reference_kb_, probes, paging));
+    for (size_t m = 0; m < probe_results.size(); ++m) {
+      std::vector<Term>& objects = r_objects_by_subject[probe_subject[m]];
+      objects.reserve(probe_results[m].rows.size());
+      for (const auto& row : probe_results[m].rows) {
+        SOFYA_ASSIGN_OR_RETURN(Term obj, reference_kb_->DecodeTerm(row[0]));
+        objects.push_back(std::move(obj));
       }
     }
+  }
+
+  for (size_t si = 0; si < sample.subjects.size(); ++si) {
+    const SampledSubject& subject = sample.subjects[si];
+    const std::vector<Term>& r_objects = r_objects_by_subject[si];
     const bool x_has_r = !r_objects.empty();
 
     for (const auto& [y1, y2] : subject.objects) {

@@ -1,6 +1,7 @@
 #include "sampling/unbiased_sampler.h"
 
 #include <algorithm>
+#include <unordered_set>
 
 #include "endpoint/paged_select.h"
 #include "endpoint/query_forms.h"
@@ -55,6 +56,48 @@ StatusOr<std::vector<Term>> UnbiasedSampler::ObjectsOf(Endpoint* endpoint,
   }
   object_cache_.emplace(std::move(key), objects);
   return objects;
+}
+
+Status UnbiasedSampler::PrefetchObjects(
+    Endpoint* endpoint,
+    const std::vector<std::pair<Term, Term>>& subject_relation_pairs) {
+  std::vector<CacheKey> keys;
+  std::vector<SelectQuery> probes;
+  std::unordered_set<CacheKey, CacheKeyHash> pending;
+  for (const auto& [subject, relation] : subject_relation_pairs) {
+    CacheKey key{endpoint, subject, relation};
+    if (object_cache_.find(key) != object_cache_.end()) continue;
+    if (!pending.insert(key).second) continue;  // Duplicate in this batch.
+    const TermId s_id = endpoint->LookupTerm(subject);
+    const TermId p_id = endpoint->LookupTerm(relation);
+    if (s_id == kNullTermId || p_id == kNullTermId) {
+      // Unknown terms have no facts; memoize the empty answer query-free.
+      object_cache_.emplace(std::move(key), std::vector<Term>());
+      continue;
+    }
+    keys.push_back(std::move(key));
+    probes.push_back(queries::ObjectsOf(s_id, p_id));
+  }
+  if (probes.empty()) return Status::OK();
+
+  // Completeness matters: a truncated object list turns "r has y" into a
+  // phantom counter-example. Page through everything each subject has.
+  PagedSelectOptions paging;
+  paging.page_size = options_.facts_per_subject_cap;
+  SOFYA_ASSIGN_OR_RETURN(std::vector<ResultSet> results,
+                         BatchedPagedSelect(endpoint, probes, paging));
+  // Memoize only on success: a failed fetch must not leave behind empty
+  // entries that later reads would mistake for "subject has no facts".
+  for (size_t i = 0; i < keys.size(); ++i) {
+    std::vector<Term> objects;
+    objects.reserve(results[i].rows.size());
+    for (const auto& row : results[i].rows) {
+      SOFYA_ASSIGN_OR_RETURN(Term obj, endpoint->DecodeTerm(row[0]));
+      objects.push_back(std::move(obj));
+    }
+    object_cache_.emplace(std::move(keys[i]), std::move(objects));
+  }
+  return Status::OK();
 }
 
 StatusOr<ResultSet> UnbiasedSampler::FetchDisagreeingRows(Endpoint* endpoint,
@@ -127,30 +170,61 @@ StatusOr<UbsReport> UnbiasedSampler::Probe(const Term& r,
       SOFYA_ASSIGN_OR_RETURN(ResultSet rows,
                              FetchDisagreeingRows(candidate_kb_, p1, p2));
 
+      // Phase A: decode the disagreement rows and batch-warm the memo with
+      // every candidate-side existence probe this pair needs (the memo
+      // dedups repeat subjects; the batch lets the endpoint stack dedup and
+      // cache across pairs and candidates).
+      struct ProbeRow {
+        Term x1, y1, y2;
+      };
+      std::vector<ProbeRow> decoded;
+      decoded.reserve(rows.rows.size());
+      std::vector<std::pair<Term, Term>> candidate_probes;
       for (const auto& row : rows.rows) {
         SOFYA_ASSIGN_OR_RETURN(Term x1, candidate_kb_->DecodeTerm(row[0]));
         SOFYA_ASSIGN_OR_RETURN(Term y1, candidate_kb_->DecodeTerm(row[1]));
         SOFYA_ASSIGN_OR_RETURN(Term y2, candidate_kb_->DecodeTerm(row[2]));
         ++report.rows_examined;
+        candidate_probes.emplace_back(x1, r_prime);
+        decoded.push_back(ProbeRow{std::move(x1), std::move(y1),
+                                   std::move(y2)});
+      }
+      SOFYA_RETURN_IF_ERROR(PrefetchObjects(candidate_kb_, candidate_probes));
 
+      // Phase B: rows surviving ¬r'(x, y2) and sameAs translation need a
+      // reference-side probe; batch those too.
+      struct Survivor {
+        Term x2, ty1, ty2;
+      };
+      std::vector<Survivor> survivors;
+      std::vector<std::pair<Term, Term>> reference_probes;
+      for (const ProbeRow& pr : decoded) {
         // Enforce ¬r'(x, y2): the FILTER only guaranteed y1 != y2 per row.
         SOFYA_ASSIGN_OR_RETURN(std::vector<Term> r_prime_objects,
-                               ObjectsOf(candidate_kb_, x1, r_prime));
-        if (ContainsTerm(r_prime_objects, y2)) continue;
+                               ObjectsOf(candidate_kb_, pr.x1, r_prime));
+        if (ContainsTerm(r_prime_objects, pr.y2)) continue;
 
         // Translate the triple into K.
-        auto x2 = to_reference_->Translate(x1);
+        auto x2 = to_reference_->Translate(pr.x1);
         if (!x2.ok()) continue;
-        auto ty1 = to_reference_->Translate(y1);
+        auto ty1 = to_reference_->Translate(pr.y1);
         if (!ty1.ok()) continue;
-        auto ty2 = to_reference_->Translate(y2);
+        auto ty2 = to_reference_->Translate(pr.y2);
         if (!ty2.ok()) continue;
+        reference_probes.emplace_back(*x2, r);
+        survivors.push_back(Survivor{std::move(x2).value(),
+                                     std::move(ty1).value(),
+                                     std::move(ty2).value()});
+      }
+      SOFYA_RETURN_IF_ERROR(PrefetchObjects(reference_kb_, reference_probes));
 
+      // Phase C: tally counter-examples from the warmed memo.
+      for (const Survivor& s : survivors) {
         SOFYA_ASSIGN_OR_RETURN(std::vector<Term> r_objects,
-                               ObjectsOf(reference_kb_, *x2, r));
-        const bool has_y1 = ContainsTerm(r_objects, *ty1);
+                               ObjectsOf(reference_kb_, s.x2, r));
+        const bool has_y1 = ContainsTerm(r_objects, s.ty1);
         if (!has_y1) continue;  // K does not know x's r-attributes via y1.
-        const bool has_y2 = ContainsTerm(r_objects, *ty2);
+        const bool has_y2 = ContainsTerm(r_objects, s.ty2);
 
         if (has_y2) {
           // Case 1: r(x,y1) ∧ r(x,y2) ∧ ¬r'(x,y2)  =>  r ⇏ r'.
@@ -193,22 +267,48 @@ Status UnbiasedSampler::ProbeReferenceSiblings(
     auto rows_or = FetchDisagreeingRows(reference_kb_, r_id, sibling_id);
     if (!rows_or.ok()) return rows_or.status();
 
+    // Mirror of Probe's phases: decode + batch the reference-side probes,
+    // filter, then batch the candidate-side probes for the survivors.
+    struct ProbeRow {
+      Term x2, y1, y2;
+    };
+    std::vector<ProbeRow> decoded;
+    decoded.reserve(rows_or->rows.size());
+    std::vector<std::pair<Term, Term>> reference_probes;
     for (const auto& row : rows_or->rows) {
       SOFYA_ASSIGN_OR_RETURN(Term x2, reference_kb_->DecodeTerm(row[0]));
       SOFYA_ASSIGN_OR_RETURN(Term y1, reference_kb_->DecodeTerm(row[1]));
       SOFYA_ASSIGN_OR_RETURN(Term y2, reference_kb_->DecodeTerm(row[2]));
       ++report->rows_examined;
+      reference_probes.emplace_back(x2, r);
+      decoded.push_back(ProbeRow{std::move(x2), std::move(y1), std::move(y2)});
+    }
+    SOFYA_RETURN_IF_ERROR(PrefetchObjects(reference_kb_, reference_probes));
 
+    struct Survivor {
+      const ProbeRow* row;
+      Term x1;
+    };
+    std::vector<Survivor> survivors;
+    std::vector<std::pair<Term, Term>> candidate_probes;
+    for (const ProbeRow& pr : decoded) {
       // Enforce ¬r(x, y2) in K.
       SOFYA_ASSIGN_OR_RETURN(std::vector<Term> r_objects,
-                             ObjectsOf(reference_kb_, x2, r));
-      if (ContainsTerm(r_objects, y2)) continue;
+                             ObjectsOf(reference_kb_, pr.x2, r));
+      if (ContainsTerm(r_objects, pr.y2)) continue;
 
-      auto x1 = to_candidate_->Translate(x2);
+      auto x1 = to_candidate_->Translate(pr.x2);
       if (!x1.ok()) continue;
+      candidate_probes.emplace_back(*x1, candidate);
+      survivors.push_back(Survivor{&pr, std::move(x1).value()});
+    }
+    SOFYA_RETURN_IF_ERROR(PrefetchObjects(candidate_kb_, candidate_probes));
 
+    for (const Survivor& s : survivors) {
+      const Term& y1 = s.row->y1;
+      const Term& y2 = s.row->y2;
       SOFYA_ASSIGN_OR_RETURN(std::vector<Term> candidate_objects,
-                             ObjectsOf(candidate_kb_, *x1, candidate));
+                             ObjectsOf(candidate_kb_, s.x1, candidate));
       if (candidate_objects.empty()) continue;
 
       // Subsumption counter-example for candidate => r: the candidate

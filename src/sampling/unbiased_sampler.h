@@ -98,6 +98,13 @@ class UnbiasedSampler {
                                         const Term& subject,
                                         const Term& relation);
 
+  /// Warms the ObjectsOf memo for every (subject, relation) pair in one
+  /// batched round trip (first pages via SelectMany, stragglers paged).
+  /// Already-memoized and duplicate pairs are skipped.
+  Status PrefetchObjects(
+      Endpoint* endpoint,
+      const std::vector<std::pair<Term, Term>>& subject_relation_pairs);
+
   /// Membership with literal tolerance.
   bool ContainsTerm(const std::vector<Term>& objects, const Term& value) const;
 

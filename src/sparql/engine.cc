@@ -1,6 +1,7 @@
 #include "sparql/engine.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <unordered_set>
 #include <vector>
 
@@ -12,17 +13,9 @@ namespace {
 
 using Row = std::vector<TermId>;  // Indexed by VarId; 0 = unbound.
 
-// True once every variable a filter mentions is bound in `row`.
-bool FilterApplicable(const FilterExpr& f, const Row& row) {
-  if (row[f.lhs] == kNullTermId) return false;
-  if ((f.kind == FilterExpr::Kind::kVarEqVar ||
-       f.kind == FilterExpr::Kind::kVarNeqVar) &&
-      row[f.rhs_var] == kNullTermId) {
-    return false;
-  }
-  return true;
-}
-
+// Filters are attached to the earliest pipeline stage where every variable
+// they mention is bound, so applicability is established statically and this
+// only evaluates the predicate.
 bool FilterPasses(const FilterExpr& f, const Row& row,
                   const Dictionary* dict) {
   switch (f.kind) {
@@ -66,23 +59,51 @@ struct RowHash {
   }
 };
 
-}  // namespace
+// ---------------------------------------------------------------------------
+// Compiled plan. Each clause becomes one pipeline stage; each of its three
+// positions is classified once, so the inner loop does no NodeRef dispatch.
 
-StatusOr<ResultSet> Evaluate(const TripleStore& store,
-                             const SelectQuery& query, EvalStats* stats,
-                             const Dictionary* dict) {
-  SOFYA_RETURN_IF_ERROR(query.Validate());
+enum class SlotKind : uint8_t {
+  kConst,     ///< Constant term: part of the index prefix, re-checked.
+  kBoundVar,  ///< Variable bound by an earlier stage: prefix + re-check.
+  kBind,      ///< First occurrence of a variable: binds it.
+  kCheck,     ///< Repeat occurrence within this clause: equality check.
+};
 
-  EvalStats local_stats;
+struct CompiledSlot {
+  SlotKind kind = SlotKind::kBind;
+  TermId constant = kNullTermId;  // kConst only.
+  VarId var = -1;                 // All variable kinds.
+};
+
+struct CompiledClause {
+  CompiledSlot slots[3];  // subject, predicate, object.
+  /// Filters that become fully bound after this stage (inline application).
+  std::vector<FilterExpr> filters;
+};
+
+struct Plan {
+  std::vector<CompiledClause> clauses;
+  /// Resolved projection (never empty; defaults to all variables).
+  std::vector<VarId> projection;
+  /// True when some filter mentions a variable no clause ever binds: SPARQL
+  /// treats the filter as an error for every row, so the result is empty.
+  bool dangling_filter = false;
+};
+
+Plan Compile(const SelectQuery& query) {
+  Plan plan;
   const size_t num_vars = query.num_vars();
 
-  // Greedy clause ordering.
+  // Greedy clause ordering (same heuristic as the previous engine; keeping
+  // it preserves row order and therefore pagination determinism).
   std::vector<const PatternClause*> pending;
   pending.reserve(query.clauses().size());
   for (const auto& c : query.clauses()) pending.push_back(&c);
 
-  std::vector<const PatternClause*> ordered;
   std::vector<bool> bound(num_vars, false);
+  std::vector<bool> filter_attached(query.filters().size(), false);
+
   while (!pending.empty()) {
     auto best = std::max_element(
         pending.begin(), pending.end(),
@@ -91,125 +112,213 @@ StatusOr<ResultSet> Evaluate(const TripleStore& store,
         });
     const PatternClause* chosen = *best;
     pending.erase(best);
-    ordered.push_back(chosen);
-    for (const NodeRef* ref :
-         {&chosen->subject, &chosen->predicate, &chosen->object}) {
-      if (ref->is_var()) bound[ref->var()] = true;
-    }
-  }
 
-  // Index-nested-loop join.
-  std::vector<Row> rows;
-  rows.emplace_back(num_vars, kNullTermId);
-
-  for (const PatternClause* clause : ordered) {
-    std::vector<Row> next;
-    for (const Row& row : rows) {
-      auto resolve = [&](const NodeRef& ref) -> TermId {
-        if (!ref.is_var()) return ref.term();
-        return row[ref.var()];  // kNullTermId if unbound => wildcard.
-      };
-      TriplePattern pattern(resolve(clause->subject),
-                            resolve(clause->predicate),
-                            resolve(clause->object));
-      ++local_stats.index_probes;
-      store.ForEachMatch(pattern, [&](const Triple& t) {
-        Row extended = row;
-        auto bind = [&](const NodeRef& ref, TermId value) {
-          if (!ref.is_var()) return ref.term() == value;
-          TermId& slot = extended[ref.var()];
-          if (slot == kNullTermId) {
-            slot = value;
-            return true;
-          }
-          return slot == value;  // Repeated var within the clause.
-        };
-        if (!bind(clause->subject, t.subject)) return true;
-        if (!bind(clause->predicate, t.predicate)) return true;
-        if (!bind(clause->object, t.object)) return true;
-        // Apply any filter that just became applicable.
-        for (size_t fi = 0; fi < query.filters().size(); ++fi) {
-          const FilterExpr& f = query.filters()[fi];
-          if (FilterApplicable(f, extended) && !FilterPasses(f, extended, dict)) {
-            return true;  // Row rejected; keep scanning.
-          }
-        }
-        ++local_stats.intermediate_rows;
-        next.push_back(std::move(extended));
-        return true;
-      });
-    }
-    rows = std::move(next);
-    if (rows.empty()) break;
-  }
-
-  // Final filter pass (covers filters whose vars were never co-bound during
-  // the join — with a connected BGP this is a no-op).
-  std::vector<Row> filtered;
-  filtered.reserve(rows.size());
-  for (Row& row : rows) {
-    bool pass = true;
-    for (const FilterExpr& f : query.filters()) {
-      if (!FilterApplicable(f, row)) {
-        pass = false;  // Unbound filter variable: SPARQL error => row drops.
-        break;
+    CompiledClause cc;
+    const NodeRef* refs[3] = {&chosen->subject, &chosen->predicate,
+                              &chosen->object};
+    std::vector<bool> bound_here(num_vars, false);
+    for (int i = 0; i < 3; ++i) {
+      CompiledSlot& slot = cc.slots[i];
+      if (!refs[i]->is_var()) {
+        slot.kind = SlotKind::kConst;
+        slot.constant = refs[i]->term();
+        continue;
       }
-      if (!FilterPasses(f, row, dict)) {
-        pass = false;
-        break;
+      const VarId v = refs[i]->var();
+      slot.var = v;
+      if (bound[v]) {
+        slot.kind = SlotKind::kBoundVar;
+      } else if (bound_here[v]) {
+        slot.kind = SlotKind::kCheck;
+      } else {
+        slot.kind = SlotKind::kBind;
+        bound_here[v] = true;
       }
     }
-    if (pass) filtered.push_back(std::move(row));
-  }
-
-  // Projection.
-  std::vector<VarId> projection = query.projection();
-  if (projection.empty()) {
     for (VarId v = 0; v < static_cast<VarId>(num_vars); ++v) {
-      projection.push_back(v);
+      if (bound_here[v]) bound[v] = true;
+    }
+
+    // Attach every filter that just became fully bound.
+    for (size_t fi = 0; fi < query.filters().size(); ++fi) {
+      if (filter_attached[fi]) continue;
+      const FilterExpr& f = query.filters()[fi];
+      const bool needs_rhs = f.kind == FilterExpr::Kind::kVarEqVar ||
+                             f.kind == FilterExpr::Kind::kVarNeqVar;
+      if (bound[f.lhs] && (!needs_rhs || bound[f.rhs_var])) {
+        cc.filters.push_back(f);
+        filter_attached[fi] = true;
+      }
+    }
+    plan.clauses.push_back(std::move(cc));
+  }
+
+  plan.dangling_filter =
+      std::find(filter_attached.begin(), filter_attached.end(), false) !=
+      filter_attached.end();
+
+  plan.projection = query.projection();
+  if (plan.projection.empty()) {
+    for (VarId v = 0; v < static_cast<VarId>(num_vars); ++v) {
+      plan.projection.push_back(v);
     }
   }
+  return plan;
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline execution: a cursor per stage over the store's index range for
+// the current partial binding. Bindings live in one shared row; no undo is
+// needed on backtrack because each stage statically binds the same variable
+// set and always overwrites before deeper stages read.
+//
+// `emit` is called once per solution (full binding row) and returns false to
+// stop the whole pipeline — this is how LIMIT and ASK terminate early.
+
+template <typename Emit>
+void RunPlan(const TripleStore& store, const Plan& plan, size_t num_vars,
+             const Dictionary* dict, EvalStats& stats, Emit&& emit) {
+  if (plan.dangling_filter || plan.clauses.empty()) return;
+
+  struct Cursor {
+    std::span<const Triple> range;
+    size_t pos = 0;
+  };
+  std::vector<Cursor> cursors(plan.clauses.size());
+  Row bindings(num_vars, kNullTermId);
+
+  auto open = [&](size_t level) {
+    const CompiledClause& cc = plan.clauses[level];
+    auto resolve = [&](const CompiledSlot& slot) -> TermId {
+      switch (slot.kind) {
+        case SlotKind::kConst:
+          return slot.constant;
+        case SlotKind::kBoundVar:
+          return bindings[slot.var];
+        default:
+          return kNullTermId;  // Wildcard.
+      }
+    };
+    ++stats.index_probes;
+    cursors[level].range = store.MatchRange(TriplePattern(
+        resolve(cc.slots[0]), resolve(cc.slots[1]), resolve(cc.slots[2])));
+    cursors[level].pos = 0;
+  };
+
+  const size_t depth = plan.clauses.size();
+  size_t level = 0;
+  open(0);
+  while (true) {
+    Cursor& cursor = cursors[level];
+    const CompiledClause& cc = plan.clauses[level];
+
+    // Advance this stage to its next accepted triple.
+    bool advanced = false;
+    while (cursor.pos < cursor.range.size()) {
+      const Triple& t = cursor.range[cursor.pos++];
+      ++stats.triples_scanned;
+      const TermId values[3] = {t.subject, t.predicate, t.object};
+      bool accepted = true;
+      for (int i = 0; i < 3 && accepted; ++i) {
+        const CompiledSlot& slot = cc.slots[i];
+        switch (slot.kind) {
+          case SlotKind::kConst:
+            accepted = values[i] == slot.constant;
+            break;
+          case SlotKind::kBoundVar:
+          case SlotKind::kCheck:
+            accepted = values[i] == bindings[slot.var];
+            break;
+          case SlotKind::kBind:
+            bindings[slot.var] = values[i];
+            break;
+        }
+      }
+      if (!accepted) continue;
+      for (const FilterExpr& f : cc.filters) {
+        if (!FilterPasses(f, bindings, dict)) {
+          accepted = false;
+          break;
+        }
+      }
+      if (!accepted) continue;
+      ++stats.intermediate_rows;
+      advanced = true;
+      break;
+    }
+
+    if (!advanced) {
+      if (level == 0) return;  // Pipeline drained.
+      --level;
+      continue;
+    }
+    if (level + 1 == depth) {
+      if (!emit(bindings)) return;  // LIMIT/ASK pushdown.
+    } else {
+      ++level;
+      open(level);
+    }
+  }
+}
+
+}  // namespace
+
+StatusOr<ResultSet> Evaluate(const TripleStore& store,
+                             const SelectQuery& query, EvalStats* stats,
+                             const Dictionary* dict) {
+  SOFYA_RETURN_IF_ERROR(query.Validate());
+
+  EvalStats local_stats;
+  const Plan plan = Compile(query);
 
   ResultSet result;
-  result.var_names.reserve(projection.size());
-  for (VarId v : projection) result.var_names.push_back(query.var_name(v));
-
-  std::vector<Row> projected;
-  projected.reserve(filtered.size());
-  for (const Row& row : filtered) {
-    Row out;
-    out.reserve(projection.size());
-    for (VarId v : projection) out.push_back(row[v]);
-    projected.push_back(std::move(out));
-  }
-
-  // DISTINCT before OFFSET/LIMIT (SPARQL semantics).
-  if (query.distinct()) {
-    std::unordered_set<Row, RowHash> seen;
-    std::vector<Row> unique;
-    unique.reserve(projected.size());
-    for (Row& row : projected) {
-      if (seen.insert(row).second) unique.push_back(std::move(row));
-    }
-    projected = std::move(unique);
-  }
+  result.var_names.reserve(plan.projection.size());
+  for (VarId v : plan.projection) result.var_names.push_back(query.var_name(v));
 
   const uint64_t offset = query.offset();
   const uint64_t limit = query.limit();
-  if (offset >= projected.size()) {
-    projected.clear();
-  } else {
-    projected.erase(projected.begin(),
-                    projected.begin() + static_cast<ptrdiff_t>(offset));
-    if (limit != kNoLimit && projected.size() > limit) {
-      projected.resize(limit);
-    }
+
+  // Streaming consumer: project, DISTINCT-probe, skip OFFSET, stop at LIMIT.
+  std::unordered_set<Row, RowHash> seen;
+  uint64_t skipped = 0;
+  if (limit != 0) {
+    RunPlan(store, plan, query.num_vars(), dict, local_stats,
+            [&](const Row& bindings) {
+              Row out;
+              out.reserve(plan.projection.size());
+              for (VarId v : plan.projection) out.push_back(bindings[v]);
+              if (query.distinct() && !seen.insert(out).second) {
+                return true;  // Duplicate: keep pulling.
+              }
+              if (skipped < offset) {
+                ++skipped;
+                return true;
+              }
+              result.rows.push_back(std::move(out));
+              return limit == kNoLimit || result.rows.size() < limit;
+            });
   }
 
-  result.rows = std::move(projected);
   local_stats.result_rows = result.rows.size();
   if (stats != nullptr) *stats = local_stats;
   return result;
+}
+
+StatusOr<bool> EvaluateAsk(const TripleStore& store, const SelectQuery& query,
+                           EvalStats* stats, const Dictionary* dict) {
+  SOFYA_RETURN_IF_ERROR(query.Validate());
+
+  EvalStats local_stats;
+  const Plan plan = Compile(query);
+  bool found = false;
+  RunPlan(store, plan, query.num_vars(), dict, local_stats,
+          [&](const Row&) {
+            found = true;
+            return false;  // First solution settles existence.
+          });
+  local_stats.result_rows = found ? 1 : 0;
+  if (stats != nullptr) *stats = local_stats;
+  return found;
 }
 
 }  // namespace sofya

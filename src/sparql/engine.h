@@ -1,10 +1,18 @@
-// BGP evaluation over a TripleStore.
+// Streaming BGP evaluation over a TripleStore.
 //
-// A straightforward index-nested-loop join: clauses are ordered greedily by
+// Queries are compiled into a pipeline of per-clause index-range iterators
+// with pull-based binding propagation: clauses are ordered greedily by
 // estimated selectivity (bound constants + already-bound variables first),
-// each clause probes the store's best index given the current partial
-// binding. Results are deterministic: the store's index order fixes the row
-// order, which keeps sampling reproducible across runs.
+// each clause opens the store's best index range for the current partial
+// binding, and solutions flow to the consumer one at a time. FILTERs are
+// applied at the earliest clause where their variables are bound, DISTINCT
+// is a streaming hash probe on projected rows, and LIMIT/OFFSET/ASK are
+// pushed into the pipeline so existence probes and LIMIT-1 queries stop at
+// the first solution instead of enumerating all bindings.
+//
+// Results are deterministic: the store's index order fixes the row order
+// (identical to the previous materializing engine), which keeps sampling
+// and pagination reproducible across runs.
 
 #ifndef SOFYA_SPARQL_ENGINE_H_
 #define SOFYA_SPARQL_ENGINE_H_
@@ -22,6 +30,7 @@ namespace sofya {
 struct EvalStats {
   uint64_t intermediate_rows = 0;  ///< Rows produced across all join steps.
   uint64_t index_probes = 0;       ///< Store range lookups issued.
+  uint64_t triples_scanned = 0;    ///< Index entries touched by the pipeline.
   uint64_t result_rows = 0;        ///< Final row count (after LIMIT).
 };
 
@@ -35,6 +44,14 @@ StatusOr<ResultSet> Evaluate(const TripleStore& store,
                              const SelectQuery& query,
                              EvalStats* stats = nullptr,
                              const Dictionary* dict = nullptr);
+
+/// ASK-form evaluation: true iff `query` has at least one solution. The
+/// pipeline stops at the first solution, so the cost is O(first match) and
+/// independent of the result cardinality (the query's DISTINCT/OFFSET/LIMIT
+/// modifiers are irrelevant to existence and ignored).
+StatusOr<bool> EvaluateAsk(const TripleStore& store, const SelectQuery& query,
+                           EvalStats* stats = nullptr,
+                           const Dictionary* dict = nullptr);
 
 }  // namespace sofya
 

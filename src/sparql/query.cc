@@ -95,6 +95,63 @@ std::string RenderVar(const SelectQuery& q, VarId v) {
 
 }  // namespace
 
+std::string SelectQuery::Fingerprint() const {
+  std::string out;
+  out.reserve(16 + 16 * clauses_.size());
+  auto add_node = [&](const NodeRef& ref) {
+    if (ref.is_var()) {
+      out += '?';
+      out += std::to_string(ref.var());
+    } else {
+      out += '#';
+      out += std::to_string(ref.term());
+    }
+    out += ' ';
+  };
+  out += "v:";
+  for (const std::string& name : var_names_) {
+    out += name;
+    out += ',';
+  }
+  out += ";c:";
+  for (const auto& c : clauses_) {
+    add_node(c.subject);
+    add_node(c.predicate);
+    add_node(c.object);
+    out += '.';
+  }
+  out += ";f:";
+  for (const auto& f : filters_) {
+    out += std::to_string(static_cast<int>(f.kind));
+    out += '/';
+    out += std::to_string(f.lhs);
+    out += '/';
+    out += std::to_string(f.rhs_var);
+    out += '/';
+    out += std::to_string(f.rhs_term);
+    out += ',';
+  }
+  out += ";p:";
+  if (projection_.empty()) {
+    // Normalize SELECT * to the explicit all-variables projection.
+    for (VarId v = 0; v < static_cast<VarId>(num_vars()); ++v) {
+      out += std::to_string(v);
+      out += ',';
+    }
+  } else {
+    for (VarId v : projection_) {
+      out += std::to_string(v);
+      out += ',';
+    }
+  }
+  out += distinct_ ? ";d1" : ";d0";
+  out += ";l:";
+  out += std::to_string(limit_);
+  out += ";o:";
+  out += std::to_string(offset_);
+  return out;
+}
+
 std::string SelectQuery::ToSparql(const Dictionary& dict) const {
   std::string out = "SELECT ";
   if (distinct_) out += "DISTINCT ";

@@ -144,6 +144,13 @@ class SelectQuery {
   /// decode constant terms).
   std::string ToSparql(const Dictionary& dict) const;
 
+  /// Normalized structural fingerprint: two queries with the same
+  /// fingerprint return the same ResultSet against the same dataset.
+  /// Projections are resolved (SELECT * and an explicit all-variables list
+  /// collide) and the solution modifiers are folded in. Used as the cache /
+  /// batch-dedup key; no dictionary needed (constants are by id).
+  std::string Fingerprint() const;
+
  private:
   std::vector<std::string> var_names_;
   std::vector<PatternClause> clauses_;

@@ -1,0 +1,251 @@
+// CachingEndpoint: hit/miss/eviction behavior, stats accounting through the
+// decorator stack, and the end-to-end claim — a repeated alignment workload
+// reports nonzero cache hits and strictly fewer server queries.
+
+#include "endpoint/caching_endpoint.h"
+
+#include <gtest/gtest.h>
+
+#include "align/relation_aligner.h"
+#include "endpoint/local_endpoint.h"
+#include "endpoint/query_forms.h"
+#include "endpoint/retrying_endpoint.h"
+#include "endpoint/throttled_endpoint.h"
+#include "rdf/knowledge_base.h"
+#include "synth/presets.h"
+#include "synth/world_generator.h"
+
+namespace sofya {
+namespace {
+
+class CachingEndpointTest : public ::testing::Test {
+ protected:
+  CachingEndpointTest() : kb_("cachekb", "http://c.org/") {
+    for (int i = 0; i < 10; ++i) {
+      kb_.AddFact("s" + std::to_string(i), "p", "o" + std::to_string(i % 3));
+      kb_.AddFact("s" + std::to_string(i), "q", "o" + std::to_string(i % 2));
+    }
+    p_ = kb_.dict().LookupIri("http://c.org/p");
+    q_ = kb_.dict().LookupIri("http://c.org/q");
+  }
+
+  KnowledgeBase kb_;
+  TermId p_ = kNullTermId;
+  TermId q_ = kNullTermId;
+};
+
+TEST_F(CachingEndpointTest, RepeatSelectHitsCache) {
+  LocalEndpoint inner(&kb_);
+  CachingEndpoint ep(&inner);
+
+  auto first = ep.Select(queries::FactsOfPredicate(p_));
+  ASSERT_TRUE(first.ok());
+  auto second = ep.Select(queries::FactsOfPredicate(p_));
+  ASSERT_TRUE(second.ok());
+
+  EXPECT_EQ(first->rows, second->rows);
+  EXPECT_EQ(ep.hits(), 1u);
+  EXPECT_EQ(ep.misses(), 1u);
+  // The server saw exactly one query; the hit never reached it.
+  EXPECT_EQ(inner.stats().queries, 1u);
+  EXPECT_EQ(ep.stats().cache_hits, 1u);
+  EXPECT_EQ(ep.stats().cache_misses, 1u);
+  EXPECT_EQ(ep.stats().queries, 1u);
+}
+
+TEST_F(CachingEndpointTest, StructurallyIdenticalQueriesCollide) {
+  LocalEndpoint inner(&kb_);
+  CachingEndpoint ep(&inner);
+  // Two independently built but identical queries share a fingerprint.
+  ASSERT_TRUE(ep.Select(queries::FactsOfPredicate(p_, 5)).ok());
+  ASSERT_TRUE(ep.Select(queries::FactsOfPredicate(p_, 5)).ok());
+  EXPECT_EQ(ep.hits(), 1u);
+  // Different LIMIT means a different result: no collision.
+  ASSERT_TRUE(ep.Select(queries::FactsOfPredicate(p_, 6)).ok());
+  EXPECT_EQ(ep.hits(), 1u);
+  EXPECT_EQ(ep.misses(), 2u);
+}
+
+TEST_F(CachingEndpointTest, LruEvictionAtCapacity) {
+  LocalEndpoint inner(&kb_);
+  CacheOptions options;
+  options.capacity = 2;
+  CachingEndpoint ep(&inner, options);
+
+  const SelectQuery qa = queries::FactsOfPredicate(p_, 1);
+  const SelectQuery qb = queries::FactsOfPredicate(p_, 2);
+  const SelectQuery qc = queries::FactsOfPredicate(p_, 3);
+
+  ASSERT_TRUE(ep.Select(qa).ok());  // Cache: [a]
+  ASSERT_TRUE(ep.Select(qb).ok());  // Cache: [b, a]
+  ASSERT_TRUE(ep.Select(qa).ok());  // Hit; cache: [a, b]
+  ASSERT_TRUE(ep.Select(qc).ok());  // Evicts b; cache: [c, a]
+  EXPECT_EQ(ep.evictions(), 1u);
+  EXPECT_EQ(ep.size(), 2u);
+
+  ASSERT_TRUE(ep.Select(qa).ok());  // Still cached (was touched).
+  EXPECT_EQ(ep.hits(), 2u);
+  ASSERT_TRUE(ep.Select(qb).ok());  // Evicted: a miss again.
+  EXPECT_EQ(ep.misses(), 4u);
+}
+
+TEST_F(CachingEndpointTest, ClearDropsEntries) {
+  LocalEndpoint inner(&kb_);
+  CachingEndpoint ep(&inner);
+  ASSERT_TRUE(ep.Select(queries::FactsOfPredicate(p_)).ok());
+  EXPECT_EQ(ep.size(), 1u);
+  ep.Clear();
+  EXPECT_EQ(ep.size(), 0u);
+  ASSERT_TRUE(ep.Select(queries::FactsOfPredicate(p_)).ok());
+  EXPECT_EQ(ep.misses(), 2u);
+}
+
+TEST_F(CachingEndpointTest, AskIsCachedWithModifiersNormalized) {
+  LocalEndpoint inner(&kb_);
+  CachingEndpoint ep(&inner);
+  SelectQuery probe = queries::FactsOfPredicate(p_);
+  auto first = ep.Ask(probe);
+  ASSERT_TRUE(first.ok());
+  EXPECT_TRUE(*first);
+  // Existence does not depend on LIMIT/OFFSET/DISTINCT: same cache entry.
+  SelectQuery modified = probe;
+  modified.Limit(5).Distinct();
+  auto second = ep.Ask(modified);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(*second);
+  EXPECT_EQ(ep.hits(), 1u);
+  EXPECT_EQ(inner.stats().queries, 1u);
+  // An ASK entry does not answer the SELECT form of the same query.
+  ASSERT_TRUE(ep.Select(probe).ok());
+  EXPECT_EQ(ep.misses(), 2u);
+}
+
+TEST_F(CachingEndpointTest, SelectManyForwardsOnlyMisses) {
+  LocalEndpoint inner(&kb_);
+  CachingEndpoint ep(&inner);
+  ASSERT_TRUE(ep.Select(queries::FactsOfPredicate(p_)).ok());  // Warm one.
+
+  std::vector<SelectQuery> batch = {
+      queries::FactsOfPredicate(p_),     // Cached -> hit.
+      queries::FactsOfPredicate(q_),     // Miss.
+      queries::FactsOfPredicate(q_),     // Batch-duplicate miss...
+      queries::FactsOfPredicate(p_, 4),  // Miss.
+  };
+  auto results = ep.SelectMany(batch);
+  ASSERT_TRUE(results.ok());
+  ASSERT_EQ(results->size(), 4u);
+  EXPECT_EQ((*results)[1].rows, (*results)[2].rows);
+  EXPECT_EQ((*results)[0].rows.size(), 10u);
+  EXPECT_EQ((*results)[3].rows.size(), 4u);
+
+  EXPECT_EQ(ep.hits(), 1u);
+  EXPECT_EQ(ep.misses(), 4u);  // Warmup + the three uncached batch entries.
+  // ...which the inner endpoint's batch dedup answers from one evaluation:
+  // the server executed 1 (warmup) + 2 unique misses = 3 queries.
+  EXPECT_EQ(inner.stats().queries, 3u);
+
+  // The whole batch repeated is all hits: zero new server queries.
+  auto again = ep.SelectMany(batch);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(ep.hits(), 5u);
+  EXPECT_EQ(inner.stats().queries, 3u);
+}
+
+TEST_F(CachingEndpointTest, CacheHitsDoNotConsumeThrottleBudget) {
+  LocalEndpoint local(&kb_);
+  ThrottleOptions throttle;
+  throttle.query_budget = 1;
+  throttle.jitter_ms = 0.0;
+  ThrottledEndpoint throttled(&local, throttle);
+  CachingEndpoint ep(&throttled);
+
+  ASSERT_TRUE(ep.Select(queries::FactsOfPredicate(p_)).ok());
+  // Budget is spent, but the repeat is served client-side.
+  auto repeat = ep.Select(queries::FactsOfPredicate(p_));
+  ASSERT_TRUE(repeat.ok());
+  // A genuinely new query still hits the exhausted budget.
+  auto denied = ep.Select(queries::FactsOfPredicate(q_));
+  EXPECT_TRUE(denied.status().IsResourceExhausted());
+}
+
+TEST_F(CachingEndpointTest, ErrorsAreNotCached) {
+  LocalEndpoint local(&kb_);
+  ThrottleOptions throttle;
+  throttle.failure_rate = 1.0;
+  ThrottledEndpoint flaky(&local, throttle);
+  CachingEndpoint ep(&flaky);
+  EXPECT_TRUE(ep.Select(queries::FactsOfPredicate(p_)).status().IsUnavailable());
+  EXPECT_EQ(ep.size(), 0u);
+  EXPECT_EQ(ep.misses(), 1u);
+}
+
+TEST_F(CachingEndpointTest, StatsMergeCarriesCacheCounters) {
+  EndpointStats a;
+  a.cache_hits = 3;
+  a.cache_misses = 5;
+  a.triples_scanned = 7;
+  EndpointStats b;
+  b.cache_hits = 2;
+  b.cache_misses = 1;
+  b.triples_scanned = 4;
+  a.Merge(b);
+  EXPECT_EQ(a.cache_hits, 5u);
+  EXPECT_EQ(a.cache_misses, 6u);
+  EXPECT_EQ(a.triples_scanned, 11u);
+}
+
+TEST_F(CachingEndpointTest, ResetStatsClearsCountersButKeepsEntries) {
+  LocalEndpoint inner(&kb_);
+  CachingEndpoint ep(&inner);
+  ASSERT_TRUE(ep.Select(queries::FactsOfPredicate(p_)).ok());
+  ASSERT_TRUE(ep.Select(queries::FactsOfPredicate(p_)).ok());
+  ep.ResetStats();
+  EXPECT_EQ(ep.hits(), 0u);
+  EXPECT_EQ(ep.misses(), 0u);
+  // Entries survive: the next repeat is an immediate hit.
+  ASSERT_TRUE(ep.Select(queries::FactsOfPredicate(p_)).ok());
+  EXPECT_EQ(ep.hits(), 1u);
+  EXPECT_EQ(inner.stats().queries, 0u);
+}
+
+// The acceptance-criterion workload: aligning the same relation twice with a
+// cache in the stack reports nonzero hits, and the server sees strictly
+// fewer queries the second time.
+TEST(CachedAlignmentTest, RepeatedAlignmentHitsCacheAndSavesQueries) {
+  auto world_or = GenerateWorld(MoviesWorldSpec());
+  ASSERT_TRUE(world_or.ok());
+  SynthWorld world = std::move(world_or).value();
+
+  LocalEndpoint cand_local(world.kb1.get());
+  LocalEndpoint ref_local(world.kb2.get());
+  CachingEndpoint cand(&cand_local);
+  CachingEndpoint ref(&ref_local);
+
+  RelationAligner aligner(&cand, &ref, &world.links);
+  const Term r = Term::Iri("http://kb2.sofya.org/ontology/directedBy");
+
+  auto first = aligner.Align(r);
+  ASSERT_TRUE(first.ok());
+  const uint64_t server_queries_first =
+      cand_local.stats().queries + ref_local.stats().queries;
+
+  auto second = aligner.Align(r);
+  ASSERT_TRUE(second.ok());
+  const uint64_t server_queries_second =
+      cand_local.stats().queries + ref_local.stats().queries -
+      server_queries_first;
+
+  // Identical verdicts (the cache is transparent) ...
+  ASSERT_EQ(first->verdicts.size(), second->verdicts.size());
+  for (size_t i = 0; i < first->verdicts.size(); ++i) {
+    EXPECT_EQ(first->verdicts[i].relation, second->verdicts[i].relation);
+    EXPECT_EQ(first->verdicts[i].accepted, second->verdicts[i].accepted);
+    EXPECT_EQ(first->verdicts[i].equivalence, second->verdicts[i].equivalence);
+  }
+  // ... at a fraction of the server cost.
+  EXPECT_GT(second->cache_hits, 0u);
+  EXPECT_LT(server_queries_second, server_queries_first);
+}
+
+}  // namespace
+}  // namespace sofya

@@ -1,0 +1,184 @@
+// SelectMany batching and native ASK: positional results, intra-batch
+// dedup accounting on LocalEndpoint, decorator forwarding, and the
+// O(first match) early-exit claim for existence probes.
+
+#include <gtest/gtest.h>
+
+#include "endpoint/local_endpoint.h"
+#include "endpoint/paged_select.h"
+#include "endpoint/query_forms.h"
+#include "endpoint/retrying_endpoint.h"
+#include "endpoint/throttled_endpoint.h"
+#include "rdf/knowledge_base.h"
+
+namespace sofya {
+namespace {
+
+class EndpointBatchTest : public ::testing::Test {
+ protected:
+  EndpointBatchTest() : kb_("batchkb", "http://b.org/") {
+    for (int i = 0; i < 100; ++i) {
+      kb_.AddFact("s" + std::to_string(i), "big", "o" + std::to_string(i));
+    }
+    kb_.AddFact("s0", "small", "o0");
+    big_ = kb_.dict().LookupIri("http://b.org/big");
+    small_ = kb_.dict().LookupIri("http://b.org/small");
+  }
+
+  KnowledgeBase kb_;
+  TermId big_ = kNullTermId;
+  TermId small_ = kNullTermId;
+};
+
+TEST_F(EndpointBatchTest, SelectManyResultsArePositional) {
+  LocalEndpoint ep(&kb_);
+  std::vector<SelectQuery> batch = {queries::FactsOfPredicate(big_, 7),
+                                    queries::FactsOfPredicate(small_)};
+  auto results = ep.SelectMany(batch);
+  ASSERT_TRUE(results.ok());
+  ASSERT_EQ(results->size(), 2u);
+  EXPECT_EQ((*results)[0].rows.size(), 7u);
+  EXPECT_EQ((*results)[1].rows.size(), 1u);
+}
+
+TEST_F(EndpointBatchTest, LocalSelectManyDedupsWithinBatch) {
+  LocalEndpoint ep(&kb_);
+  std::vector<SelectQuery> batch = {
+      queries::FactsOfPredicate(small_), queries::FactsOfPredicate(big_, 3),
+      queries::FactsOfPredicate(small_), queries::FactsOfPredicate(small_)};
+  auto results = ep.SelectMany(batch);
+  ASSERT_TRUE(results.ok());
+  ASSERT_EQ(results->size(), 4u);
+  EXPECT_EQ((*results)[0].rows, (*results)[2].rows);
+  EXPECT_EQ((*results)[0].rows, (*results)[3].rows);
+  // 2 unique queries evaluated; duplicates answered from the same result.
+  EXPECT_EQ(ep.stats().queries, 2u);
+  EXPECT_EQ(ep.stats().rows_returned, 4u);  // 1 (small) + 3 (big).
+}
+
+TEST_F(EndpointBatchTest, ThrottledSelectManyChargesPerQuery) {
+  LocalEndpoint inner(&kb_);
+  ThrottleOptions options;
+  options.query_budget = 2;
+  ThrottledEndpoint ep(&inner, options);
+  std::vector<SelectQuery> batch = {queries::FactsOfPredicate(small_),
+                                    queries::FactsOfPredicate(small_),
+                                    queries::FactsOfPredicate(small_)};
+  // A remote provider meters requests, not batches: the third sub-query
+  // exceeds the budget even though all three are identical.
+  auto results = ep.SelectMany(batch);
+  EXPECT_TRUE(results.status().IsResourceExhausted());
+}
+
+TEST_F(EndpointBatchTest, DefaultSelectManyMatchesSequentialSelects) {
+  LocalEndpoint seq_ep(&kb_);
+  LocalEndpoint batch_ep(&kb_);
+  std::vector<SelectQuery> batch = {queries::FactsOfPredicate(big_, 5),
+                                    queries::FactsOfPredicate(small_),
+                                    queries::FactsOfPredicate(big_, 2)};
+  auto batched = batch_ep.SelectMany(batch);
+  ASSERT_TRUE(batched.ok());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    auto single = seq_ep.Select(batch[i]);
+    ASSERT_TRUE(single.ok());
+    EXPECT_EQ(single->rows, (*batched)[i].rows) << "query " << i;
+  }
+}
+
+TEST_F(EndpointBatchTest, AskShipsNoRowsAndScansOneTriple) {
+  LocalEndpoint ep(&kb_);
+  auto yes = ep.Ask(queries::FactsOfPredicate(big_));
+  ASSERT_TRUE(yes.ok());
+  EXPECT_TRUE(*yes);
+  EXPECT_EQ(ep.stats().queries, 1u);
+  EXPECT_EQ(ep.stats().rows_returned, 0u);
+  // Early exit: one triple scanned out of 100 matches.
+  EXPECT_EQ(ep.stats().triples_scanned, 1u);
+
+  auto no = ep.Ask(queries::FactsOfPredicate(
+      ep.EncodeTerm(Term::Iri("http://b.org/absent"))));
+  ASSERT_TRUE(no.ok());
+  EXPECT_FALSE(*no);
+}
+
+TEST_F(EndpointBatchTest, AskCostDoesNotScaleWithCardinality) {
+  LocalEndpoint ep(&kb_);
+  ASSERT_TRUE(ep.Ask(queries::FactsOfPredicate(big_)).ok());
+  const uint64_t big_scan = ep.stats().triples_scanned;
+  ep.ResetStats();
+  ASSERT_TRUE(ep.Ask(queries::FactsOfPredicate(small_)).ok());
+  const uint64_t small_scan = ep.stats().triples_scanned;
+  // 100 matches vs 1 match: identical probe cost.
+  EXPECT_EQ(big_scan, small_scan);
+}
+
+TEST_F(EndpointBatchTest, ThrottledAskForwardsEarlyExitAndChargesBudget) {
+  LocalEndpoint inner(&kb_);
+  ThrottleOptions options;
+  options.query_budget = 1;
+  options.jitter_ms = 0.0;
+  options.base_latency_ms = 40.0;
+  options.per_row_latency_ms = 1.0;
+  ThrottledEndpoint ep(&inner, options);
+
+  auto yes = ep.Ask(queries::FactsOfPredicate(big_));
+  ASSERT_TRUE(yes.ok());
+  EXPECT_TRUE(*yes);
+  EXPECT_EQ(ep.stats().queries, 1u);
+  EXPECT_EQ(ep.stats().rows_returned, 0u);
+  EXPECT_EQ(inner.stats().triples_scanned, 1u);  // Early exit survived.
+  // Base latency only: a boolean ships no rows.
+  EXPECT_DOUBLE_EQ(ep.stats().simulated_latency_ms, 40.0);
+
+  // ASK consumes budget like any request.
+  auto denied = ep.Ask(queries::FactsOfPredicate(big_));
+  EXPECT_TRUE(denied.status().IsResourceExhausted());
+}
+
+TEST_F(EndpointBatchTest, RetryingAskAbsorbsTransientFailures) {
+  LocalEndpoint inner(&kb_);
+  ThrottleOptions options;
+  options.failure_rate = 0.5;
+  options.seed = 11;
+  ThrottledEndpoint flaky(&inner, options);
+  RetryOptions retry;
+  retry.max_retries = 20;
+  RetryingEndpoint ep(&flaky, retry);
+  for (int i = 0; i < 10; ++i) {
+    auto result = ep.Ask(queries::FactsOfPredicate(big_));
+    ASSERT_TRUE(result.ok());
+    EXPECT_TRUE(*result);
+  }
+  EXPECT_GT(ep.retries_performed(), 0u);
+}
+
+TEST_F(EndpointBatchTest, BatchedPagedSelectMatchesPagedSelect) {
+  LocalEndpoint seq_ep(&kb_);
+  LocalEndpoint batch_ep(&kb_);
+  PagedSelectOptions options;
+  options.page_size = 30;
+
+  std::vector<SelectQuery> batch = {
+      queries::FactsOfPredicate(big_),       // 100 rows: 4 pages.
+      queries::FactsOfPredicate(small_),     // 1 row: 1 page.
+      queries::FactsOfPredicate(big_, 30),   // Cap == page: 1 page.
+      queries::FactsOfPredicate(big_, 45)};  // 2 pages.
+  auto batched = BatchedPagedSelect(&batch_ep, batch, options);
+  ASSERT_TRUE(batched.ok());
+  uint64_t sequential_queries = 0;
+  for (size_t i = 0; i < batch.size(); ++i) {
+    seq_ep.ResetStats();
+    auto single = PagedSelect(&seq_ep, batch[i], options);
+    ASSERT_TRUE(single.ok());
+    sequential_queries += seq_ep.stats().queries;
+    EXPECT_EQ(single->rows, (*batched)[i].rows) << "query " << i;
+  }
+  // Batching keeps the page schedule but lets LocalEndpoint dedup identical
+  // first pages across the batch (all three `big` probes open with the same
+  // LIMIT-30 page): strictly fewer server queries than sequential paging.
+  EXPECT_LT(batch_ep.stats().queries, sequential_queries);
+  EXPECT_EQ(batch_ep.stats().queries, 6u);  // {big30, small} + 3 + 1 pages.
+}
+
+}  // namespace
+}  // namespace sofya
