@@ -1,0 +1,184 @@
+// E6 — parallel multi-relation alignment: wall-clock vs worker threads.
+//
+// The scenario is whole-schema alignment (the regime PARIS targets at
+// schema level): every reference relation of the synthetic YAGO/DBpedia
+// world is aligned through one shared endpoint stack. Head relations are
+// independent, so AlignMany fans them out across a thread pool.
+//
+// Two stacks are measured:
+//
+//   remote   — ThrottledEndpoint with sleep_for_latency: every request pays
+//              its modeled wire time for real. This is the paper's actual
+//              deployment regime (public SPARQL endpoints are latency-
+//              bound, not CPU-bound), and it is where parallelism pays:
+//              N workers overlap N waits.
+//   local    — bare in-process LocalEndpoints (CPU-bound): the upper bound
+//              on compute-side scaling for the host's core count.
+//
+// Determinism is asserted, not assumed: every thread count must produce
+// the same accepted-subsumption count as the sequential run.
+//
+// Environment knobs:
+//   SOFYA_PS_SCALE     world scale (default 0.05)
+//   SOFYA_PS_SEED      world seed (default 2016)
+//   SOFYA_PS_RELATIONS max reference relations to align (default 16)
+//   SOFYA_PS_LATENCY   modeled per-query latency in ms (default 2.0)
+//   SOFYA_PS_THREADS   comma list of thread counts (default "1,2,4,8")
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/sofya.h"
+
+namespace {
+
+double EnvDouble(const char* name, double fallback) {
+  const char* value = std::getenv(name);
+  return value == nullptr ? fallback : std::atof(value);
+}
+
+uint64_t EnvU64(const char* name, uint64_t fallback) {
+  const char* value = std::getenv(name);
+  return value == nullptr ? fallback
+                          : static_cast<uint64_t>(std::atoll(value));
+}
+
+std::vector<size_t> EnvSizeList(const char* name,
+                                std::vector<size_t> fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) return fallback;
+  std::vector<size_t> out;
+  std::string s(value);
+  size_t start = 0;
+  while (start < s.size()) {
+    const size_t comma = s.find(',', start);
+    const size_t end = comma == std::string::npos ? s.size() : comma;
+    out.push_back(static_cast<size_t>(std::atoll(s.substr(start).c_str())));
+    if (comma == std::string::npos) break;
+    start = end + 1;
+  }
+  return out.empty() ? fallback : out;
+}
+
+struct RunPoint {
+  size_t threads = 1;
+  double wall_ms = 0.0;
+  uint64_t queries = 0;
+  uint64_t cache_hits = 0;
+  size_t accepted = 0;
+};
+
+}  // namespace
+
+int main() {
+  const double scale = EnvDouble("SOFYA_PS_SCALE", 0.05);
+  const uint64_t seed = EnvU64("SOFYA_PS_SEED", 2016);
+  const size_t max_relations =
+      static_cast<size_t>(EnvU64("SOFYA_PS_RELATIONS", 16));
+  const double latency_ms = EnvDouble("SOFYA_PS_LATENCY", 2.0);
+  const std::vector<size_t> thread_counts =
+      EnvSizeList("SOFYA_PS_THREADS", {1, 2, 4, 8});
+
+  auto world_or = sofya::GenerateWorld(sofya::YagoDbpediaSpec(seed, scale));
+  if (!world_or.ok()) {
+    std::fprintf(stderr, "world generation failed: %s\n",
+                 world_or.status().ToString().c_str());
+    return 1;
+  }
+  sofya::SynthWorld world = std::move(world_or).value();
+  world.kb1->store().EnsureIndexed();
+  world.kb2->store().EnsureIndexed();
+
+  std::vector<sofya::Term> relations;
+  for (const std::string& iri : world.truth.RelationsOf("dbpd")) {
+    relations.push_back(sofya::Term::Iri(iri));
+    if (relations.size() >= max_relations) break;
+  }
+
+  std::printf(
+      "=== E6: parallel multi-relation alignment (scale=%.2f, %zu "
+      "relations, %.1f ms modeled latency) ===\n\n",
+      scale, relations.size(), latency_ms);
+
+  // One measurement = fresh stack (cold caches) + one AlignMany. The
+  // remote stack sleeps its modeled latency for real, so wall-clock shows
+  // exactly what a user of a public endpoint would see.
+  auto run = [&](size_t threads, bool remote) {
+    sofya::LocalEndpoint cand_local(world.kb1.get());
+    sofya::LocalEndpoint ref_local(world.kb2.get());
+    sofya::ThrottleOptions throttle;
+    throttle.base_latency_ms = latency_ms;
+    throttle.per_row_latency_ms = 0.0;
+    throttle.jitter_ms = 0.0;
+    throttle.sleep_for_latency = true;
+    sofya::ThrottledEndpoint cand_remote(&cand_local, throttle);
+    sofya::ThrottledEndpoint ref_remote(&ref_local, throttle);
+    sofya::CachingEndpoint cand(remote
+                                    ? static_cast<sofya::Endpoint*>(&cand_remote)
+                                    : &cand_local);
+    sofya::CachingEndpoint ref(remote
+                                   ? static_cast<sofya::Endpoint*>(&ref_remote)
+                                   : &ref_local);
+    sofya::RelationAligner aligner(&cand, &ref, &world.links);
+
+    RunPoint point;
+    point.threads = threads;
+    auto fleet = aligner.AlignMany(relations, threads);
+    if (!fleet.ok()) {
+      std::fprintf(stderr, "AlignMany failed: %s\n",
+                   fleet.status().ToString().c_str());
+      std::exit(1);
+    }
+    point.wall_ms = fleet->wall_ms;
+    point.queries = fleet->total_queries();
+    point.cache_hits = fleet->candidate_stats.cache_hits +
+                       fleet->reference_stats.cache_hits;
+    for (const auto& result : fleet->results) {
+      point.accepted += result.AcceptedSubsumptions().size();
+    }
+    return point;
+  };
+
+  for (const bool remote : {true, false}) {
+    std::printf("--- %s stack ---\n",
+                remote ? "remote (real latency, throttled)" : "local (CPU-bound)");
+    sofya::TableWriter table(
+        {"threads", "wall ms", "speedup", "queries", "cache hits",
+         "accepted"});
+    double baseline_ms = 0.0;
+    size_t baseline_accepted = 0;
+    bool deterministic = true;
+    for (size_t threads : thread_counts) {
+      const RunPoint point = run(threads, remote);
+      if (threads == thread_counts.front()) {
+        baseline_ms = point.wall_ms;
+        baseline_accepted = point.accepted;
+      }
+      if (point.accepted != baseline_accepted) deterministic = false;
+      char wall[32], speedup[32];
+      std::snprintf(wall, sizeof(wall), "%.0f", point.wall_ms);
+      std::snprintf(speedup, sizeof(speedup), "%.2fx",
+                    point.wall_ms > 0 ? baseline_ms / point.wall_ms : 0.0);
+      table.AddRow({std::to_string(point.threads), wall, speedup,
+                    std::to_string(point.queries),
+                    std::to_string(point.cache_hits),
+                    std::to_string(point.accepted)});
+    }
+    std::printf("%s", table.ToAligned().c_str());
+    std::printf("verdicts identical across thread counts: %s\n\n",
+                deterministic ? "yes" : "NO — DETERMINISM VIOLATION");
+    if (!deterministic) return 1;
+  }
+
+  std::printf(
+      "note: the remote stack is the paper's regime — alignment cost is "
+      "dominated\nby endpoint round trips, so N workers overlap N waits "
+      "and speedup tracks N\nuntil the shared cache/budget serializes. "
+      "The local stack bounds compute-side\nscaling by the host's cores "
+      "(this machine: %u).\n",
+      std::thread::hardware_concurrency());
+  return 0;
+}

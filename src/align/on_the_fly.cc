@@ -24,6 +24,33 @@ StatusOr<const AlignmentResult*> OnTheFlyAligner::AlignCached(const Term& r) {
   return &inserted->second;
 }
 
+StatusOr<std::vector<const AlignmentResult*>> OnTheFlyAligner::AlignManyCached(
+    std::span<const Term> relations, size_t num_threads) {
+  // Collect the distinct relations that still need work.
+  std::vector<Term> pending;
+  for (const Term& r : relations) {
+    if (cache_.find(r) != cache_.end()) continue;
+    if (std::find(pending.begin(), pending.end(), r) != pending.end()) {
+      continue;
+    }
+    pending.push_back(r);
+  }
+
+  if (!pending.empty()) {
+    SOFYA_ASSIGN_OR_RETURN(AlignManyResult fleet,
+                           aligner_.AlignMany(pending, num_threads));
+    alignments_performed_ += fleet.results.size();
+    for (size_t i = 0; i < fleet.results.size(); ++i) {
+      cache_.emplace(pending[i], std::move(fleet.results[i]));
+    }
+  }
+
+  std::vector<const AlignmentResult*> out;
+  out.reserve(relations.size());
+  for (const Term& r : relations) out.push_back(&cache_.at(r));
+  return out;
+}
+
 StatusOr<Term> OnTheFlyAligner::BestCandidateFor(const Term& r) {
   SOFYA_ASSIGN_OR_RETURN(const AlignmentResult* result, AlignCached(r));
 

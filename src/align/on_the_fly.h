@@ -10,7 +10,9 @@
 #ifndef SOFYA_ALIGN_ON_THE_FLY_H_
 #define SOFYA_ALIGN_ON_THE_FLY_H_
 
+#include <span>
 #include <unordered_map>
+#include <vector>
 
 #include "align/relation_aligner.h"
 #include "sparql/query.h"
@@ -27,6 +29,19 @@ class OnTheFlyAligner {
   /// Aligns `r`, reusing a cached result when available. The pointer stays
   /// valid until ClearCache() or destruction.
   StatusOr<const AlignmentResult*> AlignCached(const Term& r);
+
+  /// Aligns many relations at once: cached results are reused, the
+  /// remaining (distinct) relations fan out across `num_threads` workers
+  /// via RelationAligner::AlignMany, and everything lands in the memo
+  /// cache. Returned pointers are in input order (duplicates map to the
+  /// same entry) and stay valid until ClearCache() or destruction.
+  ///
+  /// The memo itself is touched only before and after the parallel region,
+  /// so this method is safe without making the cache concurrent — but like
+  /// every other OnTheFlyAligner method it must not be called from multiple
+  /// threads at once.
+  StatusOr<std::vector<const AlignmentResult*>> AlignManyCached(
+      std::span<const Term> relations, size_t num_threads);
 
   /// The best candidate relation for `r`: an accepted equivalence if any
   /// (highest confidence), else the highest-confidence accepted

@@ -2,9 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <future>
+#include <utility>
 
+#include "endpoint/tracking_endpoint.h"
 #include "sampling/simple_sampler.h"
 #include "sampling/unbiased_sampler.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
 
 namespace sofya {
 
@@ -167,6 +172,75 @@ StatusOr<AlignmentResult> RelationAligner::Align(const Term& r) {
       (cand_after.simulated_latency_ms - cand_before.simulated_latency_ms) +
       (ref_after.simulated_latency_ms - ref_before.simulated_latency_ms);
   return result;
+}
+
+StatusOr<AlignManyResult> RelationAligner::AlignMany(
+    std::span<const Term> relations, size_t num_threads) {
+  AlignManyResult fleet;
+  if (relations.empty()) return fleet;
+  num_threads = std::clamp<size_t>(num_threads, 1, relations.size());
+  fleet.threads_used = num_threads;
+
+  // Fleet-level accounting: one snapshot pair around the whole fan-out. No
+  // tasks are in flight at either snapshot, so the deltas are exact.
+  const EndpointStats cand_before = candidate_kb_->stats();
+  const EndpointStats ref_before = reference_kb_->stats();
+  WallTimer timer;
+
+  // One task per relation. Each task builds a private tracking view over
+  // the shared endpoints plus its own (cheap) aligner, so Align's internal
+  // delta accounting reads this task's counters instead of racing on the
+  // shared stack's. Even num_threads == 1 goes through this path: the
+  // attribution regime must not depend on the thread count.
+  auto align_one = [this](const Term& r) -> StatusOr<AlignmentResult> {
+    TrackingEndpoint candidate_view(candidate_kb_);
+    TrackingEndpoint reference_view(reference_kb_);
+    RelationAligner task_aligner(&candidate_view, &reference_view, links_,
+                                 options_);
+    return task_aligner.Align(r);
+  };
+
+  std::vector<StatusOr<AlignmentResult>> slots;
+  slots.reserve(relations.size());
+  {
+    ThreadPool pool(num_threads);
+    std::vector<std::future<StatusOr<AlignmentResult>>> futures;
+    futures.reserve(relations.size());
+    for (const Term& r : relations) {
+      futures.push_back(pool.Submit([&align_one, &r] { return align_one(r); }));
+    }
+    for (auto& future : futures) slots.push_back(future.get());
+  }
+
+  fleet.wall_ms = timer.ElapsedMillis();
+  const EndpointStats cand_after = candidate_kb_->stats();
+  const EndpointStats ref_after = reference_kb_->stats();
+
+  // Report the first failure by input order (deterministic regardless of
+  // which task lost the wall-clock race).
+  for (const auto& slot : slots) {
+    if (!slot.ok()) return slot.status();
+  }
+  fleet.results.reserve(slots.size());
+  for (auto& slot : slots) fleet.results.push_back(std::move(slot).value());
+
+  auto delta = [](const EndpointStats& after, const EndpointStats& before) {
+    EndpointStats d;
+    d.queries = after.queries - before.queries;
+    d.rows_returned = after.rows_returned - before.rows_returned;
+    d.bytes_estimated = after.bytes_estimated - before.bytes_estimated;
+    d.index_probes = after.index_probes - before.index_probes;
+    d.triples_scanned = after.triples_scanned - before.triples_scanned;
+    d.cache_hits = after.cache_hits - before.cache_hits;
+    d.cache_misses = after.cache_misses - before.cache_misses;
+    d.failures_injected = after.failures_injected - before.failures_injected;
+    d.simulated_latency_ms =
+        after.simulated_latency_ms - before.simulated_latency_ms;
+    return d;
+  };
+  fleet.candidate_stats = delta(cand_after, cand_before);
+  fleet.reference_stats = delta(ref_after, ref_before);
+  return fleet;
 }
 
 }  // namespace sofya

@@ -13,6 +13,7 @@
 #ifndef SOFYA_ALIGN_RELATION_ALIGNER_H_
 #define SOFYA_ALIGN_RELATION_ALIGNER_H_
 
+#include <span>
 #include <string>
 #include <vector>
 
@@ -78,7 +79,22 @@ struct AlignmentResult {
   Term reference_relation;  ///< r in K.
   std::vector<CandidateVerdict> verdicts;
 
-  /// Query cost of this alignment (deltas over both endpoints).
+  /// Query cost of this alignment. Two attribution regimes, documented here
+  /// because they differ under parallelism:
+  ///
+  ///  * Sequential Align(): counters are before/after stats deltas over the
+  ///    endpoint stack — i.e. what the *server* saw for this relation (cache
+  ///    hits excluded from `queries`, included in `cache_hits`).
+  ///  * AlignMany(): per-relation counters come from a task-private
+  ///    TrackingEndpoint — the requests *this relation's pipeline issued*,
+  ///    with intra-batch dedup mirrored. That attribution is exact and
+  ///    deterministic for any thread count (stats deltas are not, once
+  ///    other threads' queries land inside the window), and equals the
+  ///    sequential numbers whenever the stack has no shared cache. Shared
+  ///    cache/latency quantities are inherently fleet-level under
+  ///    parallelism and are reported once in AlignManyResult; the
+  ///    per-relation cache_hits/cache_misses/simulated_latency_ms fields
+  ///    are then zero.
   uint64_t candidate_queries = 0;
   uint64_t reference_queries = 0;
   uint64_t rows_shipped = 0;
@@ -98,8 +114,35 @@ struct AlignmentResult {
   }
 };
 
+/// Result of a fleet alignment (AlignMany).
+struct AlignManyResult {
+  /// Per-relation results, in input order: results[i] aligns relations[i].
+  std::vector<AlignmentResult> results;
+
+  /// Fleet-level access accounting: stats deltas over each endpoint taken
+  /// once around the whole fan-out (snapshot before the first task starts,
+  /// snapshot after the last joins — race-free by construction). This is
+  /// where shared-cache hits and simulated latency live; `queries` here is
+  /// what the server actually saw, which with a shared cache can be LESS
+  /// than the sum of the per-relation request counts.
+  EndpointStats candidate_stats;
+  EndpointStats reference_stats;
+
+  double wall_ms = 0.0;
+  size_t threads_used = 1;
+
+  /// Server-seen queries over both endpoints.
+  uint64_t total_queries() const {
+    return candidate_stats.queries + reference_stats.queries;
+  }
+};
+
 /// The pipeline. One instance per (candidate KB, reference KB) pair; Align
 /// may be called for many relations.
+///
+/// Thread safety: Align holds no mutable aligner state across calls (the
+/// samplers are per-call locals), so concurrent Align calls are safe when
+/// the endpoints are — which is what AlignMany exploits.
 class RelationAligner {
  public:
   /// `links` is the sameAs set E. Nothing is owned; all pointers must
@@ -109,6 +152,30 @@ class RelationAligner {
 
   /// Aligns reference relation `r`: returns per-candidate verdicts.
   StatusOr<AlignmentResult> Align(const Term& r);
+
+  /// Aligns many reference relations by fanning them out across a fixed
+  /// pool of `num_threads` workers (clamped to [1, relations.size()]).
+  /// Head relations are independent, so this is embarrassingly parallel;
+  /// the endpoint stack underneath must be thread-safe (every endpoint in
+  /// this repo is).
+  ///
+  /// Determinism guarantee: per-relation verdicts and per-relation query
+  /// counts are bit-identical for any thread count, including 1, because
+  /// each relation's pipeline only depends on query *results* (identical no
+  /// matter who warmed a shared cache) and its counters come from a
+  /// task-private TrackingEndpoint (see AlignmentResult). On error the
+  /// first failing relation *by input order* is reported, not the first to
+  /// fail in wall-clock order.
+  ///
+  /// Caveat: the guarantee assumes the endpoint stack answers a given query
+  /// the same way every time. A finite ThrottleOptions::query_budget or
+  /// failure_rate > 0 breaks that — admission happens in wall-clock
+  /// interleaving order, so *which* relation exhausts the budget (or eats
+  /// an un-retried injected failure) varies across runs. Parallel runs
+  /// against metered stacks are still safe, just not reproducible past the
+  /// first ResourceExhausted/Unavailable.
+  StatusOr<AlignManyResult> AlignMany(std::span<const Term> relations,
+                                      size_t num_threads);
 
   const AlignerOptions& options() const { return options_; }
 

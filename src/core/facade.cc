@@ -1,5 +1,7 @@
 #include "core/facade.h"
 
+#include <algorithm>
+
 namespace sofya {
 
 Sofya::Sofya(KnowledgeBase* candidate_kb, KnowledgeBase* reference_kb,
@@ -38,6 +40,27 @@ Sofya::Sofya(KnowledgeBase* candidate_kb, KnowledgeBase* reference_kb,
 StatusOr<const AlignmentResult*> Sofya::Align(
     const std::string& relation_iri) {
   return on_the_fly_->AlignCached(Term::Iri(relation_iri));
+}
+
+StatusOr<std::vector<const AlignmentResult*>> Sofya::AlignAll(
+    const std::vector<std::string>& relation_iris, size_t num_threads) {
+  std::vector<Term> relations;
+  relations.reserve(relation_iris.size());
+  for (const std::string& iri : relation_iris) {
+    relations.push_back(Term::Iri(iri));
+  }
+  return on_the_fly_->AlignManyCached(relations, num_threads);
+}
+
+std::vector<std::string> Sofya::ReferenceRelations() const {
+  std::vector<std::string> iris;
+  const KnowledgeBase* kb = reference_local_.kb();
+  for (TermId p : kb->Relations()) {
+    const Term& term = kb->dict().Decode(p);
+    if (term.is_iri()) iris.push_back(term.lexical());
+  }
+  std::sort(iris.begin(), iris.end());
+  return iris;
 }
 
 StatusOr<Term> Sofya::BestCandidateFor(const std::string& relation_iri) {

@@ -9,6 +9,7 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "align/on_the_fly.h"
 #include "align/relation_aligner.h"
@@ -52,6 +53,17 @@ class Sofya {
 
   /// Aligns the reference relation with the given IRI (cached).
   StatusOr<const AlignmentResult*> Align(const std::string& relation_iri);
+
+  /// Aligns many reference relations in parallel across `num_threads`
+  /// workers (whole-schema alignment, the regime PARIS targets). Results
+  /// come back in input order, are memoized like Align's, and are
+  /// bit-identical to sequential alignment for any thread count.
+  StatusOr<std::vector<const AlignmentResult*>> AlignAll(
+      const std::vector<std::string>& relation_iris, size_t num_threads = 1);
+
+  /// Every relation IRI appearing as a predicate in the reference KB, in
+  /// sorted order — the natural AlignAll input for whole-schema runs.
+  std::vector<std::string> ReferenceRelations() const;
 
   /// Best aligned candidate relation for the given reference relation.
   StatusOr<Term> BestCandidateFor(const std::string& relation_iri);

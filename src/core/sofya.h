@@ -26,6 +26,7 @@
 #include "endpoint/retrying_endpoint.h"
 #include "endpoint/select_text.h"
 #include "endpoint/throttled_endpoint.h"
+#include "endpoint/tracking_endpoint.h"
 #include "eval/experiment.h"
 #include "eval/metrics.h"
 #include "eval/table1.h"
@@ -57,6 +58,7 @@
 #include "util/status.h"
 #include "util/string_util.h"
 #include "util/table_writer.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 #endif  // SOFYA_CORE_SOFYA_H_

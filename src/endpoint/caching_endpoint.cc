@@ -1,39 +1,85 @@
 #include "endpoint/caching_endpoint.h"
 
+#include <algorithm>
 #include <utility>
-#include <vector>
 
 namespace sofya {
 
-CachingEndpoint::Entry& CachingEndpoint::Touch(LruList::iterator it) {
-  lru_.splice(lru_.begin(), lru_, it);
-  return *lru_.begin();
-}
+namespace {
+/// Auto shard count: small caches keep one shard (exact global LRU order);
+/// big caches trade that for 16-way lock striping, where each shard still
+/// holds hundreds of entries and per-shard eviction behaves like LRU.
+constexpr size_t kAutoShardThreshold = 1024;
+constexpr size_t kAutoShards = 16;
+}  // namespace
 
-void CachingEndpoint::Insert(Entry entry) {
-  lru_.push_front(std::move(entry));
-  index_[lru_.front().key] = lru_.begin();
-  while (index_.size() > options_.capacity) {
-    index_.erase(lru_.back().key);
-    lru_.pop_back();
-    ++evictions_;
+CachingEndpoint::CachingEndpoint(Endpoint* inner, CacheOptions options)
+    : inner_(inner), options_(options) {
+  size_t shards = options_.shards;
+  if (shards == 0) {
+    shards = options_.capacity >= kAutoShardThreshold ? kAutoShards : 1;
+  }
+  shards = std::max<size_t>(1, std::min(shards, options_.capacity));
+  // Ceil division: the shard capacities must sum to >= the configured
+  // capacity, or a full working set would thrash below its stated bound.
+  shard_capacity_ = (options_.capacity + shards - 1) / shards;
+  shards_.reserve(shards);
+  for (size_t i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
   }
 }
 
-std::string CachingEndpoint::AskKey(const SelectQuery& query) {
-  SelectQuery normalized = query;
-  normalized.Distinct(false).Limit(kNoLimit).Offset(0);
-  return normalized.Fingerprint() + "#ask";
+bool CachingEndpoint::LookupSelect(const std::string& key, ResultSet* out) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end() || it->second->is_ask) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  *out = shard.lru.front().result;  // Copy out while the shard is locked.
+  return true;
+}
+
+bool CachingEndpoint::LookupAsk(const std::string& key, bool* out) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end() || !it->second->is_ask) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  *out = shard.lru.front().ask_result;
+  return true;
+}
+
+void CachingEndpoint::Insert(Entry entry) {
+  Shard& shard = ShardFor(entry.key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(entry.key);
+  if (it != shard.index.end()) {
+    // A concurrent miss on the same key beat us here; refresh in place.
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    *shard.lru.begin() = std::move(entry);
+    return;
+  }
+  shard.lru.push_front(std::move(entry));
+  shard.index[shard.lru.front().key] = shard.lru.begin();
+  while (shard.index.size() > shard_capacity_) {
+    shard.index.erase(shard.lru.back().key);
+    shard.lru.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
 }
 
 StatusOr<ResultSet> CachingEndpoint::Select(const SelectQuery& query) {
   std::string key = query.Fingerprint();
-  auto it = index_.find(key);
-  if (it != index_.end()) {
-    ++hits_;
-    return Touch(it->second).result;
-  }
-  ++misses_;
+  ResultSet cached;
+  if (LookupSelect(key, &cached)) return cached;
   SOFYA_ASSIGN_OR_RETURN(ResultSet result, inner_->Select(query));
   Insert(Entry{std::move(key), /*is_ask=*/false, result, false});
   return result;
@@ -42,23 +88,16 @@ StatusOr<ResultSet> CachingEndpoint::Select(const SelectQuery& query) {
 StatusOr<std::vector<ResultSet>> CachingEndpoint::SelectMany(
     std::span<const SelectQuery> queries) {
   std::vector<ResultSet> results(queries.size());
-  std::vector<std::string> keys(queries.size());
   std::vector<SelectQuery> missing;  // Unique misses only.
   std::unordered_map<std::string, size_t> missing_index;  // key -> missing[].
   std::vector<std::pair<size_t, size_t>> fill;  // (results[], missing[]).
   for (size_t i = 0; i < queries.size(); ++i) {
-    keys[i] = queries[i].Fingerprint();
-    auto it = index_.find(keys[i]);
-    if (it != index_.end()) {
-      ++hits_;
-      results[i] = Touch(it->second).result;
-      continue;
-    }
-    ++misses_;
+    std::string key = queries[i].Fingerprint();
+    if (LookupSelect(key, &results[i])) continue;
     // Dedup duplicates within the batch here, client-side: decorator stacks
     // that decompose batches per query (throttle, retry) would otherwise
     // charge budget and latency for every repeat.
-    auto [mit, inserted] = missing_index.emplace(keys[i], missing.size());
+    auto [mit, inserted] = missing_index.emplace(std::move(key), missing.size());
     if (inserted) missing.push_back(queries[i]);
     fill.emplace_back(i, mit->second);
   }
@@ -75,29 +114,66 @@ StatusOr<std::vector<ResultSet>> CachingEndpoint::SelectMany(
 
 StatusOr<bool> CachingEndpoint::Ask(const SelectQuery& query) {
   if (!options_.cache_asks) return inner_->Ask(query);
-  std::string key = AskKey(query);
-  auto it = index_.find(key);
-  if (it != index_.end()) {
-    ++hits_;
-    return Touch(it->second).ask_result;
-  }
-  ++misses_;
+  std::string key = AskFingerprint(query);
+  bool cached = false;
+  if (LookupAsk(key, &cached)) return cached;
   SOFYA_ASSIGN_OR_RETURN(bool result, inner_->Ask(query));
   Insert(Entry{std::move(key), /*is_ask=*/true, ResultSet{}, result});
   return result;
 }
 
-const EndpointStats& CachingEndpoint::stats() const {
-  stats_snapshot_ = inner_->stats();
+StatusOr<std::vector<bool>> CachingEndpoint::AskMany(
+    std::span<const SelectQuery> queries) {
+  if (!options_.cache_asks) return inner_->AskMany(queries);
+  std::vector<bool> results(queries.size());
+  std::vector<SelectQuery> missing;
+  std::unordered_map<std::string, size_t> missing_index;
+  std::vector<std::pair<size_t, size_t>> fill;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    std::string key = AskFingerprint(queries[i]);
+    bool cached = false;
+    if (LookupAsk(key, &cached)) {
+      results[i] = cached;
+      continue;
+    }
+    auto [mit, inserted] = missing_index.emplace(std::move(key), missing.size());
+    if (inserted) missing.push_back(queries[i]);
+    fill.emplace_back(i, mit->second);
+  }
+  if (missing.empty()) return results;
+
+  SOFYA_ASSIGN_OR_RETURN(std::vector<bool> fetched,
+                         inner_->AskMany(missing));
+  for (const auto& [key, m] : missing_index) {
+    Insert(Entry{key, /*is_ask=*/true, ResultSet{}, fetched[m]});
+  }
+  for (const auto& [i, m] : fill) results[i] = fetched[m];
+  return results;
+}
+
+EndpointStats CachingEndpoint::stats() const {
+  EndpointStats stats = inner_->stats();
   // An inner decorator may carry its own cache counters; add, don't clobber.
-  stats_snapshot_.cache_hits += hits_;
-  stats_snapshot_.cache_misses += misses_;
-  return stats_snapshot_;
+  stats.cache_hits += hits();
+  stats.cache_misses += misses();
+  return stats;
+}
+
+size_t CachingEndpoint::size() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->index.size();
+  }
+  return total;
 }
 
 void CachingEndpoint::Clear() {
-  lru_.clear();
-  index_.clear();
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->lru.clear();
+    shard->index.clear();
+  }
 }
 
 }  // namespace sofya

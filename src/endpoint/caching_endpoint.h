@@ -14,16 +14,28 @@
 // existence does not depend on DISTINCT/OFFSET/LIMIT, so Ask(q) and
 // Ask(q.Limit(5)) share one entry.
 //
+// Thread safety: safe for concurrent callers. The LRU is sharded by
+// fingerprint hash — each shard has its own lock, list, and capacity slice,
+// so parallel alignment threads hitting different entries do not serialize
+// on one cache-global mutex. Two threads racing on the same cold key may
+// both miss and fetch (a benign stampede: the server is asked twice, both
+// misses are counted, last insert wins); hit/miss counters always sum to
+// exactly the number of requests.
+//
 // The cache assumes the dataset is immutable between queries. When the
 // underlying KB is mutated (time-sensitive-data scenarios), call Clear().
 
 #ifndef SOFYA_ENDPOINT_CACHING_ENDPOINT_H_
 #define SOFYA_ENDPOINT_CACHING_ENDPOINT_H_
 
+#include <atomic>
 #include <cstdint>
 #include <list>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "endpoint/endpoint.h"
 
@@ -37,6 +49,15 @@ struct CacheOptions {
   /// Cache ASK probes too (cheap to store; high hit rates for existence
   /// checks repeated across candidates).
   bool cache_asks = true;
+
+  /// Number of independently locked LRU shards. 0 = auto: one shard for
+  /// small caches (exact global LRU order, as tests and eviction-sensitive
+  /// setups expect), 16 once the capacity is large enough that per-shard
+  /// eviction is statistically indistinguishable from global LRU. With
+  /// multiple shards the capacity bound is enforced per shard
+  /// (ceil(capacity/shards) each), so a hash-skewed workload can evict from
+  /// a hot shard while the cache as a whole is under capacity.
+  size_t shards = 0;
 };
 
 /// Decorator; wraps any Endpoint. Typically outermost in the stack
@@ -44,8 +65,7 @@ struct CacheOptions {
 class CachingEndpoint : public Endpoint {
  public:
   /// `inner` is not owned and must outlive this object.
-  explicit CachingEndpoint(Endpoint* inner, CacheOptions options = {})
-      : inner_(inner), options_(options) {}
+  explicit CachingEndpoint(Endpoint* inner, CacheOptions options = {});
 
   const std::string& name() const override { return inner_->name(); }
   const std::string& base_iri() const override { return inner_->base_iri(); }
@@ -58,6 +78,11 @@ class CachingEndpoint : public Endpoint {
       std::span<const SelectQuery> queries) override;
 
   StatusOr<bool> Ask(const SelectQuery& query) override;
+
+  /// Batched ASK, same contract as SelectMany: hits answered locally,
+  /// unique misses forwarded as one AskMany batch to the inner endpoint.
+  StatusOr<std::vector<bool>> AskMany(
+      std::span<const SelectQuery> queries) override;
 
   TermId EncodeTerm(const Term& term) override {
     return inner_->EncodeTerm(term);
@@ -72,48 +97,61 @@ class CachingEndpoint : public Endpoint {
   /// Inner endpoint stats plus this cache's hit/miss counters. Note that
   /// `queries` counts only requests the server actually saw — cache hits
   /// never reach it, which is the point.
-  const EndpointStats& stats() const override;
+  EndpointStats stats() const override;
   void ResetStats() override {
     inner_->ResetStats();
-    hits_ = 0;
-    misses_ = 0;
+    hits_.store(0, std::memory_order_relaxed);
+    misses_.store(0, std::memory_order_relaxed);
   }
 
   /// Drops every cached entry (required after mutating the dataset).
   void Clear();
 
-  uint64_t hits() const { return hits_; }
-  uint64_t misses() const { return misses_; }
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
   /// Entries displaced by the capacity bound since construction.
-  uint64_t evictions() const { return evictions_; }
-  size_t size() const { return index_.size(); }
+  uint64_t evictions() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
+  size_t size() const;
+  size_t num_shards() const { return shards_.size(); }
 
  private:
   struct Entry {
     std::string key;
     bool is_ask = false;
-    ResultSet result;       // is_ask == false.
+    ResultSet result;         // is_ask == false.
     bool ask_result = false;  // is_ask == true.
   };
   using LruList = std::list<Entry>;
 
-  /// Moves `it` to the front (most recent) and returns its entry.
-  Entry& Touch(LruList::iterator it);
+  /// One independently locked slice of the cache.
+  struct Shard {
+    std::mutex mu;
+    LruList lru;  // Front = most recently used. Guarded by mu.
+    std::unordered_map<std::string, LruList::iterator> index;  // Guarded.
+  };
 
-  /// Inserts an entry, evicting from the cold end past capacity.
+  Shard& ShardFor(const std::string& key) {
+    return *shards_[std::hash<std::string>{}(key) % shards_.size()];
+  }
+
+  /// Looks `key` up in its shard; on hit, touches the entry and copies the
+  /// payload out under the shard lock. Counts the hit or miss.
+  bool LookupSelect(const std::string& key, ResultSet* out);
+  bool LookupAsk(const std::string& key, bool* out);
+
+  /// Inserts (or refreshes) an entry in its shard, evicting from the cold
+  /// end past the shard's capacity slice.
   void Insert(Entry entry);
-
-  /// ASK cache key: fingerprint with solution modifiers normalized away.
-  static std::string AskKey(const SelectQuery& query);
 
   Endpoint* inner_;  // Not owned.
   CacheOptions options_;
-  LruList lru_;  // Front = most recently used.
-  std::unordered_map<std::string, LruList::iterator> index_;
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
-  uint64_t evictions_ = 0;
-  mutable EndpointStats stats_snapshot_;
+  size_t shard_capacity_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
 };
 
 }  // namespace sofya

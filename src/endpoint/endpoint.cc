@@ -23,4 +23,21 @@ StatusOr<bool> Endpoint::Ask(const SelectQuery& query) {
   return !result.rows.empty();
 }
 
+StatusOr<std::vector<bool>> Endpoint::AskMany(
+    std::span<const SelectQuery> queries) {
+  std::vector<bool> results;
+  results.reserve(queries.size());
+  for (const SelectQuery& query : queries) {
+    SOFYA_ASSIGN_OR_RETURN(bool result, Ask(query));
+    results.push_back(result);
+  }
+  return results;
+}
+
+std::string AskFingerprint(const SelectQuery& query) {
+  SelectQuery normalized = query;
+  normalized.Distinct(false).Limit(kNoLimit).Offset(0);
+  return normalized.Fingerprint() + "#ask";
+}
+
 }  // namespace sofya

@@ -83,6 +83,15 @@ class Endpoint {
   /// the early-exit hint survives the whole stack).
   virtual StatusOr<bool> Ask(const SelectQuery& query);
 
+  /// Executes a batch of ASK probes in one round trip. Results are
+  /// positional: result[i] answers queries[i]. The default implementation
+  /// loops Ask(); LocalEndpoint answers duplicate probes within a batch
+  /// (existence ignores solution modifiers, so Ask(q) and Ask(q.Limit(5))
+  /// dedup to one evaluation), and CachingEndpoint forwards only its cache
+  /// misses. Fails fast on the first error.
+  virtual StatusOr<std::vector<bool>> AskMany(
+      std::span<const SelectQuery> queries);
+
   /// Encodes a term into the endpoint's id space (interning it if new).
   /// This is how client-side constants (e.g. translated entities) enter
   /// queries.
@@ -94,10 +103,22 @@ class Endpoint {
   /// Decodes an id returned in a ResultSet back to a term.
   virtual StatusOr<Term> DecodeTerm(TermId id) const = 0;
 
-  /// Access accounting since construction / last ResetStats().
-  virtual const EndpointStats& stats() const = 0;
+  /// Access accounting since construction / last ResetStats(), returned as
+  /// a point-in-time snapshot. A snapshot is internally consistent per
+  /// endpoint layer but deliberately a *copy*: with concurrent callers the
+  /// counters keep moving, and handing out references to live counters is
+  /// what made the pre-parallel interface unfixable. For decorators,
+  /// ResetStats() resets the whole stack beneath it.
+  virtual EndpointStats stats() const = 0;
   virtual void ResetStats() = 0;
 };
+
+/// Cache/dedup key for ASK probes: the query fingerprint with solution
+/// modifiers normalized away (existence does not depend on
+/// DISTINCT/OFFSET/LIMIT) and an "#ask" suffix so an ASK entry can never
+/// collide with the SELECT form of the same query. Shared by
+/// CachingEndpoint and LocalEndpoint::AskMany so their dedup agrees.
+std::string AskFingerprint(const SelectQuery& query);
 
 }  // namespace sofya
 

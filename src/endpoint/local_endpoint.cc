@@ -11,14 +11,11 @@ namespace sofya {
 StatusOr<ResultSet> LocalEndpoint::Select(const SelectQuery& query) {
   EvalStats eval_stats;
   auto result = Evaluate(kb_->store(), query, &eval_stats, &kb_->dict());
-  ++stats_.queries;
-  stats_.index_probes += eval_stats.index_probes;
-  stats_.triples_scanned += eval_stats.triples_scanned;
-  if (!result.ok()) return result.status();
 
-  stats_.rows_returned += result->rows.size();
-  if (options_.estimate_bytes) {
-    uint64_t bytes = 0;
+  // Evaluation ran lock-free; fold its cost into the counters in one short
+  // critical section so concurrent queries never tear the accounting.
+  uint64_t bytes = 0;
+  if (result.ok() && options_.estimate_bytes) {
     for (const auto& row : result->rows) {
       for (TermId id : row) {
         auto term = kb_->dict().TryDecode(id);
@@ -26,8 +23,18 @@ StatusOr<ResultSet> LocalEndpoint::Select(const SelectQuery& query) {
         bytes += term.ok() ? term->ToNTriples().size() + 1 : 1;
       }
     }
-    stats_.bytes_estimated += bytes;
   }
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.queries;
+    stats_.index_probes += eval_stats.index_probes;
+    stats_.triples_scanned += eval_stats.triples_scanned;
+    if (result.ok()) {
+      stats_.rows_returned += result->rows.size();
+      stats_.bytes_estimated += bytes;
+    }
+  }
+  if (!result.ok()) return result.status();
   return result;
 }
 
@@ -52,13 +59,37 @@ StatusOr<std::vector<ResultSet>> LocalEndpoint::SelectMany(
 StatusOr<bool> LocalEndpoint::Ask(const SelectQuery& query) {
   EvalStats eval_stats;
   auto result = EvaluateAsk(kb_->store(), query, &eval_stats, &kb_->dict());
-  ++stats_.queries;
-  stats_.index_probes += eval_stats.index_probes;
-  stats_.triples_scanned += eval_stats.triples_scanned;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.queries;
+    stats_.index_probes += eval_stats.index_probes;
+    stats_.triples_scanned += eval_stats.triples_scanned;
+    // A boolean response: no rows shipped, one byte of payload.
+    if (result.ok() && options_.estimate_bytes) ++stats_.bytes_estimated;
+  }
   if (!result.ok()) return result.status();
-  // A boolean response: no rows shipped, one byte of payload.
-  if (options_.estimate_bytes) ++stats_.bytes_estimated;
   return result;
+}
+
+StatusOr<std::vector<bool>> LocalEndpoint::AskMany(
+    std::span<const SelectQuery> queries) {
+  std::vector<bool> results(queries.size());
+  // Existence ignores solution modifiers, so the dedup key is the
+  // normalized AskFingerprint: Ask(q) and Ask(q.Limit(5)) in one batch cost
+  // a single evaluation.
+  std::unordered_map<std::string, size_t> first_occurrence;
+  first_occurrence.reserve(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    auto [it, inserted] =
+        first_occurrence.emplace(AskFingerprint(queries[i]), i);
+    if (!inserted) {
+      results[i] = results[it->second];
+      continue;
+    }
+    SOFYA_ASSIGN_OR_RETURN(bool answer, Ask(queries[i]));
+    results[i] = answer;
+  }
+  return results;
 }
 
 }  // namespace sofya

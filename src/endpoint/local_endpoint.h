@@ -3,10 +3,16 @@
 // This is the "server side" of the simulation: the full KB lives here, and
 // the alignment pipeline on the other side of the interface can only see
 // what its queries return.
+//
+// Thread safety: concurrent Select/Ask/SelectMany/AskMany calls are safe as
+// long as nobody writes to the KB concurrently (TripleStore's contract).
+// Query evaluation itself is lock-free over the store; only the stats
+// counters take a (tiny, post-evaluation) mutex.
 
 #ifndef SOFYA_ENDPOINT_LOCAL_ENDPOINT_H_
 #define SOFYA_ENDPOINT_LOCAL_ENDPOINT_H_
 
+#include <mutex>
 #include <string>
 
 #include "endpoint/endpoint.h"
@@ -47,6 +53,12 @@ class LocalEndpoint : public Endpoint {
   /// LIMIT-1 SELECT that ships a row.
   StatusOr<bool> Ask(const SelectQuery& query) override;
 
+  /// Batched ASK: probes that are identical up to solution modifiers
+  /// (AskFingerprint) are evaluated once and charged once, so a fan-out of
+  /// k equal existence checks costs one server query.
+  StatusOr<std::vector<bool>> AskMany(
+      std::span<const SelectQuery> queries) override;
+
   TermId EncodeTerm(const Term& term) override {
     return kb_->dict().Intern(term);
   }
@@ -59,8 +71,14 @@ class LocalEndpoint : public Endpoint {
     return kb_->dict().TryDecode(id);
   }
 
-  const EndpointStats& stats() const override { return stats_; }
-  void ResetStats() override { stats_ = EndpointStats(); }
+  EndpointStats stats() const override {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    return stats_;
+  }
+  void ResetStats() override {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_ = EndpointStats();
+  }
 
   /// The underlying KB (server-side only; pipeline code must not call this).
   KnowledgeBase* kb() { return kb_; }
@@ -69,7 +87,8 @@ class LocalEndpoint : public Endpoint {
  private:
   KnowledgeBase* kb_;  // Not owned.
   LocalEndpointOptions options_;
-  EndpointStats stats_;
+  mutable std::mutex stats_mu_;
+  EndpointStats stats_;  // Guarded by stats_mu_.
 };
 
 }  // namespace sofya

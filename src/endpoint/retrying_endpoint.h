@@ -6,9 +6,13 @@
 // unchanged. Non-transient errors (ResourceExhausted, InvalidArgument, ...)
 // are never retried.
 
+// Thread safety: safe for concurrent callers (the retry loop is per-call
+// state; the retry counter is atomic), provided the inner endpoint is.
+
 #ifndef SOFYA_ENDPOINT_RETRYING_ENDPOINT_H_
 #define SOFYA_ENDPOINT_RETRYING_ENDPOINT_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
@@ -35,9 +39,9 @@ class RetryingEndpoint : public Endpoint {
     return Retry([&] { return inner_->Select(query); });
   }
 
-  // SelectMany is inherited: the sequential default forwards through this
-  // Select, so each sub-query gets its own retry budget (one transient
-  // failure must not fail the whole batch).
+  // SelectMany/AskMany are inherited: the sequential defaults forward
+  // through this Select/Ask, so each sub-query gets its own retry budget
+  // (one transient failure must not fail the whole batch).
 
   /// Forwards ASK (preserving the inner early-exit path) with retries.
   StatusOr<bool> Ask(const SelectQuery& query) override {
@@ -54,11 +58,13 @@ class RetryingEndpoint : public Endpoint {
     return inner_->DecodeTerm(id);
   }
 
-  const EndpointStats& stats() const override { return inner_->stats(); }
+  EndpointStats stats() const override { return inner_->stats(); }
   void ResetStats() override { inner_->ResetStats(); }
 
   /// Transient failures absorbed so far.
-  uint64_t retries_performed() const { return retries_performed_; }
+  uint64_t retries_performed() const {
+    return retries_performed_.load(std::memory_order_relaxed);
+  }
 
  private:
   /// Runs `attempt` and re-runs it while it reports Unavailable, up to
@@ -70,7 +76,7 @@ class RetryingEndpoint : public Endpoint {
     while (!result.ok() && result.status().IsUnavailable() &&
            attempts < options_.max_retries) {
       ++attempts;
-      ++retries_performed_;
+      retries_performed_.fetch_add(1, std::memory_order_relaxed);
       result = attempt();
     }
     return result;
@@ -78,7 +84,7 @@ class RetryingEndpoint : public Endpoint {
 
   Endpoint* inner_;  // Not owned.
   RetryOptions options_;
-  uint64_t retries_performed_ = 0;
+  std::atomic<uint64_t> retries_performed_{0};
 };
 
 }  // namespace sofya

@@ -1,41 +1,56 @@
 #include "endpoint/throttled_endpoint.h"
 
+#include <chrono>
+#include <thread>
+
 #include "util/string_util.h"
 
 namespace sofya {
 
-namespace {
-
-/// Budget/failure preamble shared by Select and Ask. Returns non-OK when the
-/// request must not reach the inner endpoint.
-Status AdmitQuery(const ThrottleOptions& options, const std::string& name,
-                  uint64_t* queries_issued, Rng* rng, EndpointStats* stats) {
-  if (options.query_budget != kNoLimit &&
-      *queries_issued >= options.query_budget) {
+Status ThrottledEndpoint::AdmitQuery() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (options_.query_budget != kNoLimit &&
+      queries_issued_ >= options_.query_budget) {
     return Status::ResourceExhausted(
         StrFormat("query budget of %llu exhausted on endpoint '%s'",
-                  static_cast<unsigned long long>(options.query_budget),
-                  name.c_str()));
+                  static_cast<unsigned long long>(options_.query_budget),
+                  name().c_str()));
   }
-  ++*queries_issued;
-  ++stats->queries;
+  ++queries_issued_;
+  ++local_.queries;
 
   // Failure injection happens before any server work, like a dropped
   // connection. The budget is still charged (the request was made).
-  if (options.failure_rate > 0.0 && rng->Bernoulli(options.failure_rate)) {
-    ++stats->failures_injected;
-    stats->simulated_latency_ms += options.base_latency_ms;
+  if (options_.failure_rate > 0.0 && rng_.Bernoulli(options_.failure_rate)) {
+    ++local_.failures_injected;
+    local_.simulated_latency_ms += options_.base_latency_ms;
     return Status::Unavailable(
-        StrFormat("injected endpoint failure on '%s'", name.c_str()));
+        StrFormat("injected endpoint failure on '%s'", name().c_str()));
   }
   return Status::OK();
 }
 
-}  // namespace
+void ThrottledEndpoint::ChargeLatency(uint64_t rows) {
+  double latency = options_.base_latency_ms +
+                   options_.per_row_latency_ms * static_cast<double>(rows);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (options_.jitter_ms > 0.0) {
+      latency += rng_.NextDouble() * options_.jitter_ms;
+    }
+    local_.rows_returned += rows;
+    local_.simulated_latency_ms += latency;
+  }
+  if (options_.sleep_for_latency) {
+    // The modeled wire time, slept off the lock: concurrent requests
+    // overlap their waits, exactly like independent remote connections.
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+        latency));
+  }
+}
 
 StatusOr<ResultSet> ThrottledEndpoint::Select(const SelectQuery& query) {
-  SOFYA_RETURN_IF_ERROR(
-      AdmitQuery(options_, name(), &queries_issued_, &rng_, &stats_));
+  SOFYA_RETURN_IF_ERROR(AdmitQuery());
 
   // Apply the row cap by tightening LIMIT before the server sees the query
   // (equivalent to server-side truncation, but cheaper to simulate).
@@ -46,46 +61,35 @@ StatusOr<ResultSet> ThrottledEndpoint::Select(const SelectQuery& query) {
     capped.Limit(options_.max_rows_per_query);
   }
 
-  const EndpointStats before = inner_->stats();
   auto result = inner_->Select(capped);
-  const EndpointStats after = inner_->stats();
-
-  stats_.index_probes += after.index_probes - before.index_probes;
-  stats_.triples_scanned += after.triples_scanned - before.triples_scanned;
   if (!result.ok()) return result.status();
 
-  stats_.rows_returned += result->rows.size();
-  stats_.bytes_estimated += after.bytes_estimated - before.bytes_estimated;
-
-  double latency = options_.base_latency_ms +
-                   options_.per_row_latency_ms *
-                       static_cast<double>(result->rows.size());
-  if (options_.jitter_ms > 0.0) {
-    latency += rng_.NextDouble() * options_.jitter_ms;
-  }
-  stats_.simulated_latency_ms += latency;
+  ChargeLatency(result->rows.size());
   return result;
 }
 
 StatusOr<bool> ThrottledEndpoint::Ask(const SelectQuery& query) {
-  SOFYA_RETURN_IF_ERROR(
-      AdmitQuery(options_, name(), &queries_issued_, &rng_, &stats_));
+  SOFYA_RETURN_IF_ERROR(AdmitQuery());
 
-  const EndpointStats before = inner_->stats();
   auto result = inner_->Ask(query);
-  const EndpointStats after = inner_->stats();
-
-  stats_.index_probes += after.index_probes - before.index_probes;
-  stats_.triples_scanned += after.triples_scanned - before.triples_scanned;
-  stats_.bytes_estimated += after.bytes_estimated - before.bytes_estimated;
   if (!result.ok()) return result.status();
 
-  double latency = options_.base_latency_ms;  // Boolean response: no rows.
-  if (options_.jitter_ms > 0.0) {
-    latency += rng_.NextDouble() * options_.jitter_ms;
-  }
-  stats_.simulated_latency_ms += latency;
+  ChargeLatency(/*rows=*/0);  // Boolean response: no rows.
   return result;
+}
+
+EndpointStats ThrottledEndpoint::stats() const {
+  const EndpointStats inner = inner_->stats();
+  std::lock_guard<std::mutex> lock(mu_);
+  EndpointStats stats = local_;
+  // Server-side work is reported by the server, not re-derived from per-call
+  // deltas (which tear under concurrency).
+  stats.index_probes = inner.index_probes;
+  stats.triples_scanned = inner.triples_scanned;
+  stats.bytes_estimated = inner.bytes_estimated;
+  stats.cache_hits = inner.cache_hits;
+  stats.cache_misses = inner.cache_misses;
+  return stats;
 }
 
 }  // namespace sofya

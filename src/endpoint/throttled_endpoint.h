@@ -7,11 +7,20 @@
 // exceeding the budget yields ResourceExhausted, row caps silently truncate
 // (like DBpedia's 10000-row cap), and failure injection exercises the
 // samplers' error paths.
+//
+// Thread safety: safe for concurrent callers. Budget admission, the jitter/
+// failure RNG, and the counters sit behind one mutex, but the inner call
+// runs *outside* it — concurrent requests are in flight simultaneously,
+// like independent HTTP connections to one metered provider. With
+// `sleep_for_latency` the modeled latency is actually slept (outside the
+// lock), which makes parallel alignment overlap waiting exactly the way it
+// would against a real remote endpoint.
 
 #ifndef SOFYA_ENDPOINT_THROTTLED_ENDPOINT_H_
 #define SOFYA_ENDPOINT_THROTTLED_ENDPOINT_H_
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 
 #include "endpoint/endpoint.h"
@@ -35,6 +44,12 @@ struct ThrottleOptions {
   /// `seed`).
   double jitter_ms = 10.0;
 
+  /// When true, each request actually sleeps its modeled latency (off the
+  /// lock), so wall-clock behaves like a remote endpoint: sequential callers
+  /// pay the sum, parallel callers overlap. Off by default — accounting-only
+  /// latency keeps tests and benches fast.
+  bool sleep_for_latency = false;
+
   /// Probability a query fails with Unavailable (drawn per attempt).
   double failure_rate = 0.0;
 
@@ -55,9 +70,10 @@ class ThrottledEndpoint : public Endpoint {
 
   StatusOr<ResultSet> Select(const SelectQuery& query) override;
 
-  // SelectMany is inherited: the sequential default forwards each query
-  // through this Select, so the budget, failure model and latency model are
-  // charged per sub-query — a remote provider meters requests, not batches.
+  // SelectMany/AskMany are inherited: the sequential defaults forward each
+  // query through this Select/Ask, so the budget, failure model and latency
+  // model are charged per sub-query — a remote provider meters requests,
+  // not batches.
 
   /// Forwards ASK to the inner endpoint so its early-exit evaluation
   /// survives the throttle. Charged as one query with base latency only
@@ -74,29 +90,53 @@ class ThrottledEndpoint : public Endpoint {
     return inner_->DecodeTerm(id);
   }
 
-  const EndpointStats& stats() const override { return stats_; }
+  /// This layer's own metering (queries admitted, failures injected,
+  /// latency, rows after capping) composed with the server-side counters of
+  /// the inner endpoint (probes, scans, bytes, nested cache hits). Composing
+  /// live counters instead of mirroring per-call deltas is what keeps the
+  /// numbers exact when many requests are in flight at once.
+  EndpointStats stats() const override;
+
+  /// Resets the whole stack beneath this decorator (so the composed
+  /// snapshot starts from zero everywhere).
   void ResetStats() override {
-    stats_ = EndpointStats();
-    queries_issued_ = 0;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      local_ = EndpointStats();
+      queries_issued_ = 0;
+    }
+    inner_->ResetStats();
   }
 
   /// Queries consumed from the budget so far.
-  uint64_t queries_issued() const { return queries_issued_; }
+  uint64_t queries_issued() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return queries_issued_;
+  }
 
   /// Remaining budget (kNoLimit when unbounded).
   uint64_t remaining_budget() const {
     if (options_.query_budget == kNoLimit) return kNoLimit;
+    std::lock_guard<std::mutex> lock(mu_);
     return options_.query_budget > queries_issued_
                ? options_.query_budget - queries_issued_
                : 0;
   }
 
  private:
+  /// Budget/failure preamble shared by Select and Ask (under mu_). Returns
+  /// non-OK when the request must not reach the inner endpoint.
+  Status AdmitQuery();
+
+  /// Latency accounting (and, optionally, the real sleep) for one request.
+  void ChargeLatency(uint64_t rows);
+
   Endpoint* inner_;  // Not owned.
   ThrottleOptions options_;
-  Rng rng_;
-  EndpointStats stats_;
-  uint64_t queries_issued_ = 0;
+  mutable std::mutex mu_;
+  Rng rng_;                // Guarded by mu_.
+  EndpointStats local_;    // This layer's own counters. Guarded by mu_.
+  uint64_t queries_issued_ = 0;  // Guarded by mu_.
 };
 
 }  // namespace sofya

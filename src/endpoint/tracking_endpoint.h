@@ -1,0 +1,105 @@
+// TrackingEndpoint: a pass-through decorator that counts the requests one
+// caller issues against a shared endpoint stack.
+//
+// Why it exists: under parallel alignment (RelationAligner::AlignMany) many
+// relations share one endpoint stack, so "stats delta before/after my
+// work" — the sequential attribution idiom — picks up every other thread's
+// queries. A TrackingEndpoint is private to one task: it forwards
+// everything to the shared stack and keeps its *own* counters, which makes
+// per-relation attribution exact and deterministic for any thread count.
+//
+// The counters mirror the server's charging rules so that, over an
+// undecorated LocalEndpoint, tracked counts equal the server's counts
+// exactly: one query per Select/Ask, one query per *unique* query inside a
+// SelectMany batch (the server answers intra-batch duplicates from one
+// evaluation), one per unique normalized probe inside AskMany, and rows
+// counted once per unique evaluation. With a shared cache in the stack the
+// tracked `queries` is instead the number of requests issued to the cache —
+// an upper bound on what the server saw, since attribution of shared cache
+// hits to individual callers is inherently interleaving-dependent.
+//
+// Thread safety: one TrackingEndpoint per task/thread (its own counters are
+// unsynchronized); the shared inner stack handles cross-task concurrency.
+
+#ifndef SOFYA_ENDPOINT_TRACKING_ENDPOINT_H_
+#define SOFYA_ENDPOINT_TRACKING_ENDPOINT_H_
+
+#include <string>
+#include <unordered_set>
+
+#include "endpoint/endpoint.h"
+
+namespace sofya {
+
+/// Per-caller request attribution over a shared (thread-safe) endpoint.
+class TrackingEndpoint : public Endpoint {
+ public:
+  /// `inner` is not owned and must outlive this object.
+  explicit TrackingEndpoint(Endpoint* inner) : inner_(inner) {}
+
+  const std::string& name() const override { return inner_->name(); }
+  const std::string& base_iri() const override { return inner_->base_iri(); }
+
+  StatusOr<ResultSet> Select(const SelectQuery& query) override {
+    auto result = inner_->Select(query);
+    ++stats_.queries;
+    if (result.ok()) stats_.rows_returned += result->rows.size();
+    return result;
+  }
+
+  StatusOr<std::vector<ResultSet>> SelectMany(
+      std::span<const SelectQuery> queries) override {
+    auto results = inner_->SelectMany(queries);
+    // Charge one query per unique fingerprint, like the server's
+    // intra-batch dedup, so tracked counts match server-side accounting.
+    std::unordered_set<std::string> unique;
+    unique.reserve(queries.size());
+    for (size_t i = 0; i < queries.size(); ++i) {
+      if (!unique.insert(queries[i].Fingerprint()).second) continue;
+      ++stats_.queries;
+      if (results.ok()) stats_.rows_returned += (*results)[i].rows.size();
+    }
+    return results;
+  }
+
+  StatusOr<bool> Ask(const SelectQuery& query) override {
+    auto result = inner_->Ask(query);
+    ++stats_.queries;
+    return result;
+  }
+
+  StatusOr<std::vector<bool>> AskMany(
+      std::span<const SelectQuery> queries) override {
+    auto results = inner_->AskMany(queries);
+    std::unordered_set<std::string> unique;
+    unique.reserve(queries.size());
+    for (const SelectQuery& query : queries) {
+      if (unique.insert(AskFingerprint(query)).second) ++stats_.queries;
+    }
+    return results;
+  }
+
+  TermId EncodeTerm(const Term& term) override {
+    return inner_->EncodeTerm(term);
+  }
+  TermId LookupTerm(const Term& term) const override {
+    return inner_->LookupTerm(term);
+  }
+  StatusOr<Term> DecodeTerm(TermId id) const override {
+    return inner_->DecodeTerm(id);
+  }
+
+  /// This caller's own counters only — never the shared stack's (that is
+  /// the whole point). Latency/cache/server-side fields stay zero; they are
+  /// fleet-level quantities under parallelism.
+  EndpointStats stats() const override { return stats_; }
+  void ResetStats() override { stats_ = EndpointStats(); }
+
+ private:
+  Endpoint* inner_;  // Not owned; shared across tasks.
+  EndpointStats stats_;
+};
+
+}  // namespace sofya
+
+#endif  // SOFYA_ENDPOINT_TRACKING_ENDPOINT_H_

@@ -27,10 +27,32 @@ StatusOr<DirectionRun> RunDirection(
   const EndpointStats ref_before = reference->stats();
   WallTimer timer;
 
-  for (const std::string& head_iri : heads) {
+  // Collect the per-head results, sequentially or fanned out. Verdicts are
+  // identical either way (AlignMany's determinism guarantee); the run-level
+  // cost below is a whole-run delta in both cases.
+  std::vector<AlignmentResult> results;
+  results.reserve(heads.size());
+  if (options.num_threads > 1) {
+    std::vector<Term> terms;
+    terms.reserve(heads.size());
+    for (const std::string& head_iri : heads) {
+      terms.push_back(Term::Iri(head_iri));
+    }
+    SOFYA_ASSIGN_OR_RETURN(AlignManyResult fleet,
+                           aligner.AlignMany(terms, options.num_threads));
+    results = std::move(fleet.results);
+  } else {
+    for (const std::string& head_iri : heads) {
+      SOFYA_ASSIGN_OR_RETURN(AlignmentResult result,
+                             aligner.Align(Term::Iri(head_iri)));
+      results.push_back(std::move(result));
+    }
+  }
+
+  for (size_t h = 0; h < heads.size(); ++h) {
+    const std::string& head_iri = heads[h];
     run.attempted_heads.push_back(head_iri);
-    SOFYA_ASSIGN_OR_RETURN(AlignmentResult result,
-                           aligner.Align(Term::Iri(head_iri)));
+    const AlignmentResult& result = results[h];
     for (const CandidateVerdict& v : result.verdicts) {
       MinedRuleRecord record;
       record.body_iri = v.relation.lexical();

@@ -52,6 +52,10 @@ struct DirectionRunOptions {
   /// Align only the first N reference relations (0 = all). Relations are
   /// taken in sorted-IRI order for determinism.
   size_t max_relations = 0;
+  /// Worker threads for the per-relation fan-out (RelationAligner::
+  /// AlignMany). 1 = sequential. Rule records and scores are identical for
+  /// any value; only wall_ms changes.
+  size_t num_threads = 1;
 };
 
 /// Runs one direction: candidates from `candidate`, heads from `reference`

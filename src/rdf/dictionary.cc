@@ -5,6 +5,14 @@
 namespace sofya {
 
 TermId Dictionary::Intern(const Term& term) {
+  {
+    // Fast path: most interns are repeats; answer them under a shared lock.
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = index_.find(term);
+    if (it != index_.end()) return it->second;
+  }
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  // Re-check: another writer may have interned it between the locks.
   auto it = index_.find(term);
   if (it != index_.end()) return it->second;
   terms_.push_back(term);
@@ -14,20 +22,24 @@ TermId Dictionary::Intern(const Term& term) {
 }
 
 TermId Dictionary::Lookup(const Term& term) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   auto it = index_.find(term);
   return it == index_.end() ? kNullTermId : it->second;
 }
 
 const Term& Dictionary::Decode(TermId id) const {
   static const Term kInvalid = Term::Iri("urn:sofya:invalid-term-id");
-  if (!Contains(id)) return kInvalid;
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  if (!ContainsLocked(id)) return kInvalid;
+  // Deque elements never move on append: the reference outlives the lock.
   return terms_[id - 1];
 }
 
 StatusOr<Term> Dictionary::TryDecode(TermId id) const {
-  if (!Contains(id)) {
-    return Status::NotFound(
-        StrFormat("term id %u not in dictionary (size %zu)", id, size()));
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  if (!ContainsLocked(id)) {
+    return Status::NotFound(StrFormat("term id %u not in dictionary (size %zu)",
+                                      id, terms_.size()));
   }
   return terms_[id - 1];
 }

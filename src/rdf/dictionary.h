@@ -4,23 +4,49 @@
 // once and triples hold 32-bit ids, which makes index entries 12 bytes and
 // joins integer comparisons. Ids are dense, starting at 1 (0 is the
 // null/wildcard id).
+//
+// Thread safety: fully synchronized (reader/writer lock). Interning is the
+// one mutation the alignment pipeline performs on a KB during queries
+// (EncodeTerm for translated constants), so parallel alignment requires the
+// dictionary to take concurrent Intern/Lookup/Decode calls. Terms live in a
+// deque, which never relocates elements on append — the references Decode()
+// hands out stay valid across later interns.
 
 #ifndef SOFYA_RDF_DICTIONARY_H_
 #define SOFYA_RDF_DICTIONARY_H_
 
+#include <deque>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
-#include <vector>
 
 #include "rdf/term.h"
 #include "util/status.h"
 
 namespace sofya {
 
-/// Bidirectional Term <-> TermId map. Not thread-safe for writes.
+/// Bidirectional Term <-> TermId map. Safe for concurrent use; ids are
+/// assigned in interning order and never change or disappear.
 class Dictionary {
  public:
   Dictionary() = default;
+
+  // Movable (KnowledgeBase is movable); the caller must not move a
+  // dictionary that other threads are using.
+  Dictionary(Dictionary&& other) noexcept {
+    std::unique_lock<std::shared_mutex> lock(other.mu_);
+    terms_ = std::move(other.terms_);
+    index_ = std::move(other.index_);
+  }
+  Dictionary& operator=(Dictionary&& other) noexcept {
+    if (this != &other) {
+      std::scoped_lock lock(mu_, other.mu_);
+      terms_ = std::move(other.terms_);
+      index_ = std::move(other.index_);
+    }
+    return *this;
+  }
 
   /// Interns `term`, returning its id (existing id if already present).
   TermId Intern(const Term& term);
@@ -42,25 +68,37 @@ class Dictionary {
   }
 
   /// True iff `id` is a valid interned id.
-  bool Contains(TermId id) const { return id >= 1 && id <= terms_.size(); }
+  bool Contains(TermId id) const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return ContainsLocked(id);
+  }
 
-  /// Decodes an id; requires Contains(id).
+  /// Decodes an id; requires Contains(id). The returned reference stays
+  /// valid for the dictionary's lifetime (terms are never removed).
   const Term& Decode(TermId id) const;
 
   /// Decodes, returning an error Status for invalid ids.
   StatusOr<Term> TryDecode(TermId id) const;
 
   /// Number of interned terms.
-  size_t size() const { return terms_.size(); }
+  size_t size() const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return terms_.size();
+  }
 
-  bool empty() const { return terms_.empty(); }
+  bool empty() const { return size() == 0; }
 
   /// All ids, 1..size(), for iteration.
   TermId min_id() const { return 1; }
-  TermId max_id() const { return static_cast<TermId>(terms_.size()); }
+  TermId max_id() const { return static_cast<TermId>(size()); }
 
  private:
-  std::vector<Term> terms_;  // terms_[id - 1] is the term for `id`.
+  bool ContainsLocked(TermId id) const {
+    return id >= 1 && id <= terms_.size();
+  }
+
+  mutable std::shared_mutex mu_;
+  std::deque<Term> terms_;  // terms_[id - 1] is the term for `id`.
   std::unordered_map<Term, TermId, TermHash> index_;
 };
 

@@ -15,8 +15,11 @@ bool TripleStore::Insert(const Triple& t) {
     spo_.push_back(t);
     pos_.push_back(t);
     osp_.push_back(t);
-    dirty_ = true;
-    stats_cache_.clear();
+    {
+      std::lock_guard<std::mutex> lock(lazy_mu_);
+      stats_cache_.clear();
+    }
+    dirty_.store(true, std::memory_order_release);
   }
   return inserted;
 }
@@ -34,17 +37,24 @@ bool TripleStore::Erase(const Triple& t) {
   erase_one(spo_);
   erase_one(pos_);
   erase_one(osp_);
-  dirty_ = true;
-  stats_cache_.clear();
+  {
+    std::lock_guard<std::mutex> lock(lazy_mu_);
+    stats_cache_.clear();
+  }
+  dirty_.store(true, std::memory_order_release);
   return true;
 }
 
 void TripleStore::EnsureSorted() const {
-  if (!dirty_) return;
+  // Double-checked: steady-state reads cost one relaxed-acquire load; the
+  // first read after a write sorts under the lock while latecomers wait.
+  if (!dirty_.load(std::memory_order_acquire)) return;
+  std::lock_guard<std::mutex> lock(lazy_mu_);
+  if (!dirty_.load(std::memory_order_relaxed)) return;
   std::sort(spo_.begin(), spo_.end(), SpoLess());
   std::sort(pos_.begin(), pos_.end(), PosLess());
   std::sort(osp_.begin(), osp_.end(), OspLess());
-  dirty_ = false;
+  dirty_.store(false, std::memory_order_release);
 }
 
 std::span<const Triple> TripleStore::Range(
@@ -164,8 +174,11 @@ std::vector<TermId> TripleStore::Predicates() const {
 
 PredicateStats TripleStore::StatsFor(TermId p) const {
   EnsureSorted();
-  auto it = stats_cache_.find(p);
-  if (it != stats_cache_.end()) return it->second;
+  {
+    std::lock_guard<std::mutex> lock(lazy_mu_);
+    auto it = stats_cache_.find(p);
+    if (it != stats_cache_.end()) return it->second;
+  }
 
   PredicateStats stats;
   std::vector<TermId> subjects;
@@ -182,7 +195,10 @@ PredicateStats TripleStore::StatsFor(TermId p) const {
   objects.erase(std::unique(objects.begin(), objects.end()), objects.end());
   stats.distinct_subjects = subjects.size();
   stats.distinct_objects = objects.size();
-  stats_cache_.emplace(p, stats);
+  {
+    std::lock_guard<std::mutex> lock(lazy_mu_);
+    stats_cache_.emplace(p, stats);
+  }
   return stats;
 }
 

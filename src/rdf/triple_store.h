@@ -15,11 +15,14 @@
 #ifndef SOFYA_RDF_TRIPLE_STORE_H_
 #define SOFYA_RDF_TRIPLE_STORE_H_
 
+#include <atomic>
 #include <cstddef>
 #include <functional>
+#include <mutex>
 #include <span>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "rdf/triple.h"
@@ -48,10 +51,26 @@ struct PredicateStats {
 };
 
 /// The store. Writes invalidate indexes; the first subsequent read re-sorts.
-/// Reads are const and thread-compatible once indexes are fresh.
+///
+/// Thread safety: concurrent const reads are safe, including the first read
+/// after a write (the lazy re-sort and the predicate-stats memo are
+/// internally synchronized). Writes (Insert/Erase) must not overlap with
+/// reads or other writes — the alignment pipeline treats a dataset as
+/// immutable while queries are in flight, which is also what a remote
+/// endpoint would guarantee per snapshot.
 class TripleStore {
  public:
   TripleStore() = default;
+
+  // Movable (KnowledgeBase is movable); the caller must not move a store
+  // that other threads are reading.
+  TripleStore(TripleStore&& other) noexcept { MoveFrom(std::move(other)); }
+  TripleStore& operator=(TripleStore&& other) noexcept {
+    if (this != &other) MoveFrom(std::move(other));
+    return *this;
+  }
+  TripleStore(const TripleStore&) = delete;
+  TripleStore& operator=(const TripleStore&) = delete;
 
   /// Inserts a triple. Returns true iff it was not already present.
   bool Insert(const Triple& t);
@@ -140,9 +159,24 @@ class TripleStore {
   /// Contiguous index range for `pattern` (after EnsureSorted).
   std::span<const Triple> Range(const TriplePattern& pattern) const;
 
+  void MoveFrom(TripleStore&& other) {
+    std::scoped_lock lock(lazy_mu_, other.lazy_mu_);
+    set_ = std::move(other.set_);
+    spo_ = std::move(other.spo_);
+    pos_ = std::move(other.pos_);
+    osp_ = std::move(other.osp_);
+    stats_cache_ = std::move(other.stats_cache_);
+    dirty_.store(other.dirty_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+  }
+
   std::unordered_set<Triple, TripleHash> set_;
 
-  mutable bool dirty_ = false;
+  /// Guards the lazy re-sort and the stats memo so the first read after a
+  /// write is safe from any number of threads; steady-state reads only do
+  /// one relaxed-acquire load on `dirty_`.
+  mutable std::mutex lazy_mu_;
+  mutable std::atomic<bool> dirty_{false};
   mutable std::vector<Triple> spo_;
   mutable std::vector<Triple> pos_;
   mutable std::vector<Triple> osp_;

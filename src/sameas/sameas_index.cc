@@ -32,12 +32,14 @@ bool SameAsIndex::AreEquivalent(const Term& a, const Term& b) const {
 }
 
 void SameAsIndex::EnsureGroups() const {
-  if (!groups_dirty_) return;
+  if (!groups_dirty_.load(std::memory_order_acquire)) return;
+  std::lock_guard<std::mutex> lock(groups_mu_);
+  if (!groups_dirty_.load(std::memory_order_relaxed)) return;
   groups_.clear();
   for (size_t i = 0; i < terms_.size(); ++i) {
     groups_[uf_.Find(i)].push_back(i);
   }
-  groups_dirty_ = false;
+  groups_dirty_.store(false, std::memory_order_release);
 }
 
 std::vector<Term> SameAsIndex::EquivalentsOf(const Term& x) const {

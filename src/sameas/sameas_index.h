@@ -6,9 +6,18 @@
 // the samplers ask: "are x1 and x2 the same real-world entity?" and
 // "translate x1 into the other KB's identifier space".
 
+// Thread safety: reads (AreEquivalent, EquivalentsOf, TranslateTo) are safe
+// from any number of threads — including the first read after AddLink,
+// which rebuilds the lazy group memo under an internal lock — as long as no
+// AddLink runs concurrently. Build the link set first, then share it with
+// the parallel alignment pipeline; that matches the paper's setup, where E
+// is given up front.
+
 #ifndef SOFYA_SAMEAS_SAMEAS_INDEX_H_
 #define SOFYA_SAMEAS_SAMEAS_INDEX_H_
 
+#include <atomic>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -25,6 +34,16 @@ namespace sofya {
 class SameAsIndex {
  public:
   SameAsIndex() = default;
+
+  // Movable (worlds carry their link set by value); the caller must not
+  // move an index other threads are reading.
+  SameAsIndex(SameAsIndex&& other) noexcept { MoveFrom(std::move(other)); }
+  SameAsIndex& operator=(SameAsIndex&& other) noexcept {
+    if (this != &other) MoveFrom(std::move(other));
+    return *this;
+  }
+  SameAsIndex(const SameAsIndex&) = delete;
+  SameAsIndex& operator=(const SameAsIndex&) = delete;
 
   /// Records a ≡ b (owl:sameAs is symmetric/transitive: classes merge).
   void AddLink(const Term& a, const Term& b);
@@ -58,13 +77,26 @@ class SameAsIndex {
   size_t InternLocal(const Term& t);
   void EnsureGroups() const;
 
+  void MoveFrom(SameAsIndex&& other) {
+    std::scoped_lock lock(groups_mu_, other.groups_mu_);
+    terms_ = std::move(other.terms_);
+    ids_ = std::move(other.ids_);
+    uf_ = std::move(other.uf_);
+    num_links_ = other.num_links_;
+    groups_ = std::move(other.groups_);
+    groups_dirty_.store(other.groups_dirty_.load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+  }
+
   std::vector<Term> terms_;
   std::unordered_map<Term, size_t, TermHash> ids_;
   UnionFind uf_;
   size_t num_links_ = 0;
 
-  // root -> member local-ids, rebuilt lazily.
-  mutable bool groups_dirty_ = false;
+  // root -> member local-ids, rebuilt lazily. The rebuild is double-checked
+  // under groups_mu_ so the first read after a write is thread-safe.
+  mutable std::mutex groups_mu_;
+  mutable std::atomic<bool> groups_dirty_{false};
   mutable std::unordered_map<size_t, std::vector<size_t>> groups_;
 };
 

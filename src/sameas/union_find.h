@@ -1,15 +1,25 @@
-// Disjoint-set (union-find) with path halving and union by size.
+// Disjoint-set (union-find) with union by size; path halving happens on the
+// write path (Union) only.
+//
+// Const Find is a pure read — no hidden path compression — so concurrent
+// readers over a built structure are race-free (the classic mutable-parent
+// halving in a const Find is a data race under parallel sameAs
+// translation). Union-by-size keeps chains O(log n) without it, and the
+// halving done while building flattens the trees that matter.
 
 #ifndef SOFYA_SAMEAS_UNION_FIND_H_
 #define SOFYA_SAMEAS_UNION_FIND_H_
 
 #include <cstddef>
 #include <numeric>
+#include <utility>
 #include <vector>
 
 namespace sofya {
 
-/// Union-find over dense indices [0, n). Grows on demand.
+/// Union-find over dense indices [0, n). Grows on demand. Reads (Find,
+/// Connected, SetSize) are safe from any number of threads as long as no
+/// Grow/Union runs concurrently.
 class UnionFind {
  public:
   UnionFind() = default;
@@ -27,19 +37,16 @@ class UnionFind {
 
   size_t size() const { return parent_.size(); }
 
-  /// Representative of x's set (with path halving).
+  /// Representative of x's set. Pure read (no path compression).
   size_t Find(size_t x) const {
-    while (parent_[x] != x) {
-      parent_[x] = parent_[parent_[x]];
-      x = parent_[x];
-    }
+    while (parent_[x] != x) x = parent_[x];
     return x;
   }
 
   /// Merges the sets of a and b; returns false if already merged.
   bool Union(size_t a, size_t b) {
-    size_t ra = Find(a);
-    size_t rb = Find(b);
+    size_t ra = FindAndHalve(a);
+    size_t rb = FindAndHalve(b);
     if (ra == rb) return false;
     if (size_[ra] < size_[rb]) std::swap(ra, rb);
     parent_[rb] = ra;
@@ -54,7 +61,16 @@ class UnionFind {
   size_t SetSize(size_t x) const { return size_[Find(x)]; }
 
  private:
-  mutable std::vector<size_t> parent_;  // Mutable: path halving in Find.
+  /// Find with path halving — write-path only.
+  size_t FindAndHalve(size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  std::vector<size_t> parent_;
   std::vector<size_t> size_;
 };
 

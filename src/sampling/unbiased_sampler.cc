@@ -16,6 +16,27 @@ size_t UnbiasedSampler::CacheKeyHash::operator()(const CacheKey& key) const {
   return seed;
 }
 
+size_t UnbiasedSampler::AskKeyHash::operator()(const AskKey& key) const {
+  size_t seed = std::hash<const void*>{}(key.endpoint);
+  HashCombine(seed, std::hash<TermId>{}(key.s));
+  HashCombine(seed, std::hash<TermId>{}(key.p));
+  HashCombine(seed, std::hash<TermId>{}(key.o));
+  return seed;
+}
+
+namespace {
+
+/// ASK 〈s, p, o〉 as the supported query subset: the ObjectsOf shape with
+/// the object pinned by a FILTER. The engine's ASK path still terminates at
+/// the first (only possible) solution.
+SelectQuery ExistenceProbe(TermId s, TermId p, TermId o) {
+  SelectQuery probe = queries::ObjectsOf(s, p);
+  probe.Filter(FilterExpr::VarEqTerm(0, o));
+  return probe;
+}
+
+}  // namespace
+
 UnbiasedSampler::UnbiasedSampler(Endpoint* candidate_kb,
                                  Endpoint* reference_kb,
                                  const CrossKbTranslator* to_reference,
@@ -100,6 +121,39 @@ Status UnbiasedSampler::PrefetchObjects(
   return Status::OK();
 }
 
+Status UnbiasedSampler::PrefetchExistence(Endpoint* endpoint,
+                                          const std::vector<TriProbe>& probes) {
+  std::vector<AskKey> keys;
+  std::vector<SelectQuery> batch;
+  for (const TriProbe& probe : probes) {
+    AskKey key{endpoint, probe.s, probe.p, probe.o};
+    if (ask_cache_.find(key) != ask_cache_.end()) continue;
+    if (std::find(keys.begin(), keys.end(), key) != keys.end()) continue;
+    keys.push_back(key);
+    batch.push_back(ExistenceProbe(probe.s, probe.p, probe.o));
+  }
+  if (batch.empty()) return Status::OK();
+
+  SOFYA_ASSIGN_OR_RETURN(std::vector<bool> answers,
+                         endpoint->AskMany(batch));
+  for (size_t i = 0; i < keys.size(); ++i) {
+    ask_cache_.emplace(keys[i], answers[i]);
+  }
+  return Status::OK();
+}
+
+StatusOr<bool> UnbiasedSampler::TripleExists(Endpoint* endpoint,
+                                             TriProbe probe) {
+  AskKey key{endpoint, probe.s, probe.p, probe.o};
+  auto it = ask_cache_.find(key);
+  if (it != ask_cache_.end()) return it->second;
+  SOFYA_ASSIGN_OR_RETURN(bool exists,
+                         endpoint->Ask(ExistenceProbe(probe.s, probe.p,
+                                                      probe.o)));
+  ask_cache_.emplace(key, exists);
+  return exists;
+}
+
 StatusOr<ResultSet> UnbiasedSampler::FetchDisagreeingRows(Endpoint* endpoint,
                                                           TermId p1,
                                                           TermId p2) {
@@ -170,26 +224,36 @@ StatusOr<UbsReport> UnbiasedSampler::Probe(const Term& r,
       SOFYA_ASSIGN_OR_RETURN(ResultSet rows,
                              FetchDisagreeingRows(candidate_kb_, p1, p2));
 
-      // Phase A: decode the disagreement rows and batch-warm the memo with
-      // every candidate-side existence probe this pair needs (the memo
-      // dedups repeat subjects; the batch lets the endpoint stack dedup and
-      // cache across pairs and candidates).
+      // Phase A: decode the disagreement rows and batch-warm the memos with
+      // every candidate-side probe this pair needs. IRI objects get an
+      // exact-triple existence ASK (ships zero rows) through AskMany;
+      // literal objects still need the subject's full object list for
+      // similarity matching. Both memos dedup repeats, and the batches let
+      // the endpoint stack dedup and cache across pairs and candidates.
       struct ProbeRow {
         Term x1, y1, y2;
+        TermId x1_id, y2_id;
       };
       std::vector<ProbeRow> decoded;
       decoded.reserve(rows.rows.size());
       std::vector<std::pair<Term, Term>> candidate_probes;
+      std::vector<TriProbe> existence_probes;
       for (const auto& row : rows.rows) {
         SOFYA_ASSIGN_OR_RETURN(Term x1, candidate_kb_->DecodeTerm(row[0]));
         SOFYA_ASSIGN_OR_RETURN(Term y1, candidate_kb_->DecodeTerm(row[1]));
         SOFYA_ASSIGN_OR_RETURN(Term y2, candidate_kb_->DecodeTerm(row[2]));
         ++report.rows_examined;
-        candidate_probes.emplace_back(x1, r_prime);
+        if (y2.is_literal()) {
+          candidate_probes.emplace_back(x1, r_prime);
+        } else {
+          existence_probes.push_back(TriProbe{row[0], p1, row[2]});
+        }
         decoded.push_back(ProbeRow{std::move(x1), std::move(y1),
-                                   std::move(y2)});
+                                   std::move(y2), row[0], row[2]});
       }
       SOFYA_RETURN_IF_ERROR(PrefetchObjects(candidate_kb_, candidate_probes));
+      SOFYA_RETURN_IF_ERROR(
+          PrefetchExistence(candidate_kb_, existence_probes));
 
       // Phase B: rows surviving ¬r'(x, y2) and sameAs translation need a
       // reference-side probe; batch those too.
@@ -200,9 +264,17 @@ StatusOr<UbsReport> UnbiasedSampler::Probe(const Term& r,
       std::vector<std::pair<Term, Term>> reference_probes;
       for (const ProbeRow& pr : decoded) {
         // Enforce ¬r'(x, y2): the FILTER only guaranteed y1 != y2 per row.
-        SOFYA_ASSIGN_OR_RETURN(std::vector<Term> r_prime_objects,
-                               ObjectsOf(candidate_kb_, pr.x1, r_prime));
-        if (ContainsTerm(r_prime_objects, pr.y2)) continue;
+        bool has_y2 = false;
+        if (pr.y2.is_literal()) {
+          SOFYA_ASSIGN_OR_RETURN(std::vector<Term> r_prime_objects,
+                                 ObjectsOf(candidate_kb_, pr.x1, r_prime));
+          has_y2 = ContainsTerm(r_prime_objects, pr.y2);
+        } else {
+          SOFYA_ASSIGN_OR_RETURN(
+              has_y2,
+              TripleExists(candidate_kb_, TriProbe{pr.x1_id, p1, pr.y2_id}));
+        }
+        if (has_y2) continue;
 
         // Translate the triple into K.
         auto x2 = to_reference_->Translate(pr.x1);
@@ -267,23 +339,32 @@ Status UnbiasedSampler::ProbeReferenceSiblings(
     auto rows_or = FetchDisagreeingRows(reference_kb_, r_id, sibling_id);
     if (!rows_or.ok()) return rows_or.status();
 
-    // Mirror of Probe's phases: decode + batch the reference-side probes,
+    // Mirror of Probe's phases: decode + batch the reference-side probes
+    // (exact-triple ASKs for IRI objects, object lists for literals),
     // filter, then batch the candidate-side probes for the survivors.
     struct ProbeRow {
       Term x2, y1, y2;
+      TermId x2_id, y2_id;
     };
     std::vector<ProbeRow> decoded;
     decoded.reserve(rows_or->rows.size());
     std::vector<std::pair<Term, Term>> reference_probes;
+    std::vector<TriProbe> existence_probes;
     for (const auto& row : rows_or->rows) {
       SOFYA_ASSIGN_OR_RETURN(Term x2, reference_kb_->DecodeTerm(row[0]));
       SOFYA_ASSIGN_OR_RETURN(Term y1, reference_kb_->DecodeTerm(row[1]));
       SOFYA_ASSIGN_OR_RETURN(Term y2, reference_kb_->DecodeTerm(row[2]));
       ++report->rows_examined;
-      reference_probes.emplace_back(x2, r);
-      decoded.push_back(ProbeRow{std::move(x2), std::move(y1), std::move(y2)});
+      if (y2.is_literal()) {
+        reference_probes.emplace_back(x2, r);
+      } else {
+        existence_probes.push_back(TriProbe{row[0], r_id, row[2]});
+      }
+      decoded.push_back(ProbeRow{std::move(x2), std::move(y1), std::move(y2),
+                                 row[0], row[2]});
     }
     SOFYA_RETURN_IF_ERROR(PrefetchObjects(reference_kb_, reference_probes));
+    SOFYA_RETURN_IF_ERROR(PrefetchExistence(reference_kb_, existence_probes));
 
     struct Survivor {
       const ProbeRow* row;
@@ -293,9 +374,17 @@ Status UnbiasedSampler::ProbeReferenceSiblings(
     std::vector<std::pair<Term, Term>> candidate_probes;
     for (const ProbeRow& pr : decoded) {
       // Enforce ¬r(x, y2) in K.
-      SOFYA_ASSIGN_OR_RETURN(std::vector<Term> r_objects,
-                             ObjectsOf(reference_kb_, pr.x2, r));
-      if (ContainsTerm(r_objects, pr.y2)) continue;
+      bool has_y2 = false;
+      if (pr.y2.is_literal()) {
+        SOFYA_ASSIGN_OR_RETURN(std::vector<Term> r_objects,
+                               ObjectsOf(reference_kb_, pr.x2, r));
+        has_y2 = ContainsTerm(r_objects, pr.y2);
+      } else {
+        SOFYA_ASSIGN_OR_RETURN(
+            has_y2,
+            TripleExists(reference_kb_, TriProbe{pr.x2_id, r_id, pr.y2_id}));
+      }
+      if (has_y2) continue;
 
       auto x1 = to_candidate_->Translate(pr.x2);
       if (!x1.ok()) continue;

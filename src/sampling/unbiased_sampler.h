@@ -105,6 +105,21 @@ class UnbiasedSampler {
       Endpoint* endpoint,
       const std::vector<std::pair<Term, Term>>& subject_relation_pairs);
 
+  /// One dictionary-encoded existence probe 〈s, p, o〉.
+  struct TriProbe {
+    TermId s, p, o;
+  };
+
+  /// Warms the existence memo for a batch of exact-triple probes via one
+  /// Endpoint::AskMany round trip. An ASK ships zero rows, so for
+  /// IRI-object checks this replaces fetching a subject's whole (paged)
+  /// object list. Memoized/duplicate probes are skipped.
+  Status PrefetchExistence(Endpoint* endpoint,
+                           const std::vector<TriProbe>& probes);
+
+  /// Memoized 〈s, p, o〉 existence on `endpoint` (single ASK on miss).
+  StatusOr<bool> TripleExists(Endpoint* endpoint, TriProbe probe);
+
   /// Membership with literal tolerance.
   bool ContainsTerm(const std::vector<Term>& objects, const Term& value) const;
 
@@ -137,6 +152,19 @@ class UnbiasedSampler {
     size_t operator()(const CacheKey& key) const;
   };
   std::unordered_map<CacheKey, std::vector<Term>, CacheKeyHash> object_cache_;
+
+  struct AskKey {
+    const Endpoint* endpoint;
+    TermId s, p, o;
+    bool operator==(const AskKey& other) const {
+      return endpoint == other.endpoint && s == other.s && p == other.p &&
+             o == other.o;
+    }
+  };
+  struct AskKeyHash {
+    size_t operator()(const AskKey& key) const;
+  };
+  std::unordered_map<AskKey, bool, AskKeyHash> ask_cache_;
 };
 
 }  // namespace sofya

@@ -1,0 +1,98 @@
+// ThreadPool: a fixed-size worker pool with future-returning submission.
+//
+// Deliberately minimal — no work stealing, no priorities, no dynamic
+// resizing. SOFYA's parallelism is coarse (one task = one whole relation
+// alignment, thousands of endpoint queries each), so a single locked deque
+// is nowhere near contention; what matters is that exceptions propagate
+// through the returned futures and that destruction drains the queue before
+// joining, so no submitted task is ever silently dropped.
+
+#ifndef SOFYA_UTIL_THREAD_POOL_H_
+#define SOFYA_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace sofya {
+
+/// Fixed-N worker pool. Submit() hands back a std::future; a task that
+/// throws stores the exception in its future (the worker survives).
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (at least 1).
+  explicit ThreadPool(size_t num_threads) {
+    if (num_threads == 0) num_threads = 1;
+    workers_.reserve(num_threads);
+    for (size_t i = 0; i < num_threads; ++i) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  /// Drains every queued task, then joins the workers. Tasks submitted
+  /// before destruction always run.
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stopping_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread& worker : workers_) worker.join();
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `fn` and returns a future for its result. The future also
+  /// carries any exception `fn` throws. Must not be called during/after
+  /// destruction.
+  template <typename Fn>
+  auto Submit(Fn&& fn) -> std::future<std::invoke_result_t<Fn>> {
+    using Result = std::invoke_result_t<Fn>;
+    // packaged_task is move-only and std::function requires copyable
+    // callables; the shared_ptr wrapper is the standard bridge.
+    auto task = std::make_shared<std::packaged_task<Result()>>(
+        std::forward<Fn>(fn));
+    std::future<Result> future = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    wake_.notify_one();
+    return future;
+  }
+
+  size_t num_threads() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+        if (queue_.empty()) return;  // stopping_ and drained.
+        task = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      task();  // packaged_task captures exceptions into the future.
+    }
+  }
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable wake_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+};
+
+}  // namespace sofya
+
+#endif  // SOFYA_UTIL_THREAD_POOL_H_

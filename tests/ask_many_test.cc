@@ -1,0 +1,173 @@
+// Endpoint::AskMany — positional parity with one-by-one Ask over every
+// endpoint implementation, intra-batch dedup at the server, and decorator
+// forwarding semantics (cache answers hits, throttle meters per sub-query).
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "endpoint/caching_endpoint.h"
+#include "endpoint/local_endpoint.h"
+#include "endpoint/query_forms.h"
+#include "endpoint/retrying_endpoint.h"
+#include "endpoint/throttled_endpoint.h"
+#include "rdf/knowledge_base.h"
+
+namespace sofya {
+namespace {
+
+class AskManyTest : public ::testing::Test {
+ protected:
+  AskManyTest() : kb_("askkb", "http://a.org/") {
+    for (int i = 0; i < 6; ++i) {
+      kb_.AddFact("s" + std::to_string(i), "p", "o" + std::to_string(i));
+    }
+    kb_.AddFact("s0", "q", "o0");
+    p_ = kb_.dict().LookupIri("http://a.org/p");
+    q_ = kb_.dict().LookupIri("http://a.org/q");
+    absent_ = kb_.dict().InternIri("http://a.org/absent");
+  }
+
+  /// A probe batch with duplicates, modifier-variants, and a false case.
+  std::vector<SelectQuery> Batch() const {
+    SelectQuery limited = queries::FactsOfPredicate(p_);
+    limited.Limit(3).Distinct();
+    return {
+        queries::FactsOfPredicate(p_),        // true
+        queries::FactsOfPredicate(absent_),   // false
+        queries::FactsOfPredicate(p_),        // duplicate of [0]
+        limited,                              // [0] up to modifiers
+        queries::FactsOfPredicate(q_),        // true
+        queries::FactsOfPredicate(absent_),   // duplicate of [1]
+    };
+  }
+
+  void ExpectParity(Endpoint* batched, Endpoint* sequential) {
+    const std::vector<SelectQuery> batch = Batch();
+    auto many = batched->AskMany(batch);
+    ASSERT_TRUE(many.ok()) << many.status().ToString();
+    ASSERT_EQ(many->size(), batch.size());
+    for (size_t i = 0; i < batch.size(); ++i) {
+      auto one = sequential->Ask(batch[i]);
+      ASSERT_TRUE(one.ok()) << "query " << i;
+      EXPECT_EQ((*many)[i], *one) << "query " << i;
+    }
+  }
+
+  KnowledgeBase kb_;
+  TermId p_ = kNullTermId;
+  TermId q_ = kNullTermId;
+  TermId absent_ = kNullTermId;
+};
+
+TEST_F(AskManyTest, LocalEndpointParityAndDedup) {
+  LocalEndpoint batched(&kb_);
+  LocalEndpoint sequential(&kb_);
+  ExpectParity(&batched, &sequential);
+  // 6 probes, but only 3 distinct up to solution modifiers: the duplicate
+  // p-probe, the modifier-variant, and the duplicate absent-probe are all
+  // answered from the first evaluation.
+  EXPECT_EQ(batched.stats().queries, 3u);
+  EXPECT_EQ(sequential.stats().queries, 6u);
+  // ASK ships no rows either way.
+  EXPECT_EQ(batched.stats().rows_returned, 0u);
+}
+
+TEST_F(AskManyTest, DefaultImplementationLoopsAsk) {
+  // The base-class fallback (used by Throttled/Retrying) answers each probe
+  // through the endpoint's own Ask: parity, but no dedup.
+  LocalEndpoint inner(&kb_);
+  ThrottleOptions throttle;
+  throttle.jitter_ms = 0.0;
+  ThrottledEndpoint ep(&inner, throttle);
+  LocalEndpoint sequential(&kb_);
+  ExpectParity(&ep, &sequential);
+  // The throttle meters requests, not batches: all 6 sub-queries charged.
+  EXPECT_EQ(ep.stats().queries, 6u);
+  EXPECT_EQ(ep.queries_issued(), 6u);
+}
+
+TEST_F(AskManyTest, ThrottledBudgetDeniesMidBatch) {
+  LocalEndpoint inner(&kb_);
+  ThrottleOptions throttle;
+  throttle.query_budget = 2;
+  throttle.jitter_ms = 0.0;
+  ThrottledEndpoint ep(&inner, throttle);
+  auto result = ep.AskMany(Batch());
+  EXPECT_TRUE(result.status().IsResourceExhausted());
+}
+
+TEST_F(AskManyTest, CachingEndpointAnswersHitsForwardsMisses) {
+  LocalEndpoint inner(&kb_);
+  CachingEndpoint ep(&inner);
+
+  // Warm one probe; the batch then hits it (and its modifier variant and
+  // duplicate) without reaching the server.
+  ASSERT_TRUE(ep.Ask(queries::FactsOfPredicate(p_)).ok());
+  EXPECT_EQ(inner.stats().queries, 1u);
+
+  auto many = ep.AskMany(Batch());
+  ASSERT_TRUE(many.ok());
+  EXPECT_TRUE((*many)[0]);
+  EXPECT_FALSE((*many)[1]);
+  EXPECT_TRUE((*many)[2]);
+  EXPECT_TRUE((*many)[3]);
+  EXPECT_TRUE((*many)[4]);
+  EXPECT_FALSE((*many)[5]);
+  // Hits: probes 0, 2, 3 (same normalized key as the warmed one). Misses:
+  // the warm-up plus probes 1, 4, 5 — of which 5 dedups against 1 inside
+  // the forwarded batch, so the server saw only 2 new evaluations.
+  EXPECT_EQ(ep.hits(), 3u);
+  EXPECT_EQ(ep.misses(), 4u);
+  EXPECT_EQ(inner.stats().queries, 3u);
+
+  // The whole batch again: pure hits, zero server traffic.
+  auto again = ep.AskMany(Batch());
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*again, *many);
+  EXPECT_EQ(ep.hits(), 9u);
+  EXPECT_EQ(inner.stats().queries, 3u);
+}
+
+TEST_F(AskManyTest, CachingWithAsksDisabledForwardsWholeBatch) {
+  LocalEndpoint inner(&kb_);
+  CacheOptions options;
+  options.cache_asks = false;
+  CachingEndpoint ep(&inner, options);
+  LocalEndpoint sequential(&kb_);
+  ExpectParity(&ep, &sequential);
+  EXPECT_EQ(ep.hits(), 0u);
+  // Forwarded untouched to LocalEndpoint::AskMany, which still dedups.
+  EXPECT_EQ(inner.stats().queries, 3u);
+}
+
+TEST_F(AskManyTest, RetryingAskManyAbsorbsTransientFailures) {
+  LocalEndpoint inner(&kb_);
+  ThrottleOptions throttle;
+  throttle.failure_rate = 0.4;
+  throttle.jitter_ms = 0.0;
+  throttle.seed = 17;
+  ThrottledEndpoint flaky(&inner, throttle);
+  RetryOptions retry;
+  retry.max_retries = 25;
+  RetryingEndpoint ep(&flaky, retry);
+  LocalEndpoint sequential(&kb_);
+  // Per-sub-query retry budgets: one flaky probe cannot sink the batch.
+  ExpectParity(&ep, &sequential);
+  // Hammer the batch until the failure injector has provably fired.
+  for (int i = 0; i < 10 && ep.retries_performed() == 0; ++i) {
+    ASSERT_TRUE(ep.AskMany(Batch()).ok());
+  }
+  EXPECT_GT(ep.retries_performed(), 0u);
+}
+
+TEST_F(AskManyTest, EmptyBatchIsANoOp) {
+  LocalEndpoint ep(&kb_);
+  auto result = ep.AskMany({});
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->empty());
+  EXPECT_EQ(ep.stats().queries, 0u);
+}
+
+}  // namespace
+}  // namespace sofya

@@ -3,10 +3,14 @@
 //   sofya generate --preset movies --out DIR [--seed N] [--scale S]
 //       Write a benchmark world as kb1.nt / kb2.nt / links.nt / truth.tsv.
 //
-//   sofya align --kb1 F --kb2 F --links F --relation IRI
-//               [--tau T] [--measure pca|cwa] [--no-ubs] [--sample N]
+//   sofya align --kb1 F --kb2 F --links F --relation IRI[,IRI...]
+//               [--threads N] [--tau T] [--measure pca|cwa] [--no-ubs]
+//               [--sample N]
 //       Load two N-Triples datasets + an owl:sameAs link file and align the
-//       given reference relation (IRI lives in --kb2) on the fly.
+//       given reference relation(s) (IRIs live in --kb2) on the fly.
+//       --relation all aligns every kb2 relation; --threads N fans the
+//       relations out across N workers (verdicts are identical to
+//       sequential for any N).
 //
 //   sofya query --kb F --sparql 'SELECT ...'
 //       Run a SPARQL SELECT (the supported subset) against a dataset.
@@ -16,8 +20,10 @@
 #include <fstream>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "core/sofya.h"
+#include "util/timer.h"
 
 namespace sofya {
 namespace {
@@ -28,8 +34,8 @@ int Usage() {
                "  sofya generate --preset tiny|movies|music|yago-dbpedia "
                "--out DIR [--seed N] [--scale S] [--inverses]\n"
                "  sofya align --kb1 FILE --kb2 FILE --links FILE "
-               "--relation IRI [--tau T] [--measure pca|cwa] [--no-ubs] "
-               "[--sample N]\n"
+               "--relation IRI[,IRI...]|all [--threads N] [--tau T] "
+               "[--measure pca|cwa] [--no-ubs] [--sample N]\n"
                "  sofya query --kb FILE --sparql 'SELECT ...'\n");
   return 2;
 }
@@ -233,28 +239,54 @@ int Align(const std::map<std::string, std::string>& flags) {
   }
 
   Sofya sofya(&kb1_named, &kb2_named, &links, options);
-  auto result = sofya.Align(flags.at("relation"));
-  if (!result.ok()) {
+
+  // --relation: one IRI, a comma-separated list, or "all" (every predicate
+  // of the reference KB).
+  std::vector<std::string> relations;
+  const std::string& relation_flag = flags.at("relation");
+  if (relation_flag == "all") {
+    relations = sofya.ReferenceRelations();
+  } else {
+    for (std::string& iri : Split(relation_flag, ',')) {
+      if (!iri.empty()) relations.push_back(std::move(iri));
+    }
+  }
+  if (relations.empty()) {
+    std::fprintf(stderr, "no relations to align\n");
+    return 2;
+  }
+  const size_t threads =
+      flags.count("threads") ? std::stoul(flags.at("threads")) : 1;
+
+  WallTimer timer;
+  auto results = sofya.AlignAll(relations, threads);
+  if (!results.ok()) {
     std::fprintf(stderr, "alignment failed: %s\n",
-                 result.status().ToString().c_str());
+                 results.status().ToString().c_str());
     return 1;
   }
-  std::printf("alignment of <%s>:\n", flags.at("relation").c_str());
-  if ((*result)->verdicts.empty()) {
-    std::printf("  (no candidate relations discovered)\n");
-  }
-  for (const auto& v : (*result)->verdicts) {
-    std::printf("  %-60s pca=%.2f cwa=%.2f supp=%zu %s%s%s\n",
-                v.relation.lexical().c_str(), v.rule.pca_conf,
-                v.rule.cwa_conf, v.rule.support,
-                v.accepted ? "[SUBSUMED]" : "[rejected]",
-                v.ubs_subsumption_pruned ? " (UBS pruned)" : "",
-                v.equivalence ? " [EQUIVALENT]" : "");
+  for (size_t i = 0; i < relations.size(); ++i) {
+    const AlignmentResult* result = (*results)[i];
+    std::printf("alignment of <%s>:\n", relations[i].c_str());
+    if (result->verdicts.empty()) {
+      std::printf("  (no candidate relations discovered)\n");
+    }
+    for (const auto& v : result->verdicts) {
+      std::printf("  %-60s pca=%.2f cwa=%.2f supp=%zu %s%s%s\n",
+                  v.relation.lexical().c_str(), v.rule.pca_conf,
+                  v.rule.cwa_conf, v.rule.support,
+                  v.accepted ? "[SUBSUMED]" : "[rejected]",
+                  v.ubs_subsumption_pruned ? " (UBS pruned)" : "",
+                  v.equivalence ? " [EQUIVALENT]" : "");
+    }
   }
   const EndpointStats cost = sofya.TotalCost();
-  std::printf("cost: %llu queries, %llu rows\n",
-              static_cast<unsigned long long>(cost.queries),
-              static_cast<unsigned long long>(cost.rows_returned));
+  std::printf(
+      "cost: %llu queries, %llu rows, %zu relations, %zu threads, "
+      "%.0f ms wall\n",
+      static_cast<unsigned long long>(cost.queries),
+      static_cast<unsigned long long>(cost.rows_returned), relations.size(),
+      threads, timer.ElapsedMillis());
   return 0;
 }
 
