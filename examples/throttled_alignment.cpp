@@ -30,6 +30,9 @@ int main() {
     options.candidate_throttle.failure_rate = 0.02;  // Occasional 503s.
     options.reference_throttle = options.candidate_throttle;
     options.reference_throttle.seed = 43;
+    // Injected faults, modeled (not slept) latency: keep retries instant
+    // too, so the simulation stays wall-clock-free.
+    options.retry.initial_backoff_ms = 0.0;
 
     sofya::Sofya sofya(world.kb1.get(), world.kb2.get(), &world.links,
                        options);

@@ -2,24 +2,48 @@
 
 #include <algorithm>
 
+#include "endpoint/paged_select.h"
+
 namespace sofya {
 
 Sofya::Sofya(KnowledgeBase* candidate_kb, KnowledgeBase* reference_kb,
-             const SameAsIndex* links, SofyaOptions options)
-    : candidate_local_(candidate_kb), reference_local_(reference_kb) {
-  candidate_ = &candidate_local_;
-  reference_ = &reference_local_;
+             const SameAsIndex* links, SofyaOptions options) {
+  candidate_local_ = std::make_unique<LocalEndpoint>(candidate_kb);
+  reference_local_ = std::make_unique<LocalEndpoint>(reference_kb);
+  BuildStack(candidate_local_.get(), reference_local_.get(),
+             /*always_retry=*/false, links, options);
+}
+
+Sofya::Sofya(std::unique_ptr<Endpoint> candidate_base,
+             std::unique_ptr<Endpoint> reference_base,
+             const SameAsIndex* links, SofyaOptions options) {
+  candidate_base_owned_ = std::move(candidate_base);
+  reference_base_owned_ = std::move(reference_base);
+  // Real networks fail: the retry layer is unconditional for remote bases.
+  BuildStack(candidate_base_owned_.get(), reference_base_owned_.get(),
+             /*always_retry=*/true, links, options);
+}
+
+void Sofya::BuildStack(Endpoint* candidate_base, Endpoint* reference_base,
+                       bool always_retry, const SameAsIndex* links,
+                       const SofyaOptions& options) {
+  candidate_ = candidate_base;
+  reference_ = reference_base;
   if (options.throttle) {
     candidate_throttled_ = std::make_unique<ThrottledEndpoint>(
-        &candidate_local_, options.candidate_throttle);
+        candidate_, options.candidate_throttle);
     reference_throttled_ = std::make_unique<ThrottledEndpoint>(
-        &reference_local_, options.reference_throttle);
+        reference_, options.reference_throttle);
+    candidate_ = candidate_throttled_.get();
+    reference_ = reference_throttled_.get();
+  }
+  if (options.throttle || always_retry) {
     // Retry sits on the client side of the throttle: each retry consumes
     // budget, exactly as a real re-issued request would.
-    candidate_retrying_ = std::make_unique<RetryingEndpoint>(
-        candidate_throttled_.get(), options.retry);
-    reference_retrying_ = std::make_unique<RetryingEndpoint>(
-        reference_throttled_.get(), options.retry);
+    candidate_retrying_ =
+        std::make_unique<RetryingEndpoint>(candidate_, options.retry);
+    reference_retrying_ =
+        std::make_unique<RetryingEndpoint>(reference_, options.retry);
     candidate_ = candidate_retrying_.get();
     reference_ = reference_retrying_.get();
   }
@@ -52,14 +76,37 @@ StatusOr<std::vector<const AlignmentResult*>> Sofya::AlignAll(
   return on_the_fly_->AlignManyCached(relations, num_threads);
 }
 
-std::vector<std::string> Sofya::ReferenceRelations() const {
+StatusOr<std::vector<std::string>> Sofya::ReferenceRelations() {
   std::vector<std::string> iris;
-  const KnowledgeBase* kb = reference_local_.kb();
-  for (TermId p : kb->Relations()) {
-    const Term& term = kb->dict().Decode(p);
-    if (term.is_iri()) iris.push_back(term.lexical());
+  if (reference_local_ != nullptr) {
+    // Local KB: enumerate the dictionary, query-free.
+    const KnowledgeBase* kb = reference_local_->kb();
+    for (TermId p : kb->Relations()) {
+      const Term& term = kb->dict().Decode(p);
+      if (term.is_iri()) iris.push_back(term.lexical());
+    }
+  } else {
+    // Remote base: a schema-discovery query through the working stack,
+    // paged so a server-side row cap (DBpedia-style) cannot silently
+    // truncate the relation list.
+    SelectQuery query;
+    const VarId s = query.NewVar("s");
+    const VarId p = query.NewVar("p");
+    const VarId o = query.NewVar("o");
+    query.Where(NodeRef::Variable(s), NodeRef::Variable(p),
+                NodeRef::Variable(o));
+    query.Select({p}).Distinct();
+    SOFYA_ASSIGN_OR_RETURN(ResultSet rows,
+                           PagedSelect(reference_, query));
+    iris.reserve(rows.rows.size());
+    for (const auto& row : rows.rows) {
+      if (row.empty() || row[0] == kNullTermId) continue;
+      SOFYA_ASSIGN_OR_RETURN(Term term, reference_->DecodeTerm(row[0]));
+      if (term.is_iri()) iris.push_back(term.lexical());
+    }
   }
   std::sort(iris.begin(), iris.end());
+  iris.erase(std::unique(iris.begin(), iris.end()), iris.end());
   return iris;
 }
 

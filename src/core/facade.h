@@ -1,8 +1,10 @@
 // Sofya: the one-object entry point used by examples and downstream code.
 //
-// Owns the endpoint plumbing (LocalEndpoint per KB, optional throttling
-// decorators) and an OnTheFlyAligner, so callers go from "two KBs and a
-// link set" to "aligned relations / rewritten queries" in two lines.
+// Owns the endpoint plumbing (LocalEndpoint per KB — or any injected base
+// endpoint, e.g. HttpSparqlEndpoint for a live SPARQL service — plus
+// optional throttling/retry/caching decorators) and an OnTheFlyAligner, so
+// callers go from "two KBs and a link set" to "aligned relations /
+// rewritten queries" in two lines.
 
 #ifndef SOFYA_CORE_FACADE_H_
 #define SOFYA_CORE_FACADE_H_
@@ -27,12 +29,16 @@ struct SofyaOptions {
   AlignerOptions aligner;
 
   /// When true, both endpoints are wrapped in ThrottledEndpoint with the
-  /// options below — the realistic remote-access regime.
+  /// options below — the realistic remote-access regime (for real remote
+  /// bases the throttle acts as a client-side budget/row-cap guard).
   bool throttle = false;
   ThrottleOptions candidate_throttle;
   ThrottleOptions reference_throttle;
 
-  /// Client-side retry of transient (Unavailable) failures.
+  /// Client-side retry of transient (Unavailable) failures with
+  /// exponential backoff + jitter. The retry layer is stacked when
+  /// `throttle` is on (simulated 503s) and always for remote base
+  /// endpoints (real 503s).
   RetryOptions retry;
 
   /// Client-side LRU result cache, outermost in the stack: repeated
@@ -51,6 +57,15 @@ class Sofya {
   Sofya(KnowledgeBase* candidate_kb, KnowledgeBase* reference_kb,
         const SameAsIndex* links, SofyaOptions options = {});
 
+  /// Remote-base constructor: the facade takes ownership of two base
+  /// endpoints (e.g. HttpSparqlEndpoint::Create(...) results, or a mix of
+  /// remote and LocalEndpoint) and stacks throttling/retry/caching above
+  /// them exactly as it does for local KBs. The retry layer is always
+  /// present here — real networks fail.
+  Sofya(std::unique_ptr<Endpoint> candidate_base,
+        std::unique_ptr<Endpoint> reference_base, const SameAsIndex* links,
+        SofyaOptions options = {});
+
   /// Aligns the reference relation with the given IRI (cached).
   StatusOr<const AlignmentResult*> Align(const std::string& relation_iri);
 
@@ -63,7 +78,10 @@ class Sofya {
 
   /// Every relation IRI appearing as a predicate in the reference KB, in
   /// sorted order — the natural AlignAll input for whole-schema runs.
-  std::vector<std::string> ReferenceRelations() const;
+  /// For a local KB this enumerates the dictionary query-free; for a
+  /// remote base it costs one SELECT DISTINCT ?p query on the reference
+  /// endpoint.
+  StatusOr<std::vector<std::string>> ReferenceRelations();
 
   /// Best aligned candidate relation for the given reference relation.
   StatusOr<Term> BestCandidateFor(const std::string& relation_iri);
@@ -92,16 +110,23 @@ class Sofya {
   OnTheFlyAligner& on_the_fly() { return *on_the_fly_; }
 
  private:
-  LocalEndpoint candidate_local_;
-  LocalEndpoint reference_local_;
+  /// Stacks throttle/retry/cache over the two bases and builds the aligner.
+  void BuildStack(Endpoint* candidate_base, Endpoint* reference_base,
+                  bool always_retry, const SameAsIndex* links,
+                  const SofyaOptions& options);
+
+  std::unique_ptr<LocalEndpoint> candidate_local_;  // KB ctor only.
+  std::unique_ptr<LocalEndpoint> reference_local_;
+  std::unique_ptr<Endpoint> candidate_base_owned_;  // Remote ctor only.
+  std::unique_ptr<Endpoint> reference_base_owned_;
   std::unique_ptr<ThrottledEndpoint> candidate_throttled_;
   std::unique_ptr<ThrottledEndpoint> reference_throttled_;
   std::unique_ptr<RetryingEndpoint> candidate_retrying_;
   std::unique_ptr<RetryingEndpoint> reference_retrying_;
   std::unique_ptr<CachingEndpoint> candidate_caching_;
   std::unique_ptr<CachingEndpoint> reference_caching_;
-  Endpoint* candidate_;  // Outermost decorator.
-  Endpoint* reference_;
+  Endpoint* candidate_ = nullptr;  // Outermost decorator.
+  Endpoint* reference_ = nullptr;
   std::unique_ptr<OnTheFlyAligner> on_the_fly_;
 };
 

@@ -20,9 +20,11 @@
 #include "core/facade.h"
 #include "endpoint/caching_endpoint.h"
 #include "endpoint/endpoint.h"
+#include "endpoint/http_sparql_endpoint.h"
 #include "endpoint/local_endpoint.h"
 #include "endpoint/paged_select.h"
 #include "endpoint/query_forms.h"
+#include "endpoint/retry_policy.h"
 #include "endpoint/retrying_endpoint.h"
 #include "endpoint/select_text.h"
 #include "endpoint/throttled_endpoint.h"
@@ -47,9 +49,15 @@
 #include "sampling/unbiased_sampler.h"
 #include "similarity/literal_matcher.h"
 #include "similarity/string_metrics.h"
+#include "net/http.h"
+#include "net/http_client.h"
+#include "net/http_transport.h"
+#include "net/loopback_transport.h"
+#include "net/socket_transport.h"
 #include "sparql/engine.h"
 #include "sparql/parser.h"
 #include "sparql/query.h"
+#include "sparql/results_json.h"
 #include "synth/ground_truth.h"
 #include "synth/presets.h"
 #include "synth/spec.h"

@@ -1,0 +1,200 @@
+#include "endpoint/http_sparql_endpoint.h"
+
+#include <future>
+#include <utility>
+
+#include "net/socket_transport.h"
+#include "sparql/results_json.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace sofya {
+
+StatusOr<std::unique_ptr<HttpSparqlEndpoint>> HttpSparqlEndpoint::Create(
+    const std::string& url, HttpSparqlEndpointOptions options) {
+  SOFYA_ASSIGN_OR_RETURN(ParsedUrl parsed, ParseUrl(url));
+  SocketTransportOptions socket_options;
+  socket_options.connect_timeout_ms = options.connect_timeout_ms;
+  socket_options.io_timeout_ms = options.io_timeout_ms;
+  auto transport = std::make_unique<SocketTransport>(socket_options);
+  auto endpoint = std::make_unique<HttpSparqlEndpoint>(
+      std::move(parsed), transport.get(), std::move(options));
+  endpoint->owned_transport_ = std::move(transport);
+  return endpoint;
+}
+
+HttpSparqlEndpoint::HttpSparqlEndpoint(ParsedUrl url,
+                                       HttpTransport* transport,
+                                       HttpSparqlEndpointOptions options)
+    : options_(std::move(options)),
+      client_(transport, std::move(url),
+              HttpClientOptions{options_.max_connections,
+                                options_.max_response_bytes}) {}
+
+Status HttpSparqlEndpoint::MapHttpStatus(int code,
+                                         const std::string& reason) {
+  const std::string detail =
+      StrFormat("http %d %s", code, reason.c_str());
+  if (code == 200) return Status::OK();
+  switch (code) {
+    case 400: return Status::InvalidArgument("endpoint rejected query: " + detail);
+    case 404: return Status::NotFound("no such endpoint: " + detail);
+    case 401:
+    case 403: return Status::InvalidArgument("endpoint denied access: " + detail);
+    // The transient family: overload, rate limiting, gateway trouble,
+    // timeouts. Mapping them to Unavailable is what lets RetryingEndpoint /
+    // PagedSelect back off and re-issue.
+    case 408:
+    case 429:
+    case 502:
+    case 503:
+    case 504: return Status::Unavailable("endpoint unavailable: " + detail);
+    case 501: return Status::Unimplemented("endpoint feature missing: " + detail);
+  }
+  if (code >= 300 && code < 400) {
+    return Status::InvalidArgument(
+        "redirects are not followed; point at the final endpoint URL: " +
+        detail);
+  }
+  if (code >= 500) return Status::Internal("endpoint error: " + detail);
+  return Status::InvalidArgument("endpoint rejected request: " + detail);
+}
+
+StatusOr<std::string> HttpSparqlEndpoint::Fetch(
+    const std::string& sparql_text) {
+  HttpRequest request;
+  request.method = "POST";
+  request.headers = {
+      {"Accept", "application/sparql-results+json"},
+      {"Content-Type", "application/sparql-query"},
+      {"User-Agent", options_.user_agent},
+  };
+  request.body = sparql_text;
+
+  WallTimer timer;
+  auto response = client_.RoundTrip(request);
+  const double elapsed_ms = timer.ElapsedMillis();
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.queries;
+    // Measured (not modeled) wall time for the exchange; the field keeps
+    // its name so cost reports aggregate local and remote stacks alike.
+    stats_.simulated_latency_ms += elapsed_ms;
+    if (response.ok()) {
+      stats_.bytes_estimated += response->body.size();
+    } else {
+      ++stats_.failures_injected;  // Transport-level failure.
+    }
+  }
+  if (!response.ok()) {
+    // Timeouts (DeadlineExceeded) and connection failures are transient
+    // from the client's perspective: surface everything as Unavailable so
+    // the retry machinery engages.
+    if (response.status().IsDeadlineExceeded() ||
+        response.status().IsUnavailable()) {
+      return Status::Unavailable(response.status().message())
+          .WithContext("sparql http");
+    }
+    return response.status().WithContext("sparql http");
+  }
+  const Status mapped =
+      MapHttpStatus(response->status_code, response->reason);
+  if (!mapped.ok()) {
+    if (mapped.IsUnavailable()) {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.failures_injected;
+    }
+    return mapped;
+  }
+  return std::move(response->body);
+}
+
+StatusOr<ResultSet> HttpSparqlEndpoint::Select(const SelectQuery& query) {
+  SOFYA_RETURN_IF_ERROR(query.Validate());
+  SOFYA_ASSIGN_OR_RETURN(std::string body, Fetch(query.ToSparql(dict_)));
+  auto results = ParseSparqlResultsJson(
+      body, [this](const Term& term) { return dict_.Intern(term); });
+  if (!results.ok()) {
+    return results.status().WithContext("endpoint " + options_.name);
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.rows_returned += results->rows.size();
+  }
+  return results;
+}
+
+StatusOr<bool> HttpSparqlEndpoint::Ask(const SelectQuery& query) {
+  SOFYA_RETURN_IF_ERROR(query.Validate());
+  SOFYA_ASSIGN_OR_RETURN(std::string body, Fetch(query.ToSparqlAsk(dict_)));
+  auto result = ParseSparqlAskJson(body);
+  if (!result.ok()) {
+    return result.status().WithContext("endpoint " + options_.name);
+  }
+  return result;
+}
+
+ThreadPool& HttpSparqlEndpoint::pool() {
+  std::call_once(pool_once_, [this] {
+    pool_ = std::make_unique<ThreadPool>(options_.max_connections);
+  });
+  return *pool_;
+}
+
+StatusOr<std::vector<ResultSet>> HttpSparqlEndpoint::SelectMany(
+    std::span<const SelectQuery> queries) {
+  if (queries.size() <= 1 || options_.max_connections <= 1) {
+    return Endpoint::SelectMany(queries);  // Sequential default.
+  }
+  // Fan the batch out over the pool; the HttpClient's bounded connection
+  // pool turns the fan-out into HTTP-level pipelining over at most
+  // max_connections sockets.
+  std::vector<std::future<StatusOr<ResultSet>>> futures;
+  futures.reserve(queries.size());
+  for (const SelectQuery& query : queries) {
+    futures.push_back(
+        pool().Submit([this, &query] { return Select(query); }));
+  }
+  std::vector<ResultSet> results;
+  results.reserve(queries.size());
+  Status first_error = Status::OK();
+  for (auto& future : futures) {
+    auto result = future.get();
+    if (!result.ok()) {
+      if (first_error.ok()) first_error = result.status();
+      results.emplace_back();
+      continue;
+    }
+    results.push_back(std::move(*result));
+  }
+  if (!first_error.ok()) return first_error;
+  return results;
+}
+
+StatusOr<std::vector<bool>> HttpSparqlEndpoint::AskMany(
+    std::span<const SelectQuery> queries) {
+  if (queries.size() <= 1 || options_.max_connections <= 1) {
+    return Endpoint::AskMany(queries);
+  }
+  std::vector<std::future<StatusOr<bool>>> futures;
+  futures.reserve(queries.size());
+  for (const SelectQuery& query : queries) {
+    futures.push_back(pool().Submit([this, &query] { return Ask(query); }));
+  }
+  std::vector<bool> results;
+  results.reserve(queries.size());
+  Status first_error = Status::OK();
+  for (auto& future : futures) {
+    auto result = future.get();
+    if (!result.ok()) {
+      if (first_error.ok()) first_error = result.status();
+      results.push_back(false);
+      continue;
+    }
+    results.push_back(*result);
+  }
+  if (!first_error.ok()) return first_error;
+  return results;
+}
+
+}  // namespace sofya

@@ -19,32 +19,34 @@ StatusOr<ResultSet> PagedSelect(Endpoint* endpoint, const SelectQuery& query,
   bool first_page = true;
 
   while (true) {
+    // Clamped: a server that over-delivered must not wrap this subtraction
+    // into a huge "remaining" and send the loop running away.
+    if (total_cap != kNoLimit && merged.rows.size() >= total_cap) break;
     const uint64_t remaining =
         total_cap == kNoLimit ? kNoLimit : total_cap - merged.rows.size();
-    if (remaining == 0) break;
     const uint64_t page_limit = std::min<uint64_t>(options.page_size, remaining);
 
     SelectQuery page = query;
     page.Offset(offset).Limit(page_limit);
 
-    StatusOr<ResultSet> result = Status::Internal("unreached");
-    int attempts = 0;
-    while (true) {
-      result = endpoint->Select(page);
-      if (result.ok()) break;
-      if (!result.status().IsUnavailable() ||
-          attempts >= options.max_retries_per_page) {
-        return result.status().WithContext("paged select");
-      }
-      ++attempts;  // Retry transient failures.
-    }
+    auto result = RetryTransient([&] { return endpoint->Select(page); },
+                                 options.retry);
+    if (!result.ok()) return result.status().WithContext("paged select");
 
     if (first_page) {
       merged.var_names = result->var_names;
       first_page = false;
     }
-    for (auto& row : result->rows) merged.rows.push_back(std::move(row));
-
+    // Never accept more rows than the page asked for: a misbehaving server
+    // that ignores LIMIT would otherwise blow through max_rows, and its
+    // OFFSET handling cannot be trusted either — truncate and stop.
+    const bool over_long = result->rows.size() > page_limit;
+    const size_t take =
+        std::min<uint64_t>(result->rows.size(), page_limit);
+    for (size_t i = 0; i < take; ++i) {
+      merged.rows.push_back(std::move(result->rows[i]));
+    }
+    if (over_long) break;
     if (result->rows.size() < page_limit) break;  // Short page: exhausted.
     offset += page_limit;
   }
@@ -78,6 +80,12 @@ StatusOr<std::vector<ResultSet>> BatchedPagedSelect(
   // Page out the stragglers whose first page filled completely.
   for (size_t i = 0; i < queries.size(); ++i) {
     const uint64_t page_limit = std::min<uint64_t>(options.page_size, caps[i]);
+    if (results[i].rows.size() > page_limit) {
+      // Over-long first page (server ignored LIMIT): truncate and stop —
+      // same policy as PagedSelect.
+      results[i].rows.resize(page_limit);
+      continue;
+    }
     const bool maybe_more =
         page_limit > 0 && results[i].rows.size() == page_limit &&
         (caps[i] == kNoLimit || caps[i] > page_limit);
@@ -87,7 +95,9 @@ StatusOr<std::vector<ResultSet>> BatchedPagedSelect(
     rest.Limit(caps[i] == kNoLimit ? kNoLimit : caps[i] - page_limit);
     PagedSelectOptions rest_options = options;
     if (options.max_rows != kNoLimit) {
-      rest_options.max_rows = options.max_rows - results[i].rows.size();
+      rest_options.max_rows = options.max_rows > results[i].rows.size()
+                                  ? options.max_rows - results[i].rows.size()
+                                  : 0;
     }
     SOFYA_ASSIGN_OR_RETURN(ResultSet more,
                            PagedSelect(endpoint, rest, rest_options));

@@ -3,6 +3,16 @@
 // Public endpoints cap result sizes; fetching a large result means paging.
 // PagedSelect centralizes that loop (and its failure/retry policy) so
 // samplers never hand-roll it.
+//
+// Caveat for *remote* endpoints: SPARQL gives OFFSET no meaning without
+// ORDER BY, and the supported query subset has no ORDER BY yet, so page
+// boundaries rely on the server enumerating an unordered query in a stable
+// total order across requests. The in-process engine guarantees this;
+// well-known stores (Virtuoso et al.) are stable in practice for an
+// unchanged dataset, but it is not contractual — rows can in principle be
+// missed or duplicated across pages. ORDER BY support is the tracked fix
+// (see ROADMAP); until then keep page_size large enough that hot queries
+// fit in one page.
 
 #ifndef SOFYA_ENDPOINT_PAGED_SELECT_H_
 #define SOFYA_ENDPOINT_PAGED_SELECT_H_
@@ -10,6 +20,7 @@
 #include <cstdint>
 
 #include "endpoint/endpoint.h"
+#include "endpoint/retry_policy.h"
 #include "sparql/query.h"
 #include "util/status.h"
 
@@ -19,13 +30,26 @@ namespace sofya {
 struct PagedSelectOptions {
   uint64_t page_size = 1000;  ///< LIMIT per request.
   uint64_t max_rows = kNoLimit;  ///< Stop after this many rows total.
-  int max_retries_per_page = 2;  ///< Retries on Unavailable.
+  /// Per-page transient-failure policy — the same backoff machinery as
+  /// RetryingEndpoint (retry_policy.h), so paging cannot hammer a server
+  /// that an outer retry layer would have backed off from.
+  RetryOptions retry = DefaultPageRetry();
+
+  /// Paging sits above an often-retrying stack already, so its own budget
+  /// defaults smaller than RetryOptions' general default.
+  static RetryOptions DefaultPageRetry() {
+    RetryOptions retry;
+    retry.max_retries = 2;
+    return retry;
+  }
 };
 
 /// Runs `query` page by page, concatenating rows until a short page, the
 /// `max_rows` bound, or an error. The query's own LIMIT/OFFSET are composed
 /// with paging (its OFFSET is the starting point; its LIMIT bounds the
-/// total).
+/// total). A misbehaving server that returns more rows than a page's LIMIT
+/// cannot overrun the caps: the over-long page is truncated and paging
+/// stops (OFFSET arithmetic against such a server is meaningless).
 StatusOr<ResultSet> PagedSelect(Endpoint* endpoint, const SelectQuery& query,
                                 const PagedSelectOptions& options = {});
 

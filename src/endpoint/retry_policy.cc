@@ -1,0 +1,44 @@
+#include "endpoint/retry_policy.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <random>
+#include <thread>
+
+namespace sofya {
+
+double RetryBackoffMs(const RetryOptions& options, int attempt, Rng& rng) {
+  if (options.initial_backoff_ms <= 0.0 || attempt <= 0) return 0.0;
+  const double multiplier = std::max(1.0, options.backoff_multiplier);
+  double delay =
+      options.initial_backoff_ms * std::pow(multiplier, attempt - 1);
+  delay = std::min(delay, std::max(options.max_backoff_ms,
+                                   options.initial_backoff_ms));
+  const double jitter = std::clamp(options.jitter, 0.0, 1.0);
+  if (jitter > 0.0) {
+    // Uniform in [1 - jitter, 1 + jitter).
+    delay *= 1.0 - jitter + 2.0 * jitter * rng.NextDouble();
+  }
+  return delay;
+}
+
+void RetrySleep(const RetryOptions& options, double delay_ms) {
+  if (delay_ms <= 0.0) return;
+  if (options.sleeper) {
+    options.sleeper(delay_ms);
+    return;
+  }
+  std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(delay_ms));
+}
+
+uint64_t RetrySeed(const RetryOptions& options) {
+  if (options.seed != 0) return options.seed;
+  // Nondeterministic: decorrelates concurrent clients' jitter streams.
+  // thread_local: std::random_device gives no thread-safety guarantee for
+  // same-object access, and retry loops run on pool threads concurrently.
+  thread_local std::random_device device;
+  return (static_cast<uint64_t>(device()) << 32) ^ device();
+}
+
+}  // namespace sofya

@@ -1,0 +1,80 @@
+// Shared transient-failure retry policy: exponential backoff with jitter.
+//
+// Every client-side retry loop in SOFYA (RetryingEndpoint, PagedSelect)
+// drives its re-issues through RetryTransient so retry semantics cannot
+// drift between layers: only Unavailable is retried, every re-issue waits an
+// exponentially growing, jittered delay first. A zero-delay retry loop turns
+// one struggling server into a hammered one — the pause is the point.
+
+#ifndef SOFYA_ENDPOINT_RETRY_POLICY_H_
+#define SOFYA_ENDPOINT_RETRY_POLICY_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "util/random.h"
+#include "util/status.h"
+
+namespace sofya {
+
+/// Retry policy.
+struct RetryOptions {
+  int max_retries = 3;  ///< Additional attempts after the first failure.
+
+  /// Delay before the first re-issue; each further re-issue multiplies it by
+  /// `backoff_multiplier`, capped at `max_backoff_ms`. Set to 0 to disable
+  /// waiting (tests that hammer a deterministic fault injector).
+  double initial_backoff_ms = 100.0;
+  double backoff_multiplier = 2.0;
+  double max_backoff_ms = 5000.0;
+
+  /// Uniform jitter as a fraction of the computed delay: the actual wait is
+  /// delay * (1 ± jitter). Decorrelates clients that failed together so
+  /// they do not re-converge on the server in one synchronized burst.
+  double jitter = 0.2;
+
+  /// Jitter seed; 0 draws a nondeterministic seed per retry sequence.
+  uint64_t seed = 0;
+
+  /// Sleep override. Tests inject a collector to assert the backoff
+  /// schedule without waiting; unset means a real sleep_for.
+  std::function<void(double delay_ms)> sleeper;
+};
+
+/// Computes the backoff delay (ms, jitter applied) before re-issue number
+/// `attempt` (1-based). Exposed for tests; `rng` supplies the jitter draw.
+double RetryBackoffMs(const RetryOptions& options, int attempt, Rng& rng);
+
+/// Waits `delay_ms` via options.sleeper (or a real sleep). No-op for <= 0.
+void RetrySleep(const RetryOptions& options, double delay_ms);
+
+/// Seeds the jitter RNG: options.seed when set, otherwise nondeterministic.
+uint64_t RetrySeed(const RetryOptions& options);
+
+/// Runs `attempt` and re-runs it while it reports Unavailable, up to
+/// options.max_retries re-issues, sleeping the backoff delay before each.
+/// `on_retry`, when given, fires once per re-issue (retry accounting).
+template <typename Fn>
+auto RetryTransient(Fn&& attempt, const RetryOptions& options,
+                    const std::function<void()>& on_retry = nullptr)
+    -> decltype(attempt()) {
+  auto result = attempt();
+  if (result.ok() || !result.status().IsUnavailable() ||
+      options.max_retries <= 0) {
+    return result;
+  }
+  Rng rng(RetrySeed(options));
+  int attempts = 0;
+  while (!result.ok() && result.status().IsUnavailable() &&
+         attempts < options.max_retries) {
+    ++attempts;
+    RetrySleep(options, RetryBackoffMs(options, attempts, rng));
+    if (on_retry) on_retry();
+    result = attempt();
+  }
+  return result;
+}
+
+}  // namespace sofya
+
+#endif  // SOFYA_ENDPOINT_RETRY_POLICY_H_

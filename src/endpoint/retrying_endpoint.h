@@ -2,9 +2,10 @@
 //
 // Public endpoints drop connections; a client that aborts a whole alignment
 // on one 503 wastes its query budget. This decorator retries Unavailable up
-// to a bounded number of times and passes every other status through
-// unchanged. Non-transient errors (ResourceExhausted, InvalidArgument, ...)
-// are never retried.
+// to a bounded number of times — waiting an exponentially growing, jittered
+// backoff before every re-issue (retry_policy.h) — and passes every other
+// status through unchanged. Non-transient errors (ResourceExhausted,
+// InvalidArgument, ...) are never retried.
 
 // Thread safety: safe for concurrent callers (the retry loop is per-call
 // state; the retry counter is atomic), provided the inner endpoint is.
@@ -15,22 +16,20 @@
 #include <atomic>
 #include <cstdint>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "endpoint/endpoint.h"
+#include "endpoint/retry_policy.h"
 
 namespace sofya {
-
-/// Retry policy.
-struct RetryOptions {
-  int max_retries = 3;  ///< Additional attempts after the first failure.
-};
 
 /// Decorator; wraps any Endpoint (typically a ThrottledEndpoint).
 class RetryingEndpoint : public Endpoint {
  public:
   /// `inner` is not owned and must outlive this object.
   RetryingEndpoint(Endpoint* inner, RetryOptions options = {})
-      : inner_(inner), options_(options) {}
+      : inner_(inner), options_(std::move(options)) {}
 
   const std::string& name() const override { return inner_->name(); }
   const std::string& base_iri() const override { return inner_->base_iri(); }
@@ -39,13 +38,48 @@ class RetryingEndpoint : public Endpoint {
     return Retry([&] { return inner_->Select(query); });
   }
 
-  // SelectMany/AskMany are inherited: the sequential defaults forward
-  // through this Select/Ask, so each sub-query gets its own retry budget
-  // (one transient failure must not fail the whole batch).
+  /// Forwards the whole batch to the inner endpoint so a batching/caching
+  /// layer beneath keeps its intra-batch dedup. A batch fails fast with one
+  /// status, so when it comes back Unavailable the recovery switches to
+  /// per-sub-query granularity: only the still-failing sub-queries consume
+  /// retry budget (with backoff). The recovery pass re-issues the batch's
+  /// queries *sequentially* — deliberately: the batch just failed because
+  /// the server is struggling, and a one-at-a-time trickle is the gentle
+  /// regime, even though it re-executes sub-queries whose first results
+  /// the fail-fast contract had to discard. (Per-sub-query statuses in the
+  /// SelectMany contract would avoid the re-execution; tracked in ROADMAP.)
+  StatusOr<std::vector<ResultSet>> SelectMany(
+      std::span<const SelectQuery> queries) override {
+    auto batch = inner_->SelectMany(queries);
+    if (batch.ok() || !batch.status().IsUnavailable()) return batch;
+    std::vector<ResultSet> results;
+    results.reserve(queries.size());
+    for (const SelectQuery& query : queries) {
+      auto result = Retry([&] { return inner_->Select(query); });
+      if (!result.ok()) return result.status();
+      results.push_back(std::move(*result));
+    }
+    return results;
+  }
 
   /// Forwards ASK (preserving the inner early-exit path) with retries.
   StatusOr<bool> Ask(const SelectQuery& query) override {
     return Retry([&] { return inner_->Ask(query); });
+  }
+
+  /// Batched ASK with the same recovery shape as SelectMany.
+  StatusOr<std::vector<bool>> AskMany(
+      std::span<const SelectQuery> queries) override {
+    auto batch = inner_->AskMany(queries);
+    if (batch.ok() || !batch.status().IsUnavailable()) return batch;
+    std::vector<bool> results;
+    results.reserve(queries.size());
+    for (const SelectQuery& query : queries) {
+      auto result = Retry([&] { return inner_->Ask(query); });
+      if (!result.ok()) return result.status();
+      results.push_back(*result);
+    }
+    return results;
   }
 
   TermId EncodeTerm(const Term& term) override {
@@ -67,19 +101,12 @@ class RetryingEndpoint : public Endpoint {
   }
 
  private:
-  /// Runs `attempt` and re-runs it while it reports Unavailable, up to
-  /// max_retries. Shared by Select and Ask so they cannot drift.
+  /// Shared policy driver (retry_policy.h), counting each re-issue.
   template <typename Fn>
   auto Retry(Fn&& attempt) -> decltype(attempt()) {
-    auto result = attempt();
-    int attempts = 0;
-    while (!result.ok() && result.status().IsUnavailable() &&
-           attempts < options_.max_retries) {
-      ++attempts;
+    return RetryTransient(attempt, options_, [this] {
       retries_performed_.fetch_add(1, std::memory_order_relaxed);
-      result = attempt();
-    }
-    return result;
+    });
   }
 
   Endpoint* inner_;  // Not owned.

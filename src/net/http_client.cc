@@ -1,0 +1,120 @@
+#include "net/http_client.h"
+
+#include <utility>
+
+namespace sofya {
+
+HttpClient::HttpClient(HttpTransport* transport, ParsedUrl origin,
+                       HttpClientOptions options)
+    : transport_(transport), origin_(std::move(origin)), options_(options) {
+  if (options_.max_connections == 0) options_.max_connections = 1;
+}
+
+StatusOr<HttpClient::Lease> HttpClient::Acquire() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    slot_freed_.wait(lock, [this] {
+      return !idle_.empty() || open_ < options_.max_connections;
+    });
+    if (!idle_.empty()) {
+      Lease lease;
+      lease.connection = std::move(idle_.back());
+      idle_.pop_back();
+      lease.reused = true;
+      return lease;
+    }
+    ++open_;  // Reserve the slot before the (slow) connect.
+  }
+  auto connection = transport_->Connect(origin_.host, origin_.port);
+  if (!connection.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    --open_;
+    slot_freed_.notify_one();
+    return connection.status();
+  }
+  Lease lease;
+  lease.connection = std::move(*connection);
+  return lease;
+}
+
+void HttpClient::Release(std::unique_ptr<HttpConnection> connection,
+                         bool reusable) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (reusable) {
+    idle_.push_back(std::move(connection));
+  } else {
+    --open_;  // Dropped; destructor closes it.
+  }
+  slot_freed_.notify_one();
+}
+
+StatusOr<HttpResponse> HttpClient::Exchange(HttpConnection* connection,
+                                            const std::string& wire_bytes,
+                                            bool* reusable,
+                                            bool* received_bytes) {
+  *reusable = false;
+  *received_bytes = false;
+  SOFYA_RETURN_IF_ERROR(connection->WriteAll(wire_bytes));
+  HttpResponseReader reader;
+  char chunk[16384];
+  size_t total = 0;
+  while (!reader.done()) {
+    SOFYA_ASSIGN_OR_RETURN(size_t n,
+                           connection->Read(chunk, sizeof(chunk)));
+    if (n == 0) {
+      SOFYA_RETURN_IF_ERROR(reader.FinishEof());
+      break;
+    }
+    *received_bytes = true;
+    total += n;
+    if (total > options_.max_response_bytes) {
+      return Status::ResourceExhausted("http: response exceeds size cap");
+    }
+    SOFYA_RETURN_IF_ERROR(reader.Feed({chunk, n}));
+  }
+  // Reuse only a connection whose stream is provably in sync: keep-alive
+  // semantics, no leftover bytes (a desynced server's next-response spill),
+  // and not read-to-EOF framing (which consumes the connection).
+  *reusable = !WantsClose(reader.response().headers) &&
+              reader.leftover() == 0 && !reader.ate_connection();
+  return std::move(reader.response());
+}
+
+StatusOr<HttpResponse> HttpClient::RoundTrip(const HttpRequest& request) {
+  HttpRequest outgoing = request;
+  if (FindHeader(outgoing.headers, "Host") == nullptr) {
+    std::string host = origin_.host;
+    if (origin_.port != 80) {
+      host += ':';
+      host += std::to_string(origin_.port);
+    }
+    outgoing.headers.push_back({"Host", std::move(host)});
+  }
+  if (outgoing.target == "/") outgoing.target = origin_.target;
+  const std::string wire_bytes = SerializeHttpRequest(outgoing);
+
+  for (int attempt = 0;; ++attempt) {
+    SOFYA_ASSIGN_OR_RETURN(Lease lease, Acquire());
+    bool reusable = false;
+    bool received_bytes = false;
+    auto response = Exchange(lease.connection.get(), wire_bytes, &reusable,
+                             &received_bytes);
+    if (response.ok()) {
+      Release(std::move(lease.connection), reusable);
+      return response;
+    }
+    Release(nullptr, /*reusable=*/false);
+    // A dead keep-alive connection fails instantly on reuse — write error
+    // or EOF *before any response byte* — and retrying such a send on a
+    // fresh connection is standard and safe. Once response bytes arrived
+    // the failure is the server's answer (size cap, malformed framing):
+    // re-POSTing would duplicate the query, so surface it. The bound lets
+    // one call drain a pool full of stale idles, at most.
+    const bool stale_reuse =
+        lease.reused && !received_bytes &&
+        attempt < static_cast<int>(options_.max_connections);
+    if (!stale_reuse) return response.status();
+  }
+}
+
+}  // namespace sofya

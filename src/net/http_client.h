@@ -1,0 +1,79 @@
+// HttpClient: one-origin HTTP/1.1 client over an injected transport, with a
+// bounded keep-alive connection pool.
+//
+// RoundTrip() is thread-safe; concurrent callers each lease a pooled
+// connection (opening new ones up to `max_connections`, then waiting), which
+// is how HttpSparqlEndpoint pipelines a SelectMany batch over a small fixed
+// number of sockets instead of opening one per query.
+
+#ifndef SOFYA_NET_HTTP_CLIENT_H_
+#define SOFYA_NET_HTTP_CLIENT_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "net/http.h"
+#include "net/http_transport.h"
+
+namespace sofya {
+
+/// Client pool knobs.
+struct HttpClientOptions {
+  /// Connection-pool bound == max requests in flight.
+  size_t max_connections = 4;
+
+  /// Reject responses larger than this (runaway/malicious server guard).
+  size_t max_response_bytes = 64u << 20;
+};
+
+/// Pooled single-origin client; see file comment.
+class HttpClient {
+ public:
+  /// `transport` is not owned and must outlive the client.
+  HttpClient(HttpTransport* transport, ParsedUrl origin,
+             HttpClientOptions options = {});
+
+  /// Executes one request/response exchange. The Host header is filled in
+  /// from the origin; Content-Length is added by serialization. A send
+  /// failure on a *reused* (possibly stale keep-alive) connection is
+  /// retried once on a fresh connection — a response may never be applied
+  /// twice, so only the pre-response phase retries.
+  StatusOr<HttpResponse> RoundTrip(const HttpRequest& request);
+
+  const ParsedUrl& origin() const { return origin_; }
+
+ private:
+  struct Lease {
+    std::unique_ptr<HttpConnection> connection;
+    bool reused = false;  ///< Came from the idle pool (stale-able).
+  };
+
+  StatusOr<Lease> Acquire();
+  void Release(std::unique_ptr<HttpConnection> connection, bool reusable);
+
+  /// One write + streamed response read (HttpResponseReader, so large
+  /// bodies cost one pass). `*reusable` reports whether the connection's
+  /// stream is still in sync and may return to the pool;
+  /// `*received_bytes` whether any response bytes arrived (the stale-reuse
+  /// retry is only sound before that point).
+  StatusOr<HttpResponse> Exchange(HttpConnection* connection,
+                                  const std::string& wire_bytes,
+                                  bool* reusable, bool* received_bytes);
+
+  HttpTransport* transport_;  // Not owned.
+  ParsedUrl origin_;
+  HttpClientOptions options_;
+
+  std::mutex mu_;
+  std::condition_variable slot_freed_;
+  std::vector<std::unique_ptr<HttpConnection>> idle_;  // Guarded by mu_.
+  size_t open_ = 0;                                    // Guarded by mu_.
+};
+
+}  // namespace sofya
+
+#endif  // SOFYA_NET_HTTP_CLIENT_H_

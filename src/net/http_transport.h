@@ -1,0 +1,51 @@
+// Transport abstraction under the HTTP client: a factory for blocking,
+// bidirectional byte streams.
+//
+// The production implementation is SocketTransport (real TCP); tests inject
+// LoopbackTransport, which terminates the same byte stream at an in-process
+// handler — so every line of HTTP client code runs in CI with zero network
+// access.
+
+#ifndef SOFYA_NET_HTTP_TRANSPORT_H_
+#define SOFYA_NET_HTTP_TRANSPORT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace sofya {
+
+/// One established connection. Not thread-safe: a connection is used by one
+/// request/response exchange at a time (the client pool enforces this).
+/// Closing is implicit in destruction.
+class HttpConnection {
+ public:
+  virtual ~HttpConnection() = default;
+
+  /// Writes all of `data` (blocking). Errors are connection-fatal.
+  virtual Status WriteAll(std::string_view data) = 0;
+
+  /// Reads up to `capacity` bytes into `buffer` (blocking until at least one
+  /// byte, EOF, or a timeout). Returns 0 on orderly EOF. Timeout surfaces
+  /// as DeadlineExceeded, other failures as Unavailable.
+  virtual StatusOr<size_t> Read(char* buffer, size_t capacity) = 0;
+};
+
+/// Connection factory.
+class HttpTransport {
+ public:
+  virtual ~HttpTransport() = default;
+
+  /// Opens a connection to host:port. Connection failures (refused, DNS,
+  /// timeout) surface as Unavailable — they are transient from the
+  /// client's perspective and retryable.
+  virtual StatusOr<std::unique_ptr<HttpConnection>> Connect(
+      const std::string& host, uint16_t port) = 0;
+};
+
+}  // namespace sofya
+
+#endif  // SOFYA_NET_HTTP_TRANSPORT_H_

@@ -1,0 +1,66 @@
+#include "net/loopback_transport.h"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+namespace sofya {
+namespace {
+
+class LoopbackConnection : public HttpConnection {
+ public:
+  explicit LoopbackConnection(const LoopbackTransport::Handler* handler)
+      : handler_(handler) {}
+
+  Status WriteAll(std::string_view data) override {
+    if (closed_) return Status::Unavailable("loopback: connection closed");
+    in_.append(data);
+    // Serve every complete request already buffered (the client may batch
+    // pipelined requests into one write).
+    while (!closed_) {
+      HttpRequest request;
+      auto consumed = TryParseHttpRequest(in_, &request);
+      if (!consumed.ok()) return consumed.status();
+      if (*consumed == 0) break;
+      in_.erase(0, *consumed);
+      const HttpResponse response = (*handler_)(request);
+      out_ += SerializeHttpResponse(response);
+      // A "Connection: close" response ends the stream after its bytes
+      // drain, exactly like a server closing its socket.
+      if (WantsClose(response.headers)) closed_ = true;
+    }
+    return Status::OK();
+  }
+
+  StatusOr<size_t> Read(char* buffer, size_t capacity) override {
+    if (out_.empty()) return size_t{0};  // EOF: nothing pending.
+    const size_t n = std::min(capacity, out_.size());
+    std::memcpy(buffer, out_.data(), n);
+    out_.erase(0, n);
+    return n;
+  }
+
+ private:
+  const LoopbackTransport::Handler* handler_;  // Owned by the transport.
+  std::string in_;
+  std::string out_;
+  bool closed_ = false;
+};
+
+}  // namespace
+
+StatusOr<std::unique_ptr<HttpConnection>> LoopbackTransport::Connect(
+    const std::string& /*host*/, uint16_t /*port*/) {
+  int failures = connect_failures_.load(std::memory_order_relaxed);
+  while (failures > 0) {
+    if (connect_failures_.compare_exchange_weak(failures, failures - 1,
+                                                std::memory_order_relaxed)) {
+      return Status::Unavailable("loopback: injected connect failure");
+    }
+  }
+  connections_opened_.fetch_add(1, std::memory_order_relaxed);
+  return std::unique_ptr<HttpConnection>(
+      std::make_unique<LoopbackConnection>(&handler_));
+}
+
+}  // namespace sofya

@@ -1,0 +1,59 @@
+// LoopbackTransport: an in-process HttpTransport whose connections
+// terminate at a handler function instead of a network.
+//
+// Bytes written by the client are fed through the real request parser
+// (net/http.h); each complete request invokes the handler and its response
+// is serialized back into the connection's read buffer. The HTTP client is
+// therefore exercised end to end — framing, keep-alive, pipelined batches,
+// error mapping — with zero sockets, which is what lets the endpoint
+// contract suite run in CI.
+//
+// Thread safety: distinct connections may live on distinct threads (the
+// client pool does this); the handler is invoked concurrently and must be
+// thread-safe. A single connection is used by one thread at a time.
+
+#ifndef SOFYA_NET_LOOPBACK_TRANSPORT_H_
+#define SOFYA_NET_LOOPBACK_TRANSPORT_H_
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "net/http.h"
+#include "net/http_transport.h"
+
+namespace sofya {
+
+/// In-process transport; see file comment.
+class LoopbackTransport : public HttpTransport {
+ public:
+  /// The server side: maps one parsed request to a response. Invoked
+  /// synchronously inside the client's WriteAll; must be thread-safe.
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  explicit LoopbackTransport(Handler handler)
+      : handler_(std::move(handler)) {}
+
+  StatusOr<std::unique_ptr<HttpConnection>> Connect(
+      const std::string& host, uint16_t port) override;
+
+  /// Makes the next `n` Connect() calls fail Unavailable (outage drill).
+  void FailNextConnects(int n) {
+    connect_failures_.store(n, std::memory_order_relaxed);
+  }
+
+  /// Connections successfully opened so far (asserts pooling/bounds).
+  size_t connections_opened() const {
+    return connections_opened_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  Handler handler_;
+  std::atomic<int> connect_failures_{0};
+  std::atomic<size_t> connections_opened_{0};
+};
+
+}  // namespace sofya
+
+#endif  // SOFYA_NET_LOOPBACK_TRANSPORT_H_

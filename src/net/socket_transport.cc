@@ -1,0 +1,158 @@
+#include "net/socket_transport.h"
+
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cmath>
+#include <cstring>
+
+#include "util/string_util.h"
+
+namespace sofya {
+namespace {
+
+timeval ToTimeval(double ms) {
+  if (ms < 0.0) ms = 0.0;
+  timeval tv;
+  tv.tv_sec = static_cast<time_t>(ms / 1000.0);
+  tv.tv_usec = static_cast<suseconds_t>(
+      std::fmod(ms, 1000.0) * 1000.0);
+  return tv;
+}
+
+class SocketConnection : public HttpConnection {
+ public:
+  explicit SocketConnection(int fd) : fd_(fd) {}
+
+  ~SocketConnection() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  SocketConnection(const SocketConnection&) = delete;
+  SocketConnection& operator=(const SocketConnection&) = delete;
+
+  Status WriteAll(std::string_view data) override {
+    while (!data.empty()) {
+      // MSG_NOSIGNAL: a peer reset must surface as EPIPE, not kill the
+      // process with SIGPIPE.
+      const ssize_t n =
+          ::send(fd_, data.data(), data.size(), MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+          return Status::DeadlineExceeded("socket: write timed out");
+        }
+        return Status::Unavailable(
+            StrFormat("socket: write failed: %s", std::strerror(errno)));
+      }
+      data.remove_prefix(static_cast<size_t>(n));
+    }
+    return Status::OK();
+  }
+
+  StatusOr<size_t> Read(char* buffer, size_t capacity) override {
+    for (;;) {
+      const ssize_t n = ::recv(fd_, buffer, capacity, 0);
+      if (n >= 0) return static_cast<size_t>(n);
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return Status::DeadlineExceeded("socket: read timed out");
+      }
+      return Status::Unavailable(
+          StrFormat("socket: read failed: %s", std::strerror(errno)));
+    }
+  }
+
+ private:
+  int fd_;
+};
+
+/// Non-blocking connect with a poll()-enforced deadline; restores blocking
+/// mode before handing the fd over.
+Status ConnectWithTimeout(int fd, const sockaddr* addr, socklen_t addr_len,
+                          double timeout_ms) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Status::Unavailable("socket: fcntl failed");
+  }
+  int rc = ::connect(fd, addr, addr_len);
+  if (rc < 0 && errno != EINPROGRESS) {
+    return Status::Unavailable(
+        StrFormat("socket: connect failed: %s", std::strerror(errno)));
+  }
+  if (rc < 0) {
+    pollfd pfd{fd, POLLOUT, 0};
+    do {
+      rc = ::poll(&pfd, 1, static_cast<int>(timeout_ms));
+    } while (rc < 0 && errno == EINTR);
+    if (rc == 0) return Status::Unavailable("socket: connect timed out");
+    if (rc < 0) {
+      return Status::Unavailable(
+          StrFormat("socket: poll failed: %s", std::strerror(errno)));
+    }
+    int err = 0;
+    socklen_t err_len = sizeof(err);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &err_len) < 0 ||
+        err != 0) {
+      return Status::Unavailable(
+          StrFormat("socket: connect failed: %s", std::strerror(err)));
+    }
+  }
+  if (::fcntl(fd, F_SETFL, flags) < 0) {
+    return Status::Unavailable("socket: fcntl failed");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<HttpConnection>> SocketTransport::Connect(
+    const std::string& host, uint16_t port) {
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* results = nullptr;
+  const int gai = ::getaddrinfo(host.c_str(), std::to_string(port).c_str(),
+                                &hints, &results);
+  if (gai != 0) {
+    return Status::Unavailable(
+        StrFormat("socket: resolve %s failed: %s", host.c_str(),
+                  ::gai_strerror(gai)));
+  }
+
+  Status last_error = Status::Unavailable("socket: no addresses for " + host);
+  for (addrinfo* ai = results; ai != nullptr; ai = ai->ai_next) {
+    const int fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      last_error = Status::Unavailable(
+          StrFormat("socket: socket() failed: %s", std::strerror(errno)));
+      continue;
+    }
+    Status st = ConnectWithTimeout(fd, ai->ai_addr, ai->ai_addrlen,
+                                   options_.connect_timeout_ms);
+    if (!st.ok()) {
+      ::close(fd);
+      last_error = std::move(st);
+      continue;
+    }
+    const timeval io = ToTimeval(options_.io_timeout_ms);
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &io, sizeof(io));
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &io, sizeof(io));
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    ::freeaddrinfo(results);
+    return std::unique_ptr<HttpConnection>(
+        std::make_unique<SocketConnection>(fd));
+  }
+  ::freeaddrinfo(results);
+  return last_error;
+}
+
+}  // namespace sofya

@@ -1,0 +1,40 @@
+// SocketTransport: blocking POSIX TCP implementation of HttpTransport.
+//
+// Plain sockets, no TLS: SOFYA talks to http:// SPARQL endpoints directly
+// (DBpedia and Wikidata both serve plaintext mirrors) or through a local
+// TLS-terminating proxy. Timeouts are enforced on connect (non-blocking
+// connect + poll) and on each read/write (SO_RCVTIMEO / SO_SNDTIMEO), so a
+// hung server can never wedge an alignment run.
+
+#ifndef SOFYA_NET_SOCKET_TRANSPORT_H_
+#define SOFYA_NET_SOCKET_TRANSPORT_H_
+
+#include <memory>
+#include <string>
+
+#include "net/http_transport.h"
+
+namespace sofya {
+
+/// Socket behaviour knobs.
+struct SocketTransportOptions {
+  double connect_timeout_ms = 5000.0;
+  double io_timeout_ms = 30000.0;  ///< Per read/write call.
+};
+
+/// Real-TCP transport. Stateless apart from options; thread-safe.
+class SocketTransport : public HttpTransport {
+ public:
+  explicit SocketTransport(SocketTransportOptions options = {})
+      : options_(options) {}
+
+  StatusOr<std::unique_ptr<HttpConnection>> Connect(
+      const std::string& host, uint16_t port) override;
+
+ private:
+  SocketTransportOptions options_;
+};
+
+}  // namespace sofya
+
+#endif  // SOFYA_NET_SOCKET_TRANSPORT_H_

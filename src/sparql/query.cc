@@ -96,12 +96,43 @@ std::string RenderVar(const SelectQuery& q, VarId v) {
 }  // namespace
 
 std::string SelectQuery::Fingerprint() const {
+  // Canonical variable numbering: ids are renumbered by first use
+  // (projection, then clauses, then filters), so the fingerprint is
+  // invariant to declaration order. Two builds of the same query — in
+  // particular a query and its ToSparql -> ParseSelectQuery round trip,
+  // where the parser assigns ids in textual order — collide as they
+  // should. Variable *names* still participate (they name result
+  // columns), so alpha-renamed queries stay distinct.
+  std::vector<VarId> canon(num_vars(), -1);
+  VarId next = 0;
+  auto visit = [&](VarId v) {
+    if (v >= 0 && v < static_cast<VarId>(num_vars()) && canon[v] < 0) {
+      canon[v] = next++;
+    }
+  };
+  if (projection_.empty()) {
+    // SELECT *: every declared variable is projected, declaration order.
+    for (VarId v = 0; v < static_cast<VarId>(num_vars()); ++v) visit(v);
+  } else {
+    for (VarId v : projection_) visit(v);
+  }
+  for (const auto& c : clauses_) {
+    if (c.subject.is_var()) visit(c.subject.var());
+    if (c.predicate.is_var()) visit(c.predicate.var());
+    if (c.object.is_var()) visit(c.object.var());
+  }
+  for (const auto& f : filters_) {
+    visit(f.lhs);
+    visit(f.rhs_var);
+  }
+  for (VarId v = 0; v < static_cast<VarId>(num_vars()); ++v) visit(v);
+
   std::string out;
   out.reserve(16 + 16 * clauses_.size());
   auto add_node = [&](const NodeRef& ref) {
     if (ref.is_var()) {
       out += '?';
-      out += std::to_string(ref.var());
+      out += std::to_string(canon[ref.var()]);
     } else {
       out += '#';
       out += std::to_string(ref.term());
@@ -109,9 +140,16 @@ std::string SelectQuery::Fingerprint() const {
     out += ' ';
   };
   out += "v:";
-  for (const std::string& name : var_names_) {
-    out += name;
-    out += ',';
+  {
+    // Names listed in canonical order.
+    std::vector<const std::string*> names(num_vars());
+    for (VarId v = 0; v < static_cast<VarId>(num_vars()); ++v) {
+      names[canon[v]] = &var_names_[v];
+    }
+    for (const std::string* name : names) {
+      out += *name;
+      out += ',';
+    }
   }
   out += ";c:";
   for (const auto& c : clauses_) {
@@ -124,9 +162,9 @@ std::string SelectQuery::Fingerprint() const {
   for (const auto& f : filters_) {
     out += std::to_string(static_cast<int>(f.kind));
     out += '/';
-    out += std::to_string(f.lhs);
+    out += std::to_string(f.lhs < 0 ? -1 : canon[f.lhs]);
     out += '/';
-    out += std::to_string(f.rhs_var);
+    out += std::to_string(f.rhs_var < 0 ? -1 : canon[f.rhs_var]);
     out += '/';
     out += std::to_string(f.rhs_term);
     out += ',';
@@ -135,12 +173,12 @@ std::string SelectQuery::Fingerprint() const {
   if (projection_.empty()) {
     // Normalize SELECT * to the explicit all-variables projection.
     for (VarId v = 0; v < static_cast<VarId>(num_vars()); ++v) {
-      out += std::to_string(v);
+      out += std::to_string(canon[v]);
       out += ',';
     }
   } else {
     for (VarId v : projection_) {
-      out += std::to_string(v);
+      out += std::to_string(canon[v]);
       out += ',';
     }
   }
@@ -163,7 +201,21 @@ std::string SelectQuery::ToSparql(const Dictionary& dict) const {
     for (VarId v : projection_) vars.push_back(RenderVar(*this, v));
     out += Join(vars, " ");
   }
-  out += " WHERE {\n";
+  out += RenderWhere(dict);
+  if (offset_ > 0) out += StrFormat(" OFFSET %llu",
+                                    static_cast<unsigned long long>(offset_));
+  if (limit_ != kNoLimit) {
+    out += StrFormat(" LIMIT %llu", static_cast<unsigned long long>(limit_));
+  }
+  return out;
+}
+
+std::string SelectQuery::ToSparqlAsk(const Dictionary& dict) const {
+  return "ASK" + RenderWhere(dict);
+}
+
+std::string SelectQuery::RenderWhere(const Dictionary& dict) const {
+  std::string out = " WHERE {\n";
   for (const auto& c : clauses_) {
     out += "  " + RenderNode(c.subject, *this, dict) + " " +
            RenderNode(c.predicate, *this, dict) + " " +
@@ -200,11 +252,6 @@ std::string SelectQuery::ToSparql(const Dictionary& dict) const {
     out += "  FILTER(" + expr + ")\n";
   }
   out += "}";
-  if (offset_ > 0) out += StrFormat(" OFFSET %llu",
-                                    static_cast<unsigned long long>(offset_));
-  if (limit_ != kNoLimit) {
-    out += StrFormat(" LIMIT %llu", static_cast<unsigned long long>(limit_));
-  }
   return out;
 }
 

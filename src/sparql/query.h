@@ -140,9 +140,17 @@ class SelectQuery {
   /// non-empty after defaulting; at least one clause).
   Status Validate() const;
 
-  /// Renders the query as SPARQL text for logs (needs the dictionary to
-  /// decode constant terms).
+  /// Renders the query as SPARQL text for logs and for the HTTP wire
+  /// (needs the dictionary to decode constant terms). The output is valid
+  /// input for ParseSelectQuery: serialize -> parse round-trips to an
+  /// equal Fingerprint (tests/sparql_roundtrip_test.cc holds this).
   std::string ToSparql(const Dictionary& dict) const;
+
+  /// Renders the existence form: `ASK WHERE { ... }` with the same BGP and
+  /// filters. Solution modifiers are dropped — existence does not depend on
+  /// DISTINCT/LIMIT/OFFSET (same normalization as AskFingerprint). This is
+  /// what HttpSparqlEndpoint::Ask sends over the SPARQL protocol.
+  std::string ToSparqlAsk(const Dictionary& dict) const;
 
   /// Normalized structural fingerprint: two queries with the same
   /// fingerprint return the same ResultSet against the same dataset.
@@ -152,6 +160,9 @@ class SelectQuery {
   std::string Fingerprint() const;
 
  private:
+  /// Shared WHERE-block renderer behind ToSparql / ToSparqlAsk.
+  std::string RenderWhere(const Dictionary& dict) const;
+
   std::vector<std::string> var_names_;
   std::vector<PatternClause> clauses_;
   std::vector<FilterExpr> filters_;

@@ -1,0 +1,461 @@
+#include "sparql/results_json.h"
+
+#include <cctype>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "util/string_util.h"
+
+namespace sofya {
+namespace {
+
+// ------------------------------------------------------------ JSON reader
+//
+// A small recursive-descent parser for the JSON subset the results format
+// uses (all of JSON, in fact — objects, arrays, strings, numbers, bools,
+// null). Numbers are kept as raw text: the results format never needs
+// their numeric value, and raw text avoids double-rounding surprises.
+
+struct JsonValue;
+using JsonObject = std::vector<std::pair<std::string, JsonValue>>;
+using JsonArray = std::vector<JsonValue>;
+
+struct JsonValue {
+  std::variant<std::nullptr_t, bool, std::string /*number (raw)*/,
+               std::shared_ptr<std::string> /*string*/,
+               std::shared_ptr<JsonArray>, std::shared_ptr<JsonObject>>
+      value = nullptr;
+
+  bool is_object() const {
+    return std::holds_alternative<std::shared_ptr<JsonObject>>(value);
+  }
+  bool is_array() const {
+    return std::holds_alternative<std::shared_ptr<JsonArray>>(value);
+  }
+  bool is_string() const {
+    return std::holds_alternative<std::shared_ptr<std::string>>(value);
+  }
+  bool is_bool() const { return std::holds_alternative<bool>(value); }
+
+  const JsonObject& object() const {
+    return *std::get<std::shared_ptr<JsonObject>>(value);
+  }
+  const JsonArray& array() const {
+    return *std::get<std::shared_ptr<JsonArray>>(value);
+  }
+  const std::string& string() const {
+    return *std::get<std::shared_ptr<std::string>>(value);
+  }
+  bool boolean() const { return std::get<bool>(value); }
+};
+
+const JsonValue* FindMember(const JsonObject& object, std::string_view key) {
+  for (const auto& [name, value] : object) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  StatusOr<JsonValue> Parse() {
+    SOFYA_ASSIGN_OR_RETURN(JsonValue value, ParseValue(0));
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing content after JSON document");
+    }
+    return value;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  Status Error(std::string message) const {
+    return Status::ParseError(
+        StrFormat("json: %s (at byte %zu)", message.c_str(), pos_));
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeLiteral(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) == literal) {
+      pos_ += literal.size();
+      return true;
+    }
+    return false;
+  }
+
+  StatusOr<JsonValue> ParseValue(int depth) {
+    if (depth > kMaxDepth) return Error("nesting too deep");
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '{') return ParseObject(depth);
+    if (c == '[') return ParseArray(depth);
+    if (c == '"') {
+      SOFYA_ASSIGN_OR_RETURN(std::string s, ParseString());
+      JsonValue v;
+      v.value = std::make_shared<std::string>(std::move(s));
+      return v;
+    }
+    if (ConsumeLiteral("true")) return JsonValue{true};
+    if (ConsumeLiteral("false")) return JsonValue{false};
+    if (ConsumeLiteral("null")) return JsonValue{nullptr};
+    if (c == '-' || (c >= '0' && c <= '9')) return ParseNumber();
+    return Error("unexpected character");
+  }
+
+  StatusOr<JsonValue> ParseObject(int depth) {
+    ++pos_;  // '{'
+    auto object = std::make_shared<JsonObject>();
+    SkipWhitespace();
+    if (Consume('}')) return JsonValue{std::move(object)};
+    while (true) {
+      SkipWhitespace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Error("expected object key");
+      }
+      SOFYA_ASSIGN_OR_RETURN(std::string key, ParseString());
+      SkipWhitespace();
+      if (!Consume(':')) return Error("expected ':' after object key");
+      SOFYA_ASSIGN_OR_RETURN(JsonValue value, ParseValue(depth + 1));
+      object->emplace_back(std::move(key), std::move(value));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume('}')) return JsonValue{std::move(object)};
+      return Error("expected ',' or '}' in object");
+    }
+  }
+
+  StatusOr<JsonValue> ParseArray(int depth) {
+    ++pos_;  // '['
+    auto array = std::make_shared<JsonArray>();
+    SkipWhitespace();
+    if (Consume(']')) return JsonValue{std::move(array)};
+    while (true) {
+      SOFYA_ASSIGN_OR_RETURN(JsonValue value, ParseValue(depth + 1));
+      array->push_back(std::move(value));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume(']')) return JsonValue{std::move(array)};
+      return Error("expected ',' or ']' in array");
+    }
+  }
+
+  StatusOr<JsonValue> ParseNumber() {
+    const size_t start = pos_;
+    if (Consume('-')) {
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Error("malformed number");
+    JsonValue v;
+    v.value = std::string(text_.substr(start, pos_ - start));
+    return v;
+  }
+
+  /// Appends a Unicode code point as UTF-8.
+  static void AppendUtf8(uint32_t cp, std::string* out) {
+    if (cp <= 0x7f) {
+      out->push_back(static_cast<char>(cp));
+    } else if (cp <= 0x7ff) {
+      out->push_back(static_cast<char>(0xc0 | (cp >> 6)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+    } else if (cp <= 0xffff) {
+      out->push_back(static_cast<char>(0xe0 | (cp >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3f)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+    } else {
+      out->push_back(static_cast<char>(0xf0 | (cp >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3f)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3f)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+    }
+  }
+
+  StatusOr<uint32_t> ParseHex4() {
+    if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
+    uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_++];
+      value <<= 4;
+      if (c >= '0' && c <= '9') {
+        value |= static_cast<uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        value |= static_cast<uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        value |= static_cast<uint32_t>(c - 'A' + 10);
+      } else {
+        return Error("malformed \\u escape");
+      }
+    }
+    return value;
+  }
+
+  StatusOr<std::string> ParseString() {
+    ++pos_;  // '"'
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) return Error("unterminated string");
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return out;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Error("raw control character in string");
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        ++pos_;
+        continue;
+      }
+      ++pos_;
+      if (pos_ >= text_.size()) return Error("truncated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          SOFYA_ASSIGN_OR_RETURN(uint32_t cp, ParseHex4());
+          if (cp >= 0xd800 && cp <= 0xdbff) {
+            // High surrogate: a low surrogate must follow.
+            if (!ConsumeLiteral("\\u")) {
+              return Error("unpaired high surrogate");
+            }
+            SOFYA_ASSIGN_OR_RETURN(uint32_t low, ParseHex4());
+            if (low < 0xdc00 || low > 0xdfff) {
+              return Error("invalid low surrogate");
+            }
+            cp = 0x10000 + ((cp - 0xd800) << 10) + (low - 0xdc00);
+          } else if (cp >= 0xdc00 && cp <= 0xdfff) {
+            return Error("unpaired low surrogate");
+          }
+          AppendUtf8(cp, &out);
+          break;
+        }
+        default:
+          return Error("unknown escape");
+      }
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+// --------------------------------------------------- results-format layer
+
+StatusOr<Term> BindingToTerm(const JsonObject& binding) {
+  const JsonValue* type = FindMember(binding, "type");
+  const JsonValue* value = FindMember(binding, "value");
+  if (type == nullptr || !type->is_string() || value == nullptr ||
+      !value->is_string()) {
+    return Status::ParseError("sparql-json: binding missing type/value");
+  }
+  const std::string& kind = type->string();
+  if (kind == "uri") return Term::Iri(value->string());
+  if (kind == "bnode") return Term::Iri("_:" + value->string());
+  if (kind == "literal" || kind == "typed-literal") {
+    const JsonValue* lang = FindMember(binding, "xml:lang");
+    if (lang != nullptr && lang->is_string() && !lang->string().empty()) {
+      return Term::LangLiteral(value->string(), lang->string());
+    }
+    const JsonValue* datatype = FindMember(binding, "datatype");
+    if (datatype != nullptr && datatype->is_string() &&
+        !datatype->string().empty()) {
+      return Term::TypedLiteral(value->string(), datatype->string());
+    }
+    return Term::Literal(value->string());
+  }
+  return Status::ParseError("sparql-json: unknown binding type '" + kind +
+                            "'");
+}
+
+StatusOr<JsonValue> ParseDocument(std::string_view json) {
+  JsonParser parser(json);
+  auto document = parser.Parse();
+  if (!document.ok()) return document.status();
+  if (!document->is_object()) {
+    return Status::ParseError("sparql-json: document is not an object");
+  }
+  return document;
+}
+
+}  // namespace
+
+StatusOr<ResultSet> ParseSparqlResultsJson(std::string_view json,
+                                           const TermInterner& intern) {
+  SOFYA_ASSIGN_OR_RETURN(JsonValue document, ParseDocument(json));
+
+  const JsonValue* head = FindMember(document.object(), "head");
+  if (head == nullptr || !head->is_object()) {
+    return Status::ParseError("sparql-json: missing head");
+  }
+  ResultSet results;
+  if (const JsonValue* vars = FindMember(head->object(), "vars")) {
+    if (!vars->is_array()) {
+      return Status::ParseError("sparql-json: head.vars is not an array");
+    }
+    for (const JsonValue& v : vars->array()) {
+      if (!v.is_string()) {
+        return Status::ParseError("sparql-json: head.vars entry not a string");
+      }
+      results.var_names.push_back(v.string());
+    }
+  }
+
+  const JsonValue* body = FindMember(document.object(), "results");
+  if (body == nullptr || !body->is_object()) {
+    return Status::ParseError("sparql-json: missing results");
+  }
+  const JsonValue* bindings = FindMember(body->object(), "bindings");
+  if (bindings == nullptr || !bindings->is_array()) {
+    return Status::ParseError("sparql-json: missing results.bindings");
+  }
+
+  for (const JsonValue& solution : bindings->array()) {
+    if (!solution.is_object()) {
+      return Status::ParseError("sparql-json: solution is not an object");
+    }
+    std::vector<TermId> row(results.var_names.size(), kNullTermId);
+    for (const auto& [var, binding] : solution.object()) {
+      int column = -1;
+      for (size_t i = 0; i < results.var_names.size(); ++i) {
+        if (results.var_names[i] == var) {
+          column = static_cast<int>(i);
+          break;
+        }
+      }
+      // Bindings for undeclared variables are ignored (lenient, like most
+      // clients: some servers omit head.vars entries under projection *).
+      if (column < 0) continue;
+      if (!binding.is_object()) {
+        return Status::ParseError("sparql-json: binding is not an object");
+      }
+      SOFYA_ASSIGN_OR_RETURN(Term term, BindingToTerm(binding.object()));
+      row[column] = intern(term);
+    }
+    results.rows.push_back(std::move(row));
+  }
+  return results;
+}
+
+StatusOr<bool> ParseSparqlAskJson(std::string_view json) {
+  SOFYA_ASSIGN_OR_RETURN(JsonValue document, ParseDocument(json));
+  const JsonValue* value = FindMember(document.object(), "boolean");
+  if (value == nullptr || !value->is_bool()) {
+    return Status::ParseError("sparql-json: ASK result missing boolean");
+  }
+  return value->boolean();
+}
+
+std::string JsonEscape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 8);
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+StatusOr<std::string> WriteSparqlResultsJson(const ResultSet& results,
+                                             const TermDecoder& decode) {
+  std::string out = "{\"head\":{\"vars\":[";
+  for (size_t i = 0; i < results.var_names.size(); ++i) {
+    if (i > 0) out += ',';
+    out += '"';
+    out += JsonEscape(results.var_names[i]);
+    out += '"';
+  }
+  out += "]},\"results\":{\"bindings\":[";
+  for (size_t r = 0; r < results.rows.size(); ++r) {
+    if (r > 0) out += ',';
+    out += '{';
+    bool first = true;
+    for (size_t c = 0; c < results.rows[r].size() &&
+                       c < results.var_names.size();
+         ++c) {
+      const TermId id = results.rows[r][c];
+      if (id == kNullTermId) continue;  // Unbound: omitted per the spec.
+      SOFYA_ASSIGN_OR_RETURN(Term term, decode(id));
+      if (!first) out += ',';
+      first = false;
+      out += '"';
+      out += JsonEscape(results.var_names[c]);
+      out += "\":{";
+      if (term.is_iri()) {
+        if (term.is_blank()) {
+          out += "\"type\":\"bnode\",\"value\":\"" +
+                 JsonEscape(term.lexical().substr(2)) + '"';
+        } else {
+          out += "\"type\":\"uri\",\"value\":\"" +
+                 JsonEscape(term.lexical()) + '"';
+        }
+      } else {
+        out += "\"type\":\"literal\",\"value\":\"" +
+               JsonEscape(term.lexical()) + '"';
+        if (!term.language().empty()) {
+          out += ",\"xml:lang\":\"" + JsonEscape(term.language()) + '"';
+        } else if (!term.datatype().empty()) {
+          out += ",\"datatype\":\"" + JsonEscape(term.datatype()) + '"';
+        }
+      }
+      out += '}';
+    }
+    out += '}';
+  }
+  out += "]}}";
+  return out;
+}
+
+std::string WriteSparqlAskJson(bool value) {
+  return std::string("{\"head\":{},\"boolean\":") +
+         (value ? "true" : "false") + "}";
+}
+
+}  // namespace sofya

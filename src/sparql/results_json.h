@@ -1,0 +1,48 @@
+// application/sparql-results+json (W3C SPARQL 1.1 Query Results JSON
+// Format): parsing for the HTTP client, serialization for the loopback
+// mock server — one module so wire reader and writer cannot drift.
+//
+// Parsed bindings are re-interned through a TermInterner (normally an
+// endpoint's dictionary): the wire carries term *strings*, the client's id
+// space is its own. Unbound variables in a solution become kNullTermId
+// cells, mirroring how the engine represents them.
+
+#ifndef SOFYA_SPARQL_RESULTS_JSON_H_
+#define SOFYA_SPARQL_RESULTS_JSON_H_
+
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "rdf/term.h"
+#include "sparql/parser.h"
+#include "sparql/query.h"
+#include "util/status.h"
+
+namespace sofya {
+
+/// Parses a SELECT results document; binding terms are interned via
+/// `intern`, columns follow head.vars order.
+StatusOr<ResultSet> ParseSparqlResultsJson(std::string_view json,
+                                           const TermInterner& intern);
+
+/// Parses an ASK results document ({"head":{},"boolean":...}).
+StatusOr<bool> ParseSparqlAskJson(std::string_view json);
+
+/// Maps ids back to terms when serializing (server side).
+using TermDecoder = std::function<StatusOr<Term>(TermId)>;
+
+/// Serializes a ResultSet as a SELECT results document. kNullTermId cells
+/// are emitted as unbound (the variable is omitted from that solution).
+StatusOr<std::string> WriteSparqlResultsJson(const ResultSet& results,
+                                             const TermDecoder& decode);
+
+/// Serializes an ASK results document.
+std::string WriteSparqlAskJson(bool value);
+
+/// Escapes a string for embedding in a JSON document (quotes not included).
+std::string JsonEscape(std::string_view text);
+
+}  // namespace sofya
+
+#endif  // SOFYA_SPARQL_RESULTS_JSON_H_

@@ -150,6 +150,7 @@ TEST_F(AskManyTest, RetryingAskManyAbsorbsTransientFailures) {
   ThrottledEndpoint flaky(&inner, throttle);
   RetryOptions retry;
   retry.max_retries = 25;
+  retry.initial_backoff_ms = 0.0;  // Deterministic injector; don't wait.
   RetryingEndpoint ep(&flaky, retry);
   LocalEndpoint sequential(&kb_);
   // Per-sub-query retry budgets: one flaky probe cannot sink the batch.

@@ -53,6 +53,7 @@ TEST(DeterminismTest, ThrottledPipelineReproducible) {
     options.candidate_throttle.seed = 5;
     options.reference_throttle.seed = 6;
     options.retry.max_retries = 10;
+    options.retry.initial_backoff_ms = 0.0;  // Timing-free reproducibility.
     Sofya sofya(world.kb1.get(), world.kb2.get(), &world.links, options);
     auto result = sofya.Align("http://kb2.sofya.org/ontology/directedBy");
     EXPECT_TRUE(result.ok());

@@ -143,6 +143,7 @@ TEST_F(EndpointBatchTest, RetryingAskAbsorbsTransientFailures) {
   ThrottledEndpoint flaky(&inner, options);
   RetryOptions retry;
   retry.max_retries = 20;
+  retry.initial_backoff_ms = 0.0;  // Deterministic injector; don't wait.
   RetryingEndpoint ep(&flaky, retry);
   for (int i = 0; i < 10; ++i) {
     auto result = ep.Ask(queries::FactsOfPredicate(big_));

@@ -160,6 +160,7 @@ TEST_F(EndpointTest, RetryingEndpointAbsorbsTransientFailures) {
   ThrottledEndpoint flaky(&inner, options);
   RetryOptions retry;
   retry.max_retries = 20;
+  retry.initial_backoff_ms = 0.0;  // Deterministic injector; don't wait.
   RetryingEndpoint ep(&flaky, retry);
   for (int i = 0; i < 10; ++i) {
     EXPECT_TRUE(ep.Select(queries::FactsOfPredicate(p_)).ok());
@@ -186,6 +187,7 @@ TEST_F(EndpointTest, RetryingEndpointGivesUpAfterMaxRetries) {
   ThrottledEndpoint dead(&inner, options);
   RetryOptions retry;
   retry.max_retries = 2;
+  retry.initial_backoff_ms = 0.0;
   RetryingEndpoint ep(&dead, retry);
   auto result = ep.Select(queries::FactsOfPredicate(p_));
   EXPECT_TRUE(result.status().IsUnavailable());
@@ -226,7 +228,8 @@ TEST_F(EndpointTest, PagedSelectRetriesTransientFailures) {
   ThrottledEndpoint flaky(&inner, options);
   PagedSelectOptions page_options;
   page_options.page_size = 3;
-  page_options.max_retries_per_page = 10;
+  page_options.retry.max_retries = 10;
+  page_options.retry.initial_backoff_ms = 0.0;  // Keep the test instant.
   auto merged = PagedSelect(&flaky, queries::FactsOfPredicate(p_),
                             page_options);
   ASSERT_TRUE(merged.ok()) << merged.status().ToString();

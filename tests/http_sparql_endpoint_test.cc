@@ -1,0 +1,300 @@
+// Contract suite for HttpSparqlEndpoint against the in-process loopback
+// SPARQL server — the whole wire path (HTTP framing, SPARQL serialization,
+// results-JSON parsing, status mapping, pooling) with zero real network.
+
+#include "endpoint/http_sparql_endpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/facade.h"
+#include "endpoint/paged_select.h"
+#include "endpoint/query_forms.h"
+#include "endpoint/retrying_endpoint.h"
+#include "loopback_sparql_server.h"
+#include "rdf/knowledge_base.h"
+#include "synth/presets.h"
+#include "synth/world_generator.h"
+
+namespace sofya {
+namespace {
+
+/// Fixture: a KB with 10 facts of predicate p served over loopback HTTP.
+class HttpSparqlEndpointTest : public ::testing::Test {
+ protected:
+  HttpSparqlEndpointTest() : kb_("httpkb", "http://t.org/") {
+    for (int i = 0; i < 10; ++i) {
+      kb_.AddFact("s" + std::to_string(i), "p", "o" + std::to_string(i % 3));
+    }
+    kb_.AddLiteralFact("s0", "label", "zero");
+    server_ = std::make_unique<MockSparqlServer>(&kb_);
+    transport_ = server_->MakeTransport();
+    endpoint_ = MakeEndpoint(4);
+  }
+
+  std::unique_ptr<HttpSparqlEndpoint> MakeEndpoint(size_t max_connections) {
+    HttpSparqlEndpointOptions options;
+    options.name = "httpkb";
+    options.base_iri = "http://t.org/";
+    options.max_connections = max_connections;
+    return std::make_unique<HttpSparqlEndpoint>(
+        ParseUrl("http://mock.test/sparql").value(), transport_.get(),
+        options);
+  }
+
+  /// The test predicate in the *client's* id space.
+  TermId ClientP() { return endpoint_->EncodeTerm(Term::Iri("http://t.org/p")); }
+
+  KnowledgeBase kb_;
+  std::unique_ptr<MockSparqlServer> server_;
+  std::unique_ptr<LoopbackTransport> transport_;
+  std::unique_ptr<HttpSparqlEndpoint> endpoint_;
+};
+
+TEST_F(HttpSparqlEndpointTest, SelectRoundTripsBindings) {
+  auto result = endpoint_->Select(queries::FactsOfPredicate(ClientP()));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->rows.size(), 10u);
+  ASSERT_EQ(result->var_names.size(), 2u);
+
+  // Decoded terms match the server's data (distinct id spaces, same terms).
+  std::set<std::string> objects;
+  for (const auto& row : result->rows) {
+    auto term = endpoint_->DecodeTerm(row[1]);
+    ASSERT_TRUE(term.ok());
+    objects.insert(term->lexical());
+  }
+  EXPECT_EQ(objects, (std::set<std::string>{"http://t.org/o0",
+                                            "http://t.org/o1",
+                                            "http://t.org/o2"}));
+
+  const EndpointStats stats = endpoint_->stats();
+  EXPECT_EQ(stats.queries, 1u);
+  EXPECT_EQ(stats.rows_returned, 10u);
+  EXPECT_GT(stats.bytes_estimated, 0u);
+  EXPECT_EQ(server_->requests_served(), 1u);
+}
+
+TEST_F(HttpSparqlEndpointTest, LiteralBindingsSurviveTheWire) {
+  const TermId s0 = endpoint_->EncodeTerm(Term::Iri("http://t.org/s0"));
+  const TermId label =
+      endpoint_->EncodeTerm(Term::Iri("http://t.org/label"));
+  auto result = endpoint_->Select(queries::ObjectsOf(s0, label));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->rows.size(), 1u);
+  auto term = endpoint_->DecodeTerm(result->rows[0][0]);
+  ASSERT_TRUE(term.ok());
+  EXPECT_TRUE(term->is_literal());
+  EXPECT_EQ(term->lexical(), "zero");
+}
+
+TEST_F(HttpSparqlEndpointTest, AskShipsOneBooleanNoRows) {
+  auto yes = endpoint_->Ask(queries::FactsOfPredicate(ClientP()));
+  ASSERT_TRUE(yes.ok()) << yes.status().ToString();
+  EXPECT_TRUE(*yes);
+
+  auto no = endpoint_->Ask(queries::FactsOfPredicate(
+      endpoint_->EncodeTerm(Term::Iri("http://t.org/absent"))));
+  ASSERT_TRUE(no.ok());
+  EXPECT_FALSE(*no);
+
+  EXPECT_EQ(endpoint_->stats().rows_returned, 0u);
+  // The wire really carried ASK, not a LIMIT-1 SELECT.
+  const std::vector<std::string> queries = server_->queries_received();
+  ASSERT_EQ(queries.size(), 2u);
+  EXPECT_EQ(queries[0].rfind("ASK", 0), 0u) << queries[0];
+}
+
+TEST_F(HttpSparqlEndpointTest, PagedSelectComposesOverHttp) {
+  PagedSelectOptions options;
+  options.page_size = 3;
+  auto merged =
+      PagedSelect(endpoint_.get(), queries::FactsOfPredicate(ClientP()),
+                  options);
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+  EXPECT_EQ(merged->rows.size(), 10u);
+  // 10 rows at page size 3 => 4 requests (last one short), all over HTTP.
+  EXPECT_EQ(server_->requests_served(), 4u);
+  // The pages really went out with OFFSET/LIMIT on the wire.
+  const std::vector<std::string> queries = server_->queries_received();
+  EXPECT_NE(queries[1].find("OFFSET 3"), std::string::npos) << queries[1];
+  EXPECT_NE(queries[1].find("LIMIT 3"), std::string::npos);
+}
+
+TEST_F(HttpSparqlEndpointTest, OverLongPageIsTruncatedAndStops) {
+  server_->OverdeliverRows(5);  // Server ignores LIMIT by up to 5 rows.
+  PagedSelectOptions options;
+  options.page_size = 3;
+  options.max_rows = 6;
+  auto merged =
+      PagedSelect(endpoint_.get(), queries::FactsOfPredicate(ClientP()),
+                  options);
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+  // Clamped to the page it asked for, then stopped: no runaway loop, no
+  // blowing through max_rows.
+  EXPECT_EQ(merged->rows.size(), 3u);
+  EXPECT_EQ(server_->requests_served(), 1u);
+}
+
+TEST_F(HttpSparqlEndpointTest, RetryingEndpointRecovers503Burst) {
+  server_->FailNextRequests(2);  // 503, 503, then healthy.
+  std::vector<double> delays;
+  RetryOptions retry;
+  retry.max_retries = 3;
+  retry.initial_backoff_ms = 10.0;
+  retry.jitter = 0.0;
+  retry.sleeper = [&delays](double ms) { delays.push_back(ms); };
+  RetryingEndpoint retrying(endpoint_.get(), retry);
+
+  auto result = retrying.Select(queries::FactsOfPredicate(ClientP()));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->rows.size(), 10u);
+  EXPECT_EQ(retrying.retries_performed(), 2u);
+  EXPECT_EQ(server_->requests_served(), 3u);
+  // Exponential, not zero-delay: the client waited before each re-issue.
+  ASSERT_EQ(delays.size(), 2u);
+  EXPECT_DOUBLE_EQ(delays[0], 10.0);
+  EXPECT_DOUBLE_EQ(delays[1], 20.0);
+}
+
+TEST_F(HttpSparqlEndpointTest, StatusMapping) {
+  const SelectQuery query = queries::FactsOfPredicate(ClientP());
+  server_->FailNextRequests(1, 429);
+  EXPECT_TRUE(endpoint_->Select(query).status().IsUnavailable());
+  server_->FailNextRequests(1, 503);
+  EXPECT_TRUE(endpoint_->Select(query).status().IsUnavailable());
+  server_->FailNextRequests(1, 504);
+  EXPECT_TRUE(endpoint_->Select(query).status().IsUnavailable());
+  server_->FailNextRequests(1, 400);
+  EXPECT_TRUE(endpoint_->Select(query).status().IsInvalidArgument());
+  server_->FailNextRequests(1, 404);
+  EXPECT_TRUE(endpoint_->Select(query).status().IsNotFound());
+  server_->FailNextRequests(1, 500);
+  EXPECT_TRUE(endpoint_->Select(query).status().IsInternal());
+  // Healthy again afterwards.
+  EXPECT_TRUE(endpoint_->Select(query).ok());
+}
+
+TEST_F(HttpSparqlEndpointTest, ConnectFailureIsUnavailable) {
+  transport_->FailNextConnects(1);
+  auto first = endpoint_->Select(queries::FactsOfPredicate(ClientP()));
+  EXPECT_TRUE(first.status().IsUnavailable()) << first.status().ToString();
+  // And retryable: the next attempt connects fresh and succeeds.
+  EXPECT_TRUE(endpoint_->Select(queries::FactsOfPredicate(ClientP())).ok());
+}
+
+TEST_F(HttpSparqlEndpointTest, MalformedResultsAreParseErrors) {
+  server_->CorruptNextResponses(1);
+  auto result = endpoint_->Select(queries::FactsOfPredicate(ClientP()));
+  EXPECT_TRUE(result.status().IsParseError()) << result.status().ToString();
+}
+
+TEST_F(HttpSparqlEndpointTest, KeepAliveReusesOneConnection) {
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(
+        endpoint_->Select(queries::FactsOfPredicate(ClientP())).ok());
+  }
+  EXPECT_EQ(transport_->connections_opened(), 1u);
+}
+
+TEST_F(HttpSparqlEndpointTest, ConnectionCloseForcesReconnect) {
+  server_->CloseAfterEachResponse(true);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(
+        endpoint_->Select(queries::FactsOfPredicate(ClientP())).ok());
+  }
+  EXPECT_EQ(transport_->connections_opened(), 3u);
+}
+
+TEST_F(HttpSparqlEndpointTest, SelectManyPipelinesOverBoundedPool) {
+  endpoint_ = MakeEndpoint(/*max_connections=*/2);
+  std::vector<SelectQuery> batch;
+  for (int i = 0; i < 8; ++i) {
+    batch.push_back(queries::FactsOfPredicate(ClientP(), /*limit=*/i + 1));
+  }
+  auto results = endpoint_->SelectMany(batch);
+  ASSERT_TRUE(results.ok()) << results.status().ToString();
+  ASSERT_EQ(results->size(), batch.size());
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ((*results)[i].rows.size(), static_cast<size_t>(i + 1))
+        << "batch position " << i;
+  }
+  EXPECT_EQ(server_->requests_served(), 8u);
+  // Pipelined over at most max_connections sockets.
+  EXPECT_LE(transport_->connections_opened(), 2u);
+  EXPECT_EQ(endpoint_->stats().queries, 8u);
+}
+
+TEST_F(HttpSparqlEndpointTest, AskManyPipelines) {
+  std::vector<SelectQuery> batch;
+  batch.push_back(queries::FactsOfPredicate(ClientP()));
+  batch.push_back(queries::FactsOfPredicate(
+      endpoint_->EncodeTerm(Term::Iri("http://t.org/absent"))));
+  batch.push_back(queries::FactsOfPredicate(ClientP()));
+  auto results = endpoint_->AskMany(batch);
+  ASSERT_TRUE(results.ok()) << results.status().ToString();
+  EXPECT_EQ(*results, (std::vector<bool>{true, false, true}));
+  EXPECT_LE(transport_->connections_opened(), 4u);
+}
+
+TEST_F(HttpSparqlEndpointTest, FacadeStacksDecoratorsOverHttp) {
+  // The full client stack — cache over retry over the HTTP endpoint —
+  // composed by the facade's remote constructor.
+  auto world = std::move(GenerateWorld(TinyWorldSpec())).value();
+  MockSparqlServer candidate_server(world.kb1.get());
+  MockSparqlServer reference_server(world.kb2.get());
+  auto candidate_transport = candidate_server.MakeTransport();
+  auto reference_transport = reference_server.MakeTransport();
+
+  HttpSparqlEndpointOptions c_options;
+  c_options.name = world.kb1->name();
+  c_options.base_iri = world.kb1->base_iri();
+  HttpSparqlEndpointOptions r_options;
+  r_options.name = world.kb2->name();
+  r_options.base_iri = world.kb2->base_iri();
+  auto candidate = std::make_unique<HttpSparqlEndpoint>(
+      ParseUrl("http://kb1.test/sparql").value(), candidate_transport.get(),
+      c_options);
+  auto reference = std::make_unique<HttpSparqlEndpoint>(
+      ParseUrl("http://kb2.test/sparql").value(), reference_transport.get(),
+      r_options);
+
+  SofyaOptions options;
+  options.retry.initial_backoff_ms = 0.0;
+  Sofya remote(std::move(candidate), std::move(reference), &world.links,
+               options);
+
+  // Remote relation discovery costs one SELECT DISTINCT query.
+  auto relations = remote.ReferenceRelations();
+  ASSERT_TRUE(relations.ok()) << relations.status().ToString();
+  ASSERT_FALSE(relations->empty());
+
+  // Alignment over the wire agrees with alignment in-process.
+  Sofya local(world.kb1.get(), world.kb2.get(), &world.links, options);
+  auto local_relations = local.ReferenceRelations();
+  ASSERT_TRUE(local_relations.ok());
+  EXPECT_EQ(*relations, *local_relations);
+
+  const std::string relation = relations->front();
+  auto remote_result = remote.Align(relation);
+  ASSERT_TRUE(remote_result.ok()) << remote_result.status().ToString();
+  auto local_result = local.Align(relation);
+  ASSERT_TRUE(local_result.ok());
+  ASSERT_EQ((*remote_result)->verdicts.size(),
+            (*local_result)->verdicts.size());
+  for (size_t i = 0; i < (*remote_result)->verdicts.size(); ++i) {
+    EXPECT_EQ((*remote_result)->verdicts[i].relation,
+              (*local_result)->verdicts[i].relation);
+    EXPECT_EQ((*remote_result)->verdicts[i].accepted,
+              (*local_result)->verdicts[i].accepted);
+  }
+  EXPECT_GT(candidate_server.requests_served(), 0u);
+  EXPECT_GT(reference_server.requests_served(), 0u);
+}
+
+}  // namespace
+}  // namespace sofya

@@ -1,0 +1,366 @@
+// Hardening tests for the retry/paging layer: backoff schedules, retry
+// storms, batch forwarding, and misbehaving servers that over-deliver rows.
+// The misbehaving-server cases are regression tests: before the fixes,
+// PagedSelect's cap arithmetic wrapped (runaway loop) and every retry loop
+// re-issued with zero delay.
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "endpoint/endpoint.h"
+#include "endpoint/paged_select.h"
+#include "endpoint/retry_policy.h"
+#include "endpoint/retrying_endpoint.h"
+#include "rdf/dictionary.h"
+
+namespace sofya {
+namespace {
+
+/// Scriptable endpoint: Select/Ask behavior comes from injected handlers;
+/// batch entry points count their invocations so tests can assert whether
+/// a decorator forwarded the batch or fell back to per-query calls.
+class ScriptedEndpoint : public Endpoint {
+ public:
+  using SelectHandler =
+      std::function<StatusOr<ResultSet>(const SelectQuery&)>;
+  using AskHandler = std::function<StatusOr<bool>(const SelectQuery&)>;
+
+  const std::string& name() const override { return name_; }
+  const std::string& base_iri() const override { return base_iri_; }
+
+  StatusOr<ResultSet> Select(const SelectQuery& query) override {
+    ++select_calls_;
+    return select_handler_(query);
+  }
+
+  StatusOr<std::vector<ResultSet>> SelectMany(
+      std::span<const SelectQuery> queries) override {
+    ++select_many_calls_;
+    return Endpoint::SelectMany(queries);
+  }
+
+  StatusOr<bool> Ask(const SelectQuery& query) override {
+    ++ask_calls_;
+    return ask_handler_(query);
+  }
+
+  StatusOr<std::vector<bool>> AskMany(
+      std::span<const SelectQuery> queries) override {
+    ++ask_many_calls_;
+    return Endpoint::AskMany(queries);
+  }
+
+  TermId EncodeTerm(const Term& term) override { return dict_.Intern(term); }
+  TermId LookupTerm(const Term& term) const override {
+    return dict_.Lookup(term);
+  }
+  StatusOr<Term> DecodeTerm(TermId id) const override {
+    return dict_.TryDecode(id);
+  }
+  EndpointStats stats() const override { return EndpointStats(); }
+  void ResetStats() override {}
+
+  SelectHandler select_handler_ = [](const SelectQuery&) {
+    return ResultSet();
+  };
+  AskHandler ask_handler_ = [](const SelectQuery&) { return true; };
+  int select_calls_ = 0;
+  int select_many_calls_ = 0;
+  int ask_calls_ = 0;
+  int ask_many_calls_ = 0;
+
+ private:
+  std::string name_ = "scripted";
+  std::string base_iri_ = "http://scripted.test/";
+  Dictionary dict_;
+};
+
+/// A one-clause query (contents are irrelevant to these tests).
+SelectQuery ProbeQuery(TermId p = 1) {
+  SelectQuery query;
+  const VarId s = query.NewVar("s");
+  const VarId o = query.NewVar("o");
+  query.Where(NodeRef::Variable(s), NodeRef::Constant(p),
+              NodeRef::Variable(o));
+  return query;
+}
+
+/// A result with `n` single-column rows.
+ResultSet Rows(size_t n) {
+  ResultSet result;
+  result.var_names = {"s"};
+  for (size_t i = 0; i < n; ++i) {
+    result.rows.push_back({static_cast<TermId>(i + 1)});
+  }
+  return result;
+}
+
+// ----------------------------------------------------------- backoff math
+
+TEST(RetryPolicyTest, BackoffGrowsExponentiallyAndCaps) {
+  RetryOptions options;
+  options.initial_backoff_ms = 10.0;
+  options.backoff_multiplier = 2.0;
+  options.max_backoff_ms = 40.0;
+  options.jitter = 0.0;
+  Rng rng(1);
+  EXPECT_DOUBLE_EQ(RetryBackoffMs(options, 1, rng), 10.0);
+  EXPECT_DOUBLE_EQ(RetryBackoffMs(options, 2, rng), 20.0);
+  EXPECT_DOUBLE_EQ(RetryBackoffMs(options, 3, rng), 40.0);
+  EXPECT_DOUBLE_EQ(RetryBackoffMs(options, 4, rng), 40.0);  // Capped.
+}
+
+TEST(RetryPolicyTest, JitterStaysWithinFractionAndIsSeeded) {
+  RetryOptions options;
+  options.initial_backoff_ms = 100.0;
+  options.jitter = 0.5;
+  Rng rng_a(7);
+  Rng rng_b(7);
+  Rng rng_c(8);
+  const double a = RetryBackoffMs(options, 1, rng_a);
+  EXPECT_GE(a, 50.0);
+  EXPECT_LT(a, 150.0);
+  EXPECT_DOUBLE_EQ(a, RetryBackoffMs(options, 1, rng_b));  // Same seed.
+  EXPECT_NE(a, RetryBackoffMs(options, 1, rng_c));         // Decorrelated.
+}
+
+TEST(RetryPolicyTest, ZeroInitialBackoffDisablesWaiting) {
+  RetryOptions options;
+  options.initial_backoff_ms = 0.0;
+  Rng rng(1);
+  EXPECT_DOUBLE_EQ(RetryBackoffMs(options, 3, rng), 0.0);
+}
+
+// ---------------------------------------------------- retry-storm hardening
+
+TEST(RetryStormTest, RetryingEndpointWaitsBetweenReissues) {
+  ScriptedEndpoint inner;
+  int failures_left = 2;
+  inner.select_handler_ = [&](const SelectQuery&) -> StatusOr<ResultSet> {
+    if (failures_left > 0) {
+      --failures_left;
+      return Status::Unavailable("503");
+    }
+    return Rows(1);
+  };
+  std::vector<double> delays;
+  RetryOptions retry;
+  retry.max_retries = 5;
+  retry.initial_backoff_ms = 10.0;
+  retry.jitter = 0.0;
+  retry.sleeper = [&delays](double ms) { delays.push_back(ms); };
+  RetryingEndpoint ep(&inner, retry);
+
+  ASSERT_TRUE(ep.Select(ProbeQuery()).ok());
+  EXPECT_EQ(ep.retries_performed(), 2u);
+  // The storm fix: every re-issue waited, exponentially longer each time.
+  ASSERT_EQ(delays.size(), 2u);
+  EXPECT_DOUBLE_EQ(delays[0], 10.0);
+  EXPECT_DOUBLE_EQ(delays[1], 20.0);
+}
+
+TEST(RetryStormTest, PagedSelectRoutesThroughSharedPolicy) {
+  ScriptedEndpoint inner;
+  int failures_left = 2;
+  inner.select_handler_ =
+      [&](const SelectQuery& query) -> StatusOr<ResultSet> {
+    if (failures_left > 0) {
+      --failures_left;
+      return Status::Unavailable("503");
+    }
+    return Rows(query.limit() == kNoLimit ? 1 : 0);
+  };
+  std::vector<double> delays;
+  PagedSelectOptions options;
+  options.page_size = 4;
+  options.retry.max_retries = 3;
+  options.retry.initial_backoff_ms = 5.0;
+  options.retry.jitter = 0.0;
+  options.retry.sleeper = [&delays](double ms) { delays.push_back(ms); };
+
+  ASSERT_TRUE(PagedSelect(&inner, ProbeQuery(), options).ok());
+  // PagedSelect's inner loop is the same backoff policy, not a zero-delay
+  // copy: both re-issues waited.
+  ASSERT_EQ(delays.size(), 2u);
+  EXPECT_DOUBLE_EQ(delays[0], 5.0);
+  EXPECT_DOUBLE_EQ(delays[1], 10.0);
+}
+
+TEST(RetryStormTest, NonTransientErrorsAreNeverRetried) {
+  ScriptedEndpoint inner;
+  inner.select_handler_ = [](const SelectQuery&) -> StatusOr<ResultSet> {
+    return Status::ResourceExhausted("budget");
+  };
+  std::vector<double> delays;
+  RetryOptions retry;
+  retry.sleeper = [&delays](double ms) { delays.push_back(ms); };
+  RetryingEndpoint ep(&inner, retry);
+  EXPECT_TRUE(ep.Select(ProbeQuery()).status().IsResourceExhausted());
+  EXPECT_EQ(ep.retries_performed(), 0u);
+  EXPECT_TRUE(delays.empty());
+  EXPECT_EQ(inner.select_calls_, 1);
+}
+
+// ------------------------------------------------------- batch forwarding
+
+TEST(RetryBatchTest, SelectManyForwardsTheBatchToInner) {
+  ScriptedEndpoint inner;
+  inner.select_handler_ = [](const SelectQuery&) { return Rows(2); };
+  RetryingEndpoint ep(&inner);
+  std::vector<SelectQuery> batch = {ProbeQuery(1), ProbeQuery(2),
+                                    ProbeQuery(3)};
+  auto results = ep.SelectMany(batch);
+  ASSERT_TRUE(results.ok());
+  EXPECT_EQ(results->size(), 3u);
+  // The batch reached the inner endpoint as a batch — a batching/caching
+  // inner layer keeps its intra-batch dedup. (The inherited default would
+  // leave this at 0 and issue three bare Selects.)
+  EXPECT_EQ(inner.select_many_calls_, 1);
+}
+
+TEST(RetryBatchTest, SelectManyRetriesOnlyFailingSubQueries) {
+  ScriptedEndpoint inner;
+  // Query #2 fails twice (also sinking the first batch attempt), then
+  // recovers. Queries #1/#3 always succeed.
+  const std::string flaky = ProbeQuery(2).Fingerprint();
+  std::map<std::string, int> select_counts;
+  int failures_left = 2;
+  inner.select_handler_ =
+      [&](const SelectQuery& query) -> StatusOr<ResultSet> {
+    ++select_counts[query.Fingerprint()];
+    if (query.Fingerprint() == flaky && failures_left > 0) {
+      --failures_left;
+      return Status::Unavailable("503");
+    }
+    return Rows(1);
+  };
+  RetryOptions retry;
+  retry.max_retries = 5;
+  retry.initial_backoff_ms = 0.0;
+  RetryingEndpoint ep(&inner, retry);
+
+  std::vector<SelectQuery> batch = {ProbeQuery(1), ProbeQuery(2),
+                                    ProbeQuery(3)};
+  auto results = ep.SelectMany(batch);
+  ASSERT_TRUE(results.ok()) << results.status().ToString();
+  EXPECT_EQ(results->size(), 3u);
+  EXPECT_EQ(ep.retries_performed(), 1u);  // Only the flaky sub-query.
+  // Healthy sub-queries were re-issued at most once more (the recovery
+  // pass), never hammered.
+  EXPECT_LE(select_counts[ProbeQuery(1).Fingerprint()], 2);
+  EXPECT_LE(select_counts[ProbeQuery(3).Fingerprint()], 2);
+  EXPECT_EQ(select_counts[flaky], 3);  // Fail, fail, succeed.
+}
+
+TEST(RetryBatchTest, AskManyForwardsTheBatchToInner) {
+  ScriptedEndpoint inner;
+  RetryingEndpoint ep(&inner);
+  std::vector<SelectQuery> batch = {ProbeQuery(1), ProbeQuery(2)};
+  auto results = ep.AskMany(batch);
+  ASSERT_TRUE(results.ok());
+  EXPECT_EQ(results->size(), 2u);
+  EXPECT_EQ(inner.ask_many_calls_, 1);
+}
+
+TEST(RetryBatchTest, AskManyRecoversPerSubQuery) {
+  ScriptedEndpoint inner;
+  int failures_left = 3;
+  inner.ask_handler_ = [&](const SelectQuery&) -> StatusOr<bool> {
+    if (failures_left > 0) {
+      --failures_left;
+      return Status::Unavailable("503");
+    }
+    return true;
+  };
+  RetryOptions retry;
+  retry.max_retries = 5;
+  retry.initial_backoff_ms = 0.0;
+  RetryingEndpoint ep(&inner, retry);
+  std::vector<SelectQuery> batch = {ProbeQuery(1), ProbeQuery(2)};
+  auto results = ep.AskMany(batch);
+  ASSERT_TRUE(results.ok()) << results.status().ToString();
+  EXPECT_EQ(*results, (std::vector<bool>{true, true}));
+  EXPECT_GT(ep.retries_performed(), 0u);
+}
+
+// ------------------------------------------------- misbehaving-server paging
+
+TEST(PagedSelectHardeningTest, OverLongPageIsClampedAndPagingStops) {
+  ScriptedEndpoint inner;
+  inner.select_handler_ =
+      [](const SelectQuery& query) -> StatusOr<ResultSet> {
+    // Misbehaving server: always over-delivers the requested LIMIT by 3.
+    const uint64_t limit = query.limit() == kNoLimit ? 5 : query.limit();
+    return Rows(limit + 3);
+  };
+  PagedSelectOptions options;
+  options.page_size = 4;
+  options.max_rows = 10;
+  auto merged = PagedSelect(&inner, ProbeQuery(), options);
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+  // Before the fix, total_cap - merged.rows.size() wrapped once the
+  // over-delivery pushed past the cap and the loop ran away. Now: one
+  // request, its over-long page truncated to what was asked, stop.
+  EXPECT_EQ(merged->rows.size(), 4u);
+  EXPECT_EQ(inner.select_calls_, 1);
+}
+
+TEST(PagedSelectHardeningTest, OverLongPageRespectsQueryLimit) {
+  ScriptedEndpoint inner;
+  inner.select_handler_ =
+      [](const SelectQuery& query) -> StatusOr<ResultSet> {
+    const uint64_t limit = query.limit() == kNoLimit ? 5 : query.limit();
+    return Rows(limit + 100);
+  };
+  PagedSelectOptions options;
+  options.page_size = 50;
+  SelectQuery query = ProbeQuery();
+  query.Limit(7);
+  auto merged = PagedSelect(&inner, query, options);
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ(merged->rows.size(), 7u);  // The query's own LIMIT holds.
+}
+
+TEST(PagedSelectHardeningTest, BatchedFirstPageOverdeliveryIsClamped) {
+  ScriptedEndpoint inner;
+  inner.select_handler_ =
+      [](const SelectQuery& query) -> StatusOr<ResultSet> {
+    const uint64_t limit = query.limit() == kNoLimit ? 5 : query.limit();
+    return Rows(limit + 2);
+  };
+  PagedSelectOptions options;
+  options.page_size = 3;
+  options.max_rows = 8;
+  std::vector<SelectQuery> batch = {ProbeQuery(1), ProbeQuery(2)};
+  auto results = BatchedPagedSelect(&inner, batch, options);
+  ASSERT_TRUE(results.ok()) << results.status().ToString();
+  for (const ResultSet& result : *results) {
+    EXPECT_EQ(result.rows.size(), 3u);  // Clamped to the first page.
+  }
+}
+
+TEST(PagedSelectHardeningTest, WellBehavedPagingIsUnchanged) {
+  ScriptedEndpoint inner;
+  inner.select_handler_ =
+      [](const SelectQuery& query) -> StatusOr<ResultSet> {
+    // 10 rows total, honest LIMIT/OFFSET.
+    const uint64_t total = 10;
+    if (query.offset() >= total) return Rows(0);
+    const uint64_t want =
+        std::min<uint64_t>(query.limit(), total - query.offset());
+    return Rows(want);
+  };
+  PagedSelectOptions options;
+  options.page_size = 4;
+  auto merged = PagedSelect(&inner, ProbeQuery(), options);
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ(merged->rows.size(), 10u);
+  EXPECT_EQ(inner.select_calls_, 3);  // 4 + 4 + 2 (short page stops).
+}
+
+}  // namespace
+}  // namespace sofya

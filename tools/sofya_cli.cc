@@ -3,17 +3,23 @@
 //   sofya generate --preset movies --out DIR [--seed N] [--scale S]
 //       Write a benchmark world as kb1.nt / kb2.nt / links.nt / truth.tsv.
 //
-//   sofya align --kb1 F --kb2 F --links F --relation IRI[,IRI...]
+//   sofya align --kb1 F|URL --kb2 F|URL --links F --relation IRI[,IRI...]
 //               [--threads N] [--tau T] [--measure pca|cwa] [--no-ubs]
-//               [--sample N]
-//       Load two N-Triples datasets + an owl:sameAs link file and align the
-//       given reference relation(s) (IRIs live in --kb2) on the fly.
+//               [--sample N] [--base1 IRI] [--base2 IRI]
+//       Load two datasets + an owl:sameAs link file and align the given
+//       reference relation(s) (IRIs live in --kb2) on the fly. A dataset
+//       is either an N-Triples file or an http:// SPARQL endpoint URL
+//       (live DBpedia/Wikidata-style access; --base1/--base2 give the
+//       remote datasets' entity namespaces for sameAs translation).
 //       --relation all aligns every kb2 relation; --threads N fans the
 //       relations out across N workers (verdicts are identical to
 //       sequential for any N).
 //
 //   sofya query --kb F --sparql 'SELECT ...'
-//       Run a SPARQL SELECT (the supported subset) against a dataset.
+//   sofya query --endpoint-url URL --sparql 'SELECT ...'
+//       Run a SPARQL SELECT (the supported subset) against a local
+//       dataset or a remote SPARQL endpoint (retried with backoff on
+//       transient failures).
 
 #include <cstdio>
 #include <cstring>
@@ -33,10 +39,12 @@ int Usage() {
                "usage:\n"
                "  sofya generate --preset tiny|movies|music|yago-dbpedia "
                "--out DIR [--seed N] [--scale S] [--inverses]\n"
-               "  sofya align --kb1 FILE --kb2 FILE --links FILE "
+               "  sofya align --kb1 FILE|URL --kb2 FILE|URL --links FILE "
                "--relation IRI[,IRI...]|all [--threads N] [--tau T] "
-               "[--measure pca|cwa] [--no-ubs] [--sample N]\n"
-               "  sofya query --kb FILE --sparql 'SELECT ...'\n");
+               "[--measure pca|cwa] [--no-ubs] [--sample N] "
+               "[--base1 IRI] [--base2 IRI]\n"
+               "  sofya query (--kb FILE | --endpoint-url URL) "
+               "--sparql 'SELECT ...'\n");
   return 2;
 }
 
@@ -200,31 +208,73 @@ std::string GuessBaseIri(const KnowledgeBase& kb) {
   return prefix;
 }
 
+/// True when a dataset spec names a remote SPARQL endpoint, not a file.
+bool IsEndpointUrl(const std::string& spec) {
+  return StartsWith(spec, "http://") || StartsWith(spec, "https://");
+}
+
+/// Builds one dataset's base endpoint: an HttpSparqlEndpoint for URLs, a
+/// LocalEndpoint over a freshly loaded KB for files. `kb_storage` owns the
+/// loaded KB in the file case and must outlive the returned endpoint.
+StatusOr<std::unique_ptr<Endpoint>> MakeBaseEndpoint(
+    const std::string& spec, const std::string& name,
+    const std::string& base_iri, std::unique_ptr<KnowledgeBase>* kb_storage) {
+  if (IsEndpointUrl(spec)) {
+    if (base_iri.empty()) {
+      // An empty base IRI would make sameAs translation match *every*
+      // group member (prefix filter on "" never filters) and silently
+      // corrupt verdicts; a local file guesses its base, a remote endpoint
+      // cannot.
+      return Status::InvalidArgument(
+          name + " is a remote endpoint; pass its entity namespace via --" +
+          (name == "kb1" ? std::string("base1") : std::string("base2")) +
+          " (e.g. http://dbpedia.org/)");
+    }
+    HttpSparqlEndpointOptions options;
+    options.name = name;
+    options.base_iri = base_iri;
+    SOFYA_ASSIGN_OR_RETURN(std::unique_ptr<HttpSparqlEndpoint> endpoint,
+                           HttpSparqlEndpoint::Create(spec, options));
+    std::fprintf(stderr, "%s: remote endpoint %s\n", name.c_str(),
+                 spec.c_str());
+    return std::unique_ptr<Endpoint>(std::move(endpoint));
+  }
+  auto loaded = std::make_unique<KnowledgeBase>(name, "");
+  SOFYA_RETURN_IF_ERROR(LoadKb(spec, loaded.get()));
+  const std::string guessed =
+      base_iri.empty() ? GuessBaseIri(*loaded) : base_iri;
+  *kb_storage = std::make_unique<KnowledgeBase>(name, guessed);
+  (*kb_storage)->dict() = std::move(loaded->dict());
+  (*kb_storage)->store() = std::move(loaded->store());
+  std::fprintf(stderr, "%s: base IRI %s\n", name.c_str(), guessed.c_str());
+  return std::unique_ptr<Endpoint>(
+      std::make_unique<LocalEndpoint>(kb_storage->get()));
+}
+
 int Align(const std::map<std::string, std::string>& flags) {
   if (!flags.count("kb1") || !flags.count("kb2") || !flags.count("links") ||
       !flags.count("relation")) {
     return Usage();
   }
-  KnowledgeBase kb1("kb1", "");
-  KnowledgeBase kb2("kb2", "");
   SameAsIndex links;
-  for (Status st : {LoadKb(flags.at("kb1"), &kb1),
-                    LoadKb(flags.at("kb2"), &kb2),
-                    LoadLinks(flags.at("links"), &links)}) {
-    if (!st.ok()) {
-      std::fprintf(stderr, "%s\n", st.ToString().c_str());
-      return 1;
-    }
+  if (Status st = LoadLinks(flags.at("links"), &links); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
   }
-  KnowledgeBase kb1_named("kb1", GuessBaseIri(kb1));
-  KnowledgeBase kb2_named("kb2", GuessBaseIri(kb2));
-  // Rebuild with guessed base IRIs (cheap: move stores over).
-  kb1_named.dict() = std::move(kb1.dict());
-  kb1_named.store() = std::move(kb1.store());
-  kb2_named.dict() = std::move(kb2.dict());
-  kb2_named.store() = std::move(kb2.store());
-  std::fprintf(stderr, "base IRIs: kb1=%s kb2=%s\n",
-               kb1_named.base_iri().c_str(), kb2_named.base_iri().c_str());
+  const std::string base1 = flags.count("base1") ? flags.at("base1") : "";
+  const std::string base2 = flags.count("base2") ? flags.at("base2") : "";
+  std::unique_ptr<KnowledgeBase> kb1_storage;
+  std::unique_ptr<KnowledgeBase> kb2_storage;
+  auto kb1_endpoint =
+      MakeBaseEndpoint(flags.at("kb1"), "kb1", base1, &kb1_storage);
+  auto kb2_endpoint =
+      MakeBaseEndpoint(flags.at("kb2"), "kb2", base2, &kb2_storage);
+  if (!kb1_endpoint.ok() || !kb2_endpoint.ok()) {
+    const Status& bad = !kb1_endpoint.ok() ? kb1_endpoint.status()
+                                           : kb2_endpoint.status();
+    std::fprintf(stderr, "%s\n", bad.ToString().c_str());
+    return 1;
+  }
 
   SofyaOptions options;
   if (flags.count("tau")) {
@@ -238,14 +288,21 @@ int Align(const std::map<std::string, std::string>& flags) {
     options.aligner.sampler.sample_size = std::stoul(flags.at("sample"));
   }
 
-  Sofya sofya(&kb1_named, &kb2_named, &links, options);
+  Sofya sofya(std::move(*kb1_endpoint), std::move(*kb2_endpoint), &links,
+              options);
 
   // --relation: one IRI, a comma-separated list, or "all" (every predicate
   // of the reference KB).
   std::vector<std::string> relations;
   const std::string& relation_flag = flags.at("relation");
   if (relation_flag == "all") {
-    relations = sofya.ReferenceRelations();
+    auto discovered = sofya.ReferenceRelations();
+    if (!discovered.ok()) {
+      std::fprintf(stderr, "relation discovery failed: %s\n",
+                   discovered.status().ToString().c_str());
+      return 1;
+    }
+    relations = std::move(*discovered);
   } else {
     for (std::string& iri : Split(relation_flag, ',')) {
       if (!iri.empty()) relations.push_back(std::move(iri));
@@ -291,16 +348,43 @@ int Align(const std::map<std::string, std::string>& flags) {
 }
 
 int Query(const std::map<std::string, std::string>& flags) {
-  if (!flags.count("kb") || !flags.count("sparql")) return Usage();
-  KnowledgeBase kb("kb", "");
-  Status st = LoadKb(flags.at("kb"), &kb);
-  if (!st.ok()) {
-    std::fprintf(stderr, "%s\n", st.ToString().c_str());
-    return 1;
+  if ((!flags.count("kb") && !flags.count("endpoint-url")) ||
+      !flags.count("sparql")) {
+    return Usage();
   }
-  LocalEndpoint endpoint(&kb);
+
+  // Build the target endpoint: local file or remote SPARQL service. The
+  // remote path is wrapped in RetryingEndpoint so one 503 does not kill a
+  // one-shot query (backoff per retry_policy.h defaults).
+  KnowledgeBase kb("kb", "");
+  std::unique_ptr<LocalEndpoint> local;
+  std::unique_ptr<HttpSparqlEndpoint> remote;
+  std::unique_ptr<RetryingEndpoint> retrying;
+  Endpoint* endpoint = nullptr;
+  if (flags.count("endpoint-url")) {
+    HttpSparqlEndpointOptions options;
+    options.name = "remote";
+    auto created = HttpSparqlEndpoint::Create(flags.at("endpoint-url"),
+                                              options);
+    if (!created.ok()) {
+      std::fprintf(stderr, "%s\n", created.status().ToString().c_str());
+      return 1;
+    }
+    remote = std::move(*created);
+    retrying = std::make_unique<RetryingEndpoint>(remote.get());
+    endpoint = retrying.get();
+  } else {
+    Status st = LoadKb(flags.at("kb"), &kb);
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    local = std::make_unique<LocalEndpoint>(&kb);
+    endpoint = local.get();
+  }
+
   const PrefixMap prefixes = PrefixMap::WithDefaults();
-  auto rows = SelectText(&endpoint, flags.at("sparql"), &prefixes);
+  auto rows = SelectText(endpoint, flags.at("sparql"), &prefixes);
   if (!rows.ok()) {
     std::fprintf(stderr, "%s\n", rows.status().ToString().c_str());
     return 1;
@@ -312,7 +396,11 @@ int Query(const std::map<std::string, std::string>& flags) {
   for (const auto& row : rows->rows) {
     std::string line;
     for (TermId id : row) {
-      auto term = endpoint.DecodeTerm(id);
+      if (id == kNullTermId) {
+        line += "\t";  // Unbound cell (remote results may have them).
+        continue;
+      }
+      auto term = endpoint->DecodeTerm(id);
       line += (term.ok() ? term->ToNTriples() : "?") + "\t";
     }
     std::printf("%s\n", line.c_str());
