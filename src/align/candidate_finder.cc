@@ -89,8 +89,12 @@ StatusOr<std::vector<CandidateRelation>> CandidateFinder::FindCandidates(
   }
 
   std::map<Term, size_t> counts;  // Ordered: deterministic ties.
-  SOFYA_ASSIGN_OR_RETURN(std::vector<ResultSet> probe_results,
-                         candidate_kb_->SelectMany(probe_queries));
+  // Every probe answer is needed to score co-occurrence deterministically,
+  // so a sub-query that still fails after the stack's per-slot recovery
+  // fails the discovery (first error by batch position).
+  SOFYA_ASSIGN_OR_RETURN(
+      std::vector<ResultSet> probe_results,
+      candidate_kb_->SelectMany(probe_queries).IntoValues());
   for (size_t i = 0; i < probes.size(); ++i) {
     const ResultSet& rows = probe_results[i];
     if (probes[i].literal) {

@@ -114,6 +114,28 @@ struct AlignmentResult {
   }
 };
 
+/// How AlignMany carves relations into scheduler tasks.
+enum class AlignSchedule {
+  /// Phase-decomposed (default): each relation becomes a chain of
+  /// phase-level subtasks — candidate discovery, then one sampling subtask
+  /// per candidate, then the UBS probe wave, then one reverse-check subtask
+  /// per accepted candidate — scheduled on a shared work-stealing pool.
+  /// When one giant relation dominates the schema, its per-candidate
+  /// subtasks spread across every idle worker instead of serializing the
+  /// tail behind a single thread.
+  kPhase,
+  /// One monolithic task per relation (the pre-phase scheduler): simplest
+  /// attribution, but a skewed schema leaves N-1 workers idle while the
+  /// giant relation finishes. Kept for comparison benchmarks.
+  kRelation,
+};
+
+/// AlignMany configuration.
+struct AlignManyOptions {
+  size_t num_threads = 1;
+  AlignSchedule schedule = AlignSchedule::kPhase;
+};
+
 /// Result of a fleet alignment (AlignMany).
 struct AlignManyResult {
   /// Per-relation results, in input order: results[i] aligns relations[i].
@@ -130,6 +152,11 @@ struct AlignManyResult {
 
   double wall_ms = 0.0;
   size_t threads_used = 1;
+
+  /// Scheduler tasks executed: relations.size() under kRelation, the total
+  /// number of phase subtasks under kPhase (discovery + per-candidate
+  /// sampling + UBS + per-accepted reverse checks).
+  size_t subtasks_scheduled = 0;
 
   /// Server-seen queries over both endpoints.
   uint64_t total_queries() const {
@@ -153,19 +180,25 @@ class RelationAligner {
   /// Aligns reference relation `r`: returns per-candidate verdicts.
   StatusOr<AlignmentResult> Align(const Term& r);
 
-  /// Aligns many reference relations by fanning them out across a fixed
-  /// pool of `num_threads` workers (clamped to [1, relations.size()]).
-  /// Head relations are independent, so this is embarrassingly parallel;
-  /// the endpoint stack underneath must be thread-safe (every endpoint in
-  /// this repo is).
+  /// Aligns many reference relations on a shared work-stealing pool of
+  /// `options.num_threads` workers. Under the default kPhase schedule each
+  /// relation is decomposed into phase-level subtasks (see AlignSchedule),
+  /// so a schema where one giant relation dominates no longer serializes
+  /// the tail behind one worker; kRelation keeps the one-task-per-relation
+  /// monolith. The endpoint stack underneath must be thread-safe (every
+  /// endpoint in this repo is).
   ///
-  /// Determinism guarantee: per-relation verdicts and per-relation query
-  /// counts are bit-identical for any thread count, including 1, because
-  /// each relation's pipeline only depends on query *results* (identical no
-  /// matter who warmed a shared cache) and its counters come from a
-  /// task-private TrackingEndpoint (see AlignmentResult). On error the
-  /// first failing relation *by input order* is reported, not the first to
-  /// fail in wall-clock order.
+  /// Determinism guarantee (both schedules, any thread count): per-relation
+  /// verdicts and per-relation query counts are bit-identical to sequential
+  /// Align, because every subtask is a pure function of (relation,
+  /// candidate, options) — it depends only on query *results* (identical no
+  /// matter who warmed a shared cache), results land in pre-assigned
+  /// input-order slots, and counters come from a relation-private
+  /// thread-safe TrackingEndpoint whose per-call charges are
+  /// order-independent sums (see AlignmentResult). On error the first
+  /// failing relation *by input order* is reported — and within a relation
+  /// the first failing subtask by phase-then-candidate order — not the
+  /// first to fail in wall-clock order.
   ///
   /// Caveat: the guarantee assumes the endpoint stack answers a given query
   /// the same way every time. A finite ThrottleOptions::query_budget or
@@ -175,11 +208,47 @@ class RelationAligner {
   /// against metered stacks are still safe, just not reproducible past the
   /// first ResourceExhausted/Unavailable.
   StatusOr<AlignManyResult> AlignMany(std::span<const Term> relations,
-                                      size_t num_threads);
+                                      const AlignManyOptions& options);
+
+  /// Convenience overload: phase schedule at `num_threads` workers.
+  StatusOr<AlignManyResult> AlignMany(std::span<const Term> relations,
+                                      size_t num_threads) {
+    AlignManyOptions options;
+    options.num_threads = num_threads;
+    return AlignMany(relations, options);
+  }
 
   const AlignerOptions& options() const { return options_; }
 
  private:
+  friend struct RelationRun;  // The phase scheduler's per-relation state.
+
+  // The four phases of one relation's alignment. Align() composes them
+  // sequentially; the kPhase scheduler runs them as subtasks. Each is a
+  // pure function of its arguments over the aligner's endpoints, which is
+  // what makes the two compositions bit-identical.
+
+  /// Phase 1: candidate discovery.
+  StatusOr<std::vector<CandidateRelation>> DiscoverPhase(const Term& r);
+
+  /// Phase 2 (per candidate): simple-sample evidence + threshold verdict.
+  StatusOr<CandidateVerdict> ScorePhase(const Term& r,
+                                        const CandidateRelation& candidate);
+
+  /// Phase 3: the UBS counter-example wave over the threshold survivors;
+  /// sets the pruned flags and the final `accepted` bit on every verdict.
+  Status UbsPhase(const Term& r, std::vector<CandidateVerdict>* verdicts);
+
+  /// Phase 4 (per accepted candidate): reverse direction for equivalence.
+  Status ReversePhase(const Term& r, CandidateVerdict* verdict);
+
+  /// The kPhase scheduler behind AlignMany.
+  StatusOr<AlignManyResult> AlignManyPhased(std::span<const Term> relations,
+                                            size_t num_threads);
+  /// The kRelation (monolith-task) scheduler behind AlignMany.
+  StatusOr<AlignManyResult> AlignManyMonolith(std::span<const Term> relations,
+                                              size_t num_threads);
+
   Endpoint* candidate_kb_;  // K'. Not owned.
   Endpoint* reference_kb_;  // K.  Not owned.
   const SameAsIndex* links_;  // Not owned.

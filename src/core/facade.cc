@@ -67,13 +67,14 @@ StatusOr<const AlignmentResult*> Sofya::Align(
 }
 
 StatusOr<std::vector<const AlignmentResult*>> Sofya::AlignAll(
-    const std::vector<std::string>& relation_iris, size_t num_threads) {
+    const std::vector<std::string>& relation_iris, size_t num_threads,
+    AlignSchedule schedule) {
   std::vector<Term> relations;
   relations.reserve(relation_iris.size());
   for (const std::string& iri : relation_iris) {
     relations.push_back(Term::Iri(iri));
   }
-  return on_the_fly_->AlignManyCached(relations, num_threads);
+  return on_the_fly_->AlignManyCached(relations, num_threads, schedule);
 }
 
 StatusOr<std::vector<std::string>> Sofya::ReferenceRelations() {

@@ -15,6 +15,7 @@ constexpr size_t kAutoShards = 16;
 
 CachingEndpoint::CachingEndpoint(Endpoint* inner, CacheOptions options)
     : inner_(inner), options_(options) {
+  seen_epoch_.store(inner->data_epoch(), std::memory_order_relaxed);
   size_t shards = options_.shards;
   if (shards == 0) {
     shards = options_.capacity >= kAutoShardThreshold ? kAutoShards : 1;
@@ -26,6 +27,19 @@ CachingEndpoint::CachingEndpoint(Endpoint* inner, CacheOptions options)
   shards_.reserve(shards);
   for (size_t i = 0; i < shards; ++i) {
     shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+void CachingEndpoint::InvalidateIfStale() {
+  const uint64_t current = inner_->data_epoch();
+  uint64_t seen = seen_epoch_.load(std::memory_order_acquire);
+  if (current == seen) return;
+  // First thread to observe the flip claims the flush; late observers of
+  // the same flip see seen == current and skip.
+  if (seen_epoch_.compare_exchange_strong(seen, current,
+                                          std::memory_order_acq_rel)) {
+    Clear();
+    epoch_invalidations_.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
@@ -77,6 +91,7 @@ void CachingEndpoint::Insert(Entry entry) {
 }
 
 StatusOr<ResultSet> CachingEndpoint::Select(const SelectQuery& query) {
+  InvalidateIfStale();
   std::string key = query.Fingerprint();
   ResultSet cached;
   if (LookupSelect(key, &cached)) return cached;
@@ -85,15 +100,16 @@ StatusOr<ResultSet> CachingEndpoint::Select(const SelectQuery& query) {
   return result;
 }
 
-StatusOr<std::vector<ResultSet>> CachingEndpoint::SelectMany(
+SelectBatchResult CachingEndpoint::SelectMany(
     std::span<const SelectQuery> queries) {
-  std::vector<ResultSet> results(queries.size());
+  InvalidateIfStale();
+  SelectBatchResult results = SelectBatchResult::Sized(queries.size());
   std::vector<SelectQuery> missing;  // Unique misses only.
   std::unordered_map<std::string, size_t> missing_index;  // key -> missing[].
   std::vector<std::pair<size_t, size_t>> fill;  // (results[], missing[]).
   for (size_t i = 0; i < queries.size(); ++i) {
     std::string key = queries[i].Fingerprint();
-    if (LookupSelect(key, &results[i])) continue;
+    if (LookupSelect(key, &results.values[i])) continue;
     // Dedup duplicates within the batch here, client-side: decorator stacks
     // that decompose batches per query (throttle, retry) would otherwise
     // charge budget and latency for every repeat.
@@ -103,17 +119,23 @@ StatusOr<std::vector<ResultSet>> CachingEndpoint::SelectMany(
   }
   if (missing.empty()) return results;
 
-  SOFYA_ASSIGN_OR_RETURN(std::vector<ResultSet> fetched,
-                         inner_->SelectMany(missing));
+  SelectBatchResult fetched = inner_->SelectMany(missing);
+  // Only successful answers enter the cache; a failed sub-query must stay
+  // a miss so the next attempt goes through again.
   for (const auto& [key, m] : missing_index) {
-    Insert(Entry{key, /*is_ask=*/false, fetched[m], false});
+    if (!fetched.statuses[m].ok()) continue;
+    Insert(Entry{key, /*is_ask=*/false, fetched.values[m], false});
   }
-  for (const auto& [i, m] : fill) results[i] = fetched[m];
+  for (const auto& [i, m] : fill) {
+    results.statuses[i] = fetched.statuses[m];
+    results.values[i] = fetched.values[m];
+  }
   return results;
 }
 
 StatusOr<bool> CachingEndpoint::Ask(const SelectQuery& query) {
   if (!options_.cache_asks) return inner_->Ask(query);
+  InvalidateIfStale();
   std::string key = AskFingerprint(query);
   bool cached = false;
   if (LookupAsk(key, &cached)) return cached;
@@ -122,10 +144,10 @@ StatusOr<bool> CachingEndpoint::Ask(const SelectQuery& query) {
   return result;
 }
 
-StatusOr<std::vector<bool>> CachingEndpoint::AskMany(
-    std::span<const SelectQuery> queries) {
+AskBatchResult CachingEndpoint::AskMany(std::span<const SelectQuery> queries) {
   if (!options_.cache_asks) return inner_->AskMany(queries);
-  std::vector<bool> results(queries.size());
+  InvalidateIfStale();
+  AskBatchResult results = AskBatchResult::Sized(queries.size());
   std::vector<SelectQuery> missing;
   std::unordered_map<std::string, size_t> missing_index;
   std::vector<std::pair<size_t, size_t>> fill;
@@ -133,7 +155,7 @@ StatusOr<std::vector<bool>> CachingEndpoint::AskMany(
     std::string key = AskFingerprint(queries[i]);
     bool cached = false;
     if (LookupAsk(key, &cached)) {
-      results[i] = cached;
+      results.values[i] = cached;
       continue;
     }
     auto [mit, inserted] = missing_index.emplace(std::move(key), missing.size());
@@ -142,12 +164,15 @@ StatusOr<std::vector<bool>> CachingEndpoint::AskMany(
   }
   if (missing.empty()) return results;
 
-  SOFYA_ASSIGN_OR_RETURN(std::vector<bool> fetched,
-                         inner_->AskMany(missing));
+  AskBatchResult fetched = inner_->AskMany(missing);
   for (const auto& [key, m] : missing_index) {
-    Insert(Entry{key, /*is_ask=*/true, ResultSet{}, fetched[m]});
+    if (!fetched.statuses[m].ok()) continue;
+    Insert(Entry{key, /*is_ask=*/true, ResultSet{}, fetched.values[m]});
   }
-  for (const auto& [i, m] : fill) results[i] = fetched[m];
+  for (const auto& [i, m] : fill) {
+    results.statuses[i] = fetched.statuses[m];
+    results.values[i] = fetched.values[m];
+  }
   return results;
 }
 

@@ -22,8 +22,12 @@
 // misses are counted, last insert wins); hit/miss counters always sum to
 // exactly the number of requests.
 //
-// The cache assumes the dataset is immutable between queries. When the
-// underlying KB is mutated (time-sensitive-data scenarios), call Clear().
+// Staleness: entries are valid for one dataset epoch. Every request first
+// compares the inner endpoint's data_epoch() against the epoch the cache
+// last saw; when the dataset was mutated (time-sensitive-data scenarios)
+// the whole cache is dropped automatically before the request is served —
+// no manual Clear() required (it remains available for callers that want
+// to cold-start measurements).
 
 #ifndef SOFYA_ENDPOINT_CACHING_ENDPOINT_H_
 #define SOFYA_ENDPOINT_CACHING_ENDPOINT_H_
@@ -73,16 +77,15 @@ class CachingEndpoint : public Endpoint {
   StatusOr<ResultSet> Select(const SelectQuery& query) override;
 
   /// Answers what it can from the cache and forwards only the misses to the
-  /// inner endpoint as one (smaller) batch.
-  StatusOr<std::vector<ResultSet>> SelectMany(
-      std::span<const SelectQuery> queries) override;
+  /// inner endpoint as one (smaller) batch. Failed sub-queries keep their
+  /// own status and are never cached; hits are OK by construction.
+  SelectBatchResult SelectMany(std::span<const SelectQuery> queries) override;
 
   StatusOr<bool> Ask(const SelectQuery& query) override;
 
   /// Batched ASK, same contract as SelectMany: hits answered locally,
   /// unique misses forwarded as one AskMany batch to the inner endpoint.
-  StatusOr<std::vector<bool>> AskMany(
-      std::span<const SelectQuery> queries) override;
+  AskBatchResult AskMany(std::span<const SelectQuery> queries) override;
 
   TermId EncodeTerm(const Term& term) override {
     return inner_->EncodeTerm(term);
@@ -93,6 +96,7 @@ class CachingEndpoint : public Endpoint {
   StatusOr<Term> DecodeTerm(TermId id) const override {
     return inner_->DecodeTerm(id);
   }
+  uint64_t data_epoch() const override { return inner_->data_epoch(); }
 
   /// Inner endpoint stats plus this cache's hit/miss counters. Note that
   /// `queries` counts only requests the server actually saw — cache hits
@@ -104,8 +108,15 @@ class CachingEndpoint : public Endpoint {
     misses_.store(0, std::memory_order_relaxed);
   }
 
-  /// Drops every cached entry (required after mutating the dataset).
+  /// Drops every cached entry. Stale entries are dropped automatically on
+  /// the first request after a dataset mutation (data_epoch change); this
+  /// stays public for explicit cold starts.
   void Clear();
+
+  /// Cache flushes triggered by dataset-epoch changes.
+  uint64_t epoch_invalidations() const {
+    return epoch_invalidations_.load(std::memory_order_relaxed);
+  }
 
   uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
   uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
@@ -145,10 +156,20 @@ class CachingEndpoint : public Endpoint {
   /// end past the shard's capacity slice.
   void Insert(Entry entry);
 
+  /// Epoch gate, run before any cache access: when the inner endpoint's
+  /// data_epoch has moved since the last request, every cached entry is
+  /// stale — drop them all and record the new epoch. Benign under races
+  /// (two threads observing the change both clear; entries inserted from
+  /// results fetched before the flip can survive one extra request, the
+  /// same window a racing manual Clear() always had).
+  void InvalidateIfStale();
+
   Endpoint* inner_;  // Not owned.
   CacheOptions options_;
   size_t shard_capacity_ = 0;
   std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<uint64_t> seen_epoch_{0};
+  std::atomic<uint64_t> epoch_invalidations_{0};
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> misses_{0};
   std::atomic<uint64_t> evictions_{0};

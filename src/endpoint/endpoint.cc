@@ -2,15 +2,14 @@
 
 namespace sofya {
 
-StatusOr<std::vector<ResultSet>> Endpoint::SelectMany(
-    std::span<const SelectQuery> queries) {
-  std::vector<ResultSet> results;
-  results.reserve(queries.size());
-  for (const SelectQuery& query : queries) {
-    SOFYA_ASSIGN_OR_RETURN(ResultSet result, Select(query));
-    results.push_back(std::move(result));
+SelectBatchResult Endpoint::SelectMany(std::span<const SelectQuery> queries) {
+  SelectBatchResult batch = SelectBatchResult::Sized(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    // Every sub-query is attempted: the per-sub-query contract means one
+    // failure must not swallow its neighbors' answers.
+    batch.Set(i, Select(queries[i]));
   }
-  return results;
+  return batch;
 }
 
 StatusOr<bool> Endpoint::Ask(const SelectQuery& query) {
@@ -23,15 +22,12 @@ StatusOr<bool> Endpoint::Ask(const SelectQuery& query) {
   return !result.rows.empty();
 }
 
-StatusOr<std::vector<bool>> Endpoint::AskMany(
-    std::span<const SelectQuery> queries) {
-  std::vector<bool> results;
-  results.reserve(queries.size());
-  for (const SelectQuery& query : queries) {
-    SOFYA_ASSIGN_OR_RETURN(bool result, Ask(query));
-    results.push_back(result);
+AskBatchResult Endpoint::AskMany(std::span<const SelectQuery> queries) {
+  AskBatchResult batch = AskBatchResult::Sized(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    batch.Set(i, Ask(queries[i]));
   }
-  return results;
+  return batch;
 }
 
 std::string AskFingerprint(const SelectQuery& query) {

@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "rdf/dictionary.h"
@@ -52,6 +53,96 @@ struct EndpointStats {
   }
 };
 
+/// Per-sub-query outcomes of one batch call: statuses[i] and values[i]
+/// answer queries[i]. values[i] is meaningful only when statuses[i].ok().
+///
+/// This replaces the fail-fast StatusOr<vector<T>> contract: a batch whose
+/// sub-query #7 hit a dead connection still delivers the other results, so
+/// a recovery layer (RetryingEndpoint) re-issues *only* #7 instead of
+/// re-buying every recovered answer — and against a live endpoint every
+/// discarded answer was a real remote round trip.
+template <typename T>
+struct BatchResult {
+  std::vector<Status> statuses;
+  std::vector<T> values;
+
+  BatchResult() = default;
+
+  /// A batch of `n` OK slots with default-constructed values (the usual
+  /// starting point for an implementation that fills slots in place).
+  static BatchResult Sized(size_t n) {
+    BatchResult batch;
+    batch.statuses.resize(n);
+    batch.values.resize(n);
+    return batch;
+  }
+
+  /// A batch where every sub-query failed the same way (a whole-call
+  /// failure, e.g. InvalidArgument on the batch envelope).
+  static BatchResult FromError(size_t n, const Status& error) {
+    BatchResult batch = Sized(n);
+    for (Status& status : batch.statuses) status = error;
+    return batch;
+  }
+
+  size_t size() const { return statuses.size(); }
+  bool empty() const { return statuses.empty(); }
+
+  /// True iff every sub-query succeeded.
+  bool all_ok() const {
+    for (const Status& status : statuses) {
+      if (!status.ok()) return false;
+    }
+    return true;
+  }
+
+  size_t num_failed() const {
+    size_t failed = 0;
+    for (const Status& status : statuses) {
+      if (!status.ok()) ++failed;
+    }
+    return failed;
+  }
+
+  /// The first non-OK status by sub-query index (deterministic regardless
+  /// of execution order); OK when all_ok().
+  Status FirstError() const {
+    for (const Status& status : statuses) {
+      if (!status.ok()) return status;
+    }
+    return Status::OK();
+  }
+
+  /// Stores one sub-query's outcome.
+  void Set(size_t i, StatusOr<T> outcome) {
+    if (outcome.ok()) {
+      statuses[i] = Status::OK();
+      values[i] = std::move(outcome).value();
+    } else {
+      statuses[i] = outcome.status();
+    }
+  }
+
+  /// Copies slot `from` into slot `to` (intra-batch dedup: duplicates share
+  /// the first occurrence's outcome, error or not).
+  void CopySlot(size_t from, size_t to) {
+    statuses[to] = statuses[from];
+    values[to] = values[from];
+  }
+
+  /// Fail-fast adapter for consumers that need every answer to proceed
+  /// (the alignment pipeline: partial evidence would change verdicts):
+  /// the values when all_ok(), otherwise the first error by index.
+  StatusOr<std::vector<T>> IntoValues() && {
+    Status error = FirstError();
+    if (!error.ok()) return error;
+    return std::move(values);
+  }
+};
+
+using SelectBatchResult = BatchResult<ResultSet>;
+using AskBatchResult = BatchResult<bool>;
+
 /// Abstract SPARQL access point for one dataset.
 class Endpoint {
  public:
@@ -67,14 +158,16 @@ class Endpoint {
   /// Executes a SELECT query.
   virtual StatusOr<ResultSet> Select(const SelectQuery& query) = 0;
 
-  /// Executes a batch of SELECT queries in one round trip. Results are
-  /// positional: result[i] answers queries[i]. The default implementation
-  /// runs the queries sequentially through Select(); endpoint
-  /// implementations override it to exploit batching (LocalEndpoint answers
-  /// duplicate queries within a batch from one evaluation, CachingEndpoint
-  /// forwards only its cache misses). Fails fast on the first error.
-  virtual StatusOr<std::vector<ResultSet>> SelectMany(
-      std::span<const SelectQuery> queries);
+  /// Executes a batch of SELECT queries in one round trip, reporting one
+  /// status + result per sub-query (BatchResult). Every sub-query is
+  /// attempted: one failure does not discard the others' answers. The
+  /// default implementation runs the queries sequentially through Select();
+  /// endpoint implementations override it to exploit batching
+  /// (LocalEndpoint answers duplicate queries within a batch from one
+  /// evaluation, CachingEndpoint forwards only its cache misses,
+  /// HttpSparqlEndpoint pipelines over its connection pool — a dead
+  /// connection fails only the sub-queries that were in flight on it).
+  virtual SelectBatchResult SelectMany(std::span<const SelectQuery> queries);
 
   /// Executes the query as ASK: true iff at least one solution exists.
   /// The default implementation runs Select with LIMIT 1; endpoints that
@@ -83,14 +176,13 @@ class Endpoint {
   /// the early-exit hint survives the whole stack).
   virtual StatusOr<bool> Ask(const SelectQuery& query);
 
-  /// Executes a batch of ASK probes in one round trip. Results are
-  /// positional: result[i] answers queries[i]. The default implementation
-  /// loops Ask(); LocalEndpoint answers duplicate probes within a batch
-  /// (existence ignores solution modifiers, so Ask(q) and Ask(q.Limit(5))
-  /// dedup to one evaluation), and CachingEndpoint forwards only its cache
-  /// misses. Fails fast on the first error.
-  virtual StatusOr<std::vector<bool>> AskMany(
-      std::span<const SelectQuery> queries);
+  /// Executes a batch of ASK probes in one round trip, with the same
+  /// per-sub-query outcome contract as SelectMany. The default
+  /// implementation loops Ask(); LocalEndpoint answers duplicate probes
+  /// within a batch (existence ignores solution modifiers, so Ask(q) and
+  /// Ask(q.Limit(5)) dedup to one evaluation), and CachingEndpoint forwards
+  /// only its cache misses.
+  virtual AskBatchResult AskMany(std::span<const SelectQuery> queries);
 
   /// Encodes a term into the endpoint's id space (interning it if new).
   /// This is how client-side constants (e.g. translated entities) enter
@@ -102,6 +194,13 @@ class Endpoint {
 
   /// Decodes an id returned in a ResultSet back to a term.
   virtual StatusOr<Term> DecodeTerm(TermId id) const = 0;
+
+  /// Monotonic version of the dataset behind this endpoint: bumped on every
+  /// write (time-sensitive-data scenarios), so client-side caches can drop
+  /// stale entries automatically. Decorators forward to the inner endpoint;
+  /// sources that cannot observe writes (remote endpoints) report 0, which
+  /// means "assume immutable" — exactly the old contract.
+  virtual uint64_t data_epoch() const { return 0; }
 
   /// Access accounting since construction / last ResetStats(), returned as
   /// a point-in-time snapshot. A snapshot is internally consistent per

@@ -52,8 +52,10 @@ Status HttpSparqlEndpoint::MapHttpStatus(int code,
     case 501: return Status::Unimplemented("endpoint feature missing: " + detail);
   }
   if (code >= 300 && code < 400) {
+    // 301/302/307/308 are followed (same-origin) inside HttpClient; what
+    // reaches this point is a non-redirect 3xx (300, 304, ...).
     return Status::InvalidArgument(
-        "redirects are not followed; point at the final endpoint URL: " +
+        "unexpected 3xx response; point at the final endpoint URL: " +
         detail);
   }
   if (code >= 500) return Status::Internal("endpoint error: " + detail);
@@ -141,37 +143,31 @@ ThreadPool& HttpSparqlEndpoint::pool() {
   return *pool_;
 }
 
-StatusOr<std::vector<ResultSet>> HttpSparqlEndpoint::SelectMany(
+SelectBatchResult HttpSparqlEndpoint::SelectMany(
     std::span<const SelectQuery> queries) {
   if (queries.size() <= 1 || options_.max_connections <= 1) {
     return Endpoint::SelectMany(queries);  // Sequential default.
   }
   // Fan the batch out over the pool; the HttpClient's bounded connection
   // pool turns the fan-out into HTTP-level pipelining over at most
-  // max_connections sockets.
+  // max_connections sockets. Each sub-query keeps its own outcome: a dead
+  // connection fails exactly the sub-queries that were in flight on it,
+  // and the answers pipelined over the healthy sockets are delivered — a
+  // recovery layer above re-buys only the casualties.
   std::vector<std::future<StatusOr<ResultSet>>> futures;
   futures.reserve(queries.size());
   for (const SelectQuery& query : queries) {
     futures.push_back(
         pool().Submit([this, &query] { return Select(query); }));
   }
-  std::vector<ResultSet> results;
-  results.reserve(queries.size());
-  Status first_error = Status::OK();
-  for (auto& future : futures) {
-    auto result = future.get();
-    if (!result.ok()) {
-      if (first_error.ok()) first_error = result.status();
-      results.emplace_back();
-      continue;
-    }
-    results.push_back(std::move(*result));
+  SelectBatchResult batch = SelectBatchResult::Sized(queries.size());
+  for (size_t i = 0; i < futures.size(); ++i) {
+    batch.Set(i, futures[i].get());
   }
-  if (!first_error.ok()) return first_error;
-  return results;
+  return batch;
 }
 
-StatusOr<std::vector<bool>> HttpSparqlEndpoint::AskMany(
+AskBatchResult HttpSparqlEndpoint::AskMany(
     std::span<const SelectQuery> queries) {
   if (queries.size() <= 1 || options_.max_connections <= 1) {
     return Endpoint::AskMany(queries);
@@ -181,20 +177,11 @@ StatusOr<std::vector<bool>> HttpSparqlEndpoint::AskMany(
   for (const SelectQuery& query : queries) {
     futures.push_back(pool().Submit([this, &query] { return Ask(query); }));
   }
-  std::vector<bool> results;
-  results.reserve(queries.size());
-  Status first_error = Status::OK();
-  for (auto& future : futures) {
-    auto result = future.get();
-    if (!result.ok()) {
-      if (first_error.ok()) first_error = result.status();
-      results.push_back(false);
-      continue;
-    }
-    results.push_back(*result);
+  AskBatchResult batch = AskBatchResult::Sized(queries.size());
+  for (size_t i = 0; i < futures.size(); ++i) {
+    batch.Set(i, futures[i].get());
   }
-  if (!first_error.ok()) return first_error;
-  return results;
+  return batch;
 }
 
 }  // namespace sofya

@@ -75,15 +75,15 @@ class HttpSparqlEndpoint : public Endpoint {
 
   StatusOr<ResultSet> Select(const SelectQuery& query) override;
 
-  /// Pipelined batch: queries fan out across the connection pool.
-  StatusOr<std::vector<ResultSet>> SelectMany(
-      std::span<const SelectQuery> queries) override;
+  /// Pipelined batch: queries fan out across the connection pool, each
+  /// sub-query reporting its own outcome (a dead connection fails only the
+  /// sub-queries in flight on it).
+  SelectBatchResult SelectMany(std::span<const SelectQuery> queries) override;
 
   /// Real protocol ASK (ToSparqlAsk): the server ships one boolean, no rows.
   StatusOr<bool> Ask(const SelectQuery& query) override;
 
-  StatusOr<std::vector<bool>> AskMany(
-      std::span<const SelectQuery> queries) override;
+  AskBatchResult AskMany(std::span<const SelectQuery> queries) override;
 
   TermId EncodeTerm(const Term& term) override { return dict_.Intern(term); }
 

@@ -38,22 +38,24 @@ StatusOr<ResultSet> LocalEndpoint::Select(const SelectQuery& query) {
   return result;
 }
 
-StatusOr<std::vector<ResultSet>> LocalEndpoint::SelectMany(
+SelectBatchResult LocalEndpoint::SelectMany(
     std::span<const SelectQuery> queries) {
-  std::vector<ResultSet> results(queries.size());
+  SelectBatchResult batch = SelectBatchResult::Sized(queries.size());
   // A batch is one request envelope: identical queries inside it are
-  // answered from a single evaluation and charged once.
+  // answered from a single evaluation and charged once. Duplicates share
+  // the first occurrence's outcome either way — a failed evaluation is not
+  // re-attempted for its batch twins.
   std::unordered_map<std::string, size_t> first_occurrence;
   first_occurrence.reserve(queries.size());
   for (size_t i = 0; i < queries.size(); ++i) {
     auto [it, inserted] = first_occurrence.emplace(queries[i].Fingerprint(), i);
     if (!inserted) {
-      results[i] = results[it->second];
+      batch.CopySlot(it->second, i);
       continue;
     }
-    SOFYA_ASSIGN_OR_RETURN(results[i], Select(queries[i]));
+    batch.Set(i, Select(queries[i]));
   }
-  return results;
+  return batch;
 }
 
 StatusOr<bool> LocalEndpoint::Ask(const SelectQuery& query) {
@@ -71,9 +73,8 @@ StatusOr<bool> LocalEndpoint::Ask(const SelectQuery& query) {
   return result;
 }
 
-StatusOr<std::vector<bool>> LocalEndpoint::AskMany(
-    std::span<const SelectQuery> queries) {
-  std::vector<bool> results(queries.size());
+AskBatchResult LocalEndpoint::AskMany(std::span<const SelectQuery> queries) {
+  AskBatchResult batch = AskBatchResult::Sized(queries.size());
   // Existence ignores solution modifiers, so the dedup key is the
   // normalized AskFingerprint: Ask(q) and Ask(q.Limit(5)) in one batch cost
   // a single evaluation.
@@ -83,13 +84,12 @@ StatusOr<std::vector<bool>> LocalEndpoint::AskMany(
     auto [it, inserted] =
         first_occurrence.emplace(AskFingerprint(queries[i]), i);
     if (!inserted) {
-      results[i] = results[it->second];
+      batch.CopySlot(it->second, i);
       continue;
     }
-    SOFYA_ASSIGN_OR_RETURN(bool answer, Ask(queries[i]));
-    results[i] = answer;
+    batch.Set(i, Ask(queries[i]));
   }
-  return results;
+  return batch;
 }
 
 }  // namespace sofya

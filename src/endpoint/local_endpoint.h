@@ -44,9 +44,10 @@ class LocalEndpoint : public Endpoint {
 
   /// Batched execution: duplicate queries within one batch (by normalized
   /// fingerprint) are evaluated once and answered from the same result, so
-  /// a batch of k identical probes costs one server query.
-  StatusOr<std::vector<ResultSet>> SelectMany(
-      std::span<const SelectQuery> queries) override;
+  /// a batch of k identical probes costs one server query. Each sub-query
+  /// carries its own status; duplicates share the first occurrence's
+  /// outcome, error or not.
+  SelectBatchResult SelectMany(std::span<const SelectQuery> queries) override;
 
   /// Native ASK: the streaming engine stops at the first solution, so the
   /// cost is O(first match) — one query, zero shipped rows — instead of a
@@ -56,8 +57,7 @@ class LocalEndpoint : public Endpoint {
   /// Batched ASK: probes that are identical up to solution modifiers
   /// (AskFingerprint) are evaluated once and charged once, so a fan-out of
   /// k equal existence checks costs one server query.
-  StatusOr<std::vector<bool>> AskMany(
-      std::span<const SelectQuery> queries) override;
+  AskBatchResult AskMany(std::span<const SelectQuery> queries) override;
 
   TermId EncodeTerm(const Term& term) override {
     return kb_->dict().Intern(term);
@@ -70,6 +70,10 @@ class LocalEndpoint : public Endpoint {
   StatusOr<Term> DecodeTerm(TermId id) const override {
     return kb_->dict().TryDecode(id);
   }
+
+  /// The KB's write epoch: caches above this endpoint invalidate
+  /// automatically when the dataset is mutated between queries.
+  uint64_t data_epoch() const override { return kb_->data_epoch(); }
 
   EndpointStats stats() const override {
     std::lock_guard<std::mutex> lock(stats_mu_);

@@ -53,11 +53,12 @@ StatusOr<ResultSet> PagedSelect(Endpoint* endpoint, const SelectQuery& query,
   return merged;
 }
 
-StatusOr<std::vector<ResultSet>> BatchedPagedSelect(
-    Endpoint* endpoint, std::span<const SelectQuery> queries,
-    const PagedSelectOptions& options) {
+SelectBatchResult BatchedPagedSelect(Endpoint* endpoint,
+                                     std::span<const SelectQuery> queries,
+                                     const PagedSelectOptions& options) {
   if (options.page_size == 0) {
-    return Status::InvalidArgument("page_size must be positive");
+    return SelectBatchResult::FromError(
+        queries.size(), Status::InvalidArgument("page_size must be positive"));
   }
 
   // Per-query total row cap: the tighter of max_rows and the query's LIMIT.
@@ -74,20 +75,26 @@ StatusOr<std::vector<ResultSet>> BatchedPagedSelect(
     first_pages.push_back(std::move(page));
   }
 
-  SOFYA_ASSIGN_OR_RETURN(std::vector<ResultSet> results,
-                         endpoint->SelectMany(first_pages));
+  SelectBatchResult results = endpoint->SelectMany(first_pages);
 
-  // Page out the stragglers whose first page filled completely.
+  // Page out the stragglers whose first page filled completely. Sub-queries
+  // whose first page failed keep their own status; their neighbors page on.
   for (size_t i = 0; i < queries.size(); ++i) {
+    if (!results.statuses[i].ok()) {
+      results.statuses[i] =
+          results.statuses[i].WithContext("batched paged select");
+      continue;
+    }
+    ResultSet& merged = results.values[i];
     const uint64_t page_limit = std::min<uint64_t>(options.page_size, caps[i]);
-    if (results[i].rows.size() > page_limit) {
+    if (merged.rows.size() > page_limit) {
       // Over-long first page (server ignored LIMIT): truncate and stop —
       // same policy as PagedSelect.
-      results[i].rows.resize(page_limit);
+      merged.rows.resize(page_limit);
       continue;
     }
     const bool maybe_more =
-        page_limit > 0 && results[i].rows.size() == page_limit &&
+        page_limit > 0 && merged.rows.size() == page_limit &&
         (caps[i] == kNoLimit || caps[i] > page_limit);
     if (!maybe_more) continue;
     SelectQuery rest = queries[i];
@@ -95,13 +102,19 @@ StatusOr<std::vector<ResultSet>> BatchedPagedSelect(
     rest.Limit(caps[i] == kNoLimit ? kNoLimit : caps[i] - page_limit);
     PagedSelectOptions rest_options = options;
     if (options.max_rows != kNoLimit) {
-      rest_options.max_rows = options.max_rows > results[i].rows.size()
-                                  ? options.max_rows - results[i].rows.size()
+      rest_options.max_rows = options.max_rows > merged.rows.size()
+                                  ? options.max_rows - merged.rows.size()
                                   : 0;
     }
-    SOFYA_ASSIGN_OR_RETURN(ResultSet more,
-                           PagedSelect(endpoint, rest, rest_options));
-    for (auto& row : more.rows) results[i].rows.push_back(std::move(row));
+    auto more = PagedSelect(endpoint, rest, rest_options);
+    if (!more.ok()) {
+      // A later page failed past its retries: the partial prefix cannot be
+      // trusted as "the complete answer", so the slot reports the error.
+      results.statuses[i] = more.status().WithContext("batched paged select");
+      results.values[i] = ResultSet();
+      continue;
+    }
+    for (auto& row : more->rows) merged.rows.push_back(std::move(row));
   }
   return results;
 }

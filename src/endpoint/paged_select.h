@@ -55,13 +55,17 @@ StatusOr<ResultSet> PagedSelect(Endpoint* endpoint, const SelectQuery& query,
 
 /// Batched pagination: issues every query's first page as one SelectMany
 /// round trip (so the endpoint stack can dedup and cache), then pages the
-/// rare queries whose first page came back full. Results are positional.
-/// The page schedule is identical to running PagedSelect per query; the
-/// saving comes from batching — endpoints that dedup within a batch answer
-/// identical first pages from one evaluation.
-StatusOr<std::vector<ResultSet>> BatchedPagedSelect(
-    Endpoint* endpoint, std::span<const SelectQuery> queries,
-    const PagedSelectOptions& options = {});
+/// rare queries whose first page came back full. Results are positional and
+/// carry per-sub-query statuses: a sub-query whose first page (or a later
+/// page, after the per-page retries) failed reports its own error while its
+/// batch neighbors keep their rows. The page schedule is identical to
+/// running PagedSelect per query; the saving comes from batching —
+/// endpoints that dedup within a batch answer identical first pages from
+/// one evaluation. An empty-batch envelope error (page_size == 0) is
+/// reported in every slot.
+SelectBatchResult BatchedPagedSelect(Endpoint* endpoint,
+                                     std::span<const SelectQuery> queries,
+                                     const PagedSelectOptions& options = {});
 
 }  // namespace sofya
 

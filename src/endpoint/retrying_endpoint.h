@@ -39,27 +39,29 @@ class RetryingEndpoint : public Endpoint {
   }
 
   /// Forwards the whole batch to the inner endpoint so a batching/caching
-  /// layer beneath keeps its intra-batch dedup. A batch fails fast with one
-  /// status, so when it comes back Unavailable the recovery switches to
-  /// per-sub-query granularity: only the still-failing sub-queries consume
-  /// retry budget (with backoff). The recovery pass re-issues the batch's
-  /// queries *sequentially* — deliberately: the batch just failed because
-  /// the server is struggling, and a one-at-a-time trickle is the gentle
-  /// regime, even though it re-executes sub-queries whose first results
-  /// the fail-fast contract had to discard. (Per-sub-query statuses in the
-  /// SelectMany contract would avoid the re-execution; tracked in ROADMAP.)
-  StatusOr<std::vector<ResultSet>> SelectMany(
-      std::span<const SelectQuery> queries) override {
-    auto batch = inner_->SelectMany(queries);
-    if (batch.ok() || !batch.status().IsUnavailable()) return batch;
-    std::vector<ResultSet> results;
-    results.reserve(queries.size());
-    for (const SelectQuery& query : queries) {
-      auto result = Retry([&] { return inner_->Select(query); });
-      if (!result.ok()) return result.status();
-      results.push_back(std::move(*result));
+  /// layer beneath keeps its intra-batch dedup. The per-sub-query contract
+  /// makes recovery surgical: sub-queries that came back Unavailable are
+  /// re-issued individually with backoff, while every answer that already
+  /// succeeded is kept as-is — a recovered result is NEVER bought twice
+  /// (against a live endpoint each re-buy is a real round trip). The
+  /// recovery pass trickles one query at a time, deliberately: those
+  /// sub-queries just failed because the server is struggling, and
+  /// one-at-a-time is the gentle regime. Non-transient failures pass
+  /// through untouched in their slots.
+  SelectBatchResult SelectMany(std::span<const SelectQuery> queries) override {
+    SelectBatchResult batch = inner_->SelectMany(queries);
+    // Systemic-failure short-circuit: the first slot whose OWN full backoff
+    // schedule still ends Unavailable means the endpoint is down, not
+    // flaky — stop burning retry schedules (and hammering the server) on
+    // the remaining slots; they already carry their Unavailable statuses.
+    bool endpoint_down = false;
+    for (size_t i = 0; i < batch.size(); ++i) {
+      if (!batch.statuses[i].IsUnavailable() || endpoint_down) continue;
+      auto recovered = Retry([&] { return inner_->Select(queries[i]); });
+      endpoint_down = !recovered.ok() && recovered.status().IsUnavailable();
+      batch.Set(i, std::move(recovered));
     }
-    return results;
+    return batch;
   }
 
   /// Forwards ASK (preserving the inner early-exit path) with retries.
@@ -67,19 +69,18 @@ class RetryingEndpoint : public Endpoint {
     return Retry([&] { return inner_->Ask(query); });
   }
 
-  /// Batched ASK with the same recovery shape as SelectMany.
-  StatusOr<std::vector<bool>> AskMany(
-      std::span<const SelectQuery> queries) override {
-    auto batch = inner_->AskMany(queries);
-    if (batch.ok() || !batch.status().IsUnavailable()) return batch;
-    std::vector<bool> results;
-    results.reserve(queries.size());
-    for (const SelectQuery& query : queries) {
-      auto result = Retry([&] { return inner_->Ask(query); });
-      if (!result.ok()) return result.status();
-      results.push_back(*result);
+  /// Batched ASK with the same surgical recovery (and short-circuit) as
+  /// SelectMany.
+  AskBatchResult AskMany(std::span<const SelectQuery> queries) override {
+    AskBatchResult batch = inner_->AskMany(queries);
+    bool endpoint_down = false;
+    for (size_t i = 0; i < batch.size(); ++i) {
+      if (!batch.statuses[i].IsUnavailable() || endpoint_down) continue;
+      auto recovered = Retry([&] { return inner_->Ask(queries[i]); });
+      endpoint_down = !recovered.ok() && recovered.status().IsUnavailable();
+      batch.Set(i, std::move(recovered));
     }
-    return results;
+    return batch;
   }
 
   TermId EncodeTerm(const Term& term) override {
@@ -91,6 +92,8 @@ class RetryingEndpoint : public Endpoint {
   StatusOr<Term> DecodeTerm(TermId id) const override {
     return inner_->DecodeTerm(id);
   }
+
+  uint64_t data_epoch() const override { return inner_->data_epoch(); }
 
   EndpointStats stats() const override { return inner_->stats(); }
   void ResetStats() override { inner_->ResetStats(); }

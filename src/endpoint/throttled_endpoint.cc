@@ -1,5 +1,6 @@
 #include "endpoint/throttled_endpoint.h"
 
+#include <algorithm>
 #include <chrono>
 #include <thread>
 
@@ -76,6 +77,81 @@ StatusOr<bool> ThrottledEndpoint::Ask(const SelectQuery& query) {
 
   ChargeLatency(/*rows=*/0);  // Boolean response: no rows.
   return result;
+}
+
+void ThrottledEndpoint::RunBatchWaves(
+    size_t n, const std::function<StatusOr<uint64_t>(size_t)>& issue,
+    const std::function<void(size_t, Status)>& reject) {
+  const size_t width = std::max<size_t>(1, options_.batch_wave_width);
+  for (size_t start = 0; start < n; start += width) {
+    const size_t end = std::min(n, start + width);
+    // Admission is per sub-query: budget and failure injection meter every
+    // request of the wave individually, exactly like sequential issue.
+    uint64_t wave_rows = 0;
+    bool wave_reached_server = false;
+    for (size_t i = start; i < end; ++i) {
+      Status admitted = AdmitQuery();
+      if (!admitted.ok()) {
+        reject(i, std::move(admitted));
+        continue;
+      }
+      auto rows = issue(i);
+      if (!rows.ok()) continue;  // issue() recorded the slot's error.
+      wave_rows += *rows;
+      wave_reached_server = true;
+    }
+    // One base-latency (+jitter) unit per wave that produced an answer,
+    // plus the per-row cost of everything the wave shipped. Never a
+    // per-batch-call charge: with width 1 this is bit-identical (counters
+    // AND rng stream) to issuing the sub-queries sequentially.
+    if (wave_reached_server) ChargeLatency(wave_rows);
+  }
+}
+
+SelectBatchResult ThrottledEndpoint::SelectMany(
+    std::span<const SelectQuery> queries) {
+  SelectBatchResult batch = SelectBatchResult::Sized(queries.size());
+  RunBatchWaves(
+      queries.size(),
+      [&](size_t i) -> StatusOr<uint64_t> {
+        SelectQuery capped = queries[i];
+        if (options_.max_rows_per_query > 0 &&
+            (capped.limit() == kNoLimit ||
+             capped.limit() > options_.max_rows_per_query)) {
+          capped.Limit(options_.max_rows_per_query);
+        }
+        auto result = inner_->Select(capped);
+        if (!result.ok()) {
+          batch.statuses[i] = result.status();
+          return result.status();
+        }
+        const uint64_t rows = result->rows.size();
+        batch.values[i] = std::move(*result);
+        return rows;
+      },
+      [&](size_t i, Status status) {
+        batch.statuses[i] = std::move(status);
+      });
+  return batch;
+}
+
+AskBatchResult ThrottledEndpoint::AskMany(std::span<const SelectQuery> queries) {
+  AskBatchResult batch = AskBatchResult::Sized(queries.size());
+  RunBatchWaves(
+      queries.size(),
+      [&](size_t i) -> StatusOr<uint64_t> {
+        auto result = inner_->Ask(queries[i]);
+        if (!result.ok()) {
+          batch.statuses[i] = result.status();
+          return result.status();
+        }
+        batch.values[i] = *result;
+        return uint64_t{0};  // Boolean response: no rows.
+      },
+      [&](size_t i, Status status) {
+        batch.statuses[i] = std::move(status);
+      });
+  return batch;
 }
 
 EndpointStats ThrottledEndpoint::stats() const {

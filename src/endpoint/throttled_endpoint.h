@@ -20,6 +20,7 @@
 #define SOFYA_ENDPOINT_THROTTLED_ENDPOINT_H_
 
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <string>
 
@@ -50,6 +51,17 @@ struct ThrottleOptions {
   /// latency keeps tests and benches fast.
   bool sleep_for_latency = false;
 
+  /// Batch pipelining model: how many sub-queries of one SelectMany/AskMany
+  /// batch share a single base-latency (+jitter) unit. Latency is charged
+  /// per sub-query *wave*, never per batch call: with the default width of
+  /// 1 every sub-query is its own wave, so a batched run's derived stats
+  /// (latency, budget, rng stream) are identical to issuing the same
+  /// queries sequentially — the regime cost comparisons assume. Width c > 1
+  /// models a c-connection pipeline: a batch of k sub-queries costs
+  /// ceil(k/c) base-latency units while the budget still meters all k
+  /// requests (a provider meters requests, not sockets).
+  size_t batch_wave_width = 1;
+
   /// Probability a query fails with Unavailable (drawn per attempt).
   double failure_rate = 0.0;
 
@@ -70,15 +82,21 @@ class ThrottledEndpoint : public Endpoint {
 
   StatusOr<ResultSet> Select(const SelectQuery& query) override;
 
-  // SelectMany/AskMany are inherited: the sequential defaults forward each
-  // query through this Select/Ask, so the budget, failure model and latency
-  // model are charged per sub-query — a remote provider meters requests,
-  // not batches.
+  /// Batch admission charges the budget and the failure model per
+  /// *sub-query* (a remote provider meters requests, not batches) and
+  /// latency per sub-query *wave* of `batch_wave_width` requests. Each
+  /// sub-query carries its own status: once the budget runs out mid-batch,
+  /// the remaining slots come back ResourceExhausted while every already
+  /// admitted answer is delivered.
+  SelectBatchResult SelectMany(std::span<const SelectQuery> queries) override;
 
   /// Forwards ASK to the inner endpoint so its early-exit evaluation
   /// survives the throttle. Charged as one query with base latency only
   /// (a boolean response ships no rows).
   StatusOr<bool> Ask(const SelectQuery& query) override;
+
+  /// Batched ASK with the same wave admission/charging as SelectMany.
+  AskBatchResult AskMany(std::span<const SelectQuery> queries) override;
 
   TermId EncodeTerm(const Term& term) override {
     return inner_->EncodeTerm(term);
@@ -89,6 +107,7 @@ class ThrottledEndpoint : public Endpoint {
   StatusOr<Term> DecodeTerm(TermId id) const override {
     return inner_->DecodeTerm(id);
   }
+  uint64_t data_epoch() const override { return inner_->data_epoch(); }
 
   /// This layer's own metering (queries admitted, failures injected,
   /// latency, rows after capping) composed with the server-side counters of
@@ -130,6 +149,15 @@ class ThrottledEndpoint : public Endpoint {
 
   /// Latency accounting (and, optionally, the real sleep) for one request.
   void ChargeLatency(uint64_t rows);
+
+  /// Runs one batch through per-sub-query admission and per-wave latency
+  /// charging. `issue(i)` executes the already-admitted sub-query i against
+  /// the inner endpoint, records its outcome, and returns the rows it
+  /// shipped (or its error). `reject(i, status)` records a sub-query the
+  /// admission gate turned away.
+  void RunBatchWaves(size_t n,
+                     const std::function<StatusOr<uint64_t>(size_t)>& issue,
+                     const std::function<void(size_t, Status)>& reject);
 
   Endpoint* inner_;  // Not owned.
   ThrottleOptions options_;

@@ -4,9 +4,10 @@
 // Why it exists: under parallel alignment (RelationAligner::AlignMany) many
 // relations share one endpoint stack, so "stats delta before/after my
 // work" — the sequential attribution idiom — picks up every other thread's
-// queries. A TrackingEndpoint is private to one task: it forwards
-// everything to the shared stack and keeps its *own* counters, which makes
-// per-relation attribution exact and deterministic for any thread count.
+// queries. A TrackingEndpoint is private to one relation's pipeline: it
+// forwards everything to the shared stack and keeps its *own* counters,
+// which makes per-relation attribution exact and deterministic for any
+// thread count.
 //
 // The counters mirror the server's charging rules so that, over an
 // undecorated LocalEndpoint, tracked counts equal the server's counts
@@ -18,12 +19,17 @@
 // an upper bound on what the server saw, since attribution of shared cache
 // hits to individual callers is inherently interleaving-dependent.
 //
-// Thread safety: one TrackingEndpoint per task/thread (its own counters are
-// unsynchronized); the shared inner stack handles cross-task concurrency.
+// Thread safety: safe for concurrent callers. Under the phase-decomposed
+// scheduler one relation's subtasks (per-candidate sampling, reverse
+// checks) run on different workers but share the relation's tracking view,
+// so the counters sit behind a mutex. The charges are per-call increments,
+// which makes the totals independent of interleaving — the foundation of
+// the bit-identical-counters guarantee.
 
 #ifndef SOFYA_ENDPOINT_TRACKING_ENDPOINT_H_
 #define SOFYA_ENDPOINT_TRACKING_ENDPOINT_H_
 
+#include <mutex>
 #include <string>
 #include <unordered_set>
 
@@ -42,37 +48,42 @@ class TrackingEndpoint : public Endpoint {
 
   StatusOr<ResultSet> Select(const SelectQuery& query) override {
     auto result = inner_->Select(query);
+    std::lock_guard<std::mutex> lock(mu_);
     ++stats_.queries;
     if (result.ok()) stats_.rows_returned += result->rows.size();
     return result;
   }
 
-  StatusOr<std::vector<ResultSet>> SelectMany(
-      std::span<const SelectQuery> queries) override {
-    auto results = inner_->SelectMany(queries);
+  SelectBatchResult SelectMany(std::span<const SelectQuery> queries) override {
+    SelectBatchResult results = inner_->SelectMany(queries);
     // Charge one query per unique fingerprint, like the server's
-    // intra-batch dedup, so tracked counts match server-side accounting.
+    // intra-batch dedup, so tracked counts match server-side accounting;
+    // rows only for sub-queries that actually produced an answer.
     std::unordered_set<std::string> unique;
     unique.reserve(queries.size());
+    std::lock_guard<std::mutex> lock(mu_);
     for (size_t i = 0; i < queries.size(); ++i) {
       if (!unique.insert(queries[i].Fingerprint()).second) continue;
       ++stats_.queries;
-      if (results.ok()) stats_.rows_returned += (*results)[i].rows.size();
+      if (results.statuses[i].ok()) {
+        stats_.rows_returned += results.values[i].rows.size();
+      }
     }
     return results;
   }
 
   StatusOr<bool> Ask(const SelectQuery& query) override {
     auto result = inner_->Ask(query);
+    std::lock_guard<std::mutex> lock(mu_);
     ++stats_.queries;
     return result;
   }
 
-  StatusOr<std::vector<bool>> AskMany(
-      std::span<const SelectQuery> queries) override {
-    auto results = inner_->AskMany(queries);
+  AskBatchResult AskMany(std::span<const SelectQuery> queries) override {
+    AskBatchResult results = inner_->AskMany(queries);
     std::unordered_set<std::string> unique;
     unique.reserve(queries.size());
+    std::lock_guard<std::mutex> lock(mu_);
     for (const SelectQuery& query : queries) {
       if (unique.insert(AskFingerprint(query)).second) ++stats_.queries;
     }
@@ -88,16 +99,24 @@ class TrackingEndpoint : public Endpoint {
   StatusOr<Term> DecodeTerm(TermId id) const override {
     return inner_->DecodeTerm(id);
   }
+  uint64_t data_epoch() const override { return inner_->data_epoch(); }
 
   /// This caller's own counters only — never the shared stack's (that is
   /// the whole point). Latency/cache/server-side fields stay zero; they are
   /// fleet-level quantities under parallelism.
-  EndpointStats stats() const override { return stats_; }
-  void ResetStats() override { stats_ = EndpointStats(); }
+  EndpointStats stats() const override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
+  void ResetStats() override {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_ = EndpointStats();
+  }
 
  private:
   Endpoint* inner_;  // Not owned; shared across tasks.
-  EndpointStats stats_;
+  mutable std::mutex mu_;
+  EndpointStats stats_;  // Guarded by mu_.
 };
 
 }  // namespace sofya

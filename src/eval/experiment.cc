@@ -38,8 +38,11 @@ StatusOr<DirectionRun> RunDirection(
     for (const std::string& head_iri : heads) {
       terms.push_back(Term::Iri(head_iri));
     }
+    AlignManyOptions fan_out;
+    fan_out.num_threads = options.num_threads;
+    fan_out.schedule = options.schedule;
     SOFYA_ASSIGN_OR_RETURN(AlignManyResult fleet,
-                           aligner.AlignMany(terms, options.num_threads));
+                           aligner.AlignMany(terms, fan_out));
     results = std::move(fleet.results);
   } else {
     for (const std::string& head_iri : heads) {

@@ -56,6 +56,9 @@ struct DirectionRunOptions {
   /// AlignMany). 1 = sequential. Rule records and scores are identical for
   /// any value; only wall_ms changes.
   size_t num_threads = 1;
+  /// Task granularity of the fan-out (phase subtasks vs whole relations);
+  /// affects wall_ms only, never the records.
+  AlignSchedule schedule = AlignSchedule::kPhase;
 };
 
 /// Runs one direction: candidates from `candidate`, heads from `reference`

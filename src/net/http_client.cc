@@ -2,7 +2,17 @@
 
 #include <utility>
 
+#include "util/string_util.h"
+
 namespace sofya {
+
+namespace {
+
+bool IsRedirectStatus(int code) {
+  return code == 301 || code == 302 || code == 307 || code == 308;
+}
+
+}  // namespace
 
 HttpClient::HttpClient(HttpTransport* transport, ParsedUrl origin,
                        HttpClientOptions options)
@@ -80,7 +90,72 @@ StatusOr<HttpResponse> HttpClient::Exchange(HttpConnection* connection,
   return std::move(reader.response());
 }
 
+StatusOr<std::string> HttpClient::ResolveRedirectTarget(
+    const HttpResponse& response, const std::string& current) const {
+  const std::string* location = FindHeader(response.headers, "Location");
+  if (location == nullptr || location->empty()) {
+    return Status::InvalidArgument(StrFormat(
+        "http %d redirect without a Location header", response.status_code));
+  }
+  // "//host/path" is a network-path reference (RFC 3986 §4.2), NOT an
+  // origin-form path: resolve it against the request scheme so it goes
+  // through the same same-origin gate as an absolute URL.
+  const std::string absolute = StartsWith(*location, "//")
+                                   ? origin_.scheme + ":" + *location
+                                   : *location;
+  if (StartsWith(absolute, "http://") || StartsWith(absolute, "https://")) {
+    // Absolute target: follow only when it stays on the configured origin —
+    // silently re-POSTing the query body to a different host/port is a
+    // decision the caller, not the transport, should make.
+    SOFYA_ASSIGN_OR_RETURN(ParsedUrl parsed, ParseUrl(absolute));
+    if (parsed.host != origin_.host || parsed.port != origin_.port) {
+      return Status::InvalidArgument(StrFormat(
+          "cross-origin redirect to '%s' is not followed; point the client "
+          "at the final endpoint URL",
+          location->c_str()));
+    }
+    return parsed.target;
+  }
+  if (StartsWith(*location, "/")) return *location;  // Origin-form path.
+  // Relative reference: resolve against the current target's directory.
+  const size_t query_start = current.find('?');
+  const std::string path =
+      query_start == std::string::npos ? current : current.substr(0, query_start);
+  const size_t last_slash = path.rfind('/');
+  return path.substr(0, last_slash + 1) + *location;
+}
+
 StatusOr<HttpResponse> HttpClient::RoundTrip(const HttpRequest& request) {
+  HttpRequest outgoing = request;
+  if (outgoing.target == "/") outgoing.target = origin_.target;
+  for (int hop = 0;; ++hop) {
+    auto response = RoundTripOnce(outgoing);
+    if (!response.ok() || !IsRedirectStatus(response->status_code)) {
+      // 303 See Other *requires* rewriting the request to a bodyless GET —
+      // for a POSTed query that would silently drop the query text, so it
+      // is an explicit error rather than a wrong follow.
+      if (response.ok() && response->status_code == 303 &&
+          outgoing.method == "POST") {
+        return Status::InvalidArgument(
+            "http 303 See Other would convert the query POST to GET; "
+            "point the client at the final endpoint URL");
+      }
+      return response;
+    }
+    if (hop >= options_.max_redirects) {
+      return Status::InvalidArgument(StrFormat(
+          "redirect chain exceeded %d hops (last: http %d)",
+          options_.max_redirects, response->status_code));
+    }
+    // 301/302/307/308, same origin: re-send the same method and body at
+    // the new target (see HttpClientOptions::max_redirects).
+    SOFYA_ASSIGN_OR_RETURN(std::string target,
+                           ResolveRedirectTarget(*response, outgoing.target));
+    outgoing.target = std::move(target);
+  }
+}
+
+StatusOr<HttpResponse> HttpClient::RoundTripOnce(const HttpRequest& request) {
   HttpRequest outgoing = request;
   if (FindHeader(outgoing.headers, "Host") == nullptr) {
     std::string host = origin_.host;
@@ -90,7 +165,6 @@ StatusOr<HttpResponse> HttpClient::RoundTrip(const HttpRequest& request) {
     }
     outgoing.headers.push_back({"Host", std::move(host)});
   }
-  if (outgoing.target == "/") outgoing.target = origin_.target;
   const std::string wire_bytes = SerializeHttpRequest(outgoing);
 
   for (int attempt = 0;; ++attempt) {

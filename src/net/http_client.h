@@ -28,6 +28,16 @@ struct HttpClientOptions {
 
   /// Reject responses larger than this (runaway/malicious server guard).
   size_t max_response_bytes = 64u << 20;
+
+  /// Redirect-following bound for 301/302/307/308 (RFC 9110 §15.4). The
+  /// original method and body are re-sent — for this client's POSTed
+  /// queries that is what all four codes mean in practice (301/302 "MAY"
+  /// rewrite to GET; rewriting a SPARQL query POST to GET would drop the
+  /// query, so we preserve the method). Only same-origin targets are
+  /// followed: a cross-origin Location would re-send the request body to a
+  /// host the caller never configured. 303 See Other is always an error
+  /// for POSTs (it *requires* the GET rewrite). 0 disables following.
+  int max_redirects = 5;
 };
 
 /// Pooled single-origin client; see file comment.
@@ -41,7 +51,10 @@ class HttpClient {
   /// from the origin; Content-Length is added by serialization. A send
   /// failure on a *reused* (possibly stale keep-alive) connection is
   /// retried once on a fresh connection — a response may never be applied
-  /// twice, so only the pre-response phase retries.
+  /// twice, so only the pre-response phase retries. Same-origin
+  /// 301/302/307/308 redirects are followed up to max_redirects hops with
+  /// the method and body preserved (see HttpClientOptions::max_redirects);
+  /// the returned response is the final one.
   StatusOr<HttpResponse> RoundTrip(const HttpRequest& request);
 
   const ParsedUrl& origin() const { return origin_; }
@@ -54,6 +67,16 @@ class HttpClient {
 
   StatusOr<Lease> Acquire();
   void Release(std::unique_ptr<HttpConnection> connection, bool reusable);
+
+  /// One request at one target (the pre-redirect RoundTrip body).
+  StatusOr<HttpResponse> RoundTripOnce(const HttpRequest& request);
+
+  /// Resolves a redirect's Location against the configured origin.
+  /// Returns the new origin-form target, or an error when the redirect
+  /// must not be followed (cross-origin, unsupported scheme, no Location).
+  StatusOr<std::string> ResolveRedirectTarget(const HttpResponse& response,
+                                              const std::string& current)
+      const;
 
   /// One write + streamed response read (HttpResponseReader, so large
   /// bodies cost one pass). `*reusable` reports whether the connection's

@@ -24,6 +24,14 @@ class LoopbackConnection : public HttpConnection {
       if (*consumed == 0) break;
       in_.erase(0, *consumed);
       const HttpResponse response = (*handler_)(request);
+      if (response.status_code == LoopbackTransport::kKillConnection) {
+        // Fault injection: die without a response byte. Anything already
+        // buffered for earlier pipelined requests still drains (those
+        // responses were on the wire); this request and everything after
+        // it on this connection is lost.
+        closed_ = true;
+        break;
+      }
       out_ += SerializeHttpResponse(response);
       // A "Connection: close" response ends the stream after its bytes
       // drain, exactly like a server closing its socket.

@@ -30,7 +30,16 @@ class LoopbackTransport : public HttpTransport {
  public:
   /// The server side: maps one parsed request to a response. Invoked
   /// synchronously inside the client's WriteAll; must be thread-safe.
+  ///
+  /// A response with status_code == kKillConnection is a fault-injection
+  /// sentinel: the connection dies without writing a single response byte
+  /// (like a server process killed mid-request), so the client observes a
+  /// clean EOF on read — the exact shape of a dropped keep-alive or a
+  /// mid-pipeline connection kill.
   using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  /// Handler status_code sentinel: kill the connection, send nothing.
+  static constexpr int kKillConnection = 0;
 
   explicit LoopbackTransport(Handler handler)
       : handler_(std::move(handler)) {}

@@ -43,7 +43,10 @@ class KnowledgeBase {
 
   /// Interns the three terms and inserts the triple. Returns true iff new.
   bool AddTriple(const Term& s, const Term& p, const Term& o) {
-    return store_.Insert(dict_.Intern(s), dict_.Intern(p), dict_.Intern(o));
+    const bool added =
+        store_.Insert(dict_.Intern(s), dict_.Intern(p), dict_.Intern(o));
+    if (added) ++data_epoch_;
+    return added;
   }
 
   /// Adds 〈<s>, <p>, <o>〉 with all three terms IRIs relative to base_iri.
@@ -75,11 +78,23 @@ class KnowledgeBase {
   /// Total number of facts.
   size_t size() const { return store_.size(); }
 
+  /// Monotonic write version. Every AddTriple/AddFact bumps it; callers
+  /// that mutate store() directly must call MarkMutated() themselves.
+  /// Client-side caches (CachingEndpoint) compare epochs to drop stale
+  /// entries automatically in time-sensitive-data scenarios. Reads race-free
+  /// under the store's own contract: writes never run concurrently with
+  /// queries.
+  uint64_t data_epoch() const { return data_epoch_; }
+
+  /// Records an out-of-band mutation (direct store()/dict() writes).
+  void MarkMutated() { ++data_epoch_; }
+
  private:
   std::string name_;
   std::string base_iri_;
   Dictionary dict_;
   TripleStore store_;
+  uint64_t data_epoch_ = 0;
 };
 
 }  // namespace sofya

@@ -113,7 +113,7 @@ StatusOr<SimpleSample> SimpleSampler::DrawSample(const Term& r_sub) {
     if (wave.empty()) break;
 
     SOFYA_ASSIGN_OR_RETURN(std::vector<ResultSet> fact_results,
-                           candidate_kb_->SelectMany(fact_queries));
+                           candidate_kb_->SelectMany(fact_queries).IntoValues());
     for (size_t i = 0; i < wave.size(); ++i) {
       SampledSubject entry;
       entry.subject_candidate = std::move(wave[i].x1);
@@ -167,8 +167,9 @@ StatusOr<EvidenceSet> SimpleSampler::ScoreAgainst(const SimpleSample& sample,
     }
     PagedSelectOptions paging;
     paging.page_size = options_.facts_per_subject_cap;
-    SOFYA_ASSIGN_OR_RETURN(std::vector<ResultSet> probe_results,
-                           BatchedPagedSelect(reference_kb_, probes, paging));
+    SOFYA_ASSIGN_OR_RETURN(
+        std::vector<ResultSet> probe_results,
+        BatchedPagedSelect(reference_kb_, probes, paging).IntoValues());
     for (size_t m = 0; m < probe_results.size(); ++m) {
       std::vector<Term>& objects = r_objects_by_subject[probe_subject[m]];
       objects.reserve(probe_results[m].rows.size());

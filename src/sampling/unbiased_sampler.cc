@@ -105,20 +105,22 @@ Status UnbiasedSampler::PrefetchObjects(
   // phantom counter-example. Page through everything each subject has.
   PagedSelectOptions paging;
   paging.page_size = options_.facts_per_subject_cap;
-  SOFYA_ASSIGN_OR_RETURN(std::vector<ResultSet> results,
-                         BatchedPagedSelect(endpoint, probes, paging));
-  // Memoize only on success: a failed fetch must not leave behind empty
-  // entries that later reads would mistake for "subject has no facts".
+  SelectBatchResult batch = BatchedPagedSelect(endpoint, probes, paging);
+  // Memoize only successful slots: a failed fetch must not leave behind
+  // empty entries that later reads would mistake for "subject has no
+  // facts". The successes are banked BEFORE the error is reported, so a
+  // retried probe pass re-fetches only what actually failed.
   for (size_t i = 0; i < keys.size(); ++i) {
+    if (!batch.statuses[i].ok()) continue;
     std::vector<Term> objects;
-    objects.reserve(results[i].rows.size());
-    for (const auto& row : results[i].rows) {
+    objects.reserve(batch.values[i].rows.size());
+    for (const auto& row : batch.values[i].rows) {
       SOFYA_ASSIGN_OR_RETURN(Term obj, endpoint->DecodeTerm(row[0]));
       objects.push_back(std::move(obj));
     }
     object_cache_.emplace(std::move(keys[i]), std::move(objects));
   }
-  return Status::OK();
+  return batch.FirstError();
 }
 
 Status UnbiasedSampler::PrefetchExistence(Endpoint* endpoint,
@@ -134,12 +136,14 @@ Status UnbiasedSampler::PrefetchExistence(Endpoint* endpoint,
   }
   if (batch.empty()) return Status::OK();
 
-  SOFYA_ASSIGN_OR_RETURN(std::vector<bool> answers,
-                         endpoint->AskMany(batch));
+  AskBatchResult answers = endpoint->AskMany(batch);
+  // Same banking rule as PrefetchObjects: memoize the probes that
+  // answered, then surface the first failure (if any) by batch position.
   for (size_t i = 0; i < keys.size(); ++i) {
-    ask_cache_.emplace(keys[i], answers[i]);
+    if (!answers.statuses[i].ok()) continue;
+    ask_cache_.emplace(keys[i], answers.values[i]);
   }
-  return Status::OK();
+  return answers.FirstError();
 }
 
 StatusOr<bool> UnbiasedSampler::TripleExists(Endpoint* endpoint,

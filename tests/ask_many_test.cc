@@ -1,6 +1,8 @@
 // Endpoint::AskMany — positional parity with one-by-one Ask over every
-// endpoint implementation, intra-batch dedup at the server, and decorator
-// forwarding semantics (cache answers hits, throttle meters per sub-query).
+// endpoint implementation, intra-batch dedup at the server, decorator
+// forwarding semantics (cache answers hits, throttle meters per sub-query),
+// and the per-sub-query outcome contract (a failed probe does not discard
+// its batch neighbors' answers).
 
 #include <gtest/gtest.h>
 
@@ -44,13 +46,13 @@ class AskManyTest : public ::testing::Test {
 
   void ExpectParity(Endpoint* batched, Endpoint* sequential) {
     const std::vector<SelectQuery> batch = Batch();
-    auto many = batched->AskMany(batch);
-    ASSERT_TRUE(many.ok()) << many.status().ToString();
-    ASSERT_EQ(many->size(), batch.size());
+    AskBatchResult many = batched->AskMany(batch);
+    ASSERT_TRUE(many.all_ok()) << many.FirstError().ToString();
+    ASSERT_EQ(many.size(), batch.size());
     for (size_t i = 0; i < batch.size(); ++i) {
       auto one = sequential->Ask(batch[i]);
       ASSERT_TRUE(one.ok()) << "query " << i;
-      EXPECT_EQ((*many)[i], *one) << "query " << i;
+      EXPECT_EQ(many.values[i], *one) << "query " << i;
     }
   }
 
@@ -74,8 +76,8 @@ TEST_F(AskManyTest, LocalEndpointParityAndDedup) {
 }
 
 TEST_F(AskManyTest, DefaultImplementationLoopsAsk) {
-  // The base-class fallback (used by Throttled/Retrying) answers each probe
-  // through the endpoint's own Ask: parity, but no dedup.
+  // The base-class fallback answers each probe through the endpoint's own
+  // Ask: parity, but no dedup.
   LocalEndpoint inner(&kb_);
   ThrottleOptions throttle;
   throttle.jitter_ms = 0.0;
@@ -87,14 +89,26 @@ TEST_F(AskManyTest, DefaultImplementationLoopsAsk) {
   EXPECT_EQ(ep.queries_issued(), 6u);
 }
 
-TEST_F(AskManyTest, ThrottledBudgetDeniesMidBatch) {
+TEST_F(AskManyTest, ThrottledBudgetDeniesPerSubQueryNotPerBatch) {
   LocalEndpoint inner(&kb_);
   ThrottleOptions throttle;
   throttle.query_budget = 2;
   throttle.jitter_ms = 0.0;
   ThrottledEndpoint ep(&inner, throttle);
-  auto result = ep.AskMany(Batch());
-  EXPECT_TRUE(result.status().IsResourceExhausted());
+  AskBatchResult result = ep.AskMany(Batch());
+  ASSERT_EQ(result.size(), 6u);
+  // The first two sub-queries were admitted and answered; everything after
+  // the budget line reports its own ResourceExhausted instead of sinking
+  // the whole batch.
+  EXPECT_TRUE(result.statuses[0].ok());
+  EXPECT_TRUE(result.values[0]);
+  EXPECT_TRUE(result.statuses[1].ok());
+  EXPECT_FALSE(result.values[1]);
+  for (size_t i = 2; i < result.size(); ++i) {
+    EXPECT_TRUE(result.statuses[i].IsResourceExhausted()) << "slot " << i;
+  }
+  EXPECT_EQ(result.num_failed(), 4u);
+  EXPECT_TRUE(result.FirstError().IsResourceExhausted());
 }
 
 TEST_F(AskManyTest, CachingEndpointAnswersHitsForwardsMisses) {
@@ -106,14 +120,14 @@ TEST_F(AskManyTest, CachingEndpointAnswersHitsForwardsMisses) {
   ASSERT_TRUE(ep.Ask(queries::FactsOfPredicate(p_)).ok());
   EXPECT_EQ(inner.stats().queries, 1u);
 
-  auto many = ep.AskMany(Batch());
-  ASSERT_TRUE(many.ok());
-  EXPECT_TRUE((*many)[0]);
-  EXPECT_FALSE((*many)[1]);
-  EXPECT_TRUE((*many)[2]);
-  EXPECT_TRUE((*many)[3]);
-  EXPECT_TRUE((*many)[4]);
-  EXPECT_FALSE((*many)[5]);
+  AskBatchResult many = ep.AskMany(Batch());
+  ASSERT_TRUE(many.all_ok());
+  EXPECT_TRUE(many.values[0]);
+  EXPECT_FALSE(many.values[1]);
+  EXPECT_TRUE(many.values[2]);
+  EXPECT_TRUE(many.values[3]);
+  EXPECT_TRUE(many.values[4]);
+  EXPECT_FALSE(many.values[5]);
   // Hits: probes 0, 2, 3 (same normalized key as the warmed one). Misses:
   // the warm-up plus probes 1, 4, 5 — of which 5 dedups against 1 inside
   // the forwarded batch, so the server saw only 2 new evaluations.
@@ -122,9 +136,9 @@ TEST_F(AskManyTest, CachingEndpointAnswersHitsForwardsMisses) {
   EXPECT_EQ(inner.stats().queries, 3u);
 
   // The whole batch again: pure hits, zero server traffic.
-  auto again = ep.AskMany(Batch());
-  ASSERT_TRUE(again.ok());
-  EXPECT_EQ(*again, *many);
+  AskBatchResult again = ep.AskMany(Batch());
+  ASSERT_TRUE(again.all_ok());
+  EXPECT_EQ(again.values, many.values);
   EXPECT_EQ(ep.hits(), 9u);
   EXPECT_EQ(inner.stats().queries, 3u);
 }
@@ -157,16 +171,16 @@ TEST_F(AskManyTest, RetryingAskManyAbsorbsTransientFailures) {
   ExpectParity(&ep, &sequential);
   // Hammer the batch until the failure injector has provably fired.
   for (int i = 0; i < 10 && ep.retries_performed() == 0; ++i) {
-    ASSERT_TRUE(ep.AskMany(Batch()).ok());
+    ASSERT_TRUE(ep.AskMany(Batch()).all_ok());
   }
   EXPECT_GT(ep.retries_performed(), 0u);
 }
 
 TEST_F(AskManyTest, EmptyBatchIsANoOp) {
   LocalEndpoint ep(&kb_);
-  auto result = ep.AskMany({});
-  ASSERT_TRUE(result.ok());
-  EXPECT_TRUE(result->empty());
+  AskBatchResult result = ep.AskMany({});
+  EXPECT_TRUE(result.all_ok());
+  EXPECT_TRUE(result.empty());
   EXPECT_EQ(ep.stats().queries, 0u);
 }
 

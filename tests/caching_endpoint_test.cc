@@ -131,12 +131,12 @@ TEST_F(CachingEndpointTest, SelectManyForwardsOnlyMisses) {
       queries::FactsOfPredicate(q_),     // Batch-duplicate miss...
       queries::FactsOfPredicate(p_, 4),  // Miss.
   };
-  auto results = ep.SelectMany(batch);
-  ASSERT_TRUE(results.ok());
-  ASSERT_EQ(results->size(), 4u);
-  EXPECT_EQ((*results)[1].rows, (*results)[2].rows);
-  EXPECT_EQ((*results)[0].rows.size(), 10u);
-  EXPECT_EQ((*results)[3].rows.size(), 4u);
+  SelectBatchResult results = ep.SelectMany(batch);
+  ASSERT_TRUE(results.all_ok());
+  ASSERT_EQ(results.size(), 4u);
+  EXPECT_EQ(results.values[1].rows, results.values[2].rows);
+  EXPECT_EQ(results.values[0].rows.size(), 10u);
+  EXPECT_EQ(results.values[3].rows.size(), 4u);
 
   EXPECT_EQ(ep.hits(), 1u);
   EXPECT_EQ(ep.misses(), 4u);  // Warmup + the three uncached batch entries.
@@ -145,10 +145,54 @@ TEST_F(CachingEndpointTest, SelectManyForwardsOnlyMisses) {
   EXPECT_EQ(inner.stats().queries, 3u);
 
   // The whole batch repeated is all hits: zero new server queries.
-  auto again = ep.SelectMany(batch);
-  ASSERT_TRUE(again.ok());
+  SelectBatchResult again = ep.SelectMany(batch);
+  ASSERT_TRUE(again.all_ok());
   EXPECT_EQ(ep.hits(), 5u);
   EXPECT_EQ(inner.stats().queries, 3u);
+}
+
+TEST_F(CachingEndpointTest, EpochChangeInvalidatesAutomatically) {
+  LocalEndpoint inner(&kb_);
+  CachingEndpoint ep(&inner);
+
+  auto before = ep.Select(queries::FactsOfPredicate(p_));
+  ASSERT_TRUE(before.ok());
+  const size_t rows_before = before->rows.size();
+  EXPECT_EQ(ep.size(), 1u);
+
+  // Mutate the dataset (time-sensitive-data scenario). No manual Clear():
+  // the next request observes the epoch bump and drops the stale entries.
+  kb_.AddFact("sNew", "p", "oNew");
+  auto after = ep.Select(queries::FactsOfPredicate(p_));
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->rows.size(), rows_before + 1);
+  EXPECT_EQ(ep.epoch_invalidations(), 1u);
+  // The fresh result is cached again under the new epoch.
+  EXPECT_EQ(ep.size(), 1u);
+  auto repeat = ep.Select(queries::FactsOfPredicate(p_));
+  ASSERT_TRUE(repeat.ok());
+  EXPECT_EQ(repeat->rows.size(), rows_before + 1);
+  EXPECT_EQ(ep.hits(), 1u);
+}
+
+TEST_F(CachingEndpointTest, EpochInvalidationCoversAsksAndBatches) {
+  LocalEndpoint inner(&kb_);
+  CachingEndpoint ep(&inner);
+
+  SelectQuery absent_probe = queries::FactsOfPredicate(
+      ep.EncodeTerm(Term::Iri("http://c.org/soonToExist")));
+  auto missing = ep.Ask(absent_probe);
+  ASSERT_TRUE(missing.ok());
+  EXPECT_FALSE(*missing);
+
+  kb_.AddTriple(Term::Iri("http://c.org/sX"),
+                Term::Iri("http://c.org/soonToExist"),
+                Term::Iri("http://c.org/oX"));
+  // A stale cache would answer "false" from the old epoch's entry.
+  AskBatchResult batch = ep.AskMany(std::vector<SelectQuery>{absent_probe});
+  ASSERT_TRUE(batch.all_ok());
+  EXPECT_TRUE(batch.values[0]);
+  EXPECT_GE(ep.epoch_invalidations(), 1u);
 }
 
 TEST_F(CachingEndpointTest, CacheHitsDoNotConsumeThrottleBudget) {

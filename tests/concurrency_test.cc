@@ -141,12 +141,14 @@ TEST_F(EndpointConcurrencyTest, MixedSelectAskAndBatchTraffic) {
           queries::FactsOfPredicate(p, /*limit=*/1),
           queries::FactsOfPredicate(p),
       };
-      auto many = ep.SelectMany(batch);
-      if (!many.ok() || (*many)[0].rows != (*many)[2].rows) {
+      SelectBatchResult many = ep.SelectMany(batch);
+      if (!many.all_ok() || many.values[0].rows != many.values[2].rows) {
         failures.fetch_add(1);
       }
-      auto asks = ep.AskMany(batch);
-      if (!asks.ok() || !(*asks)[0] || !(*asks)[1]) failures.fetch_add(1);
+      AskBatchResult asks = ep.AskMany(batch);
+      if (!asks.all_ok() || !asks.values[0] || !asks.values[1]) {
+        failures.fetch_add(1);
+      }
     }
   };
   std::vector<std::thread> threads;
@@ -278,6 +280,47 @@ TEST(AlignManyDeterminismTest, IdenticalToSequentialForAnyThreadCount) {
         << "threads=" << threads;
     EXPECT_EQ(fleet->threads_used, std::min(threads, relations.size()));
   }
+}
+
+TEST(AlignManyDeterminismTest, PhaseAndRelationSchedulesAgreeBitForBit) {
+  // Both schedulers must produce the sequential verdicts AND the sequential
+  // per-relation query counts — the phase decomposition changes only who
+  // runs which piece of work, never the work itself.
+  auto world =
+      std::move(GenerateWorld(YagoDbpediaSpec(101, /*scale=*/0.03))).value();
+  const std::vector<Term> relations = WorkloadRelations(world, 8);
+  ASSERT_GE(relations.size(), 3u);
+
+  auto run = [&](AlignSchedule schedule, size_t threads) {
+    LocalEndpoint cand(world.kb1.get());
+    LocalEndpoint ref(world.kb2.get());
+    RelationAligner aligner(&cand, &ref, &world.links);
+    AlignManyOptions options;
+    options.num_threads = threads;
+    options.schedule = schedule;
+    auto fleet = aligner.AlignMany(relations, options);
+    EXPECT_TRUE(fleet.ok()) << fleet.status().ToString();
+    std::vector<std::string> fingerprints;
+    for (const auto& result : fleet->results) {
+      fingerprints.push_back(VerdictFingerprint(result) + "|" +
+                             std::to_string(result.candidate_queries) + "|" +
+                             std::to_string(result.reference_queries));
+    }
+    return std::make_pair(fingerprints, fleet->subtasks_scheduled);
+  };
+
+  const auto [relation_fp, relation_tasks] =
+      run(AlignSchedule::kRelation, 4);
+  const auto [phase_fp_1, phase_tasks_1] = run(AlignSchedule::kPhase, 1);
+  const auto [phase_fp_8, phase_tasks_8] = run(AlignSchedule::kPhase, 8);
+  EXPECT_EQ(phase_fp_1, relation_fp);
+  EXPECT_EQ(phase_fp_8, relation_fp);
+  // The phase scheduler really decomposed: strictly more tasks than
+  // relations (discovery + per-candidate + UBS + reverse), and the task
+  // breakdown itself is deterministic.
+  EXPECT_EQ(relation_tasks, relations.size());
+  EXPECT_GT(phase_tasks_1, relations.size());
+  EXPECT_EQ(phase_tasks_1, phase_tasks_8);
 }
 
 TEST(AlignManyDeterminismTest, SharedCacheKeepsVerdictsIdentical) {

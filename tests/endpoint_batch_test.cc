@@ -1,6 +1,7 @@
 // SelectMany batching and native ASK: positional results, intra-batch
-// dedup accounting on LocalEndpoint, decorator forwarding, and the
-// O(first match) early-exit claim for existence probes.
+// dedup accounting on LocalEndpoint, decorator forwarding, per-sub-query
+// outcomes (BatchResult), and the O(first match) early-exit claim for
+// existence probes.
 
 #include <gtest/gtest.h>
 
@@ -34,11 +35,11 @@ TEST_F(EndpointBatchTest, SelectManyResultsArePositional) {
   LocalEndpoint ep(&kb_);
   std::vector<SelectQuery> batch = {queries::FactsOfPredicate(big_, 7),
                                     queries::FactsOfPredicate(small_)};
-  auto results = ep.SelectMany(batch);
-  ASSERT_TRUE(results.ok());
-  ASSERT_EQ(results->size(), 2u);
-  EXPECT_EQ((*results)[0].rows.size(), 7u);
-  EXPECT_EQ((*results)[1].rows.size(), 1u);
+  SelectBatchResult results = ep.SelectMany(batch);
+  ASSERT_TRUE(results.all_ok());
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results.values[0].rows.size(), 7u);
+  EXPECT_EQ(results.values[1].rows.size(), 1u);
 }
 
 TEST_F(EndpointBatchTest, LocalSelectManyDedupsWithinBatch) {
@@ -46,11 +47,11 @@ TEST_F(EndpointBatchTest, LocalSelectManyDedupsWithinBatch) {
   std::vector<SelectQuery> batch = {
       queries::FactsOfPredicate(small_), queries::FactsOfPredicate(big_, 3),
       queries::FactsOfPredicate(small_), queries::FactsOfPredicate(small_)};
-  auto results = ep.SelectMany(batch);
-  ASSERT_TRUE(results.ok());
-  ASSERT_EQ(results->size(), 4u);
-  EXPECT_EQ((*results)[0].rows, (*results)[2].rows);
-  EXPECT_EQ((*results)[0].rows, (*results)[3].rows);
+  SelectBatchResult results = ep.SelectMany(batch);
+  ASSERT_TRUE(results.all_ok());
+  ASSERT_EQ(results.size(), 4u);
+  EXPECT_EQ(results.values[0].rows, results.values[2].rows);
+  EXPECT_EQ(results.values[0].rows, results.values[3].rows);
   // 2 unique queries evaluated; duplicates answered from the same result.
   EXPECT_EQ(ep.stats().queries, 2u);
   EXPECT_EQ(ep.stats().rows_returned, 4u);  // 1 (small) + 3 (big).
@@ -65,9 +66,14 @@ TEST_F(EndpointBatchTest, ThrottledSelectManyChargesPerQuery) {
                                     queries::FactsOfPredicate(small_),
                                     queries::FactsOfPredicate(small_)};
   // A remote provider meters requests, not batches: the third sub-query
-  // exceeds the budget even though all three are identical.
-  auto results = ep.SelectMany(batch);
-  EXPECT_TRUE(results.status().IsResourceExhausted());
+  // exceeds the budget even though all three are identical — but only that
+  // sub-query fails; the admitted answers are delivered.
+  SelectBatchResult results = ep.SelectMany(batch);
+  EXPECT_TRUE(results.statuses[0].ok());
+  EXPECT_TRUE(results.statuses[1].ok());
+  EXPECT_TRUE(results.statuses[2].IsResourceExhausted());
+  EXPECT_EQ(results.values[0].rows.size(), 1u);
+  EXPECT_TRUE(results.FirstError().IsResourceExhausted());
 }
 
 TEST_F(EndpointBatchTest, DefaultSelectManyMatchesSequentialSelects) {
@@ -76,13 +82,31 @@ TEST_F(EndpointBatchTest, DefaultSelectManyMatchesSequentialSelects) {
   std::vector<SelectQuery> batch = {queries::FactsOfPredicate(big_, 5),
                                     queries::FactsOfPredicate(small_),
                                     queries::FactsOfPredicate(big_, 2)};
-  auto batched = batch_ep.SelectMany(batch);
-  ASSERT_TRUE(batched.ok());
+  SelectBatchResult batched = batch_ep.SelectMany(batch);
+  ASSERT_TRUE(batched.all_ok());
   for (size_t i = 0; i < batch.size(); ++i) {
     auto single = seq_ep.Select(batch[i]);
     ASSERT_TRUE(single.ok());
-    EXPECT_EQ(single->rows, (*batched)[i].rows) << "query " << i;
+    EXPECT_EQ(single->rows, batched.values[i].rows) << "query " << i;
   }
+}
+
+TEST_F(EndpointBatchTest, IntoValuesAdaptsToFailFast) {
+  LocalEndpoint ep(&kb_);
+  std::vector<SelectQuery> batch = {queries::FactsOfPredicate(big_, 2),
+                                    queries::FactsOfPredicate(small_)};
+  auto values = ep.SelectMany(batch).IntoValues();
+  ASSERT_TRUE(values.ok());
+  EXPECT_EQ(values->size(), 2u);
+
+  // With a failure in the batch, IntoValues reports the first error by
+  // position — the deterministic fail-fast adapter consumers rely on.
+  LocalEndpoint inner(&kb_);
+  ThrottleOptions options;
+  options.query_budget = 1;
+  ThrottledEndpoint metered(&inner, options);
+  auto failed = metered.SelectMany(batch).IntoValues();
+  EXPECT_TRUE(failed.status().IsResourceExhausted());
 }
 
 TEST_F(EndpointBatchTest, AskShipsNoRowsAndScansOneTriple) {
@@ -153,6 +177,78 @@ TEST_F(EndpointBatchTest, RetryingAskAbsorbsTransientFailures) {
   EXPECT_GT(ep.retries_performed(), 0u);
 }
 
+TEST_F(EndpointBatchTest, ThrottledBatchAccountingMatchesSequentialExactly) {
+  // The regression the wave-admission audit demands: with the default wave
+  // width of 1, a batched run and a sequential run of the same queries
+  // produce bit-identical derived stats — budget, rows, latency, and even
+  // the jitter/failure rng stream. Latency is charged per sub-query wave,
+  // never per batch call.
+  ThrottleOptions options;
+  options.base_latency_ms = 25.0;
+  options.per_row_latency_ms = 0.5;
+  options.jitter_ms = 5.0;  // Nonzero: the rng stream must line up too.
+  options.seed = 99;
+
+  std::vector<SelectQuery> batch = {queries::FactsOfPredicate(big_, 5),
+                                    queries::FactsOfPredicate(small_),
+                                    queries::FactsOfPredicate(big_, 2),
+                                    queries::FactsOfPredicate(small_)};
+
+  LocalEndpoint seq_inner(&kb_);
+  ThrottledEndpoint sequential(&seq_inner, options);
+  for (const SelectQuery& query : batch) {
+    ASSERT_TRUE(sequential.Select(query).ok());
+  }
+
+  LocalEndpoint batch_inner(&kb_);
+  ThrottledEndpoint batched(&batch_inner, options);
+  ASSERT_TRUE(batched.SelectMany(batch).all_ok());
+
+  const EndpointStats seq_stats = sequential.stats();
+  const EndpointStats batch_stats = batched.stats();
+  EXPECT_EQ(batch_stats.queries, seq_stats.queries);
+  EXPECT_EQ(batch_stats.rows_returned, seq_stats.rows_returned);
+  EXPECT_DOUBLE_EQ(batch_stats.simulated_latency_ms,
+                   seq_stats.simulated_latency_ms);
+  EXPECT_EQ(batched.queries_issued(), sequential.queries_issued());
+
+  // Same parity for ASK batches (base latency only, same rng schedule).
+  LocalEndpoint ask_seq_inner(&kb_);
+  ThrottledEndpoint ask_sequential(&ask_seq_inner, options);
+  for (const SelectQuery& query : batch) {
+    ASSERT_TRUE(ask_sequential.Ask(query).ok());
+  }
+  LocalEndpoint ask_batch_inner(&kb_);
+  ThrottledEndpoint ask_batched(&ask_batch_inner, options);
+  ASSERT_TRUE(ask_batched.AskMany(batch).all_ok());
+  EXPECT_DOUBLE_EQ(ask_batched.stats().simulated_latency_ms,
+                   ask_sequential.stats().simulated_latency_ms);
+}
+
+TEST_F(EndpointBatchTest, ThrottledWaveWidthModelsPipelining) {
+  // Width c > 1: a batch of k sub-queries costs ceil(k/c) base-latency
+  // units (like c pipelined connections) while the budget still meters all
+  // k requests.
+  ThrottleOptions options;
+  options.base_latency_ms = 10.0;
+  options.per_row_latency_ms = 0.0;
+  options.jitter_ms = 0.0;
+  options.batch_wave_width = 4;
+
+  LocalEndpoint inner(&kb_);
+  ThrottledEndpoint ep(&inner, options);
+  std::vector<SelectQuery> batch;
+  for (int i = 0; i < 10; ++i) {
+    batch.push_back(queries::FactsOfPredicate(small_));
+  }
+  ASSERT_TRUE(ep.SelectMany(batch).all_ok());
+  EXPECT_EQ(ep.queries_issued(), 10u);       // A provider meters requests...
+  EXPECT_EQ(ep.stats().queries, 10u);
+  // ...but wall latency is 3 waves (4 + 4 + 2), not 10 round trips and
+  // not 1 per-batch charge.
+  EXPECT_DOUBLE_EQ(ep.stats().simulated_latency_ms, 30.0);
+}
+
 TEST_F(EndpointBatchTest, BatchedPagedSelectMatchesPagedSelect) {
   LocalEndpoint seq_ep(&kb_);
   LocalEndpoint batch_ep(&kb_);
@@ -164,15 +260,15 @@ TEST_F(EndpointBatchTest, BatchedPagedSelectMatchesPagedSelect) {
       queries::FactsOfPredicate(small_),     // 1 row: 1 page.
       queries::FactsOfPredicate(big_, 30),   // Cap == page: 1 page.
       queries::FactsOfPredicate(big_, 45)};  // 2 pages.
-  auto batched = BatchedPagedSelect(&batch_ep, batch, options);
-  ASSERT_TRUE(batched.ok());
+  SelectBatchResult batched = BatchedPagedSelect(&batch_ep, batch, options);
+  ASSERT_TRUE(batched.all_ok());
   uint64_t sequential_queries = 0;
   for (size_t i = 0; i < batch.size(); ++i) {
     seq_ep.ResetStats();
     auto single = PagedSelect(&seq_ep, batch[i], options);
     ASSERT_TRUE(single.ok());
     sequential_queries += seq_ep.stats().queries;
-    EXPECT_EQ(single->rows, (*batched)[i].rows) << "query " << i;
+    EXPECT_EQ(single->rows, batched.values[i].rows) << "query " << i;
   }
   // Batching keeps the page schedule but lets LocalEndpoint dedup identical
   // first pages across the batch (all three `big` probes open with the same

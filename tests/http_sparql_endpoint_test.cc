@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
 #include <memory>
 #include <set>
 #include <string>
@@ -216,11 +217,11 @@ TEST_F(HttpSparqlEndpointTest, SelectManyPipelinesOverBoundedPool) {
   for (int i = 0; i < 8; ++i) {
     batch.push_back(queries::FactsOfPredicate(ClientP(), /*limit=*/i + 1));
   }
-  auto results = endpoint_->SelectMany(batch);
-  ASSERT_TRUE(results.ok()) << results.status().ToString();
-  ASSERT_EQ(results->size(), batch.size());
+  SelectBatchResult results = endpoint_->SelectMany(batch);
+  ASSERT_TRUE(results.all_ok()) << results.FirstError().ToString();
+  ASSERT_EQ(results.size(), batch.size());
   for (int i = 0; i < 8; ++i) {
-    EXPECT_EQ((*results)[i].rows.size(), static_cast<size_t>(i + 1))
+    EXPECT_EQ(results.values[i].rows.size(), static_cast<size_t>(i + 1))
         << "batch position " << i;
   }
   EXPECT_EQ(server_->requests_served(), 8u);
@@ -235,10 +236,132 @@ TEST_F(HttpSparqlEndpointTest, AskManyPipelines) {
   batch.push_back(queries::FactsOfPredicate(
       endpoint_->EncodeTerm(Term::Iri("http://t.org/absent"))));
   batch.push_back(queries::FactsOfPredicate(ClientP()));
-  auto results = endpoint_->AskMany(batch);
-  ASSERT_TRUE(results.ok()) << results.status().ToString();
-  EXPECT_EQ(*results, (std::vector<bool>{true, false, true}));
+  AskBatchResult results = endpoint_->AskMany(batch);
+  ASSERT_TRUE(results.all_ok()) << results.FirstError().ToString();
+  EXPECT_EQ(results.values, (std::vector<bool>{true, false, true}));
   EXPECT_LE(transport_->connections_opened(), 4u);
+}
+
+TEST_F(HttpSparqlEndpointTest, KilledConnectionFailsOnlyItsSubQuery) {
+  // One connection, sequential batch, first request's connection killed
+  // before a single response byte: slot 0 reports Unavailable, every other
+  // sub-query keeps its answer — the fail-fast contract would have thrown
+  // all of them away.
+  endpoint_ = MakeEndpoint(/*max_connections=*/1);
+  server_->KillConnectionOnNextRequests(1);
+  std::vector<SelectQuery> batch;
+  for (int i = 0; i < 4; ++i) {
+    batch.push_back(queries::FactsOfPredicate(ClientP(), /*limit=*/i + 1));
+  }
+  SelectBatchResult results = endpoint_->SelectMany(batch);
+  EXPECT_TRUE(results.statuses[0].IsUnavailable())
+      << results.statuses[0].ToString();
+  for (size_t i = 1; i < results.size(); ++i) {
+    ASSERT_TRUE(results.statuses[i].ok()) << "slot " << i;
+    EXPECT_EQ(results.values[i].rows.size(), i + 1);
+  }
+  EXPECT_EQ(results.num_failed(), 1u);
+}
+
+TEST_F(HttpSparqlEndpointTest, RecoveryRetriesOnlyTheKilledSubQuery) {
+  // Pipelined batch over 2 sockets with a retry layer on top. The server
+  // kills one connection mid-pipeline; the batch still comes back fully
+  // answered, and the server log shows exactly ONE re-issued query — the
+  // killed one — never a re-execution of a sub-query that had already
+  // succeeded. (Whether the re-issue came from the client's stale-reuse
+  // guard or the retry layer's per-slot recovery, the query text crosses
+  // the wire exactly twice.)
+  endpoint_ = MakeEndpoint(/*max_connections=*/2);
+  RetryOptions retry;
+  retry.max_retries = 3;
+  retry.initial_backoff_ms = 0.0;
+  RetryingEndpoint recovering(endpoint_.get(), retry);
+
+  server_->KillConnectionOnNextRequests(1);
+  std::vector<SelectQuery> batch;
+  for (int i = 0; i < 6; ++i) {
+    batch.push_back(queries::FactsOfPredicate(ClientP(), /*limit=*/i + 1));
+  }
+  SelectBatchResult results = recovering.SelectMany(batch);
+  ASSERT_TRUE(results.all_ok()) << results.FirstError().ToString();
+  for (size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results.values[i].rows.size(), i + 1) << "slot " << i;
+  }
+  // 6 sub-queries + exactly 1 re-issue of the killed one.
+  EXPECT_EQ(server_->requests_served(), 7u);
+  std::map<std::string, int> times_seen;
+  for (const std::string& text : server_->queries_received()) {
+    ++times_seen[text];
+  }
+  int re_issued = 0;
+  for (const auto& [text, count] : times_seen) {
+    ASSERT_LE(count, 2) << "re-executed more than once: " << text;
+    if (count == 2) ++re_issued;
+  }
+  EXPECT_EQ(re_issued, 1);  // Only the in-flight casualty.
+}
+
+TEST_F(HttpSparqlEndpointTest, FollowsSameOriginRedirectPreservingPost) {
+  server_->RedirectNextRequests(1, 307, "/sparql-moved");
+  auto result = endpoint_->Select(queries::FactsOfPredicate(ClientP()));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->rows.size(), 10u);
+  // The query was re-POSTed at the new target: same body, twice.
+  const std::vector<std::string> queries = server_->queries_received();
+  ASSERT_EQ(queries.size(), 2u);
+  EXPECT_EQ(queries[0], queries[1]);
+  // One client-visible query; the extra hop is transport plumbing.
+  EXPECT_EQ(endpoint_->stats().queries, 1u);
+}
+
+TEST_F(HttpSparqlEndpointTest, FollowsAbsoluteSameOriginRedirect) {
+  server_->RedirectNextRequests(1, 301, "http://mock.test/sparql-v2");
+  auto result = endpoint_->Select(queries::FactsOfPredicate(ClientP()));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(server_->requests_served(), 2u);
+}
+
+TEST_F(HttpSparqlEndpointTest, RejectsCrossOriginRedirect) {
+  server_->RedirectNextRequests(1, 302, "http://elsewhere.test/sparql");
+  auto result = endpoint_->Select(queries::FactsOfPredicate(ClientP()));
+  ASSERT_TRUE(result.status().IsInvalidArgument())
+      << result.status().ToString();
+  // The query body was never re-sent off-origin.
+  EXPECT_EQ(server_->requests_served(), 1u);
+}
+
+TEST_F(HttpSparqlEndpointTest, SchemeRelativeRedirectIsCrossOriginChecked) {
+  // "//host/path" is a network-path reference, not an origin-form path: it
+  // must go through the same-origin gate, not be pasted into the request
+  // target of the configured origin.
+  server_->RedirectNextRequests(1, 302, "//elsewhere.test/sparql");
+  auto result = endpoint_->Select(queries::FactsOfPredicate(ClientP()));
+  ASSERT_TRUE(result.status().IsInvalidArgument())
+      << result.status().ToString();
+  EXPECT_EQ(server_->requests_served(), 1u);
+
+  // The same-origin form of the reference IS followed.
+  server_->RedirectNextRequests(1, 302, "//mock.test/sparql-alt");
+  auto followed = endpoint_->Select(queries::FactsOfPredicate(ClientP()));
+  ASSERT_TRUE(followed.ok()) << followed.status().ToString();
+  EXPECT_EQ(followed->rows.size(), 10u);
+}
+
+TEST_F(HttpSparqlEndpointTest, Rejects303ForQueryPosts) {
+  server_->RedirectNextRequests(1, 303, "/results/42");
+  auto result = endpoint_->Select(queries::FactsOfPredicate(ClientP()));
+  ASSERT_TRUE(result.status().IsInvalidArgument())
+      << result.status().ToString();
+  EXPECT_NE(result.status().message().find("303"), std::string::npos);
+}
+
+TEST_F(HttpSparqlEndpointTest, RedirectChainsAreBounded) {
+  server_->RedirectNextRequests(100, 308, "/sparql");  // Endless loop.
+  auto result = endpoint_->Select(queries::FactsOfPredicate(ClientP()));
+  ASSERT_TRUE(result.status().IsInvalidArgument())
+      << result.status().ToString();
+  // Default bound: the original request + max_redirects (5) hops.
+  EXPECT_EQ(server_->requests_served(), 6u);
 }
 
 TEST_F(HttpSparqlEndpointTest, FacadeStacksDecoratorsOverHttp) {
@@ -294,6 +417,58 @@ TEST_F(HttpSparqlEndpointTest, FacadeStacksDecoratorsOverHttp) {
   }
   EXPECT_GT(candidate_server.requests_served(), 0u);
   EXPECT_GT(reference_server.requests_served(), 0u);
+}
+
+TEST_F(HttpSparqlEndpointTest, PartialBatchRecoveryKeepsVerdictParity) {
+  // The end-to-end form of the recovery guarantee: connections die
+  // mid-alignment on BOTH endpoints, the retry layer re-buys only the
+  // casualties, and the verdicts are bit-identical to a clean local run.
+  auto world = std::move(GenerateWorld(MoviesWorldSpec())).value();
+  MockSparqlServer candidate_server(world.kb1.get());
+  MockSparqlServer reference_server(world.kb2.get());
+  auto candidate_transport = candidate_server.MakeTransport();
+  auto reference_transport = reference_server.MakeTransport();
+
+  HttpSparqlEndpointOptions c_options;
+  c_options.name = world.kb1->name();
+  c_options.base_iri = world.kb1->base_iri();
+  HttpSparqlEndpointOptions r_options;
+  r_options.name = world.kb2->name();
+  r_options.base_iri = world.kb2->base_iri();
+  auto candidate = std::make_unique<HttpSparqlEndpoint>(
+      ParseUrl("http://kb1.test/sparql").value(), candidate_transport.get(),
+      c_options);
+  auto reference = std::make_unique<HttpSparqlEndpoint>(
+      ParseUrl("http://kb2.test/sparql").value(), reference_transport.get(),
+      r_options);
+
+  SofyaOptions options;
+  options.retry.initial_backoff_ms = 0.0;
+  Sofya remote(std::move(candidate), std::move(reference), &world.links,
+               options);
+
+  // Kill a few connections up front on both servers: the first alignment
+  // batches lose in-flight sub-queries and must recover surgically.
+  candidate_server.KillConnectionOnNextRequests(2);
+  reference_server.KillConnectionOnNextRequests(2);
+
+  const std::string relation = "http://kb2.sofya.org/ontology/directedBy";
+  auto remote_result = remote.Align(relation);
+  ASSERT_TRUE(remote_result.ok()) << remote_result.status().ToString();
+
+  Sofya local(world.kb1.get(), world.kb2.get(), &world.links, options);
+  auto local_result = local.Align(relation);
+  ASSERT_TRUE(local_result.ok());
+  ASSERT_EQ((*remote_result)->verdicts.size(),
+            (*local_result)->verdicts.size());
+  for (size_t i = 0; i < (*remote_result)->verdicts.size(); ++i) {
+    const CandidateVerdict& r = (*remote_result)->verdicts[i];
+    const CandidateVerdict& l = (*local_result)->verdicts[i];
+    EXPECT_EQ(r.relation, l.relation);
+    EXPECT_EQ(r.accepted, l.accepted) << r.relation.lexical();
+    EXPECT_EQ(r.equivalence, l.equivalence) << r.relation.lexical();
+    EXPECT_DOUBLE_EQ(r.rule.pca_conf, l.rule.pca_conf);
+  }
 }
 
 }  // namespace

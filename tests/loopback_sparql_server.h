@@ -74,6 +74,24 @@ class MockSparqlServer {
     close_after_response_ = close;
   }
 
+  /// Kill the connection (no response bytes at all) on the next `n`
+  /// requests — a server process dying mid-pipeline. Only the sub-queries
+  /// in flight on the killed connection are affected.
+  void KillConnectionOnNextRequests(int n) {
+    std::lock_guard<std::mutex> lock(mu_);
+    kill_requests_remaining_ = n;
+  }
+
+  /// Answer the next `n` requests with `http_status` + a Location header —
+  /// redirect drills. Pass an absolute URL or an origin-form path.
+  void RedirectNextRequests(int n, int http_status,
+                            const std::string& location) {
+    std::lock_guard<std::mutex> lock(mu_);
+    redirect_requests_remaining_ = n;
+    redirect_status_ = http_status;
+    redirect_location_ = location;
+  }
+
   // ---------------------------------------------------------- counters
 
   size_t requests_served() const {
@@ -93,7 +111,10 @@ class MockSparqlServer {
   HttpResponse Handle(const HttpRequest& request) {
     bool corrupt = false;
     bool close = false;
+    bool kill = false;
     int fail_status = 0;
+    int redirect_status = 0;
+    std::string redirect_location;
     size_t extra_rows = 0;
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -102,6 +123,15 @@ class MockSparqlServer {
       if (fail_requests_remaining_ > 0) {
         --fail_requests_remaining_;
         fail_status = fail_status_;
+      }
+      if (kill_requests_remaining_ > 0) {
+        --kill_requests_remaining_;
+        kill = true;
+      }
+      if (redirect_requests_remaining_ > 0) {
+        --redirect_requests_remaining_;
+        redirect_status = redirect_status_;
+        redirect_location = redirect_location_;
       }
       if (corrupt_responses_remaining_ > 0) {
         --corrupt_responses_remaining_;
@@ -112,6 +142,16 @@ class MockSparqlServer {
     }
 
     HttpResponse response;
+    if (kill) {
+      response.status_code = LoopbackTransport::kKillConnection;
+      return response;
+    }
+    if (redirect_status != 0) {
+      response.status_code = redirect_status;
+      response.reason = "Redirect";
+      response.headers.push_back({"Location", redirect_location});
+      return response;
+    }
     if (close) response.headers.push_back({"Connection", "close"});
     if (fail_status != 0) {
       response.status_code = fail_status;
@@ -188,6 +228,10 @@ class MockSparqlServer {
   mutable std::mutex mu_;
   int fail_requests_remaining_ = 0;
   int fail_status_ = 503;
+  int kill_requests_remaining_ = 0;
+  int redirect_requests_remaining_ = 0;
+  int redirect_status_ = 0;
+  std::string redirect_location_;
   int corrupt_responses_remaining_ = 0;
   bool close_after_response_ = false;
   size_t extra_rows_ = 0;

@@ -7,6 +7,9 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
 #include <stdexcept>
 #include <thread>
 #include <vector>
@@ -68,6 +71,73 @@ TEST(ThreadPoolTest, DestructionDrainsQueuedTasks) {
     // completion of everything already queued.
   }
   EXPECT_EQ(completed.load(), 50);
+}
+
+TEST(ThreadPoolTest, PostedContinuationChainsComplete) {
+  // The phase scheduler's shape: tasks post follow-up tasks from inside
+  // workers (they land on the posting worker's own deque) and nothing ever
+  // blocks on a future. Every link of every chain must run.
+  std::atomic<int> completed{0};
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  int chains_done = 0;
+  constexpr int kChains = 16;
+  constexpr int kLinks = 10;
+
+  // `link` is declared BEFORE the pool so workers can never outlive it
+  // (destruction runs in reverse order: pool joins first).
+  std::function<void(int)> link;
+  {
+    ThreadPool pool(4);
+    link = [&](int remaining) {
+      ASSERT_TRUE(pool.OnWorkerThread());
+      completed.fetch_add(1);
+      if (remaining > 1) {
+        pool.Post([&, remaining] { link(remaining - 1); });
+        return;
+      }
+      {
+        std::lock_guard<std::mutex> lock(done_mu);
+        ++chains_done;
+      }
+      done_cv.notify_one();
+    };
+    EXPECT_FALSE(pool.OnWorkerThread());
+    for (int c = 0; c < kChains; ++c) {
+      pool.Post([&] { link(kLinks); });
+    }
+    std::unique_lock<std::mutex> lock(done_mu);
+    done_cv.wait(lock, [&] { return chains_done == kChains; });
+  }
+  EXPECT_EQ(completed.load(), kChains * kLinks);
+}
+
+TEST(ThreadPoolTest, IdleWorkersStealQueuedSubtasks) {
+  // One worker fans out slow subtasks from inside a task; with stealing,
+  // they overlap across workers instead of serializing behind the poster.
+  ThreadPool pool(4);
+  std::atomic<int> in_flight{0};
+  std::atomic<int> max_in_flight{0};
+  std::atomic<int> done{0};
+  auto slow_subtask = [&] {
+    const int now = in_flight.fetch_add(1) + 1;
+    int seen = max_in_flight.load();
+    while (now > seen && !max_in_flight.compare_exchange_weak(seen, now)) {
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    in_flight.fetch_sub(1);
+    done.fetch_add(1);
+  };
+  pool.Submit([&] {
+        // All 8 subtasks land on THIS worker's deque; the other 3 workers
+        // have nothing else to do and must steal.
+        for (int i = 0; i < 8; ++i) pool.Post(slow_subtask);
+      })
+      .get();
+  while (done.load() < 8) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_GE(max_in_flight.load(), 2);
 }
 
 TEST(ThreadPoolTest, ParallelTasksActuallyOverlap) {
