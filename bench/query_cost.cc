@@ -12,10 +12,16 @@
 //      is flat while a full SELECT scales linearly;
 //   3. a repeated-alignment workload with and without CachingEndpoint —
 //      cache hits replace server queries, so the cached run issues strictly
-//      fewer.
+//      fewer;
+//   4. join-order planning A/B — star, chain, and skewed-predicate query
+//      shapes run against the same dataset under the statistics planner and
+//      the legacy bound-position heuristic. Result sets must be identical
+//      (the bench exits nonzero otherwise); wall time and triples scanned
+//      quantify what cardinality-aware clause ordering buys.
 //
 // Pass --json (or set SOFYA_JSON=1) for a machine-readable summary (CI).
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -33,6 +39,67 @@ struct AskPoint {
   uint64_t limit1_scanned;
   uint64_t select_scanned;
 };
+
+struct JoinShapeResult {
+  std::string name;
+  double legacy_ms = 0;
+  double stats_ms = 0;
+  uint64_t legacy_scanned = 0;
+  uint64_t stats_scanned = 0;
+  size_t rows = 0;
+  bool identical = false;
+  /// Non-empty when an evaluation failed outright — reported as a query
+  /// error, never conflated with a planner result-set mismatch.
+  std::string error;
+  double speedup() const {
+    return stats_ms > 0 ? legacy_ms / stats_ms : 0.0;
+  }
+};
+
+/// Runs `query` under both planners against `kb`, timing `iterations`
+/// evaluations each (after one untimed warm-up that also fills the plan
+/// cache and the store's stats memos, so neither side pays one-time costs).
+JoinShapeResult RunJoinShape(const std::string& name, sofya::KnowledgeBase* kb,
+                             const sofya::SelectQuery& query,
+                             int iterations) {
+  JoinShapeResult out;
+  out.name = name;
+
+  auto run = [&](bool use_stats, double* ms, uint64_t* scanned,
+                 std::vector<std::vector<sofya::TermId>>* rows) {
+    sofya::LocalEndpointOptions options;
+    options.estimate_bytes = false;
+    options.engine.planner.use_statistics = use_stats;
+    sofya::LocalEndpoint endpoint(kb, options);
+    auto warm = endpoint.Select(query);
+    if (!warm.ok()) {
+      out.error = warm.status().ToString();
+      return false;
+    }
+    *rows = warm->rows;
+    std::sort(rows->begin(), rows->end());
+    endpoint.ResetStats();
+    sofya::WallTimer timer;
+    for (int i = 0; i < iterations; ++i) {
+      auto repeat = endpoint.Select(query);
+      if (!repeat.ok()) {
+        out.error = repeat.status().ToString();
+        return false;
+      }
+    }
+    *ms = timer.ElapsedMillis();
+    *scanned = endpoint.stats().triples_scanned;
+    return true;
+  };
+
+  std::vector<std::vector<sofya::TermId>> legacy_rows, stats_rows;
+  const bool ok =
+      run(false, &out.legacy_ms, &out.legacy_scanned, &legacy_rows) &&
+      run(true, &out.stats_ms, &out.stats_scanned, &stats_rows);
+  out.rows = stats_rows.size();
+  out.identical = ok && legacy_rows == stats_rows;
+  return out;
+}
 
 }  // namespace
 
@@ -211,6 +278,123 @@ int main(int argc, char** argv) {
                     static_cast<double>(cache_hits + cached_server_queries));
   }
 
+  // ----------------------------------------------------------------------
+  // Section 4: join-order planning — statistics planner vs the legacy
+  // bound-position heuristic on three canonical shapes. Every query lists
+  // its clauses in the adversarial (big-first) order, which is exactly the
+  // order the legacy heuristic keeps and the statistics planner repairs.
+  sofya::KnowledgeBase join_kb("joinbench", "http://join.org/");
+  {
+    // Skewed predicates: 100k-fact "hot" vs 50-fact "cold" over overlapping
+    // subjects — the PARIS-style probe shape where ordering matters most.
+    for (int i = 0; i < 100000; ++i) {
+      join_kb.AddFact("hs" + std::to_string(i), "hot",
+                      "hv" + std::to_string(i % 997));
+    }
+    for (int i = 0; i < 50; ++i) {
+      join_kb.AddFact("hs" + std::to_string(i * 20), "cold",
+                      "cv" + std::to_string(i));
+    }
+    // Star: one subject variable, three predicates of shrinking size.
+    for (int i = 0; i < 20000; ++i) {
+      join_kb.AddFact("ss" + std::to_string(i % 10000), "pa",
+                      "av" + std::to_string(i));
+    }
+    for (int i = 0; i < 2000; ++i) {
+      join_kb.AddFact("ss" + std::to_string(i % 1000), "pb",
+                      "bv" + std::to_string(i));
+    }
+    for (int i = 0; i < 100; ++i) {
+      join_kb.AddFact("ss" + std::to_string(i % 50), "pc",
+                      "cv" + std::to_string(i));
+    }
+    // Chain: x -p1-> y -p2-> z -p3-> w with shrinking cardinalities, so the
+    // cheap end is the *last* clause and the planner must walk backward.
+    for (int i = 0; i < 60000; ++i) {
+      join_kb.AddFact("c1_" + std::to_string(i), "p1",
+                      "c2_" + std::to_string(i % 6000));
+    }
+    for (int i = 0; i < 6000; ++i) {
+      join_kb.AddFact("c2_" + std::to_string(i), "p2",
+                      "c3_" + std::to_string(i % 600));
+    }
+    for (int i = 0; i < 120; ++i) {
+      join_kb.AddFact("c3_" + std::to_string(i), "p3",
+                      "c4_" + std::to_string(i));
+    }
+  }
+  auto pred = [&](const char* local) {
+    return join_kb.dict().LookupIri("http://join.org/" + std::string(local));
+  };
+
+  std::vector<JoinShapeResult> join_results;
+  {
+    sofya::SelectQuery q;  // ?x hot ?y . ?x cold ?z   (hot listed first)
+    const sofya::VarId x = q.NewVar("x");
+    const sofya::VarId y = q.NewVar("y");
+    const sofya::VarId z = q.NewVar("z");
+    q.Where(sofya::NodeRef::Variable(x), sofya::NodeRef::Constant(pred("hot")),
+            sofya::NodeRef::Variable(y));
+    q.Where(sofya::NodeRef::Variable(x),
+            sofya::NodeRef::Constant(pred("cold")),
+            sofya::NodeRef::Variable(z));
+    join_results.push_back(RunJoinShape("skewed", &join_kb, q, 20));
+  }
+  {
+    sofya::SelectQuery q;  // ?x pa ?a . ?x pb ?b . ?x pc ?c  (big first)
+    const sofya::VarId x = q.NewVar("x");
+    const sofya::VarId a = q.NewVar("a");
+    const sofya::VarId b = q.NewVar("b");
+    const sofya::VarId c = q.NewVar("c");
+    q.Where(sofya::NodeRef::Variable(x), sofya::NodeRef::Constant(pred("pa")),
+            sofya::NodeRef::Variable(a));
+    q.Where(sofya::NodeRef::Variable(x), sofya::NodeRef::Constant(pred("pb")),
+            sofya::NodeRef::Variable(b));
+    q.Where(sofya::NodeRef::Variable(x), sofya::NodeRef::Constant(pred("pc")),
+            sofya::NodeRef::Variable(c));
+    join_results.push_back(RunJoinShape("star", &join_kb, q, 20));
+  }
+  {
+    sofya::SelectQuery q;  // ?x p1 ?y . ?y p2 ?z . ?z p3 ?w  (big first)
+    const sofya::VarId x = q.NewVar("x");
+    const sofya::VarId y = q.NewVar("y");
+    const sofya::VarId z = q.NewVar("z");
+    const sofya::VarId w = q.NewVar("w");
+    q.Where(sofya::NodeRef::Variable(x), sofya::NodeRef::Constant(pred("p1")),
+            sofya::NodeRef::Variable(y));
+    q.Where(sofya::NodeRef::Variable(y), sofya::NodeRef::Constant(pred("p2")),
+            sofya::NodeRef::Variable(z));
+    q.Where(sofya::NodeRef::Variable(z), sofya::NodeRef::Constant(pred("p3")),
+            sofya::NodeRef::Variable(w));
+    join_results.push_back(RunJoinShape("chain", &join_kb, q, 20));
+  }
+
+  bool join_identical = true;
+  for (const JoinShapeResult& r : join_results) {
+    if (!r.identical) join_identical = false;
+  }
+
+  if (!json) {
+    std::printf("\n=== join-order planning: statistics vs legacy heuristic "
+                "===\n\n");
+    sofya::TableWriter join_table({"shape", "legacy ms", "stats ms",
+                                   "speedup", "legacy scanned",
+                                   "stats scanned", "rows"});
+    for (const JoinShapeResult& r : join_results) {
+      join_table.AddRow({r.name, sofya::FormatDouble(r.legacy_ms, 1),
+                         sofya::FormatDouble(r.stats_ms, 1),
+                         sofya::FormatDouble(r.speedup(), 1) + "x",
+                         std::to_string(r.legacy_scanned),
+                         std::to_string(r.stats_scanned),
+                         std::to_string(r.rows)});
+    }
+    join_table.Print(std::cout);
+    std::printf(
+        "\nidentical result sets: %s — the planner changes enumeration "
+        "order and cost, never answers\n",
+        join_identical ? "yes" : "NO (BUG)");
+  }
+
   if (json) {
     std::printf("{");
     std::printf("\"scale\": %.3f, \"aligned\": %zu, ", scale, aligned);
@@ -230,11 +414,49 @@ int main(int argc, char** argv) {
     }
     std::printf("], ");
     std::printf("\"cache\": {\"baseline_queries\": %llu, "
-                "\"cached_queries\": %llu, \"cache_hits\": %llu}",
+                "\"cached_queries\": %llu, \"cache_hits\": %llu}, ",
                 static_cast<unsigned long long>(baseline_queries),
                 static_cast<unsigned long long>(cached_server_queries),
                 static_cast<unsigned long long>(cache_hits));
+    std::printf("\"join_order\": [");
+    for (size_t i = 0; i < join_results.size(); ++i) {
+      const JoinShapeResult& r = join_results[i];
+      // Escape the (plain-ASCII status text) error so a query failure is
+      // distinguishable from a parity mismatch in the artifact too.
+      std::string escaped_error;
+      for (char c : r.error) {
+        if (c == '"' || c == '\\') escaped_error += '\\';
+        escaped_error += (c == '\n') ? ' ' : c;
+      }
+      std::printf(
+          "%s{\"shape\": \"%s\", \"legacy_ms\": %.3f, \"stats_ms\": %.3f, "
+          "\"speedup\": %.2f, \"legacy_scanned\": %llu, "
+          "\"stats_scanned\": %llu, \"rows\": %zu, \"identical\": %s, "
+          "\"error\": \"%s\"}",
+          i == 0 ? "" : ", ", r.name.c_str(), r.legacy_ms, r.stats_ms,
+          r.speedup(), static_cast<unsigned long long>(r.legacy_scanned),
+          static_cast<unsigned long long>(r.stats_scanned), r.rows,
+          r.identical ? "true" : "false", escaped_error.c_str());
+    }
+    std::printf("]");
     std::printf("}\n");
+  }
+  // A planner that changes answers is a correctness bug, not a perf story:
+  // fail the bench (and the CI smoke run) loudly — but report an outright
+  // query failure as what it is, never as a parity mismatch.
+  if (!join_identical) {
+    for (const JoinShapeResult& r : join_results) {
+      if (!r.error.empty()) {
+        std::fprintf(stderr, "FATAL: join-order shape '%s' failed: %s\n",
+                     r.name.c_str(), r.error.c_str());
+      } else if (!r.identical) {
+        std::fprintf(stderr,
+                     "FATAL: stats and legacy planners disagree on result "
+                     "sets for shape '%s'\n",
+                     r.name.c_str());
+      }
+    }
+    return 1;
   }
   return 0;
 }

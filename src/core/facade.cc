@@ -8,8 +8,12 @@ namespace sofya {
 
 Sofya::Sofya(KnowledgeBase* candidate_kb, KnowledgeBase* reference_kb,
              const SameAsIndex* links, SofyaOptions options) {
-  candidate_local_ = std::make_unique<LocalEndpoint>(candidate_kb);
-  reference_local_ = std::make_unique<LocalEndpoint>(reference_kb);
+  LocalEndpointOptions local_options;
+  local_options.engine.planner = options.planner;
+  candidate_local_ =
+      std::make_unique<LocalEndpoint>(candidate_kb, local_options);
+  reference_local_ =
+      std::make_unique<LocalEndpoint>(reference_kb, local_options);
   BuildStack(candidate_local_.get(), reference_local_.get(),
              /*always_retry=*/false, links, options);
 }
@@ -126,6 +130,26 @@ StatusOr<ResultSet> Sofya::ExecuteOnCandidate(const SelectQuery& query) {
 
 StatusOr<ResultSet> Sofya::ExecuteOnReference(const SelectQuery& query) {
   return reference_->Select(query);
+}
+
+StatusOr<PlanExplain> Sofya::ExplainOnCandidate(
+    const SelectQuery& query) const {
+  if (candidate_local_ == nullptr) {
+    return Status::Unimplemented(
+        "explain requires an in-process dataset; remote endpoints plan "
+        "server-side");
+  }
+  return candidate_local_->Explain(query);
+}
+
+StatusOr<PlanExplain> Sofya::ExplainOnReference(
+    const SelectQuery& query) const {
+  if (reference_local_ == nullptr) {
+    return Status::Unimplemented(
+        "explain requires an in-process dataset; remote endpoints plan "
+        "server-side");
+  }
+  return reference_local_->Explain(query);
 }
 
 EndpointStats Sofya::TotalCost() const {

@@ -28,6 +28,11 @@ namespace sofya {
 struct SofyaOptions {
   AlignerOptions aligner;
 
+  /// Join-order planner for the in-process engines (KB constructor only —
+  /// a remote endpoint plans server-side). `use_statistics = false` falls
+  /// back to the legacy bound-position heuristic, the A/B baseline.
+  PlannerOptions planner;
+
   /// When true, both endpoints are wrapped in ThrottledEndpoint with the
   /// options below — the realistic remote-access regime (for real remote
   /// bases the throttle acts as a client-side budget/row-cap guard).
@@ -99,6 +104,12 @@ class Sofya {
 
   /// Runs a query on the reference endpoint.
   StatusOr<ResultSet> ExecuteOnReference(const SelectQuery& query);
+
+  /// EXPLAIN against the in-process engines: the join-order plan the query
+  /// would run with (chosen clause order, per-clause estimates, filters).
+  /// Unimplemented for remote bases — a remote server plans for itself.
+  StatusOr<PlanExplain> ExplainOnCandidate(const SelectQuery& query) const;
+  StatusOr<PlanExplain> ExplainOnReference(const SelectQuery& query) const;
 
   /// The working endpoints (cached/throttled when configured).
   Endpoint* candidate_endpoint() { return candidate_; }

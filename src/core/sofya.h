@@ -56,6 +56,7 @@
 #include "net/socket_transport.h"
 #include "sparql/engine.h"
 #include "sparql/parser.h"
+#include "sparql/planner.h"
 #include "sparql/query.h"
 #include "sparql/results_json.h"
 #include "synth/ground_truth.h"

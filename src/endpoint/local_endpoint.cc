@@ -10,12 +10,12 @@ namespace sofya {
 
 StatusOr<ResultSet> LocalEndpoint::Select(const SelectQuery& query) {
   EvalStats eval_stats;
-  auto result = Evaluate(kb_->store(), query, &eval_stats, &kb_->dict());
+  auto result = engine_.Select(query, &eval_stats);
 
   // Evaluation ran lock-free; fold its cost into the counters in one short
   // critical section so concurrent queries never tear the accounting.
   uint64_t bytes = 0;
-  if (result.ok() && options_.estimate_bytes) {
+  if (result.ok() && estimate_bytes_) {
     for (const auto& row : result->rows) {
       for (TermId id : row) {
         auto term = kb_->dict().TryDecode(id);
@@ -60,14 +60,14 @@ SelectBatchResult LocalEndpoint::SelectMany(
 
 StatusOr<bool> LocalEndpoint::Ask(const SelectQuery& query) {
   EvalStats eval_stats;
-  auto result = EvaluateAsk(kb_->store(), query, &eval_stats, &kb_->dict());
+  auto result = engine_.Ask(query, &eval_stats);
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++stats_.queries;
     stats_.index_probes += eval_stats.index_probes;
     stats_.triples_scanned += eval_stats.triples_scanned;
     // A boolean response: no rows shipped, one byte of payload.
-    if (result.ok() && options_.estimate_bytes) ++stats_.bytes_estimated;
+    if (result.ok() && estimate_bytes_) ++stats_.bytes_estimated;
   }
   if (!result.ok()) return result.status();
   return result;

@@ -17,6 +17,7 @@
 
 #include "endpoint/endpoint.h"
 #include "rdf/knowledge_base.h"
+#include "sparql/engine.h"
 
 namespace sofya {
 
@@ -25,6 +26,11 @@ struct LocalEndpointOptions {
   /// When true, stats().bytes_estimated accumulates the N-Triples-serialized
   /// size of every shipped cell (slower; keep on for query-cost experiments).
   bool estimate_bytes = true;
+
+  /// Join-order planner + plan-cache configuration for the served engine.
+  /// `engine.planner.use_statistics = false` selects the legacy
+  /// bound-position heuristic (the A/B baseline for bench/query_cost).
+  Engine::Options engine;
 };
 
 /// Endpoint over an in-process KnowledgeBase. The KB must outlive the
@@ -34,7 +40,9 @@ class LocalEndpoint : public Endpoint {
  public:
   explicit LocalEndpoint(KnowledgeBase* kb,
                          LocalEndpointOptions options = {})
-      : kb_(kb), options_(options) {}
+      : kb_(kb),
+        estimate_bytes_(options.estimate_bytes),
+        engine_(&kb->store(), &kb->dict(), options.engine) {}
 
   const std::string& name() const override { return kb_->name(); }
 
@@ -84,13 +92,25 @@ class LocalEndpoint : public Endpoint {
     stats_ = EndpointStats();
   }
 
+  /// The EXPLAIN surface: the plan the served engine would run `query`
+  /// with, without executing it (CLI `explain`, bench annotation).
+  StatusOr<PlanExplain> Explain(const SelectQuery& query) const {
+    return engine_.Explain(query);
+  }
+
+  /// The served engine (plan-cache accounting, options inspection).
+  const Engine& engine() const { return engine_; }
+
   /// The underlying KB (server-side only; pipeline code must not call this).
   KnowledgeBase* kb() { return kb_; }
   const KnowledgeBase* kb() const { return kb_; }
 
  private:
   KnowledgeBase* kb_;  // Not owned.
-  LocalEndpointOptions options_;
+  bool estimate_bytes_;
+  // The engine owns the authoritative planner/plan-cache configuration
+  // (inspect via engine().options()); no separate copy is kept.
+  Engine engine_;
   mutable std::mutex stats_mu_;
   EndpointStats stats_;  // Guarded by stats_mu_.
 };

@@ -43,10 +43,7 @@ class KnowledgeBase {
 
   /// Interns the three terms and inserts the triple. Returns true iff new.
   bool AddTriple(const Term& s, const Term& p, const Term& o) {
-    const bool added =
-        store_.Insert(dict_.Intern(s), dict_.Intern(p), dict_.Intern(o));
-    if (added) ++data_epoch_;
-    return added;
+    return store_.Insert(dict_.Intern(s), dict_.Intern(p), dict_.Intern(o));
   }
 
   /// Adds 〈<s>, <p>, <o>〉 with all three terms IRIs relative to base_iri.
@@ -78,23 +75,27 @@ class KnowledgeBase {
   /// Total number of facts.
   size_t size() const { return store_.size(); }
 
-  /// Monotonic write version. Every AddTriple/AddFact bumps it; callers
-  /// that mutate store() directly must call MarkMutated() themselves.
-  /// Client-side caches (CachingEndpoint) compare epochs to drop stale
-  /// entries automatically in time-sensitive-data scenarios. Reads race-free
-  /// under the store's own contract: writes never run concurrently with
-  /// queries.
-  uint64_t data_epoch() const { return data_epoch_; }
+  /// Monotonic write version, derived from the store's own mutation epoch
+  /// so *every* triple write counts — AddTriple/AddFact and direct store()
+  /// writes alike, no MarkMutated() call required. Client-side caches
+  /// (CachingEndpoint) compare epochs to drop stale entries automatically
+  /// in time-sensitive-data scenarios. Reads race-free under the store's
+  /// own contract: writes never run concurrently with queries.
+  uint64_t data_epoch() const {
+    return store_.mutation_epoch() + manual_epoch_;
+  }
 
-  /// Records an out-of-band mutation (direct store()/dict() writes).
-  void MarkMutated() { ++data_epoch_; }
+  /// Records a mutation the store cannot observe (e.g. dict()-only edits
+  /// that change how existing ids render). Triple writes no longer need
+  /// this — the store's epoch covers them.
+  void MarkMutated() { ++manual_epoch_; }
 
  private:
   std::string name_;
   std::string base_iri_;
   Dictionary dict_;
   TripleStore store_;
-  uint64_t data_epoch_ = 0;
+  uint64_t manual_epoch_ = 0;
 };
 
 }  // namespace sofya

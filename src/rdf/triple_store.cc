@@ -15,10 +15,9 @@ bool TripleStore::Insert(const Triple& t) {
     spo_.push_back(t);
     pos_.push_back(t);
     osp_.push_back(t);
-    {
-      std::lock_guard<std::mutex> lock(lazy_mu_);
-      stats_cache_.clear();
-    }
+    // Stats memos are epoch-keyed, not cleared here: bumping the epoch is
+    // enough to invalidate them, which keeps bulk loads O(1) per insert.
+    epoch_.fetch_add(1, std::memory_order_release);
     dirty_.store(true, std::memory_order_release);
   }
   return inserted;
@@ -37,10 +36,7 @@ bool TripleStore::Erase(const Triple& t) {
   erase_one(spo_);
   erase_one(pos_);
   erase_one(osp_);
-  {
-    std::lock_guard<std::mutex> lock(lazy_mu_);
-    stats_cache_.clear();
-  }
+  epoch_.fetch_add(1, std::memory_order_release);
   dirty_.store(true, std::memory_order_release);
   return true;
 }
@@ -174,8 +170,14 @@ std::vector<TermId> TripleStore::Predicates() const {
 
 PredicateStats TripleStore::StatsFor(TermId p) const {
   EnsureSorted();
+  const uint64_t epoch = mutation_epoch();
   {
     std::lock_guard<std::mutex> lock(lazy_mu_);
+    if (stats_cache_epoch_ != epoch) {
+      // First stats read after a write: the whole memo is one epoch stale.
+      stats_cache_.clear();
+      stats_cache_epoch_ = epoch;
+    }
     auto it = stats_cache_.find(p);
     if (it != stats_cache_.end()) return it->second;
   }
@@ -197,7 +199,44 @@ PredicateStats TripleStore::StatsFor(TermId p) const {
   stats.distinct_objects = objects.size();
   {
     std::lock_guard<std::mutex> lock(lazy_mu_);
-    stats_cache_.emplace(p, stats);
+    // Only memoize into the epoch the scan was computed against.
+    if (stats_cache_epoch_ == epoch) stats_cache_.emplace(p, stats);
+  }
+  return stats;
+}
+
+StoreStats TripleStore::GlobalStats() const {
+  EnsureSorted();
+  const uint64_t epoch = mutation_epoch();
+  {
+    std::lock_guard<std::mutex> lock(lazy_mu_);
+    if (global_stats_valid_ && global_stats_epoch_ == epoch) {
+      return global_stats_;
+    }
+  }
+
+  // Each index is sorted by the component of interest first, so distinct
+  // counts are transition counts — one O(n) walk per component.
+  StoreStats stats;
+  stats.triples = spo_.size();
+  auto transitions = [](const std::vector<Triple>& v, auto key) {
+    size_t n = 0;
+    for (size_t i = 0; i < v.size(); ++i) {
+      if (i == 0 || key(v[i]) != key(v[i - 1])) ++n;
+    }
+    return n;
+  };
+  stats.distinct_subjects =
+      transitions(spo_, [](const Triple& t) { return t.subject; });
+  stats.distinct_predicates =
+      transitions(pos_, [](const Triple& t) { return t.predicate; });
+  stats.distinct_objects =
+      transitions(osp_, [](const Triple& t) { return t.object; });
+  {
+    std::lock_guard<std::mutex> lock(lazy_mu_);
+    global_stats_ = stats;
+    global_stats_epoch_ = epoch;
+    global_stats_valid_ = true;
   }
   return stats;
 }

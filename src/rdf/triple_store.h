@@ -50,6 +50,15 @@ struct PredicateStats {
   }
 };
 
+/// Whole-store aggregate statistics: the planner's fallback numbers for
+/// clauses whose predicate is a variable (per-predicate stats don't apply).
+struct StoreStats {
+  size_t triples = 0;              ///< Total facts.
+  size_t distinct_subjects = 0;    ///< |{s : ∃p,o. 〈s,p,o〉}|
+  size_t distinct_predicates = 0;  ///< |{p}|
+  size_t distinct_objects = 0;     ///< |{o}|
+};
+
 /// The store. Writes invalidate indexes; the first subsequent read re-sorts.
 ///
 /// Thread safety: concurrent const reads are safe, including the first read
@@ -123,9 +132,20 @@ class TripleStore {
   /// All distinct predicates present (ascending id order).
   std::vector<TermId> Predicates() const;
 
-  /// Statistics for predicate `p` (zeroes if absent). Cached until the next
-  /// write.
+  /// Statistics for predicate `p` (zeroes if absent). Memoized; entries are
+  /// keyed off mutation_epoch(), so a stale value can never survive a write.
   PredicateStats StatsFor(TermId p) const;
+
+  /// Whole-store aggregates (total triples, distinct s/p/o), memoized per
+  /// mutation_epoch() like StatsFor. One O(n) index walk per epoch.
+  StoreStats GlobalStats() const;
+
+  /// Monotonic write version: bumped on every successful Insert/Erase.
+  /// Derived artifacts (predicate stats, global stats, compiled query plans)
+  /// are keyed off this, so "same epoch" means "same data, same plan".
+  uint64_t mutation_epoch() const {
+    return epoch_.load(std::memory_order_acquire);
+  }
 
   /// Forces index (re)construction now; useful before timed sections.
   void EnsureIndexed() const { EnsureSorted(); }
@@ -166,21 +186,35 @@ class TripleStore {
     pos_ = std::move(other.pos_);
     osp_ = std::move(other.osp_);
     stats_cache_ = std::move(other.stats_cache_);
+    stats_cache_epoch_ = other.stats_cache_epoch_;
+    global_stats_ = other.global_stats_;
+    global_stats_epoch_ = other.global_stats_epoch_;
+    global_stats_valid_ = other.global_stats_valid_;
+    epoch_.store(other.epoch_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
     dirty_.store(other.dirty_.load(std::memory_order_relaxed),
                  std::memory_order_relaxed);
   }
 
   std::unordered_set<Triple, TripleHash> set_;
 
-  /// Guards the lazy re-sort and the stats memo so the first read after a
+  /// Guards the lazy re-sort and the stats memos so the first read after a
   /// write is safe from any number of threads; steady-state reads only do
   /// one relaxed-acquire load on `dirty_`.
   mutable std::mutex lazy_mu_;
   mutable std::atomic<bool> dirty_{false};
+  std::atomic<uint64_t> epoch_{0};
   mutable std::vector<Triple> spo_;
   mutable std::vector<Triple> pos_;
   mutable std::vector<Triple> osp_;
+  /// Predicate-stats memo, valid only while stats_cache_epoch_ matches
+  /// epoch_: the first StatsFor after a write drops every entry, so the
+  /// write path itself never touches the memo. Guarded by lazy_mu_.
   mutable std::unordered_map<TermId, PredicateStats> stats_cache_;
+  mutable uint64_t stats_cache_epoch_ = 0;
+  mutable StoreStats global_stats_;
+  mutable uint64_t global_stats_epoch_ = 0;
+  mutable bool global_stats_valid_ = false;
 };
 
 }  // namespace sofya

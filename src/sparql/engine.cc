@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "util/hash.h"
@@ -38,19 +39,6 @@ bool FilterPasses(const FilterExpr& f, const Row& row,
   return true;
 }
 
-// Selectivity estimate of a clause under the current binding: each position
-// bound by a constant or an already-bound variable adds specificity.
-int BoundScore(const PatternClause& clause, const std::vector<bool>& bound) {
-  auto score = [&](const NodeRef& ref) {
-    if (!ref.is_var()) return 1;
-    return bound[ref.var()] ? 1 : 0;
-  };
-  // Weight predicate binding slightly higher: the POS index makes it the
-  // cheapest entry point, matching how a real optimizer would order.
-  return 3 * score(clause.predicate) + 2 * score(clause.subject) +
-         2 * score(clause.object);
-}
-
 struct RowHash {
   size_t operator()(const Row& row) const {
     size_t seed = row.size();
@@ -58,113 +46,6 @@ struct RowHash {
     return seed;
   }
 };
-
-// ---------------------------------------------------------------------------
-// Compiled plan. Each clause becomes one pipeline stage; each of its three
-// positions is classified once, so the inner loop does no NodeRef dispatch.
-
-enum class SlotKind : uint8_t {
-  kConst,     ///< Constant term: part of the index prefix, re-checked.
-  kBoundVar,  ///< Variable bound by an earlier stage: prefix + re-check.
-  kBind,      ///< First occurrence of a variable: binds it.
-  kCheck,     ///< Repeat occurrence within this clause: equality check.
-};
-
-struct CompiledSlot {
-  SlotKind kind = SlotKind::kBind;
-  TermId constant = kNullTermId;  // kConst only.
-  VarId var = -1;                 // All variable kinds.
-};
-
-struct CompiledClause {
-  CompiledSlot slots[3];  // subject, predicate, object.
-  /// Filters that become fully bound after this stage (inline application).
-  std::vector<FilterExpr> filters;
-};
-
-struct Plan {
-  std::vector<CompiledClause> clauses;
-  /// Resolved projection (never empty; defaults to all variables).
-  std::vector<VarId> projection;
-  /// True when some filter mentions a variable no clause ever binds: SPARQL
-  /// treats the filter as an error for every row, so the result is empty.
-  bool dangling_filter = false;
-};
-
-Plan Compile(const SelectQuery& query) {
-  Plan plan;
-  const size_t num_vars = query.num_vars();
-
-  // Greedy clause ordering (same heuristic as the previous engine; keeping
-  // it preserves row order and therefore pagination determinism).
-  std::vector<const PatternClause*> pending;
-  pending.reserve(query.clauses().size());
-  for (const auto& c : query.clauses()) pending.push_back(&c);
-
-  std::vector<bool> bound(num_vars, false);
-  std::vector<bool> filter_attached(query.filters().size(), false);
-
-  while (!pending.empty()) {
-    auto best = std::max_element(
-        pending.begin(), pending.end(),
-        [&](const PatternClause* a, const PatternClause* b) {
-          return BoundScore(*a, bound) < BoundScore(*b, bound);
-        });
-    const PatternClause* chosen = *best;
-    pending.erase(best);
-
-    CompiledClause cc;
-    const NodeRef* refs[3] = {&chosen->subject, &chosen->predicate,
-                              &chosen->object};
-    std::vector<bool> bound_here(num_vars, false);
-    for (int i = 0; i < 3; ++i) {
-      CompiledSlot& slot = cc.slots[i];
-      if (!refs[i]->is_var()) {
-        slot.kind = SlotKind::kConst;
-        slot.constant = refs[i]->term();
-        continue;
-      }
-      const VarId v = refs[i]->var();
-      slot.var = v;
-      if (bound[v]) {
-        slot.kind = SlotKind::kBoundVar;
-      } else if (bound_here[v]) {
-        slot.kind = SlotKind::kCheck;
-      } else {
-        slot.kind = SlotKind::kBind;
-        bound_here[v] = true;
-      }
-    }
-    for (VarId v = 0; v < static_cast<VarId>(num_vars); ++v) {
-      if (bound_here[v]) bound[v] = true;
-    }
-
-    // Attach every filter that just became fully bound.
-    for (size_t fi = 0; fi < query.filters().size(); ++fi) {
-      if (filter_attached[fi]) continue;
-      const FilterExpr& f = query.filters()[fi];
-      const bool needs_rhs = f.kind == FilterExpr::Kind::kVarEqVar ||
-                             f.kind == FilterExpr::Kind::kVarNeqVar;
-      if (bound[f.lhs] && (!needs_rhs || bound[f.rhs_var])) {
-        cc.filters.push_back(f);
-        filter_attached[fi] = true;
-      }
-    }
-    plan.clauses.push_back(std::move(cc));
-  }
-
-  plan.dangling_filter =
-      std::find(filter_attached.begin(), filter_attached.end(), false) !=
-      filter_attached.end();
-
-  plan.projection = query.projection();
-  if (plan.projection.empty()) {
-    for (VarId v = 0; v < static_cast<VarId>(num_vars); ++v) {
-      plan.projection.push_back(v);
-    }
-  }
-  return plan;
-}
 
 // ---------------------------------------------------------------------------
 // Pipeline execution: a cursor per stage over the store's index range for
@@ -176,8 +57,9 @@ Plan Compile(const SelectQuery& query) {
 // stop the whole pipeline — this is how LIMIT and ASK terminate early.
 
 template <typename Emit>
-void RunPlan(const TripleStore& store, const Plan& plan, size_t num_vars,
-             const Dictionary* dict, EvalStats& stats, Emit&& emit) {
+void RunPlan(const TripleStore& store, const CompiledPlan& plan,
+             size_t num_vars, const Dictionary* dict, EvalStats& stats,
+             Emit&& emit) {
   if (plan.dangling_filter || plan.clauses.empty()) return;
 
   struct Cursor {
@@ -261,16 +143,12 @@ void RunPlan(const TripleStore& store, const Plan& plan, size_t num_vars,
   }
 }
 
-}  // namespace
-
-StatusOr<ResultSet> Evaluate(const TripleStore& store,
-                             const SelectQuery& query, EvalStats* stats,
-                             const Dictionary* dict) {
-  SOFYA_RETURN_IF_ERROR(query.Validate());
-
-  EvalStats local_stats;
-  const Plan plan = Compile(query);
-
+// Shared SELECT consumer: project, DISTINCT-probe, skip OFFSET, stop at
+// LIMIT — streaming, so the pipeline never materializes skipped rows.
+StatusOr<ResultSet> RunSelect(const TripleStore& store,
+                              const CompiledPlan& plan,
+                              const SelectQuery& query, const Dictionary* dict,
+                              EvalStats& stats) {
   ResultSet result;
   result.var_names.reserve(plan.projection.size());
   for (VarId v : plan.projection) result.var_names.push_back(query.var_name(v));
@@ -278,11 +156,10 @@ StatusOr<ResultSet> Evaluate(const TripleStore& store,
   const uint64_t offset = query.offset();
   const uint64_t limit = query.limit();
 
-  // Streaming consumer: project, DISTINCT-probe, skip OFFSET, stop at LIMIT.
   std::unordered_set<Row, RowHash> seen;
   uint64_t skipped = 0;
   if (limit != 0) {
-    RunPlan(store, plan, query.num_vars(), dict, local_stats,
+    RunPlan(store, plan, query.num_vars(), dict, stats,
             [&](const Row& bindings) {
               Row out;
               out.reserve(plan.projection.size());
@@ -298,27 +175,138 @@ StatusOr<ResultSet> Evaluate(const TripleStore& store,
               return limit == kNoLimit || result.rows.size() < limit;
             });
   }
+  stats.result_rows = result.rows.size();
+  return result;
+}
 
-  local_stats.result_rows = result.rows.size();
-  if (stats != nullptr) *stats = local_stats;
+StatusOr<bool> RunAsk(const TripleStore& store, const CompiledPlan& plan,
+                      const SelectQuery& query, const Dictionary* dict,
+                      EvalStats& stats) {
+  bool found = false;
+  RunPlan(store, plan, query.num_vars(), dict, stats, [&](const Row&) {
+    found = true;
+    return false;  // First solution settles existence.
+  });
+  stats.result_rows = found ? 1 : 0;
+  return found;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Engine: plan cache + evaluation.
+
+std::shared_ptr<const CompiledPlan> Engine::PlanFor(const SelectQuery& query,
+                                                    bool* cache_hit) const {
+  const uint64_t epoch = store_->mutation_epoch();
+  if (options_.plan_cache_capacity == 0) {
+    if (cache_hit != nullptr) *cache_hit = false;
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::make_shared<const CompiledPlan>(
+        CompilePlan(query, store_, options_.planner));
+  }
+
+  // The key excludes solution modifiers (PlanFingerprint): Ask(q),
+  // Select(q LIMIT 10), and every page of an OFFSET walk share one plan —
+  // which is also what makes the walk's enumeration order consistent.
+  const std::string key = query.PlanFingerprint();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = plans_.find(key);
+    if (it != plans_.end() && it->second->store_epoch == epoch) {
+      if (cache_hit != nullptr) *cache_hit = true;
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+
+  // Plan outside the lock: planning reads memoized store statistics and can
+  // run concurrently; last writer for a key wins (same epoch ⇒ same plan).
+  auto plan = std::make_shared<const CompiledPlan>(
+      CompilePlan(query, store_, options_.planner));
+  if (cache_hit != nullptr) *cache_hit = false;
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (plans_.size() >= options_.plan_cache_capacity) plans_.clear();
+    plans_[key] = plan;
+  }
+  return plan;
+}
+
+StatusOr<ResultSet> Engine::Select(const SelectQuery& query,
+                                   EvalStats* stats) const {
+  SOFYA_RETURN_IF_ERROR(query.Validate());
+  EvalStats local;
+  bool hit = false;
+  const std::shared_ptr<const CompiledPlan> plan = PlanFor(query, &hit);
+  (hit ? local.plan_cache_hits : local.plan_cache_misses) = 1;
+  auto result = RunSelect(*store_, *plan, query, dict_, local);
+  if (stats != nullptr) *stats = local;
+  return result;
+}
+
+StatusOr<bool> Engine::Ask(const SelectQuery& query, EvalStats* stats) const {
+  SOFYA_RETURN_IF_ERROR(query.Validate());
+  EvalStats local;
+  bool hit = false;
+  const std::shared_ptr<const CompiledPlan> plan = PlanFor(query, &hit);
+  (hit ? local.plan_cache_hits : local.plan_cache_misses) = 1;
+  auto result = RunAsk(*store_, *plan, query, dict_, local);
+  if (stats != nullptr) *stats = local;
+  return result;
+}
+
+StatusOr<PlanExplain> Engine::Explain(const SelectQuery& query) const {
+  SOFYA_RETURN_IF_ERROR(query.Validate());
+  // Peek at the cache without charging a hit/miss: EXPLAIN is a
+  // diagnostic, not a query. A valid cached plan is reused as-is — the
+  // plan is a pure function of (fingerprint, epoch, options), so
+  // recompiling could only reproduce it.
+  std::shared_ptr<const CompiledPlan> plan;
+  if (options_.plan_cache_capacity > 0) {
+    const std::string key = query.PlanFingerprint();
+    const uint64_t epoch = store_->mutation_epoch();
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = plans_.find(key);
+    if (it != plans_.end() && it->second->store_epoch == epoch) {
+      plan = it->second;
+    }
+  }
+  const bool cached = plan != nullptr;
+  if (!cached) {
+    plan = std::make_shared<const CompiledPlan>(
+        CompilePlan(query, store_, options_.planner));
+  }
+  PlanExplain explain = ExplainPlan(*plan, query, dict_);
+  explain.from_cache = cached;
+  return explain;
+}
+
+// ---------------------------------------------------------------------------
+// One-shot helpers.
+
+StatusOr<ResultSet> Evaluate(const TripleStore& store,
+                             const SelectQuery& query, EvalStats* stats,
+                             const Dictionary* dict,
+                             const PlannerOptions& planner) {
+  SOFYA_RETURN_IF_ERROR(query.Validate());
+  EvalStats local;
+  const CompiledPlan plan = CompilePlan(query, &store, planner);
+  auto result = RunSelect(store, plan, query, dict, local);
+  if (stats != nullptr) *stats = local;
   return result;
 }
 
 StatusOr<bool> EvaluateAsk(const TripleStore& store, const SelectQuery& query,
-                           EvalStats* stats, const Dictionary* dict) {
+                           EvalStats* stats, const Dictionary* dict,
+                           const PlannerOptions& planner) {
   SOFYA_RETURN_IF_ERROR(query.Validate());
-
-  EvalStats local_stats;
-  const Plan plan = Compile(query);
-  bool found = false;
-  RunPlan(store, plan, query.num_vars(), dict, local_stats,
-          [&](const Row&) {
-            found = true;
-            return false;  // First solution settles existence.
-          });
-  local_stats.result_rows = found ? 1 : 0;
-  if (stats != nullptr) *stats = local_stats;
-  return found;
+  EvalStats local;
+  const CompiledPlan plan = CompilePlan(query, &store, planner);
+  auto result = RunAsk(store, plan, query, dict, local);
+  if (stats != nullptr) *stats = local;
+  return result;
 }
 
 }  // namespace sofya

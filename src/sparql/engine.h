@@ -1,26 +1,43 @@
 // Streaming BGP evaluation over a TripleStore.
 //
 // Queries are compiled into a pipeline of per-clause index-range iterators
-// with pull-based binding propagation: clauses are ordered greedily by
-// estimated selectivity (bound constants + already-bound variables first),
-// each clause opens the store's best index range for the current partial
-// binding, and solutions flow to the consumer one at a time. FILTERs are
-// applied at the earliest clause where their variables are bound, DISTINCT
-// is a streaming hash probe on projected rows, and LIMIT/OFFSET/ASK are
-// pushed into the pipeline so existence probes and LIMIT-1 queries stop at
-// the first solution instead of enumerating all bindings.
+// with pull-based binding propagation: clauses are ordered by the join-order
+// planner (sparql/planner.h — statistics-driven by default, the legacy
+// bound-position heuristic as fallback), each clause opens the store's best
+// index range for the current partial binding, and solutions flow to the
+// consumer one at a time. FILTERs are applied at the earliest clause where
+// their variables are bound, DISTINCT is a streaming hash probe on projected
+// rows, and LIMIT/OFFSET/ASK are pushed into the pipeline so existence
+// probes and LIMIT-1 queries stop at the first solution instead of
+// enumerating all bindings.
 //
-// Results are deterministic: the store's index order fixes the row order
-// (identical to the previous materializing engine), which keeps sampling
-// and pagination reproducible across runs.
+// Results are deterministic: the plan is a pure function of (query
+// PlanFingerprint, store mutation_epoch, planner options) and the store's
+// index order fixes the row order under a fixed plan, which keeps sampling
+// and OFFSET pagination reproducible across runs and across pages.
+//
+// Two entry points:
+//
+//   * Engine — holds (store, dict, options) plus a plan cache keyed by
+//     PlanFingerprint and validated against the store epoch, so repeated
+//     probe shapes (SOFYA's workload) skip re-planning. LocalEndpoint owns
+//     one. Also the home of Explain().
+//   * the free Evaluate/EvaluateAsk — one-shot helpers that compile a fresh
+//     plan per call; kept for tests and simple callers.
 
 #ifndef SOFYA_SPARQL_ENGINE_H_
 #define SOFYA_SPARQL_ENGINE_H_
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
 
 #include "rdf/dictionary.h"
 #include "rdf/triple_store.h"
+#include "sparql/planner.h"
 #include "sparql/query.h"
 #include "util/status.h"
 
@@ -32,26 +49,90 @@ struct EvalStats {
   uint64_t index_probes = 0;       ///< Store range lookups issued.
   uint64_t triples_scanned = 0;    ///< Index entries touched by the pipeline.
   uint64_t result_rows = 0;        ///< Final row count (after LIMIT).
+  uint64_t plan_cache_hits = 0;    ///< 1 when the plan came from the cache.
+  uint64_t plan_cache_misses = 0;  ///< 1 when this call had to plan.
 };
 
-/// Evaluates `query` against `store`. On success the ResultSet columns are
-/// the query's projection (or all variables for SELECT *).
-///
-/// `stats`, when non-null, receives evaluation metering. `dict`, when
-/// non-null, enables the isIRI/isLiteral filters (they pass conservatively
-/// without it).
+/// Compiled-plan evaluator bound to one store. Thread-safe for concurrent
+/// Select/Ask/Explain as long as nobody writes to the store concurrently
+/// (the store's own read contract); the plan cache takes a small mutex.
+class Engine {
+ public:
+  struct Options {
+    PlannerOptions planner;
+    /// Plan cache entries before wholesale eviction; 0 disables caching.
+    size_t plan_cache_capacity = 256;
+  };
+
+  Engine(const TripleStore* store, const Dictionary* dict, Options options)
+      : store_(store), dict_(dict), options_(options) {}
+  explicit Engine(const TripleStore* store) : Engine(store, nullptr) {}
+  Engine(const TripleStore* store, const Dictionary* dict)
+      : Engine(store, dict, Options()) {}
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Evaluates `query`. On success the ResultSet columns are the query's
+  /// projection (or all variables for SELECT *).
+  StatusOr<ResultSet> Select(const SelectQuery& query,
+                             EvalStats* stats = nullptr) const;
+
+  /// ASK-form evaluation: true iff `query` has at least one solution; stops
+  /// at the first (DISTINCT/LIMIT/OFFSET are irrelevant to existence).
+  StatusOr<bool> Ask(const SelectQuery& query,
+                     EvalStats* stats = nullptr) const;
+
+  /// The EXPLAIN surface: the plan this engine would run `query` with —
+  /// chosen clause order, per-clause estimates, attached filters — without
+  /// executing it. `from_cache` reports whether the plan was already cached.
+  StatusOr<PlanExplain> Explain(const SelectQuery& query) const;
+
+  const Options& options() const { return options_; }
+
+  /// Plan-cache accounting since construction.
+  uint64_t plan_cache_hits() const {
+    return hits_.load(std::memory_order_relaxed);
+  }
+  uint64_t plan_cache_misses() const {
+    return misses_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  /// Returns the cached plan for `query` (same PlanFingerprint, same store
+  /// epoch) or compiles, caches, and returns a fresh one.
+  std::shared_ptr<const CompiledPlan> PlanFor(const SelectQuery& query,
+                                              bool* cache_hit) const;
+
+  const TripleStore* store_;  // Not owned.
+  const Dictionary* dict_;    // Not owned; may be null.
+  Options options_;
+
+  mutable std::mutex mu_;
+  mutable std::unordered_map<std::string, std::shared_ptr<const CompiledPlan>>
+      plans_;  // Guarded by mu_; entries validated against store epoch.
+  mutable std::atomic<uint64_t> hits_{0};
+  mutable std::atomic<uint64_t> misses_{0};
+};
+
+/// One-shot evaluation of `query` against `store` (fresh plan, default
+/// planner). `stats`, when non-null, receives evaluation metering. `dict`,
+/// when non-null, enables the isIRI/isLiteral filters (they pass
+/// conservatively without it). `planner` selects the join-order planner.
 StatusOr<ResultSet> Evaluate(const TripleStore& store,
                              const SelectQuery& query,
                              EvalStats* stats = nullptr,
-                             const Dictionary* dict = nullptr);
+                             const Dictionary* dict = nullptr,
+                             const PlannerOptions& planner = {});
 
-/// ASK-form evaluation: true iff `query` has at least one solution. The
-/// pipeline stops at the first solution, so the cost is O(first match) and
+/// One-shot ASK: true iff `query` has at least one solution. The pipeline
+/// stops at the first solution, so the cost is O(first match) and
 /// independent of the result cardinality (the query's DISTINCT/OFFSET/LIMIT
 /// modifiers are irrelevant to existence and ignored).
 StatusOr<bool> EvaluateAsk(const TripleStore& store, const SelectQuery& query,
                            EvalStats* stats = nullptr,
-                           const Dictionary* dict = nullptr);
+                           const Dictionary* dict = nullptr,
+                           const PlannerOptions& planner = {});
 
 }  // namespace sofya
 

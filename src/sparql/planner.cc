@@ -1,0 +1,290 @@
+#include "sparql/planner.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/string_util.h"
+
+namespace sofya {
+
+namespace {
+
+/// Legacy selectivity score of a clause under the current binding: each
+/// position bound by a constant or an already-bound variable adds
+/// specificity, the predicate weighted higher (POS entry is cheapest).
+int BoundScore(const PatternClause& clause, const std::vector<bool>& bound) {
+  auto score = [&](const NodeRef& ref) {
+    if (!ref.is_var()) return 1;
+    return bound[ref.var()] ? 1 : 0;
+  };
+  return 3 * score(clause.predicate) + 2 * score(clause.subject) +
+         2 * score(clause.object);
+}
+
+/// True when a position is fixed before this clause scans: a constant, or a
+/// variable some earlier stage binds.
+bool IsBound(const NodeRef& ref, const std::vector<bool>& bound) {
+  return !ref.is_var() || bound[ref.var()];
+}
+
+/// Statistics-driven row estimate for `clause` given the variables bound so
+/// far. The model: a clause starts from the cardinality of its predicate
+/// (exact, from PredicateStats) and every bound subject/object position
+/// divides by the matching distinct count — the classical uniform-
+/// distribution selectivity. Variable predicates fall back to whole-store
+/// aggregates (GlobalStats). Estimates are clamped to ≥1 except for the
+/// provably-empty case (absent predicate), which estimates 0 so the planner
+/// front-loads it and the pipeline drains immediately.
+double EstimateRows(const PatternClause& clause,
+                    const std::vector<bool>& bound, const TripleStore& store,
+                    const StoreStats& global) {
+  const bool s_bound = IsBound(clause.subject, bound);
+  const bool o_bound = IsBound(clause.object, bound);
+  auto shrink = [](double est, size_t distinct) {
+    return est / static_cast<double>(distinct > 0 ? distinct : 1);
+  };
+
+  if (!clause.predicate.is_var()) {
+    const PredicateStats stats = store.StatsFor(clause.predicate.term());
+    if (stats.facts == 0) return 0.0;  // Provably empty clause.
+    double est = static_cast<double>(stats.facts);
+    if (s_bound) est = shrink(est, stats.distinct_subjects);
+    if (o_bound) est = shrink(est, stats.distinct_objects);
+    return std::max(est, 1.0);
+  }
+
+  if (global.triples == 0) return 0.0;
+  double est = static_cast<double>(global.triples);
+  if (IsBound(clause.predicate, bound)) {
+    est = shrink(est, global.distinct_predicates);
+  }
+  if (s_bound) est = shrink(est, global.distinct_subjects);
+  if (o_bound) est = shrink(est, global.distinct_objects);
+  return std::max(est, 1.0);
+}
+
+/// True when `clause` shares at least one already-bound variable — i.e.
+/// scanning it next is a join, not a cross product.
+bool SharesBoundVar(const PatternClause& clause,
+                    const std::vector<bool>& bound) {
+  const NodeRef* refs[3] = {&clause.subject, &clause.predicate,
+                            &clause.object};
+  for (const NodeRef* ref : refs) {
+    if (ref->is_var() && bound[ref->var()]) return true;
+  }
+  return false;
+}
+
+std::string RenderNode(const NodeRef& ref, const SelectQuery& query,
+                       const Dictionary* dict) {
+  if (ref.is_var()) return "?" + query.var_name(ref.var());
+  if (dict != nullptr && dict->Contains(ref.term())) {
+    return dict->Decode(ref.term()).ToNTriples();
+  }
+  return StrFormat("#%u", ref.term());
+}
+
+std::string RenderFilter(const FilterExpr& f, const SelectQuery& query,
+                         const Dictionary* dict) {
+  auto var = [&](VarId v) { return "?" + query.var_name(v); };
+  auto term = [&](TermId t) {
+    if (dict != nullptr && dict->Contains(t)) {
+      return dict->Decode(t).ToNTriples();
+    }
+    return StrFormat("#%u", t);
+  };
+  switch (f.kind) {
+    case FilterExpr::Kind::kVarEqVar:
+      return var(f.lhs) + " = " + var(f.rhs_var);
+    case FilterExpr::Kind::kVarNeqVar:
+      return var(f.lhs) + " != " + var(f.rhs_var);
+    case FilterExpr::Kind::kVarEqTerm:
+      return var(f.lhs) + " = " + term(f.rhs_term);
+    case FilterExpr::Kind::kVarNeqTerm:
+      return var(f.lhs) + " != " + term(f.rhs_term);
+    case FilterExpr::Kind::kIsIri:
+      return "isIRI(" + var(f.lhs) + ")";
+    case FilterExpr::Kind::kIsLiteral:
+      return "isLiteral(" + var(f.lhs) + ")";
+  }
+  return "?";
+}
+
+}  // namespace
+
+CompiledPlan CompilePlan(const SelectQuery& query, const TripleStore* store,
+                         const PlannerOptions& options) {
+  CompiledPlan plan;
+  const size_t num_vars = query.num_vars();
+  const bool use_stats = options.use_statistics && store != nullptr;
+  plan.used_statistics = use_stats;
+  plan.store_epoch = store != nullptr ? store->mutation_epoch() : 0;
+
+  StoreStats global;
+  if (use_stats) global = store->GlobalStats();
+
+  // Pending clauses stay in original-query order, so every "first best"
+  // scan below tie-breaks on source position — both planners are pure
+  // functions of (query structure, store epoch).
+  std::vector<size_t> pending;
+  pending.reserve(query.clauses().size());
+  for (size_t i = 0; i < query.clauses().size(); ++i) pending.push_back(i);
+
+  std::vector<bool> bound(num_vars, false);
+  std::vector<bool> filter_attached(query.filters().size(), false);
+
+  while (!pending.empty()) {
+    size_t best_pos = 0;
+    double best_estimate = -1.0;
+    if (use_stats) {
+      // Greedy min-cost with three tiers: a provably-empty clause always
+      // wins (executing it first drains the pipeline for free), clauses
+      // joined to the bound set come before cross products, and within a
+      // tier the cheapest estimate wins. Strict lexicographic < over
+      // (tier, estimate) with in-order iteration makes the first minimum
+      // win ties — the planner is a pure function of (query, epoch).
+      bool have_connected = false;
+      for (size_t pos : pending) {
+        if (SharesBoundVar(query.clauses()[pos], bound)) {
+          have_connected = true;
+          break;
+        }
+      }
+      int best_tier = std::numeric_limits<int>::max();
+      double best_cost = std::numeric_limits<double>::infinity();
+      for (size_t i = 0; i < pending.size(); ++i) {
+        const PatternClause& clause = query.clauses()[pending[i]];
+        const double est = EstimateRows(clause, bound, *store, global);
+        const bool connected =
+            !have_connected || SharesBoundVar(clause, bound);
+        const int tier = est == 0.0 ? 0 : (connected ? 1 : 2);
+        if (tier < best_tier || (tier == best_tier && est < best_cost)) {
+          best_tier = tier;
+          best_cost = est;
+          best_estimate = est;
+          best_pos = i;
+        }
+      }
+    } else {
+      int best_score = -1;
+      for (size_t i = 0; i < pending.size(); ++i) {
+        const int score = BoundScore(query.clauses()[pending[i]], bound);
+        if (score > best_score) {  // Strict >: first maximum wins, as the
+          best_score = score;      // original max_element-based loop did.
+          best_pos = i;
+        }
+      }
+    }
+
+    const size_t source_index = pending[best_pos];
+    pending.erase(pending.begin() + static_cast<ptrdiff_t>(best_pos));
+    const PatternClause& chosen = query.clauses()[source_index];
+
+    CompiledClause cc;
+    cc.source_index = source_index;
+    cc.estimated_rows = best_estimate;
+    const NodeRef* refs[3] = {&chosen.subject, &chosen.predicate,
+                              &chosen.object};
+    std::vector<bool> bound_here(num_vars, false);
+    for (int i = 0; i < 3; ++i) {
+      CompiledSlot& slot = cc.slots[i];
+      if (!refs[i]->is_var()) {
+        slot.kind = SlotKind::kConst;
+        slot.constant = refs[i]->term();
+        continue;
+      }
+      const VarId v = refs[i]->var();
+      slot.var = v;
+      if (bound[v]) {
+        slot.kind = SlotKind::kBoundVar;
+      } else if (bound_here[v]) {
+        slot.kind = SlotKind::kCheck;
+      } else {
+        slot.kind = SlotKind::kBind;
+        bound_here[v] = true;
+      }
+    }
+    for (VarId v = 0; v < static_cast<VarId>(num_vars); ++v) {
+      if (bound_here[v]) bound[v] = true;
+    }
+
+    // Attach every filter that just became fully bound.
+    for (size_t fi = 0; fi < query.filters().size(); ++fi) {
+      if (filter_attached[fi]) continue;
+      const FilterExpr& f = query.filters()[fi];
+      const bool needs_rhs = f.kind == FilterExpr::Kind::kVarEqVar ||
+                             f.kind == FilterExpr::Kind::kVarNeqVar;
+      if (bound[f.lhs] && (!needs_rhs || bound[f.rhs_var])) {
+        cc.filters.push_back(f);
+        filter_attached[fi] = true;
+      }
+    }
+    plan.clauses.push_back(std::move(cc));
+  }
+
+  plan.dangling_filter =
+      std::find(filter_attached.begin(), filter_attached.end(), false) !=
+      filter_attached.end();
+
+  plan.projection = query.projection();
+  if (plan.projection.empty()) {
+    for (VarId v = 0; v < static_cast<VarId>(num_vars); ++v) {
+      plan.projection.push_back(v);
+    }
+  }
+  return plan;
+}
+
+PlanExplain ExplainPlan(const CompiledPlan& plan, const SelectQuery& query,
+                        const Dictionary* dict) {
+  PlanExplain out;
+  out.used_statistics = plan.used_statistics;
+  out.store_epoch = plan.store_epoch;
+  out.dangling_filter = plan.dangling_filter;
+  for (const CompiledClause& cc : plan.clauses) {
+    const PatternClause& src = query.clauses()[cc.source_index];
+    ClauseExplain ce;
+    ce.source_index = cc.source_index;
+    ce.estimated_rows = cc.estimated_rows;
+    ce.pattern = RenderNode(src.subject, query, dict) + " " +
+                 RenderNode(src.predicate, query, dict) + " " +
+                 RenderNode(src.object, query, dict);
+    for (const FilterExpr& f : cc.filters) {
+      ce.filters.push_back(RenderFilter(f, query, dict));
+    }
+    out.clauses.push_back(std::move(ce));
+  }
+  for (VarId v : plan.projection) out.projection.push_back(query.var_name(v));
+  return out;
+}
+
+std::string PlanExplain::ToString() const {
+  std::string out;
+  out += StrFormat("plan: %s planner, epoch %llu%s\n",
+                   used_statistics ? "statistics" : "legacy-heuristic",
+                   static_cast<unsigned long long>(store_epoch),
+                   from_cache ? ", cached" : "");
+  if (dangling_filter) {
+    out +=
+        "  !! dangling filter (mentions a never-bound variable): "
+        "result is empty by SPARQL semantics\n";
+  }
+  for (size_t i = 0; i < clauses.size(); ++i) {
+    const ClauseExplain& ce = clauses[i];
+    out += StrFormat("  %zu. clause #%zu  { %s }", i + 1, ce.source_index,
+                     ce.pattern.c_str());
+    if (ce.estimated_rows >= 0) {
+      out += StrFormat("  est_rows=%.1f", ce.estimated_rows);
+    }
+    out += '\n';
+    for (const std::string& f : ce.filters) {
+      out += "       FILTER(" + f + ")\n";
+    }
+  }
+  out += "  project:";
+  for (const std::string& name : projection) out += " ?" + name;
+  out += '\n';
+  return out;
+}
+
+}  // namespace sofya

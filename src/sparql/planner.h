@@ -1,0 +1,129 @@
+// Join-order planning for the streaming BGP engine.
+//
+// A SelectQuery compiles into a CompiledPlan: an ordered pipeline of clauses
+// whose three positions are classified once (constant / bound variable /
+// first binding / repeat check), with each FILTER attached to the earliest
+// stage where all of its variables are bound. The clause *order* is the
+// planner's whole job — the engine scans the store's best index range per
+// stage, so putting a 50-row clause ahead of a 150k-row clause changes the
+// probe count by orders of magnitude on SOFYA's probe-shaped queries.
+//
+// Two planners share the machinery:
+//
+//   * statistics-driven (default): greedy min-cost ordering using
+//     TripleStore::StatsFor (facts, distinct subjects/objects) for clauses
+//     with a constant predicate and TripleStore::GlobalStats as the fallback
+//     for variable predicates, preferring clauses connected to the already-
+//     bound variable set so cross products are a last resort;
+//   * legacy bound-position heuristic: the original fixed scoring
+//     (3·predicate + 2·subject + 2·object bound positions), kept as an A/B
+//     baseline and as the no-store fallback.
+//
+// Determinism: a plan is a pure function of (query PlanFingerprint, store
+// mutation_epoch, PlannerOptions). Estimates come from memoized store
+// statistics, ties break on the clause's position in the original query,
+// and solution modifiers are not consulted — so every page of a LIMIT/OFFSET
+// walk runs the same plan and pagination stays disjoint and exhaustive
+// (the invariant documented in docs/QUERY_ENGINE.md).
+
+#ifndef SOFYA_SPARQL_PLANNER_H_
+#define SOFYA_SPARQL_PLANNER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rdf/dictionary.h"
+#include "rdf/triple_store.h"
+#include "sparql/query.h"
+
+namespace sofya {
+
+/// Planner configuration, threaded from the CLI / facade down to the engine.
+struct PlannerOptions {
+  /// When true (default), clause order is chosen from store statistics.
+  /// When false — or when no store is available at compile time — the
+  /// legacy bound-position heuristic orders the clauses.
+  bool use_statistics = true;
+};
+
+/// Classification of one clause position, fixed at compile time so the
+/// engine's inner loop does no NodeRef dispatch.
+enum class SlotKind : uint8_t {
+  kConst,     ///< Constant term: part of the index prefix, re-checked.
+  kBoundVar,  ///< Variable bound by an earlier stage: prefix + re-check.
+  kBind,      ///< First occurrence of a variable: binds it.
+  kCheck,     ///< Repeat occurrence within this clause: equality check.
+};
+
+struct CompiledSlot {
+  SlotKind kind = SlotKind::kBind;
+  TermId constant = kNullTermId;  // kConst only.
+  VarId var = -1;                 // All variable kinds.
+};
+
+struct CompiledClause {
+  CompiledSlot slots[3];  // subject, predicate, object.
+  /// Filters that become fully bound after this stage (inline application).
+  std::vector<FilterExpr> filters;
+  /// Index of this clause in the original query's WHERE list.
+  size_t source_index = 0;
+  /// The planner's row estimate at the moment this clause was chosen
+  /// (statistics planner; the legacy heuristic reports -1).
+  double estimated_rows = -1.0;
+};
+
+struct CompiledPlan {
+  std::vector<CompiledClause> clauses;
+  /// Resolved projection (never empty; defaults to all variables).
+  std::vector<VarId> projection;
+  /// True when some filter mentions a variable no clause ever binds: SPARQL
+  /// treats the filter as an error for every row, so the result is empty.
+  bool dangling_filter = false;
+  /// Which planner produced the order (explain/debug surface).
+  bool used_statistics = false;
+  /// TripleStore::mutation_epoch() the statistics were read at (0 when
+  /// planned without a store). The engine's plan cache compares this to the
+  /// live epoch: same epoch ⇒ same data ⇒ the plan is still valid.
+  uint64_t store_epoch = 0;
+};
+
+/// Compiles `query` into an ordered pipeline. `store` supplies statistics
+/// and may be null (falls back to the legacy heuristic). Never fails:
+/// structural validity is SelectQuery::Validate's job and is checked by the
+/// engine before execution.
+CompiledPlan CompilePlan(const SelectQuery& query, const TripleStore* store,
+                         const PlannerOptions& options = {});
+
+/// One clause of an EXPLAIN report, in executed (planned) order.
+struct ClauseExplain {
+  size_t source_index = 0;     ///< Position in the original WHERE list.
+  std::string pattern;         ///< "?x <knows> ?y" (dict-rendered).
+  double estimated_rows = -1;  ///< Planner estimate; -1 under legacy.
+  std::vector<std::string> filters;  ///< Filters applied after this stage.
+};
+
+/// The full EXPLAIN surface for one query: chosen order, per-clause
+/// estimates, attached filters. Exposed as Engine::Explain and the CLI
+/// `explain` subcommand.
+struct PlanExplain {
+  bool used_statistics = false;
+  bool from_cache = false;  ///< Filled by the engine, not the planner.
+  uint64_t store_epoch = 0;
+  bool dangling_filter = false;
+  std::vector<ClauseExplain> clauses;
+  std::vector<std::string> projection;  ///< Projected variable names.
+
+  /// Multi-line human-readable rendering (the CLI's output).
+  std::string ToString() const;
+};
+
+/// Renders `plan` against its source query. `dict`, when non-null, decodes
+/// constant terms into their lexical forms; ids are shown otherwise.
+PlanExplain ExplainPlan(const CompiledPlan& plan, const SelectQuery& query,
+                        const Dictionary* dict = nullptr);
+
+}  // namespace sofya
+
+#endif  // SOFYA_SPARQL_PLANNER_H_

@@ -95,6 +95,61 @@ std::string RenderVar(const SelectQuery& q, VarId v) {
 
 }  // namespace
 
+std::string SelectQuery::PlanFingerprint() const {
+  // Raw variable numbering, deliberately: the compiled plan this key maps
+  // to stores raw VarIds, so queries whose internal numbering differs must
+  // not collide (their shared plan would bind columns to the wrong names).
+  // Solution modifiers are omitted — plans don't depend on them.
+  std::string out;
+  out.reserve(16 + 16 * clauses_.size());
+  auto add_node = [&](const NodeRef& ref) {
+    if (ref.is_var()) {
+      out += '?';
+      out += std::to_string(ref.var());
+    } else {
+      out += '#';
+      out += std::to_string(ref.term());
+    }
+    out += ' ';
+  };
+  out += "v:";
+  for (const std::string& name : var_names_) {
+    out += name;
+    out += ',';
+  }
+  out += ";c:";
+  for (const auto& c : clauses_) {
+    add_node(c.subject);
+    add_node(c.predicate);
+    add_node(c.object);
+    out += '.';
+  }
+  out += ";f:";
+  for (const auto& f : filters_) {
+    out += std::to_string(static_cast<int>(f.kind));
+    out += '/';
+    out += std::to_string(f.lhs);
+    out += '/';
+    out += std::to_string(f.rhs_var);
+    out += '/';
+    out += std::to_string(f.rhs_term);
+    out += ',';
+  }
+  out += ";p:";
+  if (projection_.empty()) {
+    for (VarId v = 0; v < static_cast<VarId>(num_vars()); ++v) {
+      out += std::to_string(v);
+      out += ',';
+    }
+  } else {
+    for (VarId v : projection_) {
+      out += std::to_string(v);
+      out += ',';
+    }
+  }
+  return out;
+}
+
 std::string SelectQuery::Fingerprint() const {
   // Canonical variable numbering: ids are renumbered by first use
   // (projection, then clauses, then filters), so the fingerprint is

@@ -159,6 +159,16 @@ class SelectQuery {
   /// batch-dedup key; no dictionary needed (constants are by id).
   std::string Fingerprint() const;
 
+  /// The engine's plan-cache key: everything a compiled plan depends on
+  /// (declared variables, clauses, filters, projection — all by *raw*
+  /// VarId) with DISTINCT/LIMIT/OFFSET normalized away, so Ask(q),
+  /// Select(q LIMIT n), and every page of one OFFSET walk share a plan.
+  /// Unlike Fingerprint(), variable numbering is NOT canonicalized: a
+  /// CompiledPlan stores raw VarIds, so two queries may share a plan only
+  /// if their internal numbering agrees — alpha-renumbered twins get
+  /// separate (cheap) plans instead of silently mislabeled columns.
+  std::string PlanFingerprint() const;
+
  private:
   /// Shared WHERE-block renderer behind ToSparql / ToSparqlAsk.
   std::string RenderWhere(const Dictionary& dict) const;

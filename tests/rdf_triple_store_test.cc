@@ -137,6 +137,52 @@ TEST(TripleStoreTest, StatsCacheInvalidatedByWrites) {
   EXPECT_EQ(store.StatsFor(5).facts, 2u);
 }
 
+// Regression: the stats memo is keyed off mutation_epoch(), so a stale
+// entry can never survive a KB edit — including Erase, and including stats
+// for a predicate *other* than the touched one (the epoch bump drops the
+// whole memo).
+TEST(TripleStoreTest, StaleStatsCannotSurviveMutation) {
+  TripleStore store;
+  store.Insert(1, 5, 100);
+  store.Insert(2, 5, 101);
+  store.Insert(1, 7, 200);
+  const uint64_t epoch0 = store.mutation_epoch();
+  EXPECT_EQ(store.StatsFor(5).facts, 2u);
+  EXPECT_EQ(store.StatsFor(7).facts, 1u);  // Both memoized now.
+
+  ASSERT_TRUE(store.Erase(Triple(2, 5, 101)));
+  EXPECT_GT(store.mutation_epoch(), epoch0);
+  EXPECT_EQ(store.StatsFor(5).facts, 1u);
+  EXPECT_EQ(store.StatsFor(5).distinct_subjects, 1u);
+  // Unrelated predicate re-reads fresh too (memo dropped wholesale).
+  EXPECT_EQ(store.StatsFor(7).facts, 1u);
+
+  // A duplicate insert is a no-op: the epoch must not move, so cached
+  // derived state (e.g. compiled plans) stays valid.
+  const uint64_t epoch1 = store.mutation_epoch();
+  EXPECT_FALSE(store.Insert(1, 5, 100));
+  EXPECT_EQ(store.mutation_epoch(), epoch1);
+}
+
+TEST(TripleStoreTest, GlobalStatsTrackMutations) {
+  TripleStore store;
+  store.Insert(1, 5, 100);
+  store.Insert(2, 5, 100);
+  store.Insert(2, 6, 101);
+  StoreStats global = store.GlobalStats();
+  EXPECT_EQ(global.triples, 3u);
+  EXPECT_EQ(global.distinct_subjects, 2u);
+  EXPECT_EQ(global.distinct_predicates, 2u);
+  EXPECT_EQ(global.distinct_objects, 2u);
+
+  store.Insert(3, 7, 102);
+  global = store.GlobalStats();  // Memo invalidated by the epoch bump.
+  EXPECT_EQ(global.triples, 4u);
+  EXPECT_EQ(global.distinct_subjects, 3u);
+  EXPECT_EQ(global.distinct_predicates, 3u);
+  EXPECT_EQ(global.distinct_objects, 3u);
+}
+
 TEST(TripleStoreTest, InterleavedWritesAndReads) {
   TripleStore store;
   store.Insert(1, 2, 3);

@@ -20,6 +20,18 @@
 //       Run a SPARQL SELECT (the supported subset) against a local
 //       dataset or a remote SPARQL endpoint (retried with backoff on
 //       transient failures).
+//
+//   sofya explain --kb F --sparql 'SELECT ...' [--legacy-planner]
+//                 [--execute]
+//       Show the join-order plan the engine would run the query with:
+//       chosen clause order, per-clause cardinality estimates, attached
+//       filters. --legacy-planner shows the bound-position heuristic's
+//       order instead (the A/B baseline); --execute also runs the query
+//       and reports the evaluation metering (rows, index probes, triples
+//       scanned), so the two planners' real costs can be compared.
+//
+//   --legacy-planner is also accepted by align and query (local datasets):
+//   it switches the in-process engines to the legacy clause ordering.
 
 #include <cstdio>
 #include <cstring>
@@ -43,9 +55,11 @@ int Usage() {
                "--relation IRI[,IRI...]|all [--threads N] "
                "[--schedule phase|relation] [--tau T] "
                "[--measure pca|cwa] [--no-ubs] [--sample N] "
-               "[--base1 IRI] [--base2 IRI]\n"
+               "[--base1 IRI] [--base2 IRI] [--legacy-planner]\n"
                "  sofya query (--kb FILE | --endpoint-url URL) "
-               "--sparql 'SELECT ...'\n");
+               "--sparql 'SELECT ...' [--legacy-planner]\n"
+               "  sofya explain --kb FILE --sparql 'SELECT ...' "
+               "[--legacy-planner] [--execute]\n");
   return 2;
 }
 
@@ -278,6 +292,7 @@ int Align(const std::map<std::string, std::string>& flags) {
   }
 
   SofyaOptions options;
+  if (flags.count("legacy-planner")) options.planner.use_statistics = false;
   if (flags.count("tau")) {
     options.aligner.threshold = std::stod(flags.at("tau"));
   }
@@ -393,7 +408,11 @@ int Query(const std::map<std::string, std::string>& flags) {
       std::fprintf(stderr, "%s\n", st.ToString().c_str());
       return 1;
     }
-    local = std::make_unique<LocalEndpoint>(&kb);
+    LocalEndpointOptions local_options;
+    if (flags.count("legacy-planner")) {
+      local_options.engine.planner.use_statistics = false;
+    }
+    local = std::make_unique<LocalEndpoint>(&kb, local_options);
     endpoint = local.get();
   }
 
@@ -423,6 +442,53 @@ int Query(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
+int Explain(const std::map<std::string, std::string>& flags) {
+  if (!flags.count("kb") || !flags.count("sparql")) return Usage();
+
+  KnowledgeBase kb("kb", "");
+  if (Status st = LoadKb(flags.at("kb"), &kb); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  LocalEndpointOptions options;
+  if (flags.count("legacy-planner")) {
+    options.engine.planner.use_statistics = false;
+  }
+  LocalEndpoint endpoint(&kb, options);
+
+  const PrefixMap prefixes = PrefixMap::WithDefaults();
+  TermInterner intern = [&endpoint](const Term& t) {
+    return endpoint.EncodeTerm(t);
+  };
+  auto query = ParseSelectQuery(flags.at("sparql"), intern, &prefixes);
+  if (!query.ok()) {
+    std::fprintf(stderr, "%s\n", query.status().ToString().c_str());
+    return 1;
+  }
+
+  auto explain = endpoint.Explain(*query);
+  if (!explain.ok()) {
+    std::fprintf(stderr, "%s\n", explain.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s", explain->ToString().c_str());
+
+  if (flags.count("execute")) {
+    auto result = endpoint.Select(*query);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+      return 1;
+    }
+    const EndpointStats cost = endpoint.stats();
+    std::printf(
+        "executed: %zu rows, %llu index probes, %llu triples scanned\n",
+        result->rows.size(),
+        static_cast<unsigned long long>(cost.index_probes),
+        static_cast<unsigned long long>(cost.triples_scanned));
+  }
+  return 0;
+}
+
 }  // namespace
 }  // namespace sofya
 
@@ -433,5 +499,6 @@ int main(int argc, char** argv) {
   if (command == "generate") return sofya::Generate(flags);
   if (command == "align") return sofya::Align(flags);
   if (command == "query") return sofya::Query(flags);
+  if (command == "explain") return sofya::Explain(flags);
   return sofya::Usage();
 }
