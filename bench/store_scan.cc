@@ -1,0 +1,322 @@
+// Store bench — sharded scan parallelism and snapshot load, quantified.
+//
+// Two sections, both with hard correctness gates (the bench exits nonzero
+// on any mismatch, so the CI smoke run doubles as an integration test):
+//
+//   1. parallel shard scan A/B — a skewed synthetic store (one promoted
+//      predicate dominating the tail) is scanned through the SPARQL engine
+//      sequentially and with a work-stealing pool at 2 and 4 threads.
+//      Result rows must be bit-identical (same order, not just same set);
+//      wall time quantifies what fanning per-shard spans out buys.
+//   2. snapshot load vs N-Triples re-parse — the same dataset is written
+//      both ways, then cold-loaded both ways. The snapshot path is a
+//      checksum pass + dictionary rebuild + mmap attach; the parse path
+//      re-tokenizes every line. Loaded stores must answer a probe query
+//      identically.
+//
+// Pass --json (or set SOFYA_JSON=1) for a machine-readable summary (CI).
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/sofya.h"
+#include "rdf/store_snapshot.h"
+
+namespace {
+
+struct ScanPoint {
+  size_t threads = 1;
+  double ms = 0;
+  bool identical = true;
+};
+
+/// Times `iterations` evaluations of `query` on an engine using `pool`
+/// (nullptr = sequential), after one untimed warm-up that also forces the
+/// lazy shard sorts so no mode pays one-time costs.
+ScanPoint RunScan(const sofya::TripleStore& store,
+                  const sofya::Dictionary& dict,
+                  const sofya::SelectQuery& query, sofya::ThreadPool* pool,
+                  int iterations,
+                  const std::vector<std::vector<sofya::TermId>>& expect) {
+  ScanPoint out;
+  out.threads = pool ? pool->num_threads() : 1;
+  sofya::Engine::Options options;
+  options.scan_pool = pool;
+  options.parallel_scan_min_rows = 1 << 12;
+  sofya::Engine engine(&store, &dict, options);
+  auto warm = engine.Select(query);
+  if (!warm.ok()) {
+    out.identical = false;
+    return out;
+  }
+  out.identical = warm->rows == expect;  // Bit-identical, order included.
+  sofya::WallTimer timer;
+  for (int i = 0; i < iterations; ++i) {
+    auto repeat = engine.Select(query);
+    if (!repeat.ok() || repeat->rows.size() != expect.size()) {
+      out.identical = false;
+    }
+  }
+  out.ms = timer.ElapsedMillis();
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = std::getenv("SOFYA_JSON") != nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) json = true;
+  }
+  const double scale =
+      std::getenv("SOFYA_SCALE") ? std::atof(std::getenv("SOFYA_SCALE")) : 1.0;
+
+  // ----------------------------------------------------------------------
+  // The dataset: one hot predicate big enough to promote and to dwarf the
+  // per-chunk dispatch overhead, plus a tail of cold predicates so the
+  // hash ring is populated too.
+  const size_t hot_facts = static_cast<size_t>(300000 * scale);
+  const size_t subjects = hot_facts / 4;
+  sofya::KnowledgeBase kb("scanbench", "http://scan.org/");
+  // Promote well below the default threshold so the dedicated-group scan
+  // path is exercised at every SOFYA_SCALE, not just full size.
+  kb.store() = sofya::TripleStore(
+      sofya::StoreOptions{/*num_hash_shards=*/8,
+                          /*promote_threshold=*/8192, /*split_factor=*/8});
+  {
+    sofya::TripleStore::BulkLoadScope bulk(&kb.store(), hot_facts + 20000);
+    for (size_t i = 0; i < hot_facts; ++i) {
+      kb.AddFact("s" + std::to_string(i % subjects), "hot",
+                 "v" + std::to_string((i * 13 + 7) % 4093));
+    }
+    for (size_t i = 0; i < 10000; ++i) {
+      kb.AddFact("s" + std::to_string(i % subjects),
+                 "cold" + std::to_string(i % 7), "c" + std::to_string(i % 31));
+    }
+  }
+  const sofya::TermId hot = kb.RelationId("hot");
+  const sofya::TermId cold0 = kb.RelationId("cold0");
+
+  if (!json) {
+    std::printf("=== store scan: sharded parallel vs sequential "
+                "(%zu triples, %zu shards, %zu promoted) ===\n\n",
+                kb.size(), kb.store().num_shards(),
+                kb.store().PromotedPredicates().size());
+  }
+
+  // Two query shapes: a pure driver scan and a join where only the driver
+  // clause parallelizes and the probe side rides along per worker.
+  sofya::SelectQuery scan_q;
+  {
+    const sofya::VarId s = scan_q.NewVar("s");
+    const sofya::VarId v = scan_q.NewVar("v");
+    scan_q.Where(sofya::NodeRef::Variable(s), sofya::NodeRef::Constant(hot),
+                 sofya::NodeRef::Variable(v));
+  }
+  sofya::SelectQuery join_q;
+  {
+    const sofya::VarId s = join_q.NewVar("s");
+    const sofya::VarId v = join_q.NewVar("v");
+    const sofya::VarId c = join_q.NewVar("c");
+    join_q.Where(sofya::NodeRef::Variable(s), sofya::NodeRef::Constant(hot),
+                 sofya::NodeRef::Variable(v));
+    join_q.Where(sofya::NodeRef::Variable(s), sofya::NodeRef::Constant(cold0),
+                 sofya::NodeRef::Variable(c));
+  }
+
+  const int iterations = 8;
+  bool all_identical = true;
+  struct Shape {
+    const char* name;
+    const sofya::SelectQuery* query;
+    std::vector<ScanPoint> points;
+  };
+  std::vector<Shape> shapes = {{"scan", &scan_q, {}}, {"join", &join_q, {}}};
+  sofya::ThreadPool pool2(2), pool4(4);
+  for (Shape& shape : shapes) {
+    // The sequential run is the oracle: parallel must reproduce its rows
+    // byte for byte, in order.
+    sofya::Engine seq(&kb.store(), &kb.dict());
+    auto oracle = seq.Select(*shape.query);
+    if (!oracle.ok()) {
+      std::fprintf(stderr, "FATAL: %s\n",
+                   oracle.status().ToString().c_str());
+      return 1;
+    }
+    shape.points.push_back(RunScan(kb.store(), kb.dict(), *shape.query,
+                                   nullptr, iterations, oracle->rows));
+    shape.points.push_back(RunScan(kb.store(), kb.dict(), *shape.query,
+                                   &pool2, iterations, oracle->rows));
+    shape.points.push_back(RunScan(kb.store(), kb.dict(), *shape.query,
+                                   &pool4, iterations, oracle->rows));
+    for (const ScanPoint& p : shape.points) {
+      if (!p.identical) all_identical = false;
+    }
+  }
+
+  if (!json) {
+    sofya::TableWriter table(
+        {"shape", "threads", "ms/iter", "speedup", "identical"});
+    for (const Shape& shape : shapes) {
+      const double base = shape.points[0].ms;
+      for (const ScanPoint& p : shape.points) {
+        table.AddRow({shape.name, std::to_string(p.threads),
+                      sofya::FormatDouble(p.ms / iterations, 2),
+                      sofya::FormatDouble(base / p.ms, 2) + "x",
+                      p.identical ? "yes" : "NO (BUG)"});
+      }
+    }
+    table.Print(std::cout);
+    std::printf("\nthe parallel path merges per-chunk rows in shard order — "
+                "identical rows AND stats, or the bench fails\n");
+  }
+
+  // ----------------------------------------------------------------------
+  // Section 2: snapshot mmap load vs N-Triples re-parse, same dataset.
+  const std::string dir =
+      std::getenv("TMPDIR") ? std::getenv("TMPDIR") : "/tmp";
+  const std::string nt_path = dir + "/sofya_bench_store.nt";
+  const std::string snap_path = dir + "/sofya_bench_store.snap";
+
+  auto nt_doc = sofya::WriteNTriplesString(kb.store(), kb.dict());
+  if (!nt_doc.ok()) {
+    std::fprintf(stderr, "FATAL: %s\n", nt_doc.status().ToString().c_str());
+    return 1;
+  }
+  {
+    std::ofstream out(nt_path, std::ios::trunc);
+    out << *nt_doc;
+  }
+  auto saved = sofya::SaveStoreSnapshot(kb.store(), kb.dict(), snap_path);
+  if (!saved.ok()) {
+    std::fprintf(stderr, "FATAL: %s\n", saved.status().ToString().c_str());
+    return 1;
+  }
+
+  double parse_ms = 0, snap_ms = 0;
+  size_t parse_triples = 0, snap_triples = 0;
+  bool load_parity = true;
+  {
+    sofya::KnowledgeBase parsed("parsed", "http://scan.org/");
+    std::ifstream in(nt_path);
+    sofya::WallTimer timer;
+    auto report =
+        sofya::ParseNTriples(in, &parsed.dict(), &parsed.store());
+    parse_ms = timer.ElapsedMillis();
+    if (!report.ok()) {
+      std::fprintf(stderr, "FATAL: %s\n",
+                   report.status().ToString().c_str());
+      return 1;
+    }
+    parse_triples = parsed.size();
+
+    sofya::KnowledgeBase snapped("snapped", "http://scan.org/");
+    sofya::WallTimer timer2;
+    auto loaded = snapped.LoadSnapshot(snap_path);
+    snap_ms = timer2.ElapsedMillis();
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "FATAL: %s\n",
+                   loaded.status().ToString().c_str());
+      return 1;
+    }
+    snap_triples = snapped.size();
+
+    // Parity gate: both cold stores answer the probe join identically to
+    // the original (sorted compare — enumeration order across a re-parse
+    // depends on insert order, which the snapshot intentionally preserves
+    // but the NT writer's own ordering may not).
+    auto probe = [&](sofya::KnowledgeBase* target) {
+      const sofya::TermId h = target->RelationId("hot");
+      sofya::SelectQuery q;
+      const sofya::VarId s = q.NewVar("s");
+      const sofya::VarId v = q.NewVar("v");
+      q.Where(sofya::NodeRef::Variable(s), sofya::NodeRef::Constant(h),
+              sofya::NodeRef::Variable(v));
+      auto rows = sofya::Evaluate(target->store(), q);
+      std::vector<std::string> rendered;
+      if (rows.ok()) {
+        for (const auto& row : rows->rows) {
+          std::string line;
+          for (sofya::TermId id : row) {
+            line += target->dict().Decode(id).ToNTriples() + "\t";
+          }
+          rendered.push_back(std::move(line));
+        }
+      }
+      std::sort(rendered.begin(), rendered.end());
+      return rendered;
+    };
+    const auto original = probe(&kb);
+    load_parity = probe(&parsed) == original && probe(&snapped) == original &&
+                  parse_triples == kb.size() && snap_triples == kb.size();
+  }
+
+  const double load_speedup = snap_ms > 0 ? parse_ms / snap_ms : 0.0;
+  if (!json) {
+    std::printf("\n=== cold start: snapshot mmap load vs N-Triples re-parse "
+                "===\n\n");
+    sofya::TableWriter table({"path", "triples", "ms", "speedup"});
+    table.AddRow({"N-Triples parse", std::to_string(parse_triples),
+                  sofya::FormatDouble(parse_ms, 1), "1.0x"});
+    table.AddRow({"snapshot mmap", std::to_string(snap_triples),
+                  sofya::FormatDouble(snap_ms, 1),
+                  sofya::FormatDouble(load_speedup, 1) + "x"});
+    table.Print(std::cout);
+    std::printf("\nsnapshot: %llu bytes on disk; load verifies the checksum, "
+                "rebuilds the dictionary, and attaches triples zero-copy\n",
+                static_cast<unsigned long long>(saved->bytes));
+    std::printf("loaded stores answer probes identically: %s\n",
+                load_parity ? "yes" : "NO (BUG)");
+  }
+
+  if (json) {
+    std::printf("{");
+    std::printf("\"triples\": %zu, \"shards\": %zu, \"promoted\": %zu, ",
+                kb.size(), kb.store().num_shards(),
+                kb.store().PromotedPredicates().size());
+    std::printf("\"scan\": [");
+    bool first = true;
+    for (const Shape& shape : shapes) {
+      const double base = shape.points[0].ms;
+      for (const ScanPoint& p : shape.points) {
+        std::printf("%s{\"shape\": \"%s\", \"threads\": %zu, "
+                    "\"ms_per_iter\": %.3f, \"speedup\": %.2f, "
+                    "\"identical\": %s}",
+                    first ? "" : ", ", shape.name, p.threads,
+                    p.ms / iterations, base / p.ms,
+                    p.identical ? "true" : "false");
+        first = false;
+      }
+    }
+    std::printf("], ");
+    std::printf("\"snapshot\": {\"bytes\": %llu, \"parse_ms\": %.2f, "
+                "\"mmap_ms\": %.2f, \"load_speedup\": %.2f, "
+                "\"parity\": %s}",
+                static_cast<unsigned long long>(saved->bytes), parse_ms,
+                snap_ms, load_speedup, load_parity ? "true" : "false");
+    std::printf("}\n");
+  }
+
+  std::remove(nt_path.c_str());
+  std::remove(snap_path.c_str());
+
+  // Correctness gates: parallelism and persistence must never change
+  // answers. Speedups are reported, not asserted — CI runners vary.
+  if (!all_identical) {
+    std::fprintf(stderr,
+                 "FATAL: parallel scan rows differ from sequential\n");
+    return 1;
+  }
+  if (!load_parity) {
+    std::fprintf(stderr,
+                 "FATAL: snapshot/parse cold loads disagree with source\n");
+    return 1;
+  }
+  return 0;
+}

@@ -12,13 +12,24 @@ TermId Dictionary::Intern(const Term& term) {
     if (it != index_.end()) return it->second;
   }
   std::unique_lock<std::shared_mutex> lock(mu_);
-  // Re-check: another writer may have interned it between the locks.
-  auto it = index_.find(term);
-  if (it != index_.end()) return it->second;
-  terms_.push_back(term);
-  const TermId id = static_cast<TermId>(terms_.size());
-  index_.emplace(term, id);
-  return id;
+  const TermId next = static_cast<TermId>(terms_.size() + 1);
+  // try_emplace doubles as the re-check: another writer may have interned
+  // the term between the locks, in which case it returns the existing node.
+  auto [it, inserted] = index_.try_emplace(term, next);
+  if (!inserted) return it->second;
+  terms_.push_back(&it->first);
+  return next;
+}
+
+TermId Dictionary::InternNew(Term&& term) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  const TermId next = static_cast<TermId>(terms_.size() + 1);
+  // try_emplace leaves `term` untouched when the key already exists, so
+  // the fallback path loses nothing.
+  auto [it, inserted] = index_.try_emplace(std::move(term), next);
+  if (!inserted) return it->second;
+  terms_.push_back(&it->first);
+  return next;
 }
 
 TermId Dictionary::Lookup(const Term& term) const {
@@ -31,8 +42,8 @@ const Term& Dictionary::Decode(TermId id) const {
   static const Term kInvalid = Term::Iri("urn:sofya:invalid-term-id");
   std::shared_lock<std::shared_mutex> lock(mu_);
   if (!ContainsLocked(id)) return kInvalid;
-  // Deque elements never move on append: the reference outlives the lock.
-  return terms_[id - 1];
+  // Map nodes never move or disappear: the reference outlives the lock.
+  return *terms_[id - 1];
 }
 
 StatusOr<Term> Dictionary::TryDecode(TermId id) const {
@@ -41,7 +52,7 @@ StatusOr<Term> Dictionary::TryDecode(TermId id) const {
     return Status::NotFound(StrFormat("term id %u not in dictionary (size %zu)",
                                       id, terms_.size()));
   }
-  return terms_[id - 1];
+  return *terms_[id - 1];
 }
 
 }  // namespace sofya

@@ -51,6 +51,12 @@ class Dictionary {
   /// Interns `term`, returning its id (existing id if already present).
   TermId Intern(const Term& term);
 
+  /// Interning fast path for loaders replaying terms expected to be new
+  /// (snapshot dictionary rebuild): one lock, one hash probe, and the term
+  /// is moved rather than copied. Falls back to returning the existing id
+  /// if the term was interned before — identical semantics to Intern().
+  TermId InternNew(Term&& term);
+
   /// Convenience: interns an IRI term.
   TermId InternIri(std::string iri) { return Intern(Term::Iri(std::move(iri))); }
 
@@ -92,13 +98,23 @@ class Dictionary {
   TermId min_id() const { return 1; }
   TermId max_id() const { return static_cast<TermId>(size()); }
 
+  /// Pre-sizes the intern index for `n` terms (bulk loads, snapshot load).
+  void Reserve(size_t n) {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    index_.reserve(n);
+  }
+
  private:
   bool ContainsLocked(TermId id) const {
     return id >= 1 && id <= terms_.size();
   }
 
   mutable std::shared_mutex mu_;
-  std::deque<Term> terms_;  // terms_[id - 1] is the term for `id`.
+  // terms_[id - 1] points at the index_ node's key: each term is stored
+  // once. unordered_map nodes never move (not even on rehash) and are never
+  // erased, so the pointers — and the references Decode() hands out — stay
+  // valid for the dictionary's lifetime, across moves included.
+  std::deque<const Term*> terms_;
   std::unordered_map<Term, TermId, TermHash> index_;
 };
 

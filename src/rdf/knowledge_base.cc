@@ -1,6 +1,17 @@
 #include "rdf/knowledge_base.h"
 
+#include "rdf/store_snapshot.h"
+
 namespace sofya {
+
+StatusOr<SnapshotReport> KnowledgeBase::SaveSnapshot(
+    const std::string& path) const {
+  return SaveStoreSnapshot(store_, dict_, path);
+}
+
+StatusOr<SnapshotReport> KnowledgeBase::LoadSnapshot(const std::string& path) {
+  return LoadStoreSnapshot(path, &dict_, &store_);
+}
 
 std::string KnowledgeBase::RenderTriple(const Triple& t,
                                         const PrefixMap& prefixes) const {

@@ -18,6 +18,8 @@
 
 namespace sofya {
 
+struct SnapshotReport;
+
 /// A named RDF dataset: dictionary + indexed triple store.
 class KnowledgeBase {
  public:
@@ -89,6 +91,15 @@ class KnowledgeBase {
   /// that change how existing ids render). Triple writes no longer need
   /// this — the store's epoch covers them.
   void MarkMutated() { ++manual_epoch_; }
+
+  /// Writes this KB (dictionary + store) to a binary snapshot file
+  /// (rdf/store_snapshot.h). Logically const.
+  StatusOr<SnapshotReport> SaveSnapshot(const std::string& path) const;
+
+  /// Loads a snapshot into this KB. Requires an empty dictionary and store;
+  /// triple reads afterwards are zero-copy off the mmap'd file until the
+  /// first write.
+  StatusOr<SnapshotReport> LoadSnapshot(const std::string& path);
 
  private:
   std::string name_;

@@ -149,8 +149,13 @@ Status ParseNTriplesLine(std::string_view line, Term* s, Term* p, Term* o) {
 
 StatusOr<NTriplesParseReport> ParseNTriples(std::istream& in,
                                             Dictionary* dict,
-                                            TripleStore* store) {
+                                            TripleStore* store,
+                                            size_t expected_triples) {
   NTriplesParseReport report;
+  // Bulk-load scope: one epoch bump and one promotion pass for the whole
+  // document, so derived state (stats memos, compiled plans) is invalidated
+  // once instead of N times.
+  TripleStore::BulkLoadScope bulk(store, expected_triples);
   std::string line;
   while (std::getline(in, line)) {
     ++report.lines_read;

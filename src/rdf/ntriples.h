@@ -35,10 +35,15 @@ StatusOr<Term> ParseNTriplesTerm(std::string_view line, size_t* pos);
 Status ParseNTriplesLine(std::string_view line, Term* s, Term* p, Term* o);
 
 /// Parses an entire document from `in`, interning terms into `dict` and
-/// inserting triples into `store`.
+/// inserting triples into `store`. Runs inside a store bulk-load scope: the
+/// mutation epoch bumps once per document (not per triple) and predicate
+/// promotion happens in one pass at the end. `expected_triples`, when
+/// non-zero, pre-reserves store hash capacity (callers with a file size can
+/// estimate ~one triple per 120 bytes).
 StatusOr<NTriplesParseReport> ParseNTriples(std::istream& in,
                                             Dictionary* dict,
-                                            TripleStore* store);
+                                            TripleStore* store,
+                                            size_t expected_triples = 0);
 
 /// Convenience overload for in-memory documents.
 StatusOr<NTriplesParseReport> ParseNTriplesString(std::string_view document,

@@ -2,134 +2,385 @@
 
 #include <algorithm>
 #include <limits>
+#include <string>
 
 namespace sofya {
 
 namespace {
-constexpr TermId kMaxTermId = std::numeric_limits<TermId>::max();
-}  // namespace
 
-bool TripleStore::Insert(const Triple& t) {
-  const bool inserted = set_.insert(t).second;
-  if (inserted) {
-    spo_.push_back(t);
-    pos_.push_back(t);
-    osp_.push_back(t);
-    // Stats memos are epoch-keyed, not cleared here: bumping the epoch is
-    // enough to invalidate them, which keeps bulk loads O(1) per insert.
-    epoch_.fetch_add(1, std::memory_order_release);
-    dirty_.store(true, std::memory_order_release);
+constexpr TermId kMaxTermId = std::numeric_limits<TermId>::max();
+
+// Counts |union| of k sorted, de-duplicated id lists by synchronized
+// min-scans. k is the shard count (small), so the linear min probe beats a
+// heap.
+size_t CountDistinctUnion(const std::vector<std::span<const TermId>>& lists) {
+  std::vector<size_t> pos(lists.size(), 0);
+  size_t distinct = 0;
+  while (true) {
+    TermId min_id = kMaxTermId;
+    bool any = false;
+    for (size_t k = 0; k < lists.size(); ++k) {
+      if (pos[k] < lists[k].size()) {
+        any = true;
+        min_id = std::min(min_id, lists[k][pos[k]]);
+      }
+    }
+    if (!any) break;
+    ++distinct;
+    for (size_t k = 0; k < lists.size(); ++k) {
+      if (pos[k] < lists[k].size() && lists[k][pos[k]] == min_id) ++pos[k];
+    }
   }
-  return inserted;
+  return distinct;
 }
 
-bool TripleStore::Erase(const Triple& t) {
-  if (set_.erase(t) == 0) return false;
-  // Erase from the append vectors; defer re-sorting.
-  auto erase_one = [&](std::vector<Triple>& v) {
-    auto it = std::find(v.begin(), v.end(), t);
-    if (it != v.end()) {
-      *it = v.back();
-      v.pop_back();
+}  // namespace
+
+TripleStore::TripleStore(const StoreOptions& options) : options_(options) {
+  if (options_.num_hash_shards == 0) options_.num_hash_shards = 1;
+  if (options_.split_factor == 0) options_.split_factor = 1;
+  shards_.reserve(options_.num_hash_shards);
+  for (size_t i = 0; i < options_.num_hash_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+void TripleStore::MoveFrom(TripleStore&& other) {
+  std::scoped_lock lock(global_mu_, other.global_mu_);
+  options_ = other.options_;
+  shards_ = std::move(other.shards_);
+  groups_ = std::move(other.groups_);
+  pred_info_ = std::move(other.pred_info_);
+  distinct_preds_ = other.distinct_preds_;
+  set_ = std::move(other.set_);
+  size_ = other.size_;
+  mapped_ = other.mapped_;
+  mapped_keepalive_ = std::move(other.mapped_keepalive_);
+  bulk_depth_ = other.bulk_depth_;
+  bulk_dirty_ = other.bulk_dirty_;
+  global_stats_ = other.global_stats_;
+  global_stats_epoch_ = other.global_stats_epoch_;
+  global_stats_valid_ = other.global_stats_valid_;
+  epoch_.store(other.epoch_.load(std::memory_order_relaxed),
+               std::memory_order_relaxed);
+  stats_recomputes_.store(
+      other.stats_recomputes_.load(std::memory_order_relaxed),
+      std::memory_order_relaxed);
+  // Leave `other` as a valid empty store.
+  other.pred_info_.clear();
+  other.distinct_preds_ = 0;
+  other.size_ = 0;
+  other.mapped_ = false;
+  other.bulk_depth_ = 0;
+  other.bulk_dirty_ = false;
+  other.global_stats_valid_ = false;
+  other.shards_.clear();
+  for (size_t i = 0; i < other.options_.num_hash_shards; ++i) {
+    other.shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+uint32_t TripleStore::ShardFor(const Triple& t) const {
+  auto it = pred_info_.find(t.predicate);
+  if (it != pred_info_.end() && it->second.group >= 0) {
+    const PredGroup& g = *groups_[static_cast<size_t>(it->second.group)];
+    return g.first_shard + HashId(t.subject) % g.split;
+  }
+  return HashId(t.predicate) %
+         static_cast<uint32_t>(options_.num_hash_shards);
+}
+
+void TripleStore::AppendToShard(uint32_t i, const Triple& t) {
+  Shard& sh = *shards_[i];
+  sh.spo.push_back(t);
+  sh.pos.push_back(t);
+  sh.osp.push_back(t);
+  sh.epoch.fetch_add(1, std::memory_order_relaxed);
+  sh.dirty.store(true, std::memory_order_release);
+}
+
+bool TripleStore::Insert(const Triple& t) {
+  if (mapped_) Thaw();
+  if (!set_.insert(t).second) return false;
+  ++size_;
+  PredInfo& info = pred_info_[t.predicate];
+  if (info.facts == 0) ++distinct_preds_;
+  ++info.facts;
+  AppendToShard(ShardFor(t), t);
+  if (bulk_depth_ > 0) {
+    bulk_dirty_ = true;
+  } else {
+    epoch_.fetch_add(1, std::memory_order_release);
+    if (options_.promote_threshold > 0 && info.group < 0 &&
+        info.facts > options_.promote_threshold) {
+      Promote(t.predicate, info);
     }
-  };
-  erase_one(spo_);
-  erase_one(pos_);
-  erase_one(osp_);
-  epoch_.fetch_add(1, std::memory_order_release);
-  dirty_.store(true, std::memory_order_release);
+  }
   return true;
 }
 
-void TripleStore::EnsureSorted() const {
-  // Double-checked: steady-state reads cost one relaxed-acquire load; the
-  // first read after a write sorts under the lock while latecomers wait.
-  if (!dirty_.load(std::memory_order_acquire)) return;
-  std::lock_guard<std::mutex> lock(lazy_mu_);
-  if (!dirty_.load(std::memory_order_relaxed)) return;
-  std::sort(spo_.begin(), spo_.end(), SpoLess());
-  std::sort(pos_.begin(), pos_.end(), PosLess());
-  std::sort(osp_.begin(), osp_.end(), OspLess());
-  dirty_.store(false, std::memory_order_release);
+bool TripleStore::Erase(const Triple& t) {
+  if (mapped_) Thaw();
+  if (set_.erase(t) == 0) return false;
+  --size_;
+  auto it = pred_info_.find(t.predicate);
+  // The set held the triple, so routing info must exist.
+  Shard& sh = *shards_[ShardFor(t)];
+  --it->second.facts;
+  if (it->second.facts == 0) --distinct_preds_;
+  auto erase_one = [&](std::vector<Triple>& v) {
+    auto pos = std::find(v.begin(), v.end(), t);
+    if (pos != v.end()) {
+      *pos = v.back();
+      v.pop_back();
+    }
+  };
+  erase_one(sh.spo);
+  erase_one(sh.pos);
+  erase_one(sh.osp);
+  sh.epoch.fetch_add(1, std::memory_order_relaxed);
+  sh.dirty.store(true, std::memory_order_release);
+  if (bulk_depth_ > 0) {
+    bulk_dirty_ = true;
+  } else {
+    epoch_.fetch_add(1, std::memory_order_release);
+  }
+  return true;
 }
 
-std::span<const Triple> TripleStore::Range(
-    const TriplePattern& pattern) const {
-  EnsureSorted();
+bool TripleStore::Contains(const Triple& t) const {
+  if (!mapped_) return set_.count(t) > 0;
+  // Mapped mode keeps no hash set; membership is a binary search in the
+  // owning shard's SPO segment.
+  auto it = pred_info_.find(t.predicate);
+  if (it == pred_info_.end() || it->second.facts == 0) return false;
+  const Shard& sh = *shards_[ShardFor(t)];
+  return std::binary_search(sh.spo_v.begin(), sh.spo_v.end(), t, SpoLess());
+}
+
+void TripleStore::Promote(TermId p, PredInfo& info) {
+  const uint32_t src_idx =
+      HashId(p) % static_cast<uint32_t>(options_.num_hash_shards);
+  Shard& src = *shards_[src_idx];
+  const uint32_t first = static_cast<uint32_t>(shards_.size());
+  const uint32_t split = static_cast<uint32_t>(options_.split_factor);
+  for (uint32_t k = 0; k < split; ++k) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  // Partition p's triples out of the hash shard into the sub-shards by
+  // subject hash. The stable sweep preserves relative order, so a clean
+  // source shard stays sorted; it is re-marked dirty anyway because its
+  // views must be refreshed after shrinking.
+  auto split_vec = [&](std::vector<Triple>& v,
+                       std::vector<Triple> Shard::* member) {
+    auto keep = v.begin();
+    for (auto it = v.begin(); it != v.end(); ++it) {
+      if (it->predicate == p) {
+        Shard& dst = *shards_[first + HashId(it->subject) % split];
+        (dst.*member).push_back(*it);
+      } else {
+        *keep++ = *it;
+      }
+    }
+    v.erase(keep, v.end());
+  };
+  split_vec(src.spo, &Shard::spo);
+  split_vec(src.pos, &Shard::pos);
+  split_vec(src.osp, &Shard::osp);
+  src.epoch.fetch_add(1, std::memory_order_relaxed);
+  src.dirty.store(true, std::memory_order_release);
+  for (uint32_t k = 0; k < split; ++k) {
+    Shard& sh = *shards_[first + k];
+    sh.epoch.fetch_add(1, std::memory_order_relaxed);
+    sh.dirty.store(true, std::memory_order_release);
+  }
+  auto group = std::make_unique<PredGroup>();
+  group->pred = p;
+  group->first_shard = first;
+  group->split = split;
+  info.group = static_cast<int32_t>(groups_.size());
+  groups_.push_back(std::move(group));
+}
+
+void TripleStore::Thaw() {
+  if (!mapped_) return;
+  set_.reserve(size_);
+  for (auto& shard : shards_) {
+    Shard& sh = *shard;
+    if (sh.mapped) {
+      sh.spo.assign(sh.spo_v.begin(), sh.spo_v.end());
+      sh.pos.assign(sh.pos_v.begin(), sh.pos_v.end());
+      sh.osp.assign(sh.osp_v.begin(), sh.osp_v.end());
+      sh.spo_v = {sh.spo.data(), sh.spo.size()};
+      sh.pos_v = {sh.pos.data(), sh.pos.size()};
+      sh.osp_v = {sh.osp.data(), sh.osp.size()};
+      sh.mapped = false;  // Still sorted; dirty stays false.
+    }
+    for (const Triple& t : sh.spo) set_.insert(t);
+  }
+  mapped_ = false;
+  mapped_keepalive_.reset();
+}
+
+void TripleStore::BeginBulkLoad(size_t expected) {
+  if (mapped_) Thaw();
+  ++bulk_depth_;
+  if (expected > 0) Reserve(size_ + expected);
+}
+
+void TripleStore::EndBulkLoad() {
+  if (bulk_depth_ == 0) return;
+  if (--bulk_depth_ > 0) return;
+  if (!bulk_dirty_) return;
+  bulk_dirty_ = false;
+  // One promotion pass for everything that crossed the threshold during the
+  // load, then a single epoch bump for the whole file.
+  if (options_.promote_threshold > 0) {
+    std::vector<TermId> to_promote;
+    for (const auto& [p, info] : pred_info_) {
+      if (info.group < 0 && info.facts > options_.promote_threshold) {
+        to_promote.push_back(p);
+      }
+    }
+    std::sort(to_promote.begin(), to_promote.end());  // Deterministic order.
+    for (TermId p : to_promote) Promote(p, pred_info_.find(p)->second);
+  }
+  epoch_.fetch_add(1, std::memory_order_release);
+}
+
+void TripleStore::Reserve(size_t n) { set_.reserve(n); }
+
+void TripleStore::EnsureShardSorted(const Shard& sh) const {
+  if (sh.mapped) return;  // Snapshot segments are written sorted.
+  // Double-checked: steady-state reads cost one acquire load; the first
+  // read after a write sorts under the lock while latecomers wait.
+  if (!sh.dirty.load(std::memory_order_acquire)) return;
+  std::lock_guard<std::mutex> lock(sh.mu);
+  if (!sh.dirty.load(std::memory_order_relaxed)) return;
+  std::sort(sh.spo.begin(), sh.spo.end(), SpoLess());
+  std::sort(sh.pos.begin(), sh.pos.end(), PosLess());
+  std::sort(sh.osp.begin(), sh.osp.end(), OspLess());
+  sh.spo_v = {sh.spo.data(), sh.spo.size()};
+  sh.pos_v = {sh.pos.data(), sh.pos.size()};
+  sh.osp_v = {sh.osp.data(), sh.osp.size()};
+  sh.dirty.store(false, std::memory_order_release);
+}
+
+void TripleStore::EnsureIndexed() const {
+  for (const auto& shard : shards_) EnsureShardSorted(*shard);
+}
+
+std::pair<uint32_t, uint32_t> TripleStore::ShardBounds(
+    const TriplePattern& p) const {
+  if (p.has_predicate()) {
+    auto it = pred_info_.find(p.predicate);
+    if (it == pred_info_.end() || it->second.facts == 0) return {0, 0};
+    if (it->second.group >= 0) {
+      const PredGroup& g = *groups_[static_cast<size_t>(it->second.group)];
+      if (p.has_subject()) {
+        const uint32_t i = g.first_shard + HashId(p.subject) % g.split;
+        return {i, i + 1};
+      }
+      return {g.first_shard, g.first_shard + g.split};
+    }
+    const uint32_t i = HashId(p.predicate) %
+                       static_cast<uint32_t>(options_.num_hash_shards);
+    return {i, i + 1};
+  }
+  return {0, static_cast<uint32_t>(shards_.size())};
+}
+
+std::span<const Triple> TripleStore::ShardRange(
+    const Shard& sh, const TriplePattern& pattern) const {
   const bool s = pattern.has_subject();
   const bool p = pattern.has_predicate();
   const bool o = pattern.has_object();
 
-  // Select the index whose ordering makes the bound positions a prefix, then
-  // binary-search for the [lo, hi) range of that prefix.
-  if (s && !o) {
-    // (s ? ?) or (s p ?): SPO, prefix (s) or (s, p).
+  // Pick the index whose ordering makes every bound position a prefix, then
+  // binary-search the [lo, hi) range of that prefix. Unlike the pre-sharding
+  // store, all eight shapes are full prefixes here (〈s,p,o〉 uses SPO), so
+  // residual checks are no-ops.
+  if (s && !(o && !p)) {
+    // (s ? ?), (s p ?), (s p o): SPO, prefix (s), (s,p) or (s,p,o).
     const Triple lo(pattern.subject, p ? pattern.predicate : 0,
-                    kNullTermId);
+                    o ? pattern.object : 0);
     const Triple hi(pattern.subject, p ? pattern.predicate : kMaxTermId,
-                    kMaxTermId);
-    auto first = std::lower_bound(spo_.begin(), spo_.end(), lo, SpoLess());
-    auto last = std::upper_bound(spo_.begin(), spo_.end(), hi, SpoLess());
-    return {spo_.data() + (first - spo_.begin()),
-            static_cast<size_t>(last - first)};
+                    o ? pattern.object : kMaxTermId);
+    auto first =
+        std::lower_bound(sh.spo_v.begin(), sh.spo_v.end(), lo, SpoLess());
+    auto last =
+        std::upper_bound(sh.spo_v.begin(), sh.spo_v.end(), hi, SpoLess());
+    return sh.spo_v.subspan(
+        static_cast<size_t>(first - sh.spo_v.begin()),
+        static_cast<size_t>(last - first));
   }
   if (p && !s) {
     // (? p ?) or (? p o): POS, prefix (p) or (p, o).
     const Triple lo(kNullTermId, pattern.predicate, o ? pattern.object : 0);
     const Triple hi(kMaxTermId, pattern.predicate,
                     o ? pattern.object : kMaxTermId);
-    auto first = std::lower_bound(pos_.begin(), pos_.end(), lo, PosLess());
-    auto last = std::upper_bound(pos_.begin(), pos_.end(), hi, PosLess());
-    return {pos_.data() + (first - pos_.begin()),
-            static_cast<size_t>(last - first)};
+    auto first =
+        std::lower_bound(sh.pos_v.begin(), sh.pos_v.end(), lo, PosLess());
+    auto last =
+        std::upper_bound(sh.pos_v.begin(), sh.pos_v.end(), hi, PosLess());
+    return sh.pos_v.subspan(
+        static_cast<size_t>(first - sh.pos_v.begin()),
+        static_cast<size_t>(last - first));
   }
   if (o) {
-    // (? ? o) or (s ? o): OSP, prefix (o) or (o, s). (s p o) also lands
-    // here when all three are bound; the range then has width <= 1 * preds.
+    // (? ? o) or (s ? o): OSP, prefix (o) or (o, s).
     const Triple lo(s ? pattern.subject : 0, kNullTermId, pattern.object);
     const Triple hi(s ? pattern.subject : kMaxTermId, kMaxTermId,
                     pattern.object);
-    auto first = std::lower_bound(osp_.begin(), osp_.end(), lo, OspLess());
-    auto last = std::upper_bound(osp_.begin(), osp_.end(), hi, OspLess());
-    return {osp_.data() + (first - osp_.begin()),
-            static_cast<size_t>(last - first)};
+    auto first =
+        std::lower_bound(sh.osp_v.begin(), sh.osp_v.end(), lo, OspLess());
+    auto last =
+        std::upper_bound(sh.osp_v.begin(), sh.osp_v.end(), hi, OspLess());
+    return sh.osp_v.subspan(
+        static_cast<size_t>(first - sh.osp_v.begin()),
+        static_cast<size_t>(last - first));
   }
-  // (? ? ?): full scan over SPO.
-  return {spo_.data(), spo_.size()};
+  // (? ? ?): full shard scan over SPO.
+  return sh.spo_v;
+}
+
+std::span<const Triple> TripleStore::PreparedShardRange(
+    uint32_t i, const TriplePattern& pattern) const {
+  const Shard& sh = *shards_[i];
+  EnsureShardSorted(sh);
+  return ShardRange(sh, pattern);
+}
+
+MatchView TripleStore::MatchSpans(const TriplePattern& pattern) const {
+  MatchView view;
+  const auto [lo, hi] = ShardBounds(pattern);
+  for (uint32_t i = lo; i < hi; ++i) {
+    view.Append(PreparedShardRange(i, pattern));
+  }
+  return view;
 }
 
 std::vector<Triple> TripleStore::Match(const TriplePattern& pattern) const {
   std::vector<Triple> out;
-  for (const Triple& t : Range(pattern)) {
-    if (pattern.Matches(t)) out.push_back(t);
-  }
+  ForEachMatch(pattern, [&](const Triple& t) {
+    out.push_back(t);
+    return true;
+  });
   return out;
 }
 
 size_t TripleStore::CountMatches(const TriplePattern& pattern) const {
-  // For fully-prefix patterns the residual Matches() check is a no-op, but
-  // (s p o) routed through OSP needs the predicate filter.
-  size_t n = 0;
-  for (const Triple& t : Range(pattern)) {
-    if (pattern.Matches(t)) ++n;
-  }
-  return n;
-}
-
-void TripleStore::ForEachMatch(
-    const TriplePattern& pattern,
-    const std::function<bool(const Triple&)>& fn) const {
-  for (const Triple& t : Range(pattern)) {
-    if (!pattern.Matches(t)) continue;
-    if (!fn(t)) return;
-  }
+  // Every pattern shape is a full prefix of its chosen per-shard index, so
+  // the count is just the sum of span widths.
+  return MatchSpans(pattern).total();
 }
 
 std::vector<TermId> TripleStore::Objects(TermId s, TermId p) const {
   std::vector<TermId> out;
-  for (const Triple& t : Range(TriplePattern(s, p, kNullTermId))) {
+  ForEachMatch(TriplePattern(s, p, kNullTermId), [&](const Triple& t) {
     out.push_back(t.object);
-  }
+    return true;
+  });
   std::sort(out.begin(), out.end());
   out.erase(std::unique(out.begin(), out.end()), out.end());
   return out;
@@ -137,9 +388,10 @@ std::vector<TermId> TripleStore::Objects(TermId s, TermId p) const {
 
 std::vector<TermId> TripleStore::Subjects(TermId p, TermId o) const {
   std::vector<TermId> out;
-  for (const Triple& t : Range(TriplePattern(kNullTermId, p, o))) {
+  ForEachMatch(TriplePattern(kNullTermId, p, o), [&](const Triple& t) {
     out.push_back(t.subject);
-  }
+    return true;
+  });
   std::sort(out.begin(), out.end());
   out.erase(std::unique(out.begin(), out.end()), out.end());
   return out;
@@ -147,98 +399,318 @@ std::vector<TermId> TripleStore::Subjects(TermId p, TermId o) const {
 
 std::vector<TermId> TripleStore::SubjectsOf(TermId p) const {
   std::vector<TermId> out;
-  for (const Triple& t : Range(TriplePattern(kNullTermId, p, kNullTermId))) {
-    out.push_back(t.subject);
-  }
+  ForEachMatch(TriplePattern(kNullTermId, p, kNullTermId),
+               [&](const Triple& t) {
+                 out.push_back(t.subject);
+                 return true;
+               });
   std::sort(out.begin(), out.end());
   out.erase(std::unique(out.begin(), out.end()), out.end());
   return out;
 }
 
 std::vector<TermId> TripleStore::Predicates() const {
-  EnsureSorted();
   std::vector<TermId> out;
-  TermId last = kNullTermId;
-  for (const Triple& t : pos_) {
-    if (t.predicate != last) {
-      out.push_back(t.predicate);
-      last = t.predicate;
-    }
+  out.reserve(distinct_preds_);
+  for (const auto& [p, info] : pred_info_) {
+    if (info.facts > 0) out.push_back(p);
   }
+  std::sort(out.begin(), out.end());
   return out;
 }
 
-PredicateStats TripleStore::StatsFor(TermId p) const {
-  EnsureSorted();
-  const uint64_t epoch = mutation_epoch();
+std::vector<TermId> TripleStore::PromotedPredicates() const {
+  std::vector<TermId> out;
+  out.reserve(groups_.size());
+  for (const auto& g : groups_) out.push_back(g->pred);
+  return out;
+}
+
+TripleStore::MappedShardSegments TripleStore::ShardSegments(size_t i) const {
+  const Shard& sh = *shards_[i];
+  EnsureShardSorted(sh);
+  return {sh.spo_v, sh.pos_v, sh.osp_v};
+}
+
+PredicateStats TripleStore::ShardStatsFor(uint32_t i, TermId p) const {
+  const Shard& sh = *shards_[i];
+  EnsureShardSorted(sh);
+  const uint64_t epoch = sh.epoch.load(std::memory_order_acquire);
   {
-    std::lock_guard<std::mutex> lock(lazy_mu_);
-    if (stats_cache_epoch_ != epoch) {
-      // First stats read after a write: the whole memo is one epoch stale.
-      stats_cache_.clear();
-      stats_cache_epoch_ = epoch;
+    std::lock_guard<std::mutex> lock(sh.mu);
+    if (sh.stats_epoch != epoch) {
+      // First stats read after a write to this shard: only this shard's
+      // memo is stale; every other shard keeps its entries.
+      sh.stats.clear();
+      sh.stats_epoch = epoch;
     }
-    auto it = stats_cache_.find(p);
-    if (it != stats_cache_.end()) return it->second;
+    auto it = sh.stats.find(p);
+    if (it != sh.stats.end()) return it->second;
   }
 
   PredicateStats stats;
   std::vector<TermId> subjects;
-  std::vector<TermId> objects;
-  for (const Triple& t : Range(TriplePattern(kNullTermId, p, kNullTermId))) {
+  // POS orders p's range by (object, subject): objects are transition
+  // counts, subjects need one sort.
+  TermId prev_object = kNullTermId;
+  bool first = true;
+  for (const Triple& t :
+       ShardRange(sh, TriplePattern(kNullTermId, p, kNullTermId))) {
     ++stats.facts;
     subjects.push_back(t.subject);
-    objects.push_back(t.object);
+    if (first || t.object != prev_object) ++stats.distinct_objects;
+    prev_object = t.object;
+    first = false;
   }
   std::sort(subjects.begin(), subjects.end());
   subjects.erase(std::unique(subjects.begin(), subjects.end()),
                  subjects.end());
-  std::sort(objects.begin(), objects.end());
-  objects.erase(std::unique(objects.begin(), objects.end()), objects.end());
   stats.distinct_subjects = subjects.size();
-  stats.distinct_objects = objects.size();
+  stats_recomputes_.fetch_add(1, std::memory_order_relaxed);
   {
-    std::lock_guard<std::mutex> lock(lazy_mu_);
+    std::lock_guard<std::mutex> lock(sh.mu);
     // Only memoize into the epoch the scan was computed against.
-    if (stats_cache_epoch_ == epoch) stats_cache_.emplace(p, stats);
+    if (sh.stats_epoch == epoch) sh.stats.emplace(p, stats);
   }
   return stats;
 }
 
+PredicateStats TripleStore::GroupStatsFor(const PredGroup& g) const {
+  // Key the merged memo by the sum of sub-shard epochs: epochs only grow,
+  // so the sum strictly increases under any write to the group.
+  uint64_t key = 0;
+  for (uint32_t k = 0; k < g.split; ++k) {
+    EnsureShardSorted(*shards_[g.first_shard + k]);
+    key += shards_[g.first_shard + k]->epoch.load(std::memory_order_acquire);
+  }
+  {
+    std::lock_guard<std::mutex> lock(g.mu);
+    if (g.memo_valid && g.memo_key == key) return g.memo;
+  }
+
+  PredicateStats stats;
+  // Sub-shards partition by subject hash, so per-sub distinct subjects are
+  // disjoint and sum exactly.
+  for (uint32_t k = 0; k < g.split; ++k) {
+    const PredicateStats sub = ShardStatsFor(g.first_shard + k, g.pred);
+    stats.facts += sub.facts;
+    stats.distinct_subjects += sub.distinct_subjects;
+  }
+  // Objects can repeat across sub-shards: k-way distinct merge over the
+  // sorted object columns of each sub-shard's POS range.
+  const TriplePattern pat(kNullTermId, g.pred, kNullTermId);
+  std::vector<std::span<const Triple>> ranges;
+  ranges.reserve(g.split);
+  for (uint32_t k = 0; k < g.split; ++k) {
+    auto r = ShardRange(*shards_[g.first_shard + k], pat);
+    if (!r.empty()) ranges.push_back(r);
+  }
+  std::vector<size_t> pos(ranges.size(), 0);
+  while (true) {
+    TermId min_obj = kMaxTermId;
+    bool any = false;
+    for (size_t k = 0; k < ranges.size(); ++k) {
+      if (pos[k] < ranges[k].size()) {
+        any = true;
+        min_obj = std::min(min_obj, ranges[k][pos[k]].object);
+      }
+    }
+    if (!any) break;
+    ++stats.distinct_objects;
+    for (size_t k = 0; k < ranges.size(); ++k) {
+      if (pos[k] >= ranges[k].size() ||
+          ranges[k][pos[k]].object != min_obj) {
+        continue;
+      }
+      if (min_obj == kMaxTermId) {
+        pos[k] = ranges[k].size();
+        continue;
+      }
+      // Skip past every (p, min_obj, *) entry in this sub-range.
+      const Triple next_key(0, g.pred, min_obj + 1);
+      auto it = std::lower_bound(ranges[k].begin() + pos[k], ranges[k].end(),
+                                 next_key, PosLess());
+      pos[k] = static_cast<size_t>(it - ranges[k].begin());
+    }
+  }
+  stats_recomputes_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(g.mu);
+    g.memo = stats;
+    g.memo_key = key;
+    g.memo_valid = true;
+  }
+  return stats;
+}
+
+PredicateStats TripleStore::StatsFor(TermId p) const {
+  auto it = pred_info_.find(p);
+  if (it == pred_info_.end() || it->second.facts == 0) {
+    return PredicateStats();
+  }
+  if (it->second.group >= 0) {
+    return GroupStatsFor(*groups_[static_cast<size_t>(it->second.group)]);
+  }
+  return ShardStatsFor(
+      HashId(p) % static_cast<uint32_t>(options_.num_hash_shards), p);
+}
+
 StoreStats TripleStore::GlobalStats() const {
-  EnsureSorted();
   const uint64_t epoch = mutation_epoch();
   {
-    std::lock_guard<std::mutex> lock(lazy_mu_);
+    std::lock_guard<std::mutex> lock(global_mu_);
     if (global_stats_valid_ && global_stats_epoch_ == epoch) {
       return global_stats_;
     }
   }
 
-  // Each index is sorted by the component of interest first, so distinct
-  // counts are transition counts — one O(n) walk per component.
-  StoreStats stats;
-  stats.triples = spo_.size();
-  auto transitions = [](const std::vector<Triple>& v, auto key) {
-    size_t n = 0;
-    for (size_t i = 0; i < v.size(); ++i) {
-      if (i == 0 || key(v[i]) != key(v[i - 1])) ++n;
+  // Refresh each shard's sorted distinct-subject/object aggregates (keyed
+  // by that shard's epoch, so an untouched shard reuses its lists), then
+  // count the unions. Values are identical to a global-index walk: a
+  // distinct id is counted once no matter how many shards it spans.
+  std::vector<std::span<const TermId>> subject_lists;
+  std::vector<std::span<const TermId>> object_lists;
+  subject_lists.reserve(shards_.size());
+  object_lists.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    const Shard& sh = *shard;
+    EnsureShardSorted(sh);
+    const uint64_t shard_epoch = sh.epoch.load(std::memory_order_acquire);
+    std::lock_guard<std::mutex> lock(sh.mu);
+    if (!sh.agg_valid || sh.agg_epoch != shard_epoch) {
+      sh.agg_subjects.clear();
+      sh.agg_objects.clear();
+      for (size_t i = 0; i < sh.spo_v.size(); ++i) {
+        if (i == 0 || sh.spo_v[i].subject != sh.spo_v[i - 1].subject) {
+          sh.agg_subjects.push_back(sh.spo_v[i].subject);
+        }
+      }
+      for (size_t i = 0; i < sh.osp_v.size(); ++i) {
+        if (i == 0 || sh.osp_v[i].object != sh.osp_v[i - 1].object) {
+          sh.agg_objects.push_back(sh.osp_v[i].object);
+        }
+      }
+      sh.agg_epoch = shard_epoch;
+      sh.agg_valid = true;
+      stats_recomputes_.fetch_add(1, std::memory_order_relaxed);
     }
-    return n;
-  };
-  stats.distinct_subjects =
-      transitions(spo_, [](const Triple& t) { return t.subject; });
-  stats.distinct_predicates =
-      transitions(pos_, [](const Triple& t) { return t.predicate; });
-  stats.distinct_objects =
-      transitions(osp_, [](const Triple& t) { return t.object; });
+    // Safe to read outside the lock: an agg valid for the current epoch is
+    // only rewritten after a store write, which cannot overlap reads.
+    subject_lists.push_back({sh.agg_subjects.data(), sh.agg_subjects.size()});
+    object_lists.push_back({sh.agg_objects.data(), sh.agg_objects.size()});
+  }
+
+  StoreStats stats;
+  stats.triples = size_;
+  stats.distinct_predicates = distinct_preds_;
+  stats.distinct_subjects = CountDistinctUnion(subject_lists);
+  stats.distinct_objects = CountDistinctUnion(object_lists);
   {
-    std::lock_guard<std::mutex> lock(lazy_mu_);
+    std::lock_guard<std::mutex> lock(global_mu_);
     global_stats_ = stats;
     global_stats_epoch_ = epoch;
     global_stats_valid_ = true;
   }
   return stats;
+}
+
+Status TripleStore::AttachMapped(MappedLayout layout) {
+  if (size_ != 0 || !set_.empty()) {
+    return Status::InvalidArgument(
+        "AttachMapped requires an empty TripleStore");
+  }
+  StoreOptions opts = layout.options;
+  if (opts.num_hash_shards == 0) opts.num_hash_shards = 1;
+  if (opts.split_factor == 0) opts.split_factor = 1;
+  const size_t expected =
+      opts.num_hash_shards + layout.group_preds.size() * opts.split_factor;
+  if (layout.shards.size() != expected) {
+    return Status::InvalidArgument("snapshot shard table has " +
+                                   std::to_string(layout.shards.size()) +
+                                   " shards, layout implies " +
+                                   std::to_string(expected));
+  }
+  for (const auto& seg : layout.shards) {
+    if (seg.spo.size() != seg.pos.size() || seg.spo.size() != seg.osp.size()) {
+      return Status::InvalidArgument(
+          "snapshot shard segments disagree on triple count");
+    }
+  }
+
+  options_ = opts;
+  shards_.clear();
+  groups_.clear();
+  pred_info_.clear();
+  distinct_preds_ = 0;
+  size_ = 0;
+  for (size_t i = 0; i < layout.shards.size(); ++i) {
+    auto sh = std::make_unique<Shard>();
+    sh->spo_v = layout.shards[i].spo;
+    sh->pos_v = layout.shards[i].pos;
+    sh->osp_v = layout.shards[i].osp;
+    sh->mapped = true;
+    size_ += sh->spo_v.size();
+    shards_.push_back(std::move(sh));
+  }
+  // Dedicated groups, in file (= promotion) order.
+  for (size_t gi = 0; gi < layout.group_preds.size(); ++gi) {
+    auto group = std::make_unique<PredGroup>();
+    group->pred = layout.group_preds[gi];
+    group->first_shard = static_cast<uint32_t>(opts.num_hash_shards +
+                                               gi * opts.split_factor);
+    group->split = static_cast<uint32_t>(opts.split_factor);
+    PredInfo& info = pred_info_[group->pred];
+    if (info.facts > 0 || info.group >= 0) {
+      return Status::InvalidArgument("duplicate promoted predicate in snapshot");
+    }
+    info.group = static_cast<int32_t>(gi);
+    for (uint32_t k = 0; k < group->split; ++k) {
+      info.facts += shards_[group->first_shard + k]->spo_v.size();
+    }
+    if (info.facts > 0) ++distinct_preds_;
+    groups_.push_back(std::move(group));
+  }
+  // Hash shards: rebuild the routing map by skip-scanning each POS segment.
+  for (size_t i = 0; i < opts.num_hash_shards; ++i) {
+    const std::span<const Triple> pos_v = shards_[i]->pos_v;
+    size_t at = 0;
+    while (at < pos_v.size()) {
+      const TermId p = pos_v[at].predicate;
+      if (HashId(p) % static_cast<uint32_t>(opts.num_hash_shards) != i) {
+        return Status::InvalidArgument(
+            "snapshot predicate routed to wrong hash shard");
+      }
+      size_t end;
+      if (p == std::numeric_limits<TermId>::max()) {
+        end = pos_v.size();
+      } else {
+        auto it = std::lower_bound(pos_v.begin() + at, pos_v.end(),
+                                   Triple(0, p + 1, 0), PosLess());
+        end = static_cast<size_t>(it - pos_v.begin());
+      }
+      PredInfo& info = pred_info_[p];
+      if (info.group >= 0 || info.facts > 0) {
+        return Status::InvalidArgument(
+            "snapshot predicate appears in multiple shards");
+      }
+      info.facts = end - at;
+      ++distinct_preds_;
+      at = end;
+    }
+  }
+
+  mapped_ = true;
+  mapped_keepalive_ = std::move(layout.keepalive);
+  bulk_depth_ = 0;
+  bulk_dirty_ = false;
+  {
+    std::lock_guard<std::mutex> lock(global_mu_);
+    global_stats_valid_ = false;
+  }
+  // Attaching replaces the (empty) contents: bump so epoch-keyed consumers
+  // re-derive.
+  epoch_.fetch_add(1, std::memory_order_release);
+  return Status::OK();
 }
 
 }  // namespace sofya

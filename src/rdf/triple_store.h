@@ -1,23 +1,37 @@
-// In-memory dictionary-encoded triple store with three orderings.
+// In-memory dictionary-encoded triple store, sharded by predicate.
 //
-// Design (mini-hexastore): a hash set gives O(1) membership and dedup; three
-// sorted index vectors — SPO, POS, OSP — give contiguous ranges for every
-// bound-prefix pattern. Indexes are rebuilt lazily after writes (bulk-load
-// friendly: N inserts + first query costs one sort, like an LSM flush).
+// Design: the store is a collection of shards, each a mini-hexastore — three
+// lazily re-sorted index vectors (SPO, POS, OSP) giving contiguous ranges for
+// every bound-prefix pattern — plus one global hash set for O(1) membership
+// and dedup. Predicates are routed to a fixed ring of hash shards; a
+// predicate whose fact count crosses `promote_threshold` is promoted to its
+// own dedicated group of `split_factor` sub-shards partitioned by subject
+// hash, so scans of a dominant predicate can fan out across cores and a
+// write to one predicate re-sorts (and re-counts) only its own shard.
 //
-// Every access pattern SOFYA's samplers need maps to a contiguous range:
-//   (s ? ?) (s p ?)          -> SPO
-//   (? p ?) (? p o)          -> POS
-//   (? ? o) (s ? o)          -> OSP
-//   (s p o)                  -> hash set
-//   (? ? ?)                  -> SPO full scan
+// Every access pattern SOFYA's samplers need maps to per-shard contiguous
+// ranges:
+//   (s ? ?) (s p ?) (s p o)  -> SPO prefix
+//   (? p ?) (? p o)          -> POS prefix
+//   (? ? o) (s ? o)          -> OSP prefix
+//   (? ? ?)                  -> SPO full scan, shard-concatenated
+// A bound predicate touches exactly one shard (or, when promoted, its
+// sub-shard group — one sub-shard if the subject is bound too); an unbound
+// predicate walks all shards in deterministic shard order.
+//
+// Shards can be *mapped*: backed by read-only spans into an mmap'd snapshot
+// file (src/rdf/store_snapshot.h) instead of owned vectors. Mapped shards
+// are pre-sorted, so queries are zero-copy straight off the page cache; the
+// first write thaws the store back into owned vectors.
 
 #ifndef SOFYA_RDF_TRIPLE_STORE_H_
 #define SOFYA_RDF_TRIPLE_STORE_H_
 
+#include <array>
 #include <atomic>
 #include <cstddef>
-#include <functional>
+#include <cstdint>
+#include <memory>
 #include <mutex>
 #include <span>
 #include <unordered_map>
@@ -26,6 +40,7 @@
 #include <vector>
 
 #include "rdf/triple.h"
+#include "util/status.h"
 
 namespace sofya {
 
@@ -59,17 +74,70 @@ struct StoreStats {
   size_t distinct_objects = 0;     ///< |{o}|
 };
 
-/// The store. Writes invalidate indexes; the first subsequent read re-sorts.
+/// Sharding knobs. The defaults suit alignment workloads (a few hot
+/// predicates over a long tail); tests shrink them to exercise promotion.
+struct StoreOptions {
+  /// Fixed ring of shards the predicate tail hashes onto.
+  size_t num_hash_shards = 8;
+  /// Fact count beyond which a predicate gets its own sub-shard group.
+  /// 0 disables promotion (every predicate stays on the hash ring).
+  size_t promote_threshold = 65536;
+  /// Sub-shards per promoted predicate, partitioned by subject hash.
+  size_t split_factor = 8;
+};
+
+/// An ordered list of contiguous index ranges covering one pattern — the
+/// zero-copy substrate for streaming query pipelines. One span per shard
+/// touched (empty shards are skipped); spans are filtered by the chosen
+/// index's bound *prefix* only, exactly like the old single-range
+/// MatchRange, and concatenation order is deterministic (shard order).
+/// Inline storage for the common case, so building one never allocates
+/// unless a pattern with an unbound predicate crosses many shards.
+/// Spans are valid until the next write to the store.
+class MatchView {
+ public:
+  static constexpr size_t kInlineSpans = 8;
+
+  size_t num_spans() const { return n_; }
+  std::span<const Triple> span(size_t i) const {
+    return i < kInlineSpans ? inline_[i] : overflow_[i - kInlineSpans];
+  }
+  /// Total triples across all spans.
+  size_t total() const { return total_; }
+  bool empty() const { return total_ == 0; }
+
+  /// Appends a span; empty spans are dropped so span(i) is never empty.
+  void Append(std::span<const Triple> s) {
+    if (s.empty()) return;
+    if (n_ < kInlineSpans) {
+      inline_[n_] = s;
+    } else {
+      overflow_.push_back(s);
+    }
+    ++n_;
+    total_ += s.size();
+  }
+
+ private:
+  std::array<std::span<const Triple>, kInlineSpans> inline_{};
+  std::vector<std::span<const Triple>> overflow_;
+  size_t n_ = 0;
+  size_t total_ = 0;
+};
+
+/// The store. Writes invalidate the touched shard; the first subsequent
+/// read re-sorts that shard only.
 ///
 /// Thread safety: concurrent const reads are safe, including the first read
-/// after a write (the lazy re-sort and the predicate-stats memo are
-/// internally synchronized). Writes (Insert/Erase) must not overlap with
-/// reads or other writes — the alignment pipeline treats a dataset as
-/// immutable while queries are in flight, which is also what a remote
-/// endpoint would guarantee per snapshot.
+/// after a write (per-shard lazy re-sorts and every stats memo are
+/// internally synchronized). Writes (Insert/Erase/bulk load/AttachMapped)
+/// must not overlap with reads or other writes — the alignment pipeline
+/// treats a dataset as immutable while queries are in flight, which is also
+/// what a remote endpoint would guarantee per snapshot.
 class TripleStore {
  public:
-  TripleStore() = default;
+  TripleStore() : TripleStore(StoreOptions()) {}
+  explicit TripleStore(const StoreOptions& options);
 
   // Movable (KnowledgeBase is movable); the caller must not move a store
   // that other threads are reading.
@@ -90,15 +158,15 @@ class TripleStore {
   /// Removes a triple. Returns true iff it was present.
   bool Erase(const Triple& t);
 
-  /// True iff the exact triple is present. O(1).
-  bool Contains(const Triple& t) const { return set_.count(t) > 0; }
+  /// True iff the exact triple is present. O(1) owned; O(log n) mapped.
+  bool Contains(const Triple& t) const;
   bool Contains(TermId s, TermId p, TermId o) const {
     return Contains(Triple(s, p, o));
   }
 
   /// Number of triples.
-  size_t size() const { return set_.size(); }
-  bool empty() const { return set_.empty(); }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
 
   /// All triples matching `pattern`, materialized in index order.
   std::vector<Triple> Match(const TriplePattern& pattern) const;
@@ -106,19 +174,25 @@ class TripleStore {
   /// Number of matches without materializing.
   size_t CountMatches(const TriplePattern& pattern) const;
 
-  /// Streams matches to `fn`; stop early by returning false from `fn`.
-  void ForEachMatch(const TriplePattern& pattern,
-                    const std::function<bool(const Triple&)>& fn) const;
-
-  /// Contiguous index range covering `pattern` — the zero-copy substrate for
-  /// streaming query pipelines. The span is filtered by the chosen index's
-  /// bound *prefix* only; for patterns whose bound positions exceed the
-  /// prefix (e.g. fully-bound 〈s,p,o〉 routed through OSP) callers must
-  /// re-check residual positions, as ForEachMatch does. Valid until the next
-  /// write to the store.
-  std::span<const Triple> MatchRange(const TriplePattern& pattern) const {
-    return Range(pattern);
+  /// Streams matches to `fn` (signature bool(const Triple&)); stop early by
+  /// returning false. A template so the engine's per-row inner loop pays no
+  /// std::function allocation or indirect-call overhead.
+  template <typename Fn>
+  void ForEachMatch(const TriplePattern& pattern, Fn&& fn) const {
+    const auto [lo, hi] = ShardBounds(pattern);
+    for (uint32_t i = lo; i < hi; ++i) {
+      for (const Triple& t : PreparedShardRange(i, pattern)) {
+        if (!pattern.Matches(t)) continue;
+        if (!fn(t)) return;
+      }
+    }
   }
+
+  /// The per-shard index ranges covering `pattern`, in shard order. This is
+  /// the sharded successor of the old single-span MatchRange: concatenating
+  /// the spans yields the full (prefix-filtered) match sequence. Spans are
+  /// valid until the next write to the store.
+  MatchView MatchSpans(const TriplePattern& pattern) const;
 
   /// Distinct objects o with 〈s,p,o〉 in the store.
   std::vector<TermId> Objects(TermId s, TermId p) const;
@@ -132,23 +206,105 @@ class TripleStore {
   /// All distinct predicates present (ascending id order).
   std::vector<TermId> Predicates() const;
 
-  /// Statistics for predicate `p` (zeroes if absent). Memoized; entries are
-  /// keyed off mutation_epoch(), so a stale value can never survive a write.
+  /// Statistics for predicate `p` (zeroes if absent). Memoized per shard and
+  /// keyed off that shard's epoch, so a write to one predicate invalidates
+  /// only its own shard's entries — and a stale value still can never
+  /// survive a write.
   PredicateStats StatsFor(TermId p) const;
 
-  /// Whole-store aggregates (total triples, distinct s/p/o), memoized per
-  /// mutation_epoch() like StatsFor. One O(n) index walk per epoch.
+  /// Whole-store aggregates (total triples, distinct s/p/o). Distinct
+  /// counts merge per-shard sorted aggregates that are memoized per shard
+  /// epoch, so after a write only the touched shard recomputes; the merged
+  /// result is memoized per mutation_epoch(). Values are identical to a
+  /// global-index walk.
   StoreStats GlobalStats() const;
 
-  /// Monotonic write version: bumped on every successful Insert/Erase.
-  /// Derived artifacts (predicate stats, global stats, compiled query plans)
-  /// are keyed off this, so "same epoch" means "same data, same plan".
+  /// Monotonic write version: bumped on every successful Insert/Erase (once
+  /// per bulk-load scope, not per triple — see BulkLoadScope). Derived
+  /// artifacts (predicate stats, global stats, compiled query plans) are
+  /// keyed off this, so "same epoch" means "same data, same plan".
   uint64_t mutation_epoch() const {
     return epoch_.load(std::memory_order_acquire);
   }
 
-  /// Forces index (re)construction now; useful before timed sections.
-  void EnsureIndexed() const { EnsureSorted(); }
+  /// Forces index (re)construction on every shard; useful before timed
+  /// sections.
+  void EnsureIndexed() const;
+
+  // --- Bulk load -----------------------------------------------------------
+
+  /// Begins a bulk-load scope: `expected` reserves hash capacity up front,
+  /// per-insert epoch bumps and promotion checks are suppressed, and
+  /// EndBulkLoad() bumps the epoch once (if anything changed) and runs one
+  /// promotion pass. Scopes nest; only the outermost End finishes the load.
+  void BeginBulkLoad(size_t expected = 0);
+  void EndBulkLoad();
+
+  /// RAII wrapper for Begin/EndBulkLoad.
+  class BulkLoadScope {
+   public:
+    explicit BulkLoadScope(TripleStore* store, size_t expected = 0)
+        : store_(store) {
+      store_->BeginBulkLoad(expected);
+    }
+    ~BulkLoadScope() { store_->EndBulkLoad(); }
+    BulkLoadScope(const BulkLoadScope&) = delete;
+    BulkLoadScope& operator=(const BulkLoadScope&) = delete;
+
+   private:
+    TripleStore* store_;
+  };
+
+  /// Reserves hash-set capacity for `n` triples.
+  void Reserve(size_t n);
+
+  // --- Snapshot plumbing (src/rdf/store_snapshot.h) ------------------------
+
+  /// One shard's three sorted segments inside a mapped snapshot.
+  struct MappedShardSegments {
+    std::span<const Triple> spo;
+    std::span<const Triple> pos;
+    std::span<const Triple> osp;
+  };
+
+  /// A full mapped layout: options, promoted predicates in group order, and
+  /// one segment triplet per shard (hash shards first, then each group's
+  /// sub-shards). `keepalive` pins the mapping for the store's lifetime.
+  struct MappedLayout {
+    StoreOptions options;
+    std::vector<TermId> group_preds;
+    std::vector<MappedShardSegments> shards;
+    std::shared_ptr<const void> keepalive;
+  };
+
+  /// Replaces this (empty) store's contents with a mapped snapshot layout.
+  /// Segments must be sorted (the snapshot writer guarantees it; the file
+  /// checksum guards integrity). Reads are zero-copy; the first write thaws.
+  Status AttachMapped(MappedLayout layout);
+
+  /// True while shards are backed by a mapped snapshot (no write yet).
+  bool is_mapped() const { return mapped_; }
+
+  // --- Introspection (tests, benches, snapshot writer) ---------------------
+
+  const StoreOptions& options() const { return options_; }
+
+  /// Total shard count: num_hash_shards + promoted groups × split_factor.
+  size_t num_shards() const { return shards_.size(); }
+
+  /// Promoted predicates, in promotion order (= group order).
+  std::vector<TermId> PromotedPredicates() const;
+
+  /// Shard `i`'s sorted segments (after forcing that shard's index build).
+  /// Used by the snapshot writer; spans valid until the next write.
+  MappedShardSegments ShardSegments(size_t i) const;
+
+  /// Number of per-shard / merged stats recomputations since construction —
+  /// a diagnostic for "writes to one predicate no longer invalidate
+  /// everything else" regression tests.
+  uint64_t stats_recomputes() const {
+    return stats_recomputes_.load(std::memory_order_relaxed);
+  }
 
  private:
   // Orderings for the three index vectors.
@@ -174,47 +330,129 @@ class TripleStore {
     }
   };
 
-  void EnsureSorted() const;
+  /// One shard: owned append vectors (or mapped spans), lazy-sort state, its
+  /// own epoch, and epoch-keyed memos. Heap-allocated so the shard list can
+  /// grow on promotion without moving mutexes/atomics.
+  struct Shard {
+    // Owned storage; empty while `mapped`. Mutable (with the views below)
+    // because the lazy re-sort runs on the const read path.
+    mutable std::vector<Triple> spo, pos, osp;
+    // Read views: the owned vectors after the last sort, or mmap segments.
+    // Refreshed under `mu` before `dirty` is released, so any reader that
+    // observed dirty == false sees current views.
+    mutable std::span<const Triple> spo_v, pos_v, osp_v;
+    bool mapped = false;
 
-  /// Contiguous index range for `pattern` (after EnsureSorted).
-  std::span<const Triple> Range(const TriplePattern& pattern) const;
+    mutable std::mutex mu;
+    mutable std::atomic<bool> dirty{false};
+    /// Per-shard write version; memos below are keyed off it.
+    std::atomic<uint64_t> epoch{0};
 
-  void MoveFrom(TripleStore&& other) {
-    std::scoped_lock lock(lazy_mu_, other.lazy_mu_);
-    set_ = std::move(other.set_);
-    spo_ = std::move(other.spo_);
-    pos_ = std::move(other.pos_);
-    osp_ = std::move(other.osp_);
-    stats_cache_ = std::move(other.stats_cache_);
-    stats_cache_epoch_ = other.stats_cache_epoch_;
-    global_stats_ = other.global_stats_;
-    global_stats_epoch_ = other.global_stats_epoch_;
-    global_stats_valid_ = other.global_stats_valid_;
-    epoch_.store(other.epoch_.load(std::memory_order_relaxed),
-                 std::memory_order_relaxed);
-    dirty_.store(other.dirty_.load(std::memory_order_relaxed),
-                 std::memory_order_relaxed);
+    /// Predicate-stats memo for predicates living in this shard. Guarded by
+    /// `mu`; valid only while `stats_epoch` matches `epoch`.
+    mutable std::unordered_map<TermId, PredicateStats> stats;
+    mutable uint64_t stats_epoch = 0;
+
+    /// Sorted distinct subject/object lists for GlobalStats merging.
+    /// Guarded by `mu`; valid only while `agg_epoch` matches `epoch`.
+    mutable std::vector<TermId> agg_subjects, agg_objects;
+    mutable uint64_t agg_epoch = 0;
+    mutable bool agg_valid = false;
+  };
+
+  /// A promoted predicate's dedicated sub-shard group.
+  struct PredGroup {
+    TermId pred = kNullTermId;
+    uint32_t first_shard = 0;  // Index into shards_.
+    uint32_t split = 1;
+
+    /// Merged PredicateStats memo, keyed by the sum of sub-shard epochs
+    /// (strictly increasing under writes). Guarded by `mu`.
+    mutable std::mutex mu;
+    mutable PredicateStats memo;
+    mutable uint64_t memo_key = 0;
+    mutable bool memo_valid = false;
+  };
+
+  /// Routing entry for one predicate present (now or previously) in the
+  /// store. `group < 0` means the predicate lives on the hash ring.
+  struct PredInfo {
+    size_t facts = 0;
+    int32_t group = -1;
+  };
+
+  /// Deterministic id mixer for routing (predicate → hash shard, subject →
+  /// sub-shard). Fixed across platforms so a snapshot written elsewhere
+  /// routes identically.
+  static uint32_t HashId(TermId x) {
+    x ^= x >> 16;
+    x *= 0x7feb352dU;
+    x ^= x >> 15;
+    x *= 0x846ca68bU;
+    x ^= x >> 16;
+    return x;
   }
 
-  std::unordered_set<Triple, TripleHash> set_;
+  /// The shard an exact triple routes to (for writes / Contains).
+  uint32_t ShardFor(const Triple& t) const;
 
-  /// Guards the lazy re-sort and the stats memos so the first read after a
-  /// write is safe from any number of threads; steady-state reads only do
-  /// one relaxed-acquire load on `dirty_`.
-  mutable std::mutex lazy_mu_;
-  mutable std::atomic<bool> dirty_{false};
+  /// Half-open shard interval [lo, hi) a pattern must visit.
+  std::pair<uint32_t, uint32_t> ShardBounds(const TriplePattern& p) const;
+
+  /// Shard i's contiguous range for `pattern`, after ensuring it is sorted.
+  std::span<const Triple> PreparedShardRange(uint32_t i,
+                                             const TriplePattern& p) const;
+  /// Binary-searched range on an already-sorted shard's views.
+  std::span<const Triple> ShardRange(const Shard& sh,
+                                     const TriplePattern& p) const;
+
+  void EnsureShardSorted(const Shard& sh) const;
+
+  /// Appends `t` to shard `i`'s vectors and marks it dirty.
+  void AppendToShard(uint32_t i, const Triple& t);
+
+  /// Moves predicate `p` out of its hash shard into a fresh dedicated
+  /// group. Called from Insert / EndBulkLoad when `facts` crosses the
+  /// threshold.
+  void Promote(TermId p, PredInfo& info);
+
+  /// Materializes mapped shards into owned vectors and rebuilds the hash
+  /// set; called on the first write after AttachMapped.
+  void Thaw();
+
+  /// Per-shard stats for predicate `p` inside shard `i` (memoized).
+  PredicateStats ShardStatsFor(uint32_t i, TermId p) const;
+
+  /// k-way merged stats for a promoted group (memoized on the group).
+  PredicateStats GroupStatsFor(const PredGroup& g) const;
+
+  void MoveFrom(TripleStore&& other);
+
+  StoreOptions options_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::unique_ptr<PredGroup>> groups_;
+  /// Routing map over every predicate ever inserted. Read-only during
+  /// queries; mutated only by writes (the store's write contract).
+  std::unordered_map<TermId, PredInfo> pred_info_;
+  size_t distinct_preds_ = 0;  // |{p : facts(p) > 0}|
+
+  std::unordered_set<Triple, TripleHash> set_;
+  size_t size_ = 0;
+  bool mapped_ = false;
+  std::shared_ptr<const void> mapped_keepalive_;
+
   std::atomic<uint64_t> epoch_{0};
-  mutable std::vector<Triple> spo_;
-  mutable std::vector<Triple> pos_;
-  mutable std::vector<Triple> osp_;
-  /// Predicate-stats memo, valid only while stats_cache_epoch_ matches
-  /// epoch_: the first StatsFor after a write drops every entry, so the
-  /// write path itself never touches the memo. Guarded by lazy_mu_.
-  mutable std::unordered_map<TermId, PredicateStats> stats_cache_;
-  mutable uint64_t stats_cache_epoch_ = 0;
+  /// Bulk-load state: nesting depth and whether the scope changed anything.
+  size_t bulk_depth_ = 0;
+  bool bulk_dirty_ = false;
+
+  /// Guards the merged GlobalStats memo.
+  mutable std::mutex global_mu_;
   mutable StoreStats global_stats_;
   mutable uint64_t global_stats_epoch_ = 0;
   mutable bool global_stats_valid_ = false;
+
+  mutable std::atomic<uint64_t> stats_recomputes_{0};
 };
 
 }  // namespace sofya

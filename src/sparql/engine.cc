@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <future>
 #include <unordered_set>
 #include <utility>
 #include <vector>
 
 #include "util/hash.h"
+#include "util/thread_pool.h"
 
 namespace sofya {
 
@@ -56,14 +58,21 @@ struct RowHash {
 // `emit` is called once per solution (full binding row) and returns false to
 // stop the whole pipeline — this is how LIMIT and ASK terminate early.
 
+// When `driver` is non-null the level-0 cursor iterates that single span
+// instead of probing the store — the parallel scan path injects one chunk
+// of the driver clause's sharded range per task.
 template <typename Emit>
 void RunPlan(const TripleStore& store, const CompiledPlan& plan,
              size_t num_vars, const Dictionary* dict, EvalStats& stats,
-             Emit&& emit) {
+             Emit&& emit, const std::span<const Triple>* driver = nullptr) {
   if (plan.dangling_filter || plan.clauses.empty()) return;
 
+  // A cursor walks the per-shard spans of one MatchView in shard order;
+  // `cur` caches the active span so the inner loop stays branch-cheap.
   struct Cursor {
-    std::span<const Triple> range;
+    MatchView view;
+    std::span<const Triple> cur;
+    size_t span_i = 0;
     size_t pos = 0;
   };
   std::vector<Cursor> cursors(plan.clauses.size());
@@ -82,22 +91,40 @@ void RunPlan(const TripleStore& store, const CompiledPlan& plan,
       }
     };
     ++stats.index_probes;
-    cursors[level].range = store.MatchRange(TriplePattern(
+    Cursor& cursor = cursors[level];
+    cursor.view = store.MatchSpans(TriplePattern(
         resolve(cc.slots[0]), resolve(cc.slots[1]), resolve(cc.slots[2])));
-    cursors[level].pos = 0;
+    cursor.cur = cursor.view.num_spans() > 0 ? cursor.view.span(0)
+                                             : std::span<const Triple>();
+    cursor.span_i = 0;
+    cursor.pos = 0;
   };
 
   const size_t depth = plan.clauses.size();
   size_t level = 0;
-  open(0);
+  if (driver != nullptr) {
+    // The caller already probed the driver range (and charged the probe).
+    cursors[0].cur = *driver;
+  } else {
+    open(0);
+  }
   while (true) {
     Cursor& cursor = cursors[level];
     const CompiledClause& cc = plan.clauses[level];
 
     // Advance this stage to its next accepted triple.
     bool advanced = false;
-    while (cursor.pos < cursor.range.size()) {
-      const Triple& t = cursor.range[cursor.pos++];
+    while (true) {
+      if (cursor.pos >= cursor.cur.size()) {
+        if (cursor.span_i + 1 < cursor.view.num_spans()) {
+          ++cursor.span_i;
+          cursor.cur = cursor.view.span(cursor.span_i);
+          cursor.pos = 0;
+          continue;
+        }
+        break;  // Every span drained.
+      }
+      const Triple& t = cursor.cur[cursor.pos++];
       ++stats.triples_scanned;
       const TermId values[3] = {t.subject, t.predicate, t.object};
       bool accepted = true;
@@ -143,12 +170,48 @@ void RunPlan(const TripleStore& store, const CompiledPlan& plan,
   }
 }
 
+// One parallel-scan task: a slice of the driver clause's sharded range.
+struct ScanChunk {
+  std::span<const Triple> slice;
+};
+
+// Decides whether Select may fan the driver range onto `pool` and, if so,
+// returns the chunk list (in span/offset order — concatenating chunk
+// outputs reproduces the sequential enumeration exactly).
+std::vector<ScanChunk> PlanScanChunks(const MatchView& driver,
+                                      const ThreadPool* pool,
+                                      size_t min_rows, uint64_t limit) {
+  std::vector<ScanChunk> chunks;
+  if (pool == nullptr || pool->num_threads() < 2) return chunks;
+  // LIMIT keeps the early-stop pushdown; a worker thread must not block on
+  // sibling pool tasks (the alignment scheduler may run queries on-pool).
+  if (limit != kNoLimit || pool->OnWorkerThread()) return chunks;
+  if (driver.total() < min_rows) return chunks;
+  const size_t target = std::max<size_t>(
+      min_rows / 2, driver.total() / (pool->num_threads() * 4));
+  for (size_t si = 0; si < driver.num_spans(); ++si) {
+    const std::span<const Triple> span = driver.span(si);
+    for (size_t at = 0; at < span.size(); at += target) {
+      chunks.push_back({span.subspan(at, std::min(target, span.size() - at))});
+    }
+  }
+  if (chunks.size() < 2) chunks.clear();
+  return chunks;
+}
+
 // Shared SELECT consumer: project, DISTINCT-probe, skip OFFSET, stop at
 // LIMIT — streaming, so the pipeline never materializes skipped rows.
+//
+// With a scan pool (and no LIMIT), the driver clause's sharded range is cut
+// into chunks that run the full pipeline concurrently into per-chunk row
+// buffers; chunks are then merged in span order through the very same
+// DISTINCT/OFFSET consumer, so rows AND EvalStats are bit-identical to the
+// sequential path (the work is a partition of the same index ranges).
 StatusOr<ResultSet> RunSelect(const TripleStore& store,
                               const CompiledPlan& plan,
                               const SelectQuery& query, const Dictionary* dict,
-                              EvalStats& stats) {
+                              EvalStats& stats, ThreadPool* pool,
+                              size_t parallel_min_rows) {
   ResultSet result;
   result.var_names.reserve(plan.projection.size());
   for (VarId v : plan.projection) result.var_names.push_back(query.var_name(v));
@@ -158,21 +221,76 @@ StatusOr<ResultSet> RunSelect(const TripleStore& store,
 
   std::unordered_set<Row, RowHash> seen;
   uint64_t skipped = 0;
+  auto consume = [&](Row&& out) {
+    if (query.distinct() && !seen.insert(out).second) {
+      return true;  // Duplicate: keep pulling.
+    }
+    if (skipped < offset) {
+      ++skipped;
+      return true;
+    }
+    result.rows.push_back(std::move(out));
+    return limit == kNoLimit || result.rows.size() < limit;
+  };
+
   if (limit != 0) {
+    std::vector<ScanChunk> chunks;
+    if (pool != nullptr && !plan.dangling_filter && !plan.clauses.empty()) {
+      const CompiledClause& cc = plan.clauses[0];
+      auto resolve = [&](const CompiledSlot& slot) -> TermId {
+        // Level 0 binds from nothing: slots are consts, binds or wildcards.
+        return slot.kind == SlotKind::kConst ? slot.constant : kNullTermId;
+      };
+      const MatchView driver = store.MatchSpans(TriplePattern(
+          resolve(cc.slots[0]), resolve(cc.slots[1]), resolve(cc.slots[2])));
+      chunks = PlanScanChunks(driver, pool, parallel_min_rows, limit);
+      if (!chunks.empty()) {
+        ++stats.index_probes;  // The one driver probe, as in sequential.
+        struct ChunkResult {
+          std::vector<Row> rows;
+          EvalStats stats;
+        };
+        std::vector<std::future<ChunkResult>> futures;
+        futures.reserve(chunks.size());
+        for (const ScanChunk& chunk : chunks) {
+          futures.push_back(pool->Submit([&, chunk] {
+            ChunkResult cr;
+            RunPlan(
+                store, plan, query.num_vars(), dict, cr.stats,
+                [&](const Row& bindings) {
+                  Row out;
+                  out.reserve(plan.projection.size());
+                  for (VarId v : plan.projection) out.push_back(bindings[v]);
+                  cr.rows.push_back(std::move(out));
+                  return true;
+                },
+                &chunk.slice);
+            return cr;
+          }));
+        }
+        bool more = true;
+        for (auto& future : futures) {
+          // Always drain every future (workers borrow spans and the plan);
+          // `more` only gates consumption.
+          ChunkResult cr = future.get();
+          stats.intermediate_rows += cr.stats.intermediate_rows;
+          stats.index_probes += cr.stats.index_probes;
+          stats.triples_scanned += cr.stats.triples_scanned;
+          for (Row& row : cr.rows) {
+            if (!more) break;
+            more = consume(std::move(row));
+          }
+        }
+        stats.result_rows = result.rows.size();
+        return result;
+      }
+    }
     RunPlan(store, plan, query.num_vars(), dict, stats,
             [&](const Row& bindings) {
               Row out;
               out.reserve(plan.projection.size());
               for (VarId v : plan.projection) out.push_back(bindings[v]);
-              if (query.distinct() && !seen.insert(out).second) {
-                return true;  // Duplicate: keep pulling.
-              }
-              if (skipped < offset) {
-                ++skipped;
-                return true;
-              }
-              result.rows.push_back(std::move(out));
-              return limit == kNoLimit || result.rows.size() < limit;
+              return consume(std::move(out));
             });
   }
   stats.result_rows = result.rows.size();
@@ -241,7 +359,8 @@ StatusOr<ResultSet> Engine::Select(const SelectQuery& query,
   bool hit = false;
   const std::shared_ptr<const CompiledPlan> plan = PlanFor(query, &hit);
   (hit ? local.plan_cache_hits : local.plan_cache_misses) = 1;
-  auto result = RunSelect(*store_, *plan, query, dict_, local);
+  auto result = RunSelect(*store_, *plan, query, dict_, local,
+                          options_.scan_pool, options_.parallel_scan_min_rows);
   if (stats != nullptr) *stats = local;
   return result;
 }
@@ -293,7 +412,8 @@ StatusOr<ResultSet> Evaluate(const TripleStore& store,
   SOFYA_RETURN_IF_ERROR(query.Validate());
   EvalStats local;
   const CompiledPlan plan = CompilePlan(query, &store, planner);
-  auto result = RunSelect(store, plan, query, dict, local);
+  auto result = RunSelect(store, plan, query, dict, local,
+                          /*pool=*/nullptr, /*parallel_min_rows=*/0);
   if (stats != nullptr) *stats = local;
   return result;
 }

@@ -43,6 +43,8 @@
 
 namespace sofya {
 
+class ThreadPool;
+
 /// Evaluation metering, reported to the endpoint layer for accounting.
 struct EvalStats {
   uint64_t intermediate_rows = 0;  ///< Rows produced across all join steps.
@@ -62,6 +64,15 @@ class Engine {
     PlannerOptions planner;
     /// Plan cache entries before wholesale eviction; 0 disables caching.
     size_t plan_cache_capacity = 256;
+    /// When set, SELECTs without a LIMIT whose driver clause covers at
+    /// least `parallel_scan_min_rows` index entries fan the driver's
+    /// per-shard spans (chunked) onto this pool and merge per-chunk rows in
+    /// span order — bit-identical rows and EvalStats to the sequential
+    /// path. Not owned; must outlive the engine. Calls arriving on a pool
+    /// worker thread fall back to sequential (no nested blocking).
+    ThreadPool* scan_pool = nullptr;
+    /// Driver-range row threshold below which scans stay sequential.
+    size_t parallel_scan_min_rows = 1 << 15;
   };
 
   Engine(const TripleStore* store, const Dictionary* dict, Options options)

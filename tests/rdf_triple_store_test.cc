@@ -235,5 +235,210 @@ TEST_P(TripleStorePatternProperty, MatchesAgreeWithBruteForce) {
 INSTANTIATE_TEST_SUITE_P(Seeds, TripleStorePatternProperty,
                          ::testing::Values(1ULL, 2ULL, 3ULL, 17ULL, 99ULL));
 
+// ---------------------------------------------------------------------------
+// Sharded-store specifics: promotion, per-shard stat isolation, bulk load.
+// ---------------------------------------------------------------------------
+
+StoreOptions TinyShards() {
+  return StoreOptions{/*num_hash_shards=*/2, /*promote_threshold=*/8,
+                      /*split_factor=*/4};
+}
+
+TEST(ShardedStoreTest, HotPredicateGetsPromoted) {
+  TripleStore store(TinyShards());
+  const size_t base_shards = store.num_shards();
+  for (TermId i = 1; i <= 20; ++i) store.Insert(i, 5, i + 100);
+  EXPECT_EQ(store.PromotedPredicates(), (std::vector<TermId>{5}));
+  EXPECT_EQ(store.num_shards(), base_shards + 4);  // split_factor sub-shards.
+  // Promotion preserves every triple and every pattern shape.
+  EXPECT_EQ(store.CountMatches(TriplePattern(0, 5, 0)), 20u);
+  EXPECT_EQ(store.Match(TriplePattern(3, 5, 0)).size(), 1u);
+  EXPECT_EQ(store.Match(TriplePattern(0, 5, 103)).size(), 1u);
+  EXPECT_EQ(store.StatsFor(5).facts, 20u);
+  EXPECT_EQ(store.StatsFor(5).distinct_subjects, 20u);
+}
+
+TEST(ShardedStoreTest, StatsRecomputeIsolatedPerPredicate) {
+  // Find a predicate pair that lands in different hash shards: write to
+  // one and check the other's memo survives. The shard hash is fixed, so
+  // once a pair separates it separates on every platform.
+  bool found_isolated_pair = false;
+  for (TermId p2 = 2; p2 <= 16 && !found_isolated_pair; ++p2) {
+    TripleStore store(TinyShards());
+    const TermId p1 = 1;
+    store.Insert(1, p1, 100);
+    store.Insert(2, p1, 101);
+    store.Insert(1, p2, 200);
+    (void)store.StatsFor(p1);
+    (void)store.StatsFor(p2);
+    const uint64_t warm = store.stats_recomputes();
+    // Re-reads are memoized: no new recomputes.
+    (void)store.StatsFor(p1);
+    (void)store.StatsFor(p2);
+    ASSERT_EQ(store.stats_recomputes(), warm);
+
+    // Write to p1: its own memo must drop...
+    store.Insert(3, p1, 102);
+    EXPECT_EQ(store.StatsFor(p1).facts, 3u);
+    const uint64_t after_p1 = store.stats_recomputes();
+    EXPECT_GT(after_p1, warm);
+    // ...and if p2 lives in another shard, its memo must survive.
+    EXPECT_EQ(store.StatsFor(p2).facts, 1u);
+    if (store.stats_recomputes() == after_p1) found_isolated_pair = true;
+  }
+  EXPECT_TRUE(found_isolated_pair)
+      << "no predicate pair separated across 2 hash shards";
+}
+
+TEST(ShardedStoreTest, PromotedPredicateWritesDoNotTouchTail) {
+  TripleStore store(TinyShards());
+  for (TermId i = 1; i <= 20; ++i) store.Insert(i, 5, i + 100);  // Promoted.
+  store.Insert(1, 6, 300);  // Tail predicate in a hash shard.
+  ASSERT_EQ(store.PromotedPredicates(), (std::vector<TermId>{5}));
+  (void)store.StatsFor(6);
+  const uint64_t warm = store.stats_recomputes();
+  // Writes to the promoted predicate go to its dedicated sub-shards; the
+  // tail shard's memo must survive.
+  store.Insert(100, 5, 999);
+  EXPECT_EQ(store.StatsFor(6).facts, 1u);
+  EXPECT_EQ(store.stats_recomputes(), warm);
+}
+
+TEST(ShardedStoreTest, EraseOnPromotedPredicate) {
+  TripleStore store(TinyShards());
+  for (TermId i = 1; i <= 20; ++i) store.Insert(i, 5, i + 100);
+  ASSERT_EQ(store.PromotedPredicates(), (std::vector<TermId>{5}));
+  const uint64_t epoch0 = store.mutation_epoch();
+  ASSERT_TRUE(store.Erase(Triple(7, 5, 107)));
+  EXPECT_GT(store.mutation_epoch(), epoch0);
+  EXPECT_EQ(store.size(), 19u);
+  EXPECT_FALSE(store.Contains(7, 5, 107));
+  EXPECT_EQ(store.StatsFor(5).facts, 19u);
+  EXPECT_EQ(store.StatsFor(5).distinct_subjects, 19u);
+  EXPECT_EQ(store.CountMatches(TriplePattern(0, 5, 0)), 19u);
+  EXPECT_EQ(store.GlobalStats().triples, 19u);
+}
+
+TEST(ShardedStoreTest, BulkLoadBumpsEpochOnce) {
+  TripleStore store(TinyShards());
+  store.Insert(1, 2, 3);
+  const uint64_t epoch0 = store.mutation_epoch();
+  {
+    TripleStore::BulkLoadScope bulk(&store, /*expected=*/64);
+    for (TermId i = 1; i <= 30; ++i) {
+      store.Insert(i, 5, i + 100);
+      store.Insert(i, 6, i + 200);
+    }
+    // Inside the scope the epoch is frozen.
+    EXPECT_EQ(store.mutation_epoch(), epoch0);
+  }
+  // One bump for the whole batch, promotion applied at scope end.
+  EXPECT_EQ(store.mutation_epoch(), epoch0 + 1);
+  EXPECT_EQ(store.size(), 61u);
+  auto promoted = store.PromotedPredicates();
+  EXPECT_EQ(promoted, (std::vector<TermId>{5, 6}));
+  EXPECT_EQ(store.StatsFor(5).facts, 30u);
+  EXPECT_EQ(store.CountMatches(TriplePattern(0, 6, 0)), 30u);
+
+  // An empty bulk scope must not bump the epoch at all.
+  const uint64_t epoch1 = store.mutation_epoch();
+  { TripleStore::BulkLoadScope bulk(&store); }
+  EXPECT_EQ(store.mutation_epoch(), epoch1);
+}
+
+TEST(ShardedStoreTest, StatsParityAcrossShardGeometries) {
+  // The same data must yield identical stats regardless of shard layout.
+  Rng rng(42);
+  std::vector<Triple> data;
+  for (int i = 0; i < 500; ++i) {
+    data.emplace_back(static_cast<TermId>(1 + rng.Below(40)),
+                      static_cast<TermId>(1 + rng.Below(5)),
+                      static_cast<TermId>(1 + rng.Below(60)));
+  }
+  TripleStore baseline(StoreOptions{1, /*promote_threshold=*/1u << 30, 1});
+  TripleStore sharded(StoreOptions{4, /*promote_threshold=*/32, 4});
+  for (const Triple& t : data) {
+    const bool a = baseline.Insert(t);
+    const bool b = sharded.Insert(t);
+    EXPECT_EQ(a, b);
+  }
+  ASSERT_EQ(baseline.size(), sharded.size());
+  EXPECT_EQ(baseline.Predicates(), sharded.Predicates());
+  for (TermId p : baseline.Predicates()) {
+    const PredicateStats sa = baseline.StatsFor(p);
+    const PredicateStats sb = sharded.StatsFor(p);
+    EXPECT_EQ(sa.facts, sb.facts) << "pred " << p;
+    EXPECT_EQ(sa.distinct_subjects, sb.distinct_subjects) << "pred " << p;
+    EXPECT_EQ(sa.distinct_objects, sb.distinct_objects) << "pred " << p;
+  }
+  const StoreStats ga = baseline.GlobalStats();
+  const StoreStats gb = sharded.GlobalStats();
+  EXPECT_EQ(ga.triples, gb.triples);
+  EXPECT_EQ(ga.distinct_subjects, gb.distinct_subjects);
+  EXPECT_EQ(ga.distinct_predicates, gb.distinct_predicates);
+  EXPECT_EQ(ga.distinct_objects, gb.distinct_objects);
+
+  // And pattern results agree (sorted: cross-shard order may differ).
+  for (TermId p : baseline.Predicates()) {
+    auto a = baseline.Match(TriplePattern(0, p, 0));
+    auto b = sharded.Match(TriplePattern(0, p, 0));
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    EXPECT_EQ(a, b) << "pred " << p;
+  }
+}
+
+// The randomized property suite again, this time over an aggressively
+// sharded store so promotion and sub-shard routing face the same oracle.
+class ShardedPatternProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ShardedPatternProperty, MatchesAgreeWithBruteForce) {
+  Rng rng(GetParam());
+  TripleStore store(StoreOptions{3, /*promote_threshold=*/24, 2});
+  std::vector<Triple> all;
+  for (int i = 0; i < 400; ++i) {
+    Triple t(static_cast<TermId>(1 + rng.Below(12)),
+             static_cast<TermId>(1 + rng.Below(6)),
+             static_cast<TermId>(1 + rng.Below(12)));
+    if (store.Insert(t)) all.push_back(t);
+  }
+  EXPECT_FALSE(store.PromotedPredicates().empty());
+
+  auto brute = [&](const TriplePattern& p) {
+    std::vector<Triple> out;
+    for (const Triple& t : all) {
+      if (p.Matches(t)) out.push_back(t);
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  };
+
+  for (int trial = 0; trial < 200; ++trial) {
+    TriplePattern p(rng.Bernoulli(0.5) ? static_cast<TermId>(1 + rng.Below(12))
+                                       : kNullTermId,
+                    rng.Bernoulli(0.5) ? static_cast<TermId>(1 + rng.Below(6))
+                                       : kNullTermId,
+                    rng.Bernoulli(0.5) ? static_cast<TermId>(1 + rng.Below(12))
+                                       : kNullTermId);
+    std::vector<Triple> got = store.Match(p);
+    std::sort(got.begin(), got.end());
+    EXPECT_EQ(got, brute(p))
+        << "pattern (" << p.subject << "," << p.predicate << "," << p.object
+        << ")";
+    EXPECT_EQ(store.CountMatches(p), got.size());
+
+    // MatchView spans cover exactly the same entries ForEachMatch visits.
+    size_t via_foreach = 0;
+    store.ForEachMatch(p, [&](const Triple&) {
+      ++via_foreach;
+      return true;
+    });
+    EXPECT_EQ(via_foreach, got.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ShardedPatternProperty,
+                         ::testing::Values(7ULL, 23ULL, 51ULL));
+
 }  // namespace
 }  // namespace sofya

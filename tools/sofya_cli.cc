@@ -15,11 +15,18 @@
 //       relations out across N workers (verdicts are identical to
 //       sequential for any N).
 //
-//   sofya query --kb F --sparql 'SELECT ...'
+//   sofya query --kb F --sparql 'SELECT ...' [--scan-threads N]
 //   sofya query --endpoint-url URL --sparql 'SELECT ...'
 //       Run a SPARQL SELECT (the supported subset) against a local
 //       dataset or a remote SPARQL endpoint (retried with backoff on
-//       transient failures).
+//       transient failures). --scan-threads N fans large driver scans
+//       across a thread pool (results identical to sequential).
+//
+//   sofya snapshot save --kb F --out F.snap
+//   sofya snapshot load --kb F.snap
+//       Freeze a dataset to the binary snapshot format (store_snapshot.h)
+//       or verify/mmap-load one. Everywhere a --kb flag takes a file, a
+//       .snap snapshot is auto-detected and mmap-loaded instead of parsed.
 //
 //   sofya explain --kb F --sparql 'SELECT ...' [--legacy-planner]
 //                 [--execute]
@@ -35,12 +42,14 @@
 
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <map>
 #include <string>
 #include <vector>
 
 #include "core/sofya.h"
+#include "rdf/store_snapshot.h"
 #include "util/timer.h"
 
 namespace sofya {
@@ -57,9 +66,13 @@ int Usage() {
                "[--measure pca|cwa] [--no-ubs] [--sample N] "
                "[--base1 IRI] [--base2 IRI] [--legacy-planner]\n"
                "  sofya query (--kb FILE | --endpoint-url URL) "
-               "--sparql 'SELECT ...' [--legacy-planner]\n"
+               "--sparql 'SELECT ...' [--legacy-planner] [--scan-threads N]\n"
                "  sofya explain --kb FILE --sparql 'SELECT ...' "
-               "[--legacy-planner] [--execute]\n");
+               "[--legacy-planner] [--execute]\n"
+               "  sofya snapshot save --kb FILE --out FILE.snap\n"
+               "  sofya snapshot load --kb FILE.snap\n"
+               "(--kb accepts N-Triples or .snap snapshots everywhere; "
+               "snapshots mmap-load)\n");
   return 2;
 }
 
@@ -80,13 +93,28 @@ std::map<std::string, std::string> ParseFlags(int argc, char** argv,
   return flags;
 }
 
+/// Loads a dataset into `kb`, auto-detecting the format: snapshot files
+/// (rdf/store_snapshot.h magic) mmap-load in O(dictionary), anything else
+/// parses as N-Triples with a file-size-derived capacity reservation.
 Status LoadKb(const std::string& path, KnowledgeBase* kb) {
+  WallTimer timer;
+  if (LooksLikeSnapshot(path)) {
+    SOFYA_ASSIGN_OR_RETURN(SnapshotReport report, kb->LoadSnapshot(path));
+    std::fprintf(stderr, "loaded %s: %zu triples (snapshot, %.0f ms)\n",
+                 path.c_str(), report.triples, timer.ElapsedMillis());
+    return Status::OK();
+  }
   std::ifstream in(path);
   if (!in) return Status::NotFound("cannot open " + path);
-  SOFYA_ASSIGN_OR_RETURN(NTriplesParseReport report,
-                         ParseNTriples(in, &kb->dict(), &kb->store()));
-  std::fprintf(stderr, "loaded %s: %zu triples\n", path.c_str(),
-               report.triples_parsed);
+  std::error_code ec;
+  const uint64_t file_bytes = std::filesystem::file_size(path, ec);
+  const size_t expected =
+      ec ? 0 : static_cast<size_t>(file_bytes / 120);  // ~bytes per triple.
+  SOFYA_ASSIGN_OR_RETURN(
+      NTriplesParseReport report,
+      ParseNTriples(in, &kb->dict(), &kb->store(), expected));
+  std::fprintf(stderr, "loaded %s: %zu triples (%.0f ms)\n", path.c_str(),
+               report.triples_parsed, timer.ElapsedMillis());
   return Status::OK();
 }
 
@@ -386,6 +414,7 @@ int Query(const std::map<std::string, std::string>& flags) {
   // remote path is wrapped in RetryingEndpoint so one 503 does not kill a
   // one-shot query (backoff per retry_policy.h defaults).
   KnowledgeBase kb("kb", "");
+  std::unique_ptr<ThreadPool> scan_pool;  // Must outlive the endpoint.
   std::unique_ptr<LocalEndpoint> local;
   std::unique_ptr<HttpSparqlEndpoint> remote;
   std::unique_ptr<RetryingEndpoint> retrying;
@@ -411,6 +440,13 @@ int Query(const std::map<std::string, std::string>& flags) {
     LocalEndpointOptions local_options;
     if (flags.count("legacy-planner")) {
       local_options.engine.planner.use_statistics = false;
+    }
+    if (flags.count("scan-threads")) {
+      const size_t n = std::stoul(flags.at("scan-threads"));
+      if (n > 1) {
+        scan_pool = std::make_unique<ThreadPool>(n);
+        local_options.engine.scan_pool = scan_pool.get();
+      }
     }
     local = std::make_unique<LocalEndpoint>(&kb, local_options);
     endpoint = local.get();
@@ -489,12 +525,66 @@ int Explain(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
+int Snapshot(const std::string& action,
+             const std::map<std::string, std::string>& flags) {
+  if (!flags.count("kb")) return Usage();
+  if (action == "save") {
+    if (!flags.count("out")) return Usage();
+    KnowledgeBase kb("kb", "");
+    if (Status st = LoadKb(flags.at("kb"), &kb); !st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    WallTimer timer;
+    auto report = kb.SaveSnapshot(flags.at("out"));
+    if (!report.ok()) {
+      std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
+      return 1;
+    }
+    std::printf(
+        "wrote %s: %zu triples, %zu terms, %zu shards (%zu promoted "
+        "groups), %llu bytes, %.0f ms\n",
+        flags.at("out").c_str(), report->triples, report->terms,
+        report->shards, report->groups,
+        static_cast<unsigned long long>(report->bytes),
+        timer.ElapsedMillis());
+    return 0;
+  }
+  if (action == "load") {
+    KnowledgeBase kb("kb", "");
+    WallTimer timer;
+    auto report = kb.LoadSnapshot(flags.at("kb"));
+    if (!report.ok()) {
+      std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
+      return 1;
+    }
+    const StoreStats stats = kb.store().GlobalStats();
+    std::printf(
+        "loaded %s: %zu triples, %zu terms, %zu shards (%zu promoted "
+        "groups), %.0f ms\n"
+        "distinct: %llu subjects, %llu predicates, %llu objects\n",
+        flags.at("kb").c_str(), report->triples, report->terms,
+        report->shards, report->groups, timer.ElapsedMillis(),
+        static_cast<unsigned long long>(stats.distinct_subjects),
+        static_cast<unsigned long long>(stats.distinct_predicates),
+        static_cast<unsigned long long>(stats.distinct_objects));
+    return 0;
+  }
+  std::fprintf(stderr, "unknown snapshot action '%s' (save|load)\n",
+               action.c_str());
+  return 2;
+}
+
 }  // namespace
 }  // namespace sofya
 
 int main(int argc, char** argv) {
   if (argc < 2) return sofya::Usage();
   const std::string command = argv[1];
+  if (command == "snapshot") {
+    if (argc < 3) return sofya::Usage();
+    return sofya::Snapshot(argv[2], sofya::ParseFlags(argc, argv, 3));
+  }
   const auto flags = sofya::ParseFlags(argc, argv, 2);
   if (command == "generate") return sofya::Generate(flags);
   if (command == "align") return sofya::Align(flags);
