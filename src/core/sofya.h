@@ -27,6 +27,7 @@
 #include "endpoint/retry_policy.h"
 #include "endpoint/retrying_endpoint.h"
 #include "endpoint/select_text.h"
+#include "endpoint/sparql_server.h"
 #include "endpoint/throttled_endpoint.h"
 #include "endpoint/tracking_endpoint.h"
 #include "eval/experiment.h"
@@ -51,6 +52,7 @@
 #include "similarity/string_metrics.h"
 #include "net/http.h"
 #include "net/http_client.h"
+#include "net/http_server.h"
 #include "net/http_transport.h"
 #include "net/loopback_transport.h"
 #include "net/socket_transport.h"

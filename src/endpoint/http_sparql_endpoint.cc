@@ -1,7 +1,9 @@
 #include "endpoint/http_sparql_endpoint.h"
 
 #include <future>
+#include <unordered_map>
 #include <utility>
+#include <vector>
 
 #include "net/socket_transport.h"
 #include "sparql/results_json.h"
@@ -9,6 +11,23 @@
 #include "util/timer.h"
 
 namespace sofya {
+namespace {
+
+/// Parses a Retry-After header in its delta-seconds form into milliseconds;
+/// negative when absent or in the (unsupported) HTTP-date form.
+double ParseRetryAfterMs(const std::vector<HttpHeader>& headers) {
+  const std::string* value = FindHeader(headers, "Retry-After");
+  if (value == nullptr || value->empty()) return -1.0;
+  uint64_t seconds = 0;
+  for (char c : *value) {
+    if (c < '0' || c > '9') return -1.0;  // HTTP-date form: ignore.
+    seconds = seconds * 10 + static_cast<uint64_t>(c - '0');
+    if (seconds > 86400) break;  // A day is hint enough.
+  }
+  return static_cast<double>(seconds) * 1000.0;
+}
+
+}  // namespace
 
 StatusOr<std::unique_ptr<HttpSparqlEndpoint>> HttpSparqlEndpoint::Create(
     const std::string& url, HttpSparqlEndpointOptions options) {
@@ -65,13 +84,25 @@ Status HttpSparqlEndpoint::MapHttpStatus(int code,
 StatusOr<std::string> HttpSparqlEndpoint::Fetch(
     const std::string& sparql_text) {
   HttpRequest request;
-  request.method = "POST";
   request.headers = {
       {"Accept", "application/sparql-results+json"},
-      {"Content-Type", "application/sparql-query"},
       {"User-Agent", options_.user_agent},
   };
-  request.body = sparql_text;
+  if (options_.use_get) {
+    // GET binding: the query travels percent-encoded in the target. The
+    // encode side here and the server's ParseQueryString decode side are
+    // the same net/http.h codec, so they cannot drift.
+    const std::string& base = client_.origin().target;
+    request.method = "GET";
+    request.target = base +
+                     (base.find('?') == std::string::npos ? "?" : "&") +
+                     "query=" + FormUrlEncode(sparql_text);
+  } else {
+    request.method = "POST";
+    request.headers.push_back(
+        {"Content-Type", "application/sparql-query"});
+    request.body = sparql_text;
+  }
 
   WallTimer timer;
   auto response = client_.RoundTrip(request);
@@ -105,6 +136,12 @@ StatusOr<std::string> HttpSparqlEndpoint::Fetch(
     if (mapped.IsUnavailable()) {
       std::lock_guard<std::mutex> lock(stats_mu_);
       ++stats_.failures_injected;
+    }
+    // A Retry-After hint rides the Status so the retry policy can honor
+    // the server's own pacing (RetryOptions::honor_retry_after).
+    const double retry_after_ms = ParseRetryAfterMs(response->headers);
+    if (retry_after_ms >= 0.0) {
+      return mapped.WithRetryAfterMs(retry_after_ms);
     }
     return mapped;
   }
@@ -145,41 +182,79 @@ ThreadPool& HttpSparqlEndpoint::pool() {
 
 SelectBatchResult HttpSparqlEndpoint::SelectMany(
     std::span<const SelectQuery> queries) {
-  if (queries.size() <= 1 || options_.max_connections <= 1) {
-    return Endpoint::SelectMany(queries);  // Sequential default.
+  // A batch is one request envelope (the LocalEndpoint contract): identical
+  // queries inside it go over the wire once and duplicates share the first
+  // occurrence's outcome, failures included. `wire[i]` is the slot a
+  // sub-query's bytes actually travel for, or the twin it copies from.
+  std::unordered_map<std::string, size_t> first_occurrence;
+  first_occurrence.reserve(queries.size());
+  std::vector<size_t> wire(queries.size());
+  std::vector<size_t> unique_slots;
+  unique_slots.reserve(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    auto [it, inserted] = first_occurrence.emplace(queries[i].Fingerprint(), i);
+    wire[i] = it->second;
+    if (inserted) unique_slots.push_back(i);
   }
-  // Fan the batch out over the pool; the HttpClient's bounded connection
-  // pool turns the fan-out into HTTP-level pipelining over at most
-  // max_connections sockets. Each sub-query keeps its own outcome: a dead
-  // connection fails exactly the sub-queries that were in flight on it,
-  // and the answers pipelined over the healthy sockets are delivered — a
-  // recovery layer above re-buys only the casualties.
-  std::vector<std::future<StatusOr<ResultSet>>> futures;
-  futures.reserve(queries.size());
-  for (const SelectQuery& query : queries) {
-    futures.push_back(
-        pool().Submit([this, &query] { return Select(query); }));
-  }
+
   SelectBatchResult batch = SelectBatchResult::Sized(queries.size());
-  for (size_t i = 0; i < futures.size(); ++i) {
-    batch.Set(i, futures[i].get());
+  if (unique_slots.size() <= 1 || options_.max_connections <= 1) {
+    for (size_t slot : unique_slots) batch.Set(slot, Select(queries[slot]));
+  } else {
+    // Fan the deduped batch out over the pool; the HttpClient's bounded
+    // connection pool turns the fan-out into HTTP-level pipelining over at
+    // most max_connections sockets. Each sub-query keeps its own outcome: a
+    // dead connection fails exactly the sub-queries that were in flight on
+    // it, and the answers pipelined over the healthy sockets are delivered —
+    // a recovery layer above re-buys only the casualties.
+    std::vector<std::future<StatusOr<ResultSet>>> futures;
+    futures.reserve(unique_slots.size());
+    for (size_t slot : unique_slots) {
+      futures.push_back(pool().Submit(
+          [this, query = &queries[slot]] { return Select(*query); }));
+    }
+    for (size_t i = 0; i < unique_slots.size(); ++i) {
+      batch.Set(unique_slots[i], futures[i].get());
+    }
+  }
+  for (size_t i = 0; i < queries.size(); ++i) {
+    if (wire[i] != i) batch.CopySlot(wire[i], i);
   }
   return batch;
 }
 
 AskBatchResult HttpSparqlEndpoint::AskMany(
     std::span<const SelectQuery> queries) {
-  if (queries.size() <= 1 || options_.max_connections <= 1) {
-    return Endpoint::AskMany(queries);
+  // Same envelope dedup as SelectMany, keyed by the normalized
+  // AskFingerprint (existence ignores solution modifiers).
+  std::unordered_map<std::string, size_t> first_occurrence;
+  first_occurrence.reserve(queries.size());
+  std::vector<size_t> wire(queries.size());
+  std::vector<size_t> unique_slots;
+  unique_slots.reserve(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    auto [it, inserted] =
+        first_occurrence.emplace(AskFingerprint(queries[i]), i);
+    wire[i] = it->second;
+    if (inserted) unique_slots.push_back(i);
   }
-  std::vector<std::future<StatusOr<bool>>> futures;
-  futures.reserve(queries.size());
-  for (const SelectQuery& query : queries) {
-    futures.push_back(pool().Submit([this, &query] { return Ask(query); }));
-  }
+
   AskBatchResult batch = AskBatchResult::Sized(queries.size());
-  for (size_t i = 0; i < futures.size(); ++i) {
-    batch.Set(i, futures[i].get());
+  if (unique_slots.size() <= 1 || options_.max_connections <= 1) {
+    for (size_t slot : unique_slots) batch.Set(slot, Ask(queries[slot]));
+  } else {
+    std::vector<std::future<StatusOr<bool>>> futures;
+    futures.reserve(unique_slots.size());
+    for (size_t slot : unique_slots) {
+      futures.push_back(
+          pool().Submit([this, query = &queries[slot]] { return Ask(*query); }));
+    }
+    for (size_t i = 0; i < unique_slots.size(); ++i) {
+      batch.Set(unique_slots[i], futures[i].get());
+    }
+  }
+  for (size_t i = 0; i < queries.size(); ++i) {
+    if (wire[i] != i) batch.CopySlot(wire[i], i);
   }
   return batch;
 }

@@ -54,6 +54,12 @@ struct HttpSparqlEndpointOptions {
   size_t max_response_bytes = 64u << 20;
 
   std::string user_agent = "sofya-sparql/1.0";
+
+  /// Use the protocol's GET binding (?query=<percent-encoded>) instead of
+  /// POSTing an application/sparql-query body. POST is the default (no URL
+  /// length limits); GET exercises the other mandated binding and lets
+  /// intermediaries cache.
+  bool use_get = false;
 };
 
 /// The real-protocol endpoint; see file comment.

@@ -23,6 +23,17 @@ double RetryBackoffMs(const RetryOptions& options, int attempt, Rng& rng) {
   return delay;
 }
 
+double RetryBackoffMs(const RetryOptions& options, int attempt, Rng& rng,
+                      const Status& last_failure) {
+  double delay = RetryBackoffMs(options, attempt, rng);
+  if (options.honor_retry_after && last_failure.has_retry_after()) {
+    const double hint = std::min(last_failure.retry_after_ms(),
+                                 std::max(0.0, options.max_retry_after_ms));
+    delay = std::max(delay, hint);
+  }
+  return delay;
+}
+
 void RetrySleep(const RetryOptions& options, double delay_ms) {
   if (delay_ms <= 0.0) return;
   if (options.sleeper) {

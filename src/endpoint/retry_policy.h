@@ -36,6 +36,17 @@ struct RetryOptions {
   /// Jitter seed; 0 draws a nondeterministic seed per retry sequence.
   uint64_t seed = 0;
 
+  /// Honor a server-supplied Retry-After hint riding the failure Status
+  /// (Status::retry_after_ms, attached by HttpSparqlEndpoint from the HTTP
+  /// header): the wait becomes max(computed backoff, hint), so a client
+  /// never re-knocks before the server said it would be ready, and never
+  /// waits *less* than its own escalating schedule demands.
+  bool honor_retry_after = true;
+
+  /// Clamp on the honored hint — a confused (or hostile) server cannot
+  /// stall the pipeline arbitrarily long.
+  double max_retry_after_ms = 30000.0;
+
   /// Sleep override. Tests inject a collector to assert the backoff
   /// schedule without waiting; unset means a real sleep_for.
   std::function<void(double delay_ms)> sleeper;
@@ -44,6 +55,12 @@ struct RetryOptions {
 /// Computes the backoff delay (ms, jitter applied) before re-issue number
 /// `attempt` (1-based). Exposed for tests; `rng` supplies the jitter draw.
 double RetryBackoffMs(const RetryOptions& options, int attempt, Rng& rng);
+
+/// Like above, but also honoring a Retry-After hint on `last_failure` (the
+/// status that triggered this re-issue) per options.honor_retry_after:
+/// returns max(computed backoff, min(hint, max_retry_after_ms)).
+double RetryBackoffMs(const RetryOptions& options, int attempt, Rng& rng,
+                      const Status& last_failure);
 
 /// Waits `delay_ms` via options.sleeper (or a real sleep). No-op for <= 0.
 void RetrySleep(const RetryOptions& options, double delay_ms);
@@ -68,7 +85,8 @@ auto RetryTransient(Fn&& attempt, const RetryOptions& options,
   while (!result.ok() && result.status().IsUnavailable() &&
          attempts < options.max_retries) {
     ++attempts;
-    RetrySleep(options, RetryBackoffMs(options, attempts, rng));
+    RetrySleep(options,
+               RetryBackoffMs(options, attempts, rng, result.status()));
     if (on_retry) on_retry();
     result = attempt();
   }

@@ -1,0 +1,247 @@
+#include "endpoint/sparql_server.h"
+
+#include <cctype>
+#include <cmath>
+#include <utility>
+
+#include "sparql/parser.h"
+#include "sparql/results_json.h"
+#include "util/string_util.h"
+
+namespace sofya {
+namespace {
+
+/// The media type of a Content-Type value: everything before the first ';'
+/// (parameters like charset are irrelevant here), trimmed, lowercased.
+std::string MediaType(std::string_view content_type) {
+  const size_t semi = content_type.find(';');
+  if (semi != std::string_view::npos) {
+    content_type = content_type.substr(0, semi);
+  }
+  while (!content_type.empty() && content_type.front() == ' ') {
+    content_type.remove_prefix(1);
+  }
+  while (!content_type.empty() && content_type.back() == ' ') {
+    content_type.remove_suffix(1);
+  }
+  std::string lowered(content_type);
+  for (char& c : lowered) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return lowered;
+}
+
+/// Admission key for a peer: the IP of an "ip:port" address (every request
+/// from one host counts against one bucket regardless of its ephemeral
+/// port), or the whole string for loopback labels without a port.
+std::string ClientKey(const HttpServerClient& client) {
+  const size_t colon = client.address.rfind(':');
+  return colon == std::string::npos ? client.address
+                                    : client.address.substr(0, colon);
+}
+
+HttpResponse PlainError(int status_code, const char* reason,
+                        std::string body) {
+  HttpResponse response;
+  response.status_code = status_code;
+  response.reason = reason;
+  response.headers = {{"Content-Type", "text/plain"}};
+  response.body = std::move(body) + "\n";
+  return response;
+}
+
+}  // namespace
+
+SparqlServer::SparqlServer(KnowledgeBase* kb, SparqlServerOptions options)
+    : options_(std::move(options)) {
+  if (options_.scan_threads > 0) {
+    scan_pool_ = std::make_unique<ThreadPool>(options_.scan_threads);
+    options_.local.engine.scan_pool = scan_pool_.get();
+  }
+  local_ = std::make_unique<LocalEndpoint>(kb, options_.local);
+}
+
+HttpServer::Handler SparqlServer::HttpHandler() {
+  return [this](const HttpRequest& request, const HttpServerClient& client) {
+    return Handle(request, client);
+  };
+}
+
+LoopbackTransport::Handler SparqlServer::LoopbackHandler(
+    std::string client_label) {
+  return [this, client = HttpServerClient{std::move(client_label), 0}](
+             const HttpRequest& request) { return Handle(request, client); };
+}
+
+HttpResponse SparqlServer::Handle(const HttpRequest& request,
+                                  const HttpServerClient& client) {
+  requests_received_.fetch_add(1, std::memory_order_relaxed);
+
+  std::string_view path, query_string;
+  SplitTarget(request.target, &path, &query_string);
+  if (path != options_.service_path) {
+    return PlainError(404, "Not Found",
+                      "no such resource (the query endpoint is " +
+                          options_.service_path + ")");
+  }
+
+  if (request.method == "GET") {
+    auto params = ParseQueryString(query_string);
+    if (!params.ok()) {
+      return PlainError(400, "Bad Request", params.status().ToString());
+    }
+    for (const QueryParam& param : *params) {
+      if (param.key == "query") return HandleQuery(param.value, client);
+    }
+    return PlainError(400, "Bad Request", "missing 'query' parameter");
+  }
+
+  if (request.method == "POST") {
+    const std::string* content_type =
+        FindHeader(request.headers, "Content-Type");
+    const std::string media =
+        content_type == nullptr ? "" : MediaType(*content_type);
+    if (media == "application/sparql-query") {
+      return HandleQuery(request.body, client);
+    }
+    if (media == "application/x-www-form-urlencoded") {
+      auto params = ParseQueryString(request.body);
+      if (!params.ok()) {
+        return PlainError(400, "Bad Request", params.status().ToString());
+      }
+      for (const QueryParam& param : *params) {
+        if (param.key == "query") return HandleQuery(param.value, client);
+      }
+      return PlainError(400, "Bad Request", "missing 'query' form field");
+    }
+    return PlainError(
+        415, "Unsupported Media Type",
+        "use application/sparql-query or application/x-www-form-urlencoded");
+  }
+
+  HttpResponse response = PlainError(405, "Method Not Allowed",
+                                     "the query operation is GET or POST");
+  response.headers.push_back({"Allow", "GET, POST"});
+  return response;
+}
+
+/// RAII admission ticket. Construction decides (under the server's mutex)
+/// whether this query may run; destruction returns the in-flight slots.
+struct SparqlServer::Admission {
+  SparqlServer* server = nullptr;
+  std::string key;
+  bool admitted = false;
+  int shed_status = 0;  ///< 503 or 429 when !admitted.
+
+  Admission(SparqlServer* s, const HttpServerClient& client)
+      : server(s), key(ClientKey(client)) {
+    const SparqlServerOptions& opt = server->options_;
+    std::lock_guard<std::mutex> lock(server->admission_mu_);
+    if (opt.per_client_query_quota > 0) {
+      auto it = server->served_by_client_.find(key);
+      if (it != server->served_by_client_.end() &&
+          it->second >= opt.per_client_query_quota) {
+        shed_status = 429;
+        return;
+      }
+    }
+    if (opt.max_concurrent > 0 && server->inflight_ >= opt.max_concurrent) {
+      shed_status = 503;
+      return;
+    }
+    size_t& client_inflight = server->inflight_by_client_[key];
+    if (opt.max_concurrent_per_client > 0 &&
+        client_inflight >= opt.max_concurrent_per_client) {
+      shed_status = 503;
+      return;
+    }
+    ++server->inflight_;
+    ++client_inflight;
+    ++server->served_by_client_[key];  // Quota charges admitted queries.
+    admitted = true;
+  }
+
+  ~Admission() {
+    if (!admitted) return;
+    std::lock_guard<std::mutex> lock(server->admission_mu_);
+    --server->inflight_;
+    auto it = server->inflight_by_client_.find(key);
+    if (it != server->inflight_by_client_.end() && --it->second == 0) {
+      server->inflight_by_client_.erase(it);
+    }
+  }
+
+  Admission(const Admission&) = delete;
+  Admission& operator=(const Admission&) = delete;
+};
+
+HttpResponse SparqlServer::HandleQuery(const std::string& query_text,
+                                       const HttpServerClient& client) {
+  Admission ticket(this, client);
+  if (!ticket.admitted) {
+    if (ticket.shed_status == 429) {
+      shed_quota_.fetch_add(1, std::memory_order_relaxed);
+      return ShedResponse(429, "Too Many Requests",
+                          "per-client query quota exhausted");
+    }
+    shed_concurrency_.fetch_add(1, std::memory_order_relaxed);
+    return ShedResponse(503, "Service Unavailable",
+                        "server at concurrency capacity");
+  }
+  if (options_.pre_evaluate_hook) options_.pre_evaluate_hook();
+  HttpResponse response = Evaluate(query_text);
+  if (response.status_code == 200) {
+    queries_answered_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return response;
+}
+
+HttpResponse SparqlServer::Evaluate(const std::string& query_text) {
+  // The production parser only speaks SELECT; an ASK body is evaluated as
+  // `SELECT *` and answered with the boolean document — the same convention
+  // HttpSparqlEndpoint uses when it renders ASK probes.
+  const bool is_ask = StartsWith(query_text, "ASK");
+  const std::string parse_text =
+      is_ask ? "SELECT *" + query_text.substr(3) : query_text;
+  auto query = ParseSelectQuery(
+      parse_text, [this](const Term& t) { return local_->EncodeTerm(t); });
+  if (!query.ok()) {
+    return PlainError(400, "Bad Request", query.status().ToString());
+  }
+
+  HttpResponse response;
+  response.headers = {{"Content-Type", "application/sparql-results+json"}};
+  if (is_ask) {
+    auto result = local_->Ask(*query);
+    if (!result.ok()) {
+      return PlainError(500, "Internal Server Error",
+                        result.status().ToString());
+    }
+    response.body = WriteSparqlAskJson(*result);
+    return response;
+  }
+  auto rows = local_->Select(*query);
+  if (!rows.ok()) {
+    return PlainError(500, "Internal Server Error", rows.status().ToString());
+  }
+  auto body = WriteSparqlResultsJson(
+      *rows, [this](TermId id) { return local_->DecodeTerm(id); });
+  if (!body.ok()) {
+    return PlainError(500, "Internal Server Error", body.status().ToString());
+  }
+  response.body = std::move(*body);
+  return response;
+}
+
+HttpResponse SparqlServer::ShedResponse(int status_code, const char* reason,
+                                        const char* detail) const {
+  HttpResponse response = PlainError(status_code, reason, detail);
+  const long long seconds = static_cast<long long>(
+      std::ceil(options_.retry_after_seconds < 0.0
+                    ? 0.0
+                    : options_.retry_after_seconds));
+  response.headers.push_back({"Retry-After", std::to_string(seconds)});
+  return response;
+}
+
+}  // namespace sofya

@@ -214,11 +214,36 @@ StatusOr<size_t> TryParseHttpRequest(std::string_view data, HttpRequest* out) {
                                          &headers_done));
   if (!headers_done) return size_t{0};
 
+  // Framing guards (RFC 9112 §6.1): this parser only speaks Content-Length
+  // requests, and the smuggling-shaped header combinations must die here,
+  // before any server logic sees the message. Transfer-Encoding alone is
+  // "we do not implement that" (501); Transfer-Encoding next to
+  // Content-Length, or two Content-Length headers that disagree, is a
+  // malformed — possibly hostile — message (400).
+  const bool has_te =
+      FindHeader(request.headers, "Transfer-Encoding") != nullptr;
   uint64_t length = 0;
-  if (const std::string* cl = FindHeader(request.headers, "Content-Length")) {
-    if (!ParseUint64(*cl, &length)) {
+  bool has_length = false;
+  for (const HttpHeader& h : request.headers) {
+    if (!EqualsIgnoreCase(h.name, "Content-Length")) continue;
+    uint64_t parsed = 0;
+    if (!ParseUint64(h.value, &parsed)) {
       return Status::ParseError("http: malformed Content-Length");
     }
+    if (has_length && parsed != length) {
+      return Status::ParseError(
+          "http: conflicting duplicate Content-Length headers");
+    }
+    length = parsed;
+    has_length = true;
+  }
+  if (has_te) {
+    if (has_length) {
+      return Status::ParseError(
+          "http: request carries both Transfer-Encoding and Content-Length");
+    }
+    return Status::Unimplemented(
+        "http: Transfer-Encoding is not supported on requests");
   }
   if (data.size() - body_start < length) return size_t{0};
   request.body = std::string(data.substr(body_start, length));
@@ -559,6 +584,116 @@ StatusOr<ParsedUrl> ParseUrl(std::string_view url) {
   }
   parsed.host = std::string(authority);
   return parsed;
+}
+
+namespace {
+
+constexpr char kHexDigits[] = "0123456789ABCDEF";
+
+bool IsUnreserved(unsigned char c) {
+  return std::isalnum(c) || c == '-' || c == '.' || c == '_' || c == '~';
+}
+
+int HexValue(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+std::string PercentEncodeImpl(std::string_view raw, bool space_as_plus) {
+  std::string out;
+  out.reserve(raw.size());
+  for (const char ch : raw) {
+    const unsigned char c = static_cast<unsigned char>(ch);
+    if (IsUnreserved(c)) {
+      out += ch;
+    } else if (space_as_plus && c == ' ') {
+      out += '+';
+    } else {
+      out += '%';
+      out += kHexDigits[c >> 4];
+      out += kHexDigits[c & 0xF];
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string PercentEncode(std::string_view raw) {
+  return PercentEncodeImpl(raw, /*space_as_plus=*/false);
+}
+
+std::string FormUrlEncode(std::string_view raw) {
+  return PercentEncodeImpl(raw, /*space_as_plus=*/true);
+}
+
+StatusOr<std::string> PercentDecode(std::string_view encoded,
+                                    bool plus_as_space) {
+  std::string out;
+  out.reserve(encoded.size());
+  for (size_t i = 0; i < encoded.size(); ++i) {
+    const char c = encoded[i];
+    if (c == '%') {
+      if (encoded.size() - i < 3) {
+        return Status::ParseError("url: truncated percent escape");
+      }
+      const int hi = HexValue(encoded[i + 1]);
+      const int lo = HexValue(encoded[i + 2]);
+      if (hi < 0 || lo < 0) {
+        return Status::ParseError("url: malformed percent escape '" +
+                                  std::string(encoded.substr(i, 3)) + "'");
+      }
+      out += static_cast<char>((hi << 4) | lo);
+      i += 2;
+    } else if (plus_as_space && c == '+') {
+      out += ' ';
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+StatusOr<std::vector<QueryParam>> ParseQueryString(std::string_view query) {
+  std::vector<QueryParam> params;
+  size_t pos = 0;
+  while (pos <= query.size()) {
+    size_t amp = query.find('&', pos);
+    if (amp == std::string_view::npos) amp = query.size();
+    const std::string_view field = query.substr(pos, amp - pos);
+    pos = amp + 1;
+    if (field.empty()) {
+      if (amp == query.size()) break;
+      continue;
+    }
+    const size_t eq = field.find('=');
+    const std::string_view raw_key =
+        eq == std::string_view::npos ? field : field.substr(0, eq);
+    const std::string_view raw_value =
+        eq == std::string_view::npos ? std::string_view{}
+                                     : field.substr(eq + 1);
+    SOFYA_ASSIGN_OR_RETURN(std::string key,
+                           PercentDecode(raw_key, /*plus_as_space=*/true));
+    SOFYA_ASSIGN_OR_RETURN(std::string value,
+                           PercentDecode(raw_value, /*plus_as_space=*/true));
+    params.push_back(QueryParam{std::move(key), std::move(value)});
+    if (amp == query.size()) break;
+  }
+  return params;
+}
+
+void SplitTarget(std::string_view target, std::string_view* path,
+                 std::string_view* query) {
+  const size_t qmark = target.find('?');
+  if (qmark == std::string_view::npos) {
+    *path = target;
+    *query = {};
+  } else {
+    *path = target.substr(0, qmark);
+    *query = target.substr(qmark + 1);
+  }
 }
 
 }  // namespace sofya

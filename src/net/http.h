@@ -2,11 +2,15 @@
 // and incremental parsing — everything both ends of a connection need.
 //
 // This is deliberately a *message* library, not a client: the same
-// serialize/parse pair drives the real socket client (net/http_client.h)
-// and the in-process loopback server used by tests, so the two cannot
-// disagree about framing. Supported framing: Content-Length bodies, chunked
-// transfer-coding (responses), and read-to-EOF responses. Requests are
-// always Content-Length framed.
+// serialize/parse pair drives the real socket client (net/http_client.h),
+// the epoll server (net/http_server.h), and the in-process loopback used by
+// tests, so no two ends of a connection can disagree about framing.
+// Supported framing: Content-Length bodies, chunked transfer-coding
+// (responses), and read-to-EOF responses. Requests are always
+// Content-Length framed; a request bearing Transfer-Encoding is rejected
+// outright (Unimplemented -> 501) and the smuggling-shaped combinations —
+// Transfer-Encoding together with Content-Length, or conflicting duplicate
+// Content-Length values — are hard parse errors (-> 400), per RFC 9112 §6.
 
 #ifndef SOFYA_NET_HTTP_H_
 #define SOFYA_NET_HTTP_H_
@@ -62,7 +66,10 @@ std::string SerializeHttpResponse(const HttpResponse& response);
 /// Incremental request parse. Returns the number of bytes consumed from the
 /// front of `data` when one complete request was parsed into `*out`, 0 when
 /// more bytes are needed, or an error for a malformed message. Requests are
-/// framed by Content-Length (absent => no body).
+/// framed by Content-Length (absent => no body). Framing guards (see file
+/// comment): Transfer-Encoding on a request is Unimplemented; a request
+/// carrying both Transfer-Encoding and Content-Length, or duplicate
+/// Content-Length headers with conflicting values, is a ParseError.
 StatusOr<size_t> TryParseHttpRequest(std::string_view data, HttpRequest* out);
 
 /// Incremental response parse; same contract as TryParseHttpRequest.
@@ -135,6 +142,46 @@ struct ParsedUrl {
 /// Parses an absolute http:// URL. https yields Unimplemented (point the
 /// client at a plaintext endpoint or a local TLS-terminating proxy).
 StatusOr<ParsedUrl> ParseUrl(std::string_view url);
+
+// ------------------------------------------------------------------------
+// Percent-encoding / application/x-www-form-urlencoded (RFC 3986 §2.1,
+// WHATWG URL). The SPARQL 1.1 Protocol mandates GET ?query=... for the
+// query operation; these helpers are what both the server's target parsing
+// and the client's GET target construction go through, so encode and decode
+// cannot drift. All functions treat bytes as UTF-8-agnostic octets: any
+// byte sequence round-trips encode -> decode unchanged.
+
+/// Percent-encodes `raw` for use as a URI query component: unreserved
+/// characters (ALPHA / DIGIT / "-" / "." / "_" / "~") pass through, every
+/// other octet becomes %XX (uppercase hex).
+std::string PercentEncode(std::string_view raw);
+
+/// Strict percent-decoding. Rejects truncated escapes ("%", "%A") and
+/// non-hex escape digits ("%zz"). `plus_as_space` additionally maps '+' to
+/// ' ' (the form-urlencoded convention); leave it off for path segments.
+StatusOr<std::string> PercentDecode(std::string_view encoded,
+                                    bool plus_as_space = false);
+
+/// Encodes `raw` as one application/x-www-form-urlencoded value: like
+/// PercentEncode, but ' ' becomes '+'.
+std::string FormUrlEncode(std::string_view raw);
+
+/// One decoded key=value pair of a query string / form body.
+struct QueryParam {
+  std::string key;
+  std::string value;
+};
+
+/// Parses an application/x-www-form-urlencoded string ("a=1&b=x%20y") into
+/// decoded pairs, preserving order and duplicates. A field without '=' gets
+/// an empty value. Empty fields ("a=1&&b=2") are skipped. Errors on any
+/// malformed percent escape.
+StatusOr<std::vector<QueryParam>> ParseQueryString(std::string_view query);
+
+/// Splits an origin-form request target into its path and (undecoded) query
+/// string; the query is empty when there is no '?'.
+void SplitTarget(std::string_view target, std::string_view* path,
+                 std::string_view* query);
 
 }  // namespace sofya
 

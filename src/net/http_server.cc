@@ -1,0 +1,363 @@
+#include "net/http_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "util/string_util.h"
+
+namespace sofya {
+namespace {
+
+constexpr size_t kReadChunk = 16384;
+constexpr int kListenBacklog = 128;
+
+std::string PeerString(const sockaddr_in& addr) {
+  char ip[INET_ADDRSTRLEN] = {0};
+  inet_ntop(AF_INET, &addr.sin_addr, ip, sizeof(ip));
+  return StrFormat("%s:%u", ip, static_cast<unsigned>(ntohs(addr.sin_port)));
+}
+
+/// The canned response for a request the framing guards rejected: the parse
+/// status carries the RFC-mandated distinction (Unimplemented -> 501 for
+/// Transfer-Encoding requests, anything else -> 400).
+HttpResponse FramingErrorResponse(const Status& status) {
+  HttpResponse response;
+  if (status.IsUnimplemented()) {
+    response.status_code = 501;
+    response.reason = "Not Implemented";
+  } else {
+    response.status_code = 400;
+    response.reason = "Bad Request";
+  }
+  response.headers = {{"Connection", "close"},
+                      {"Content-Type", "text/plain"}};
+  response.body = status.ToString() + "\n";
+  return response;
+}
+
+}  // namespace
+
+HttpServer::HttpServer(Handler handler, HttpServerOptions options)
+    : handler_(std::move(handler)), options_(std::move(options)) {
+  if (options_.worker_threads == 0) options_.worker_threads = 1;
+}
+
+HttpServer::~HttpServer() { Stop(); }
+
+Status HttpServer::Start() {
+  if (running_.load(std::memory_order_acquire)) {
+    return Status::AlreadyExists("http server already running");
+  }
+  stopping_.store(false, std::memory_order_release);
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                        0);
+  if (listen_fd_ < 0) {
+    return Status::Internal(StrFormat("socket: %s", std::strerror(errno)));
+  }
+  const int enable = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &enable, sizeof(enable));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument("bad bind address '" +
+                                   options_.bind_address + "'");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const Status status = Status::Unavailable(
+        StrFormat("bind %s:%u: %s", options_.bind_address.c_str(),
+                  static_cast<unsigned>(options_.port),
+                  std::strerror(errno)));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  socklen_t addr_len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &addr_len);
+  port_ = ntohs(addr.sin_port);
+  if (::listen(listen_fd_, kListenBacklog) < 0) {
+    const Status status =
+        Status::Unavailable(StrFormat("listen: %s", std::strerror(errno)));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (epoll_fd_ < 0 || wake_fd_ < 0) {
+    Stop();
+    return Status::Internal("epoll/eventfd creation failed");
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = listen_fd_;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
+  ev.data.fd = wake_fd_;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
+
+  workers_ = std::make_unique<ThreadPool>(options_.worker_threads);
+  running_.store(true, std::memory_order_release);
+  io_thread_ = std::thread([this] { EventLoop(); });
+  return Status::OK();
+}
+
+void HttpServer::Stop() {
+  if (!running_.load(std::memory_order_acquire) && !io_thread_.joinable()) {
+    // Start() may have half-initialized fds on failure; fall through to the
+    // cleanup below without a loop to stop.
+  } else {
+    stopping_.store(true, std::memory_order_release);
+    if (wake_fd_ >= 0) {
+      const uint64_t one = 1;
+      [[maybe_unused]] ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+    }
+    if (io_thread_.joinable()) io_thread_.join();
+  }
+  // Drain in-flight handlers before tearing fds down (workers write only to
+  // the completion queue + wake_fd_, both still alive here).
+  workers_.reset();
+  for (auto& [id, conn] : connections_) {
+    if (conn->fd >= 0) ::close(conn->fd);
+  }
+  connections_.clear();
+  fd_to_id_.clear();
+  {
+    std::lock_guard<std::mutex> lock(completions_mu_);
+    completions_.clear();
+  }
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+  listen_fd_ = epoll_fd_ = wake_fd_ = -1;
+  running_.store(false, std::memory_order_release);
+}
+
+void HttpServer::EventLoop() {
+  epoll_event events[64];
+  while (!stopping_.load(std::memory_order_acquire)) {
+    const int n = ::epoll_wait(epoll_fd_, events, 64, -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == listen_fd_) {
+        AcceptPending();
+        continue;
+      }
+      if (fd == wake_fd_) {
+        uint64_t drained = 0;
+        [[maybe_unused]] ssize_t r =
+            ::read(wake_fd_, &drained, sizeof(drained));
+        ApplyCompletions();
+        continue;
+      }
+      auto id_it = fd_to_id_.find(fd);
+      if (id_it == fd_to_id_.end()) continue;
+      Connection* conn = connections_[id_it->second].get();
+      if (events[i].events & (EPOLLHUP | EPOLLERR)) {
+        if (conn->executing) {
+          conn->peer_closed = true;  // Worker still owns a request.
+        } else {
+          CloseConnection(conn);
+        }
+        continue;
+      }
+      if (events[i].events & EPOLLIN) {
+        HandleReadable(conn);
+        // HandleReadable may close; re-resolve before using again.
+        id_it = fd_to_id_.find(fd);
+        if (id_it == fd_to_id_.end()) continue;
+        conn = connections_[id_it->second].get();
+      }
+      if (events[i].events & EPOLLOUT) HandleWritable(conn);
+    }
+  }
+}
+
+void HttpServer::AcceptPending() {
+  while (true) {
+    sockaddr_in peer{};
+    socklen_t peer_len = sizeof(peer);
+    const int fd =
+        ::accept4(listen_fd_, reinterpret_cast<sockaddr*>(&peer), &peer_len,
+                  SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) return;  // EAGAIN (or a transient accept error): done.
+    if (connections_.size() >= options_.max_connections) {
+      ::close(fd);  // Over capacity: refuse at the socket layer.
+      continue;
+    }
+    const int enable = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &enable, sizeof(enable));
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd;
+    conn->id = next_connection_id_++;
+    conn->peer = PeerString(peer);
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev);
+    fd_to_id_[fd] = conn->id;
+    connections_[conn->id] = std::move(conn);
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void HttpServer::HandleReadable(Connection* conn) {
+  char chunk[kReadChunk];
+  while (true) {
+    const ssize_t n = ::recv(conn->fd, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      conn->in.append(chunk, static_cast<size_t>(n));
+      if (conn->in.size() > options_.max_request_bytes) {
+        HttpResponse too_large;
+        too_large.status_code = 413;
+        too_large.reason = "Content Too Large";
+        too_large.headers = {{"Connection", "close"}};
+        FinishResponse(conn, SerializeHttpResponse(too_large),
+                       /*close_after_write=*/true);
+        return;
+      }
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && errno == EINTR) continue;
+    // EOF or hard error.
+    if (conn->executing || !conn->out.empty()) {
+      conn->peer_closed = true;  // Let the in-flight response finish/fail.
+      break;
+    }
+    CloseConnection(conn);
+    return;
+  }
+  PumpConnection(conn);
+}
+
+void HttpServer::PumpConnection(Connection* conn) {
+  if (conn->executing || !conn->out.empty()) return;
+  HttpRequest request;
+  auto consumed = TryParseHttpRequest(conn->in, &request);
+  if (!consumed.ok()) {
+    FinishResponse(conn, SerializeHttpResponse(
+                             FramingErrorResponse(consumed.status())),
+                   /*close_after_write=*/true);
+    return;
+  }
+  if (*consumed == 0) {
+    if (conn->peer_closed) CloseConnection(conn);
+    return;
+  }
+  conn->in.erase(0, *consumed);
+  DispatchRequest(conn, std::move(request));
+}
+
+void HttpServer::DispatchRequest(Connection* conn, HttpRequest request) {
+  conn->executing = true;
+  UpdateEpoll(conn);
+  const bool request_wants_close = WantsClose(request.headers);
+  HttpServerClient client{conn->peer, conn->id};
+  const uint64_t connection_id = conn->id;
+  // From here the worker owns the request; it must not touch the Connection
+  // (the peer can vanish while the handler runs). Results come back through
+  // the completion queue.
+  workers_->Post([this, connection_id, client = std::move(client),
+                  request = std::move(request), request_wants_close] {
+    HttpResponse response = handler_(request, client);
+    const bool close = request_wants_close || WantsClose(response.headers);
+    {
+      std::lock_guard<std::mutex> lock(completions_mu_);
+      completions_.push_back(Completion{
+          connection_id, SerializeHttpResponse(response), close});
+    }
+    const uint64_t one = 1;
+    [[maybe_unused]] ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+  });
+}
+
+void HttpServer::ApplyCompletions() {
+  std::vector<Completion> batch;
+  {
+    std::lock_guard<std::mutex> lock(completions_mu_);
+    batch.swap(completions_);
+  }
+  for (Completion& done : batch) {
+    auto it = connections_.find(done.connection_id);
+    if (it == connections_.end()) continue;  // Peer vanished mid-handler.
+    Connection* conn = it->second.get();
+    conn->executing = false;
+    requests_served_.fetch_add(1, std::memory_order_relaxed);
+    FinishResponse(conn, std::move(done.wire_bytes), done.close_after_write);
+  }
+}
+
+void HttpServer::FinishResponse(Connection* conn, std::string wire_bytes,
+                                bool close_after_write) {
+  conn->out = std::move(wire_bytes);
+  conn->close_after_write = close_after_write;
+  // Optimistic immediate write: most responses fit the socket buffer, so
+  // the common path costs zero extra epoll round trips.
+  HandleWritable(conn);
+}
+
+void HttpServer::HandleWritable(Connection* conn) {
+  while (!conn->out.empty()) {
+    const ssize_t n =
+        ::send(conn->fd, conn->out.data(), conn->out.size(), MSG_NOSIGNAL);
+    if (n > 0) {
+      conn->out.erase(0, static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      UpdateEpoll(conn);  // Wait for EPOLLOUT.
+      return;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    CloseConnection(conn);  // Peer gone: nothing left to deliver.
+    return;
+  }
+  if (conn->close_after_write || conn->peer_closed) {
+    CloseConnection(conn);
+    return;
+  }
+  UpdateEpoll(conn);
+  PumpConnection(conn);  // A pipelined request may already be buffered.
+}
+
+void HttpServer::UpdateEpoll(Connection* conn) {
+  epoll_event ev{};
+  ev.data.fd = conn->fd;
+  if (!conn->out.empty()) {
+    ev.events = EPOLLOUT;
+  } else if (conn->executing) {
+    ev.events = 0;  // Back-pressure: no reads until the response ships.
+  } else {
+    ev.events = EPOLLIN;
+  }
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &ev);
+}
+
+void HttpServer::CloseConnection(Connection* conn) {
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd, nullptr);
+  ::close(conn->fd);
+  fd_to_id_.erase(conn->fd);
+  connections_.erase(conn->id);  // Frees conn; do not touch it after this.
+}
+
+}  // namespace sofya

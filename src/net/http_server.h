@@ -1,0 +1,167 @@
+// HttpServer: a non-blocking epoll accept loop over the HTTP/1.1 message
+// model in net/http.h — the server half of the stack whose client half is
+// net/http_client.h. Both ends share one serialize/parse pair, so a request
+// the client emits is by construction one the server frames correctly, and
+// vice versa.
+//
+// Architecture: one I/O thread runs the epoll loop (accept + non-blocking
+// reads/writes); complete requests are handed to a small worker pool that
+// invokes the handler, and finished responses travel back to the I/O thread
+// through a completion queue + eventfd wake. Per connection, requests are
+// processed strictly one at a time (a response is fully written before the
+// next buffered request is parsed), which keeps HTTP/1.1 response ordering
+// trivially correct; concurrency comes from having many connections.
+//
+// Framing discipline: requests are parsed with TryParseHttpRequest, whose
+// guards reject Transfer-Encoding requests (-> 501) and smuggling-shaped
+// header combinations (-> 400) before any handler sees them. Keep-alive is
+// the default; "Connection: close" on either side ends the connection after
+// the in-flight response drains.
+//
+// Thread safety: Start/Stop are for one controlling thread; the handler is
+// invoked concurrently from worker threads and must be thread-safe.
+
+#ifndef SOFYA_NET_HTTP_SERVER_H_
+#define SOFYA_NET_HTTP_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "net/http.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace sofya {
+
+/// Server knobs.
+struct HttpServerOptions {
+  /// Dotted-quad IPv4 address to bind; "0.0.0.0" listens on all interfaces.
+  std::string bind_address = "127.0.0.1";
+
+  /// TCP port; 0 picks an ephemeral port (read it back via port()).
+  uint16_t port = 0;
+
+  /// Handler-executing worker threads.
+  size_t worker_threads = 4;
+
+  /// Accepted-connection bound; connections beyond it are refused (closed
+  /// immediately) until others drain.
+  size_t max_connections = 256;
+
+  /// Hard cap on one buffered request (head + body); larger requests are
+  /// answered 413 and the connection closed.
+  size_t max_request_bytes = 16u << 20;
+};
+
+/// Who sent the request — the handler's admission-control key.
+struct HttpServerClient {
+  std::string address;     ///< Peer "ip:port" (loopback mode: a label).
+  uint64_t connection_id;  ///< Monotonic per accepted connection.
+};
+
+/// Epoll HTTP/1.1 server; see file comment.
+class HttpServer {
+ public:
+  /// Maps one parsed request to a response. Invoked on worker threads,
+  /// concurrently; must be thread-safe.
+  using Handler =
+      std::function<HttpResponse(const HttpRequest&, const HttpServerClient&)>;
+
+  explicit HttpServer(Handler handler, HttpServerOptions options = {});
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Binds, listens, and starts the I/O thread + worker pool. Fails if the
+  /// address/port cannot be bound.
+  Status Start();
+
+  /// Stops accepting, joins the I/O thread, drains workers, closes every
+  /// connection. Idempotent.
+  void Stop();
+
+  /// The bound port (after Start(); useful with options.port == 0).
+  uint16_t port() const { return port_; }
+
+  /// True between a successful Start() and Stop().
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  // Counters (tests / ops).
+  uint64_t connections_accepted() const {
+    return connections_accepted_.load(std::memory_order_relaxed);
+  }
+  uint64_t requests_served() const {
+    return requests_served_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  /// Per-connection state machine. Owned by the I/O thread; workers only
+  /// ever see the request copy and the completion queue.
+  struct Connection {
+    int fd = -1;
+    uint64_t id = 0;
+    std::string peer;      ///< "ip:port".
+    std::string in;        ///< Bytes read, not yet parsed.
+    std::string out;       ///< Serialized response bytes, not yet written.
+    bool executing = false;   ///< A worker owns the current request.
+    bool close_after_write = false;
+    bool peer_closed = false;  ///< EOF seen while a worker was busy.
+  };
+
+  /// A worker's finished response travelling back to the I/O thread.
+  struct Completion {
+    uint64_t connection_id = 0;
+    std::string wire_bytes;
+    bool close_after_write = false;
+  };
+
+  void EventLoop();
+  void AcceptPending();
+  void HandleReadable(Connection* conn);
+  void HandleWritable(Connection* conn);
+  /// Parses (at most) one buffered request and dispatches it; answers
+  /// framing errors directly. No-op while a request is executing.
+  void PumpConnection(Connection* conn);
+  void DispatchRequest(Connection* conn, HttpRequest request);
+  void FinishResponse(Connection* conn, std::string wire_bytes,
+                      bool close_after_write);
+  void ApplyCompletions();
+  void CloseConnection(Connection* conn);
+  void UpdateEpoll(Connection* conn);
+
+  Handler handler_;
+  HttpServerOptions options_;
+
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;  ///< eventfd: completions and Stop() wake the loop.
+  uint16_t port_ = 0;
+
+  std::thread io_thread_;
+  std::unique_ptr<ThreadPool> workers_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+
+  // I/O-thread-only state.
+  std::unordered_map<uint64_t, std::unique_ptr<Connection>> connections_;
+  std::unordered_map<int, uint64_t> fd_to_id_;
+  uint64_t next_connection_id_ = 1;
+
+  std::mutex completions_mu_;
+  std::vector<Completion> completions_;  // Guarded by completions_mu_.
+
+  std::atomic<uint64_t> connections_accepted_{0};
+  std::atomic<uint64_t> requests_served_{0};
+};
+
+}  // namespace sofya
+
+#endif  // SOFYA_NET_HTTP_SERVER_H_

@@ -48,7 +48,9 @@ Status Status::WithContext(std::string_view context) const {
   std::string msg(context);
   msg += ": ";
   msg += message_;
-  return Status(code_, std::move(msg));
+  Status out(code_, std::move(msg));
+  out.retry_after_ms_ = retry_after_ms_;
+  return out;
 }
 
 std::ostream& operator<<(std::ostream& os, const Status& status) {

@@ -108,7 +108,24 @@ class Status {
   std::string ToString() const;
 
   /// Appends context in front of the existing message (no-op on OK).
+  /// Payload hints (retry_after_ms) are preserved.
   Status WithContext(std::string_view context) const;
+
+  /// Attaches a server-provided retry hint (HTTP Retry-After) to an error.
+  /// The hint rides the Status through decorator layers so the retry policy
+  /// can honor the server's own pacing instead of its blind exponential
+  /// schedule. No-op on OK.
+  Status WithRetryAfterMs(double delay_ms) const {
+    Status out = *this;
+    if (!out.ok() && delay_ms >= 0.0) out.retry_after_ms_ = delay_ms;
+    return out;
+  }
+
+  /// True when a server supplied a retry pacing hint with this error.
+  bool has_retry_after() const { return retry_after_ms_ >= 0.0; }
+
+  /// The hint in milliseconds; only meaningful when has_retry_after().
+  double retry_after_ms() const { return retry_after_ms_; }
 
   friend bool operator==(const Status& a, const Status& b) {
     return a.code_ == b.code_ && a.message_ == b.message_;
@@ -117,6 +134,7 @@ class Status {
  private:
   StatusCode code_;
   std::string message_;
+  double retry_after_ms_ = -1.0;  ///< Negative: no hint attached.
 };
 
 std::ostream& operator<<(std::ostream& os, const Status& status);

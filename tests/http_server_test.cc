@@ -1,0 +1,230 @@
+// HttpServer over real sockets: round trips through the production
+// SocketTransport + HttpClient stack (both ends of the wire are our own
+// serialize/parse pair), keep-alive reuse, concurrent clients, framing
+// rejections, and overload/shutdown behavior.
+
+#include "net/http_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/http.h"
+#include "net/http_client.h"
+#include "net/socket_transport.h"
+
+namespace sofya {
+namespace {
+
+/// Handler echoing the request line + body (proves the handler saw the
+/// parsed request, not raw bytes).
+HttpResponse EchoHandler(const HttpRequest& request,
+                         const HttpServerClient& client) {
+  HttpResponse response;
+  response.headers = {{"Content-Type", "text/plain"},
+                      {"X-Client", client.address}};
+  response.body = request.method + " " + request.target + "\n" + request.body;
+  return response;
+}
+
+/// Writes raw bytes to the server and reads until the peer closes — the
+/// shape of every framing-rejection exchange (the server answers and
+/// closes). Returns the raw response bytes.
+std::string RawExchange(uint16_t port, const std::string& wire_bytes) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  EXPECT_EQ(::send(fd, wire_bytes.data(), wire_bytes.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(wire_bytes.size()));
+  std::string received;
+  char chunk[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, chunk, sizeof(chunk), 0)) > 0) {
+    received.append(chunk, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return received;
+}
+
+/// A started echo server on an ephemeral port + a pooled client bound to it.
+class HttpServerTest : public ::testing::Test {
+ protected:
+  void StartServer(HttpServerOptions options = {}) {
+    server_ = std::make_unique<HttpServer>(EchoHandler, options);
+    ASSERT_TRUE(server_->Start().ok());
+    ASSERT_NE(server_->port(), 0);
+  }
+
+  std::unique_ptr<HttpClient> MakeClient(size_t max_connections = 2) {
+    HttpClientOptions options;
+    options.max_connections = max_connections;
+    auto url = ParseUrl("http://127.0.0.1:" +
+                        std::to_string(server_->port()) + "/echo");
+    return std::make_unique<HttpClient>(&transport_, std::move(*url),
+                                        options);
+  }
+
+  SocketTransport transport_;
+  std::unique_ptr<HttpServer> server_;
+};
+
+TEST_F(HttpServerTest, RoundTripOverRealSocket) {
+  StartServer();
+  auto client = MakeClient();
+  HttpRequest request;
+  request.method = "POST";
+  request.body = "hello server";
+  auto response = client->RoundTrip(request);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->status_code, 200);
+  EXPECT_EQ(response->body, "POST /echo\nhello server");
+  // The handler saw a real peer address.
+  const std::string* peer = FindHeader(response->headers, "X-Client");
+  ASSERT_NE(peer, nullptr);
+  EXPECT_EQ(peer->rfind("127.0.0.1:", 0), 0u) << *peer;
+  EXPECT_EQ(server_->requests_served(), 1u);
+}
+
+TEST_F(HttpServerTest, KeepAliveReusesOneConnection) {
+  StartServer();
+  auto client = MakeClient();
+  for (int i = 0; i < 5; ++i) {
+    HttpRequest request;
+    request.body = "req " + std::to_string(i);
+    auto response = client->RoundTrip(request);
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    EXPECT_EQ(response->body, "POST /echo\nreq " + std::to_string(i));
+  }
+  EXPECT_EQ(server_->requests_served(), 5u);
+  EXPECT_EQ(server_->connections_accepted(), 1u);  // Keep-alive held.
+}
+
+TEST_F(HttpServerTest, ConnectionCloseIsHonored) {
+  StartServer();
+  const std::string raw =
+      "GET /bye HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n";
+  const std::string response = RawExchange(server_->port(), raw);
+  // A full response arrived AND the server closed (RawExchange read EOF).
+  EXPECT_NE(response.find("HTTP/1.1 200"), std::string::npos) << response;
+  EXPECT_NE(response.find("GET /bye"), std::string::npos);
+}
+
+TEST_F(HttpServerTest, ConcurrentClientsAllComplete) {
+  StartServer();
+  constexpr int kThreads = 8;
+  constexpr int kRequestsEach = 20;
+  std::atomic<int> completed{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([this, t, &completed] {
+      auto client = MakeClient(/*max_connections=*/1);
+      for (int i = 0; i < kRequestsEach; ++i) {
+        HttpRequest request;
+        request.body = std::to_string(t) + ":" + std::to_string(i);
+        auto response = client->RoundTrip(request);
+        if (response.ok() &&
+            response->body == "POST /echo\n" + request.body) {
+          completed.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(completed.load(), kThreads * kRequestsEach);
+  EXPECT_EQ(server_->requests_served(),
+            static_cast<uint64_t>(kThreads * kRequestsEach));
+}
+
+TEST_F(HttpServerTest, TransferEncodingRequestGets501) {
+  StartServer();
+  const std::string response = RawExchange(
+      server_->port(),
+      "POST /echo HTTP/1.1\r\nHost: t\r\n"
+      "Transfer-Encoding: chunked\r\n\r\n0\r\n\r\n");
+  EXPECT_NE(response.find("HTTP/1.1 501"), std::string::npos) << response;
+}
+
+TEST_F(HttpServerTest, SmugglingShapedRequestsGet400) {
+  StartServer();
+  const std::string te_cl = RawExchange(
+      server_->port(),
+      "POST /echo HTTP/1.1\r\nHost: t\r\nTransfer-Encoding: chunked\r\n"
+      "Content-Length: 4\r\n\r\nbody");
+  EXPECT_NE(te_cl.find("HTTP/1.1 400"), std::string::npos) << te_cl;
+
+  const std::string dup_cl = RawExchange(
+      server_->port(),
+      "POST /echo HTTP/1.1\r\nHost: t\r\nContent-Length: 4\r\n"
+      "Content-Length: 11\r\n\r\nbody");
+  EXPECT_NE(dup_cl.find("HTTP/1.1 400"), std::string::npos) << dup_cl;
+}
+
+TEST_F(HttpServerTest, OversizedRequestGets413) {
+  HttpServerOptions options;
+  options.max_request_bytes = 512;
+  StartServer(options);
+  HttpRequest request;
+  request.body.assign(4096, 'x');
+  request.headers.push_back({"Host", "t"});
+  const std::string response =
+      RawExchange(server_->port(), SerializeHttpRequest(request));
+  EXPECT_NE(response.find("HTTP/1.1 413"), std::string::npos) << response;
+}
+
+TEST_F(HttpServerTest, PipelinedRequestsAnswerInOrder) {
+  StartServer();
+  // Two requests in one write; responses must come back in order on the
+  // same connection (strict one-at-a-time per connection).
+  HttpRequest first, second;
+  first.headers.push_back({"Host", "t"});
+  first.body = "one";
+  second.headers.push_back({"Host", "t"});
+  second.body = "two";
+  second.headers.push_back({"Connection", "close"});
+  const std::string wire =
+      SerializeHttpRequest(first) + SerializeHttpRequest(second);
+  const std::string response = RawExchange(server_->port(), wire);
+  const size_t pos_one = response.find("POST /\none");
+  const size_t pos_two = response.find("POST /\ntwo");
+  EXPECT_NE(pos_one, std::string::npos) << response;
+  EXPECT_NE(pos_two, std::string::npos) << response;
+  EXPECT_LT(pos_one, pos_two);
+  EXPECT_EQ(server_->requests_served(), 2u);
+}
+
+TEST_F(HttpServerTest, StopIsIdempotentAndRestartable) {
+  StartServer();
+  const uint16_t old_port = server_->port();
+  EXPECT_TRUE(server_->running());
+  server_->Stop();
+  EXPECT_FALSE(server_->running());
+  server_->Stop();  // Idempotent.
+
+  // A fresh Start() binds again (ephemeral port may differ).
+  ASSERT_TRUE(server_->Start().ok());
+  EXPECT_TRUE(server_->running());
+  auto client = MakeClient();
+  HttpRequest request;
+  request.body = "after restart";
+  auto response = client->RoundTrip(request);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->body, "POST /echo\nafter restart");
+  (void)old_port;
+}
+
+}  // namespace
+}  // namespace sofya

@@ -110,6 +110,43 @@ TEST_F(HttpSparqlEndpointTest, AskShipsOneBooleanNoRows) {
   EXPECT_EQ(queries[0].rfind("ASK", 0), 0u) << queries[0];
 }
 
+TEST_F(HttpSparqlEndpointTest, RetryAfterHeaderDrivesTheHonoredDelay) {
+  // The server sheds two requests with 503 + "Retry-After: 3". The hint
+  // must ride the Status into the retry policy: both waits are the
+  // server's 3000 ms, not the client's own 5/10 ms schedule.
+  server_->FailNextRequests(2, 503, /*retry_after_s=*/3);
+  std::vector<double> delays;
+  RetryOptions retry;
+  retry.max_retries = 3;
+  retry.initial_backoff_ms = 5.0;
+  retry.jitter = 0.0;
+  retry.sleeper = [&delays](double ms) { delays.push_back(ms); };
+  RetryingEndpoint ep(endpoint_.get(), retry);
+
+  auto result = ep.Select(queries::FactsOfPredicate(ClientP()));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->rows.size(), 10u);
+  ASSERT_EQ(delays.size(), 2u);
+  EXPECT_DOUBLE_EQ(delays[0], 3000.0);
+  EXPECT_DOUBLE_EQ(delays[1], 3000.0);
+}
+
+TEST_F(HttpSparqlEndpointTest, OmittedRetryAfterFallsBackToOwnSchedule) {
+  server_->FailNextRequests(2, 503, /*retry_after_s=*/-1);  // No header.
+  std::vector<double> delays;
+  RetryOptions retry;
+  retry.max_retries = 3;
+  retry.initial_backoff_ms = 5.0;
+  retry.jitter = 0.0;
+  retry.sleeper = [&delays](double ms) { delays.push_back(ms); };
+  RetryingEndpoint ep(endpoint_.get(), retry);
+
+  ASSERT_TRUE(ep.Select(queries::FactsOfPredicate(ClientP())).ok());
+  ASSERT_EQ(delays.size(), 2u);
+  EXPECT_DOUBLE_EQ(delays[0], 5.0);
+  EXPECT_DOUBLE_EQ(delays[1], 10.0);
+}
+
 TEST_F(HttpSparqlEndpointTest, PagedSelectComposesOverHttp) {
   PagedSelectOptions options;
   options.page_size = 3;

@@ -47,10 +47,14 @@ class MockSparqlServer {
   // ------------------------------------------------------------- knobs
 
   /// The next `n` requests fail with `http_status` (default: a 503 burst).
-  void FailNextRequests(int n, int http_status = 503) {
+  /// `retry_after_s` >= 0 attaches a Retry-After hint; the default omits
+  /// the header, so clients fall back to their own backoff schedule.
+  void FailNextRequests(int n, int http_status = 503,
+                        int retry_after_s = -1) {
     std::lock_guard<std::mutex> lock(mu_);
     fail_requests_remaining_ = n;
     fail_status_ = http_status;
+    fail_retry_after_s_ = retry_after_s;
   }
 
   /// Misbehave: every SELECT response carries up to `extra` rows *beyond*
@@ -113,6 +117,7 @@ class MockSparqlServer {
     bool close = false;
     bool kill = false;
     int fail_status = 0;
+    int fail_retry_after_s = -1;
     int redirect_status = 0;
     std::string redirect_location;
     size_t extra_rows = 0;
@@ -123,6 +128,7 @@ class MockSparqlServer {
       if (fail_requests_remaining_ > 0) {
         --fail_requests_remaining_;
         fail_status = fail_status_;
+        fail_retry_after_s = fail_retry_after_s_;
       }
       if (kill_requests_remaining_ > 0) {
         --kill_requests_remaining_;
@@ -156,7 +162,10 @@ class MockSparqlServer {
     if (fail_status != 0) {
       response.status_code = fail_status;
       response.reason = "Service Unavailable";
-      response.headers.push_back({"Retry-After", "1"});
+      if (fail_retry_after_s >= 0) {
+        response.headers.push_back(
+            {"Retry-After", std::to_string(fail_retry_after_s)});
+      }
       response.body = "try later";
       return response;
     }
@@ -228,6 +237,7 @@ class MockSparqlServer {
   mutable std::mutex mu_;
   int fail_requests_remaining_ = 0;
   int fail_status_ = 503;
+  int fail_retry_after_s_ = -1;
   int kill_requests_remaining_ = 0;
   int redirect_requests_remaining_ = 0;
   int redirect_status_ = 0;

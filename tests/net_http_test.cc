@@ -339,5 +339,106 @@ TEST(HttpClientTest, OversizedResponseIsRejected) {
       client.RoundTrip(HttpRequest{}).status().IsResourceExhausted());
 }
 
+// ----------------------------------------------- request framing guards
+
+TEST(HttpFramingGuardTest, TransferEncodingRequestIsUnimplemented) {
+  HttpRequest request;
+  auto result = TryParseHttpRequest(
+      "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+      "0\r\n\r\n",
+      &request);
+  EXPECT_TRUE(result.status().IsUnimplemented()) << result.status();
+}
+
+TEST(HttpFramingGuardTest, TransferEncodingPlusContentLengthIsRejected) {
+  // The classic request-smuggling shape (RFC 9112 §6.1): two framings in
+  // one message, so two parsers can disagree about where it ends.
+  HttpRequest request;
+  auto result = TryParseHttpRequest(
+      "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n"
+      "Content-Length: 4\r\n\r\nbody",
+      &request);
+  EXPECT_TRUE(result.status().IsParseError()) << result.status();
+}
+
+TEST(HttpFramingGuardTest, ConflictingDuplicateContentLengthIsRejected) {
+  HttpRequest request;
+  auto result = TryParseHttpRequest(
+      "POST / HTTP/1.1\r\nContent-Length: 4\r\n"
+      "Content-Length: 11\r\n\r\nbody",
+      &request);
+  EXPECT_TRUE(result.status().IsParseError()) << result.status();
+}
+
+TEST(HttpFramingGuardTest, AgreeingDuplicateContentLengthParses) {
+  // Identical duplicates are legal-enough (RFC 9110 allows collapsing
+  // them); only *conflicting* values are a smuggling vector.
+  HttpRequest request;
+  auto result = TryParseHttpRequest(
+      "POST / HTTP/1.1\r\nContent-Length: 4\r\n"
+      "Content-Length: 4\r\n\r\nbody",
+      &request);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(request.body, "body");
+}
+
+// ---------------------------------------- percent / form-urlencoded codecs
+
+TEST(UrlCodecTest, PercentEncodeCoversReservedAndPassesUnreserved) {
+  EXPECT_EQ(PercentEncode("AZaz09-._~"), "AZaz09-._~");
+  EXPECT_EQ(PercentEncode("a b&c=d?e"), "a%20b%26c%3Dd%3Fe");
+  EXPECT_EQ(PercentEncode("100%"), "100%25");
+}
+
+TEST(UrlCodecTest, FormEncodeUsesPlusForSpace) {
+  EXPECT_EQ(FormUrlEncode("SELECT ?s WHERE"), "SELECT+%3Fs+WHERE");
+}
+
+TEST(UrlCodecTest, DecodeRoundTripsUtf8Bytes) {
+  const std::string raw = "caf\xC3\xA9 \xE2\x82\xAC+?&=%";
+  auto decoded = PercentDecode(PercentEncode(raw));
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(*decoded, raw);
+  auto form = PercentDecode(FormUrlEncode(raw), /*plus_as_space=*/true);
+  ASSERT_TRUE(form.ok()) << form.status();
+  EXPECT_EQ(*form, raw);
+}
+
+TEST(UrlCodecTest, PlusIsSpaceOnlyInFormMode) {
+  EXPECT_EQ(PercentDecode("a+b").value(), "a+b");
+  EXPECT_EQ(PercentDecode("a+b", /*plus_as_space=*/true).value(), "a b");
+}
+
+TEST(UrlCodecTest, TruncatedAndMalformedEscapesAreRejected) {
+  EXPECT_TRUE(PercentDecode("%").status().IsParseError());
+  EXPECT_TRUE(PercentDecode("abc%A").status().IsParseError());
+  EXPECT_TRUE(PercentDecode("%zz").status().IsParseError());
+  EXPECT_TRUE(PercentDecode("ok%2").status().IsParseError());
+}
+
+TEST(UrlCodecTest, ParseQueryStringDecodesOrderedPairs) {
+  auto params = ParseQueryString("query=SELECT+%3Fs&default-graph-uri=&x");
+  ASSERT_TRUE(params.ok()) << params.status();
+  ASSERT_EQ(params->size(), 3u);
+  EXPECT_EQ((*params)[0].key, "query");
+  EXPECT_EQ((*params)[0].value, "SELECT ?s");
+  EXPECT_EQ((*params)[1].key, "default-graph-uri");
+  EXPECT_EQ((*params)[1].value, "");
+  EXPECT_EQ((*params)[2].key, "x");
+  EXPECT_EQ((*params)[2].value, "");
+
+  EXPECT_TRUE(ParseQueryString("a=%GG").status().IsParseError());
+}
+
+TEST(UrlCodecTest, SplitTargetSeparatesPathAndQuery) {
+  std::string_view path, query;
+  SplitTarget("/sparql?query=x&y=1", &path, &query);
+  EXPECT_EQ(path, "/sparql");
+  EXPECT_EQ(query, "query=x&y=1");
+  SplitTarget("/sparql", &path, &query);
+  EXPECT_EQ(path, "/sparql");
+  EXPECT_EQ(query, "");
+}
+
 }  // namespace
 }  // namespace sofya

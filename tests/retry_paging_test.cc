@@ -134,6 +134,45 @@ TEST(RetryPolicyTest, ZeroInitialBackoffDisablesWaiting) {
   EXPECT_DOUBLE_EQ(RetryBackoffMs(options, 3, rng), 0.0);
 }
 
+TEST(RetryPolicyTest, RetryAfterHintFloorsTheBackoff) {
+  RetryOptions options;
+  options.initial_backoff_ms = 10.0;
+  options.jitter = 0.0;
+  Rng rng(1);
+  const Status hinted =
+      Status::Unavailable("503").WithRetryAfterMs(2000.0);
+  // The server's pacing wins while the client's own schedule is below it...
+  EXPECT_DOUBLE_EQ(RetryBackoffMs(options, 1, rng, hinted), 2000.0);
+  // ...and the client's schedule wins once it has escalated past the hint.
+  options.initial_backoff_ms = 4000.0;
+  EXPECT_DOUBLE_EQ(RetryBackoffMs(options, 1, rng, hinted), 4000.0);
+}
+
+TEST(RetryPolicyTest, RetryAfterHintIsClampedAndOptional) {
+  RetryOptions options;
+  options.initial_backoff_ms = 10.0;
+  options.jitter = 0.0;
+  options.max_retry_after_ms = 500.0;
+  Rng rng(1);
+  const Status hinted =
+      Status::Unavailable("503").WithRetryAfterMs(60000.0);
+  // A confused server cannot stall the pipeline past the clamp.
+  EXPECT_DOUBLE_EQ(RetryBackoffMs(options, 1, rng, hinted), 500.0);
+  options.honor_retry_after = false;
+  EXPECT_DOUBLE_EQ(RetryBackoffMs(options, 1, rng, hinted), 10.0);
+  // No hint attached: plain schedule.
+  EXPECT_DOUBLE_EQ(
+      RetryBackoffMs(options, 1, rng, Status::Unavailable("503")), 10.0);
+}
+
+TEST(RetryPolicyTest, RetryAfterHintSurvivesContext) {
+  const Status hinted =
+      Status::Unavailable("503").WithRetryAfterMs(750.0).WithContext("ep");
+  ASSERT_TRUE(hinted.has_retry_after());
+  EXPECT_DOUBLE_EQ(hinted.retry_after_ms(), 750.0);
+  EXPECT_FALSE(Status::OK().WithRetryAfterMs(750.0).has_retry_after());
+}
+
 // ---------------------------------------------------- retry-storm hardening
 
 TEST(RetryStormTest, RetryingEndpointWaitsBetweenReissues) {
@@ -160,6 +199,55 @@ TEST(RetryStormTest, RetryingEndpointWaitsBetweenReissues) {
   ASSERT_EQ(delays.size(), 2u);
   EXPECT_DOUBLE_EQ(delays[0], 10.0);
   EXPECT_DOUBLE_EQ(delays[1], 20.0);
+}
+
+TEST(RetryStormTest, ServerRetryAfterHintPinsTheSchedule) {
+  ScriptedEndpoint inner;
+  int failures_left = 2;
+  inner.select_handler_ = [&](const SelectQuery&) -> StatusOr<ResultSet> {
+    if (failures_left > 0) {
+      --failures_left;
+      // An overloaded server saying "come back in 2 seconds".
+      return Status::Unavailable("503").WithRetryAfterMs(2000.0);
+    }
+    return Rows(1);
+  };
+  std::vector<double> delays;
+  RetryOptions retry;
+  retry.max_retries = 5;
+  retry.initial_backoff_ms = 10.0;
+  retry.jitter = 0.0;
+  retry.sleeper = [&delays](double ms) { delays.push_back(ms); };
+  RetryingEndpoint ep(&inner, retry);
+
+  ASSERT_TRUE(ep.Select(ProbeQuery()).ok());
+  // Both waits are the server's 2000 ms, not the blind 10/20 ms schedule.
+  ASSERT_EQ(delays.size(), 2u);
+  EXPECT_DOUBLE_EQ(delays[0], 2000.0);
+  EXPECT_DOUBLE_EQ(delays[1], 2000.0);
+}
+
+TEST(RetryStormTest, MaxRetryAfterClampBoundsHostileHints) {
+  ScriptedEndpoint inner;
+  int failures_left = 1;
+  inner.select_handler_ = [&](const SelectQuery&) -> StatusOr<ResultSet> {
+    if (failures_left > 0) {
+      --failures_left;
+      return Status::Unavailable("503").WithRetryAfterMs(3600000.0);
+    }
+    return Rows(1);
+  };
+  std::vector<double> delays;
+  RetryOptions retry;
+  retry.initial_backoff_ms = 10.0;
+  retry.jitter = 0.0;
+  retry.max_retry_after_ms = 250.0;
+  retry.sleeper = [&delays](double ms) { delays.push_back(ms); };
+  RetryingEndpoint ep(&inner, retry);
+
+  ASSERT_TRUE(ep.Select(ProbeQuery()).ok());
+  ASSERT_EQ(delays.size(), 1u);
+  EXPECT_DOUBLE_EQ(delays[0], 250.0);  // Hour-long hint, clamped.
 }
 
 TEST(RetryStormTest, PagedSelectRoutesThroughSharedPolicy) {

@@ -28,6 +28,18 @@
 //       or verify/mmap-load one. Everywhere a --kb flag takes a file, a
 //       .snap snapshot is auto-detected and mmap-loaded instead of parsed.
 //
+//   sofya serve --kb F [--port N] [--address A] [--path /sparql]
+//               [--scan-threads N] [--workers N] [--max-concurrent N]
+//               [--per-client-concurrent N] [--quota N] [--retry-after-s S]
+//               [--port-file F]
+//       Serve the dataset as a SPARQL 1.1 Protocol endpoint (GET ?query=
+//       and POST, results as application/sparql-results+json) until
+//       SIGINT/SIGTERM. --port 0 (default) picks an ephemeral port;
+//       --port-file writes the bound port for scripts. The admission knobs
+//       shed overload with 503/429 + Retry-After — exactly what the
+//       client-side retry stack (query --endpoint-url, align against a
+//       URL) backs off on and recovers from.
+//
 //   sofya explain --kb F --sparql 'SELECT ...' [--legacy-planner]
 //                 [--execute]
 //       Show the join-order plan the engine would run the query with:
@@ -40,12 +52,15 @@
 //   --legacy-planner is also accepted by align and query (local datasets):
 //   it switches the in-process engines to the legacy clause ordering.
 
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <map>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/sofya.h"
@@ -67,6 +82,10 @@ int Usage() {
                "[--base1 IRI] [--base2 IRI] [--legacy-planner]\n"
                "  sofya query (--kb FILE | --endpoint-url URL) "
                "--sparql 'SELECT ...' [--legacy-planner] [--scan-threads N]\n"
+               "  sofya serve --kb FILE [--port N] [--address A] "
+               "[--path /sparql] [--scan-threads N] [--workers N] "
+               "[--max-concurrent N] [--per-client-concurrent N] "
+               "[--quota N] [--retry-after-s S] [--port-file FILE]\n"
                "  sofya explain --kb FILE --sparql 'SELECT ...' "
                "[--legacy-planner] [--execute]\n"
                "  sofya snapshot save --kb FILE --out FILE.snap\n"
@@ -525,6 +544,87 @@ int Explain(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
+volatile std::sig_atomic_t g_stop_requested = 0;
+void HandleStopSignal(int) { g_stop_requested = 1; }
+
+int Serve(const std::map<std::string, std::string>& flags) {
+  if (!flags.count("kb")) return Usage();
+  KnowledgeBase kb("kb", "");
+  if (Status st = LoadKb(flags.at("kb"), &kb); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  SparqlServerOptions server_options;
+  if (flags.count("path")) server_options.service_path = flags.at("path");
+  if (flags.count("scan-threads")) {
+    server_options.scan_threads = std::stoul(flags.at("scan-threads"));
+  }
+  if (flags.count("max-concurrent")) {
+    server_options.max_concurrent = std::stoul(flags.at("max-concurrent"));
+  }
+  if (flags.count("per-client-concurrent")) {
+    server_options.max_concurrent_per_client =
+        std::stoul(flags.at("per-client-concurrent"));
+  }
+  if (flags.count("quota")) {
+    server_options.per_client_query_quota = std::stoull(flags.at("quota"));
+  }
+  if (flags.count("retry-after-s")) {
+    server_options.retry_after_seconds = std::stod(flags.at("retry-after-s"));
+  }
+  if (flags.count("legacy-planner")) {
+    server_options.local.engine.planner.use_statistics = false;
+  }
+  SparqlServer server(&kb, server_options);
+
+  HttpServerOptions http_options;
+  if (flags.count("port")) {
+    http_options.port = static_cast<uint16_t>(std::stoul(flags.at("port")));
+  }
+  if (flags.count("address")) http_options.bind_address = flags.at("address");
+  if (flags.count("workers")) {
+    http_options.worker_threads = std::stoul(flags.at("workers"));
+  }
+  HttpServer http(server.HttpHandler(), http_options);
+  if (Status st = http.Start(); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("serving %s at http://%s:%u%s\n", flags.at("kb").c_str(),
+              http_options.bind_address.c_str(),
+              static_cast<unsigned>(http.port()),
+              server_options.service_path.c_str());
+  std::fflush(stdout);
+  if (flags.count("port-file")) {
+    // Scripts (the CI smoke) poll this file to learn the ephemeral port.
+    if (Status st = WriteFile(flags.at("port-file"),
+                              std::to_string(http.port()) + "\n");
+        !st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      http.Stop();
+      return 1;
+    }
+  }
+
+  std::signal(SIGINT, HandleStopSignal);
+  std::signal(SIGTERM, HandleStopSignal);
+  while (g_stop_requested == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  std::fprintf(
+      stderr,
+      "shutting down: %llu connections, %llu requests, %llu queries "
+      "answered, %llu shed (503), %llu shed (429)\n",
+      static_cast<unsigned long long>(http.connections_accepted()),
+      static_cast<unsigned long long>(server.requests_received()),
+      static_cast<unsigned long long>(server.queries_answered()),
+      static_cast<unsigned long long>(server.shed_concurrency()),
+      static_cast<unsigned long long>(server.shed_quota()));
+  http.Stop();
+  return 0;
+}
+
 int Snapshot(const std::string& action,
              const std::map<std::string, std::string>& flags) {
   if (!flags.count("kb")) return Usage();
@@ -589,6 +689,7 @@ int main(int argc, char** argv) {
   if (command == "generate") return sofya::Generate(flags);
   if (command == "align") return sofya::Align(flags);
   if (command == "query") return sofya::Query(flags);
+  if (command == "serve") return sofya::Serve(flags);
   if (command == "explain") return sofya::Explain(flags);
   return sofya::Usage();
 }
