@@ -1,15 +1,26 @@
 #include "align/candidate_finder.h"
 
 #include <algorithm>
-#include <map>
-#include <unordered_set>
-
-#include "endpoint/paged_select.h"
-#include "endpoint/query_forms.h"
-#include "util/hash.h"
-#include "util/random.h"
 
 namespace sofya {
+namespace {
+
+/// Folds one source's scored output into the finder's result type. `prior`
+/// is the PARIS-style noisy-or over the sources that scored the relation:
+/// for a single source that collapses to w * score; the composite hands
+/// back an already-combined prior (weight 1).
+std::vector<CandidateRelation> ToCandidates(
+    std::vector<ScoredCandidate> scored, double weight) {
+  std::vector<CandidateRelation> out;
+  out.reserve(scored.size());
+  for (ScoredCandidate& c : scored) {
+    out.push_back(CandidateRelation{std::move(c.relation), c.cooccurrences,
+                                    weight * c.score});
+  }
+  return out;
+}
+
+}  // namespace
 
 CandidateFinder::CandidateFinder(Endpoint* candidate_kb,
                                  Endpoint* reference_kb,
@@ -18,121 +29,39 @@ CandidateFinder::CandidateFinder(Endpoint* candidate_kb,
     : candidate_kb_(candidate_kb),
       reference_kb_(reference_kb),
       to_candidate_(to_candidate),
-      options_(options),
-      literal_matcher_(options.literal_options) {}
+      options_(std::move(options)) {}
 
 StatusOr<std::vector<CandidateRelation>> CandidateFinder::FindCandidates(
     const Term& r) {
-  std::vector<CandidateRelation> result;
-  const TermId r_id = reference_kb_->LookupTerm(r);
-  if (r_id == kNullTermId) return result;
-
-  // Scan + shuffle a window of r facts.
-  PagedSelectOptions page_options;
-  page_options.page_size = options_.page_size;
-  SOFYA_ASSIGN_OR_RETURN(
-      ResultSet window,
-      PagedSelect(reference_kb_,
-                  queries::FactsOfPredicate(r_id, options_.scan_limit),
-                  page_options));
-  if (window.rows.empty()) return result;
-
-  std::vector<size_t> order(window.rows.size());
-  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
-  Rng rng(options_.seed ^
-          Fnv1a(r.lexical().data(), r.lexical().size()));
-  Shuffle(rng, order);
-
-  // Majority kind vote over the window's objects.
-  size_t literal_objects = 0;
-  for (const auto& row : window.rows) {
-    SOFYA_ASSIGN_OR_RETURN(Term obj, reference_kb_->DecodeTerm(row[1]));
-    if (obj.is_literal()) ++literal_objects;
-  }
-  const bool literal_relation = literal_objects * 2 >= window.rows.size();
-
-  // Qualify sampled facts into probe queries. Qualification (sameAs
-  // translation + id lookup) is client-side, so the whole probe set is known
-  // before the endpoint is touched — one batch instead of one query per
-  // sampled fact, which lets the endpoint stack dedup and cache them.
-  struct Probe {
-    bool literal;
-    Term y2;  // Reference object for literal matching.
-  };
-  std::vector<Probe> probes;
-  std::vector<SelectQuery> probe_queries;
-  for (size_t idx : order) {
-    if (probes.size() >= options_.sample_facts) break;
-    const auto& row = window.rows[idx];
-    SOFYA_ASSIGN_OR_RETURN(Term x2, reference_kb_->DecodeTerm(row[0]));
-    SOFYA_ASSIGN_OR_RETURN(Term y2, reference_kb_->DecodeTerm(row[1]));
-
-    auto x1 = to_candidate_->Translate(x2);
-    if (!x1.ok()) continue;
-
-    if (literal_relation) {
-      if (!y2.is_literal()) continue;
-      const TermId x1_id = candidate_kb_->LookupTerm(*x1);
-      if (x1_id == kNullTermId) continue;
-      probes.push_back(Probe{true, y2});
-      probe_queries.push_back(queries::FactsOfSubject(x1_id));
-      continue;
+  switch (options_.source) {
+    case CandidateSourceKind::kSameAs: {
+      SameAsOverlapSource source(candidate_kb_, reference_kb_, to_candidate_,
+                                 options_);
+      SOFYA_ASSIGN_OR_RETURN(std::vector<ScoredCandidate> scored,
+                             source.Discover(r));
+      return ToCandidates(std::move(scored), options_.sameas_weight);
     }
-
-    auto y1 = to_candidate_->Translate(y2);
-    if (!y1.ok()) continue;
-    const TermId x1_id = candidate_kb_->LookupTerm(*x1);
-    const TermId y1_id = candidate_kb_->LookupTerm(*y1);
-    if (x1_id == kNullTermId || y1_id == kNullTermId) continue;
-    probes.push_back(Probe{false, Term()});
-    probe_queries.push_back(queries::PredicatesBetween(x1_id, y1_id));
-  }
-
-  std::map<Term, size_t> counts;  // Ordered: deterministic ties.
-  // Every probe answer is needed to score co-occurrence deterministically,
-  // so a sub-query that still fails after the stack's per-slot recovery
-  // fails the discovery (first error by batch position).
-  SOFYA_ASSIGN_OR_RETURN(
-      std::vector<ResultSet> probe_results,
-      candidate_kb_->SelectMany(probe_queries).IntoValues());
-  for (size_t i = 0; i < probes.size(); ++i) {
-    const ResultSet& rows = probe_results[i];
-    if (probes[i].literal) {
-      std::unordered_set<TermId> credited;
-      for (const auto& fact_row : rows.rows) {
-        SOFYA_ASSIGN_OR_RETURN(Term obj,
-                               candidate_kb_->DecodeTerm(fact_row[1]));
-        if (!obj.is_literal()) continue;
-        if (!literal_matcher_.Matches(obj, probes[i].y2)) continue;
-        if (!credited.insert(fact_row[0]).second) continue;
-        SOFYA_ASSIGN_OR_RETURN(Term predicate,
-                               candidate_kb_->DecodeTerm(fact_row[0]));
-        ++counts[predicate];
-      }
-      continue;
+    case CandidateSourceKind::kLexical: {
+      LexicalIndexSource source(candidate_kb_, options_);
+      SOFYA_ASSIGN_OR_RETURN(std::vector<ScoredCandidate> scored,
+                             source.Discover(r));
+      return ToCandidates(std::move(scored), options_.lexical_weight);
     }
-    for (const auto& p_row : rows.rows) {
-      SOFYA_ASSIGN_OR_RETURN(Term predicate,
-                             candidate_kb_->DecodeTerm(p_row[0]));
-      ++counts[predicate];
+    case CandidateSourceKind::kDistribution: {
+      DistributionSource source(candidate_kb_, reference_kb_, options_);
+      SOFYA_ASSIGN_OR_RETURN(std::vector<ScoredCandidate> scored,
+                             source.Discover(r));
+      return ToCandidates(std::move(scored), options_.distribution_weight);
+    }
+    case CandidateSourceKind::kAuto: {
+      CompositeCandidateSource source(candidate_kb_, reference_kb_,
+                                      to_candidate_, options_);
+      SOFYA_ASSIGN_OR_RETURN(std::vector<ScoredCandidate> scored,
+                             source.Discover(r));
+      return ToCandidates(std::move(scored), /*weight=*/1.0);
     }
   }
-
-  for (const auto& [relation, count] : counts) {
-    if (count < options_.min_cooccurrence) continue;
-    result.push_back(CandidateRelation{relation, count});
-  }
-  std::stable_sort(result.begin(), result.end(),
-                   [](const CandidateRelation& a, const CandidateRelation& b) {
-                     if (a.cooccurrences != b.cooccurrences) {
-                       return a.cooccurrences > b.cooccurrences;
-                     }
-                     return a.relation < b.relation;
-                   });
-  if (result.size() > options_.max_candidates) {
-    result.resize(options_.max_candidates);
-  }
-  return result;
+  return Status::Internal("unknown candidate source kind");
 }
 
 }  // namespace sofya

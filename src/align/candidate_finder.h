@@ -3,47 +3,27 @@
 //
 // Paper, Section 2.1: "Candidate relations r' may be found by sampling
 // r(x,y), then considering all r' such that r'(x,y) for some sample."
-// Concretely: sample r facts from K, translate both ends through sameAs
-// into K', and ask K' which predicates connect the translated pair
-// (SELECT ?p WHERE { <x1> ?p <y1> }). For entity-literal relations the
-// object is matched by string similarity against the translated subject's
-// facts instead.
+// That recipe is now one of several pluggable sources (see
+// align/candidate_source.h): the finder orchestrates whichever source(s)
+// CandidateFinderOptions::source selects — the paper's sameAs-overlap
+// sampler, the MinHash/LSH lexical index, the distribution-profile scorer,
+// or the PARIS-style composite of all three — and folds per-source scores
+// into the `prior` each CandidateRelation carries into the evidence loop.
 
 #ifndef SOFYA_ALIGN_CANDIDATE_FINDER_H_
 #define SOFYA_ALIGN_CANDIDATE_FINDER_H_
 
-#include <cstdint>
 #include <vector>
 
+#include "align/candidate_source.h"
 #include "endpoint/endpoint.h"
 #include "sameas/translator.h"
-#include "similarity/literal_matcher.h"
 #include "util/status.h"
 
 namespace sofya {
 
-/// Candidate discovery configuration.
-struct CandidateFinderOptions {
-  /// Reference facts to probe (after shuffling the scan window).
-  size_t sample_facts = 30;
-  /// Size of the scanned r-fact window.
-  size_t scan_limit = 300;
-  /// Keep at most this many candidates (by descending co-occurrence).
-  size_t max_candidates = 8;
-  /// Require at least this many co-occurring sample pairs.
-  size_t min_cooccurrence = 1;
-  uint64_t seed = 23;
-  size_t page_size = 250;
-  LiteralMatcherOptions literal_options;
-};
-
-/// One discovered candidate.
-struct CandidateRelation {
-  Term relation;            ///< r' in K'.
-  size_t cooccurrences = 0; ///< Sampled r pairs this relation connected.
-};
-
-/// Discovery engine.
+/// Discovery orchestrator. CandidateFinderOptions, CandidateRelation and
+/// the sources themselves live in align/candidate_source.h.
 class CandidateFinder {
  public:
   /// `to_candidate` must translate K terms into K'. Nothing is owned.
@@ -51,8 +31,10 @@ class CandidateFinder {
                   const CrossKbTranslator* to_candidate,
                   CandidateFinderOptions options = {});
 
-  /// Finds candidates for reference relation `r`, ordered by descending
-  /// co-occurrence count (ties broken by IRI for determinism).
+  /// Finds candidates for reference relation `r` via the configured
+  /// source. Under the default kSameAs source the candidate list, its
+  /// order and the queries issued are bit-identical to the pre-refactor
+  /// finder (co-occurrence descending, IRI ties).
   StatusOr<std::vector<CandidateRelation>> FindCandidates(const Term& r);
 
  private:
@@ -60,7 +42,6 @@ class CandidateFinder {
   Endpoint* reference_kb_;   // K.  Not owned.
   const CrossKbTranslator* to_candidate_;  // Not owned.
   CandidateFinderOptions options_;
-  LiteralMatcher literal_matcher_;
 };
 
 }  // namespace sofya

@@ -11,6 +11,7 @@
 
 #include "endpoint/tracking_endpoint.h"
 #include "sampling/simple_sampler.h"
+#include "util/random.h"
 #include "sampling/unbiased_sampler.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
@@ -42,7 +43,21 @@ RelationAligner::RelationAligner(Endpoint* candidate_kb,
       links_(links),
       options_(options),
       to_reference_(links, reference_kb->base_iri()),
-      to_candidate_(links, candidate_kb->base_iri()) {}
+      to_candidate_(links, candidate_kb->base_iri()) {
+  // One lexical-index cache per aligner tree: RelationRun children copy
+  // options_ (shared_ptr and all), so every per-relation view shares the
+  // expensive MinHash index instead of rebuilding it per relation.
+  if (options_.finder.lexical_cache == nullptr) {
+    options_.finder.lexical_cache = std::make_shared<LexicalIndexCache>();
+  }
+}
+
+void ApplyRunSeed(AlignerOptions* options, uint64_t seed) {
+  if (seed == 0) return;
+  SplitMix64 sm(seed);
+  options->finder.seed = sm.Next();
+  options->sampler.seed = sm.Next();
+}
 
 StatusOr<std::vector<CandidateRelation>> RelationAligner::DiscoverPhase(
     const Term& r) {
@@ -56,6 +71,7 @@ StatusOr<CandidateVerdict> RelationAligner::ScorePhase(
   CandidateVerdict verdict;
   verdict.relation = candidate.relation;
   verdict.cooccurrences = candidate.cooccurrences;
+  verdict.prior = candidate.prior;
   verdict.rule.body = candidate.relation;
   verdict.rule.head = r;
 

@@ -54,6 +54,11 @@ struct AlignerOptions {
 struct CandidateVerdict {
   Term relation;  ///< r' in K'.
   size_t cooccurrences = 0;
+  /// PARIS-style discovery prior from the candidate source(s) — how
+  /// strongly the source lattice believed in r' *before* any evidence was
+  /// sampled. Recorded for EXPLAIN-style output; acceptance is still
+  /// decided purely by the sampled confidence.
+  double prior = 0.0;
 
   Rule rule;  ///< r' => r with mined statistics.
   /// conf(measure) ≥ τ on the simple sample.
@@ -129,6 +134,12 @@ enum class AlignSchedule {
   /// giant relation finishes. Kept for comparison benchmarks.
   kRelation,
 };
+
+/// Derives per-component RNG seeds (candidate finder, samplers) from one
+/// run-level seed, so a CLI `--seed N` reproduces an entire run without the
+/// components sharing a stream. `seed == 0` is the "unset" sentinel and
+/// leaves the defaults untouched.
+void ApplyRunSeed(AlignerOptions* options, uint64_t seed);
 
 /// AlignMany configuration.
 struct AlignManyOptions {

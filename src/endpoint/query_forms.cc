@@ -60,6 +60,19 @@ SelectQuery SameAsOf(TermId x, TermId same_as_predicate) {
   return q;
 }
 
+SelectQuery AllPredicates(uint64_t limit, uint64_t offset) {
+  SelectQuery q;
+  const VarId s = q.NewVar("s");
+  const VarId p = q.NewVar("p");
+  const VarId o = q.NewVar("o");
+  q.Where(NodeRef::Variable(s), NodeRef::Variable(p), NodeRef::Variable(o))
+      .Select({p})
+      .Distinct()
+      .Limit(limit)
+      .Offset(offset);
+  return q;
+}
+
 SelectQuery SubjectsWithDisagreeingObjects(TermId p1, TermId p2,
                                            uint64_t limit) {
   SelectQuery q;

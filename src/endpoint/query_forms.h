@@ -34,6 +34,10 @@ SelectQuery PredicatesBetween(TermId s, TermId o);
 /// SELECT ?e WHERE { <x> <sameas> ?e } — cross-KB links of an entity.
 SelectQuery SameAsOf(TermId x, TermId same_as_predicate);
 
+/// SELECT DISTINCT ?p WHERE { ?s ?p ?o } — the predicate inventory
+/// (schema discovery; the lexical candidate index is built from this).
+SelectQuery AllPredicates(uint64_t limit = kNoLimit, uint64_t offset = 0);
+
 /// SELECT ?x ?y1 ?y2 WHERE { ?x <p1> ?y1 . ?x <p2> ?y2 .
 ///                           FILTER(?y1 != ?y2) } [LIMIT n]
 /// The UBS strategy-B probe: subjects where two relations disagree.

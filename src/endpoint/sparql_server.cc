@@ -79,10 +79,23 @@ HttpResponse SparqlServer::Handle(const HttpRequest& request,
 
   std::string_view path, query_string;
   SplitTarget(request.target, &path, &query_string);
+  if (path == options_.status_path) {
+    if (request.method != "GET") {
+      HttpResponse response =
+          PlainError(405, "Method Not Allowed", "status is GET-only");
+      response.headers.push_back({"Allow", "GET"});
+      return response;
+    }
+    HttpResponse response;
+    response.headers = {{"Content-Type", "application/json"}};
+    response.body = StatusJson();
+    return response;
+  }
   if (path != options_.service_path) {
     return PlainError(404, "Not Found",
                       "no such resource (the query endpoint is " +
-                          options_.service_path + ")");
+                          options_.service_path + ", introspection is " +
+                          options_.status_path + ")");
   }
 
   if (request.method == "GET") {
@@ -231,6 +244,52 @@ HttpResponse SparqlServer::Evaluate(const std::string& query_text) {
   }
   response.body = std::move(*body);
   return response;
+}
+
+std::string SparqlServer::StatusJson() {
+  // Snapshot the admission state under its mutex; everything else is
+  // atomics or single reads.
+  size_t inflight;
+  size_t clients_inflight;
+  size_t clients_served;
+  {
+    std::lock_guard<std::mutex> lock(admission_mu_);
+    inflight = inflight_;
+    clients_inflight = inflight_by_client_.size();
+    clients_served = served_by_client_.size();
+  }
+  const KnowledgeBase* kb = local_->kb();
+  const TripleStore& store = kb->store();
+  std::string json = "{";
+  auto field = [&json](const char* key, uint64_t value, bool last = false) {
+    json += StrFormat("\"%s\":%llu%s", key,
+                      static_cast<unsigned long long>(value), last ? "" : ",");
+  };
+  json += "\"requests\":{";
+  field("received", requests_received());
+  field("answered", queries_answered());
+  field("shed_concurrency", shed_concurrency());
+  field("shed_quota", shed_quota(), /*last=*/true);
+  json += "},\"admission\":{";
+  field("inflight", inflight);
+  field("clients_inflight", clients_inflight);
+  field("clients_served", clients_served);
+  field("max_concurrent", options_.max_concurrent);
+  field("max_concurrent_per_client", options_.max_concurrent_per_client);
+  field("per_client_query_quota", options_.per_client_query_quota,
+        /*last=*/true);
+  json += "},\"plan_cache\":{";
+  field("hits", local_->engine().plan_cache_hits());
+  field("misses", local_->engine().plan_cache_misses(), /*last=*/true);
+  json += "},\"store\":{";
+  field("triples", store.size());
+  field("shards", store.num_shards());
+  field("promoted_predicates", store.PromotedPredicates().size());
+  field("stats_recomputes", store.stats_recomputes());
+  json += StrFormat("\"mapped\":%s,", store.is_mapped() ? "true" : "false");
+  field("data_epoch", kb->data_epoch(), /*last=*/true);
+  json += "}}";
+  return json;
 }
 
 HttpResponse SparqlServer::ShedResponse(int status_code, const char* reason,

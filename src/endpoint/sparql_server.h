@@ -47,6 +47,12 @@ struct SparqlServerOptions {
   /// Request path the query operation is served on; anything else is 404.
   std::string service_path = "/sparql";
 
+  /// GET-only introspection resource: one JSON document with the request/
+  /// shed counters, live admission state, plan-cache hit rate and store
+  /// shape. Cheap enough to poll; never touches the query path's locks for
+  /// longer than a counter read.
+  std::string status_path = "/status";
+
   /// Global in-flight query cap; requests beyond it are shed with
   /// 503 + Retry-After. 0 disables the cap.
   size_t max_concurrent = 32;
@@ -121,6 +127,9 @@ class SparqlServer {
   HttpResponse HandleQuery(const std::string& query_text,
                            const HttpServerClient& client);
   HttpResponse Evaluate(const std::string& query_text);
+
+  /// The /status JSON document.
+  std::string StatusJson();
 
   /// 503/429 shed response with the configured Retry-After.
   HttpResponse ShedResponse(int status_code, const char* reason,

@@ -21,7 +21,9 @@ StatusOr<DirectionRun> RunDirection(
     heads.resize(options.max_relations);
   }
 
-  RelationAligner aligner(candidate, reference, &links, options.aligner);
+  AlignerOptions aligner_options = options.aligner;
+  ApplyRunSeed(&aligner_options, options.seed);
+  RelationAligner aligner(candidate, reference, &links, aligner_options);
 
   const EndpointStats cand_before = candidate->stats();
   const EndpointStats ref_before = reference->stats();

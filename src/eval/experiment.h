@@ -59,6 +59,10 @@ struct DirectionRunOptions {
   /// Task granularity of the fan-out (phase subtasks vs whole relations);
   /// affects wall_ms only, never the records.
   AlignSchedule schedule = AlignSchedule::kPhase;
+  /// Run-level RNG seed: nonzero derives the finder and sampler seeds via
+  /// ApplyRunSeed (one CLI --seed reproduces the whole run); 0 keeps the
+  /// seeds already in `aligner`.
+  uint64_t seed = 0;
 };
 
 /// Runs one direction: candidates from `candidate`, heads from `reference`

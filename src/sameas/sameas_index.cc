@@ -60,6 +60,11 @@ StatusOr<Term> SameAsIndex::TranslateTo(const Term& x,
                                         std::string_view target_prefix) const {
   auto it = ids_.find(x);
   if (it == ids_.end()) {
+    // An unindexed term may still already be in the target namespace —
+    // the shared-identifier regime (canonical IRIs, no links at all, e.g.
+    // Wikidata-derived dumps): translation is the identity. Terms outside
+    // the target namespace genuinely have no translation.
+    if (x.is_iri() && StartsWith(x.lexical(), target_prefix)) return x;
     return Status::NotFound("term has no sameAs links");
   }
   EnsureGroups();

@@ -1,0 +1,142 @@
+#include "similarity/minhash_lsh.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "util/hash.h"
+#include "util/random.h"
+
+namespace sofya {
+namespace {
+
+/// Slot value of an empty shingle set. Real minima are 32-bit mixes and
+/// can hit any value, but an all-sentinel signature only arises from the
+/// empty set, so empties match empties and (almost surely) nothing else.
+constexpr uint32_t kEmptySentinel = 0xffffffffu;
+
+/// Finalizing mix (SplitMix64's): one shingle hash + one salt -> one
+/// decorrelated draw per hash function.
+uint64_t Mix(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+}  // namespace
+
+MinHashLsh::MinHashLsh(MinHashLshOptions options) : options_(options) {
+  if (options_.ngram == 0) options_.ngram = 3;
+  if (options_.num_hashes == 0 || options_.bands == 0 || options_.rows == 0 ||
+      options_.bands * options_.rows != options_.num_hashes) {
+    options_.num_hashes = 64;
+    options_.bands = 32;
+    options_.rows = 2;
+  }
+  SplitMix64 mix(options_.seed);
+  salts_.reserve(options_.num_hashes);
+  for (size_t i = 0; i < options_.num_hashes; ++i) salts_.push_back(mix.Next());
+  bands_.resize(options_.bands);
+}
+
+std::vector<uint32_t> MinHashLsh::Signature(std::string_view text) const {
+  std::vector<uint32_t> signature(options_.num_hashes, kEmptySentinel);
+  if (text.empty()) return signature;
+  // A label shorter than the n-gram width is one whole-text shingle —
+  // otherwise "of" and "to" would both be the empty set and collide.
+  const size_t n = std::min(options_.ngram, text.size());
+  for (size_t i = 0; i + n <= text.size(); ++i) {
+    const uint64_t shingle = Fnv1a(text.data() + i, n);
+    for (size_t k = 0; k < salts_.size(); ++k) {
+      const uint32_t h = static_cast<uint32_t>(Mix(shingle ^ salts_[k]) >> 32);
+      if (h < signature[k]) signature[k] = h;
+    }
+  }
+  return signature;
+}
+
+double MinHashLsh::SignatureSimilarity(std::span<const uint32_t> a,
+                                       std::span<const uint32_t> b) {
+  if (a.size() != b.size() || a.empty()) return 0.0;
+  size_t agree = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i] == b[i]) ++agree;
+  }
+  return static_cast<double>(agree) / static_cast<double>(a.size());
+}
+
+uint64_t MinHashLsh::BandKey(std::span<const uint32_t> signature,
+                             size_t band) const {
+  const size_t begin = band * options_.rows;
+  return Fnv1a(signature.data() + begin, options_.rows * sizeof(uint32_t));
+}
+
+void MinHashLsh::Insert(uint32_t id, std::string_view text) {
+  const std::vector<uint32_t> signature = Signature(text);
+  for (size_t band = 0; band < options_.bands; ++band) {
+    bands_[band][BandKey(signature, band)].push_back(id);
+  }
+  ++size_;
+}
+
+std::vector<uint32_t> MinHashLsh::Lookup(std::string_view text,
+                                         LookupStats* stats) const {
+  const std::vector<uint32_t> signature = Signature(text);
+  std::vector<uint32_t> out;
+  LookupStats local;
+  for (size_t band = 0; band < options_.bands; ++band) {
+    ++local.buckets_probed;
+    auto it = bands_[band].find(BandKey(signature, band));
+    if (it == bands_[band].end()) continue;
+    local.ids_scanned += it->second.size();
+    out.insert(out.end(), it->second.begin(), it->second.end());
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  if (stats != nullptr) *stats = local;
+  return out;
+}
+
+std::string RelationLabel(std::string_view iri) {
+  // Local name: the suffix after the last IRI separator.
+  const size_t cut = iri.find_last_of("/#:");
+  std::string_view local =
+      cut == std::string_view::npos ? iri : iri.substr(cut + 1);
+
+  std::string out;
+  out.reserve(local.size() + 8);
+  bool pending_space = false;
+  bool prev_lower = false;
+  for (const char c : local) {
+    const unsigned char u = static_cast<unsigned char>(c);
+    if (c == '_' || c == '-' || c == '.' || std::isspace(u)) {
+      pending_space = !out.empty();
+      prev_lower = false;
+      continue;
+    }
+    // camelCase boundary: a lower->UPPER transition starts a new token.
+    if (std::isupper(u) && prev_lower) pending_space = true;
+    if (pending_space && !out.empty()) out += ' ';
+    pending_space = false;
+    out += std::isupper(u)
+               ? static_cast<char>(std::tolower(u))
+               : c;  // Multi-byte UTF-8 (u >= 0x80) passes through as-is.
+    prev_lower = std::islower(u) != 0 || std::isdigit(u) != 0;
+  }
+  // Drop a leading auxiliary token ("hasGenre" / "genre_type" should meet
+  // at "genre ..."): these carry no discriminating n-grams and dilute the
+  // Jaccard of otherwise-matching labels below the LSH band threshold.
+  // Never strip down to the empty label (a relation literally named "has").
+  for (const std::string_view prefix : {"has ", "have ", "is ", "was "}) {
+    if (out.size() > prefix.size() &&
+        std::string_view(out).substr(0, prefix.size()) == prefix) {
+      out.erase(0, prefix.size());
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace sofya

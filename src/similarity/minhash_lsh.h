@@ -1,0 +1,119 @@
+// MinHash signatures + banded LSH over character n-grams.
+//
+// The lexical candidate source needs "which of these P relation labels look
+// like this one?" to stay sub-linear in P: at DBpedia scale (tens of
+// thousands of properties, millions across a federation) scoring every
+// label per reference relation is the accidental O(P) the planner-side
+// work already avoided. The classic fix is the MinHash/LSH lattice:
+//
+//   * each label is shingled into character n-grams;
+//   * k independent hash functions (one SplitMix64-derived salt each) map
+//     the shingle set to a k-slot signature of minima — the probability
+//     that two signatures agree in one slot equals the Jaccard similarity
+//     of the shingle sets;
+//   * the signature is cut into b bands of r rows (b*r = k); each band
+//     hashes to a bucket, and two labels become lookup neighbors iff they
+//     share at least one band bucket. P(neighbor) = 1 - (1 - J^r)^b, the
+//     usual S-curve: near-duplicates almost surely collide, unrelated
+//     labels almost surely don't, and a lookup touches only bucket mates.
+//
+// Determinism: the hash family is derived from a fixed seed, insertion ids
+// are caller-assigned, and Lookup returns sorted unique ids — equal inputs
+// give bit-identical results on any platform/thread. The index is
+// immutable after Build/Insert from a single thread; concurrent *reads*
+// (Signature, Lookup) are safe.
+
+#ifndef SOFYA_SIMILARITY_MINHASH_LSH_H_
+#define SOFYA_SIMILARITY_MINHASH_LSH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace sofya {
+
+/// Index shape knobs. `bands * rows` must equal `num_hashes` (checked at
+/// construction; violations are clamped to the default 32x2 = 64 layout).
+struct MinHashLshOptions {
+  /// Character n-gram width in bytes. Labels shorter than this contribute
+  /// their whole text as a single shingle; the empty label has no shingles
+  /// and gets the empty-set sentinel signature.
+  size_t ngram = 3;
+  /// Signature length (number of hash functions).
+  size_t num_hashes = 64;
+  /// LSH banding: bands x rows, bands * rows == num_hashes. 32x2 puts the
+  /// S-curve threshold near J ~ (1/32)^(1/2) = 0.18 — relation labels are
+  /// short, so true variants ("director" / "directed by") often sit at
+  /// J 0.2-0.4; stricter rows would drop them before scoring sees them.
+  size_t bands = 32;
+  size_t rows = 2;
+  /// Seed of the SplitMix64-derived hash family. Two indexes built with
+  /// equal seeds assign identical signatures and buckets.
+  uint64_t seed = 0x534f4659414c5348ULL;  // "SOFYALSH"
+};
+
+/// The index. Ids are caller-assigned (typically positions in a parallel
+/// vector of labels/terms).
+class MinHashLsh {
+ public:
+  explicit MinHashLsh(MinHashLshOptions options = {});
+
+  const MinHashLshOptions& options() const { return options_; }
+
+  /// MinHash signature of `text` (size = options().num_hashes). Pure and
+  /// thread-safe. The empty string (no shingles) yields the all-sentinel
+  /// signature, which only collides with other empty strings.
+  std::vector<uint32_t> Signature(std::string_view text) const;
+
+  /// Fraction of agreeing signature slots — an unbiased estimate of the
+  /// Jaccard similarity of the two shingle sets. Two empty-set sentinel
+  /// signatures agree everywhere (two empty labels ARE identical).
+  static double SignatureSimilarity(std::span<const uint32_t> a,
+                                    std::span<const uint32_t> b);
+
+  /// Inserts `text` under `id`. Ids should be unique; re-inserting an id
+  /// adds duplicate bucket entries (harmless for Lookup, which dedups).
+  void Insert(uint32_t id, std::string_view text);
+
+  /// Lookup cost accounting (the sub-linearity evidence the bench records).
+  struct LookupStats {
+    size_t buckets_probed = 0;  ///< Always == options().bands.
+    size_t ids_scanned = 0;     ///< Bucket-mate entries touched (pre-dedup).
+  };
+
+  /// All ids sharing at least one band bucket with `text`, sorted
+  /// ascending, deduplicated. Cost is O(sum of probed bucket sizes), not
+  /// O(size()).
+  std::vector<uint32_t> Lookup(std::string_view text,
+                               LookupStats* stats = nullptr) const;
+
+  /// Number of Insert calls.
+  size_t size() const { return size_; }
+
+ private:
+  /// Bucket key of one band of a signature.
+  uint64_t BandKey(std::span<const uint32_t> signature, size_t band) const;
+
+  MinHashLshOptions options_;
+  std::vector<uint64_t> salts_;  ///< One per hash function.
+  /// Per-band bucket maps: band key -> ids (insertion order).
+  std::vector<std::unordered_map<uint64_t, std::vector<uint32_t>>> bands_;
+  size_t size_ = 0;
+};
+
+/// Normalizes a relation IRI into a matching label: the local name (after
+/// the last '/', '#' or ':'), camelCase split at case boundaries, '_'/'-'
+/// treated as spaces, lowercased, whitespace collapsed. Both KBs' naming
+/// conventions ("hasBirthPlace", "birth_place") land on comparable token
+/// streams, and one leading auxiliary token (has/have/is/was) is dropped so
+/// "hasBirthPlace" and "birth_place" both land on "birth place". Multi-byte
+/// UTF-8 is passed through untouched (no case folding outside ASCII).
+std::string RelationLabel(std::string_view iri);
+
+}  // namespace sofya
+
+#endif  // SOFYA_SIMILARITY_MINHASH_LSH_H_

@@ -119,6 +119,104 @@ WorldSpec MusicWorldSpec(uint64_t seed) {
   return spec;
 }
 
+WorldSpec NoLinksWorldSpec(uint64_t seed, bool shared_entities) {
+  WorldSpec spec;
+  spec.seed = seed;
+  spec.num_entities = 2500;
+  spec.num_types = 4;
+  spec.kb1_name = "canon1";
+  spec.kb2_name = "canon2";
+  if (shared_entities) {
+    // One namespace, one identifier convention, zero links: translation is
+    // the identity (SameAsIndex::TranslateTo's shared-identifier fallback).
+    spec.kb1_base = "http://nolinks.sofya.org/";
+    spec.kb2_base = spec.kb1_base;
+    spec.shared_entity_names = true;
+  }
+  spec.link_coverage = 0.0;
+
+  // Aligned pairs: kb1 camelCase with has/was prefixes, kb2 snake_case —
+  // same tokens after RelationLabel normalization, except the deliberately
+  // hard tail (starring, written_by) and a typo (capitol_city).
+  struct Pair {
+    const char* concept_name;
+    const char* kb1;
+    const char* kb2;
+    bool literal;
+    LiteralKind kind;
+  };
+  const Pair pairs[] = {
+      {"birthPlace", "hasBirthPlace", "birth_place", false, LiteralKind::kName},
+      {"deathPlace", "hasDeathPlace", "death_place", false, LiteralKind::kName},
+      {"spouse", "hasSpouse", "spouse_of", false, LiteralKind::kName},
+      {"child", "hasChild", "child_of", false, LiteralKind::kName},
+      {"employer", "worksFor", "works_for", false, LiteralKind::kName},
+      {"almaMater", "graduatedFrom", "graduated_from", false,
+       LiteralKind::kName},
+      {"founding", "wasFoundedIn", "founded_in", false, LiteralKind::kName},
+      {"location", "isLocatedIn", "located_in", false, LiteralKind::kName},
+      {"capital", "hasCapital", "capitol_city", false, LiteralKind::kName},
+      {"population", "hasPopulation", "population_total", true,
+       LiteralKind::kNumber},
+      {"birthYear", "hasBirthYear", "birth_year", true, LiteralKind::kYear},
+      {"fullName", "hasName", "full_name", true, LiteralKind::kName},
+      {"director", "hasDirector", "directed_by", false, LiteralKind::kName},
+      {"actor", "hasActor", "starring", false, LiteralKind::kName},
+      {"author", "hasAuthor", "written_by", false, LiteralKind::kName},
+      {"publisher", "hasPublisher", "publisher_name", false,
+       LiteralKind::kName},
+      {"genre", "hasGenre", "genre_type", false, LiteralKind::kName},
+      {"language", "hasLanguage", "language_spoken", false,
+       LiteralKind::kName},
+      {"currency", "hasCurrency", "currency_used", false, LiteralKind::kName},
+      {"mayor", "hasMayor", "mayor_name", false, LiteralKind::kName},
+  };
+
+  size_t i = 0;
+  for (const Pair& p : pairs) {
+    ConceptSpec c;
+    c.name = p.concept_name;
+    c.num_facts = 220;
+    c.domain_type = static_cast<int>(i % spec.num_types);
+    if (p.literal) {
+      c.literal_range = true;
+      c.literal_kind = p.kind;
+    } else {
+      c.range_type = static_cast<int>((i + 1) % spec.num_types);
+    }
+    spec.concepts.push_back(c);
+    spec.kb1_relations.push_back({.local_name = p.kb1,
+                                  .concepts = {c.name},
+                                  .coverage = 0.85,
+                                  .fact_noise = 0.04});
+    spec.kb2_relations.push_back({.local_name = p.kb2,
+                                  .concepts = {c.name},
+                                  .coverage = 0.9,
+                                  .fact_noise = 0.06});
+    ++i;
+  }
+
+  // kb1-private distractors with deliberately dissimilar names — the
+  // lexical source must not be fooled into proposing these.
+  const char* distractors[] = {"internalCode", "archiveKey", "datasetShard",
+                               "uuidTag", "etlTimestamp"};
+  size_t d = 0;
+  for (const char* name : distractors) {
+    ConceptSpec c;
+    c.name = StrFormat("nolinks_private_%zu", d);
+    c.num_facts = 80;
+    c.domain_type = static_cast<int>(d % spec.num_types);
+    c.range_type = static_cast<int>((d + 2) % spec.num_types);
+    spec.concepts.push_back(c);
+    spec.kb1_relations.push_back(
+        {.local_name = name, .concepts = {c.name}, .coverage = 0.85});
+    ++d;
+  }
+
+  spec.kb2_literal_noise.typo_rate = 0.04;
+  return spec;
+}
+
 WorldSpec PairedKbSpec(const PairedKbOptions& options) {
   WorldSpec spec;
   spec.seed = options.seed;

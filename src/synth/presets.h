@@ -82,6 +82,18 @@ struct PairedKbOptions {
 /// Builds the paired-world spec from the options.
 WorldSpec PairedKbSpec(const PairedKbOptions& options);
 
+/// Zero-sameAs world: both KBs share one namespace and one entity-IRI
+/// convention (canonical identifiers) but expose NO sameAs links at all, so
+/// the sameAs-overlap candidate source is structurally blind here. Relation
+/// names are noisy lexical variants of each other (kb1 camelCase with
+/// has/was prefixes, kb2 snake_case, a few typos) plus kb1-private
+/// distractors — the regime the MinHash/LSH lexical source exists for.
+/// With `shared_entities = false` the KBs instead keep disjoint namespaces
+/// and per-KB naming (links still zero): candidate *discovery* can be
+/// compared across sources but no evidence loop is possible — the bench's
+/// contrast variant.
+WorldSpec NoLinksWorldSpec(uint64_t seed = 29, bool shared_entities = true);
+
 /// The Table-1 evaluation world. kb1 plays YAGO2 (92 relations), kb2 plays
 /// DBpedia (1313 relations; the excess is private relations, as in the real
 /// DBpedia where most properties have no YAGO counterpart).

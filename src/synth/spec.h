@@ -134,6 +134,13 @@ struct WorldSpec {
   /// Fraction of emitted links that are *wrong* (point to a random entity).
   double link_noise = 0.0;
 
+  /// Mint entity IRIs with the *same* surface convention in both KBs
+  /// (kb1's underscored names). Combined with identical kb1_base/kb2_base
+  /// and link_coverage = 0 this models the shared-identifier regime —
+  /// canonical IRIs, zero sameAs links — where alignment must come from a
+  /// non-sameAs candidate source. Relations keep their per-KB local names.
+  bool shared_entity_names = false;
+
   LiteralNoiseOptions kb1_literal_noise;
   LiteralNoiseOptions kb2_literal_noise;
 

@@ -306,6 +306,14 @@ StatusOr<SynthWorld> GenerateWorld(const WorldSpec& spec) {
     return u < coverage;
   };
 
+  // Surface convention for entity IRIs. Under shared_entity_names both KBs
+  // mint kb1's underscored form — identical identifiers, the zero-links
+  // regime; otherwise each KB keeps its own convention.
+  auto entity_local = [&spec](EntityId e, bool kb1_form) {
+    return (kb1_form || spec.shared_entity_names) ? Kb1LocalName(e)
+                                                  : Kb2LocalName(e);
+  };
+
   auto project = [&](KnowledgeBase* kb,
                      const std::vector<KbRelationSpec>& relations,
                      const LiteralNoiseOptions& noise,
@@ -338,10 +346,8 @@ StatusOr<SynthWorld> GenerateWorld(const WorldSpec& spec) {
                                             spec.num_types);
             } while (stored_o == o);
           }
-          const std::string s_local =
-              is_kb1 ? Kb1LocalName(s) : Kb2LocalName(s);
-          const std::string o_local =
-              is_kb1 ? Kb1LocalName(stored_o) : Kb2LocalName(stored_o);
+          const std::string s_local = entity_local(s, is_kb1);
+          const std::string o_local = entity_local(stored_o, is_kb1);
           kb->AddTriple(Term::Iri(kb->base_iri() + "resource/" + s_local),
                         predicate,
                         Term::Iri(kb->base_iri() + "resource/" + o_local));
@@ -351,8 +357,7 @@ StatusOr<SynthWorld> GenerateWorld(const WorldSpec& spec) {
         }
         for (const auto& [s, lexical] : facts.el) {
           if (!keep(s)) continue;
-          const std::string s_local =
-              is_kb1 ? Kb1LocalName(s) : Kb2LocalName(s);
+          const std::string s_local = entity_local(s, is_kb1);
           std::string stored = lexical;
           if (rel.fact_noise > 0.0 && rel_rng.Bernoulli(rel.fact_noise)) {
             // Wrong literal value: another entity's value for this kind.
@@ -389,10 +394,8 @@ StatusOr<SynthWorld> GenerateWorld(const WorldSpec& spec) {
                     : !rel_rng.Bernoulli(rel.coverage)) {
               continue;
             }
-            const std::string s_local =
-                is_kb1 ? Kb1LocalName(s) : Kb2LocalName(s);
-            const std::string o_local =
-                is_kb1 ? Kb1LocalName(o) : Kb2LocalName(o);
+            const std::string s_local = entity_local(s, is_kb1);
+            const std::string o_local = entity_local(o, is_kb1);
             kb->AddTriple(Term::Iri(kb->base_iri() + "resource/" + o_local),
                           inv_predicate,
                           Term::Iri(kb->base_iri() + "resource/" + s_local));
@@ -443,8 +446,8 @@ StatusOr<SynthWorld> GenerateWorld(const WorldSpec& spec) {
       wrong = true;
     }
     world.links.AddLink(
-        Term::Iri(spec.kb1_base + "resource/" + Kb1LocalName(e)),
-        Term::Iri(spec.kb2_base + "resource/" + Kb2LocalName(partner)));
+        Term::Iri(spec.kb1_base + "resource/" + entity_local(e, true)),
+        Term::Iri(spec.kb2_base + "resource/" + entity_local(partner, false)));
     if (wrong) {
       ++world.stats.links_wrong;
     } else {

@@ -1,0 +1,193 @@
+#include "similarity/minhash_lsh.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "similarity/string_metrics.h"
+
+namespace sofya {
+namespace {
+
+TEST(MinHashSignatureTest, EmptyStringIsAllSentinel) {
+  MinHashLsh lsh;
+  const auto sig = lsh.Signature("");
+  ASSERT_EQ(sig.size(), lsh.options().num_hashes);
+  for (uint32_t v : sig) EXPECT_EQ(v, 0xffffffffu);
+  // Two empty labels are identical: similarity 1.
+  EXPECT_DOUBLE_EQ(MinHashLsh::SignatureSimilarity(sig, lsh.Signature("")),
+                   1.0);
+}
+
+TEST(MinHashSignatureTest, ShorterThanNgramIsWholeTextShingle) {
+  MinHashLsh lsh;  // ngram = 3.
+  const auto of = lsh.Signature("of");
+  const auto to = lsh.Signature("to");
+  // Neither collapses to the empty signature...
+  EXPECT_NE(of, lsh.Signature(""));
+  EXPECT_NE(to, lsh.Signature(""));
+  // ...and distinct short strings get distinct (single-shingle) signatures.
+  EXPECT_NE(of, to);
+  EXPECT_DOUBLE_EQ(MinHashLsh::SignatureSimilarity(of, lsh.Signature("of")),
+                   1.0);
+}
+
+TEST(MinHashSignatureTest, Utf8MultibytePassesThrough) {
+  MinHashLsh lsh;
+  const std::string grussen = "gr\xc3\xbc\xc3\x9f" "en";  // "grüßen"
+  const std::string gruessen = "gruessen";
+  const auto a = lsh.Signature(grussen);
+  const auto b = lsh.Signature(grussen);
+  EXPECT_EQ(a, b);  // Deterministic on multibyte input.
+  // Different byte streams are different shingle sets, no crash, no UB.
+  EXPECT_LT(MinHashLsh::SignatureSimilarity(a, lsh.Signature(gruessen)), 1.0);
+}
+
+TEST(MinHashSignatureTest, SimilarityTracksOverlap) {
+  MinHashLsh lsh;
+  const auto a = lsh.Signature("birth place");
+  const auto b = lsh.Signature("birth place");
+  const auto c = lsh.Signature("completely unrelated");
+  EXPECT_DOUBLE_EQ(MinHashLsh::SignatureSimilarity(a, b), 1.0);
+  EXPECT_LT(MinHashLsh::SignatureSimilarity(a, c), 0.3);
+  // Mismatched lengths answer 0, not UB.
+  std::vector<uint32_t> half(a.begin(), a.begin() + a.size() / 2);
+  EXPECT_DOUBLE_EQ(MinHashLsh::SignatureSimilarity(a, half), 0.0);
+}
+
+TEST(MinHashLshOptionsTest, InvalidBandConfigsClampToDefault) {
+  for (MinHashLshOptions bad :
+       {MinHashLshOptions{.num_hashes = 64, .bands = 5, .rows = 4},
+        MinHashLshOptions{.num_hashes = 0},
+        MinHashLshOptions{.bands = 0},
+        MinHashLshOptions{.rows = 0},
+        MinHashLshOptions{.ngram = 0}}) {
+    MinHashLsh lsh(bad);
+    EXPECT_EQ(lsh.options().bands * lsh.options().rows,
+              lsh.options().num_hashes);
+    EXPECT_GT(lsh.options().ngram, 0u);
+  }
+  // A valid non-default shape is preserved.
+  MinHashLsh custom({.num_hashes = 16, .bands = 8, .rows = 2});
+  EXPECT_EQ(custom.options().bands, 8u);
+  EXPECT_EQ(custom.options().rows, 2u);
+}
+
+TEST(MinHashLshTest, BandRowBoundaryShapes) {
+  // rows == num_hashes (single band) and rows == 1 (band per slot) are the
+  // boundary layouts; both must index and look up without slicing errors.
+  for (MinHashLshOptions shape :
+       {MinHashLshOptions{.num_hashes = 8, .bands = 1, .rows = 8},
+        MinHashLshOptions{.num_hashes = 8, .bands = 8, .rows = 1}}) {
+    MinHashLsh lsh(shape);
+    lsh.Insert(0, "birth place");
+    lsh.Insert(1, "birth place");
+    lsh.Insert(2, "zzz");
+    const auto hits = lsh.Lookup("birth place");
+    ASSERT_GE(hits.size(), 2u);
+    EXPECT_EQ(hits[0], 0u);
+    EXPECT_EQ(hits[1], 1u);
+  }
+}
+
+TEST(MinHashLshTest, LookupSortedUniqueAndStatsAccounted) {
+  MinHashLsh lsh;
+  lsh.Insert(7, "director");
+  lsh.Insert(3, "director");
+  lsh.Insert(3, "director");  // Duplicate id: Lookup must dedup.
+  MinHashLsh::LookupStats stats;
+  const auto hits = lsh.Lookup("director", &stats);
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0], 3u);
+  EXPECT_EQ(hits[1], 7u);
+  EXPECT_EQ(stats.buckets_probed, lsh.options().bands);
+  EXPECT_GE(stats.ids_scanned, hits.size());
+}
+
+TEST(MinHashLshTest, EmptyLabelsOnlyMeetEmptyLabels) {
+  MinHashLsh lsh;
+  lsh.Insert(0, "");
+  lsh.Insert(1, "");
+  lsh.Insert(2, "real label");
+  const auto empties = lsh.Lookup("");
+  ASSERT_EQ(empties.size(), 2u);
+  EXPECT_EQ(empties[0], 0u);
+  EXPECT_EQ(empties[1], 1u);
+}
+
+TEST(MinHashLshTest, CrossThreadLookupDeterminism) {
+  // One immutable index, concurrent readers: every thread must see the
+  // exact same buckets. Also covers two independently built indexes over
+  // the same inventory agreeing bucket-for-bucket (equal seeds).
+  std::vector<std::string> labels;
+  for (int i = 0; i < 200; ++i) {
+    labels.push_back("relation " + std::to_string(i % 37));
+  }
+  MinHashLsh index_a, index_b;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    index_a.Insert(static_cast<uint32_t>(i), labels[i]);
+    index_b.Insert(static_cast<uint32_t>(i), labels[i]);
+  }
+  const auto expected = index_a.Lookup("relation 5");
+  EXPECT_EQ(index_b.Lookup("relation 5"), expected);
+
+  std::vector<std::vector<uint32_t>> per_thread(8);
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < per_thread.size(); ++t) {
+    threads.emplace_back(
+        [&, t] { per_thread[t] = index_a.Lookup("relation 5"); });
+  }
+  for (auto& th : threads) th.join();
+  for (const auto& got : per_thread) EXPECT_EQ(got, expected);
+}
+
+TEST(RelationLabelTest, NormalizesBothNamingConventions) {
+  EXPECT_EQ(RelationLabel("http://x.org/ontology/hasBirthPlace"),
+            "birth place");
+  EXPECT_EQ(RelationLabel("http://x.org/ontology/birth_place"),
+            "birth place");
+  EXPECT_EQ(RelationLabel("http://x.org/p#directed-by"), "directed by");
+  EXPECT_EQ(RelationLabel("urn:prop:wasFoundedIn"), "founded in");
+  EXPECT_EQ(RelationLabel("plainLocalName"), "plain local name");
+}
+
+TEST(RelationLabelTest, EdgeCases) {
+  EXPECT_EQ(RelationLabel(""), "");
+  EXPECT_EQ(RelationLabel("http://x.org/"), "");
+  // An auxiliary-only name survives (never strip to empty).
+  EXPECT_EQ(RelationLabel("http://x.org/has"), "has");
+  // Digits stay attached to their token; a digit->upper boundary splits.
+  EXPECT_EQ(RelationLabel("rel2Name"), "rel2 name");
+  // Multibyte UTF-8 passes through verbatim.
+  EXPECT_EQ(RelationLabel("http://x.org/stra\xc3\x9f" "e"),
+            "stra\xc3\x9f" "e");
+}
+
+// --- string_metrics edge cases the lexical scorer leans on ----------------
+
+TEST(StringMetricsEdgeTest, EmptyAndShortInputs) {
+  EXPECT_DOUBLE_EQ(BigramDice("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(BigramDice("a", ""), 0.0);
+  EXPECT_DOUBLE_EQ(BigramDice("ab", "ab"), 1.0);
+  EXPECT_DOUBLE_EQ(NormalizedLevenshtein("", "x"), 0.0);
+  EXPECT_DOUBLE_EQ(TokenJaccard(" ", "  "), 1.0);  // Both tokenless.
+}
+
+TEST(StringMetricsEdgeTest, Utf8MultibyteIsByteStable) {
+  const std::string a = "caf\xc3\xa9";   // "café"
+  const std::string b = "cafe";
+  // Byte-level metrics treat the accent as extra bytes — defined, symmetric
+  // and within range, never UB.
+  const double dice = BigramDice(a, b);
+  EXPECT_GE(dice, 0.0);
+  EXPECT_LE(dice, 1.0);
+  EXPECT_DOUBLE_EQ(dice, BigramDice(b, a));
+  EXPECT_DOUBLE_EQ(BigramDice(a, a), 1.0);
+  EXPECT_EQ(LevenshteinDistance(a, a), 0u);
+  EXPECT_EQ(LevenshteinDistance(a, b), 2u);  // Two bytes of the accent.
+}
+
+}  // namespace
+}  // namespace sofya

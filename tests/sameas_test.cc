@@ -146,6 +146,22 @@ TEST(SameAsIndexTest, TranslateToIdentityWhenAlreadyInNamespace) {
   EXPECT_EQ(*same, Kb1("a"));
 }
 
+TEST(SameAsIndexTest, UnindexedIriInTargetNamespaceTranslatesToItself) {
+  // The shared-identifier regime: two KBs minting the same IRIs need no
+  // links at all — an IRI already carrying the target prefix IS its own
+  // translation, even when the index has never seen it.
+  SameAsIndex empty;
+  auto same = empty.TranslateTo(Kb1("a"), "http://kb1/");
+  ASSERT_TRUE(same.ok());
+  EXPECT_EQ(*same, Kb1("a"));
+
+  // Cross-namespace without a link is still untranslatable.
+  EXPECT_TRUE(empty.TranslateTo(Kb1("a"), "http://kb2/").status().IsNotFound());
+  // Literals have no namespace; the identity shortcut must not apply.
+  EXPECT_FALSE(empty.TranslateTo(Term::Literal("http://kb1/x"), "http://kb1/")
+                   .ok());
+}
+
 TEST(SameAsIndexTest, AmbiguousTranslationIsDeterministic) {
   SameAsIndex index;
   index.AddLink(Kb1("a"), Kb2("z"));

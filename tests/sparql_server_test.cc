@@ -168,6 +168,39 @@ TEST_F(SparqlServerTest, RoutingAndNegotiationErrors) {
   EXPECT_EQ(Dispatch(with_charset).status_code, 200);
 }
 
+TEST_F(SparqlServerTest, StatusEndpointReportsJsonCounters) {
+  StartServer();
+
+  HttpRequest status;
+  status.method = "GET";
+  status.target = "/status";
+  HttpResponse before = Dispatch(status);
+  ASSERT_EQ(before.status_code, 200) << before.body;
+  EXPECT_NE(before.body.find("\"requests\""), std::string::npos);
+  EXPECT_NE(before.body.find("\"admission\""), std::string::npos);
+  EXPECT_NE(before.body.find("\"plan_cache\""), std::string::npos);
+  EXPECT_NE(before.body.find("\"store\""), std::string::npos);
+  EXPECT_NE(before.body.find("\"answered\":0"), std::string::npos);
+  // The store section reports the served KB's true size.
+  EXPECT_NE(before.body.find("\"triples\":" + std::to_string(kb_.store().size())),
+            std::string::npos);
+
+  // Introspection is not a SPARQL query: it must not consume quota or
+  // concurrency, and the query counters only move for real queries.
+  auto endpoint = MakeEndpoint();
+  ASSERT_TRUE(endpoint->Select(queries::FactsOfPredicate(ClientP(
+      endpoint.get()))).ok());
+  HttpResponse after = Dispatch(status);
+  ASSERT_EQ(after.status_code, 200);
+  EXPECT_NE(after.body.find("\"answered\":1"), std::string::npos);
+
+  // Writes are not part of the protocol: anything but GET is rejected.
+  HttpRequest post_status = status;
+  post_status.method = "POST";
+  HttpResponse rejected = Dispatch(post_status);
+  EXPECT_EQ(rejected.status_code, 405);
+}
+
 TEST_F(SparqlServerTest, QuotaShedsWith429AndRetryAfter) {
   SparqlServerOptions options;
   options.per_client_query_quota = 2;

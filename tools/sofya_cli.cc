@@ -73,12 +73,13 @@ namespace {
 int Usage() {
   std::fprintf(stderr,
                "usage:\n"
-               "  sofya generate --preset tiny|movies|music|yago-dbpedia "
-               "--out DIR [--seed N] [--scale S] [--inverses]\n"
+               "  sofya generate --preset tiny|movies|music|nolinks|"
+               "yago-dbpedia --out DIR [--seed N] [--scale S] [--inverses]\n"
                "  sofya align --kb1 FILE|URL --kb2 FILE|URL --links FILE "
                "--relation IRI[,IRI...]|all [--threads N] "
                "[--schedule phase|relation] [--tau T] "
-               "[--measure pca|cwa] [--no-ubs] [--sample N] "
+               "[--measure pca|cwa] [--no-ubs] [--sample N] [--seed N] "
+               "[--candidate-source sameas|lexical|distribution|auto] "
                "[--base1 IRI] [--base2 IRI] [--legacy-planner]\n"
                "  sofya query (--kb FILE | --endpoint-url URL) "
                "--sparql 'SELECT ...' [--legacy-planner] [--scan-threads N]\n"
@@ -179,6 +180,8 @@ int Generate(const std::map<std::string, std::string>& flags) {
     spec = MoviesWorldSpec(seed);
   } else if (preset == "music") {
     spec = MusicWorldSpec(seed);
+  } else if (preset == "nolinks") {
+    spec = NoLinksWorldSpec(seed);
   } else if (preset == "yago-dbpedia") {
     spec = YagoDbpediaSpec(seed, scale);
   } else {
@@ -215,6 +218,9 @@ int Generate(const std::map<std::string, std::string>& flags) {
       }
       auto partner = to_kb2.Translate(term);
       if (!partner.ok()) continue;
+      // Shared-namespace worlds (nolinks) "translate" unlinked terms to
+      // themselves — not a link, don't emit a self sameAs.
+      if (*partner == term) continue;
       links_doc += term.ToNTriples() + " <" + same_as + "> " +
                    partner->ToNTriples() + " .\n";
     }
@@ -350,6 +356,17 @@ int Align(const std::map<std::string, std::string>& flags) {
   if (flags.count("sample")) {
     options.aligner.sampler.sample_size = std::stoul(flags.at("sample"));
   }
+  if (flags.count("candidate-source")) {
+    auto kind = ParseCandidateSourceKind(flags.at("candidate-source"));
+    if (!kind.ok()) {
+      std::fprintf(stderr, "%s\n", kind.status().ToString().c_str());
+      return 2;
+    }
+    options.aligner.finder.source = *kind;
+  }
+  if (flags.count("seed")) {
+    ApplyRunSeed(&options.aligner, std::stoull(flags.at("seed")));
+  }
 
   Sofya sofya(std::move(*kb1_endpoint), std::move(*kb2_endpoint), &links,
               options);
@@ -405,8 +422,8 @@ int Align(const std::map<std::string, std::string>& flags) {
       std::printf("  (no candidate relations discovered)\n");
     }
     for (const auto& v : result->verdicts) {
-      std::printf("  %-60s pca=%.2f cwa=%.2f supp=%zu %s%s%s\n",
-                  v.relation.lexical().c_str(), v.rule.pca_conf,
+      std::printf("  %-60s prior=%.2f pca=%.2f cwa=%.2f supp=%zu %s%s%s\n",
+                  v.relation.lexical().c_str(), v.prior, v.rule.pca_conf,
                   v.rule.cwa_conf, v.rule.support,
                   v.accepted ? "[SUBSUMED]" : "[rejected]",
                   v.ubs_subsumption_pruned ? " (UBS pruned)" : "",
