@@ -101,6 +101,85 @@ JoinShapeResult RunJoinShape(const std::string& name, sofya::KnowledgeBase* kb,
   return out;
 }
 
+/// One planner arm of the v2 comparison: wall time, scan volume, adaptive
+/// re-plan count, and the sorted result rows for parity checking.
+struct PlannerArm {
+  double ms = 0;
+  uint64_t scanned = 0;
+  uint64_t replans = 0;
+  std::vector<std::vector<sofya::TermId>> rows;
+  std::string error;
+};
+
+struct PlannerV2Result {
+  std::string name;
+  PlannerArm legacy, greedy, dp, adaptive;
+  size_t rows = 0;
+  bool identical = false;
+  std::string error;
+  double dp_vs_greedy() const {
+    return dp.ms > 0 ? greedy.ms / dp.ms : 0.0;
+  }
+  double adaptive_speedup() const {
+    return adaptive.ms > 0 ? dp.ms / adaptive.ms : 0.0;
+  }
+};
+
+/// Runs `query` under four planner arms — legacy heuristic, v1 greedy, v2
+/// Selinger DP, and DP + adaptive re-planning — timing `iterations`
+/// evaluations each after an untimed warm-up (plan cache, stats memos,
+/// histograms). Result-set parity across all four arms is the hard gate.
+PlannerV2Result RunPlannerV2Shape(const std::string& name,
+                                  sofya::KnowledgeBase* kb,
+                                  const sofya::SelectQuery& query,
+                                  int iterations) {
+  PlannerV2Result out;
+  out.name = name;
+
+  auto run = [&](bool use_stats, bool use_dp, bool adaptive, PlannerArm* arm) {
+    sofya::LocalEndpointOptions options;
+    options.estimate_bytes = false;
+    options.engine.planner.use_statistics = use_stats;
+    options.engine.planner.use_dp = use_dp;
+    options.engine.adaptive = adaptive;
+    sofya::LocalEndpoint endpoint(kb, options);
+    auto warm = endpoint.Select(query);
+    if (!warm.ok()) {
+      arm->error = warm.status().ToString();
+      return false;
+    }
+    arm->rows = warm->rows;
+    std::sort(arm->rows.begin(), arm->rows.end());
+    endpoint.ResetStats();
+    sofya::WallTimer timer;
+    for (int i = 0; i < iterations; ++i) {
+      auto repeat = endpoint.Select(query);
+      if (!repeat.ok()) {
+        arm->error = repeat.status().ToString();
+        return false;
+      }
+    }
+    arm->ms = timer.ElapsedMillis();
+    arm->scanned = endpoint.stats().triples_scanned;
+    arm->replans = endpoint.stats().replans;
+    return true;
+  };
+
+  const bool ok = run(false, false, false, &out.legacy) &&
+                  run(true, false, false, &out.greedy) &&
+                  run(true, true, false, &out.dp) &&
+                  run(true, true, true, &out.adaptive);
+  for (const PlannerArm* arm :
+       {&out.legacy, &out.greedy, &out.dp, &out.adaptive}) {
+    if (!arm->error.empty()) out.error = arm->error;
+  }
+  out.rows = out.dp.rows.size();
+  out.identical = ok && out.legacy.rows == out.greedy.rows &&
+                  out.greedy.rows == out.dp.rows &&
+                  out.dp.rows == out.adaptive.rows;
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -395,6 +474,134 @@ int main(int argc, char** argv) {
         join_identical ? "yes" : "NO (BUG)");
   }
 
+  // ----------------------------------------------------------------------
+  // Section 5: planner v2 — Selinger DP vs greedy vs legacy on the three
+  // canonical shapes, plus a misestimate-adversarial shape built so the
+  // equi-depth histograms *cannot* see the skew (hub fan-outs below bucket
+  // depth) and the initial DP plan is provably wrong: only adaptive
+  // execution escapes, by observing the blow-up mid-query and re-planning.
+  sofya::KnowledgeBase adv_kb("advbench", "http://adv.org/");
+  {
+    // pfan: 50k subjects with fan-out 2 plus 4 "hub" subjects with fan-out
+    // 3000 — below the 32-bucket equi-depth resolution (~3.5k facts per
+    // bucket). The hubs are *interspersed* across the dictionary-id range
+    // (interned mid-stream), so each hub run shares its bucket with ~1k
+    // ordinary subjects and the frequency-weighted fan-out estimate stays
+    // near the uniform value: no static plan can see the skew, and the
+    // planner walks straight into the hubs.
+    for (int i = 0; i < 50000; ++i) {
+      const std::string s = "fs" + std::to_string(i);
+      adv_kb.AddFact(s, "pfan", "no" + std::to_string(2 * i));
+      adv_kb.AddFact(s, "pfan", "no" + std::to_string(2 * i + 1));
+      if (i % 12500 == 6250) {
+        const int h = i / 12500;
+        const std::string hub = "hub" + std::to_string(h);
+        for (int j = 0; j < 3000; ++j) {
+          adv_kb.AddFact(hub, "pfan",
+                         "ho" + std::to_string(h) + "_" + std::to_string(j));
+        }
+      }
+    }
+    // psel selects exactly the hubs; pobjsel selects 50 of hub0's objects.
+    for (int h = 0; h < 4; ++h) {
+      adv_kb.AddFact("hub" + std::to_string(h), "psel", "sel");
+    }
+    for (int k = 0; k < 50; ++k) {
+      adv_kb.AddFact("pw" + std::to_string(k), "pobjsel",
+                     "ho0_" + std::to_string(k));
+    }
+  }
+  auto adv_pred = [&](const char* local) {
+    return adv_kb.dict().LookupIri("http://adv.org/" + std::string(local));
+  };
+
+  std::vector<PlannerV2Result> v2_results;
+  {
+    sofya::SelectQuery q;  // ?x hot ?y . ?x cold ?z   (hot listed first)
+    const sofya::VarId x = q.NewVar("x");
+    const sofya::VarId y = q.NewVar("y");
+    const sofya::VarId z = q.NewVar("z");
+    q.Where(sofya::NodeRef::Variable(x), sofya::NodeRef::Constant(pred("hot")),
+            sofya::NodeRef::Variable(y));
+    q.Where(sofya::NodeRef::Variable(x),
+            sofya::NodeRef::Constant(pred("cold")),
+            sofya::NodeRef::Variable(z));
+    v2_results.push_back(RunPlannerV2Shape("skewed", &join_kb, q, 20));
+  }
+  {
+    sofya::SelectQuery q;  // ?x pa ?a . ?x pb ?b . ?x pc ?c  (big first)
+    const sofya::VarId x = q.NewVar("x");
+    const sofya::VarId a = q.NewVar("a");
+    const sofya::VarId b = q.NewVar("b");
+    const sofya::VarId c = q.NewVar("c");
+    q.Where(sofya::NodeRef::Variable(x), sofya::NodeRef::Constant(pred("pa")),
+            sofya::NodeRef::Variable(a));
+    q.Where(sofya::NodeRef::Variable(x), sofya::NodeRef::Constant(pred("pb")),
+            sofya::NodeRef::Variable(b));
+    q.Where(sofya::NodeRef::Variable(x), sofya::NodeRef::Constant(pred("pc")),
+            sofya::NodeRef::Variable(c));
+    v2_results.push_back(RunPlannerV2Shape("star", &join_kb, q, 20));
+  }
+  {
+    sofya::SelectQuery q;  // ?x p1 ?y . ?y p2 ?z . ?z p3 ?w  (big first)
+    const sofya::VarId x = q.NewVar("x");
+    const sofya::VarId y = q.NewVar("y");
+    const sofya::VarId z = q.NewVar("z");
+    const sofya::VarId w = q.NewVar("w");
+    q.Where(sofya::NodeRef::Variable(x), sofya::NodeRef::Constant(pred("p1")),
+            sofya::NodeRef::Variable(y));
+    q.Where(sofya::NodeRef::Variable(y), sofya::NodeRef::Constant(pred("p2")),
+            sofya::NodeRef::Variable(z));
+    q.Where(sofya::NodeRef::Variable(z), sofya::NodeRef::Constant(pred("p3")),
+            sofya::NodeRef::Variable(w));
+    v2_results.push_back(RunPlannerV2Shape("chain", &join_kb, q, 20));
+  }
+  {
+    sofya::SelectQuery q;  // ?h psel ?m . ?h pfan ?v . ?w pobjsel ?v
+    const sofya::VarId h = q.NewVar("h");
+    const sofya::VarId m = q.NewVar("m");
+    const sofya::VarId v = q.NewVar("v");
+    const sofya::VarId w = q.NewVar("w");
+    q.Where(sofya::NodeRef::Variable(h),
+            sofya::NodeRef::Constant(adv_pred("psel")),
+            sofya::NodeRef::Variable(m));
+    q.Where(sofya::NodeRef::Variable(h),
+            sofya::NodeRef::Constant(adv_pred("pfan")),
+            sofya::NodeRef::Variable(v));
+    q.Where(sofya::NodeRef::Variable(w),
+            sofya::NodeRef::Constant(adv_pred("pobjsel")),
+            sofya::NodeRef::Variable(v));
+    v2_results.push_back(RunPlannerV2Shape("adversarial", &adv_kb, q, 20));
+  }
+
+  bool v2_identical = true;
+  for (const PlannerV2Result& r : v2_results) {
+    if (!r.identical) v2_identical = false;
+  }
+
+  if (!json) {
+    std::printf("\n=== planner v2: Selinger DP vs greedy vs legacy "
+                "(+ adaptive) ===\n\n");
+    sofya::TableWriter v2_table({"shape", "legacy ms", "greedy ms", "dp ms",
+                                 "adaptive ms", "dp replans", "rows"});
+    for (const PlannerV2Result& r : v2_results) {
+      v2_table.AddRow({r.name, sofya::FormatDouble(r.legacy.ms, 1),
+                       sofya::FormatDouble(r.greedy.ms, 1),
+                       sofya::FormatDouble(r.dp.ms, 1),
+                       sofya::FormatDouble(r.adaptive.ms, 1),
+                       std::to_string(r.adaptive.replans),
+                       std::to_string(r.rows)});
+    }
+    v2_table.Print(std::cout);
+    std::printf(
+        "\nidentical result sets across all four arms: %s\n"
+        "adversarial shape: the histograms cannot see the hub skew, so "
+        "every static plan walks into it; adaptive execution re-plans "
+        "after ~1k rows and finishes %.1fx faster\n",
+        v2_identical ? "yes" : "NO (BUG)",
+        v2_results.back().adaptive_speedup());
+  }
+
   if (json) {
     std::printf("{");
     std::printf("\"scale\": %.3f, \"aligned\": %zu, ", scale, aligned);
@@ -438,6 +645,33 @@ int main(int argc, char** argv) {
           static_cast<unsigned long long>(r.stats_scanned), r.rows,
           r.identical ? "true" : "false", escaped_error.c_str());
     }
+    std::printf("], ");
+    std::printf("\"planner_v2\": [");
+    for (size_t i = 0; i < v2_results.size(); ++i) {
+      const PlannerV2Result& r = v2_results[i];
+      std::string escaped_error;
+      for (char c : r.error) {
+        if (c == '"' || c == '\\') escaped_error += '\\';
+        escaped_error += (c == '\n') ? ' ' : c;
+      }
+      std::printf(
+          "%s{\"shape\": \"%s\", \"legacy_ms\": %.3f, \"greedy_ms\": %.3f, "
+          "\"dp_ms\": %.3f, \"adaptive_ms\": %.3f, "
+          "\"legacy_scanned\": %llu, \"greedy_scanned\": %llu, "
+          "\"dp_scanned\": %llu, \"adaptive_scanned\": %llu, "
+          "\"dp_vs_greedy\": %.2f, \"adaptive_speedup\": %.2f, "
+          "\"adaptive_replans\": %llu, \"rows\": %zu, \"identical\": %s, "
+          "\"error\": \"%s\"}",
+          i == 0 ? "" : ", ", r.name.c_str(), r.legacy.ms, r.greedy.ms,
+          r.dp.ms, r.adaptive.ms,
+          static_cast<unsigned long long>(r.legacy.scanned),
+          static_cast<unsigned long long>(r.greedy.scanned),
+          static_cast<unsigned long long>(r.dp.scanned),
+          static_cast<unsigned long long>(r.adaptive.scanned),
+          r.dp_vs_greedy(), r.adaptive_speedup(),
+          static_cast<unsigned long long>(r.adaptive.replans), r.rows,
+          r.identical ? "true" : "false", escaped_error.c_str());
+    }
     std::printf("]");
     std::printf("}\n");
   }
@@ -453,6 +687,20 @@ int main(int argc, char** argv) {
         std::fprintf(stderr,
                      "FATAL: stats and legacy planners disagree on result "
                      "sets for shape '%s'\n",
+                     r.name.c_str());
+      }
+    }
+    return 1;
+  }
+  if (!v2_identical) {
+    for (const PlannerV2Result& r : v2_results) {
+      if (!r.error.empty()) {
+        std::fprintf(stderr, "FATAL: planner_v2 shape '%s' failed: %s\n",
+                     r.name.c_str(), r.error.c_str());
+      } else if (!r.identical) {
+        std::fprintf(stderr,
+                     "FATAL: planner arms disagree on result sets for "
+                     "planner_v2 shape '%s'\n",
                      r.name.c_str());
       }
     }

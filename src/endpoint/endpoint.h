@@ -37,6 +37,7 @@ struct EndpointStats {
   uint64_t cache_hits = 0;            ///< Requests answered from a cache.
   uint64_t cache_misses = 0;          ///< Requests that had to go through.
   uint64_t failures_injected = 0;     ///< Simulated faults raised.
+  uint64_t replans = 0;               ///< Adaptive mid-execution re-plans.
   double simulated_latency_ms = 0.0;  ///< Modeled network+server time.
 
   /// Adds another stats block (for fleet-level reporting).
@@ -49,6 +50,7 @@ struct EndpointStats {
     cache_hits += other.cache_hits;
     cache_misses += other.cache_misses;
     failures_injected += other.failures_injected;
+    replans += other.replans;
     simulated_latency_ms += other.simulated_latency_ms;
   }
 };

@@ -1,8 +1,10 @@
 #include "endpoint/sparql_server.h"
 
+#include <algorithm>
 #include <cctype>
 #include <cmath>
 #include <utility>
+#include <vector>
 
 #include "sparql/parser.h"
 #include "sparql/results_json.h"
@@ -252,11 +254,36 @@ std::string SparqlServer::StatusJson() {
   size_t inflight;
   size_t clients_inflight;
   size_t clients_served;
+  // Per-client detail: every client that has been served or is in flight,
+  // keyed by ClientKey. Sorted so the JSON is deterministic for scripts.
+  struct ClientDetail {
+    std::string key;
+    uint64_t served = 0;
+    size_t client_inflight = 0;
+  };
+  std::vector<ClientDetail> clients;
   {
     std::lock_guard<std::mutex> lock(admission_mu_);
     inflight = inflight_;
     clients_inflight = inflight_by_client_.size();
     clients_served = served_by_client_.size();
+    clients.reserve(served_by_client_.size() + inflight_by_client_.size());
+    for (const auto& [key, served] : served_by_client_) {
+      clients.push_back({key, served, 0});
+    }
+    for (const auto& [key, count] : inflight_by_client_) {
+      auto it = std::find_if(clients.begin(), clients.end(),
+                             [&](const ClientDetail& c) { return c.key == key; });
+      if (it == clients.end()) {
+        clients.push_back({key, 0, count});
+      } else {
+        it->client_inflight = count;
+      }
+    }
+    std::sort(clients.begin(), clients.end(),
+              [](const ClientDetail& a, const ClientDetail& b) {
+                return a.key < b.key;
+              });
   }
   const KnowledgeBase* kb = local_->kb();
   const TripleStore& store = kb->store();
@@ -276,8 +303,27 @@ std::string SparqlServer::StatusJson() {
   field("clients_served", clients_served);
   field("max_concurrent", options_.max_concurrent);
   field("max_concurrent_per_client", options_.max_concurrent_per_client);
-  field("per_client_query_quota", options_.per_client_query_quota,
-        /*last=*/true);
+  field("per_client_query_quota", options_.per_client_query_quota);
+  json += "\"clients\":[";
+  for (size_t i = 0; i < clients.size(); ++i) {
+    const ClientDetail& c = clients[i];
+    // remaining_quota is -1 when quotas are disabled (unlimited).
+    const long long remaining =
+        options_.per_client_query_quota == 0
+            ? -1
+            : static_cast<long long>(
+                  options_.per_client_query_quota > c.served
+                      ? options_.per_client_query_quota - c.served
+                      : 0);
+    json += StrFormat(
+        "%s{\"client\":\"%s\",\"served\":%llu,\"inflight\":%zu,"
+        "\"remaining_quota\":%lld}",
+        i == 0 ? "" : ",", c.key.c_str(),
+        static_cast<unsigned long long>(c.served), c.client_inflight,
+        remaining);
+  }
+  json += "]},\"planner\":{";
+  field("replans", local_->engine().replans(), /*last=*/true);
   json += "},\"plan_cache\":{";
   field("hits", local_->engine().plan_cache_hits());
   field("misses", local_->engine().plan_cache_misses(), /*last=*/true);

@@ -34,7 +34,56 @@ size_t CountDistinctUnion(const std::vector<std::span<const TermId>>& lists) {
   return distinct;
 }
 
+// Builds an equi-depth histogram over a sorted (duplicate-bearing) column.
+// Buckets close once they hold ~n/buckets facts, but never in the middle of
+// one term's run, so a term's facts always live in exactly one bucket.
+TermHistogram BuildEquiDepth(const std::vector<TermId>& sorted,
+                             size_t buckets) {
+  TermHistogram h;
+  if (sorted.empty()) return h;
+  if (buckets == 0) buckets = 1;
+  const size_t depth = (sorted.size() + buckets - 1) / buckets;
+  h.lower = sorted.front();
+  size_t bucket_rows = 0;
+  size_t bucket_distinct = 0;
+  for (size_t i = 0; i < sorted.size();) {
+    size_t run = i + 1;
+    while (run < sorted.size() && sorted[run] == sorted[i]) ++run;
+    bucket_rows += run - i;
+    ++bucket_distinct;
+    if (bucket_rows >= depth || run == sorted.size()) {
+      h.upper.push_back(sorted[i]);
+      h.rows.push_back(bucket_rows);
+      h.distinct.push_back(bucket_distinct);
+      bucket_rows = 0;
+      bucket_distinct = 0;
+    }
+    i = run;
+  }
+  return h;
+}
+
 }  // namespace
+
+double TermHistogram::EstimateEq(TermId t) const {
+  if (empty() || t < lower || t > upper.back()) return 0.0;
+  const size_t b = static_cast<size_t>(
+      std::lower_bound(upper.begin(), upper.end(), t) - upper.begin());
+  return static_cast<double>(rows[b]) /
+         static_cast<double>(distinct[b] > 0 ? distinct[b] : 1);
+}
+
+double TermHistogram::ExpectedFanout() const {
+  if (empty()) return 0.0;
+  double weighted = 0.0;
+  double total = 0.0;
+  for (size_t b = 0; b < rows.size(); ++b) {
+    const double r = static_cast<double>(rows[b]);
+    weighted += r * r / static_cast<double>(distinct[b] > 0 ? distinct[b] : 1);
+    total += r;
+  }
+  return total > 0.0 ? weighted / total : 0.0;
+}
 
 TripleStore::TripleStore(const StoreOptions& options) : options_(options) {
   if (options_.num_hash_shards == 0) options_.num_hash_shards = 1;
@@ -46,7 +95,13 @@ TripleStore::TripleStore(const StoreOptions& options) : options_(options) {
 }
 
 void TripleStore::MoveFrom(TripleStore&& other) {
-  std::scoped_lock lock(global_mu_, other.global_mu_);
+  std::scoped_lock lock(global_mu_, other.global_mu_, hist_mu_,
+                        other.hist_mu_);
+  hist_memo_ = std::move(other.hist_memo_);
+  other.hist_memo_.clear();
+  histogram_recomputes_.store(
+      other.histogram_recomputes_.load(std::memory_order_relaxed),
+      std::memory_order_relaxed);
   options_ = other.options_;
   shards_ = std::move(other.shards_);
   groups_ = std::move(other.groups_);
@@ -553,6 +608,62 @@ PredicateStats TripleStore::StatsFor(TermId p) const {
   }
   return ShardStatsFor(
       HashId(p) % static_cast<uint32_t>(options_.num_hash_shards), p);
+}
+
+PredicateHistograms TripleStore::HistogramFor(TermId p) const {
+  auto info_it = pred_info_.find(p);
+  if (info_it == pred_info_.end() || info_it->second.facts == 0) {
+    return PredicateHistograms();
+  }
+
+  // The memo key is the owning shard's epoch — the epoch sum for a group —
+  // exactly the keying StatsFor/GroupStatsFor use, so invalidation
+  // granularity matches: a write elsewhere leaves this entry valid.
+  uint64_t key = 0;
+  if (info_it->second.group >= 0) {
+    const PredGroup& g = *groups_[static_cast<size_t>(info_it->second.group)];
+    for (uint32_t k = 0; k < g.split; ++k) {
+      EnsureShardSorted(*shards_[g.first_shard + k]);
+      key += shards_[g.first_shard + k]->epoch.load(std::memory_order_acquire);
+    }
+  } else {
+    const uint32_t i =
+        HashId(p) % static_cast<uint32_t>(options_.num_hash_shards);
+    EnsureShardSorted(*shards_[i]);
+    key = shards_[i]->epoch.load(std::memory_order_acquire);
+  }
+  {
+    std::lock_guard<std::mutex> lock(hist_mu_);
+    auto it = hist_memo_.find(p);
+    if (it != hist_memo_.end() && it->second.key == key) {
+      return it->second.hist;
+    }
+  }
+
+  // One walk of p's facts; both columns are collected and sorted here
+  // rather than k-way merged — the rebuild is memoized, so simplicity wins.
+  std::vector<TermId> subjects, objects;
+  subjects.reserve(info_it->second.facts);
+  objects.reserve(info_it->second.facts);
+  ForEachMatch(TriplePattern(kNullTermId, p, kNullTermId),
+               [&](const Triple& t) {
+                 subjects.push_back(t.subject);
+                 objects.push_back(t.object);
+                 return true;
+               });
+  std::sort(subjects.begin(), subjects.end());
+  std::sort(objects.begin(), objects.end());
+  PredicateHistograms hist;
+  hist.subjects = BuildEquiDepth(subjects, options_.histogram_buckets);
+  hist.objects = BuildEquiDepth(objects, options_.histogram_buckets);
+  histogram_recomputes_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(hist_mu_);
+    HistEntry& entry = hist_memo_[p];
+    entry.key = key;
+    entry.hist = hist;
+  }
+  return hist;
 }
 
 StoreStats TripleStore::GlobalStats() const {

@@ -65,6 +65,50 @@ struct PredicateStats {
   }
 };
 
+/// Small equi-depth histogram over one column (subjects or objects) of one
+/// predicate's facts. Bucket boundaries are chosen so every bucket holds
+/// roughly the same number of *facts* (never splitting one term across
+/// buckets), so a frequency-skewed term surfaces as a bucket with few
+/// distinct terms and a high rows/distinct ratio. The planner uses this to
+/// estimate join fan-out under skew: when a clause position is joined to an
+/// upstream binding, values arrive weighted by their frequency, so the
+/// expected fan-out is the frequency-weighted bucket mean rather than the
+/// uniform facts/distinct average.
+struct TermHistogram {
+  /// Inclusive upper term-id bound of each bucket (ascending).
+  std::vector<TermId> upper;
+  /// Facts in each bucket.
+  std::vector<size_t> rows;
+  /// Distinct terms in each bucket.
+  std::vector<size_t> distinct;
+  /// Smallest term id in bucket 0 (histogram range lower bound).
+  TermId lower = 0;
+
+  bool empty() const { return upper.empty(); }
+  size_t total_rows() const {
+    size_t n = 0;
+    for (size_t r : rows) n += r;
+    return n;
+  }
+
+  /// Average facts per term in the bucket holding `t`; 0 when `t` lies
+  /// outside the histogram's range (the term provably has no facts).
+  double EstimateEq(TermId t) const;
+
+  /// E[facts(v)] for a term v drawn weighted by its fact frequency —
+  /// Σ rows_b²/distinct_b over total rows. Equals facts/distinct under a
+  /// uniform distribution and grows with skew (Cauchy–Schwarz), so it is
+  /// the right per-binding fan-out for join estimation. Returns 0 when
+  /// empty.
+  double ExpectedFanout() const;
+};
+
+/// Per-predicate histograms over both join columns.
+struct PredicateHistograms {
+  TermHistogram subjects;
+  TermHistogram objects;
+};
+
 /// Whole-store aggregate statistics: the planner's fallback numbers for
 /// clauses whose predicate is a variable (per-predicate stats don't apply).
 struct StoreStats {
@@ -84,6 +128,11 @@ struct StoreOptions {
   size_t promote_threshold = 65536;
   /// Sub-shards per promoted predicate, partitioned by subject hash.
   size_t split_factor = 8;
+
+  /// Bucket count for the per-term equi-depth histograms (HistogramFor).
+  /// Small on purpose: the planner only needs coarse skew signal, and a
+  /// histogram rebuild is a full walk of one predicate's facts.
+  size_t histogram_buckets = 32;
 };
 
 /// An ordered list of contiguous index ranges covering one pattern — the
@@ -212,6 +261,14 @@ class TripleStore {
   /// survive a write.
   PredicateStats StatsFor(TermId p) const;
 
+  /// Equi-depth per-term histograms over predicate `p`'s subject and object
+  /// columns (empty histograms if `p` is absent). Memoized like StatsFor:
+  /// the entry is keyed off the owning shard's epoch (sum of sub-shard
+  /// epochs for a promoted group), so a write to one shard invalidates only
+  /// the histograms living there and an untouched predicate keeps its
+  /// entry across writes elsewhere.
+  PredicateHistograms HistogramFor(TermId p) const;
+
   /// Whole-store aggregates (total triples, distinct s/p/o). Distinct
   /// counts merge per-shard sorted aggregates that are memoized per shard
   /// epoch, so after a write only the touched shard recomputes; the merged
@@ -304,6 +361,12 @@ class TripleStore {
   /// everything else" regression tests.
   uint64_t stats_recomputes() const {
     return stats_recomputes_.load(std::memory_order_relaxed);
+  }
+
+  /// Number of histogram rebuilds since construction — the diagnostic the
+  /// histogram epoch-invalidation tests pin, mirroring stats_recomputes().
+  uint64_t histogram_recomputes() const {
+    return histogram_recomputes_.load(std::memory_order_relaxed);
   }
 
  private:
@@ -452,7 +515,18 @@ class TripleStore {
   mutable uint64_t global_stats_epoch_ = 0;
   mutable bool global_stats_valid_ = false;
 
+  /// Histogram memo: per predicate, keyed by the owning shard's epoch (sum
+  /// of sub-shard epochs for a group) — same invalidation granularity as
+  /// the predicate-stats memo. Guarded by hist_mu_.
+  struct HistEntry {
+    uint64_t key = 0;
+    PredicateHistograms hist;
+  };
+  mutable std::mutex hist_mu_;
+  mutable std::unordered_map<TermId, HistEntry> hist_memo_;
+
   mutable std::atomic<uint64_t> stats_recomputes_{0};
+  mutable std::atomic<uint64_t> histogram_recomputes_{0};
 };
 
 }  // namespace sofya

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <future>
+#include <limits>
 #include <unordered_set>
 #include <utility>
 #include <vector>
@@ -61,11 +62,21 @@ struct RowHash {
 // When `driver` is non-null the level-0 cursor iterates that single span
 // instead of probing the store — the parallel scan path injects one chunk
 // of the driver clause's sharded range per task.
+//
+// `stage_rows`, when non-null, points at `plan.clauses.size()` counters that
+// receive per-stage accepted-row counts (the EXPLAIN `actual` column).
+// `stage_quota`, when non-null (adaptive execution), caps each stage's
+// count; the first stage to exceed its quota aborts the whole pipeline,
+// `*violated_level` reports which. Returns false only on a quota abort —
+// emit-initiated stops (LIMIT/ASK) and normal drains return true.
 template <typename Emit>
-void RunPlan(const TripleStore& store, const CompiledPlan& plan,
+bool RunPlan(const TripleStore& store, const CompiledPlan& plan,
              size_t num_vars, const Dictionary* dict, EvalStats& stats,
-             Emit&& emit, const std::span<const Triple>* driver = nullptr) {
-  if (plan.dangling_filter || plan.clauses.empty()) return;
+             Emit&& emit, const std::span<const Triple>* driver = nullptr,
+             uint64_t* stage_rows = nullptr,
+             const double* stage_quota = nullptr,
+             size_t* violated_level = nullptr) {
+  if (plan.dangling_filter || plan.clauses.empty()) return true;
 
   // A cursor walks the per-shard spans of one MatchView in shard order;
   // `cur` caches the active span so the inner loop stays branch-cheap.
@@ -152,17 +163,25 @@ void RunPlan(const TripleStore& store, const CompiledPlan& plan,
       }
       if (!accepted) continue;
       ++stats.intermediate_rows;
+      if (stage_rows != nullptr) {
+        ++stage_rows[level];
+        if (stage_quota != nullptr &&
+            static_cast<double>(stage_rows[level]) > stage_quota[level]) {
+          if (violated_level != nullptr) *violated_level = level;
+          return false;  // Estimate blown: caller re-plans and restarts.
+        }
+      }
       advanced = true;
       break;
     }
 
     if (!advanced) {
-      if (level == 0) return;  // Pipeline drained.
+      if (level == 0) return true;  // Pipeline drained.
       --level;
       continue;
     }
     if (level + 1 == depth) {
-      if (!emit(bindings)) return;  // LIMIT/ASK pushdown.
+      if (!emit(bindings)) return true;  // LIMIT/ASK pushdown.
     } else {
       ++level;
       open(level);
@@ -187,8 +206,10 @@ std::vector<ScanChunk> PlanScanChunks(const MatchView& driver,
   // sibling pool tasks (the alignment scheduler may run queries on-pool).
   if (limit != kNoLimit || pool->OnWorkerThread()) return chunks;
   if (driver.total() < min_rows) return chunks;
+  // At least one row per chunk: a zero target (tiny driver, low min_rows,
+  // many threads) would otherwise loop forever emitting empty chunks.
   const size_t target = std::max<size_t>(
-      min_rows / 2, driver.total() / (pool->num_threads() * 4));
+      {size_t{1}, min_rows / 2, driver.total() / (pool->num_threads() * 4)});
   for (size_t si = 0; si < driver.num_spans(); ++si) {
     const std::span<const Triple> span = driver.span(si);
     for (size_t at = 0; at < span.size(); at += target) {
@@ -199,6 +220,36 @@ std::vector<ScanChunk> PlanScanChunks(const MatchView& driver,
   return chunks;
 }
 
+// Records the executed plan's estimated-vs-actual table into `stats`.
+void FillClauseRows(const CompiledPlan& plan,
+                    const std::vector<uint64_t>& counts, EvalStats& stats) {
+  stats.clause_rows.clear();
+  stats.clause_rows.reserve(plan.clauses.size());
+  for (size_t k = 0; k < plan.clauses.size(); ++k) {
+    ClauseRowStats cr;
+    cr.source_index = plan.clauses[k].source_index;
+    cr.estimated_rows = plan.clauses[k].estimated_rows;
+    cr.estimated_output_rows = plan.clauses[k].estimated_output_rows;
+    cr.actual_rows = counts[k];
+    stats.clause_rows.push_back(cr);
+  }
+}
+
+// The binding context clause `cc` scans in under its plan: bit 0/1/2 set
+// when the subject/predicate/object slot is fixed (constant or upstream-
+// bound variable) before the scan. Must mirror the planner's BoundSig so a
+// pinned CardinalityOverride re-applies in exactly the measured context.
+uint8_t SlotBoundSig(const CompiledClause& cc) {
+  uint8_t sig = 0;
+  for (int i = 0; i < 3; ++i) {
+    if (cc.slots[i].kind == SlotKind::kConst ||
+        cc.slots[i].kind == SlotKind::kBoundVar) {
+      sig |= static_cast<uint8_t>(1 << i);
+    }
+  }
+  return sig;
+}
+
 // Shared SELECT consumer: project, DISTINCT-probe, skip OFFSET, stop at
 // LIMIT — streaming, so the pipeline never materializes skipped rows.
 //
@@ -207,17 +258,28 @@ std::vector<ScanChunk> PlanScanChunks(const MatchView& driver,
 // buffers; chunks are then merged in span order through the very same
 // DISTINCT/OFFSET consumer, so rows AND EvalStats are bit-identical to the
 // sequential path (the work is a partition of the same index ranges).
+//
+// With `options.adaptive` (and no LIMIT), execution instead starts as a
+// sequential quota-checked pass: each stage may emit at most
+// max(estimate·factor, min_rows) rows before the pipeline aborts, pins the
+// observed cardinality as a CardinalityOverride, re-plans, and restarts.
+// After `adaptive_max_replans` re-plans the current plan runs to completion
+// without quotas (and may then use the scan pool). The emitted row set is
+// plan-invariant, so results match non-adaptive execution exactly; work
+// counters include abandoned attempts and stay deterministic across scan
+// thread counts because every quota-checked pass is sequential.
 StatusOr<ResultSet> RunSelect(const TripleStore& store,
                               const CompiledPlan& plan,
                               const SelectQuery& query, const Dictionary* dict,
-                              EvalStats& stats, ThreadPool* pool,
-                              size_t parallel_min_rows) {
+                              EvalStats& stats,
+                              const Engine::Options& options) {
   ResultSet result;
   result.var_names.reserve(plan.projection.size());
   for (VarId v : plan.projection) result.var_names.push_back(query.var_name(v));
 
   const uint64_t offset = query.offset();
   const uint64_t limit = query.limit();
+  ThreadPool* pool = options.scan_pool;
 
   std::unordered_set<Row, RowHash> seen;
   uint64_t skipped = 0;
@@ -234,40 +296,112 @@ StatusOr<ResultSet> RunSelect(const TripleStore& store,
   };
 
   if (limit != 0) {
+    // `active` is the plan being executed; adaptive re-planning swaps in
+    // locally-owned recompiles (never cached — overrides are one execution's
+    // observations, and the cache must stay a pure function of the
+    // fingerprint so pagination never changes enumeration order).
+    const CompiledPlan* active = &plan;
+    CompiledPlan replanned;
+
+    const bool adaptive_eligible =
+        options.adaptive && limit == kNoLimit && plan.used_statistics &&
+        !plan.dangling_filter && !plan.clauses.empty();
+    if (adaptive_eligible) {
+      std::vector<CardinalityOverride> overrides;
+      for (int replan = 0; replan < options.adaptive_max_replans; ++replan) {
+        const size_t depth = active->clauses.size();
+        std::vector<double> quota(depth);
+        for (size_t k = 0; k < depth; ++k) {
+          const double est = active->clauses[k].estimated_output_rows;
+          quota[k] = est < 0.0
+                         ? std::numeric_limits<double>::infinity()
+                         : std::max(est * options.adaptive_replan_factor,
+                                    static_cast<double>(
+                                        options.adaptive_min_rows));
+        }
+        std::vector<uint64_t> stage_counts(depth, 0);
+        std::vector<Row> buffer;
+        size_t violated = 0;
+        const bool completed = RunPlan(
+            store, *active, query.num_vars(), dict, stats,
+            [&](const Row& bindings) {
+              Row out;
+              out.reserve(active->projection.size());
+              for (VarId v : active->projection) out.push_back(bindings[v]);
+              buffer.push_back(std::move(out));
+              return true;
+            },
+            /*driver=*/nullptr, stage_counts.data(), quota.data(), &violated);
+        if (completed) {
+          FillClauseRows(*active, stage_counts, stats);
+          bool more = true;
+          for (Row& row : buffer) {
+            if (!more) break;
+            more = consume(std::move(row));
+          }
+          stats.result_rows = result.rows.size();
+          return result;
+        }
+        // Estimate blown at `violated`: pin the observation (observed /
+        // estimated, at least the trigger factor) for that clause in the
+        // binding context it was measured in, re-plan, restart from scratch.
+        const CompiledClause& cc = active->clauses[violated];
+        CardinalityOverride ov;
+        ov.source_index = cc.source_index;
+        ov.bound_sig = SlotBoundSig(cc);
+        ov.scale =
+            std::max(static_cast<double>(stage_counts[violated]) /
+                         std::max(cc.estimated_output_rows, 1.0),
+                     options.adaptive_replan_factor);
+        overrides.push_back(ov);
+        ++stats.replans;
+        replanned = CompilePlan(query, &store, options.planner, overrides);
+        active = &replanned;
+      }
+      // Out of re-plans: run `active` to completion below, quota-free.
+    }
+
     std::vector<ScanChunk> chunks;
-    if (pool != nullptr && !plan.dangling_filter && !plan.clauses.empty()) {
-      const CompiledClause& cc = plan.clauses[0];
+    if (pool != nullptr && !active->dangling_filter &&
+        !active->clauses.empty()) {
+      const CompiledClause& cc = active->clauses[0];
       auto resolve = [&](const CompiledSlot& slot) -> TermId {
         // Level 0 binds from nothing: slots are consts, binds or wildcards.
         return slot.kind == SlotKind::kConst ? slot.constant : kNullTermId;
       };
       const MatchView driver = store.MatchSpans(TriplePattern(
           resolve(cc.slots[0]), resolve(cc.slots[1]), resolve(cc.slots[2])));
-      chunks = PlanScanChunks(driver, pool, parallel_min_rows, limit);
+      chunks =
+          PlanScanChunks(driver, pool, options.parallel_scan_min_rows, limit);
       if (!chunks.empty()) {
         ++stats.index_probes;  // The one driver probe, as in sequential.
         struct ChunkResult {
           std::vector<Row> rows;
           EvalStats stats;
+          std::vector<uint64_t> stage_counts;
         };
         std::vector<std::future<ChunkResult>> futures;
         futures.reserve(chunks.size());
         for (const ScanChunk& chunk : chunks) {
           futures.push_back(pool->Submit([&, chunk] {
             ChunkResult cr;
+            cr.stage_counts.assign(active->clauses.size(), 0);
             RunPlan(
-                store, plan, query.num_vars(), dict, cr.stats,
+                store, *active, query.num_vars(), dict, cr.stats,
                 [&](const Row& bindings) {
                   Row out;
-                  out.reserve(plan.projection.size());
-                  for (VarId v : plan.projection) out.push_back(bindings[v]);
+                  out.reserve(active->projection.size());
+                  for (VarId v : active->projection) {
+                    out.push_back(bindings[v]);
+                  }
                   cr.rows.push_back(std::move(out));
                   return true;
                 },
-                &chunk.slice);
+                &chunk.slice, cr.stage_counts.data());
             return cr;
           }));
         }
+        std::vector<uint64_t> stage_counts(active->clauses.size(), 0);
         bool more = true;
         for (auto& future : futures) {
           // Always drain every future (workers borrow spans and the plan);
@@ -276,22 +410,30 @@ StatusOr<ResultSet> RunSelect(const TripleStore& store,
           stats.intermediate_rows += cr.stats.intermediate_rows;
           stats.index_probes += cr.stats.index_probes;
           stats.triples_scanned += cr.stats.triples_scanned;
+          for (size_t k = 0; k < stage_counts.size(); ++k) {
+            stage_counts[k] += cr.stage_counts[k];
+          }
           for (Row& row : cr.rows) {
             if (!more) break;
             more = consume(std::move(row));
           }
         }
+        FillClauseRows(*active, stage_counts, stats);
         stats.result_rows = result.rows.size();
         return result;
       }
     }
-    RunPlan(store, plan, query.num_vars(), dict, stats,
-            [&](const Row& bindings) {
-              Row out;
-              out.reserve(plan.projection.size());
-              for (VarId v : plan.projection) out.push_back(bindings[v]);
-              return consume(std::move(out));
-            });
+    std::vector<uint64_t> stage_counts(active->clauses.size(), 0);
+    RunPlan(
+        store, *active, query.num_vars(), dict, stats,
+        [&](const Row& bindings) {
+          Row out;
+          out.reserve(active->projection.size());
+          for (VarId v : active->projection) out.push_back(bindings[v]);
+          return consume(std::move(out));
+        },
+        /*driver=*/nullptr, stage_counts.data());
+    FillClauseRows(*active, stage_counts, stats);
   }
   stats.result_rows = result.rows.size();
   return result;
@@ -301,10 +443,15 @@ StatusOr<bool> RunAsk(const TripleStore& store, const CompiledPlan& plan,
                       const SelectQuery& query, const Dictionary* dict,
                       EvalStats& stats) {
   bool found = false;
-  RunPlan(store, plan, query.num_vars(), dict, stats, [&](const Row&) {
-    found = true;
-    return false;  // First solution settles existence.
-  });
+  std::vector<uint64_t> stage_counts(plan.clauses.size(), 0);
+  RunPlan(
+      store, plan, query.num_vars(), dict, stats,
+      [&](const Row&) {
+        found = true;
+        return false;  // First solution settles existence.
+      },
+      /*driver=*/nullptr, stage_counts.data());
+  FillClauseRows(plan, stage_counts, stats);
   stats.result_rows = found ? 1 : 0;
   return found;
 }
@@ -359,8 +506,10 @@ StatusOr<ResultSet> Engine::Select(const SelectQuery& query,
   bool hit = false;
   const std::shared_ptr<const CompiledPlan> plan = PlanFor(query, &hit);
   (hit ? local.plan_cache_hits : local.plan_cache_misses) = 1;
-  auto result = RunSelect(*store_, *plan, query, dict_, local,
-                          options_.scan_pool, options_.parallel_scan_min_rows);
+  auto result = RunSelect(*store_, *plan, query, dict_, local, options_);
+  if (local.replans > 0) {
+    replans_.fetch_add(local.replans, std::memory_order_relaxed);
+  }
   if (stats != nullptr) *stats = local;
   return result;
 }
@@ -412,8 +561,9 @@ StatusOr<ResultSet> Evaluate(const TripleStore& store,
   SOFYA_RETURN_IF_ERROR(query.Validate());
   EvalStats local;
   const CompiledPlan plan = CompilePlan(query, &store, planner);
-  auto result = RunSelect(store, plan, query, dict, local,
-                          /*pool=*/nullptr, /*parallel_min_rows=*/0);
+  Engine::Options one_shot;
+  one_shot.planner = planner;
+  auto result = RunSelect(store, plan, query, dict, local, one_shot);
   if (stats != nullptr) *stats = local;
   return result;
 }

@@ -29,11 +29,13 @@
 #define SOFYA_SPARQL_ENGINE_H_
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "rdf/dictionary.h"
 #include "rdf/triple_store.h"
@@ -45,6 +47,15 @@ namespace sofya {
 
 class ThreadPool;
 
+/// Estimated-vs-actual rows for one executed pipeline stage (EXPLAIN's
+/// `actual` column; how adaptive execution decides a plan went wrong).
+struct ClauseRowStats {
+  size_t source_index = 0;  ///< Clause position in the original WHERE list.
+  double estimated_rows = -1.0;         ///< Planner per-stage fan-out estimate.
+  double estimated_output_rows = -1.0;  ///< Planner cumulative chain estimate.
+  uint64_t actual_rows = 0;             ///< Rows this stage actually emitted.
+};
+
 /// Evaluation metering, reported to the endpoint layer for accounting.
 struct EvalStats {
   uint64_t intermediate_rows = 0;  ///< Rows produced across all join steps.
@@ -53,6 +64,12 @@ struct EvalStats {
   uint64_t result_rows = 0;        ///< Final row count (after LIMIT).
   uint64_t plan_cache_hits = 0;    ///< 1 when the plan came from the cache.
   uint64_t plan_cache_misses = 0;  ///< 1 when this call had to plan.
+  uint64_t replans = 0;            ///< Adaptive mid-execution re-plans.
+  /// Per-stage estimated-vs-actual for the finally-executed plan, in planned
+  /// order. Work counters above count *all* work (including abandoned
+  /// adaptive attempts); this table describes only the plan that produced
+  /// the result.
+  std::vector<ClauseRowStats> clause_rows;
 };
 
 /// Compiled-plan evaluator bound to one store. Thread-safe for concurrent
@@ -73,6 +90,29 @@ class Engine {
     ThreadPool* scan_pool = nullptr;
     /// Driver-range row threshold below which scans stay sequential.
     size_t parallel_scan_min_rows = 1 << 15;
+    /// Adaptive execution: SELECTs without a LIMIT run a sequential
+    /// quota-checked pass; when a stage's observed output exceeds its
+    /// planner estimate by `adaptive_replan_factor`, execution bails,
+    /// re-plans the query with the observed cardinality pinned
+    /// (CardinalityOverride), and restarts — so a mis-estimated join order
+    /// costs at most the quota it was given, not the full blown-up
+    /// intermediate. Results are bit-identical to non-adaptive execution
+    /// (the row set is plan-invariant and the restart replays from
+    /// scratch); work counters honestly include abandoned attempts and are
+    /// deterministic across scan-thread counts because quota-checked
+    /// passes are always sequential. LIMIT queries are excluded so the
+    /// plan stays a pure function of the PlanFingerprint and OFFSET/LIMIT
+    /// pagination never changes enumeration order mid-walk. Re-planned
+    /// plans are never cached.
+    bool adaptive = false;
+    /// Observed/estimated divergence factor that triggers a re-plan.
+    double adaptive_replan_factor = 8.0;
+    /// Stages with estimates below this never trigger (absolute floor on
+    /// the quota) — tiny estimates would otherwise thrash on noise.
+    uint64_t adaptive_min_rows = 1024;
+    /// Re-plans per query before running the current plan to completion
+    /// without quota checks (bounds total work at max_replans+1 attempts).
+    int adaptive_max_replans = 2;
   };
 
   Engine(const TripleStore* store, const Dictionary* dict, Options options)
@@ -109,6 +149,9 @@ class Engine {
     return misses_.load(std::memory_order_relaxed);
   }
 
+  /// Adaptive mid-execution re-plans since construction.
+  uint64_t replans() const { return replans_.load(std::memory_order_relaxed); }
+
  private:
   /// Returns the cached plan for `query` (same PlanFingerprint, same store
   /// epoch) or compiles, caches, and returns a fresh one.
@@ -124,6 +167,7 @@ class Engine {
       plans_;  // Guarded by mu_; entries validated against store epoch.
   mutable std::atomic<uint64_t> hits_{0};
   mutable std::atomic<uint64_t> misses_{0};
+  mutable std::atomic<uint64_t> replans_{0};
 };
 
 /// One-shot evaluation of `query` against `store` (fresh plan, default

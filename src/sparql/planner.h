@@ -8,9 +8,16 @@
 // stage, so putting a 50-row clause ahead of a 150k-row clause changes the
 // probe count by orders of magnitude on SOFYA's probe-shaped queries.
 //
-// Two planners share the machinery:
+// Three planners share the machinery:
 //
-//   * statistics-driven (default): greedy min-cost ordering using
+//   * Selinger-style DP (default): dynamic programming over clause subsets
+//     minimizing *cumulative* cost — the sum of estimated intermediate
+//     cardinalities propagated through the join chain — fed by exact
+//     range-width probes (TripleStore::CountMatches: two binary searches
+//     per shard) for constant-prefix clauses and skew-aware equi-depth
+//     per-term histograms (TripleStore::HistogramFor) for join fan-outs.
+//     Falls back to greedy above `dp_max_clauses`;
+//   * greedy min-cost (v1, the A/B baseline): one clause at a time using
 //     TripleStore::StatsFor (facts, distinct subjects/objects) for clauses
 //     with a constant predicate and TripleStore::GlobalStats as the fallback
 //     for variable predicates, preferring clauses connected to the already-
@@ -46,6 +53,37 @@ struct PlannerOptions {
   /// When false — or when no store is available at compile time — the
   /// legacy bound-position heuristic orders the clauses.
   bool use_statistics = true;
+
+  /// When true (default), statistics planning runs Selinger-style dynamic
+  /// programming over clause orders with *cumulative* cost (the estimated
+  /// intermediate cardinality propagated through the join chain), fed by
+  /// exact range-width probes for constant-prefix clauses and per-term
+  /// histograms. When false — or above `dp_max_clauses` — the v1 greedy
+  /// min-cost planner orders the clauses (the A/B baseline).
+  bool use_dp = true;
+
+  /// Clause count beyond which DP (O(2^n · n) states) falls back to the
+  /// greedy planner. 12 clauses = 4096 states, well under a millisecond.
+  size_t dp_max_clauses = 12;
+
+  /// When true (default), DP join fan-outs use the store's equi-depth
+  /// per-term histograms (skew-aware frequency-weighted means) instead of
+  /// the uniform facts/distinct average.
+  bool use_histograms = true;
+};
+
+/// A pinned cardinality observation from adaptive execution: when the
+/// engine re-plans mid-query, the observed blow-up of one clause is carried
+/// into the new plan as a multiplicative scale on that clause's estimate.
+/// The scale applies only when the clause is costed in the *same binding
+/// context* it was measured in (`bound_sig`: bit 0/1/2 set when the
+/// subject/predicate/object position is fixed before the clause scans) —
+/// an observation made with only the subject bound says nothing about the
+/// fully-bound containment-check placement of the same clause.
+struct CardinalityOverride {
+  size_t source_index = 0;  ///< Clause position in the original WHERE list.
+  uint8_t bound_sig = 0;    ///< Binding context the observation was made in.
+  double scale = 1.0;       ///< observed / estimated (≥ the replan factor).
 };
 
 /// Classification of one clause position, fixed at compile time so the
@@ -70,8 +108,14 @@ struct CompiledClause {
   /// Index of this clause in the original query's WHERE list.
   size_t source_index = 0;
   /// The planner's row estimate at the moment this clause was chosen
-  /// (statistics planner; the legacy heuristic reports -1).
+  /// (statistics planner; the legacy heuristic reports -1). This is the
+  /// per-outer-row fan-out estimate, not a cumulative cardinality.
   double estimated_rows = -1.0;
+  /// Estimated cardinality of the join *after* this stage (the DP chain's
+  /// propagated intermediate estimate; the greedy planner fills it with the
+  /// running product of its per-stage estimates; -1 under legacy). This is
+  /// the number adaptive execution compares against observed stage output.
+  double estimated_output_rows = -1.0;
 };
 
 struct CompiledPlan {
@@ -83,6 +127,9 @@ struct CompiledPlan {
   bool dangling_filter = false;
   /// Which planner produced the order (explain/debug surface).
   bool used_statistics = false;
+  /// True when the order came from the Selinger-style DP search (as opposed
+  /// to the v1 greedy pass); only meaningful when used_statistics.
+  bool used_dp = false;
   /// TripleStore::mutation_epoch() the statistics were read at (0 when
   /// planned without a store). The engine's plan cache compares this to the
   /// live epoch: same epoch ⇒ same data ⇒ the plan is still valid.
@@ -90,17 +137,24 @@ struct CompiledPlan {
 };
 
 /// Compiles `query` into an ordered pipeline. `store` supplies statistics
-/// and may be null (falls back to the legacy heuristic). Never fails:
-/// structural validity is SelectQuery::Validate's job and is checked by the
-/// engine before execution.
+/// and may be null (falls back to the legacy heuristic). `overrides` pins
+/// adaptively observed cardinalities (engine re-plans; empty for a fresh
+/// compile). Never fails: structural validity is SelectQuery::Validate's
+/// job and is checked by the engine before execution.
 CompiledPlan CompilePlan(const SelectQuery& query, const TripleStore* store,
-                         const PlannerOptions& options = {});
+                         const PlannerOptions& options = {},
+                         const std::vector<CardinalityOverride>& overrides = {});
 
 /// One clause of an EXPLAIN report, in executed (planned) order.
 struct ClauseExplain {
   size_t source_index = 0;     ///< Position in the original WHERE list.
   std::string pattern;         ///< "?x <knows> ?y" (dict-rendered).
-  double estimated_rows = -1;  ///< Planner estimate; -1 under legacy.
+  double estimated_rows = -1;  ///< Planner fan-out estimate; -1 under legacy.
+  /// Estimated rows *output* by this stage (cumulative); -1 under legacy.
+  double estimated_output_rows = -1;
+  /// Observed rows this stage produced. -1 until an execution fills it in
+  /// (CLI `explain --execute` merges EvalStats back by source_index).
+  int64_t actual_rows = -1;
   std::vector<std::string> filters;  ///< Filters applied after this stage.
 };
 
@@ -109,14 +163,23 @@ struct ClauseExplain {
 /// `explain` subcommand.
 struct PlanExplain {
   bool used_statistics = false;
+  bool used_dp = false;
   bool from_cache = false;  ///< Filled by the engine, not the planner.
   uint64_t store_epoch = 0;
   bool dangling_filter = false;
+  /// Adaptive re-plans observed while executing (CLI --execute fills this;
+  /// a plain EXPLAIN never executes, so it stays 0).
+  uint64_t replans = 0;
   std::vector<ClauseExplain> clauses;
   std::vector<std::string> projection;  ///< Projected variable names.
 
   /// Multi-line human-readable rendering (the CLI's output).
   std::string ToString() const;
+
+  /// One-line JSON rendering (CLI `explain --json`): planner, epoch, and
+  /// the per-clause estimated-vs-actual table, machine-readable for
+  /// scripts and CI gates.
+  std::string ToJson() const;
 };
 
 /// Renders `plan` against its source query. `dict`, when non-null, decodes

@@ -1,0 +1,242 @@
+// Adaptive (re-planning) execution: when a stage's observed output blows
+// past its planner estimate, the engine bails, re-plans with the observed
+// cardinality pinned, and restarts — bounding the cost of a mis-estimate at
+// the quota it was given.
+//
+// The fixture is a miniature of the bench's misestimate-adversarial shape:
+// a fan-out predicate whose four hub subjects are *interspersed* across the
+// id range, so every hub shares its equi-depth bucket with hundreds of
+// ordinary subjects and the histogram's frequency-weighted fan-out stays
+// near the uniform value. No static plan can see the skew; only execution
+// can.
+//
+// Pinned invariants:
+//   * the trap query re-plans exactly once, deterministically;
+//   * the adaptive result bag equals the non-adaptive one (row order may
+//     differ when a re-plan switches the executed plan — SELECT without
+//     ORDER BY has no order contract — but content may not);
+//   * rows AND EvalStats are bit-identical across 1/2/8 scan threads;
+//   * a query whose estimates hold produces bit-identical rows and stats to
+//     the non-adaptive engine (the quota pass is pure observation);
+//   * EvalStats.clause_rows describes the finally-executed plan.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "rdf/triple_store.h"
+#include "sparql/engine.h"
+#include "sparql/planner.h"
+#include "sparql/query.h"
+#include "util/thread_pool.h"
+
+namespace sofya {
+namespace {
+
+using Row = std::vector<TermId>;
+
+std::multiset<Row> AsBag(const std::vector<Row>& rows) {
+  return {rows.begin(), rows.end()};
+}
+
+constexpr TermId kPFan = 10, kPSel = 11, kPObjSel = 12;
+constexpr TermId kSelMarker = 777;
+
+/// 2000 ordinary subjects with fan-out 2 plus 4 hubs with fan-out 100,
+/// hub ids interleaved between ordinary ids (odd ids in an even-id run) so
+/// the subject histogram cannot isolate them. psel marks exactly the hubs;
+/// pobjsel reaches 20 of hub 0's fan-out objects.
+TripleStore TrapStore() {
+  TripleStore store;
+  for (TermId i = 0; i < 2000; ++i) {
+    const TermId s = 10000 + 2 * i;
+    store.Insert(s, kPFan, 100000 + 2 * i);
+    store.Insert(s, kPFan, 100000 + 2 * i + 1);
+    if (i % 500 == 250) {
+      const TermId hub = 10000 + 2 * i + 1;  // Odd id: between neighbors.
+      for (TermId j = 0; j < 100; ++j) {
+        store.Insert(hub, kPFan, 200000 + (i / 500) * 100 + j);
+      }
+      store.Insert(hub, kPSel, kSelMarker);
+    }
+  }
+  for (TermId k = 0; k < 20; ++k) {
+    store.Insert(300000 + k, kPObjSel, 200000 + k);  // Hub 0's objects.
+  }
+  return store;
+}
+
+/// ?h psel ?m . ?h pfan ?v . ?w pobjsel ?v — the planner anchors on the 4
+/// psel rows and walks pfan expecting ~2 rows per subject; every match is a
+/// 100-fact hub.
+SelectQuery TrapQuery() {
+  SelectQuery q;
+  const VarId h = q.NewVar("h");
+  const VarId m = q.NewVar("m");
+  const VarId v = q.NewVar("v");
+  const VarId w = q.NewVar("w");
+  q.Where(NodeRef::Variable(h), NodeRef::Constant(kPSel),
+          NodeRef::Variable(m));
+  q.Where(NodeRef::Variable(h), NodeRef::Constant(kPFan),
+          NodeRef::Variable(v));
+  q.Where(NodeRef::Variable(w), NodeRef::Constant(kPObjSel),
+          NodeRef::Variable(v));
+  return q;
+}
+
+Engine::Options AdaptiveOptions() {
+  Engine::Options options;
+  options.adaptive = true;
+  options.adaptive_replan_factor = 4.0;
+  options.adaptive_min_rows = 64;
+  return options;
+}
+
+TEST(AdaptiveTest, TrapQueryReplansExactlyOnceAndKeepsTheResultBag) {
+  const TripleStore store = TrapStore();
+  Engine non_adaptive(&store);
+  Engine adaptive(&store, nullptr, AdaptiveOptions());
+
+  EvalStats na_stats, ad_stats;
+  auto na = non_adaptive.Select(TrapQuery(), &na_stats);
+  auto ad = adaptive.Select(TrapQuery(), &ad_stats);
+  ASSERT_TRUE(na.ok());
+  ASSERT_TRUE(ad.ok());
+
+  // The static plan walked into the hubs; adaptive noticed and escaped.
+  EXPECT_EQ(na_stats.replans, 0u);
+  EXPECT_EQ(ad_stats.replans, 1u);
+  EXPECT_EQ(adaptive.replans(), 1u);
+  EXPECT_EQ(non_adaptive.replans(), 0u);
+
+  EXPECT_EQ(ad->rows.size(), 20u);
+  EXPECT_EQ(AsBag(ad->rows), AsBag(na->rows));
+  // Escaping must be cheaper than pushing through: even paying for the
+  // abandoned quota pass, the re-planned run touches fewer index entries.
+  EXPECT_LT(ad_stats.triples_scanned, na_stats.triples_scanned);
+
+  // Determinism: the same query re-plans identically every time (re-planned
+  // plans are never cached, so each execution re-observes the blow-up).
+  EvalStats again_stats;
+  auto again = adaptive.Select(TrapQuery(), &again_stats);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->rows, ad->rows);
+  EXPECT_EQ(again_stats.replans, 1u);
+  EXPECT_EQ(again_stats.triples_scanned, ad_stats.triples_scanned);
+  EXPECT_EQ(again_stats.index_probes, ad_stats.index_probes);
+  EXPECT_EQ(adaptive.replans(), 2u);
+}
+
+TEST(AdaptiveTest, RowsAndStatsAreBitIdenticalAcrossScanThreadCounts) {
+  const TripleStore store = TrapStore();
+  // max_replans = 1 ends the quota phase after the first re-plan, so the
+  // final (quota-free) attempt goes through the parallel-eligible path;
+  // parallel_scan_min_rows = 1 makes any pool actually fan out.
+  Engine::Options base = AdaptiveOptions();
+  base.adaptive_max_replans = 1;
+  base.parallel_scan_min_rows = 1;
+
+  ThreadPool pool2(2), pool8(8);
+  Engine seq(&store, nullptr, base);
+  Engine::Options with2 = base;
+  with2.scan_pool = &pool2;
+  Engine par2(&store, nullptr, with2);
+  Engine::Options with8 = base;
+  with8.scan_pool = &pool8;
+  Engine par8(&store, nullptr, with8);
+
+  EvalStats s1, s2, s8;
+  auto r1 = seq.Select(TrapQuery(), &s1);
+  auto r2 = par2.Select(TrapQuery(), &s2);
+  auto r8 = par8.Select(TrapQuery(), &s8);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  ASSERT_TRUE(r8.ok());
+
+  EXPECT_EQ(r1->rows, r2->rows);
+  EXPECT_EQ(r1->rows, r8->rows);
+  EXPECT_EQ(s1.replans, 1u);
+  EXPECT_EQ(s2.replans, 1u);
+  EXPECT_EQ(s8.replans, 1u);
+  EXPECT_EQ(s1.triples_scanned, s2.triples_scanned);
+  EXPECT_EQ(s1.triples_scanned, s8.triples_scanned);
+  EXPECT_EQ(s1.index_probes, s2.index_probes);
+  EXPECT_EQ(s1.index_probes, s8.index_probes);
+  EXPECT_EQ(s1.intermediate_rows, s2.intermediate_rows);
+  EXPECT_EQ(s1.intermediate_rows, s8.intermediate_rows);
+}
+
+TEST(AdaptiveTest, WellEstimatedQueryIsBitIdenticalToNonAdaptive) {
+  const TripleStore store = TrapStore();
+  Engine non_adaptive(&store);
+  Engine adaptive(&store, nullptr, AdaptiveOptions());
+
+  // ?w pobjsel ?v: 20 rows, estimated exactly (constant-prefix probe), so
+  // the quota pass completes untriggered and must be pure observation.
+  SelectQuery q;
+  const VarId w = q.NewVar("w");
+  const VarId v = q.NewVar("v");
+  q.Where(NodeRef::Variable(w), NodeRef::Constant(kPObjSel),
+          NodeRef::Variable(v));
+
+  EvalStats na_stats, ad_stats;
+  auto na = non_adaptive.Select(q, &na_stats);
+  auto ad = adaptive.Select(q, &ad_stats);
+  ASSERT_TRUE(na.ok());
+  ASSERT_TRUE(ad.ok());
+  EXPECT_EQ(na->rows, ad->rows);
+  EXPECT_EQ(ad_stats.replans, 0u);
+  EXPECT_EQ(na_stats.triples_scanned, ad_stats.triples_scanned);
+  EXPECT_EQ(na_stats.index_probes, ad_stats.index_probes);
+  EXPECT_EQ(na_stats.intermediate_rows, ad_stats.intermediate_rows);
+  EXPECT_EQ(na_stats.result_rows, ad_stats.result_rows);
+}
+
+TEST(AdaptiveTest, LimitQueriesBypassAdaptiveExecution) {
+  const TripleStore store = TrapStore();
+  Engine adaptive(&store, nullptr, AdaptiveOptions());
+  SelectQuery q = TrapQuery();
+  q.Limit(5);
+  EvalStats stats;
+  auto result = adaptive.Select(q, &stats);
+  ASSERT_TRUE(result.ok());
+  // LIMIT keeps the original plan (pagination-order purity): no re-plan
+  // even though the plan mis-estimates.
+  EXPECT_EQ(stats.replans, 0u);
+  EXPECT_EQ(result->rows.size(), 5u);
+}
+
+TEST(AdaptiveTest, ClauseRowStatsDescribeTheExecutedPlan) {
+  const TripleStore store = TrapStore();
+  Engine adaptive(&store, nullptr, AdaptiveOptions());
+  EvalStats stats;
+  auto result = adaptive.Select(TrapQuery(), &stats);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(stats.replans, 1u);
+
+  // One entry per pipeline stage of the *final* plan, in executed order,
+  // with planner estimates alongside observed rows.
+  ASSERT_EQ(stats.clause_rows.size(), 3u);
+  std::set<size_t> sources;
+  for (const ClauseRowStats& stage : stats.clause_rows) {
+    sources.insert(stage.source_index);
+    EXPECT_GE(stage.estimated_rows, 0.0);
+    EXPECT_GE(stage.estimated_output_rows, 0.0);
+    EXPECT_GT(stage.actual_rows, 0u);
+  }
+  EXPECT_EQ(sources, (std::set<size_t>{0, 1, 2}));
+  // The last stage's observed output is the result cardinality.
+  EXPECT_EQ(stats.clause_rows.back().actual_rows, result->rows.size());
+
+  // Non-adaptive runs report the same table shape for their (single) plan.
+  Engine plain(&store);
+  EvalStats plain_stats;
+  ASSERT_TRUE(plain.Select(TrapQuery(), &plain_stats).ok());
+  ASSERT_EQ(plain_stats.clause_rows.size(), 3u);
+  EXPECT_EQ(plain_stats.clause_rows.back().actual_rows, 20u);
+}
+
+}  // namespace
+}  // namespace sofya

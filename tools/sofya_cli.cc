@@ -41,16 +41,21 @@
 //       URL) backs off on and recovers from.
 //
 //   sofya explain --kb F --sparql 'SELECT ...' [--legacy-planner]
-//                 [--execute]
+//                 [--greedy-planner] [--adaptive] [--execute] [--json]
 //       Show the join-order plan the engine would run the query with:
-//       chosen clause order, per-clause cardinality estimates, attached
-//       filters. --legacy-planner shows the bound-position heuristic's
-//       order instead (the A/B baseline); --execute also runs the query
-//       and reports the evaluation metering (rows, index probes, triples
-//       scanned), so the two planners' real costs can be compared.
+//       chosen clause order, per-clause cardinality estimates (per-stage
+//       fan-out and cumulative), attached filters. --legacy-planner shows
+//       the bound-position heuristic's order, --greedy-planner the v1
+//       greedy min-cost order (both A/B baselines for the default
+//       Selinger-style DP); --execute also runs the query and merges the
+//       observed per-clause row counts into the table (estimated-vs-actual)
+//       plus the evaluation metering; --adaptive enables mid-execution
+//       re-planning during --execute (re-plan count reported); --json
+//       emits the whole report as one machine-readable JSON object.
 //
 //   --legacy-planner is also accepted by align and query (local datasets):
-//   it switches the in-process engines to the legacy clause ordering.
+//   it switches the in-process engines to the legacy clause ordering;
+//   query also takes --greedy-planner / --adaptive.
 
 #include <chrono>
 #include <csignal>
@@ -82,13 +87,15 @@ int Usage() {
                "[--candidate-source sameas|lexical|distribution|auto] "
                "[--base1 IRI] [--base2 IRI] [--legacy-planner]\n"
                "  sofya query (--kb FILE | --endpoint-url URL) "
-               "--sparql 'SELECT ...' [--legacy-planner] [--scan-threads N]\n"
+               "--sparql 'SELECT ...' [--legacy-planner] [--greedy-planner] "
+               "[--adaptive] [--scan-threads N]\n"
                "  sofya serve --kb FILE [--port N] [--address A] "
                "[--path /sparql] [--scan-threads N] [--workers N] "
                "[--max-concurrent N] [--per-client-concurrent N] "
                "[--quota N] [--retry-after-s S] [--port-file FILE]\n"
                "  sofya explain --kb FILE --sparql 'SELECT ...' "
-               "[--legacy-planner] [--execute]\n"
+               "[--legacy-planner] [--greedy-planner] [--adaptive] "
+               "[--execute] [--json]\n"
                "  sofya snapshot save --kb FILE --out FILE.snap\n"
                "  sofya snapshot load --kb FILE.snap\n"
                "(--kb accepts N-Triples or .snap snapshots everywhere; "
@@ -477,6 +484,10 @@ int Query(const std::map<std::string, std::string>& flags) {
     if (flags.count("legacy-planner")) {
       local_options.engine.planner.use_statistics = false;
     }
+    if (flags.count("greedy-planner")) {
+      local_options.engine.planner.use_dp = false;
+    }
+    if (flags.count("adaptive")) local_options.engine.adaptive = true;
     if (flags.count("scan-threads")) {
       const size_t n = std::stoul(flags.at("scan-threads"));
       if (n > 1) {
@@ -526,6 +537,8 @@ int Explain(const std::map<std::string, std::string>& flags) {
   if (flags.count("legacy-planner")) {
     options.engine.planner.use_statistics = false;
   }
+  if (flags.count("greedy-planner")) options.engine.planner.use_dp = false;
+  if (flags.count("adaptive")) options.engine.adaptive = true;
   LocalEndpoint endpoint(&kb, options);
 
   const PrefixMap prefixes = PrefixMap::WithDefaults();
@@ -543,20 +556,56 @@ int Explain(const std::map<std::string, std::string>& flags) {
     std::fprintf(stderr, "%s\n", explain.status().ToString().c_str());
     return 1;
   }
-  std::printf("%s", explain->ToString().c_str());
 
+  EvalStats eval_stats;
+  size_t executed_rows = 0;
   if (flags.count("execute")) {
-    auto result = endpoint.Select(*query);
+    // Run through the engine directly so the per-stage actual row counts
+    // (EvalStats::clause_rows) come back with the result; merge them into
+    // the explain table by source clause index. Under --adaptive a re-plan
+    // may have reordered execution — actuals still attach to the right
+    // source clauses, and the re-plan count is surfaced.
+    auto result = endpoint.engine().Select(*query, &eval_stats);
     if (!result.ok()) {
       std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
       return 1;
     }
-    const EndpointStats cost = endpoint.stats();
+    executed_rows = result->rows.size();
+    explain->replans = eval_stats.replans;
+    // EvalStats::clause_rows describes the finally-executed plan. When an
+    // adaptive re-plan changed the order, showing actuals against the
+    // static order would pair each stage with the wrong estimates — so the
+    // listing is rebuilt in executed order, estimates included.
+    std::vector<ClauseExplain> executed;
+    executed.reserve(eval_stats.clause_rows.size());
+    for (const ClauseRowStats& cr : eval_stats.clause_rows) {
+      for (auto& ce : explain->clauses) {
+        if (ce.source_index == cr.source_index) {
+          ce.estimated_rows = cr.estimated_rows;
+          ce.estimated_output_rows = cr.estimated_output_rows;
+          ce.actual_rows = static_cast<int64_t>(cr.actual_rows);
+          executed.push_back(ce);
+          break;
+        }
+      }
+    }
+    if (executed.size() == explain->clauses.size()) {
+      explain->clauses = std::move(executed);
+    }
+  }
+
+  if (flags.count("json")) {
+    std::printf("%s\n", explain->ToJson().c_str());
+  } else {
+    std::printf("%s", explain->ToString().c_str());
+  }
+  if (flags.count("execute") && !flags.count("json")) {
     std::printf(
-        "executed: %zu rows, %llu index probes, %llu triples scanned\n",
-        result->rows.size(),
-        static_cast<unsigned long long>(cost.index_probes),
-        static_cast<unsigned long long>(cost.triples_scanned));
+        "executed: %zu rows, %llu index probes, %llu triples scanned, "
+        "%llu replans\n",
+        executed_rows, static_cast<unsigned long long>(eval_stats.index_probes),
+        static_cast<unsigned long long>(eval_stats.triples_scanned),
+        static_cast<unsigned long long>(eval_stats.replans));
   }
   return 0;
 }
