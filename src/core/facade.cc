@@ -63,6 +63,7 @@ void Sofya::BuildStack(Endpoint* candidate_base, Endpoint* reference_base,
   }
   on_the_fly_ = std::make_unique<OnTheFlyAligner>(candidate_, reference_,
                                                   links, options.aligner);
+  aligner_options_ = options.aligner;
 }
 
 StatusOr<const AlignmentResult*> Sofya::Align(
@@ -78,7 +79,17 @@ StatusOr<std::vector<const AlignmentResult*>> Sofya::AlignAll(
   for (const std::string& iri : relation_iris) {
     relations.push_back(Term::Iri(iri));
   }
-  return on_the_fly_->AlignManyCached(relations, num_threads, schedule);
+  StatusOr<std::vector<const AlignmentResult*>> results =
+      on_the_fly_->AlignManyCached(relations, num_threads, schedule);
+  if (results.ok()) {
+    // The audited-run manifest commits to this invocation: config, every
+    // verdict in input order, and the query streams both endpoints saw
+    // (when journals are attached). Recomputed per call — a later AlignAll
+    // is a different run.
+    last_manifest_ = BuildRunManifest(aligner_options_, results.value(),
+                                      candidate_journal_, reference_journal_);
+  }
+  return results;
 }
 
 StatusOr<std::vector<std::string>> Sofya::ReferenceRelations() {

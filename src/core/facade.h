@@ -15,6 +15,7 @@
 
 #include "align/on_the_fly.h"
 #include "align/relation_aligner.h"
+#include "core/run_manifest.h"
 #include "endpoint/caching_endpoint.h"
 #include "endpoint/local_endpoint.h"
 #include "endpoint/retrying_endpoint.h"
@@ -123,6 +124,20 @@ class Sofya {
   /// Combined access cost over both endpoints since construction.
   EndpointStats TotalCost() const;
 
+  /// Attaches cassette journals (RecordingEndpoint / ReplayEndpoint) whose
+  /// query-stream digests AlignAll folds into the run manifest. Journals
+  /// are borrowed; pass nullptr to detach. Without journals the manifest's
+  /// `queries` entries carry the empty digest.
+  void AttachJournals(const CassetteJournal* candidate,
+                      const CassetteJournal* reference) {
+    candidate_journal_ = candidate;
+    reference_journal_ = reference;
+  }
+
+  /// The audited-run manifest of the most recent AlignAll (config, verdict
+  /// chain, query-stream digests). Empty until AlignAll succeeds once.
+  const RunManifest& last_manifest() const { return last_manifest_; }
+
   OnTheFlyAligner& on_the_fly() { return *on_the_fly_; }
 
  private:
@@ -144,6 +159,10 @@ class Sofya {
   Endpoint* candidate_ = nullptr;  // Outermost decorator.
   Endpoint* reference_ = nullptr;
   std::unique_ptr<OnTheFlyAligner> on_the_fly_;
+  AlignerOptions aligner_options_;  // As configured (manifest config digest).
+  const CassetteJournal* candidate_journal_ = nullptr;  // Not owned.
+  const CassetteJournal* reference_journal_ = nullptr;  // Not owned.
+  RunManifest last_manifest_;
 };
 
 }  // namespace sofya

@@ -1,0 +1,274 @@
+#include "core/run_manifest.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "util/hash.h"
+
+namespace sofya {
+namespace {
+
+bool IsHex16(const std::string& s) {
+  if (s.size() != 16) return false;
+  for (char c : s) {
+    const bool ok = (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f');
+    if (!ok) return false;
+  }
+  return true;
+}
+
+/// The chain step: commits to everything before this entry plus the entry
+/// itself. Hex strings (not raw words) are hashed so the construction is
+/// trivially reproducible from the serialized file alone.
+std::string ChainStep(const std::string& prev, const std::string& kind,
+                      const std::string& label, const std::string& digest) {
+  std::string bytes;
+  bytes.reserve(prev.size() + kind.size() + label.size() + digest.size() + 3);
+  bytes += prev;
+  bytes += '\n';
+  bytes += kind;
+  bytes += '\n';
+  bytes += label;
+  bytes += '\n';
+  bytes += digest;
+  return HashToHex(Fnv1a(bytes.data(), bytes.size()));
+}
+
+/// Digest-buffer helpers: fields are appended as text with separators, so
+/// the digest is stable across platforms (no struct padding, no endianness)
+/// and a changed field cannot alias a neighbor.
+void Field(std::string& out, const char* name, uint64_t v) {
+  out += name;
+  out += '=';
+  out += std::to_string(v);
+  out += ';';
+}
+
+void Field(std::string& out, const char* name, bool v) {
+  Field(out, name, static_cast<uint64_t>(v ? 1 : 0));
+}
+
+void Field(std::string& out, const char* name, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += name;
+  out += '=';
+  out += buf;
+  out += ';';
+}
+
+void Field(std::string& out, const char* name, const std::string& v) {
+  out += name;
+  out += '=';
+  out += v;
+  out += ';';
+}
+
+void RuleFields(std::string& out, const char* prefix, const Rule& rule) {
+  std::string p(prefix);
+  Field(out, (p + ".support").c_str(), static_cast<uint64_t>(rule.support));
+  Field(out, (p + ".body_size").c_str(),
+        static_cast<uint64_t>(rule.body_size));
+  Field(out, (p + ".pca_body_size").c_str(),
+        static_cast<uint64_t>(rule.pca_body_size));
+  Field(out, (p + ".cwa_conf").c_str(), rule.cwa_conf);
+  Field(out, (p + ".pca_conf").c_str(), rule.pca_conf);
+}
+
+}  // namespace
+
+std::string HashToHex(uint64_t value) {
+  static const char* kHex = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[i] = kHex[value & 0xF];
+    value >>= 4;
+  }
+  return out;
+}
+
+void RunManifest::Append(std::string kind, std::string label,
+                         std::string digest) {
+  RunManifestEntry entry;
+  entry.kind = std::move(kind);
+  entry.label = std::move(label);
+  entry.digest = std::move(digest);
+  entry.chain = ChainStep(root_, entry.kind, entry.label, entry.digest);
+  root_ = entry.chain;
+  entries_.push_back(std::move(entry));
+}
+
+std::string RunManifest::Serialize() const {
+  std::string out = "sofya-run-manifest v1\n";
+  for (const RunManifestEntry& e : entries_) {
+    out += e.kind;
+    out += ' ';
+    out += e.label;
+    out += ' ';
+    out += e.digest;
+    out += ' ';
+    out += e.chain;
+    out += '\n';
+  }
+  out += "root ";
+  out += root_;
+  out += '\n';
+  return out;
+}
+
+StatusOr<RunManifest> RunManifest::Parse(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line) || line != "sofya-run-manifest v1") {
+    return Status::ParseError("manifest: missing/unknown header line");
+  }
+  RunManifest manifest;
+  bool saw_root = false;
+  size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    if (saw_root) {
+      return Status::ParseError("manifest: content after root line");
+    }
+    std::istringstream fields(line);
+    std::string kind;
+    fields >> kind;
+    if (kind == "root") {
+      std::string declared, extra;
+      if (!(fields >> declared) || fields >> extra || !IsHex16(declared)) {
+        return Status::ParseError("manifest: malformed root line");
+      }
+      if (declared != manifest.root_) {
+        return Status::ParseError("manifest: root does not verify");
+      }
+      saw_root = true;
+      continue;
+    }
+    std::string label, digest, chain, extra;
+    if (!(fields >> label >> digest >> chain) || fields >> extra ||
+        !IsHex16(digest) || !IsHex16(chain)) {
+      return Status::ParseError("manifest: malformed line " +
+                                std::to_string(line_no));
+    }
+    const std::string expected =
+        ChainStep(manifest.root_, kind, label, digest);
+    if (chain != expected) {
+      return Status::ParseError("manifest: chain breaks at line " +
+                                std::to_string(line_no) + " (" + kind + " " +
+                                label + ")");
+    }
+    manifest.Append(std::move(kind), std::move(label), std::move(digest));
+  }
+  if (!saw_root) return Status::ParseError("manifest: missing root line");
+  return manifest;
+}
+
+std::optional<ManifestDivergence> FirstDivergence(const RunManifest& a,
+                                                  const RunManifest& b) {
+  if (a.root() == b.root()) return std::nullopt;
+  const auto& ea = a.entries();
+  const auto& eb = b.entries();
+  const size_t common = ea.size() < eb.size() ? ea.size() : eb.size();
+  for (size_t i = 0; i < common; ++i) {
+    if (ea[i].kind != eb[i].kind || ea[i].label != eb[i].label) {
+      return ManifestDivergence{
+          i, "entry identity differs: " + ea[i].kind + " " + ea[i].label +
+                 " vs " + eb[i].kind + " " + eb[i].label};
+    }
+    if (ea[i].digest != eb[i].digest) {
+      return ManifestDivergence{i, ea[i].kind + " " + ea[i].label +
+                                       ": digest " + ea[i].digest + " vs " +
+                                       eb[i].digest};
+    }
+  }
+  if (ea.size() != eb.size()) {
+    const auto& longer = ea.size() > eb.size() ? ea : eb;
+    return ManifestDivergence{
+        common, "one run has " + std::to_string(longer.size() - common) +
+                    " extra entries starting with " + longer[common].kind +
+                    " " + longer[common].label};
+  }
+  // Equal entries but different roots cannot happen for Append-built
+  // manifests; report the tail for hand-constructed ones.
+  return ManifestDivergence{common, "chains differ despite equal entries"};
+}
+
+std::string DigestAlignerConfig(const AlignerOptions& o) {
+  std::string buf;
+  Field(buf, "measure", static_cast<uint64_t>(o.measure));
+  Field(buf, "threshold", o.threshold);
+  Field(buf, "min_pairs", static_cast<uint64_t>(o.min_pairs));
+  Field(buf, "min_support", static_cast<uint64_t>(o.min_support));
+  Field(buf, "use_ubs", o.use_ubs);
+  Field(buf, "check_equivalence", o.check_equivalence);
+  Field(buf, "finder.sample_facts", static_cast<uint64_t>(o.finder.sample_facts));
+  Field(buf, "finder.scan_limit", static_cast<uint64_t>(o.finder.scan_limit));
+  Field(buf, "finder.max_candidates",
+        static_cast<uint64_t>(o.finder.max_candidates));
+  Field(buf, "finder.min_cooccurrence",
+        static_cast<uint64_t>(o.finder.min_cooccurrence));
+  Field(buf, "finder.seed", o.finder.seed);
+  Field(buf, "finder.source", static_cast<uint64_t>(o.finder.source));
+  Field(buf, "sampler.sample_size",
+        static_cast<uint64_t>(o.sampler.sample_size));
+  Field(buf, "sampler.scan_limit", static_cast<uint64_t>(o.sampler.scan_limit));
+  Field(buf, "sampler.facts_per_subject_cap",
+        static_cast<uint64_t>(o.sampler.facts_per_subject_cap));
+  Field(buf, "sampler.seed", o.sampler.seed);
+  Field(buf, "ubs.probe_limit", static_cast<uint64_t>(o.ubs.probe_limit));
+  Field(buf, "ubs.min_contradictions",
+        static_cast<uint64_t>(o.ubs.min_contradictions));
+  Field(buf, "ubs.contradiction_support_ratio",
+        o.ubs.contradiction_support_ratio);
+  return HashToHex(Fnv1a(buf.data(), buf.size()));
+}
+
+std::string DigestAlignmentResult(const AlignmentResult& result) {
+  std::string buf;
+  Field(buf, "relation", result.reference_relation.ToNTriples());
+  Field(buf, "verdicts", static_cast<uint64_t>(result.verdicts.size()));
+  for (const CandidateVerdict& v : result.verdicts) {
+    Field(buf, "candidate", v.relation.ToNTriples());
+    Field(buf, "cooccurrences", static_cast<uint64_t>(v.cooccurrences));
+    Field(buf, "prior", v.prior);
+    RuleFields(buf, "rule", v.rule);
+    Field(buf, "passed_threshold", v.passed_threshold);
+    Field(buf, "ubs_subsumption_pruned", v.ubs_subsumption_pruned);
+    Field(buf, "accepted", v.accepted);
+    Field(buf, "reverse_checked", v.reverse_checked);
+    if (v.reverse_checked) RuleFields(buf, "reverse_rule", v.reverse_rule);
+    Field(buf, "reverse_passed_threshold", v.reverse_passed_threshold);
+    Field(buf, "ubs_equivalence_pruned", v.ubs_equivalence_pruned);
+    Field(buf, "equivalence", v.equivalence);
+  }
+  // Per-relation cost counters are deterministic attribution (tracking
+  // endpoint); fleet-level cache/latency numbers are not and stay out.
+  Field(buf, "candidate_queries", result.candidate_queries);
+  Field(buf, "reference_queries", result.reference_queries);
+  Field(buf, "rows_shipped", result.rows_shipped);
+  return HashToHex(Fnv1a(buf.data(), buf.size()));
+}
+
+RunManifest BuildRunManifest(
+    const AlignerOptions& options,
+    const std::vector<const AlignmentResult*>& results,
+    const CassetteJournal* candidate_journal,
+    const CassetteJournal* reference_journal) {
+  RunManifest manifest;
+  manifest.Append("config", "aligner", DigestAlignerConfig(options));
+  for (const AlignmentResult* result : results) {
+    manifest.Append("verdict", result->reference_relation.lexical(),
+                    DigestAlignmentResult(*result));
+  }
+  const CassetteDigest empty;
+  manifest.Append("queries", "candidate",
+                  (candidate_journal ? candidate_journal->digest() : empty)
+                      .ToHex());
+  manifest.Append("queries", "reference",
+                  (reference_journal ? reference_journal->digest() : empty)
+                      .ToHex());
+  return manifest;
+}
+
+}  // namespace sofya

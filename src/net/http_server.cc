@@ -59,43 +59,65 @@ Status HttpServer::Start() {
   }
   stopping_.store(false, std::memory_order_release);
 
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
-                        0);
-  if (listen_fd_ < 0) {
-    return Status::Internal(StrFormat("socket: %s", std::strerror(errno)));
-  }
-  const int enable = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &enable, sizeof(enable));
+  // Ephemeral binds (port 0) must not set SO_REUSEADDR: with it, the kernel
+  // may hand out a port another process just bound but not yet listened on,
+  // and this socket then fails at listen() with EADDRINUSE — the classic
+  // parallel-test-runner flake. Without the option the race window still
+  // exists (bind-to-0 in two processes can collide), so EADDRINUSE on an
+  // ephemeral bind/listen is retried with a fresh socket.
+  const bool ephemeral = options_.port == 0;
+  constexpr int kEphemeralBindAttempts = 16;
+  for (int attempt = 0;; ++attempt) {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                          0);
+    if (listen_fd_ < 0) {
+      return Status::Internal(StrFormat("socket: %s", std::strerror(errno)));
+    }
+    if (!ephemeral) {
+      const int enable = 1;
+      ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &enable,
+                   sizeof(enable));
+    }
 
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(options_.port);
-  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
-      1) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return Status::InvalidArgument("bad bind address '" +
-                                   options_.bind_address + "'");
-  }
-  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
-      0) {
-    const Status status = Status::Unavailable(
-        StrFormat("bind %s:%u: %s", options_.bind_address.c_str(),
-                  static_cast<unsigned>(options_.port),
-                  std::strerror(errno)));
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return status;
-  }
-  socklen_t addr_len = sizeof(addr);
-  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &addr_len);
-  port_ = ntohs(addr.sin_port);
-  if (::listen(listen_fd_, kListenBacklog) < 0) {
-    const Status status =
-        Status::Unavailable(StrFormat("listen: %s", std::strerror(errno)));
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return status;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(options_.port);
+    if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+        1) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      return Status::InvalidArgument("bad bind address '" +
+                                     options_.bind_address + "'");
+    }
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+        0) {
+      const int bind_errno = errno;
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      if (bind_errno == EADDRINUSE && ephemeral &&
+          attempt + 1 < kEphemeralBindAttempts) {
+        continue;
+      }
+      return Status::Unavailable(
+          StrFormat("bind %s:%u: %s", options_.bind_address.c_str(),
+                    static_cast<unsigned>(options_.port),
+                    std::strerror(bind_errno)));
+    }
+    socklen_t addr_len = sizeof(addr);
+    ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &addr_len);
+    port_ = ntohs(addr.sin_port);
+    if (::listen(listen_fd_, kListenBacklog) < 0) {
+      const int listen_errno = errno;
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      if (listen_errno == EADDRINUSE && ephemeral &&
+          attempt + 1 < kEphemeralBindAttempts) {
+        continue;
+      }
+      return Status::Unavailable(
+          StrFormat("listen: %s", std::strerror(listen_errno)));
+    }
+    break;
   }
 
   epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);

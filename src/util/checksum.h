@@ -1,0 +1,73 @@
+// Streaming 64-bit mix checksum shared by the binary on-disk formats
+// (rdf/store_snapshot.cc, endpoint/cassette.cc).
+//
+// Boundary-independent: Update() may be called with arbitrary slices, the
+// digest only depends on the byte sequence, so a writer issuing many small
+// writes and a verifier running one pass over a mapped payload agree.
+// This is an integrity check against truncation/corruption, not a
+// cryptographic MAC.
+
+#ifndef SOFYA_UTIL_CHECKSUM_H_
+#define SOFYA_UTIL_CHECKSUM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+namespace sofya {
+
+class Checksummer {
+ public:
+  void Update(const void* data, size_t n) {
+    const uint8_t* p = static_cast<const uint8_t*>(data);
+    total_ += n;
+    if (buffered_ > 0) {
+      while (buffered_ < 8 && n > 0) {
+        buf_[buffered_++] = *p++;
+        --n;
+      }
+      if (buffered_ == 8) {
+        MixBlock(buf_);
+        buffered_ = 0;
+      }
+    }
+    while (n >= 8) {
+      MixBlock(p);
+      p += 8;
+      n -= 8;
+    }
+    while (n > 0) {
+      buf_[buffered_++] = *p++;
+      --n;
+    }
+  }
+
+  uint64_t Finish() {
+    if (buffered_ > 0) {
+      std::memset(buf_ + buffered_, 0, 8 - buffered_);
+      MixBlock(buf_);
+      buffered_ = 0;
+    }
+    uint64_t h = h_ ^ total_;
+    h *= 0x9E3779B97F4A7C15ULL;
+    h ^= h >> 32;
+    return h;
+  }
+
+ private:
+  void MixBlock(const uint8_t* p) {
+    uint64_t v;
+    std::memcpy(&v, p, 8);
+    h_ = (h_ ^ v) * 0x9E3779B97F4A7C15ULL;
+    h_ ^= h_ >> 29;
+  }
+
+  uint64_t h_ = 0x9AE16A3B2F90404FULL;
+  uint8_t buf_[8];
+  size_t buffered_ = 0;
+  uint64_t total_ = 0;
+};
+
+}  // namespace sofya
+
+#endif  // SOFYA_UTIL_CHECKSUM_H_

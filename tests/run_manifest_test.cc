@@ -1,0 +1,185 @@
+#include "core/run_manifest.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "align/relation_aligner.h"
+#include "util/status.h"
+
+namespace sofya {
+namespace {
+
+RunManifest SampleManifest() {
+  RunManifest manifest;
+  manifest.Append("config", "aligner", std::string(16, 'a'));
+  manifest.Append("verdict", "http://kb2.test/actedIn", std::string(16, 'b'));
+  manifest.Append("verdict", "http://kb2.test/directed", std::string(16, 'c'));
+  manifest.Append("queries", "candidate", std::string(16, 'd'));
+  manifest.Append("queries", "reference", std::string(16, 'e'));
+  return manifest;
+}
+
+TEST(RunManifestTest, SerializeParseRoundTripVerifies) {
+  const RunManifest manifest = SampleManifest();
+  EXPECT_EQ(manifest.entries().size(), 5u);
+  EXPECT_EQ(manifest.root().size(), 16u);
+
+  auto parsed = RunManifest::Parse(manifest.Serialize());
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->root(), manifest.root());
+  ASSERT_EQ(parsed->entries().size(), manifest.entries().size());
+  for (size_t i = 0; i < manifest.entries().size(); ++i) {
+    EXPECT_EQ(parsed->entries()[i].kind, manifest.entries()[i].kind);
+    EXPECT_EQ(parsed->entries()[i].label, manifest.entries()[i].label);
+    EXPECT_EQ(parsed->entries()[i].digest, manifest.entries()[i].digest);
+    EXPECT_EQ(parsed->entries()[i].chain, manifest.entries()[i].chain);
+  }
+  EXPECT_EQ(parsed->Serialize(), manifest.Serialize());
+}
+
+TEST(RunManifestTest, ChainCommitsToOrderAndContent) {
+  RunManifest a;
+  a.Append("verdict", "r1", std::string(16, '1'));
+  a.Append("verdict", "r2", std::string(16, '2'));
+  RunManifest b;
+  b.Append("verdict", "r2", std::string(16, '2'));
+  b.Append("verdict", "r1", std::string(16, '1'));
+  // Same entries, different order: different run identity.
+  EXPECT_NE(a.root(), b.root());
+
+  RunManifest c;
+  c.Append("verdict", "r1", std::string(16, '1'));
+  c.Append("verdict", "r2", std::string(16, '3'));
+  EXPECT_NE(a.root(), c.root());
+}
+
+TEST(RunManifestTest, TamperedDigestIsRejectedAtParse) {
+  const RunManifest manifest = SampleManifest();
+  std::string text = manifest.Serialize();
+  // Flip one digest character on the first verdict line: the chain value on
+  // that line no longer verifies.
+  const size_t pos = text.find(std::string(16, 'b'));
+  ASSERT_NE(pos, std::string::npos);
+  text[pos] = 'f';
+  auto parsed = RunManifest::Parse(text);
+  EXPECT_EQ(parsed.status().code(), StatusCode::kParseError);
+  EXPECT_NE(parsed.status().message().find("chain breaks"),
+            std::string::npos)
+      << parsed.status();
+}
+
+TEST(RunManifestTest, TamperedRootIsRejectedAtParse) {
+  const RunManifest manifest = SampleManifest();
+  std::string text = manifest.Serialize();
+  const size_t pos = text.rfind(manifest.root());
+  ASSERT_NE(pos, std::string::npos);
+  text[pos] = manifest.root()[0] == '0' ? '1' : '0';
+  EXPECT_EQ(RunManifest::Parse(text).status().code(),
+            StatusCode::kParseError);
+}
+
+TEST(RunManifestTest, StructurallyMalformedInputsAreRejected) {
+  EXPECT_FALSE(RunManifest::Parse("").ok());
+  EXPECT_FALSE(RunManifest::Parse("not-a-manifest\n").ok());
+  // Missing root line.
+  EXPECT_FALSE(RunManifest::Parse("sofya-run-manifest v1\n").ok());
+  // Non-hex digest field.
+  EXPECT_FALSE(RunManifest::Parse("sofya-run-manifest v1\n"
+                                  "config aligner nothexnothexnothe xyz\n")
+                   .ok());
+  // Content after the root line.
+  const RunManifest manifest = SampleManifest();
+  EXPECT_FALSE(
+      RunManifest::Parse(manifest.Serialize() + "config aligner x y\n").ok());
+  // An empty manifest (header + verified empty root) is valid.
+  RunManifest empty;
+  auto parsed = RunManifest::Parse(empty.Serialize());
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->entries().size(), 0u);
+}
+
+TEST(RunManifestTest, FirstDivergencePinpointsTheBrokenEntry) {
+  const RunManifest a = SampleManifest();
+  EXPECT_FALSE(FirstDivergence(a, SampleManifest()).has_value());
+
+  // Digest change on entry 2.
+  RunManifest digest_differs;
+  digest_differs.Append("config", "aligner", std::string(16, 'a'));
+  digest_differs.Append("verdict", "http://kb2.test/actedIn",
+                        std::string(16, 'b'));
+  digest_differs.Append("verdict", "http://kb2.test/directed",
+                        std::string(16, 'f'));
+  digest_differs.Append("queries", "candidate", std::string(16, 'd'));
+  digest_differs.Append("queries", "reference", std::string(16, 'e'));
+  auto div = FirstDivergence(a, digest_differs);
+  ASSERT_TRUE(div.has_value());
+  EXPECT_EQ(div->index, 2u);
+  EXPECT_NE(div->what.find("http://kb2.test/directed"), std::string::npos);
+
+  // Different relation set: identity differs at the first unequal entry.
+  RunManifest identity_differs;
+  identity_differs.Append("config", "aligner", std::string(16, 'a'));
+  identity_differs.Append("verdict", "http://kb2.test/marriedTo",
+                          std::string(16, 'b'));
+  div = FirstDivergence(a, identity_differs);
+  ASSERT_TRUE(div.has_value());
+  EXPECT_EQ(div->index, 1u);
+  EXPECT_NE(div->what.find("identity differs"), std::string::npos);
+
+  // One run a strict prefix of the other: the extra entries are named.
+  RunManifest prefix;
+  prefix.Append("config", "aligner", std::string(16, 'a'));
+  prefix.Append("verdict", "http://kb2.test/actedIn", std::string(16, 'b'));
+  div = FirstDivergence(a, prefix);
+  ASSERT_TRUE(div.has_value());
+  EXPECT_EQ(div->index, 2u);
+  EXPECT_NE(div->what.find("extra entries"), std::string::npos);
+}
+
+TEST(RunManifestTest, ConfigDigestSeesVerdictRelevantKnobsOnly) {
+  AlignerOptions base;
+  const std::string baseline = DigestAlignerConfig(base);
+  EXPECT_EQ(baseline, DigestAlignerConfig(base));
+
+  AlignerOptions threshold = base;
+  threshold.threshold += 0.01;
+  EXPECT_NE(DigestAlignerConfig(threshold), baseline);
+
+  AlignerOptions seed = base;
+  seed.sampler.seed += 1;
+  EXPECT_NE(DigestAlignerConfig(seed), baseline);
+
+  AlignerOptions ubs = base;
+  ubs.use_ubs = !ubs.use_ubs;
+  EXPECT_NE(DigestAlignerConfig(ubs), baseline);
+}
+
+TEST(RunManifestTest, BuildRunManifestShapesEntriesInInputOrder) {
+  AlignerOptions options;
+  AlignmentResult r1;
+  r1.reference_relation = Term::Iri("http://kb2.test/actedIn");
+  AlignmentResult r2;
+  r2.reference_relation = Term::Iri("http://kb2.test/directed");
+  const std::vector<const AlignmentResult*> results = {&r1, &r2};
+
+  const RunManifest manifest =
+      BuildRunManifest(options, results, nullptr, nullptr);
+  ASSERT_EQ(manifest.entries().size(), 5u);
+  EXPECT_EQ(manifest.entries()[0].kind, "config");
+  EXPECT_EQ(manifest.entries()[1].label, "http://kb2.test/actedIn");
+  EXPECT_EQ(manifest.entries()[2].label, "http://kb2.test/directed");
+  EXPECT_EQ(manifest.entries()[3].label, "candidate");
+  EXPECT_EQ(manifest.entries()[4].label, "reference");
+  // No journals: both query-stream digests are the empty digest.
+  EXPECT_EQ(manifest.entries()[3].digest, CassetteDigest().ToHex());
+
+  // Swapping result order changes the root (the manifest commits to input
+  // order, which AlignAll fixes to the caller's relation list).
+  const std::vector<const AlignmentResult*> swapped = {&r2, &r1};
+  EXPECT_NE(BuildRunManifest(options, swapped, nullptr, nullptr).root(),
+            manifest.root());
+}
+
+}  // namespace
+}  // namespace sofya

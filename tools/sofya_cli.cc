@@ -68,7 +68,10 @@
 #include <thread>
 #include <vector>
 
+#include "core/run_manifest.h"
 #include "core/sofya.h"
+#include "endpoint/recording_endpoint.h"
+#include "endpoint/replay_endpoint.h"
 #include "rdf/store_snapshot.h"
 #include "util/timer.h"
 
@@ -86,6 +89,15 @@ int Usage() {
                "[--measure pca|cwa] [--no-ubs] [--sample N] [--seed N] "
                "[--candidate-source sameas|lexical|distribution|auto] "
                "[--base1 IRI] [--base2 IRI] [--legacy-planner]\n"
+               "  sofya record ...align flags... --cassette-dir DIR\n"
+               "      (align + capture every endpoint interaction into "
+               "DIR/kb1.cass, DIR/kb2.cass, DIR/run.manifest)\n"
+               "  sofya replay --links FILE --relation ... --cassette-dir DIR "
+               "[--lenient --kb1 F --kb2 F [--update]] "
+               "[--manifest-out F] [--expect-manifest F]\n"
+               "      (re-run the alignment from the cassettes, no network/"
+               "dataset; strict mode fails on unrecorded queries)\n"
+               "  sofya manifest diff A.manifest B.manifest\n"
                "  sofya query (--kb FILE | --endpoint-url URL) "
                "--sparql 'SELECT ...' [--legacy-planner] [--greedy-planner] "
                "[--adaptive] [--scan-threads N]\n"
@@ -326,29 +338,110 @@ StatusOr<std::unique_ptr<Endpoint>> MakeBaseEndpoint(
       std::make_unique<LocalEndpoint>(kb_storage->get()));
 }
 
-int Align(const std::map<std::string, std::string>& flags) {
-  if (!flags.count("kb1") || !flags.count("kb2") || !flags.count("links") ||
-      !flags.count("relation")) {
+Status ReadFileToString(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open " + path);
+  out->assign((std::istreambuf_iterator<char>(in)),
+              std::istreambuf_iterator<char>());
+  return Status::OK();
+}
+
+/// Alignment run mode: plain, or with the cassette record/replay harness.
+enum class RunMode { kAlign, kRecord, kReplay };
+
+/// Shared runner behind `align`, `record`, and `replay`: builds the base
+/// endpoints for the mode (live, recording-wrapped, or cassette-replaying),
+/// aligns, prints verdicts + cost, and handles the cassette/manifest
+/// artifacts afterwards.
+int RunAlignment(const std::map<std::string, std::string>& flags,
+                 RunMode mode) {
+  const bool record = mode == RunMode::kRecord;
+  const bool replay = mode == RunMode::kReplay;
+  const bool lenient = replay && flags.count("lenient");
+  const bool needs_kbs = !replay || lenient;
+  if (!flags.count("links") || !flags.count("relation")) return Usage();
+  if ((record || replay) && !flags.count("cassette-dir")) {
+    std::fprintf(stderr, "%s requires --cassette-dir DIR\n",
+                 record ? "record" : "replay");
+    return 2;
+  }
+  if (needs_kbs && (!flags.count("kb1") || !flags.count("kb2"))) {
+    if (lenient) {
+      std::fprintf(stderr,
+                   "--lenient replay needs --kb1/--kb2 fallback datasets\n");
+      return 2;
+    }
     return Usage();
   }
+
   SameAsIndex links;
   if (Status st = LoadLinks(flags.at("links"), &links); !st.ok()) {
     std::fprintf(stderr, "%s\n", st.ToString().c_str());
     return 1;
   }
-  const std::string base1 = flags.count("base1") ? flags.at("base1") : "";
-  const std::string base2 = flags.count("base2") ? flags.at("base2") : "";
+
+  const std::string cassette_dir =
+      (record || replay) ? flags.at("cassette-dir") : "";
+  const std::string cass1_path = cassette_dir + "/kb1.cass";
+  const std::string cass2_path = cassette_dir + "/kb2.cass";
+
+  // Everything below must outlive the Sofya facade (declared before it).
   std::unique_ptr<KnowledgeBase> kb1_storage;
   std::unique_ptr<KnowledgeBase> kb2_storage;
-  auto kb1_endpoint =
-      MakeBaseEndpoint(flags.at("kb1"), "kb1", base1, &kb1_storage);
-  auto kb2_endpoint =
-      MakeBaseEndpoint(flags.at("kb2"), "kb2", base2, &kb2_storage);
-  if (!kb1_endpoint.ok() || !kb2_endpoint.ok()) {
-    const Status& bad = !kb1_endpoint.ok() ? kb1_endpoint.status()
-                                           : kb2_endpoint.status();
-    std::fprintf(stderr, "%s\n", bad.ToString().c_str());
-    return 1;
+  std::unique_ptr<Endpoint> live1;  // Live base (align/record/lenient).
+  std::unique_ptr<Endpoint> live2;
+
+  if (needs_kbs) {
+    const std::string base1 = flags.count("base1") ? flags.at("base1") : "";
+    const std::string base2 = flags.count("base2") ? flags.at("base2") : "";
+    auto ep1 = MakeBaseEndpoint(flags.at("kb1"), "kb1", base1, &kb1_storage);
+    auto ep2 = MakeBaseEndpoint(flags.at("kb2"), "kb2", base2, &kb2_storage);
+    if (!ep1.ok() || !ep2.ok()) {
+      const Status& bad = !ep1.ok() ? ep1.status() : ep2.status();
+      std::fprintf(stderr, "%s\n", bad.ToString().c_str());
+      return 1;
+    }
+    live1 = std::move(*ep1);
+    live2 = std::move(*ep2);
+  }
+
+  // The bases handed to Sofya, plus raw handles kept for the post-run
+  // cassette/manifest work (Sofya owns the wrappers).
+  std::unique_ptr<Endpoint> kb1_endpoint;
+  std::unique_ptr<Endpoint> kb2_endpoint;
+  RecordingEndpoint* recorder1 = nullptr;
+  RecordingEndpoint* recorder2 = nullptr;
+  ReplayEndpoint* replayer1 = nullptr;
+  ReplayEndpoint* replayer2 = nullptr;
+
+  if (record) {
+    std::error_code ec;
+    std::filesystem::create_directories(cassette_dir, ec);
+    auto rec1 = std::make_unique<RecordingEndpoint>(live1.get());
+    auto rec2 = std::make_unique<RecordingEndpoint>(live2.get());
+    recorder1 = rec1.get();
+    recorder2 = rec2.get();
+    kb1_endpoint = std::move(rec1);
+    kb2_endpoint = std::move(rec2);
+  } else if (replay) {
+    auto rep1 = ReplayEndpoint::Open(cass1_path,
+                                     lenient ? live1.get() : nullptr);
+    auto rep2 = ReplayEndpoint::Open(cass2_path,
+                                     lenient ? live2.get() : nullptr);
+    if (!rep1.ok() || !rep2.ok()) {
+      const Status& bad = !rep1.ok() ? rep1.status() : rep2.status();
+      std::fprintf(stderr, "%s\n", bad.ToString().c_str());
+      return 1;
+    }
+    replayer1 = rep1->get();
+    replayer2 = rep2->get();
+    kb1_endpoint = std::move(*rep1);
+    kb2_endpoint = std::move(*rep2);
+    std::fprintf(stderr, "replaying %s (%s mode)\n", cassette_dir.c_str(),
+                 lenient ? "lenient" : "strict");
+  } else {
+    kb1_endpoint = std::move(live1);
+    kb2_endpoint = std::move(live2);
   }
 
   SofyaOptions options;
@@ -375,8 +468,10 @@ int Align(const std::map<std::string, std::string>& flags) {
     ApplyRunSeed(&options.aligner, std::stoull(flags.at("seed")));
   }
 
-  Sofya sofya(std::move(*kb1_endpoint), std::move(*kb2_endpoint), &links,
+  Sofya sofya(std::move(kb1_endpoint), std::move(kb2_endpoint), &links,
               options);
+  if (record) sofya.AttachJournals(recorder1, recorder2);
+  if (replay) sofya.AttachJournals(replayer1, replayer2);
 
   // --relation: one IRI, a comma-separated list, or "all" (every predicate
   // of the reference KB).
@@ -444,6 +539,130 @@ int Align(const std::map<std::string, std::string>& flags) {
       static_cast<unsigned long long>(cost.queries),
       static_cast<unsigned long long>(cost.rows_returned), relations.size(),
       threads, timer.ElapsedMillis());
+
+  if (record) {
+    for (const auto& [recorder, path] :
+         {std::pair{recorder1, &cass1_path}, std::pair{recorder2, &cass2_path}}) {
+      if (Status st = recorder->Save(*path); !st.ok()) {
+        std::fprintf(stderr, "%s\n", st.ToString().c_str());
+        return 1;
+      }
+      std::printf("recorded %s: %zu entries\n", path->c_str(),
+                  recorder->num_entries());
+      if (recorder->conflicts() > 0) {
+        std::fprintf(stderr,
+                     "warning: %s: %llu conflicting re-answers (dataset "
+                     "changed mid-recording; first answer kept)\n",
+                     path->c_str(),
+                     static_cast<unsigned long long>(recorder->conflicts()));
+      }
+    }
+    const std::string manifest_path = cassette_dir + "/run.manifest";
+    if (Status st = WriteFile(manifest_path,
+                              sofya.last_manifest().Serialize());
+        !st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("recorded %s\nmanifest root: %s\n", manifest_path.c_str(),
+                sofya.last_manifest().root().c_str());
+  }
+
+  if (replay) {
+    const uint64_t misses =
+        replayer1->strict_misses() + replayer2->strict_misses();
+    if (misses > 0) {
+      // Strict mode: an unrecorded interaction means this run is NOT the
+      // recorded session — fail loudly even when the pipeline degraded
+      // gracefully (e.g. an unrecorded term lookup yielding no candidates).
+      std::fprintf(stderr,
+                   "replay: %llu unrecorded interactions (strict mode)\n",
+                   static_cast<unsigned long long>(misses));
+      return 1;
+    }
+    if (lenient && flags.count("update")) {
+      // Persist the cassettes extended by fall-through appends.
+      for (const auto& [replayer, path] :
+           {std::pair{replayer1, &cass1_path},
+            std::pair{replayer2, &cass2_path}}) {
+        if (Status st = replayer->Save(*path); !st.ok()) {
+          std::fprintf(stderr, "%s\n", st.ToString().c_str());
+          return 1;
+        }
+        std::printf("updated %s (+%llu entries)\n", path->c_str(),
+                    static_cast<unsigned long long>(replayer->appended()));
+      }
+    }
+    std::printf("manifest root: %s\n", sofya.last_manifest().root().c_str());
+    if (flags.count("manifest-out")) {
+      if (Status st = WriteFile(flags.at("manifest-out"),
+                                sofya.last_manifest().Serialize());
+          !st.ok()) {
+        std::fprintf(stderr, "%s\n", st.ToString().c_str());
+        return 1;
+      }
+    }
+    if (flags.count("expect-manifest")) {
+      std::string expected_text;
+      if (Status st = ReadFileToString(flags.at("expect-manifest"),
+                                       &expected_text);
+          !st.ok()) {
+        std::fprintf(stderr, "%s\n", st.ToString().c_str());
+        return 2;
+      }
+      auto expected = RunManifest::Parse(expected_text);
+      if (!expected.ok()) {
+        std::fprintf(stderr, "%s\n", expected.status().ToString().c_str());
+        return 2;
+      }
+      if (auto div = FirstDivergence(*expected, sofya.last_manifest())) {
+        std::fprintf(stderr,
+                     "manifest MISMATCH at entry %zu: %s\n"
+                     "expected root %s, got %s\n",
+                     div->index, div->what.c_str(),
+                     expected->root().c_str(),
+                     sofya.last_manifest().root().c_str());
+        return 1;
+      }
+      std::printf("manifest verified against %s\n",
+                  flags.at("expect-manifest").c_str());
+    }
+  }
+  return 0;
+}
+
+int Align(const std::map<std::string, std::string>& flags) {
+  return RunAlignment(flags, RunMode::kAlign);
+}
+
+/// `manifest diff A B`: verifies both manifests and pinpoints the first
+/// diverging entry. Exit 0 = identical, 1 = diverged, 2 = unreadable.
+int ManifestDiff(const std::string& a_path, const std::string& b_path) {
+  RunManifest manifests[2];
+  const std::string* paths[2] = {&a_path, &b_path};
+  for (int i = 0; i < 2; ++i) {
+    std::string text;
+    if (Status st = ReadFileToString(*paths[i], &text); !st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 2;
+    }
+    auto parsed = RunManifest::Parse(text);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "%s: %s\n", paths[i]->c_str(),
+                   parsed.status().ToString().c_str());
+      return 2;
+    }
+    manifests[i] = std::move(*parsed);
+  }
+  if (auto div = FirstDivergence(manifests[0], manifests[1])) {
+    std::printf("manifests diverge at entry %zu: %s\n", div->index,
+                div->what.c_str());
+    std::printf("roots: %s vs %s\n", manifests[0].root().c_str(),
+                manifests[1].root().c_str());
+    return 1;
+  }
+  std::printf("manifests agree: root %s (%zu entries)\n",
+              manifests[0].root().c_str(), manifests[0].entries().size());
   return 0;
 }
 
@@ -751,9 +970,19 @@ int main(int argc, char** argv) {
     if (argc < 3) return sofya::Usage();
     return sofya::Snapshot(argv[2], sofya::ParseFlags(argc, argv, 3));
   }
+  if (command == "manifest") {
+    if (argc < 5 || std::string(argv[2]) != "diff") return sofya::Usage();
+    return sofya::ManifestDiff(argv[3], argv[4]);
+  }
   const auto flags = sofya::ParseFlags(argc, argv, 2);
   if (command == "generate") return sofya::Generate(flags);
   if (command == "align") return sofya::Align(flags);
+  if (command == "record") {
+    return sofya::RunAlignment(flags, sofya::RunMode::kRecord);
+  }
+  if (command == "replay") {
+    return sofya::RunAlignment(flags, sofya::RunMode::kReplay);
+  }
   if (command == "query") return sofya::Query(flags);
   if (command == "serve") return sofya::Serve(flags);
   if (command == "explain") return sofya::Explain(flags);
